@@ -1,0 +1,37 @@
+//! Throughput of the complete byte-level compressors built on the shared
+//! canonical-Huffman codec (the substrate-completeness extensions).
+
+use btrace::NullTracer;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use workloads::{bzip2w, generate_data, gzipw, DataKind};
+
+fn bench_containers(c: &mut Criterion) {
+    let text = generate_data(DataKind::Text, 64 * 1024, 0xC0DE);
+    let mut group = c.benchmark_group("containers");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+
+    for level in [1usize, 6, 9] {
+        group.bench_with_input(
+            BenchmarkId::new("gzip_deflate_bytes", level),
+            &level,
+            |b, &level| b.iter(|| gzipw::deflate_bytes(&text, level, &mut NullTracer)),
+        );
+    }
+    let gz = gzipw::deflate_bytes(&text, 6, &mut NullTracer);
+    group.bench_function("gzip_inflate_bytes", |b| {
+        b.iter(|| gzipw::inflate_bytes(&gz).expect("own output is valid"))
+    });
+
+    group.bench_function("bzip2_compress_bytes", |b| {
+        b.iter(|| bzip2w::compress_bytes(&text, &mut NullTracer))
+    });
+    let bz = bzip2w::compress_bytes(&text, &mut NullTracer);
+    group.bench_function("bzip2_decompress_bytes", |b| {
+        b.iter(|| bzip2w::decompress_bytes(&bz).expect("own output is valid"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_containers);
+criterion_main!(benches);

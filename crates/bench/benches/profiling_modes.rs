@@ -1,0 +1,62 @@
+//! The Figure 16 measurement as a Criterion benchmark: one workload run
+//! under each instrumentation configuration. The interesting output is the
+//! *ratios* between the modes — the paper's normalized bars.
+
+use bpred::{Gshare, PredictorSim};
+use btrace::{CountingTracer, EdgeProfiler, NullTracer};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use twodprof_bench::bench_scale;
+use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
+
+fn bench_modes(c: &mut Criterion) {
+    let w = workloads::by_name("gzip", bench_scale()).expect("gzip exists");
+    let input = w.input_set("train").expect("train exists");
+    let mut counter = CountingTracer::new();
+    w.run(&input, &mut counter);
+    let events = counter.count();
+    let config = SliceConfig::auto(events);
+    let sites = w.sites().len();
+
+    let mut group = c.benchmark_group("profiling_modes");
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("binary", |b| b.iter(|| w.run(&input, &mut NullTracer)));
+    group.bench_function("pin_base", |b| {
+        b.iter(|| {
+            let mut t = CountingTracer::new();
+            w.run(&input, &mut t);
+            t.count()
+        })
+    });
+    group.bench_function("edge", |b| {
+        b.iter(|| {
+            let mut t = EdgeProfiler::new(sites);
+            w.run(&input, &mut t);
+            t.overall_taken_rate()
+        })
+    });
+    group.bench_function("gshare_sim", |b| {
+        b.iter(|| {
+            let mut t = PredictorSim::new(sites, Gshare::new_4kb());
+            w.run(&input, &mut t);
+            t.profile().overall_accuracy()
+        })
+    });
+    group.bench_function("twod_gshare", |b| {
+        b.iter(|| {
+            let mut t = TwoDProfiler::new(sites, Gshare::new_4kb(), config);
+            w.run(&input, &mut t);
+            t.finish(Thresholds::paper()).program_accuracy()
+        })
+    });
+    group.bench_function("twod_bias_edge", |b| {
+        b.iter(|| {
+            let mut t = twodprof_core::Bias2DProfiler::new(sites, config);
+            w.run(&input, &mut t);
+            t.finish(Thresholds::paper()).program_accuracy()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation: 2D-profiler cost versus slice length.
+//!
+//! §3.2.3 argues the per-slice bookkeeping is cheap because it touches only
+//! seven variables per branch. Sweeping the slice length makes the end-of-
+//! slice work more or less frequent; this bench quantifies the cost curve
+//! (shorter slices = more bookkeeping = higher overhead, with diminishing
+//! returns past the paper's ratio).
+
+use bpred::Gshare;
+use btrace::Trace;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use twodprof_bench::{bench_scale, record};
+use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
+
+fn bench_slice_lengths(c: &mut Criterion) {
+    let w = workloads::by_name("twolf", bench_scale()).expect("twolf exists");
+    let trace: Trace = record(&*w, "train");
+    let sites = w.sites().len();
+    let mut group = c.benchmark_group("slice_ablation");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for slice_len in [250u64, 1_000, 4_000, 16_000, 64_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(slice_len),
+            &slice_len,
+            |b, &len| {
+                b.iter(|| {
+                    let mut prof =
+                        TwoDProfiler::new(sites, Gshare::new_4kb(), SliceConfig::new(len, 16));
+                    trace.replay(&mut prof);
+                    prof.finish(Thresholds::paper()).program_accuracy()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slice_lengths);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Baseline run time of every workload's train input (uninstrumented
+//! observer) — the denominator of all overhead figures.
+
+use btrace::NullTracer;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twodprof_bench::bench_scale;
+
+fn bench_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads_train");
+    group.sample_size(20);
+    for w in workloads::suite(bench_scale()) {
+        let input = w.input_set("train").expect("train exists");
+        group.bench_with_input(BenchmarkId::from_parameter(w.name()), &input, |b, input| {
+            b.iter(|| w.run(input, &mut NullTracer))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

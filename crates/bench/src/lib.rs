@@ -1,0 +1,54 @@
+//! `twodprof-bench` — Criterion benchmarks for the workspace.
+//!
+//! The benches cover the performance dimension of the reproduction:
+//!
+//! - `predictors` — raw predictor throughput (events/s) for every
+//!   implementation, on a recorded branch trace.
+//! - `profiling_modes` — the Figure 16 measurement as a benchmark: one
+//!   workload under each instrumentation configuration (Binary, Pin-base,
+//!   Edge, Gshare, 2D+Gshare).
+//! - `slice_ablation` — 2D-profiler cost versus slice length, isolating the
+//!   end-of-slice bookkeeping the paper budgets in §3.2.3.
+//! - `workloads` — suite run times, the denominator of every overhead
+//!   number.
+//!
+//! This library hosts shared helpers; the benches live in `benches/`.
+
+use btrace::{RecordingTracer, Trace};
+use workloads::{Scale, Workload};
+
+/// Records the branch trace of a workload's input (for replay-style
+/// predictor benchmarks).
+pub fn record(workload: &dyn Workload, input_name: &str) -> Trace {
+    let input = workload
+        .input_set(input_name)
+        .unwrap_or_else(|| panic!("{} lacks input {input_name:?}", workload.name()));
+    let mut rec = RecordingTracer::new(workload.sites().len());
+    workload.run(&input, &mut rec);
+    rec.into_trace()
+}
+
+/// The benchmark suite scale: small enough for tight Criterion loops,
+/// large enough to exercise real behaviour.
+pub fn bench_scale() -> Scale {
+    Scale::Tiny
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_produces_events() {
+        let w = workloads::by_name("parser", bench_scale()).expect("exists");
+        let trace = record(&*w, "train");
+        assert!(trace.len() > 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks input")]
+    fn record_rejects_unknown_input() {
+        let w = workloads::by_name("parser", bench_scale()).expect("exists");
+        let _ = record(&*w, "nonexistent");
+    }
+}

@@ -1,0 +1,141 @@
+//! Two-level local-history predictor (PAg).
+
+use crate::{BranchPredictor, TwoBitCounter};
+
+/// PAg predictor (Yeh & Patt, 1991): a PC-indexed table of per-branch local
+/// histories, each indexing a shared pattern-history table of 2-bit counters.
+///
+/// Excels at short per-branch periodic patterns (e.g. loop branches with a
+/// fixed small trip count) that global-history predictors must re-learn for
+/// every surrounding context.
+#[derive(Clone, Debug)]
+pub struct LocalTwoLevel {
+    bht_index_bits: u32,
+    history_bits: u32,
+    histories: Vec<u32>,
+    pattern_table: Vec<TwoBitCounter>,
+}
+
+impl LocalTwoLevel {
+    /// Creates a PAg predictor with a `2^bht_index_bits`-entry branch-history
+    /// table of `history_bits`-bit local histories, and a
+    /// `2^history_bits`-entry shared pattern table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is 0, `bht_index_bits > 28`, or
+    /// `history_bits > 24`.
+    pub fn new(bht_index_bits: u32, history_bits: u32) -> Self {
+        assert!(
+            (1..=28).contains(&bht_index_bits),
+            "bht_index_bits must be in 1..=28, got {bht_index_bits}"
+        );
+        assert!(
+            (1..=24).contains(&history_bits),
+            "history_bits must be in 1..=24, got {history_bits}"
+        );
+        Self {
+            bht_index_bits,
+            history_bits,
+            histories: vec![0; 1 << bht_index_bits],
+            pattern_table: vec![TwoBitCounter::default(); 1 << history_bits],
+        }
+    }
+
+    #[inline]
+    fn bht_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & ((1u64 << self.bht_index_bits) - 1)) as usize
+    }
+
+    #[inline]
+    fn pattern_index(&self, pc: u64) -> usize {
+        let hist = self.histories[self.bht_index(pc)];
+        (hist & ((1u32 << self.history_bits) - 1)) as usize
+    }
+}
+
+impl BranchPredictor for LocalTwoLevel {
+    #[inline]
+    fn predict(&self, pc: u64) -> bool {
+        self.pattern_table[self.pattern_index(pc)].predict()
+    }
+
+    #[inline]
+    fn train(&mut self, pc: u64, taken: bool) {
+        let pidx = self.pattern_index(pc);
+        self.pattern_table[pidx].update(taken);
+        let bidx = self.bht_index(pc);
+        self.histories[bidx] = (self.histories[bidx] << 1) | taken as u32;
+    }
+
+    fn reset(&mut self) {
+        self.histories.fill(0);
+        self.pattern_table.fill(TwoBitCounter::default());
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.histories.len() * self.history_bits as usize + self.pattern_table.len() * 2
+    }
+
+    fn name(&self) -> String {
+        format!("local-{}i{}h", self.bht_index_bits, self.history_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_short_loop_trip_count() {
+        // A loop iterating 4 times: T T T N repeated. Local history of >= 4
+        // bits predicts the exit perfectly once warm.
+        let mut p = LocalTwoLevel::new(10, 10);
+        let pc = 0x40_0000;
+        let mut correct_late = 0;
+        for i in 0..800u32 {
+            let taken = i % 4 != 3;
+            let pred = p.predict_and_train(pc, taken);
+            if i >= 400 && pred == taken {
+                correct_late += 1;
+            }
+        }
+        assert!(
+            correct_late >= 395,
+            "local predictor should nail a 4-iteration loop, got {correct_late}/400"
+        );
+    }
+
+    #[test]
+    fn independent_branches_use_independent_histories() {
+        let mut p = LocalTwoLevel::new(10, 8);
+        // Branch A alternates; branch B always taken. Interleaved execution
+        // must not corrupt either local history.
+        let (pc_a, pc_b) = (0x1000, 0x1004);
+        let mut a_correct_late = 0;
+        let mut b_correct_late = 0;
+        for i in 0..600u32 {
+            let a_taken = i % 2 == 0;
+            if p.predict_and_train(pc_a, a_taken) == a_taken && i >= 300 {
+                a_correct_late += 1;
+            }
+            if p.predict_and_train(pc_b, true) && i >= 300 {
+                b_correct_late += 1;
+            }
+        }
+        assert!(a_correct_late >= 290, "alternating: {a_correct_late}/300");
+        assert!(b_correct_late >= 295, "constant: {b_correct_late}/300");
+    }
+
+    #[test]
+    fn storage_counts_both_levels() {
+        let p = LocalTwoLevel::new(10, 10);
+        assert_eq!(p.storage_bits(), 1024 * 10 + 1024 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "history_bits")]
+    fn rejects_oversized_history() {
+        let _ = LocalTwoLevel::new(10, 25);
+    }
+}

@@ -1,0 +1,273 @@
+//! A specialized loop predictor and a loop-augmented hybrid.
+//!
+//! The paper's Figure 7 discussion notes gzip's chain-exit branch is ~75%
+//! predictable at four iterations "without a specialized loop predictor".
+//! This module provides that specialized predictor: per-branch trip-count
+//! learning that predicts the exit on the learned iteration, plus a hybrid
+//! that overrides a base predictor only for confidently-learned loops.
+
+use crate::{BranchPredictor, Gshare};
+
+#[derive(Clone, Copy, Debug, Default)]
+struct LoopEntry {
+    tag: u16,
+    /// length of the current run of taken outcomes
+    current_run: u32,
+    /// learned trip count (taken iterations before the not-taken exit)
+    learned_trip: u32,
+    /// confidence that `learned_trip` repeats (saturates at 7)
+    confidence: u8,
+}
+
+/// Per-branch trip-count predictor: learns "this branch is taken N times,
+/// then not taken" patterns and predicts the exit at iteration N with
+/// confidence-gated certainty.
+#[derive(Clone, Debug)]
+pub struct LoopPredictor {
+    index_bits: u32,
+    table: Vec<LoopEntry>,
+}
+
+impl LoopPredictor {
+    /// Minimum confidence before the predictor considers itself reliable.
+    pub const CONFIDENT: u8 = 3;
+
+    /// Creates a loop predictor with `2^index_bits` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 20.
+    pub fn new(index_bits: u32) -> Self {
+        assert!(
+            (1..=20).contains(&index_bits),
+            "index_bits must be in 1..=20, got {index_bits}"
+        );
+        Self {
+            index_bits,
+            table: vec![LoopEntry::default(); 1 << index_bits],
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & ((1u64 << self.index_bits) - 1)) as usize
+    }
+
+    #[inline]
+    fn tag(pc: u64) -> u16 {
+        ((pc >> 2) >> 10) as u16 ^ (pc >> 2) as u16
+    }
+
+    /// Whether the entry for `pc` has a confidently learned trip count.
+    pub fn is_confident(&self, pc: u64) -> bool {
+        let e = &self.table[self.index(pc)];
+        e.tag == Self::tag(pc) && e.confidence >= Self::CONFIDENT && e.learned_trip > 0
+    }
+}
+
+impl BranchPredictor for LoopPredictor {
+    fn predict(&self, pc: u64) -> bool {
+        let e = &self.table[self.index(pc)];
+        if e.tag != Self::tag(pc) || e.learned_trip == 0 {
+            return true; // loops default to taken (continue)
+        }
+        // predict not-taken exactly on the learned exit iteration
+        e.current_run < e.learned_trip
+    }
+
+    fn train(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        let tag = Self::tag(pc);
+        let e = &mut self.table[idx];
+        if e.tag != tag {
+            // allocate on a miss
+            *e = LoopEntry {
+                tag,
+                ..LoopEntry::default()
+            };
+        }
+        if taken {
+            e.current_run = e.current_run.saturating_add(1);
+        } else {
+            // loop exit: compare the completed run to the learned trip
+            if e.current_run == e.learned_trip && e.learned_trip > 0 {
+                e.confidence = (e.confidence + 1).min(7);
+            } else {
+                e.learned_trip = e.current_run;
+                e.confidence = 0;
+            }
+            e.current_run = 0;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.table.fill(LoopEntry::default());
+    }
+
+    fn storage_bits(&self) -> usize {
+        // tag 16 + current 16 + learned 16 + confidence 3 (as hardware would
+        // size them, not the in-memory Rust layout)
+        self.table.len() * (16 + 16 + 16 + 3)
+    }
+
+    fn name(&self) -> String {
+        format!("loop-{}i", self.index_bits)
+    }
+}
+
+/// Gshare augmented with a loop predictor: the loop predictor overrides the
+/// base prediction only for branches whose trip count it has confidently
+/// learned — the standard composition in real front ends.
+#[derive(Clone, Debug)]
+pub struct GshareWithLoop {
+    base: Gshare,
+    loops: LoopPredictor,
+}
+
+impl GshareWithLoop {
+    /// Creates the hybrid from component sizes.
+    pub fn new(gshare_bits: u32, loop_bits: u32) -> Self {
+        Self {
+            base: Gshare::new(gshare_bits, gshare_bits),
+            loops: LoopPredictor::new(loop_bits),
+        }
+    }
+
+    /// The paper-scale configuration: 4 KB gshare + 512-entry loop table.
+    pub fn new_4kb() -> Self {
+        Self::new(14, 9)
+    }
+}
+
+impl BranchPredictor for GshareWithLoop {
+    fn predict(&self, pc: u64) -> bool {
+        if self.loops.is_confident(pc) {
+            self.loops.predict(pc)
+        } else {
+            self.base.predict(pc)
+        }
+    }
+
+    fn train(&mut self, pc: u64, taken: bool) {
+        self.base.train(pc, taken);
+        self.loops.train(pc, taken);
+    }
+
+    fn reset(&mut self) {
+        self.base.reset();
+        self.loops.reset();
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.base.storage_bits() + self.loops.storage_bits()
+    }
+
+    fn name(&self) -> String {
+        "gshare+loop".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a fixed-trip loop: `trip` takens then one not-taken, repeated.
+    fn drive(p: &mut dyn BranchPredictor, pc: u64, trip: u32, rounds: u32) -> (u32, u32) {
+        let mut correct = 0;
+        let mut total = 0;
+        for _ in 0..rounds {
+            for i in 0..=trip {
+                let taken = i < trip;
+                let pred = p.predict_and_train(pc, taken);
+                total += 1;
+                correct += (pred == taken) as u32;
+            }
+        }
+        (correct, total)
+    }
+
+    #[test]
+    fn learns_fixed_trip_count_perfectly() {
+        let mut p = LoopPredictor::new(8);
+        // warm up: learn the trip count, then build confidence
+        drive(&mut p, 0x100, 4, 5);
+        assert!(p.is_confident(0x100));
+        let (correct, total) = drive(&mut p, 0x100, 4, 20);
+        assert_eq!(correct, total, "a learned 4-trip loop is 100% predictable");
+    }
+
+    #[test]
+    fn gshare_alone_misses_the_exit_of_short_loops() {
+        // the Figure 7 claim: a 4-iteration loop is ~75-80% predictable
+        // without a loop predictor but perfect with one
+        let mut gshare = Gshare::new_4kb();
+        let (gc, gt) = drive(&mut gshare, 0x200, 4, 200);
+        let gshare_acc = gc as f64 / gt as f64;
+
+        let mut hybrid = GshareWithLoop::new_4kb();
+        drive(&mut hybrid, 0x200, 4, 5); // warmup
+        let (hc, ht) = drive(&mut hybrid, 0x200, 4, 200);
+        let hybrid_acc = hc as f64 / ht as f64;
+        assert_eq!(hc, ht, "hybrid should be perfect: {hybrid_acc}");
+        // NOTE: gshare actually *can* learn a fixed short loop through its
+        // history; the advantage shows on longer trips than its history
+        assert!(gshare_acc > 0.7);
+    }
+
+    #[test]
+    fn hybrid_wins_on_trips_longer_than_gshare_history() {
+        // trip count 40 > 14 bits of history: gshare cannot see the loop
+        // start, the loop predictor can.
+        let trip = 40;
+        let mut gshare = Gshare::new_4kb();
+        drive(&mut gshare, 0x300, trip, 5);
+        let (gc, gt) = drive(&mut gshare, 0x300, trip, 50);
+
+        let mut hybrid = GshareWithLoop::new_4kb();
+        drive(&mut hybrid, 0x300, trip, 5);
+        let (hc, ht) = drive(&mut hybrid, 0x300, trip, 50);
+        assert_eq!(hc, ht, "hybrid perfect on learned long loop");
+        assert!(
+            gc < gt,
+            "gshare must miss some exits of a {trip}-trip loop: {gc}/{gt}"
+        );
+    }
+
+    #[test]
+    fn varying_trip_counts_drop_confidence() {
+        let mut p = LoopPredictor::new(8);
+        // alternate 3- and 5-trip loops: never confident
+        for round in 0..50 {
+            let trip = if round % 2 == 0 { 3 } else { 5 };
+            for i in 0..=trip {
+                p.predict_and_train(0x400, i < trip);
+            }
+        }
+        assert!(!p.is_confident(0x400));
+    }
+
+    #[test]
+    fn tag_mismatch_does_not_leak_state() {
+        let mut p = LoopPredictor::new(4); // tiny table forces conflicts
+        drive(&mut p, 0x100, 4, 5);
+        // a different pc aliasing the same set must reallocate, not inherit
+        let aliased = 0x100 + (1 << 6); // same low index bits after >>2
+        assert!(!p.is_confident(aliased));
+    }
+
+    #[test]
+    fn deterministic_and_resettable() {
+        let mut p = GshareWithLoop::new_4kb();
+        let a = drive(&mut p, 0x500, 7, 30);
+        p.reset();
+        let b = drive(&mut p, 0x500, 7, 30);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let p = LoopPredictor::new(9);
+        assert_eq!(p.storage_bits(), 512 * 51);
+        assert!(GshareWithLoop::new_4kb().storage_bits() > 4 * 1024 * 8);
+    }
+}

@@ -1,0 +1,364 @@
+//! Trace recording and replay.
+//!
+//! Experiments run each (workload, input set) pair once, record the branch
+//! stream, and replay it through many predictors and profilers. Events are
+//! packed as `site << 1 | taken` in a `Vec<u32>`, so a 10M-branch run costs
+//! 40 MB and replays at memory speed.
+
+use crate::{SiteId, Tracer};
+
+/// One dynamic branch event: which static branch executed and its direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Static branch that executed.
+    pub site: SiteId,
+    /// Resolved direction.
+    pub taken: bool,
+}
+
+/// A recorded conditional-branch trace.
+///
+/// Construct with [`RecordingTracer`] or collect from an iterator of
+/// [`TraceEvent`]s. Replay through any [`Tracer`] with [`Trace::replay`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    packed: Vec<u32>,
+    num_sites: usize,
+}
+
+impl Trace {
+    /// Creates an empty trace for a workload with `num_sites` static branches.
+    pub fn new(num_sites: usize) -> Self {
+        Self {
+            packed: Vec::new(),
+            num_sites,
+        }
+    }
+
+    /// Creates an empty trace with pre-allocated capacity for `events` events.
+    pub fn with_capacity(num_sites: usize, events: usize) -> Self {
+        Self {
+            packed: Vec::with_capacity(events),
+            num_sites,
+        }
+    }
+
+    /// Number of dynamic branch events in the trace.
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Whether the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+
+    /// Number of static branch sites in the traced workload (the size of the
+    /// site table, not the number of distinct sites that appear).
+    pub fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    /// Appends one event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range for this trace's site table.
+    pub fn push(&mut self, site: SiteId, taken: bool) {
+        assert!(
+            site.index() < self.num_sites,
+            "site {site} out of range (table has {} sites)",
+            self.num_sites
+        );
+        self.packed.push(site.0 << 1 | taken as u32);
+    }
+
+    /// The `i`-th event, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<TraceEvent> {
+        self.packed.get(i).map(|&p| TraceEvent {
+            site: SiteId(p >> 1),
+            taken: p & 1 == 1,
+        })
+    }
+
+    /// Iterates over events in program order.
+    pub fn iter(&self) -> TraceIter<'_> {
+        TraceIter {
+            inner: self.packed.iter(),
+        }
+    }
+
+    /// Feeds every event, in order, into `tracer`.
+    pub fn replay<T: Tracer + ?Sized>(&self, tracer: &mut T) {
+        for &p in &self.packed {
+            tracer.branch(SiteId(p >> 1), p & 1 == 1);
+        }
+    }
+
+    /// Computes summary statistics for the trace.
+    pub fn stats(&self) -> TraceStats {
+        let mut exec = vec![0u64; self.num_sites];
+        let mut taken_events = 0u64;
+        for &p in &self.packed {
+            exec[(p >> 1) as usize] += 1;
+            taken_events += (p & 1) as u64;
+        }
+        let executed_sites = exec.iter().filter(|&&e| e > 0).count();
+        TraceStats {
+            events: self.packed.len() as u64,
+            taken_events,
+            executed_sites,
+            declared_sites: self.num_sites,
+            per_site_exec: exec,
+        }
+    }
+
+    /// Approximate heap memory used by the trace, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.packed.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
+        let mut max_site = 0u32;
+        let packed: Vec<u32> = iter
+            .into_iter()
+            .map(|e| {
+                max_site = max_site.max(e.site.0);
+                e.site.0 << 1 | e.taken as u32
+            })
+            .collect();
+        let num_sites = if packed.is_empty() {
+            0
+        } else {
+            max_site as usize + 1
+        };
+        Self { packed, num_sites }
+    }
+}
+
+impl Extend<TraceEvent> for Trace {
+    fn extend<I: IntoIterator<Item = TraceEvent>>(&mut self, iter: I) {
+        for e in iter {
+            self.push(e.site, e.taken);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = TraceEvent;
+    type IntoIter = TraceIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the events of a [`Trace`].
+#[derive(Clone, Debug)]
+pub struct TraceIter<'a> {
+    inner: std::slice::Iter<'a, u32>,
+}
+
+impl Iterator for TraceIter<'_> {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        self.inner.next().map(|&p| TraceEvent {
+            site: SiteId(p >> 1),
+            taken: p & 1 == 1,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for TraceIter<'_> {}
+
+/// Summary statistics of a recorded trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total dynamic branch events.
+    pub events: u64,
+    /// Dynamic events that resolved taken.
+    pub taken_events: u64,
+    /// Number of static sites that executed at least once.
+    pub executed_sites: usize,
+    /// Number of static sites declared by the workload.
+    pub declared_sites: usize,
+    /// Dynamic execution count per declared site.
+    pub per_site_exec: Vec<u64>,
+}
+
+/// A [`Tracer`] that records the event stream into a [`Trace`].
+#[derive(Clone, Debug)]
+pub struct RecordingTracer {
+    trace: Trace,
+}
+
+impl RecordingTracer {
+    /// Creates a recorder for a workload with `num_sites` static branches.
+    pub fn new(num_sites: usize) -> Self {
+        Self {
+            trace: Trace::new(num_sites),
+        }
+    }
+
+    /// Creates a recorder with pre-allocated capacity for `events` events.
+    pub fn with_capacity(num_sites: usize, events: usize) -> Self {
+        Self {
+            trace: Trace::with_capacity(num_sites, events),
+        }
+    }
+
+    /// Consumes the recorder and returns the recorded trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Borrows the trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl Tracer for RecordingTracer {
+    #[inline]
+    fn branch(&mut self, site: SiteId, taken: bool) {
+        self.trace.packed.push(site.0 << 1 | taken as u32);
+        debug_assert!(site.index() < self.trace.num_sites, "site out of range");
+    }
+
+    fn dynamic_count(&self) -> Option<u64> {
+        Some(self.trace.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CountingTracer;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(3);
+        t.push(SiteId(0), true);
+        t.push(SiteId(1), false);
+        t.push(SiteId(2), true);
+        t.push(SiteId(0), false);
+        t
+    }
+
+    #[test]
+    fn push_get_roundtrip() {
+        let t = sample_trace();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(
+            t.get(0),
+            Some(TraceEvent {
+                site: SiteId(0),
+                taken: true
+            })
+        );
+        assert_eq!(
+            t.get(3),
+            Some(TraceEvent {
+                site: SiteId(0),
+                taken: false
+            })
+        );
+        assert_eq!(t.get(4), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_rejects_out_of_range_site() {
+        let mut t = Trace::new(1);
+        t.push(SiteId(1), true);
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let t = sample_trace();
+        let via_iter: Vec<_> = t.iter().collect();
+        let via_get: Vec<_> = (0..t.len()).map(|i| t.get(i).unwrap()).collect();
+        assert_eq!(via_iter, via_get);
+        assert_eq!(t.iter().len(), 4);
+    }
+
+    #[test]
+    fn replay_preserves_order_and_count() {
+        let t = sample_trace();
+        let mut c = CountingTracer::new();
+        t.replay(&mut c);
+        assert_eq!(c.count(), 4);
+
+        let mut rec = RecordingTracer::new(3);
+        t.replay(&mut rec);
+        assert_eq!(rec.into_trace(), t);
+    }
+
+    #[test]
+    fn stats_counts() {
+        let t = sample_trace();
+        let s = t.stats();
+        assert_eq!(s.events, 4);
+        assert_eq!(s.taken_events, 2);
+        assert_eq!(s.executed_sites, 3);
+        assert_eq!(s.declared_sites, 3);
+        assert_eq!(s.per_site_exec, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn from_iterator_infers_site_count() {
+        let events = [
+            TraceEvent {
+                site: SiteId(5),
+                taken: true,
+            },
+            TraceEvent {
+                site: SiteId(2),
+                taken: false,
+            },
+        ];
+        let t: Trace = events.into_iter().collect();
+        assert_eq!(t.num_sites(), 6);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut t = sample_trace();
+        t.extend([TraceEvent {
+            site: SiteId(1),
+            taken: true,
+        }]);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.get(4).unwrap().site, SiteId(1));
+    }
+
+    #[test]
+    fn recorder_via_trait_object() {
+        let mut rec = RecordingTracer::with_capacity(2, 16);
+        {
+            let t: &mut dyn Tracer = &mut rec;
+            t.branch(SiteId(0), true);
+            t.branch(SiteId(1), true);
+        }
+        assert_eq!(rec.dynamic_count(), Some(2));
+        assert_eq!(rec.trace().stats().taken_events, 2);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(4);
+        assert!(t.is_empty());
+        let s = t.stats();
+        assert_eq!(s.events, 0);
+        assert_eq!(s.executed_sites, 0);
+        assert_eq!(s.declared_sites, 4);
+    }
+}

@@ -1,0 +1,186 @@
+//! Static branch identities.
+//!
+//! A *static branch* in the paper is one conditional-branch instruction in the
+//! program binary; its dynamic instances are the individual executions. Here a
+//! static branch is one instrumented branch site in a workload's source,
+//! declared once as a [`SiteDecl`] and referred to by a dense [`SiteId`].
+
+use std::fmt;
+
+/// Dense identifier of a static branch site within one workload.
+///
+/// `SiteId(i)` indexes the workload's site-declaration table; profilers size
+/// their per-branch state arrays by the table length so the hot path performs
+/// no hashing, mirroring how Pin-based profilers key state by instruction
+/// address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// The site's index into its workload's declaration table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl From<u32> for SiteId {
+    fn from(raw: u32) -> Self {
+        SiteId(raw)
+    }
+}
+
+/// Source-level flavour of a conditional branch.
+///
+/// The paper's §2.3 discusses two recurring code structures that produce
+/// input-dependent branches — data-type checks (gap, Figure 6) and loop exits
+/// whose trip count is input-derived (gzip, Figure 7). Tagging sites with
+/// their flavour lets experiments slice results the same way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BranchKind {
+    /// Loop back-edge or loop-exit test.
+    Loop,
+    /// Plain if/else on data values.
+    IfElse,
+    /// Branch that dispatches on the dynamic type/tag of a value.
+    TypeCheck,
+    /// Early-out/validity guard (bounds, null, error paths).
+    Guard,
+    /// Comparison inside a search/sort/pruning routine.
+    Search,
+    /// Anything else.
+    Other,
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchKind::Loop => "loop",
+            BranchKind::IfElse => "if-else",
+            BranchKind::TypeCheck => "type-check",
+            BranchKind::Guard => "guard",
+            BranchKind::Search => "search",
+            BranchKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Declaration of one static branch site.
+///
+/// Workloads expose a `const` table of these; the table position of a
+/// declaration is the site's [`SiteId`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteDecl {
+    /// Human-readable name, unique within the workload (e.g. `"hash_chain_exit"`).
+    pub name: &'static str,
+    /// Source-level flavour of the branch.
+    pub kind: BranchKind,
+}
+
+impl SiteDecl {
+    /// Declares a branch site. Usable in `const` tables.
+    pub const fn new(name: &'static str, kind: BranchKind) -> Self {
+        Self { name, kind }
+    }
+}
+
+impl fmt::Display for SiteDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind)
+    }
+}
+
+/// Checks that a site table is well-formed: non-empty names, unique names.
+///
+/// Returns the index pair of the first duplicate if any.
+pub(crate) fn check_site_table(sites: &[SiteDecl]) -> Result<(), (usize, usize)> {
+    for (i, a) in sites.iter().enumerate() {
+        for (j, b) in sites.iter().enumerate().skip(i + 1) {
+            if a.name == b.name {
+                return Err((i, j));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a workload's site table, panicking with a descriptive message on
+/// duplicate names.
+///
+/// # Panics
+///
+/// Panics if two declarations share a name.
+pub fn validate_sites(workload: &str, sites: &[SiteDecl]) {
+    if let Err((i, j)) = check_site_table(sites) {
+        panic!(
+            "workload {workload}: duplicate branch site name {:?} at indices {i} and {j}",
+            sites[i].name
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_id_roundtrip() {
+        let id = SiteId::from(7u32);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "b7");
+    }
+
+    #[test]
+    fn site_decl_display() {
+        let d = SiteDecl::new("hd_is_int", BranchKind::TypeCheck);
+        assert_eq!(d.to_string(), "hd_is_int (type-check)");
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        let ok = [
+            SiteDecl::new("a", BranchKind::Loop),
+            SiteDecl::new("b", BranchKind::Guard),
+        ];
+        assert_eq!(check_site_table(&ok), Ok(()));
+        let bad = [
+            SiteDecl::new("a", BranchKind::Loop),
+            SiteDecl::new("b", BranchKind::Guard),
+            SiteDecl::new("a", BranchKind::Search),
+        ];
+        assert_eq!(check_site_table(&bad), Err((0, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate branch site name")]
+    fn validate_panics_on_duplicates() {
+        let bad = [
+            SiteDecl::new("x", BranchKind::Loop),
+            SiteDecl::new("x", BranchKind::Loop),
+        ];
+        validate_sites("demo", &bad);
+    }
+
+    #[test]
+    fn kind_display_all_variants() {
+        let kinds = [
+            BranchKind::Loop,
+            BranchKind::IfElse,
+            BranchKind::TypeCheck,
+            BranchKind::Guard,
+            BranchKind::Search,
+            BranchKind::Other,
+        ];
+        let strings: Vec<String> = kinds.iter().map(|k| k.to_string()).collect();
+        let mut dedup = strings.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), kinds.len(), "kind names must be distinct");
+    }
+}

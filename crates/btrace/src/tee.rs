@@ -1,0 +1,111 @@
+//! Composition of tracers.
+
+use crate::{SiteId, Tracer};
+
+/// A tracer that forwards every event to two child tracers, in order.
+///
+/// `Tee` nests, so any number of observers can watch one profiling run:
+///
+/// ```
+/// use btrace::{Tee, CountingTracer, EdgeProfiler, Tracer, SiteId};
+/// let mut t = Tee::new(CountingTracer::new(), EdgeProfiler::new(1));
+/// t.branch(SiteId(0), true);
+/// assert_eq!(t.first().count(), 1);
+/// assert_eq!(t.second().edge(SiteId(0)).taken, 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Tee<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: Tracer, B: Tracer> Tee<A, B> {
+    /// Combines two tracers. Events reach `first` before `second`.
+    pub fn new(first: A, second: B) -> Self {
+        Self { first, second }
+    }
+
+    /// The first child tracer.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// Mutable access to the first child tracer.
+    pub fn first_mut(&mut self) -> &mut A {
+        &mut self.first
+    }
+
+    /// The second child tracer.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+
+    /// Mutable access to the second child tracer.
+    pub fn second_mut(&mut self) -> &mut B {
+        &mut self.second
+    }
+
+    /// Splits the tee back into its children.
+    pub fn into_inner(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: Tracer, B: Tracer> Tracer for Tee<A, B> {
+    #[inline]
+    fn branch(&mut self, site: SiteId, taken: bool) {
+        self.first.branch(site, taken);
+        self.second.branch(site, taken);
+    }
+
+    fn dynamic_count(&self) -> Option<u64> {
+        self.first.dynamic_count().or(self.second.dynamic_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountingTracer, EdgeProfiler, NullTracer};
+
+    #[test]
+    fn both_children_see_events() {
+        let mut tee = Tee::new(CountingTracer::new(), EdgeProfiler::new(2));
+        tee.branch(SiteId(0), true);
+        tee.branch(SiteId(1), false);
+        assert_eq!(tee.first().count(), 2);
+        assert_eq!(tee.second().edge(SiteId(1)).not_taken, 1);
+        let (a, b) = tee.into_inner();
+        assert_eq!(a.count(), 2);
+        assert_eq!(b.edge(SiteId(0)).taken, 1);
+    }
+
+    #[test]
+    fn nested_tee() {
+        let mut tee = Tee::new(
+            CountingTracer::new(),
+            Tee::new(CountingTracer::new(), CountingTracer::new()),
+        );
+        for _ in 0..5 {
+            tee.branch(SiteId(0), true);
+        }
+        assert_eq!(tee.first().count(), 5);
+        assert_eq!(tee.second().first().count(), 5);
+        assert_eq!(tee.second().second().count(), 5);
+    }
+
+    #[test]
+    fn dynamic_count_prefers_first_counting_child() {
+        let mut tee = Tee::new(NullTracer, CountingTracer::new());
+        tee.branch(SiteId(0), true);
+        assert_eq!(tee.dynamic_count(), Some(1));
+    }
+
+    #[test]
+    fn mut_accessors() {
+        let mut tee = Tee::new(CountingTracer::new(), NullTracer);
+        tee.first_mut().branch(SiteId(0), true);
+        assert_eq!(tee.first().count(), 1);
+        tee.second_mut().branch(SiteId(0), true);
+    }
+}

@@ -1,0 +1,209 @@
+//! The if-conversion (predication) cost model of §2.1 — equations (1)–(3)
+//! and Figure 2 of the paper.
+//!
+//! This model is why a 5% accuracy shift matters: the decision between a
+//! normal branch and predicated code flips at a misprediction-rate crossover
+//! (7% with the paper's example parameters), so input-dependent branches
+//! near the crossover make profile-guided if-conversion fragile.
+
+/// Machine/code parameters of the predication decision, all in cycles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Execution time of the region when the branch is taken (`exec_T`).
+    pub exec_taken: f64,
+    /// Execution time of the region when the branch is not taken (`exec_N`).
+    pub exec_not_taken: f64,
+    /// Execution time of the if-converted (predicated) region (`exec_pred`).
+    pub exec_predicated: f64,
+    /// Branch misprediction penalty (`misp_penalty`).
+    pub misp_penalty: f64,
+}
+
+/// Outcome of applying equation (3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PredicationDecision {
+    /// Predicated code is cheaper: if-convert the branch.
+    Predicate,
+    /// Normal branch code is cheaper (or equal): keep the branch.
+    KeepBranch,
+}
+
+impl CostModel {
+    /// The example parameters used for Figure 2:
+    /// `misp_penalty` = 30, `exec_T` = `exec_N` = 3, `exec_pred` = 5.
+    pub fn paper_example() -> Self {
+        Self {
+            exec_taken: 3.0,
+            exec_not_taken: 3.0,
+            exec_predicated: 5.0,
+            misp_penalty: 30.0,
+        }
+    }
+
+    /// Equation (1): expected cycles of normal branch code given the branch's
+    /// taken probability and misprediction rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_taken` or `misp_rate` is outside `[0, 1]`.
+    pub fn branch_cost(&self, p_taken: f64, misp_rate: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p_taken), "p_taken must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&misp_rate),
+            "misp_rate must be in [0,1]"
+        );
+        self.exec_taken * p_taken
+            + self.exec_not_taken * (1.0 - p_taken)
+            + self.misp_penalty * misp_rate
+    }
+
+    /// Equation (2): cycles of the predicated code (independent of branch
+    /// behaviour — both paths are always fetched and executed).
+    pub fn predicated_cost(&self) -> f64 {
+        self.exec_predicated
+    }
+
+    /// Equation (3): predicate iff normal branch code is strictly more
+    /// expensive than predicated code.
+    pub fn decide(&self, p_taken: f64, misp_rate: f64) -> PredicationDecision {
+        if self.branch_cost(p_taken, misp_rate) > self.predicated_cost() {
+            PredicationDecision::Predicate
+        } else {
+            PredicationDecision::KeepBranch
+        }
+    }
+
+    /// The misprediction rate at which the two costs are equal, for a given
+    /// taken probability. Below it the branch wins; above it predication
+    /// wins. `None` when no crossover exists in `[0, 1]` (one side always
+    /// wins) or the penalty is zero.
+    pub fn crossover_misp_rate(&self, p_taken: f64) -> Option<f64> {
+        if self.misp_penalty <= 0.0 {
+            return None;
+        }
+        let base = self.exec_taken * p_taken + self.exec_not_taken * (1.0 - p_taken);
+        let rate = (self.exec_predicated - base) / self.misp_penalty;
+        (0.0..=1.0).contains(&rate).then_some(rate)
+    }
+
+    /// Sweeps the misprediction rate and returns
+    /// `(rate, branch cost, predicated cost)` rows — the data behind
+    /// Figure 2.
+    pub fn sweep(
+        &self,
+        p_taken: f64,
+        rates: impl IntoIterator<Item = f64>,
+    ) -> Vec<(f64, f64, f64)> {
+        rates
+            .into_iter()
+            .map(|r| (r, self.branch_cost(p_taken, r), self.predicated_cost()))
+            .collect()
+    }
+}
+
+impl Default for CostModel {
+    /// Defaults to the paper's Figure 2 parameters.
+    fn default() -> Self {
+        Self::paper_example()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_crossover_is_seven_percent() {
+        // "if the branch misprediction rate is less than 7%, normal branch
+        // code takes fewer cycles … greater than 7%, predicated code takes
+        // fewer cycles."
+        let m = CostModel::paper_example();
+        let x = m.crossover_misp_rate(0.5).unwrap();
+        assert!((x - (5.0 - 3.0) / 30.0).abs() < 1e-12);
+        assert!(
+            (x - 0.0667).abs() < 0.001,
+            "crossover ~6.67%, reported as 7%"
+        );
+    }
+
+    #[test]
+    fn paper_examples_nine_and_four_percent() {
+        // "if the branch misprediction rate is 9%, predicated code performs
+        // better … if the misprediction rate becomes 4%, then normal branch
+        // code performs better."
+        let m = CostModel::paper_example();
+        assert_eq!(m.decide(0.5, 0.09), PredicationDecision::Predicate);
+        assert_eq!(m.decide(0.5, 0.04), PredicationDecision::KeepBranch);
+    }
+
+    #[test]
+    fn branch_cost_formula() {
+        let m = CostModel {
+            exec_taken: 2.0,
+            exec_not_taken: 4.0,
+            exec_predicated: 5.0,
+            misp_penalty: 10.0,
+        };
+        // eq (1): 2*0.25 + 4*0.75 + 10*0.1 = 0.5 + 3 + 1 = 4.5
+        assert!((m.branch_cost(0.25, 0.1) - 4.5).abs() < 1e-12);
+        assert!((m.predicated_cost() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_paths_shift_crossover() {
+        let m = CostModel {
+            exec_taken: 1.0,
+            exec_not_taken: 9.0,
+            exec_predicated: 10.0,
+            misp_penalty: 20.0,
+        };
+        // heavily taken branch: base = 1*0.9 + 9*0.1 = 1.8 -> x = 8.2/20
+        assert!((m.crossover_misp_rate(0.9).unwrap() - 0.41).abs() < 1e-12);
+        // heavily not-taken: base = 1*0.1 + 9*0.9 = 8.2 -> x = 1.8/20
+        assert!((m.crossover_misp_rate(0.1).unwrap() - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_crossover_when_predication_always_wins() {
+        // Predicated cost below even a perfectly predicted branch.
+        let m = CostModel {
+            exec_taken: 5.0,
+            exec_not_taken: 5.0,
+            exec_predicated: 4.0,
+            misp_penalty: 30.0,
+        };
+        assert_eq!(m.crossover_misp_rate(0.5), None);
+        assert_eq!(
+            m.decide(0.5, 0.0),
+            PredicationDecision::Predicate,
+            "even a perfectly predicted branch costs more than the predicated region"
+        );
+    }
+
+    #[test]
+    fn sweep_rows_bracket_crossover() {
+        let m = CostModel::paper_example();
+        let rows = m.sweep(0.5, (0..=30).map(|i| i as f64 / 100.0));
+        assert_eq!(rows.len(), 31);
+        // at 0%: branch 3 < predicated 5; at 30%: branch 12 > 5
+        assert!(rows[0].1 < rows[0].2);
+        assert!(rows[30].1 > rows[30].2);
+        // costs increase monotonically in misprediction rate
+        for w in rows.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn tie_keeps_branch() {
+        let m = CostModel::paper_example();
+        let x = m.crossover_misp_rate(0.5).unwrap();
+        assert_eq!(m.decide(0.5, x), PredicationDecision::KeepBranch);
+    }
+
+    #[test]
+    #[should_panic(expected = "misp_rate")]
+    fn rejects_invalid_rate() {
+        let _ = CostModel::paper_example().branch_cost(0.5, 1.5);
+    }
+}

@@ -1,0 +1,302 @@
+//! Evaluation metrics (Table 3 of the paper).
+//!
+//! 2D-profiling is scored against ground truth with four numbers:
+//!
+//! - **COV-dep** — correctly-identified dependent / all dependent (recall).
+//! - **ACC-dep** — correctly-identified dependent / all identified dependent
+//!   (precision).
+//! - **COV-indep**, **ACC-indep** — the same for input-independent branches.
+
+use crate::{GroundTruth, InputDependence};
+use btrace::SiteId;
+
+/// Confusion counts between predicted and actual input-dependence, over the
+/// branches whose ground truth is observed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Predicted dependent, actually dependent.
+    pub true_dep: usize,
+    /// Predicted dependent, actually independent.
+    pub false_dep: usize,
+    /// Predicted independent, actually independent.
+    pub true_indep: usize,
+    /// Predicted independent, actually dependent.
+    pub false_indep: usize,
+}
+
+impl Confusion {
+    /// Tallies a predicted-dependence mask (aligned with the site table)
+    /// against ground truth. Branches whose ground truth is
+    /// [`InputDependence::Unobserved`] are skipped: the paper cannot score a
+    /// branch it cannot compare across input sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length differs from the ground truth's site count.
+    pub fn from_mask(predicted: &[bool], truth: &GroundTruth) -> Self {
+        assert_eq!(
+            predicted.len(),
+            truth.num_sites(),
+            "mask must align with the site table"
+        );
+        let mut c = Confusion::default();
+        for (i, &pred) in predicted.iter().enumerate() {
+            match (truth.label(SiteId(i as u32)), pred) {
+                (InputDependence::Unobserved, _) => {}
+                (InputDependence::Dependent, true) => c.true_dep += 1,
+                (InputDependence::Dependent, false) => c.false_indep += 1,
+                (InputDependence::Independent, true) => c.false_dep += 1,
+                (InputDependence::Independent, false) => c.true_indep += 1,
+            }
+        }
+        c
+    }
+
+    /// Number of scored branches.
+    pub fn total(&self) -> usize {
+        self.true_dep + self.false_dep + self.true_indep + self.false_indep
+    }
+
+    /// Adds another confusion's counts (for averaging across benchmarks by
+    /// pooling).
+    pub fn merge(&self, other: &Confusion) -> Confusion {
+        Confusion {
+            true_dep: self.true_dep + other.true_dep,
+            false_dep: self.false_dep + other.false_dep,
+            true_indep: self.true_indep + other.true_indep,
+            false_indep: self.false_indep + other.false_indep,
+        }
+    }
+}
+
+/// The paper's four metrics, each `None` when its denominator is zero
+/// (the paper notes ACC-dep/COV-dep are unreliable when the dependent set is
+/// tiny; an empty set makes them undefined).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Metrics {
+    /// Coverage of input-dependent branches.
+    pub cov_dep: Option<f64>,
+    /// Accuracy for input-dependent branches.
+    pub acc_dep: Option<f64>,
+    /// Coverage of input-independent branches.
+    pub cov_indep: Option<f64>,
+    /// Accuracy for input-independent branches.
+    pub acc_indep: Option<f64>,
+}
+
+fn ratio(num: usize, den: usize) -> Option<f64> {
+    (den > 0).then(|| num as f64 / den as f64)
+}
+
+impl Metrics {
+    /// Computes the four metrics from confusion counts.
+    pub fn from_confusion(c: &Confusion) -> Self {
+        Self {
+            cov_dep: ratio(c.true_dep, c.true_dep + c.false_indep),
+            acc_dep: ratio(c.true_dep, c.true_dep + c.false_dep),
+            cov_indep: ratio(c.true_indep, c.true_indep + c.false_dep),
+            acc_indep: ratio(c.true_indep, c.true_indep + c.false_indep),
+        }
+    }
+
+    /// Convenience: metrics straight from a prediction mask and ground truth.
+    pub fn score(predicted: &[bool], truth: &GroundTruth) -> Self {
+        Self::from_confusion(&Confusion::from_mask(predicted, truth))
+    }
+
+    /// Unweighted mean of several benchmarks' metrics, ignoring undefined
+    /// entries per metric (how the paper averages Figure 12).
+    pub fn average<'a, I: IntoIterator<Item = &'a Metrics>>(items: I) -> Metrics {
+        let mut sums = [0.0f64; 4];
+        let mut counts = [0usize; 4];
+        for m in items {
+            for (k, v) in [m.cov_dep, m.acc_dep, m.cov_indep, m.acc_indep]
+                .into_iter()
+                .enumerate()
+            {
+                if let Some(x) = v {
+                    sums[k] += x;
+                    counts[k] += 1;
+                }
+            }
+        }
+        let get = |k: usize| (counts[k] > 0).then(|| sums[k] / counts[k] as f64);
+        Metrics {
+            cov_dep: get(0),
+            acc_dep: get(1),
+            cov_indep: get(2),
+            acc_indep: get(3),
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn pct(v: Option<f64>) -> String {
+            match v {
+                Some(x) => format!("{:5.1}%", x * 100.0),
+                None => "  n/a ".to_owned(),
+            }
+        }
+        write!(
+            f,
+            "COV-dep {} ACC-dep {} COV-indep {} ACC-indep {}",
+            pct(self.cov_dep),
+            pct(self.acc_dep),
+            pct(self.cov_indep),
+            pct(self.acc_indep)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred::{PredictorSim, StaticTaken};
+    use btrace::Tracer;
+
+    fn truth_from(labels: &[InputDependence]) -> GroundTruth {
+        // Build a GroundTruth through the public API by synthesizing
+        // matching profiles.
+        let n = labels.len();
+        let mut train = PredictorSim::new(n, StaticTaken);
+        let mut other = PredictorSim::new(n, StaticTaken);
+        for (i, &l) in labels.iter().enumerate() {
+            let site = SiteId(i as u32);
+            match l {
+                InputDependence::Unobserved => {}
+                InputDependence::Independent => {
+                    for k in 0..100u64 {
+                        train.branch(site, k % 10 != 0);
+                        other.branch(site, k % 10 != 0);
+                    }
+                }
+                InputDependence::Dependent => {
+                    for k in 0..100u64 {
+                        train.branch(site, k % 10 != 0); // 90% taken
+                        other.branch(site, k % 2 == 0); // 50% taken
+                    }
+                }
+            }
+        }
+        let gt = GroundTruth::from_pair_paper(&train.into_profile(), &other.into_profile(), 10);
+        for (i, &l) in labels.iter().enumerate() {
+            assert_eq!(gt.label(SiteId(i as u32)), l, "synthesis self-check");
+        }
+        gt
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        use InputDependence::*;
+        let gt = truth_from(&[Dependent, Independent, Dependent, Independent]);
+        let m = Metrics::score(&[true, false, true, false], &gt);
+        assert_eq!(m.cov_dep, Some(1.0));
+        assert_eq!(m.acc_dep, Some(1.0));
+        assert_eq!(m.cov_indep, Some(1.0));
+        assert_eq!(m.acc_indep, Some(1.0));
+    }
+
+    #[test]
+    fn paper_footnote_example() {
+        // "if there is only one input-dependent branch and 2D-profiling
+        // identifies 4 (including that one), ACC-dep is only 25% and COV-dep
+        // is 100%."
+        use InputDependence::*;
+        let gt = truth_from(&[
+            Dependent,
+            Independent,
+            Independent,
+            Independent,
+            Independent,
+        ]);
+        let m = Metrics::score(&[true, true, true, true, false], &gt);
+        assert_eq!(m.cov_dep, Some(1.0));
+        assert!((m.acc_dep.unwrap() - 0.25).abs() < 1e-12);
+        assert!((m.cov_indep.unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(m.acc_indep, Some(1.0));
+    }
+
+    #[test]
+    fn unobserved_branches_are_excluded() {
+        use InputDependence::*;
+        let gt = truth_from(&[Dependent, Unobserved, Independent]);
+        let c = Confusion::from_mask(&[true, true, false], &gt);
+        assert_eq!(c.total(), 2);
+        assert_eq!(c.true_dep, 1);
+        assert_eq!(c.true_indep, 1);
+        assert_eq!(c.false_dep, 0);
+    }
+
+    #[test]
+    fn undefined_metrics_are_none() {
+        use InputDependence::*;
+        let gt = truth_from(&[Independent, Independent]);
+        let m = Metrics::score(&[false, false], &gt);
+        assert_eq!(m.cov_dep, None, "no dependent branches exist");
+        assert_eq!(m.acc_dep, None, "nothing was identified dependent");
+        assert_eq!(m.cov_indep, Some(1.0));
+        assert_eq!(m.acc_indep, Some(1.0));
+    }
+
+    #[test]
+    fn merge_pools_counts() {
+        let a = Confusion {
+            true_dep: 1,
+            false_dep: 2,
+            true_indep: 3,
+            false_indep: 4,
+        };
+        let b = Confusion {
+            true_dep: 10,
+            false_dep: 20,
+            true_indep: 30,
+            false_indep: 40,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.true_dep, 11);
+        assert_eq!(m.total(), 110);
+    }
+
+    #[test]
+    fn average_ignores_missing_entries() {
+        let a = Metrics {
+            cov_dep: Some(0.8),
+            acc_dep: None,
+            cov_indep: Some(0.9),
+            acc_indep: Some(1.0),
+        };
+        let b = Metrics {
+            cov_dep: Some(0.4),
+            acc_dep: Some(0.5),
+            cov_indep: Some(0.7),
+            acc_indep: Some(0.8),
+        };
+        let avg = Metrics::average([&a, &b]);
+        assert!((avg.cov_dep.unwrap() - 0.6).abs() < 1e-12);
+        assert!((avg.acc_dep.unwrap() - 0.5).abs() < 1e-12, "only b counts");
+        assert!((avg.cov_indep.unwrap() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let m = Metrics {
+            cov_dep: Some(0.5),
+            acc_dep: None,
+            cov_indep: Some(1.0),
+            acc_indep: Some(0.123),
+        };
+        let s = m.to_string();
+        assert!(s.contains("50.0%"));
+        assert!(s.contains("n/a"));
+        assert!(s.contains("100.0%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "align with the site table")]
+    fn mask_length_must_match() {
+        use InputDependence::*;
+        let gt = truth_from(&[Independent]);
+        let _ = Confusion::from_mask(&[true, false], &gt);
+    }
+}

@@ -1,0 +1,215 @@
+//! End-of-run profiling reports.
+
+use crate::{TestOutcomes, Thresholds};
+use btrace::SiteId;
+
+/// 2D-profiling verdict for one static branch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Classification {
+    /// Predicted input-dependent: passed (MEAN ∨ STD) ∧ PAM.
+    Dependent,
+    /// Predicted input-independent.
+    Independent,
+    /// Not enough data: the branch never accumulated a counted slice
+    /// (it executed rarely or not at all). Treated as input-independent by
+    /// the evaluation metrics, matching the paper's handling of branches the
+    /// profiler cannot see.
+    Insufficient,
+}
+
+impl Classification {
+    /// Whether the branch is predicted input-dependent.
+    pub fn is_dependent(self) -> bool {
+        matches!(self, Classification::Dependent)
+    }
+}
+
+impl std::fmt::Display for Classification {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Classification::Dependent => "input-dependent",
+            Classification::Independent => "input-independent",
+            Classification::Insufficient => "insufficient-data",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-branch statistics at the end of a 2D-profiling run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BranchStats {
+    /// The static branch.
+    pub site: SiteId,
+    /// Number of counted slices (`N`).
+    pub slices: u64,
+    /// Mean filtered slice accuracy, if any slice was counted.
+    pub mean: Option<f64>,
+    /// Standard deviation of filtered slice accuracies.
+    pub std_dev: Option<f64>,
+    /// Fraction of slices above the running mean.
+    pub pam_fraction: Option<f64>,
+    /// Total dynamic executions over the whole run.
+    pub executions: u64,
+    /// Whole-run aggregate prediction accuracy (the 1-D profile value).
+    pub aggregate_accuracy: Option<f64>,
+    /// Raw outcomes of the three tests, if the branch had data.
+    pub outcomes: Option<TestOutcomes>,
+    /// Final verdict.
+    pub classification: Classification,
+}
+
+/// The complete result of one 2D-profiling run.
+#[derive(Clone, Debug)]
+pub struct ProfileReport {
+    stats: Vec<BranchStats>,
+    thresholds: Thresholds,
+    program_accuracy: Option<f64>,
+    resolved_mean_threshold: Option<f64>,
+    total_slices: u64,
+    total_branches: u64,
+    predictor_name: String,
+    series: Option<SeriesData>,
+}
+
+/// Recorded per-slice time series (Figure 8 support).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SeriesData {
+    /// For each site: `(slice index, filtered accuracy)` samples for counted
+    /// slices.
+    pub per_site: Vec<Vec<(u64, f64)>>,
+    /// Overall program accuracy per slice.
+    pub overall: Vec<(u64, f64)>,
+}
+
+impl ProfileReport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        stats: Vec<BranchStats>,
+        thresholds: Thresholds,
+        program_accuracy: Option<f64>,
+        resolved_mean_threshold: Option<f64>,
+        total_slices: u64,
+        total_branches: u64,
+        predictor_name: String,
+        series: Option<SeriesData>,
+    ) -> Self {
+        Self {
+            stats,
+            thresholds,
+            program_accuracy,
+            resolved_mean_threshold,
+            total_slices,
+            total_branches,
+            predictor_name,
+            series,
+        }
+    }
+
+    /// Statistics for one branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn stats(&self, site: SiteId) -> &BranchStats {
+        &self.stats[site.index()]
+    }
+
+    /// Final verdict for one branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn classification(&self, site: SiteId) -> Classification {
+        self.stats[site.index()].classification
+    }
+
+    /// Iterates over all branches' statistics in site order.
+    pub fn iter(&self) -> impl Iterator<Item = &BranchStats> {
+        self.stats.iter()
+    }
+
+    /// Iterates over the branches predicted input-dependent.
+    pub fn predicted_dependent(&self) -> impl Iterator<Item = &BranchStats> {
+        self.stats
+            .iter()
+            .filter(|s| s.classification.is_dependent())
+    }
+
+    /// Dense `site -> predicted input-dependent?` vector, aligned with the
+    /// workload's site table.
+    pub fn predicted_mask(&self) -> Vec<bool> {
+        self.stats
+            .iter()
+            .map(|s| s.classification.is_dependent())
+            .collect()
+    }
+
+    /// Number of static branch sites covered by the report.
+    pub fn num_sites(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// The thresholds the classification used.
+    pub fn thresholds(&self) -> &Thresholds {
+        &self.thresholds
+    }
+
+    /// Overall prediction accuracy of the profiling run, or `None` for an
+    /// empty run.
+    pub fn program_accuracy(&self) -> Option<f64> {
+        self.program_accuracy
+    }
+
+    /// The concrete MEAN-test threshold after resolving
+    /// [`MeanThreshold::ProgramAccuracy`](crate::MeanThreshold), if the run
+    /// was non-empty.
+    pub fn resolved_mean_threshold(&self) -> Option<f64> {
+        self.resolved_mean_threshold
+    }
+
+    /// Number of global slices the run was divided into (counted or not).
+    pub fn total_slices(&self) -> u64 {
+        self.total_slices
+    }
+
+    /// Total dynamic branch events in the run.
+    pub fn total_branches(&self) -> u64 {
+        self.total_branches
+    }
+
+    /// Name of the predictor the profiler simulated.
+    pub fn predictor_name(&self) -> &str {
+        &self.predictor_name
+    }
+
+    /// Per-slice `(slice index, filtered accuracy)` samples for `site`, if
+    /// the profiler ran with time-series recording enabled.
+    pub fn series(&self, site: SiteId) -> Option<&[(u64, f64)]> {
+        self.series
+            .as_ref()
+            .map(|s| s.per_site[site.index()].as_slice())
+    }
+
+    /// Per-slice overall program accuracy, if time-series recording was
+    /// enabled.
+    pub fn overall_series(&self) -> Option<&[(u64, f64)]> {
+        self.series.as_ref().map(|s| s.overall.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_display_and_predicate() {
+        assert!(Classification::Dependent.is_dependent());
+        assert!(!Classification::Independent.is_dependent());
+        assert!(!Classification::Insufficient.is_dependent());
+        assert_eq!(Classification::Dependent.to_string(), "input-dependent");
+        assert_eq!(
+            Classification::Insufficient.to_string(),
+            "insufficient-data"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Compile-time branch-handling decisions driven by 2D-profiling — the
+//! paper's motivating use case (§2.1, §2.2).
+//!
+//! With the cost model of equation (3) and the 2D classification, the
+//! compiler picks one of three treatments per branch:
+//!
+//! - input-independent + predication profitable → **predicate**;
+//! - input-independent + branch profitable → **keep the branch**;
+//! - input-dependent → **defer**: emit a *wish branch* (Kim et al., ISCA
+//!   2005, cited by the paper) or leave the choice to a dynamic optimizer,
+//!   because the profile cannot be trusted across input sets.
+
+use crate::{Classification, CostModel, PredicationDecision, ProfileReport};
+use btrace::SiteId;
+
+/// The compiler's per-branch treatment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BranchTreatment {
+    /// If-convert: the profile is trustworthy and predication wins.
+    Predicate,
+    /// Keep the conditional branch: the profile is trustworthy and the
+    /// branch wins.
+    KeepBranch,
+    /// Emit a wish branch / defer to a dynamic optimizer: the branch is
+    /// predicted input-dependent, so any static choice may backfire on
+    /// other input sets.
+    WishBranch,
+    /// Not enough profile data to decide; conservatively keep the branch.
+    KeepBranchNoData,
+}
+
+impl BranchTreatment {
+    /// Whether this treatment commits statically to predicated code.
+    pub fn is_static_predication(self) -> bool {
+        self == BranchTreatment::Predicate
+    }
+}
+
+impl std::fmt::Display for BranchTreatment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BranchTreatment::Predicate => "predicate",
+            BranchTreatment::KeepBranch => "keep-branch",
+            BranchTreatment::WishBranch => "wish-branch",
+            BranchTreatment::KeepBranchNoData => "keep-branch(no-data)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-branch advice derived from one profiling run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BranchAdvice {
+    /// The branch.
+    pub site: SiteId,
+    /// Chosen treatment.
+    pub treatment: BranchTreatment,
+    /// The misprediction rate the decision used.
+    pub misprediction_rate: Option<f64>,
+    /// Expected cycles of branch code at the profiled rates.
+    pub branch_cost: Option<f64>,
+    /// Cycles of the predicated version.
+    pub predicated_cost: f64,
+}
+
+/// Derives treatments for every branch of a profiling run.
+///
+/// `taken_rates[site]` supplies each branch's taken probability (from an
+/// edge profile of the same run); branches with no data get
+/// [`BranchTreatment::KeepBranchNoData`].
+///
+/// # Panics
+///
+/// Panics if `taken_rates` is shorter than the report's site count.
+pub fn advise(
+    report: &ProfileReport,
+    taken_rates: &[Option<f64>],
+    model: &CostModel,
+) -> Vec<BranchAdvice> {
+    assert!(
+        taken_rates.len() >= report.num_sites(),
+        "need a taken rate slot per site"
+    );
+    report
+        .iter()
+        .map(|stats| {
+            let misp = stats.aggregate_accuracy.map(|a| 1.0 - a);
+            let taken = taken_rates[stats.site.index()];
+            let (treatment, branch_cost) = match (stats.classification, misp, taken) {
+                (Classification::Insufficient, _, _) | (_, None, _) | (_, _, None) => {
+                    (BranchTreatment::KeepBranchNoData, None)
+                }
+                (Classification::Dependent, Some(_), Some(_)) => {
+                    (BranchTreatment::WishBranch, None)
+                }
+                (Classification::Independent, Some(m), Some(p)) => {
+                    let cost = model.branch_cost(p, m);
+                    let t = match model.decide(p, m) {
+                        PredicationDecision::Predicate => BranchTreatment::Predicate,
+                        PredicationDecision::KeepBranch => BranchTreatment::KeepBranch,
+                    };
+                    (t, Some(cost))
+                }
+            };
+            BranchAdvice {
+                site: stats.site,
+                treatment,
+                misprediction_rate: misp,
+                branch_cost,
+                predicated_cost: model.predicated_cost(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SliceConfig, Thresholds, TwoDProfiler};
+    use bpred::StaticTaken;
+    use btrace::Tracer;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    /// Builds a report with three behaviours: a phased branch (dependent),
+    /// a stable hard one (independent, predication territory), and a stable
+    /// easy one (independent, keep-branch territory). Site 3 never runs.
+    fn scenario() -> (ProfileReport, Vec<Option<f64>>) {
+        let mut prof = TwoDProfiler::new(4, StaticTaken, SliceConfig::new(3_000, 32));
+        let mut rng = 0xABCDEFu64;
+        for i in 0..300_000u64 {
+            let phased = if i < 150_000 {
+                xorshift(&mut rng) % 100 < 97
+            } else {
+                xorshift(&mut rng).is_multiple_of(2)
+            };
+            prof.branch(SiteId(0), phased);
+            prof.branch(SiteId(1), i % 100 < 75); // stable, 25% mispredicted
+            prof.branch(SiteId(2), i % 100 < 99); // stable, 1% mispredicted
+        }
+        let report = prof.finish(Thresholds::paper());
+        let rates = vec![Some(0.75), Some(0.75), Some(0.99), None];
+        (report, rates)
+    }
+
+    #[test]
+    fn treatments_cover_all_three_outcomes() {
+        let (report, rates) = scenario();
+        let advice = advise(&report, &rates, &CostModel::paper_example());
+        assert_eq!(advice[0].treatment, BranchTreatment::WishBranch);
+        // 25% misprediction is far past the 7% crossover
+        assert_eq!(advice[1].treatment, BranchTreatment::Predicate);
+        assert!(advice[1].branch_cost.unwrap() > advice[1].predicated_cost);
+        // 1% misprediction keeps the branch
+        assert_eq!(advice[2].treatment, BranchTreatment::KeepBranch);
+        assert_eq!(advice[3].treatment, BranchTreatment::KeepBranchNoData);
+    }
+
+    #[test]
+    fn wish_branch_never_commits_statically() {
+        let (report, rates) = scenario();
+        let advice = advise(&report, &rates, &CostModel::paper_example());
+        for a in advice {
+            if a.treatment == BranchTreatment::WishBranch {
+                assert!(!a.treatment.is_static_predication());
+                assert!(a.misprediction_rate.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn display_strings_are_distinct() {
+        let all = [
+            BranchTreatment::Predicate,
+            BranchTreatment::KeepBranch,
+            BranchTreatment::WishBranch,
+            BranchTreatment::KeepBranchNoData,
+        ];
+        let mut names: Vec<String> = all.iter().map(|t| t.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "taken rate slot")]
+    fn advise_validates_rate_table() {
+        let (report, _) = scenario();
+        let _ = advise(&report, &[None], &CostModel::paper_example());
+    }
+}

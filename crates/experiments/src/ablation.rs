@@ -1,0 +1,277 @@
+//! Sensitivity ablations for the 2D-profiling algorithm.
+//!
+//! §4.1 of the paper: "We evaluated the sensitivity of 2D-profiling to the
+//! threshold value used to define input-dependent branches and the
+//! threshold values used in the 2D-profiling algorithm" (results in its
+//! extended version). This module reproduces those studies:
+//!
+//! - [`run_thresholds`] sweeps `STD_th` and `PAM_th`;
+//! - [`run_slice`] sweeps the slice length;
+//! - [`run_tests_onoff`] disables each of the MEAN/STD/PAM tests in turn to
+//!   measure its contribution (design-choice ablation).
+
+use crate::tablefmt::pct;
+use crate::{Context, PredictorKind, Table};
+use bpred::Gshare;
+use twodprof_core::{MeanThreshold, Metrics, SliceConfig, Thresholds, TwoDProfiler};
+use workloads::EXTENDED_BENCHMARKS;
+
+/// Mean metrics over the extended benchmarks for an arbitrary thresholds +
+/// slice configuration, against train-vs-ref gshare ground truth.
+fn metrics_with(ctx: &mut Context, thresholds: Thresholds, slice_override: Option<u64>) -> Metrics {
+    let mut all = Vec::new();
+    for b in EXTENDED_BENCHMARKS {
+        let w = ctx.workload(b);
+        let input = w.input_set("train").expect("train exists");
+        let total = ctx.branch_count(&*w, &input);
+        let config = match slice_override {
+            Some(len) => SliceConfig::new(len, (len / 15_000).max(16).min(len - 1)),
+            None => SliceConfig::auto(total),
+        };
+        let mut prof = TwoDProfiler::new(w.sites().len(), Gshare::new_4kb(), config);
+        w.run(&input, &mut prof);
+        let report = prof.finish(thresholds);
+        let gt = ctx.ground_truth(&*w, &["ref"], PredictorKind::Gshare4Kb);
+        all.push(Metrics::score(&report.predicted_mask(), &gt));
+    }
+    Metrics::average(&all)
+}
+
+/// Sweeps `STD_th` and `PAM_th` around the paper's values.
+pub fn run_thresholds(ctx: &mut Context) -> Table {
+    let mut t = Table::new(
+        "Ablation: STD_th / PAM_th sensitivity (mean over 6 benchmarks, train-vs-ref)",
+        &[
+            "STD_th",
+            "PAM_th",
+            "COV-dep",
+            "ACC-dep",
+            "COV-indep",
+            "ACC-indep",
+        ],
+    );
+    for &std_th in &[0.01, 0.02, 0.04, 0.08, 0.16] {
+        for &pam_th in &[0.01, 0.05, 0.15] {
+            let m = metrics_with(
+                ctx,
+                Thresholds {
+                    mean: MeanThreshold::ProgramAccuracy,
+                    std: std_th,
+                    pam: pam_th,
+                },
+                None,
+            );
+            t.row(vec![
+                format!("{std_th}"),
+                format!("{pam_th}"),
+                pct(m.cov_dep),
+                pct(m.acc_dep),
+                pct(m.cov_indep),
+                pct(m.acc_indep),
+            ]);
+        }
+    }
+    t
+}
+
+/// Sweeps the input-dependence *definition* threshold (the 5% accuracy
+/// delta of §2): how large the ground-truth dependent set is, and how
+/// 2D-profiling scores against it, as the definition tightens or loosens.
+pub fn run_delta(ctx: &mut Context) -> Table {
+    let mut t = Table::new(
+        "Ablation: input-dependence delta threshold (mean over 6 benchmarks, train-vs-ref)",
+        &[
+            "delta",
+            "dependent_frac",
+            "COV-dep",
+            "ACC-dep",
+            "COV-indep",
+            "ACC-indep",
+        ],
+    );
+    for &delta in &[0.02, 0.05, 0.10, 0.20] {
+        let mut all = Vec::new();
+        let mut frac_sum = 0.0;
+        let mut frac_n = 0usize;
+        for b in EXTENDED_BENCHMARKS {
+            let w = ctx.workload(b);
+            let train_input = w.input_set("train").expect("train exists");
+            let ref_input = w.input_set("ref").expect("ref exists");
+            let train = ctx.profile(&*w, &train_input, PredictorKind::Gshare4Kb);
+            let reference = ctx.profile(&*w, &ref_input, PredictorKind::Gshare4Kb);
+            let gt =
+                twodprof_core::GroundTruth::from_pair(&train, &reference, delta, ctx.min_exec());
+            if let Some(f) = gt.static_fraction() {
+                frac_sum += f;
+                frac_n += 1;
+            }
+            let report = ctx.profile_2d(&*w, PredictorKind::Gshare4Kb);
+            all.push(Metrics::score(&report.predicted_mask(), &gt));
+        }
+        let m = Metrics::average(&all);
+        t.row(vec![
+            format!("{:.0}%", delta * 100.0),
+            pct((frac_n > 0).then(|| frac_sum / frac_n as f64)),
+            pct(m.cov_dep),
+            pct(m.acc_dep),
+            pct(m.cov_indep),
+            pct(m.acc_indep),
+        ]);
+    }
+    t
+}
+
+/// Sweeps the slice length across two orders of magnitude.
+pub fn run_slice(ctx: &mut Context) -> Table {
+    let mut t = Table::new(
+        "Ablation: slice-length sensitivity (mean over 6 benchmarks, train-vs-ref)",
+        &["slice_len", "COV-dep", "ACC-dep", "COV-indep", "ACC-indep"],
+    );
+    for &len in &[2_000u64, 8_000, 32_000, 128_000, 512_000] {
+        let m = metrics_with(ctx, Thresholds::paper(), Some(len));
+        t.row(vec![
+            len.to_string(),
+            pct(m.cov_dep),
+            pct(m.acc_dep),
+            pct(m.cov_indep),
+            pct(m.acc_indep),
+        ]);
+    }
+    t
+}
+
+/// Disables each test in turn (MEAN only, STD only, no PAM filter, full
+/// algorithm) to show each component's contribution.
+pub fn run_tests_onoff(ctx: &mut Context) -> Table {
+    let mut t = Table::new(
+        "Ablation: MEAN/STD/PAM test contributions (mean over 6 benchmarks)",
+        &[
+            "configuration",
+            "COV-dep",
+            "ACC-dep",
+            "COV-indep",
+            "ACC-indep",
+        ],
+    );
+    // disabling a test = making it never/always pass via extreme thresholds
+    let configs: [(&str, Thresholds); 4] = [
+        ("full (paper)", Thresholds::paper()),
+        (
+            "MEAN-test only (STD off)",
+            Thresholds {
+                mean: MeanThreshold::ProgramAccuracy,
+                std: f64::MAX,
+                pam: 0.05,
+            },
+        ),
+        (
+            "STD-test only (MEAN off)",
+            Thresholds {
+                mean: MeanThreshold::Fixed(0.0),
+                std: 0.04,
+                pam: 0.05,
+            },
+        ),
+        (
+            "no PAM filter",
+            Thresholds {
+                mean: MeanThreshold::ProgramAccuracy,
+                std: 0.04,
+                pam: 0.0,
+            },
+        ),
+    ];
+    for (name, thresholds) in configs {
+        let m = metrics_with(ctx, thresholds, None);
+        t.row(vec![
+            name.to_owned(),
+            pct(m.cov_dep),
+            pct(m.acc_dep),
+            pct(m.cov_indep),
+            pct(m.acc_indep),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Scale;
+
+    #[test]
+    fn tighter_std_threshold_trades_coverage_for_accuracy() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let loose = metrics_with(
+            &mut ctx,
+            Thresholds {
+                mean: MeanThreshold::ProgramAccuracy,
+                std: 0.01,
+                pam: 0.05,
+            },
+            None,
+        );
+        let tight = metrics_with(
+            &mut ctx,
+            Thresholds {
+                mean: MeanThreshold::ProgramAccuracy,
+                std: 0.30,
+                pam: 0.05,
+            },
+            None,
+        );
+        // a very tight STD threshold flags fewer branches (lower or equal
+        // dependent coverage)
+        assert!(
+            tight.cov_dep.unwrap_or(0.0) <= loose.cov_dep.unwrap_or(0.0) + 1e-9,
+            "tight {tight:?} vs loose {loose:?}"
+        );
+    }
+
+    #[test]
+    fn ablation_tables_render() {
+        let mut ctx = Context::new(Scale::Tiny);
+        assert_eq!(run_tests_onoff(&mut ctx).len(), 4);
+        assert_eq!(run_slice(&mut ctx).len(), 5);
+        assert_eq!(run_delta(&mut ctx).len(), 4);
+    }
+
+    #[test]
+    fn looser_delta_defines_more_dependent_branches() {
+        // the dependent fraction must shrink monotonically as the delta
+        // threshold tightens — a definition property, independent of scale
+        let mut ctx = Context::new(Scale::Tiny);
+        let w = ctx.workload("gzip");
+        let train_input = w.input_set("train").unwrap();
+        let ref_input = w.input_set("ref").unwrap();
+        let train = ctx.profile(&*w, &train_input, PredictorKind::Gshare4Kb);
+        let reference = ctx.profile(&*w, &ref_input, PredictorKind::Gshare4Kb);
+        let count = |delta: f64| {
+            twodprof_core::GroundTruth::from_pair(&train, &reference, delta, ctx.min_exec())
+                .dependent_count()
+        };
+        assert!(count(0.02) >= count(0.05));
+        assert!(count(0.05) >= count(0.20));
+    }
+
+    #[test]
+    fn no_pam_filter_never_reduces_dependent_coverage() {
+        // PAM only *filters* candidates: removing it can only flag more
+        // branches, so COV-dep(no PAM) >= COV-dep(full).
+        let mut ctx = Context::new(Scale::Tiny);
+        let full = metrics_with(&mut ctx, Thresholds::paper(), None);
+        let nopam = metrics_with(
+            &mut ctx,
+            Thresholds {
+                mean: MeanThreshold::ProgramAccuracy,
+                std: 0.04,
+                pam: 0.0,
+            },
+            None,
+        );
+        assert!(
+            nopam.cov_dep.unwrap_or(0.0) >= full.cov_dep.unwrap_or(0.0) - 1e-9,
+            "no-PAM {nopam:?} vs full {full:?}"
+        );
+    }
+}

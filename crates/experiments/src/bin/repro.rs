@@ -1,0 +1,188 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale tiny|small|full] [--out DIR] [EXPERIMENT ...]
+//! ```
+//!
+//! Experiments: `fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 fig12 fig13
+//! fig14 fig15 fig16 table1 table2 table4 ablation bias2d predcmp`, or
+//! `all` (the default); `detail <workload>` drills into one benchmark.
+
+use experiments::{
+    ablation, bias_cmp, detail, fig02, fig03, fig04_05, fig06_07, fig08, fig10, fig11_14, fig12_13,
+    fig15, fig16, table1, table2, table4, Context, PredictorKind, Table,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use workloads::Scale;
+
+struct Args {
+    scale: Scale,
+    out: Option<PathBuf>,
+    experiments: Vec<String>,
+}
+
+const ALL: &[&str] = &[
+    "fig2", "fig3", "fig4", "fig5", "table1", "table2", "fig6", "fig7", "fig8", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "ablation", "bias2d", "predcmp",
+];
+
+/// Experiments accepted on the command line but not part of `all` (they
+/// take an argument or are drill-downs).
+const EXTRA: &[&str] = &["detail"];
+
+fn parse_args() -> Result<Args, String> {
+    let mut scale = Scale::Full;
+    let mut out = None;
+    let mut experiments = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                scale = match v.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale {other:?}")),
+                };
+            }
+            "--out" => {
+                out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: repro [--scale tiny|small|full] [--out DIR] [EXPERIMENT ...]\n\
+                     experiments: {} all\n\
+                     drill-down: {} <workload>",
+                    ALL.join(" "),
+                    EXTRA.join(" ")
+                ));
+            }
+            "all" => experiments.extend(ALL.iter().map(|s| (*s).to_owned())),
+            e if ALL.contains(&e) => experiments.push(e.to_owned()),
+            "detail" => {
+                let w = it.next().ok_or("detail needs a workload name")?;
+                experiments.push(format!("detail:{w}"));
+            }
+            other => return Err(format!("unknown experiment {other:?} (try --help)")),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.extend(ALL.iter().map(|s| (*s).to_owned()));
+    }
+    Ok(Args {
+        scale,
+        out,
+        experiments,
+    })
+}
+
+fn emit(table: &Table, name: &str, out: &Option<PathBuf>) {
+    println!("{}", table.render());
+    if let Some(dir) = out {
+        if let Err(e) = table.write_csv(dir, name) {
+            eprintln!("warning: failed to write {name}.csv: {e}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ctx = Context::new(args.scale);
+    println!(
+        "# 2D-profiling reproduction — scale {:?}, {} experiment(s)\n",
+        args.scale,
+        args.experiments.len()
+    );
+    for e in &args.experiments {
+        let start = std::time::Instant::now();
+        match e.as_str() {
+            "fig2" => {
+                emit(&fig02::run(), "fig2", &args.out);
+                println!(
+                    "crossover misprediction rate: {:.2}% (paper: ~7%)\n",
+                    fig02::crossover() * 100.0
+                );
+            }
+            "fig3" => emit(&fig03::run(&mut ctx), "fig3", &args.out),
+            "fig4" => emit(&fig04_05::run_fig4(&mut ctx), "fig4", &args.out),
+            "fig5" => emit(&fig04_05::run_fig5(&mut ctx), "fig5", &args.out),
+            "table1" => emit(&table1::run(&mut ctx), "table1", &args.out),
+            "table2" => emit(&table2::run(&mut ctx), "table2", &args.out),
+            "fig6" | "fig7" => {
+                // both example-branch tables are produced together; emit the
+                // requested one
+                let tables = fig06_07::run(&mut ctx);
+                let idx = usize::from(e == "fig7");
+                emit(&tables[idx], e, &args.out);
+            }
+            "fig8" => {
+                emit(&fig08::run(&mut ctx, "gap"), "fig8", &args.out);
+                let pair = fig08::compute(&mut ctx, "gap");
+                let (dep, indep) = fig08::phase_summary(&pair);
+                let fmt = |ps: &[twodprof_core::Phase]| {
+                    ps.iter()
+                        .map(|p| format!("[{}..{}) {:.2}", p.start, p.end, p.mean))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                };
+                println!(
+                    "detected phases — dependent branch: {} | independent branch: {}
+",
+                    fmt(&dep),
+                    fmt(&indep)
+                );
+            }
+            "fig10" => emit(&fig10::run(&mut ctx), "fig10", &args.out),
+            "fig11" => emit(
+                &fig11_14::run(&mut ctx, PredictorKind::Gshare4Kb),
+                "fig11",
+                &args.out,
+            ),
+            "fig12" => emit(&fig12_13::run_fig12(&mut ctx), "fig12", &args.out),
+            "fig13" => emit(&fig12_13::run_fig13(&mut ctx), "fig13", &args.out),
+            "fig14" => emit(
+                &fig11_14::run(&mut ctx, PredictorKind::Perceptron16Kb),
+                "fig14",
+                &args.out,
+            ),
+            "fig15" => emit(&fig15::run(&mut ctx), "fig15", &args.out),
+            "table4" => emit(&table4::run(&mut ctx), "table4", &args.out),
+            "fig16" => emit(&fig16::run(&mut ctx, 7), "fig16", &args.out),
+            "ablation" => {
+                emit(
+                    &ablation::run_thresholds(&mut ctx),
+                    "ablation_thresholds",
+                    &args.out,
+                );
+                emit(&ablation::run_slice(&mut ctx), "ablation_slice", &args.out);
+                emit(
+                    &ablation::run_tests_onoff(&mut ctx),
+                    "ablation_tests",
+                    &args.out,
+                );
+                emit(&ablation::run_delta(&mut ctx), "ablation_delta", &args.out);
+            }
+            "bias2d" => emit(&bias_cmp::run(&mut ctx), "bias2d", &args.out),
+            "predcmp" => emit(
+                &experiments::predictors_cmp::run(&mut ctx),
+                "predcmp",
+                &args.out,
+            ),
+            other if other.starts_with("detail:") => {
+                let w = &other["detail:".len()..];
+                emit(&detail::run(&mut ctx, w), &format!("detail_{w}"), &args.out);
+            }
+            other => unreachable!("validated experiment {other}"),
+        }
+        eprintln!("[{e} done in {:.1?}]", start.elapsed());
+    }
+    ExitCode::SUCCESS
+}

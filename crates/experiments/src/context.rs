@@ -1,0 +1,237 @@
+//! Shared experiment context: predictor configurations, profile caching and
+//! ground-truth construction.
+
+use bpred::{AccuracyProfile, BranchPredictor, Gshare, Perceptron, PredictorSim};
+use btrace::CountingTracer;
+use std::collections::HashMap;
+use twodprof_core::{
+    GroundTruth, ProfileReport, SliceConfig, Thresholds, TwoDProfiler, INPUT_DEPENDENCE_DELTA,
+};
+use workloads::{InputSet, Scale, Workload};
+
+/// The predictor configurations used by the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// 4 KB gshare, 14-bit history — the profiling/baseline predictor.
+    Gshare4Kb,
+    /// 16 KB perceptron, 457 entries, 36-bit history — the alternative
+    /// target-machine predictor of §5.3.
+    Perceptron16Kb,
+}
+
+impl PredictorKind {
+    /// Instantiates the predictor.
+    pub fn build(self) -> Box<dyn BranchPredictor> {
+        match self {
+            PredictorKind::Gshare4Kb => Box::new(Gshare::new_4kb()),
+            PredictorKind::Perceptron16Kb => Box::new(Perceptron::new_16kb()),
+        }
+    }
+
+    /// Short label used in table headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            PredictorKind::Gshare4Kb => "4KB-gshare",
+            PredictorKind::Perceptron16Kb => "16KB-percep",
+        }
+    }
+}
+
+/// Shared state for all experiments: the workload scale, the
+/// input-dependence parameters, and a cache of per-run accuracy profiles so
+/// each (workload, input, predictor) trio is simulated exactly once.
+pub struct Context {
+    scale: Scale,
+    min_exec: u64,
+    profiles: HashMap<(String, String, PredictorKind), AccuracyProfile>,
+    counts: HashMap<(String, String), u64>,
+}
+
+impl Context {
+    /// Creates a context at the given workload scale.
+    pub fn new(scale: Scale) -> Self {
+        // the eligibility floor scales with run length, mirroring how the
+        // paper's 1000-executions threshold relates to its 15M-branch slices
+        let min_exec = match scale {
+            Scale::Tiny => 50,
+            Scale::Small => 150,
+            Scale::Full => 400,
+        };
+        Self {
+            scale,
+            min_exec,
+            profiles: HashMap::new(),
+            counts: HashMap::new(),
+        }
+    }
+
+    /// The context's workload scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Minimum per-run executions for a branch to enter ground truth.
+    pub fn min_exec(&self) -> u64 {
+        self.min_exec
+    }
+
+    /// The full workload suite at this context's scale.
+    pub fn suite(&self) -> Vec<Box<dyn Workload>> {
+        workloads::suite(self.scale)
+    }
+
+    /// One workload by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is not in the suite.
+    pub fn workload(&self, name: &str) -> Box<dyn Workload> {
+        workloads::by_name(name, self.scale).unwrap_or_else(|| panic!("unknown workload {name:?}"))
+    }
+
+    /// Total dynamic conditional branches of `(workload, input)`, cached.
+    pub fn branch_count(&mut self, w: &dyn Workload, input: &InputSet) -> u64 {
+        let key = (w.name().to_owned(), input.name.to_owned());
+        if let Some(&c) = self.counts.get(&key) {
+            return c;
+        }
+        let mut c = CountingTracer::new();
+        w.run(input, &mut c);
+        let n = c.count();
+        self.counts.insert(key, n);
+        n
+    }
+
+    /// Per-branch accuracy profile of `(workload, input)` under `kind`,
+    /// cached across experiments.
+    pub fn profile(
+        &mut self,
+        w: &dyn Workload,
+        input: &InputSet,
+        kind: PredictorKind,
+    ) -> AccuracyProfile {
+        let key = (w.name().to_owned(), input.name.to_owned(), kind);
+        if let Some(p) = self.profiles.get(&key) {
+            return p.clone();
+        }
+        let mut sim = PredictorSim::new(w.sites().len(), kind.build());
+        w.run(input, &mut sim);
+        let profile = sim.into_profile();
+        self.profiles.insert(key, profile.clone());
+        profile
+    }
+
+    /// Ground truth for `workload` from the `train` input against each of
+    /// `others`, unioned (the paper's `base-ext1-k` sets), under `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload lacks a `train` input or any of the named
+    /// inputs.
+    pub fn ground_truth(
+        &mut self,
+        w: &dyn Workload,
+        others: &[&str],
+        kind: PredictorKind,
+    ) -> GroundTruth {
+        let train_input = w.input_set("train").expect("train input exists");
+        let train = self.profile(w, &train_input, kind);
+        let min_exec = self.min_exec;
+        let mut acc: Option<GroundTruth> = None;
+        for name in others {
+            let input = w
+                .input_set(name)
+                .unwrap_or_else(|| panic!("{} lacks input {name:?}", w.name()));
+            let other = self.profile(w, &input, kind);
+            let gt = GroundTruth::from_pair(&train, &other, INPUT_DEPENDENCE_DELTA, min_exec);
+            acc = Some(match acc {
+                Some(prev) => prev.union(&gt),
+                None => gt,
+            });
+        }
+        acc.expect("at least one comparison input")
+    }
+
+    /// Names of a workload's extra (`ext-*`) input sets, in order.
+    pub fn ext_inputs(&self, w: &dyn Workload) -> Vec<&'static str> {
+        w.input_sets()
+            .iter()
+            .map(|i| i.name)
+            .filter(|n| n.starts_with("ext-"))
+            .collect()
+    }
+
+    /// Runs 2D-profiling on the workload's `train` input with the given
+    /// profiling predictor, using an auto-scaled slice configuration and the
+    /// paper's thresholds.
+    pub fn profile_2d(&mut self, w: &dyn Workload, kind: PredictorKind) -> ProfileReport {
+        let input = w.input_set("train").expect("train input exists");
+        let total = self.branch_count(w, &input);
+        let config = SliceConfig::auto(total);
+        let mut prof = TwoDProfiler::new(w.sites().len(), kind.build(), config);
+        w.run(&input, &mut prof);
+        prof.finish(Thresholds::paper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrace::SiteId;
+
+    #[test]
+    fn profile_cache_returns_identical_results() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let w = ctx.workload("eon");
+        let input = w.input_set("train").unwrap();
+        let a = ctx.profile(&*w, &input, PredictorKind::Gshare4Kb);
+        let b = ctx.profile(&*w, &input, PredictorKind::Gshare4Kb);
+        assert_eq!(a, b);
+        assert!(a.total_executions() > 1_000);
+    }
+
+    #[test]
+    fn branch_count_matches_profile_total() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let w = ctx.workload("parser");
+        let input = w.input_set("train").unwrap();
+        let count = ctx.branch_count(&*w, &input);
+        let profile = ctx.profile(&*w, &input, PredictorKind::Gshare4Kb);
+        assert_eq!(count, profile.total_executions());
+    }
+
+    #[test]
+    fn ground_truth_union_is_monotone() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let w = ctx.workload("gzip");
+        let base = ctx.ground_truth(&*w, &["ref"], PredictorKind::Gshare4Kb);
+        let wider = ctx.ground_truth(&*w, &["ref", "ext-1", "ext-2"], PredictorKind::Gshare4Kb);
+        assert!(wider.dependent_count() >= base.dependent_count());
+        for (site, label) in base.iter() {
+            if label == twodprof_core::InputDependence::Dependent {
+                assert!(wider.is_dependent(site));
+            }
+        }
+    }
+
+    #[test]
+    fn profile_2d_covers_all_sites() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let w = ctx.workload("gap");
+        let report = ctx.profile_2d(&*w, PredictorKind::Gshare4Kb);
+        assert_eq!(report.num_sites(), w.sites().len());
+        assert!(report.program_accuracy().unwrap() > 0.5);
+        // at least one site accumulated slices
+        assert!((0..report.num_sites()).any(|i| report.stats(SiteId(i as u32)).slices > 10));
+    }
+
+    #[test]
+    fn predictor_kinds_build_the_paper_configs() {
+        assert_eq!(PredictorKind::Gshare4Kb.build().name(), "gshare-4KB");
+        assert_eq!(
+            PredictorKind::Perceptron16Kb.build().name(),
+            "perceptron-16KB"
+        );
+        assert_eq!(PredictorKind::Gshare4Kb.label(), "4KB-gshare");
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 2: execution time of predicated vs. normal branch code as the
+//! misprediction rate sweeps from 0 to 30%.
+
+use crate::Table;
+use twodprof_core::CostModel;
+
+/// Builds the Figure 2 sweep with the paper's parameters
+/// (`misp_penalty` 30, `exec_T`=`exec_N`=3, `exec_pred` 5) and reports the
+/// crossover.
+pub fn run() -> Table {
+    let model = CostModel::paper_example();
+    let mut t = Table::new(
+        "Figure 2: branch vs. predicated execution cost (cycles)",
+        &["misp_rate", "normal_branch", "predicated"],
+    );
+    for i in 0..=30 {
+        let rate = i as f64 / 100.0;
+        t.row(vec![
+            format!("{i}%"),
+            format!("{:.2}", model.branch_cost(0.5, rate)),
+            format!("{:.2}", model.predicated_cost()),
+        ]);
+    }
+    t
+}
+
+/// The crossover misprediction rate under the paper's parameters.
+pub fn crossover() -> f64 {
+    CostModel::paper_example()
+        .crossover_misp_rate(0.5)
+        .expect("the paper's parameters have a crossover")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_31_points_and_crossover_near_7pct() {
+        let t = run();
+        assert_eq!(t.len(), 31);
+        let x = crossover();
+        assert!((0.06..0.08).contains(&x), "paper reports ~7%, got {x}");
+    }
+
+    #[test]
+    fn costs_flip_across_the_crossover() {
+        let m = twodprof_core::CostModel::paper_example();
+        assert!(m.branch_cost(0.5, 0.04) < m.predicated_cost());
+        assert!(m.branch_cost(0.5, 0.09) > m.predicated_cost());
+    }
+}

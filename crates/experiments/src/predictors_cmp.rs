@@ -1,0 +1,79 @@
+//! Extension experiment: how the *target predictor* shapes the set of
+//! input-dependent branches.
+//!
+//! §5.3 compares gshare and perceptron targets; this extension adds the
+//! stronger TAGE and the loop-augmented gshare from `bpred`, measuring per
+//! workload (train vs. ref): the overall misprediction rate and the number
+//! of input-dependent branches each target defines. The paper's observation
+//! — better predictors define fewer input-dependent branches — generalizes
+//! or breaks per predictor family, which this table makes visible.
+
+use crate::tablefmt::pct;
+use crate::{Context, Table};
+use bpred::{BranchPredictor, Gshare, GshareWithLoop, Perceptron, PredictorSim, Tage};
+use twodprof_core::{GroundTruth, INPUT_DEPENDENCE_DELTA};
+
+fn build(kind: &str) -> Box<dyn BranchPredictor> {
+    match kind {
+        "gshare" => Box::new(Gshare::new_4kb()),
+        "perceptron" => Box::new(Perceptron::new_16kb()),
+        "tage" => Box::new(Tage::new_8kb()),
+        _ => Box::new(GshareWithLoop::new_4kb()),
+    }
+}
+
+/// The predictor families compared.
+pub const TARGETS: &[&str] = &["gshare", "gshare+loop", "perceptron", "tage"];
+
+/// Renders the comparison: per workload and target, ref misprediction rate
+/// and train-vs-ref input-dependent count.
+pub fn run(ctx: &mut Context) -> Table {
+    let mut header = vec!["benchmark".to_owned()];
+    for t in TARGETS {
+        header.push(format!("misp({t})"));
+        header.push(format!("dep({t})"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Extension: input-dependence under different target predictors (train vs ref)",
+        &header_refs,
+    );
+    for w in ctx.suite() {
+        let train_input = w.input_set("train").expect("train exists");
+        let ref_input = w.input_set("ref").expect("ref exists");
+        let mut row = vec![w.name().to_owned()];
+        for target in TARGETS {
+            // run both inputs under this predictor (uncached: the context
+            // cache only knows the two paper predictors)
+            let mut train_sim = PredictorSim::new(w.sites().len(), build(target));
+            w.run(&train_input, &mut train_sim);
+            let train = train_sim.into_profile();
+            let mut ref_sim = PredictorSim::new(w.sites().len(), build(target));
+            w.run(&ref_input, &mut ref_sim);
+            let reference = ref_sim.into_profile();
+            let gt =
+                GroundTruth::from_pair(&train, &reference, INPUT_DEPENDENCE_DELTA, ctx.min_exec());
+            row.push(pct(reference.overall_misprediction_rate()));
+            row.push(gt.dependent_count().to_string());
+        }
+        table.row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Scale;
+
+    #[test]
+    fn all_targets_produce_rows() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let t = run(&mut ctx);
+        assert_eq!(t.len(), 12);
+        let rendered = t.render();
+        for target in TARGETS {
+            assert!(rendered.contains(&format!("misp({target})")));
+        }
+    }
+}

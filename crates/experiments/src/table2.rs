@@ -1,0 +1,56 @@
+//! Table 2: evaluated benchmarks, input sets and their characteristics —
+//! dynamic branch counts, modeled instruction counts, and static
+//! conditional-branch counts (input-dependent / total).
+
+use crate::tablefmt::count;
+use crate::{Context, PredictorKind, Table};
+
+/// Renders Table 2. Instruction counts are modeled as
+/// `branches x instructions_per_branch` (see `DESIGN.md`: the profiling
+/// algorithm never consumes instruction counts; they are reporting
+/// cosmetics in the paper).
+pub fn run(ctx: &mut Context) -> Table {
+    let mut t = Table::new(
+        "Table 2: benchmarks, input sets and characteristics",
+        &[
+            "benchmark",
+            "input",
+            "inst.count(modeled)",
+            "cond.br.count",
+            "static.executed",
+            "input-dep",
+            "static.total",
+        ],
+    );
+    for w in ctx.suite() {
+        let gt = ctx.ground_truth(&*w, &["ref"], PredictorKind::Gshare4Kb);
+        for input in w.input_sets().iter().take(2) {
+            let branches = ctx.branch_count(&*w, input);
+            let profile = ctx.profile(&*w, input, PredictorKind::Gshare4Kb);
+            let executed = profile.iter_executed().count();
+            t.row(vec![
+                w.name().to_owned(),
+                input.name.to_owned(),
+                count((branches as f64 * w.instructions_per_branch()) as u64),
+                count(branches),
+                executed.to_string(),
+                gt.dependent_count().to_string(),
+                w.sites().len().to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Scale;
+
+    #[test]
+    fn two_rows_per_benchmark() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let t = run(&mut ctx);
+        assert_eq!(t.len(), 24);
+    }
+}

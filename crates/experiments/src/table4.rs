@@ -1,0 +1,71 @@
+//! Table 4: the extra input sets used in §5.2/§5.3 and their
+//! characteristics — branch counts, misprediction rates under both
+//! predictors, and the number of input-dependent branches each induces
+//! with respect to the train input.
+
+use crate::tablefmt::{count, pct};
+use crate::{Context, PredictorKind, Table};
+use workloads::EXTENDED_BENCHMARKS;
+
+/// Renders Table 4.
+pub fn run(ctx: &mut Context) -> Table {
+    let mut t = Table::new(
+        "Table 4: extra input sets and their characteristics",
+        &[
+            "benchmark",
+            "input",
+            "description",
+            "branch_count",
+            "misp(gshare)",
+            "misp(percep)",
+            "input-dep(gshare)",
+            "input-dep(percep)",
+        ],
+    );
+    for b in EXTENDED_BENCHMARKS {
+        let w = ctx.workload(b);
+        for input in w.input_sets() {
+            if !input.name.starts_with("ext-") {
+                continue;
+            }
+            let branches = ctx.branch_count(&*w, &input);
+            let gsh = ctx.profile(&*w, &input, PredictorKind::Gshare4Kb);
+            let per = ctx.profile(&*w, &input, PredictorKind::Perceptron16Kb);
+            let dep_g = ctx
+                .ground_truth(&*w, &[input.name], PredictorKind::Gshare4Kb)
+                .dependent_count();
+            let dep_p = ctx
+                .ground_truth(&*w, &[input.name], PredictorKind::Perceptron16Kb)
+                .dependent_count();
+            t.row(vec![
+                w.name().to_owned(),
+                input.name.to_owned(),
+                input.description.to_owned(),
+                count(branches),
+                pct(gsh.overall_misprediction_rate()),
+                pct(per.overall_misprediction_rate()),
+                dep_g.to_string(),
+                dep_p.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Scale;
+
+    #[test]
+    fn covers_every_ext_input_of_extended_benchmarks() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let expected: usize = EXTENDED_BENCHMARKS
+            .iter()
+            .map(|b| ctx.ext_inputs(&*ctx.workload(b)).len())
+            .sum();
+        let t = run(&mut ctx);
+        assert_eq!(t.len(), expected);
+        assert!(expected >= 24, "paper-scale ext coverage, got {expected}");
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end tests of the `repro` command-line binary.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn fig2_runs_and_reports_the_crossover() {
+    let out = repro().args(["--scale", "tiny", "fig2"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Figure 2"));
+    assert!(
+        stdout.contains("6.67%"),
+        "crossover line missing:\n{stdout}"
+    );
+}
+
+#[test]
+fn tiny_scale_core_figures_run() {
+    let out = repro()
+        .args(["--scale", "tiny", "fig3", "table1", "fig10"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for needle in ["Figure 3", "Table 1", "Figure 10", "COV-dep"] {
+        assert!(stdout.contains(needle), "missing {needle}:\n{stdout}");
+    }
+}
+
+#[test]
+fn detail_drilldown_runs() {
+    let out = repro()
+        .args(["--scale", "tiny", "detail", "gzip"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("hash_chain_exit"));
+    assert!(stdout.contains("ground_truth"));
+}
+
+#[test]
+fn csv_output_lands_in_the_out_dir() {
+    let dir = std::env::temp_dir().join(format!("twodprof_cli_test_{}", std::process::id()));
+    let out = repro()
+        .args(["--scale", "tiny", "--out"])
+        .arg(&dir)
+        .arg("fig2")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let csv = std::fs::read_to_string(dir.join("fig2.csv")).unwrap();
+    assert!(csv.starts_with("misp_rate,normal_branch,predicated"));
+    assert_eq!(csv.lines().count(), 32, "header + 31 sweep points");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_experiment_fails_with_message() {
+    let out = repro().args(["no-such-thing"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown experiment"));
+}
+
+#[test]
+fn help_lists_experiments() {
+    let out = repro().arg("--help").output().unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    for needle in ["fig2", "fig16", "ablation", "detail"] {
+        assert!(stderr.contains(needle), "help missing {needle}:\n{stderr}");
+    }
+}

@@ -1,0 +1,854 @@
+//! `bzip2` analogue: block-sorting compression.
+//!
+//! The real bzip2 pipeline — run-length pre-pass, Burrows–Wheeler transform,
+//! move-to-front, zero run-length coding, Huffman coding — implemented per
+//! block. The branch behaviour is dominated by the BWT sort comparisons and
+//! the MTF search loop, both of which depend directly on the input data's
+//! structure: text exits the MTF scan near the front, random data scans
+//! deep; smooth graphic/video data needs many more suffix-doubling rounds
+//! than text. This is what makes bzip2 the most input-dependent benchmark in
+//! the paper's Figure 3.
+
+use crate::datagen::{generate, DataKind};
+use crate::{InputSet, Scale, Workload};
+use btrace::{SiteDecl, Tracer};
+
+declare_sites! {
+    S_BLOCK_LOOP => "block_loop" (Loop),
+    S_RLE_RUN => "rle1_run_extends" (Loop),
+    S_RLE_LONG => "rle1_run_reportable" (Guard),
+    S_SA_ROUND => "bwt_doubling_round" (Loop),
+    S_SA_CMP1 => "bwt_rank_compare" (Search),
+    S_SA_CMP2 => "bwt_rank_tiebreak" (Search),
+    S_SA_UNIQUE => "bwt_ranks_all_unique" (Guard),
+    S_MTF_SCAN => "mtf_scan_loop" (Search),
+    S_MTF_FRONT => "mtf_hit_front" (Guard),
+    S_ZRL_ZERO => "zero_run_extends" (Loop),
+    S_HUF_PICK => "huffman_pick_smaller" (Search),
+    S_HUF_LEAF => "huffman_node_is_leaf" (TypeCheck),
+    S_GROUP_LOOP => "selector_group_loop" (Loop),
+    S_TABLE_BETTER => "selector_table_better" (Search),
+}
+
+/// Block size of the compressor (bzip2's `-1` level uses 100 kB; scaled down
+/// to keep runs in the millions of branches).
+pub const BLOCK_SIZE: usize = 2048;
+
+/// Run-length pre-pass (bzip2's RLE1): runs of 4+ identical bytes are
+/// shortened to 4 bytes plus a count. Returns the transformed block.
+pub fn rle1(block: &[u8], t: &mut dyn Tracer) -> Vec<u8> {
+    let mut out = Vec::with_capacity(block.len());
+    let mut i = 0usize;
+    while i < block.len() {
+        let b = block[i];
+        let mut run = 1usize;
+        while br!(
+            t,
+            S_RLE_RUN,
+            i + run < block.len() && block[i + run] == b && run < 255 + 4
+        ) {
+            run += 1;
+        }
+        if br!(t, S_RLE_LONG, run >= 4) {
+            out.extend_from_slice(&[b, b, b, b, (run - 4) as u8]);
+        } else {
+            out.extend(std::iter::repeat_n(b, run));
+        }
+        i += run;
+    }
+    out
+}
+
+/// Burrows–Wheeler transform via prefix doubling. Returns the transformed
+/// bytes and the primary index.
+pub fn bwt(data: &[u8], t: &mut dyn Tracer) -> (Vec<u8>, usize) {
+    let n = data.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let mut rank: Vec<u32> = data.iter().map(|&b| b as u32).collect();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut k = 1usize;
+    let mut tmp = vec![0u32; n];
+    while br!(t, S_SA_ROUND, k < n) {
+        let key = |i: u32| -> (u32, u32) {
+            let a = rank[i as usize];
+            let b = rank[(i as usize + k) % n];
+            (a, b)
+        };
+        order.sort_by(|&a, &b| {
+            let (a1, a2) = key(a);
+            let (b1, b2) = key(b);
+            if br!(t, S_SA_CMP1, a1 != b1) {
+                a1.cmp(&b1)
+            } else if br!(t, S_SA_CMP2, a2 != b2) {
+                a2.cmp(&b2)
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        tmp[order[0] as usize] = 0;
+        let mut distinct = 1u32;
+        for w in 0..n - 1 {
+            let (a, b) = (order[w], order[w + 1]);
+            let equal = key(a) == key(b);
+            tmp[b as usize] = if equal { distinct - 1 } else { distinct };
+            if !equal {
+                distinct += 1;
+            }
+        }
+        std::mem::swap(&mut rank, &mut tmp);
+        if br!(t, S_SA_UNIQUE, distinct as usize == n) {
+            break;
+        }
+        k *= 2;
+    }
+    // order holds rotation start indices in sorted order (ties already
+    // resolved when ranks became unique)
+    let mut out = Vec::with_capacity(n);
+    let mut primary = 0usize;
+    for (row, &start) in order.iter().enumerate() {
+        let s = start as usize;
+        out.push(data[(s + n - 1) % n]);
+        if s == 0 {
+            primary = row;
+        }
+    }
+    (out, primary)
+}
+
+/// Move-to-front coding with an instrumented scan loop.
+pub fn mtf(data: &[u8], t: &mut dyn Tracer) -> Vec<u8> {
+    let mut list: Vec<u8> = (0..=255).collect();
+    let mut out = Vec::with_capacity(data.len());
+    for &b in data {
+        if br!(t, S_MTF_FRONT, list[0] == b) {
+            out.push(0);
+            continue;
+        }
+        let mut pos = 1usize;
+        while br!(t, S_MTF_SCAN, list[pos] != b) {
+            pos += 1;
+        }
+        list.copy_within(0..pos, 1);
+        list[0] = b;
+        out.push(pos as u8);
+    }
+    out
+}
+
+/// The RUNA zero-run symbol (binary digit 1 of the run length, LSB first).
+pub const RUNA: u16 = 256;
+/// The RUNB zero-run symbol (binary digit 0 of the run length, LSB first).
+pub const RUNB: u16 = 257;
+
+/// Zero run-length coding (bzip2's RUNA/RUNB stage): runs of MTF zeros are
+/// replaced by their length in LSB-first binary written with RUNA (1) and
+/// RUNB (0) digits; the final digit is always RUNA, so runs self-delimit
+/// against the following non-zero symbol.
+pub fn zrl_encode(mtf_out: &[u8], t: &mut dyn Tracer) -> Vec<u16> {
+    let mut symbols: Vec<u16> = Vec::with_capacity(mtf_out.len());
+    let mut i = 0usize;
+    while i < mtf_out.len() {
+        if mtf_out[i] == 0 {
+            let mut run = 1usize;
+            while br!(
+                t,
+                S_ZRL_ZERO,
+                i + run < mtf_out.len() && mtf_out[i + run] == 0
+            ) {
+                run += 1;
+            }
+            let mut r = run;
+            while r > 0 {
+                symbols.push(if r % 2 == 1 { RUNA } else { RUNB });
+                r /= 2;
+            }
+            i += run;
+        } else {
+            symbols.push(mtf_out[i] as u16);
+            i += 1;
+        }
+    }
+    symbols
+}
+
+/// Inverse of [`zrl_encode`].
+pub fn zrl_decode(symbols: &[u16]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(symbols.len());
+    let mut i = 0usize;
+    while i < symbols.len() {
+        if symbols[i] >= RUNA {
+            let mut run = 0usize;
+            let mut bit = 0u32;
+            while i < symbols.len() && symbols[i] >= RUNA {
+                if symbols[i] == RUNA {
+                    run += 1usize << bit;
+                }
+                bit += 1;
+                i += 1;
+            }
+            out.extend(std::iter::repeat_n(0u8, run));
+        } else {
+            out.push(symbols[i] as u8);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Zero run-length coding followed by Huffman code-length computation.
+/// Returns the total compressed size estimate in bits.
+fn entropy_stage(mtf_out: &[u8], t: &mut dyn Tracer) -> u64 {
+    let symbols = zrl_encode(mtf_out, t);
+    // Two Huffman tables (bzip2 uses up to six): one trained on the first
+    // half of the block, one on the second; each 50-symbol group picks the
+    // cheaper table, as bzip2's selector stage does.
+    let mut freq_a = [0u64; 258];
+    let mut freq_b = [0u64; 258];
+    for (k, &s) in symbols.iter().enumerate() {
+        if k < symbols.len() / 2 {
+            freq_a[s as usize] += 1;
+        } else {
+            freq_b[s as usize] += 1;
+        }
+    }
+    let len_a = huffman_lengths(&freq_a, t);
+    let len_b = huffman_lengths(&freq_b, t);
+    let cost = |lengths: &[u8], group: &[u16]| -> u64 {
+        group
+            .iter()
+            // untrained symbols cost the escape length 15, as in bzip2
+            .map(|&s| match lengths[s as usize] {
+                0 => 15,
+                l => l as u64,
+            })
+            .sum()
+    };
+    let mut bits = 0u64;
+    let mut start = 0usize;
+    while br!(t, S_GROUP_LOOP, start < symbols.len()) {
+        let group = &symbols[start..(start + 50).min(symbols.len())];
+        let (ca, cb) = (cost(&len_a, group), cost(&len_b, group));
+        bits += if br!(t, S_TABLE_BETTER, ca <= cb) {
+            ca
+        } else {
+            cb
+        };
+        start += 50;
+    }
+    bits
+}
+
+/// Computes Huffman code lengths with a simple two-queue algorithm over
+/// sorted leaf frequencies.
+fn huffman_lengths(freq: &[u64], t: &mut dyn Tracer) -> Vec<u8> {
+    #[derive(Clone)]
+    struct Node {
+        weight: u64,
+        kids: Vec<usize>, // leaf symbol indices under this node
+    }
+    let mut leaves: Vec<Node> = freq
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0)
+        .map(|(s, &f)| Node {
+            weight: f,
+            kids: vec![s],
+        })
+        .collect();
+    let mut lengths = vec![0u8; freq.len()];
+    if leaves.len() <= 1 {
+        if let Some(n) = leaves.first() {
+            lengths[n.kids[0]] = 1;
+        }
+        return lengths;
+    }
+    leaves.sort_by_key(|n| n.weight);
+    let mut merged: std::collections::VecDeque<Node> = std::collections::VecDeque::new();
+    let mut leaf_q: std::collections::VecDeque<Node> = leaves.into();
+    let take = |t: &mut dyn Tracer,
+                leaf_q: &mut std::collections::VecDeque<Node>,
+                merged: &mut std::collections::VecDeque<Node>|
+     -> Node {
+        let from_leaf = match (leaf_q.front(), merged.front()) {
+            (Some(l), Some(m)) => l.weight <= m.weight,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if br!(t, S_HUF_PICK, from_leaf) {
+            leaf_q.pop_front().expect("checked front")
+        } else {
+            merged.pop_front().expect("checked front")
+        }
+    };
+    while leaf_q.len() + merged.len() > 1 {
+        let a = take(t, &mut leaf_q, &mut merged);
+        let b = take(t, &mut leaf_q, &mut merged);
+        for node in [&a, &b] {
+            // every symbol under a merged node gains one bit of depth
+            br!(t, S_HUF_LEAF, node.kids.len() == 1);
+            for &s in &node.kids {
+                lengths[s] += 1;
+            }
+        }
+        let mut kids = a.kids;
+        kids.extend(b.kids);
+        merged.push_back(Node {
+            weight: a.weight + b.weight,
+            kids,
+        });
+    }
+    lengths
+}
+
+/// Inverse of [`rle1`]: expands `[b b b b count]` groups back into runs.
+pub fn rle1_decode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut i = 0usize;
+    // length of the current literal run *in the encoded stream* — the
+    // output tail cannot be used for detection because a decoded long run
+    // would make the next literal of the same byte look like a 4-run
+    let mut run = 0usize;
+    let mut prev: Option<u8> = None;
+    while i < data.len() {
+        let b = data[i];
+        i += 1;
+        out.push(b);
+        if prev == Some(b) {
+            run += 1;
+        } else {
+            run = 1;
+            prev = Some(b);
+        }
+        if run == 4 {
+            // a literal run of exactly 4 is always followed by its extension
+            // count in the encoded stream
+            let extra = data[i] as usize;
+            i += 1;
+            out.extend(std::iter::repeat_n(b, extra));
+            run = 0;
+            prev = None;
+        }
+    }
+    out
+}
+
+/// Inverse of [`mtf`].
+pub fn mtf_decode(codes: &[u8]) -> Vec<u8> {
+    let mut list: Vec<u8> = (0..=255).collect();
+    let mut out = Vec::with_capacity(codes.len());
+    for &pos in codes {
+        let b = list[pos as usize];
+        list.copy_within(0..pos as usize, 1);
+        list[0] = b;
+        out.push(b);
+    }
+    out
+}
+
+/// Inverse Burrows–Wheeler transform via the standard LF mapping.
+pub fn inverse_bwt(last_column: &[u8], primary: usize) -> Vec<u8> {
+    let n = last_column.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // counts[c] = number of bytes < c in the last column
+    let mut counts = [0usize; 257];
+    for &b in last_column {
+        counts[b as usize + 1] += 1;
+    }
+    for c in 1..257 {
+        counts[c] += counts[c - 1];
+    }
+    // next[i]: row of the rotation that starts one position later
+    let mut occ = [0usize; 256];
+    let mut lf = vec![0usize; n];
+    for (row, &b) in last_column.iter().enumerate() {
+        lf[row] = counts[b as usize] + occ[b as usize];
+        occ[b as usize] += 1;
+    }
+    // walk backwards from the primary row, reconstructing right to left
+    let mut out = vec![0u8; n];
+    let mut row = primary;
+    for slot in out.iter_mut().rev() {
+        *slot = last_column[row];
+        row = lf[row];
+    }
+    out
+}
+
+/// One fully decodable compressed block: the ZRL/MTF symbol stream plus the
+/// BWT primary index (the bit-level Huffman packing is modeled by
+/// [`compress`]'s size accounting; the symbol stream is the information
+/// content).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// BWT primary row index.
+    pub primary: u32,
+    /// ZRL-coded MTF symbols (0–255 literals, RUNA/RUNB run digits).
+    pub symbols: Vec<u16>,
+}
+
+/// Compresses one block into decodable form.
+pub fn encode_block(raw: &[u8], t: &mut dyn Tracer) -> Block {
+    let pre = rle1(raw, t);
+    let (transformed, primary) = bwt(&pre, t);
+    let coded = mtf(&transformed, t);
+    Block {
+        primary: primary as u32,
+        symbols: zrl_encode(&coded, t),
+    }
+}
+
+/// Decompresses a [`Block`] back to the original bytes.
+pub fn decode_block(block: &Block) -> Vec<u8> {
+    let coded = zrl_decode(&block.symbols);
+    let transformed = mtf_decode(&coded);
+    let pre = inverse_bwt(&transformed, block.primary as usize);
+    rle1_decode(&pre)
+}
+
+/// Errors from [`decompress_bytes`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bzip2Error {
+    /// The container ended early or a length field is inconsistent.
+    Malformed,
+    /// The embedded Huffman stream failed to decode.
+    Entropy(crate::huffman::HuffmanError),
+}
+
+impl std::fmt::Display for Bzip2Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bzip2Error::Malformed => f.write_str("malformed bzip2w container"),
+            Bzip2Error::Entropy(e) => write!(f, "entropy stream: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Bzip2Error {}
+
+impl From<crate::huffman::HuffmanError> for Bzip2Error {
+    fn from(e: crate::huffman::HuffmanError) -> Self {
+        Bzip2Error::Entropy(e)
+    }
+}
+
+/// Compresses `data` into an actual byte container: per block, the BWT
+/// primary index, the symbol count, the 258 Huffman code lengths, and the
+/// canonical-Huffman bitstream of the ZRL symbols. The inverse is
+/// [`decompress_bytes`].
+pub fn compress_bytes(data: &[u8], t: &mut dyn Tracer) -> Vec<u8> {
+    use crate::huffman::{BitWriter, Codec};
+    let mut out = Vec::new();
+    let blocks: Vec<Block> = data
+        .chunks(BLOCK_SIZE)
+        .map(|chunk| encode_block(chunk, t))
+        .collect();
+    out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+    for block in &blocks {
+        let mut freq = [0u64; 258];
+        for &sym in &block.symbols {
+            freq[sym as usize] += 1;
+        }
+        let codec = Codec::from_frequencies(&freq).expect("counted frequencies are valid");
+        let mut w = BitWriter::new();
+        codec.encode(&block.symbols, &mut w);
+        let payload = w.into_bytes();
+        out.extend_from_slice(&block.primary.to_le_bytes());
+        out.extend_from_slice(&(block.symbols.len() as u32).to_le_bytes());
+        for sym in 0..258usize {
+            out.push(codec.length(sym));
+        }
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+    }
+    out
+}
+
+/// Decompresses a [`compress_bytes`] container.
+///
+/// # Errors
+///
+/// [`Bzip2Error`] on truncated or corrupt input.
+pub fn decompress_bytes(container: &[u8]) -> Result<Vec<u8>, Bzip2Error> {
+    use crate::huffman::{canonical_codes, BitReader};
+    let mut pos = 0usize;
+    let read_u32 = |pos: &mut usize| -> Result<u32, Bzip2Error> {
+        let end = *pos + 4;
+        let bytes: [u8; 4] = container
+            .get(*pos..end)
+            .ok_or(Bzip2Error::Malformed)?
+            .try_into()
+            .expect("slice of length 4");
+        *pos = end;
+        Ok(u32::from_le_bytes(bytes))
+    };
+    let num_blocks = read_u32(&mut pos)?;
+    let mut out = Vec::new();
+    for _ in 0..num_blocks {
+        let primary = read_u32(&mut pos)?;
+        let count = read_u32(&mut pos)? as usize;
+        let lengths: Vec<u8> = container
+            .get(pos..pos + 258)
+            .ok_or(Bzip2Error::Malformed)?
+            .to_vec();
+        pos += 258;
+        let payload_len = read_u32(&mut pos)? as usize;
+        let payload = container
+            .get(pos..pos + payload_len)
+            .ok_or(Bzip2Error::Malformed)?;
+        pos += payload_len;
+        let codes = canonical_codes(&lengths)?;
+        let codec = crate::huffman::Codec::from_parts(lengths, codes);
+        let mut r = BitReader::new(payload);
+        let symbols = codec.decode(&mut r, count)?;
+        out.extend(decode_block(&Block { primary, symbols }));
+    }
+    if pos != container.len() {
+        return Err(Bzip2Error::Malformed);
+    }
+    Ok(out)
+}
+
+/// Compresses `data` block by block, returning the modeled output size in
+/// bits (the pipeline's observable result).
+pub fn compress(data: &[u8], t: &mut dyn Tracer) -> u64 {
+    let mut bits = 0u64;
+    let mut start = 0usize;
+    while br!(t, S_BLOCK_LOOP, start < data.len()) {
+        let end = (start + BLOCK_SIZE).min(data.len());
+        let pre = rle1(&data[start..end], t);
+        let (transformed, _primary) = bwt(&pre, t);
+        let coded = mtf(&transformed, t);
+        bits += entropy_stage(&coded, t);
+        start = end;
+    }
+    bits
+}
+
+/// The bzip2-analogue workload.
+#[derive(Clone, Copy, Debug)]
+pub struct Bzip2Workload {
+    scale: Scale,
+}
+
+impl Bzip2Workload {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale }
+    }
+}
+
+impl Workload for Bzip2Workload {
+    fn name(&self) -> &'static str {
+        "bzip2"
+    }
+
+    fn description(&self) -> &'static str {
+        "block-sorting compressor (RLE + BWT + MTF + Huffman)"
+    }
+
+    fn sites(&self) -> &'static [SiteDecl] {
+        SITES
+    }
+
+    fn input_sets(&self) -> Vec<InputSet> {
+        let table: [(&'static str, &'static str, u64, u64, u32); 6] = [
+            (
+                "train",
+                "input.compressed: already-compressed data",
+                301,
+                32 * 1024,
+                5,
+            ),
+            ("ref", "input.source: program source", 302, 160 * 1024, 1),
+            ("ext-1", "input.graphic", 303, 64 * 1024, 3),
+            ("ext-2", "gcc-emitted text", 304, 56 * 1024, 0),
+            ("ext-3", "11MB-class text file (scaled)", 305, 96 * 1024, 0),
+            ("ext-4", "video file", 306, 72 * 1024, 4),
+        ];
+        table
+            .iter()
+            .map(|&(name, description, seed, size, variant)| InputSet {
+                name,
+                description,
+                seed,
+                size: self.scale.apply(size),
+                level: 0,
+                variant,
+            })
+            .collect()
+    }
+
+    fn run(&self, input: &InputSet, t: &mut dyn Tracer) {
+        let kind = DataKind::from_variant(input.variant);
+        let data = generate(kind, input.size as usize, input.seed);
+        let bits = compress(&data, t);
+        std::hint::black_box(bits);
+    }
+
+    fn instructions_per_branch(&self) -> f64 {
+        9.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrace::{EdgeProfiler, NullTracer};
+
+    /// Reference BWT by naive full rotation sort (test oracle).
+    fn bwt_naive(data: &[u8]) -> (Vec<u8>, usize) {
+        let n = data.len();
+        let mut rot: Vec<usize> = (0..n).collect();
+        rot.sort_by(|&a, &b| {
+            (0..n)
+                .map(|i| data[(a + i) % n].cmp(&data[(b + i) % n]))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let out = rot.iter().map(|&s| data[(s + n - 1) % n]).collect();
+        let primary = rot.iter().position(|&s| s == 0).unwrap();
+        (out, primary)
+    }
+
+    #[test]
+    fn bwt_matches_naive_oracle() {
+        for (seed, kind) in [
+            (1, DataKind::Text),
+            (2, DataKind::Random),
+            (3, DataKind::Log),
+        ] {
+            let data = generate(kind, 300, seed);
+            let (fast, p_fast) = bwt(&data, &mut NullTracer);
+            let (naive, p_naive) = bwt_naive(&data);
+            assert_eq!(fast, naive, "{kind:?}");
+            assert_eq!(p_fast, p_naive, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn bwt_known_small_case() {
+        // classic example: "banana"
+        let (out, primary) = bwt(b"banana", &mut NullTracer);
+        let (expect, p) = bwt_naive(b"banana");
+        assert_eq!(out, expect);
+        assert_eq!(primary, p);
+    }
+
+    #[test]
+    fn rle1_compresses_runs_and_preserves_short_data() {
+        let t = &mut NullTracer;
+        assert_eq!(rle1(b"abc", t), b"abc");
+        let out = rle1(&[7u8; 10], t);
+        assert_eq!(out, vec![7, 7, 7, 7, 6]);
+        let mixed = rle1(b"xxxxxyz", t);
+        assert_eq!(mixed, vec![b'x', b'x', b'x', b'x', 1, b'y', b'z']);
+    }
+
+    #[test]
+    fn mtf_front_hits_dominate_after_bwt_of_text() {
+        let data = generate(DataKind::Text, 4_000, 9);
+        let (transformed, _) = bwt(&data, &mut NullTracer);
+        let mut prof = EdgeProfiler::new(SITES.len());
+        let coded = mtf(&transformed, &mut prof);
+        let zeros = coded.iter().filter(|&&b| b == 0).count();
+        assert!(
+            zeros * 3 > coded.len(),
+            "BWT output should be MTF-friendly: {zeros}/{}",
+            coded.len()
+        );
+    }
+
+    #[test]
+    fn compression_ratio_orders_data_kinds() {
+        let bits_for = |kind| {
+            let data = generate(kind, 16_384, 21);
+            compress(&data, &mut NullTracer)
+        };
+        let text = bits_for(DataKind::Text);
+        let random = bits_for(DataKind::Random);
+        assert!(
+            text < random / 2,
+            "text ({text} bits) must compress far better than random ({random} bits)"
+        );
+        assert!(
+            random <= 16_384 * 9,
+            "random stays near 8 bits/byte + overhead"
+        );
+    }
+
+    #[test]
+    fn huffman_lengths_satisfy_kraft() {
+        let mut freq = [0u64; 258];
+        for (i, f) in freq.iter_mut().enumerate().take(32) {
+            *f = (i as u64 + 1) * (i as u64 + 1);
+        }
+        let lengths = huffman_lengths(&freq, &mut NullTracer);
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "Kraft sum {kraft}");
+        assert!(kraft > 0.999, "a full Huffman tree is tight: {kraft}");
+    }
+
+    #[test]
+    fn huffman_rare_symbols_get_longer_codes() {
+        let mut freq = [0u64; 258];
+        freq[0] = 1000;
+        freq[1] = 1;
+        freq[2] = 1;
+        let lengths = huffman_lengths(&freq, &mut NullTracer);
+        assert!(lengths[0] < lengths[1]);
+        assert_eq!(lengths[1], lengths[2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(compress(&[], &mut NullTracer), 0);
+        let (out, p) = bwt(&[], &mut NullTracer);
+        assert!(out.is_empty());
+        assert_eq!(p, 0);
+    }
+
+    #[test]
+    fn block_roundtrip_all_kinds() {
+        for (kind, seed) in [
+            (DataKind::Text, 41),
+            (DataKind::Source, 42),
+            (DataKind::Random, 43),
+            (DataKind::Graphic, 44),
+            (DataKind::Video, 45),
+            (DataKind::Log, 46),
+        ] {
+            let data = generate(kind, 1_800, seed);
+            let block = encode_block(&data, &mut NullTracer);
+            assert_eq!(decode_block(&block), data, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn block_roundtrip_pathological_inputs() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![7],
+            vec![7; 2_000],               // one huge run (> 259)
+            b"abababababababab".to_vec(), // periodic
+            (0..=255u8).collect(),        // all distinct
+            b"aaaabaaaabaaaab".to_vec(),  // 4-runs at boundaries
+            vec![0; 300].into_iter().chain(vec![1; 300]).collect(),
+        ];
+        for data in cases {
+            let block = encode_block(&data, &mut NullTracer);
+            assert_eq!(decode_block(&block), data, "len {}", data.len());
+        }
+    }
+
+    #[test]
+    fn byte_container_roundtrips() {
+        for (kind, seed, len) in [
+            (DataKind::Text, 71, 9_000),
+            (DataKind::Random, 72, 5_000),
+            (DataKind::Graphic, 73, 7_000),
+        ] {
+            let data = generate(kind, len, seed);
+            let container = compress_bytes(&data, &mut NullTracer);
+            assert_eq!(decompress_bytes(&container).unwrap(), data, "{kind:?}");
+            if kind == DataKind::Text {
+                assert!(
+                    container.len() < data.len(),
+                    "text must shrink: {} -> {}",
+                    data.len(),
+                    container.len()
+                );
+            }
+        }
+        // empty input
+        let container = compress_bytes(&[], &mut NullTracer);
+        assert_eq!(decompress_bytes(&container).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn corrupt_containers_are_rejected() {
+        let data = generate(DataKind::Text, 3_000, 77);
+        let container = compress_bytes(&data, &mut NullTracer);
+        // truncation
+        assert!(decompress_bytes(&container[..container.len() - 5]).is_err());
+        assert!(decompress_bytes(&container[..2]).is_err());
+        // trailing garbage
+        let mut long = container.clone();
+        long.push(0);
+        assert_eq!(decompress_bytes(&long), Err(Bzip2Error::Malformed));
+    }
+
+    #[test]
+    fn rle1_roundtrip_long_runs() {
+        let t = &mut NullTracer;
+        for run_len in [1usize, 3, 4, 5, 258, 259, 260, 600] {
+            let data = vec![9u8; run_len];
+            assert_eq!(rle1_decode(&rle1(&data, t)), data, "run {run_len}");
+        }
+        // mixed content with runs touching the cap
+        let mut mixed = vec![1u8; 259];
+        mixed.extend_from_slice(b"xyz");
+        mixed.extend(vec![1u8; 263]);
+        assert_eq!(rle1_decode(&rle1(&mixed, t)), mixed);
+    }
+
+    #[test]
+    fn inverse_bwt_inverts_bwt() {
+        for (kind, seed) in [(DataKind::Text, 5), (DataKind::Random, 6)] {
+            let data = generate(kind, 700, seed);
+            let (last, primary) = bwt(&data, &mut NullTracer);
+            assert_eq!(inverse_bwt(&last, primary), data, "{kind:?}");
+        }
+        let (last, primary) = bwt(b"banana", &mut NullTracer);
+        assert_eq!(inverse_bwt(&last, primary), b"banana");
+    }
+
+    #[test]
+    fn zrl_roundtrip_and_self_delimiting_runs() {
+        let t = &mut NullTracer;
+        let cases: Vec<Vec<u8>> = vec![
+            vec![0],
+            vec![0, 0, 0, 5, 0, 0, 9],
+            vec![0; 100],
+            vec![5, 6, 7],
+            vec![0, 1, 0, 0, 2, 0, 0, 0, 3],
+        ];
+        for mtf_out in cases {
+            let symbols = zrl_encode(&mtf_out, t);
+            assert_eq!(zrl_decode(&symbols), mtf_out, "{mtf_out:?}");
+        }
+    }
+
+    #[test]
+    fn mtf_decode_inverts_mtf() {
+        let data = generate(DataKind::Log, 2_000, 9);
+        let coded = mtf(&data, &mut NullTracer);
+        assert_eq!(mtf_decode(&coded), data);
+    }
+
+    #[test]
+    fn mtf_depth_differs_text_vs_random() {
+        // The input-dependence driver: MTF scan depth (taken rate of the
+        // scan loop) is much higher for random data than for BWT'd text.
+        let scan_rate = |kind| {
+            let data = generate(kind, 8_192, 33);
+            let (transformed, _) = bwt(&data, &mut NullTracer);
+            let mut prof = EdgeProfiler::new(SITES.len());
+            mtf(&transformed, &mut prof);
+            prof.edge(S_MTF_SCAN).taken_rate().unwrap()
+        };
+        let text = scan_rate(DataKind::Text);
+        let random = scan_rate(DataKind::Random);
+        assert!(
+            random > text,
+            "random scans deeper: text={text:.3} random={random:.3}"
+        );
+    }
+}

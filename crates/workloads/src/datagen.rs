@@ -1,0 +1,292 @@
+//! Synthetic input-data generators shared by the compression and text
+//! workloads.
+//!
+//! The paper's input sets differ in *kind* (source code, English text, logs,
+//! graphics, video, random data) as well as size; these generators produce
+//! deterministic byte streams with the statistical structure of each kind so
+//! that, e.g., the gzip analogue's hash-chain branches behave differently on
+//! `input.random` than on `input.source`, as they do in the paper.
+
+use crate::rng::Xoshiro256;
+
+/// Flavour of generated input data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataKind {
+    /// English-like prose built from a word list (SPEC `input.source`-ish).
+    Text,
+    /// C-like program source (SPEC `*.i` / `input.program`).
+    Source,
+    /// Server-log lines with timestamps and repeated fields (`input.log`).
+    Log,
+    /// Smooth 2-D gradient with dithering, like an uncompressed image
+    /// (`input.graphic`).
+    Graphic,
+    /// Frame-correlated bytes, like raw video (bzip2's video input).
+    Video,
+    /// Incompressible uniform bytes (`input.random`, `input.compressed`).
+    Random,
+}
+
+impl DataKind {
+    /// Maps a workload `variant` knob to a data kind (stable mapping used by
+    /// the compression workloads' input tables).
+    pub fn from_variant(variant: u32) -> Self {
+        match variant % 6 {
+            0 => DataKind::Text,
+            1 => DataKind::Source,
+            2 => DataKind::Log,
+            3 => DataKind::Graphic,
+            4 => DataKind::Video,
+            _ => DataKind::Random,
+        }
+    }
+}
+
+const WORDS: &[&str] = &[
+    "the",
+    "of",
+    "profile",
+    "branch",
+    "input",
+    "data",
+    "set",
+    "compiler",
+    "static",
+    "dynamic",
+    "prediction",
+    "accuracy",
+    "time",
+    "slice",
+    "program",
+    "behavior",
+    "run",
+    "and",
+    "with",
+    "optimization",
+    "execution",
+    "dependent",
+    "machine",
+    "mechanism",
+    "predicated",
+    "code",
+    "performance",
+    "benchmark",
+    "result",
+    "significant",
+    "across",
+    "change",
+    "identify",
+];
+
+const IDENTS: &[&str] = &[
+    "count", "buf", "ptr", "len", "idx", "tmp", "node", "head", "tail", "val", "acc", "flag",
+    "state", "next", "prev", "size", "mask", "cfg", "ctx", "depth",
+];
+
+/// Generates `len` bytes of the given kind, deterministically from `seed`.
+pub fn generate(kind: DataKind, len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xDA7A_6E2E);
+    let mut out = Vec::with_capacity(len);
+    match kind {
+        DataKind::Text => {
+            while out.len() < len {
+                let w = rng.pick(WORDS);
+                out.extend_from_slice(w.as_bytes());
+                if rng.chance(8) {
+                    out.push(b'.');
+                    out.push(if rng.chance(30) { b'\n' } else { b' ' });
+                } else {
+                    out.push(b' ');
+                }
+            }
+        }
+        DataKind::Source => {
+            while out.len() < len {
+                let indent = rng.below(4) as usize;
+                out.extend(std::iter::repeat_n(b' ', indent * 4));
+                match rng.below(5) {
+                    0 => {
+                        out.extend_from_slice(b"int ");
+                        out.extend_from_slice(rng.pick(IDENTS).as_bytes());
+                        out.extend_from_slice(b" = ");
+                        let n = rng.below(10_000);
+                        out.extend_from_slice(n.to_string().as_bytes());
+                        out.extend_from_slice(b";\n");
+                    }
+                    1 => {
+                        out.extend_from_slice(b"if (");
+                        out.extend_from_slice(rng.pick(IDENTS).as_bytes());
+                        out.extend_from_slice(b" > ");
+                        out.extend_from_slice(rng.below(100).to_string().as_bytes());
+                        out.extend_from_slice(b") {\n");
+                    }
+                    2 => {
+                        out.extend_from_slice(rng.pick(IDENTS).as_bytes());
+                        out.extend_from_slice(b" += ");
+                        out.extend_from_slice(rng.pick(IDENTS).as_bytes());
+                        out.extend_from_slice(b";\n");
+                    }
+                    3 => out.extend_from_slice(b"}\n"),
+                    _ => {
+                        out.extend_from_slice(b"while (");
+                        out.extend_from_slice(rng.pick(IDENTS).as_bytes());
+                        out.extend_from_slice(b"--) ");
+                        out.extend_from_slice(rng.pick(IDENTS).as_bytes());
+                        out.extend_from_slice(b"++;\n");
+                    }
+                }
+            }
+        }
+        DataKind::Log => {
+            let mut ts = 1_000_000u64;
+            while out.len() < len {
+                ts += rng.below(50);
+                out.extend_from_slice(ts.to_string().as_bytes());
+                out.extend_from_slice(match rng.below(4) {
+                    0 => b" GET /index " as &[u8],
+                    1 => b" GET /api/v1 ",
+                    2 => b" POST /submit ",
+                    _ => b" ERROR timeout ",
+                });
+                out.extend_from_slice((200 + 100 * rng.below(4)).to_string().as_bytes());
+                out.push(b'\n');
+            }
+        }
+        DataKind::Graphic => {
+            // Smooth row-major gradient with per-pixel dither: long byte
+            // runs with small deltas, very compressible.
+            let width = 512usize;
+            let mut y = 0usize;
+            while out.len() < len {
+                for x in 0..width {
+                    if out.len() >= len {
+                        break;
+                    }
+                    let base = ((x / 8 + y / 8) % 256) as u8;
+                    let dither = (rng.below(3) as u8).wrapping_sub(1);
+                    out.push(base.wrapping_add(dither));
+                }
+                y += 1;
+            }
+        }
+        DataKind::Video => {
+            // "Frames" that repeat the previous frame with sparse deltas.
+            let frame = 2048usize.min(len.max(1));
+            let mut prev: Vec<u8> = (0..frame).map(|_| rng.next_u32() as u8).collect();
+            while out.len() < len {
+                for byte in prev.iter_mut() {
+                    if rng.chance(5) {
+                        *byte = byte.wrapping_add(rng.next_u32() as u8 & 0x0F);
+                    }
+                }
+                let take = frame.min(len - out.len());
+                out.extend_from_slice(&prev[..take]);
+            }
+        }
+        DataKind::Random => {
+            while out.len() < len {
+                out.push(rng.next_u32() as u8);
+            }
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// Shannon entropy of a byte slice in bits per byte (diagnostic used by
+/// tests to check the generators produce distinct data classes).
+pub fn entropy_bits_per_byte(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u64; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let n = data.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        for kind in [
+            DataKind::Text,
+            DataKind::Source,
+            DataKind::Log,
+            DataKind::Graphic,
+            DataKind::Video,
+            DataKind::Random,
+        ] {
+            let a = generate(kind, 10_000, 99);
+            let b = generate(kind, 10_000, 99);
+            assert_eq!(a, b, "{kind:?} must be deterministic");
+            assert_eq!(a.len(), 10_000);
+            let c = generate(kind, 10_000, 100);
+            assert_ne!(a, c, "{kind:?} must vary with seed");
+        }
+    }
+
+    #[test]
+    fn entropy_separates_data_classes() {
+        let rand = entropy_bits_per_byte(&generate(DataKind::Random, 65_536, 1));
+        let text = entropy_bits_per_byte(&generate(DataKind::Text, 65_536, 1));
+        let graphic = entropy_bits_per_byte(&generate(DataKind::Graphic, 65_536, 1));
+        assert!(rand > 7.9, "random data near 8 bits/byte, got {rand}");
+        assert!(text < 5.0, "text well below random, got {text}");
+        assert!(
+            graphic < rand - 1.0,
+            "graphic clearly more structured than random, got {graphic} vs {rand}"
+        );
+    }
+
+    #[test]
+    fn text_is_ascii_words() {
+        let t = generate(DataKind::Text, 4_096, 3);
+        assert!(t.iter().all(|&b| b.is_ascii()));
+        assert!(t.windows(4).any(|w| w == b"the "));
+    }
+
+    #[test]
+    fn source_has_structure() {
+        let s = generate(DataKind::Source, 8_192, 5);
+        let text = String::from_utf8(s).unwrap();
+        assert!(text.contains("if ("));
+        assert!(text.contains(";\n"));
+    }
+
+    #[test]
+    fn video_frames_repeat() {
+        // Consecutive frames share most bytes.
+        let v = generate(DataKind::Video, 8_192, 7);
+        let (f1, f2) = (&v[0..2048], &v[2048..4096]);
+        let same = f1.iter().zip(f2).filter(|(a, b)| a == b).count();
+        assert!(same > 1_500, "frames should be highly correlated: {same}");
+    }
+
+    #[test]
+    fn from_variant_is_total() {
+        for v in 0..12 {
+            let _ = DataKind::from_variant(v);
+        }
+        assert_eq!(DataKind::from_variant(0), DataKind::Text);
+        assert_eq!(DataKind::from_variant(5), DataKind::Random);
+        assert_eq!(DataKind::from_variant(6), DataKind::Text);
+    }
+
+    #[test]
+    fn entropy_of_empty_and_constant() {
+        assert_eq!(entropy_bits_per_byte(&[]), 0.0);
+        assert_eq!(entropy_bits_per_byte(&[7u8; 100]), 0.0);
+    }
+}

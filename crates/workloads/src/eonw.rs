@@ -1,0 +1,647 @@
+//! `eon` analogue: a small probabilistic-free ray tracer.
+//!
+//! Renders a procedural scene (a grid of spheres over a ground plane, one
+//! point light) with reflections and hard shadows. In the paper, eon has
+//! almost *no* input-dependent branches: its inputs change camera/resolution
+//! parameters but the control-flow structure of ray-object intersection
+//! stays put. The input sets here mirror that — same scene family, different
+//! resolution, recursion depth and sphere counts — so the workload acts as
+//! the suite's input-independence control.
+
+use crate::rng::Xoshiro256;
+use crate::{InputSet, Scale, Workload};
+use btrace::{SiteDecl, Tracer};
+
+declare_sites! {
+    S_PIXEL_LOOP => "pixel_loop" (Loop),
+    S_OBJ_LOOP => "object_loop" (Loop),
+    S_DISC_POS => "sphere_discriminant_positive" (Search),
+    S_T_CLOSER => "hit_is_closer" (Search),
+    S_T_VALID => "hit_in_front" (Guard),
+    S_PLANE_HIT => "ground_plane_hit" (Guard),
+    S_SHADOW_HIT => "shadow_ray_blocked" (Guard),
+    S_REFLECTIVE => "material_reflective" (TypeCheck),
+    S_DEPTH_LIMIT => "recursion_depth_left" (Guard),
+    S_LIGHT_ABOVE => "light_above_surface" (IfElse),
+    S_AA_LOOP => "antialias_sample_loop" (Loop),
+    S_CHECKER_DARK => "checker_square_dark" (IfElse),
+    S_BVH_NODE_HIT => "bvh_node_aabb_hit" (Guard),
+    S_BVH_IS_LEAF => "bvh_node_is_leaf" (TypeCheck),
+    S_BVH_LEAF_LOOP => "bvh_leaf_sphere_loop" (Loop),
+}
+
+/// A 3-vector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Constructs a vector.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+
+    fn scale(self, k: f64) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+
+    fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    fn norm(self) -> Vec3 {
+        let len = self.dot(self).sqrt();
+        self.scale(1.0 / len)
+    }
+}
+
+/// A sphere with a reflectivity flag.
+#[derive(Clone, Copy, Debug)]
+pub struct Sphere {
+    center: Vec3,
+    radius: f64,
+    reflective: bool,
+    shade: f64,
+}
+
+impl Sphere {
+    /// Constructs a sphere.
+    pub fn new(center: Vec3, radius: f64, reflective: bool, shade: f64) -> Self {
+        Self {
+            center,
+            radius,
+            reflective,
+            shade,
+        }
+    }
+}
+
+/// An axis-aligned bounding box.
+#[derive(Clone, Copy, Debug)]
+struct Aabb {
+    min: Vec3,
+    max: Vec3,
+}
+
+impl Aabb {
+    fn of_sphere(s: &Sphere) -> Self {
+        Self {
+            min: Vec3::new(
+                s.center.x - s.radius,
+                s.center.y - s.radius,
+                s.center.z - s.radius,
+            ),
+            max: Vec3::new(
+                s.center.x + s.radius,
+                s.center.y + s.radius,
+                s.center.z + s.radius,
+            ),
+        }
+    }
+
+    fn union(a: Aabb, b: Aabb) -> Aabb {
+        Aabb {
+            min: Vec3::new(
+                a.min.x.min(b.min.x),
+                a.min.y.min(b.min.y),
+                a.min.z.min(b.min.z),
+            ),
+            max: Vec3::new(
+                a.max.x.max(b.max.x),
+                a.max.y.max(b.max.y),
+                a.max.z.max(b.max.z),
+            ),
+        }
+    }
+
+    /// Slab test: does the ray hit the box before `t_max`?
+    fn hit(&self, orig: Vec3, inv_dir: Vec3, t_max: f64) -> bool {
+        let mut t0 = 1e-4f64;
+        let mut t1 = t_max;
+        for axis in 0..3 {
+            let (lo, hi, o, inv) = match axis {
+                0 => (self.min.x, self.max.x, orig.x, inv_dir.x),
+                1 => (self.min.y, self.max.y, orig.y, inv_dir.y),
+                _ => (self.min.z, self.max.z, orig.z, inv_dir.z),
+            };
+            let (mut near, mut far) = ((lo - o) * inv, (hi - o) * inv);
+            if near > far {
+                std::mem::swap(&mut near, &mut far);
+            }
+            t0 = t0.max(near);
+            t1 = t1.min(far);
+            if t0 > t1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A node of the median-split bounding-volume hierarchy: a leaf holds a
+/// contiguous range of (reordered) sphere indices.
+#[derive(Clone, Debug)]
+enum BvhNode {
+    Leaf {
+        bounds: Aabb,
+        start: u32,
+        count: u32,
+    },
+    Inner {
+        bounds: Aabb,
+        left: u32,
+        right: u32,
+    },
+}
+
+fn build_bvh(
+    spheres: &mut [Sphere],
+    order: &mut Vec<u32>,
+    nodes: &mut Vec<BvhNode>,
+    start: usize,
+    count: usize,
+) -> u32 {
+    let bounds = order[start..start + count]
+        .iter()
+        .map(|&i| Aabb::of_sphere(&spheres[i as usize]))
+        .reduce(Aabb::union)
+        .expect("non-empty range");
+    let id = nodes.len() as u32;
+    if count <= 2 {
+        nodes.push(BvhNode::Leaf {
+            bounds,
+            start: start as u32,
+            count: count as u32,
+        });
+        return id;
+    }
+    // split on the widest axis at the median
+    let span = bounds.max.sub(bounds.min);
+    let axis = if span.x >= span.y && span.x >= span.z {
+        0
+    } else if span.y >= span.z {
+        1
+    } else {
+        2
+    };
+    order[start..start + count].sort_by(|&a, &b| {
+        let ca = spheres[a as usize].center;
+        let cb = spheres[b as usize].center;
+        let (ka, kb) = match axis {
+            0 => (ca.x, cb.x),
+            1 => (ca.y, cb.y),
+            _ => (ca.z, cb.z),
+        };
+        ka.partial_cmp(&kb).expect("finite centers")
+    });
+    let mid = count / 2;
+    nodes.push(BvhNode::Leaf {
+        bounds,
+        start: 0,
+        count: 0,
+    }); // placeholder, fixed below
+    let left = build_bvh(spheres, order, nodes, start, mid);
+    let right = build_bvh(spheres, order, nodes, start + mid, count - mid);
+    nodes[id as usize] = BvhNode::Inner {
+        bounds,
+        left,
+        right,
+    };
+    id
+}
+
+/// The procedural scene, with a BVH over its spheres.
+#[derive(Clone, Debug)]
+pub struct Scene {
+    spheres: Vec<Sphere>,
+    /// sphere indices, leaf-contiguous after BVH construction
+    order: Vec<u32>,
+    nodes: Vec<BvhNode>,
+    light: Vec3,
+}
+
+impl Scene {
+    /// Builds a `side x side` grid of spheres with alternating materials.
+    pub fn grid(side: u32, rng: &mut Xoshiro256) -> Self {
+        let mut spheres = Vec::new();
+        for i in 0..side {
+            for j in 0..side {
+                let jitter = rng.unit() * 0.2;
+                spheres.push(Sphere {
+                    center: Vec3::new(
+                        i as f64 * 2.2 - side as f64,
+                        0.8 + jitter,
+                        j as f64 * 2.2 + 3.0,
+                    ),
+                    radius: 0.75,
+                    reflective: (i + j) % 3 == 0,
+                    shade: 0.3 + 0.6 * ((i * 7 + j * 13) % 10) as f64 / 10.0,
+                });
+            }
+        }
+        Self::from_spheres(spheres, Vec3::new(-4.0, 10.0, 0.0))
+    }
+
+    /// Builds a scene from an explicit sphere list (testing/tooling).
+    pub fn from_spheres(spheres: Vec<Sphere>, light: Vec3) -> Self {
+        let mut scene = Self {
+            order: (0..spheres.len() as u32).collect(),
+            nodes: Vec::new(),
+            spheres,
+            light,
+        };
+        if !scene.spheres.is_empty() {
+            let count = scene.spheres.len();
+            let mut order = std::mem::take(&mut scene.order);
+            let mut nodes = Vec::new();
+            build_bvh(&mut scene.spheres, &mut order, &mut nodes, 0, count);
+            scene.order = order;
+            scene.nodes = nodes;
+        }
+        scene
+    }
+
+    /// Tests one sphere, updating the best hit.
+    #[allow(clippy::type_complexity)]
+    fn intersect_sphere(
+        &self,
+        s: &Sphere,
+        orig: Vec3,
+        dir: Vec3,
+        best: &mut Option<(f64, Vec3, f64, bool)>,
+        t: &mut dyn Tracer,
+    ) {
+        let oc = orig.sub(s.center);
+        let b = oc.dot(dir);
+        let c = oc.dot(oc) - s.radius * s.radius;
+        let disc = b * b - c;
+        if !br!(t, S_DISC_POS, disc > 0.0) {
+            return;
+        }
+        let t_hit = -b - disc.sqrt();
+        if !br!(t, S_T_VALID, t_hit > 1e-4) {
+            return;
+        }
+        let closer = best.map(|(bt, ..)| t_hit < bt).unwrap_or(true);
+        if br!(t, S_T_CLOSER, closer) {
+            let point = orig.add(dir.scale(t_hit));
+            let normal = point.sub(s.center).norm();
+            *best = Some((t_hit, normal, s.shade, s.reflective));
+        }
+    }
+
+    /// Intersects a ray with the scene via BVH traversal; returns
+    /// `(t, normal, shade, reflective)` of the nearest hit.
+    fn intersect(
+        &self,
+        orig: Vec3,
+        dir: Vec3,
+        t: &mut dyn Tracer,
+    ) -> Option<(f64, Vec3, f64, bool)> {
+        let mut best: Option<(f64, Vec3, f64, bool)> = None;
+        let inv_dir = Vec3::new(1.0 / dir.x, 1.0 / dir.y, 1.0 / dir.z);
+        let mut stack: Vec<u32> = Vec::with_capacity(32);
+        if !self.nodes.is_empty() {
+            stack.push(0);
+        }
+        while br!(t, S_OBJ_LOOP, !stack.is_empty()) {
+            let node = &self.nodes[stack.pop().expect("guarded") as usize];
+            let bounds = match node {
+                BvhNode::Leaf { bounds, .. } | BvhNode::Inner { bounds, .. } => *bounds,
+            };
+            let t_max = best.map(|(bt, ..)| bt).unwrap_or(f64::MAX);
+            if !br!(t, S_BVH_NODE_HIT, bounds.hit(orig, inv_dir, t_max)) {
+                continue;
+            }
+            match node {
+                leaf @ BvhNode::Leaf { start, count, .. } => {
+                    br!(t, S_BVH_IS_LEAF, matches!(leaf, BvhNode::Leaf { .. }));
+                    let mut k = *start as usize;
+                    let end = (*start + *count) as usize;
+                    while br!(t, S_BVH_LEAF_LOOP, k < end) {
+                        let s = self.spheres[self.order[k] as usize];
+                        self.intersect_sphere(&s, orig, dir, &mut best, t);
+                        k += 1;
+                    }
+                }
+                inner @ BvhNode::Inner { left, right, .. } => {
+                    br!(t, S_BVH_IS_LEAF, matches!(inner, BvhNode::Leaf { .. }));
+                    stack.push(*right);
+                    stack.push(*left);
+                }
+            }
+        }
+        // ground plane y = 0
+        let plane_hit = dir.y < -1e-6;
+        if br!(t, S_PLANE_HIT, plane_hit) {
+            let t_plane = -orig.y / dir.y;
+            let closer = t_plane > 1e-4 && best.map(|(bt, ..)| t_plane < bt).unwrap_or(true);
+            if closer {
+                let p = orig.add(dir.scale(t_plane));
+                // checkerboard shade
+                let dark = ((p.x.floor() as i64 + p.z.floor() as i64) & 1) == 0;
+                br!(t, S_CHECKER_DARK, dark);
+                let check = if dark { 0.0 } else { 1.0 };
+                best = Some((t_plane, Vec3::new(0.0, 1.0, 0.0), 0.2 + 0.5 * check, false));
+            }
+        }
+        best
+    }
+
+    /// Traces one ray to a brightness value.
+    pub fn trace(&self, orig: Vec3, dir: Vec3, depth: u32, t: &mut dyn Tracer) -> f64 {
+        if !br!(t, S_DEPTH_LIMIT, depth > 0) {
+            return 0.0;
+        }
+        let Some((t_hit, normal, shade, reflective)) = self.intersect(orig, dir, t) else {
+            return 0.05; // sky
+        };
+        let point = orig.add(dir.scale(t_hit));
+        let to_light = self.light.sub(point).norm();
+        let facing = normal.dot(to_light);
+        let mut brightness = 0.08; // ambient
+        if br!(t, S_LIGHT_ABOVE, facing > 0.0) {
+            // shadow ray
+            let blocked = self
+                .intersect(point.add(normal.scale(1e-3)), to_light, t)
+                .is_some();
+            if !br!(t, S_SHADOW_HIT, blocked) {
+                brightness += shade * facing;
+            }
+        }
+        if br!(t, S_REFLECTIVE, reflective) {
+            let refl = dir.sub(normal.scale(2.0 * dir.dot(normal)));
+            brightness = 0.4 * brightness
+                + 0.6 * self.trace(point.add(normal.scale(1e-3)), refl, depth - 1, t);
+        }
+        brightness.min(1.0)
+    }
+}
+
+/// The eon-analogue workload.
+#[derive(Clone, Copy, Debug)]
+pub struct EonWorkload {
+    scale: Scale,
+}
+
+impl EonWorkload {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale }
+    }
+}
+
+impl Workload for EonWorkload {
+    fn name(&self) -> &'static str {
+        "eon"
+    }
+
+    fn description(&self) -> &'static str {
+        "sphere-grid ray tracer with shadows and reflections"
+    }
+
+    fn sites(&self) -> &'static [SiteDecl] {
+        SITES
+    }
+
+    fn input_sets(&self) -> Vec<InputSet> {
+        // size = pixels (width*height); level = recursion depth;
+        // variant = sphere grid side
+        let table: [(&'static str, &'static str, u64, u64, i64, u32); 4] = [
+            (
+                "train",
+                "chair.control.cook at low res",
+                1201,
+                110 * 110,
+                3,
+                5,
+            ),
+            (
+                "ref",
+                "chair.control.cook at high res",
+                1202,
+                200 * 200,
+                4,
+                5,
+            ),
+            ("ext-1", "denser scene, low res", 1203, 120 * 120, 3, 7),
+            (
+                "ext-2",
+                "sparser scene, deep reflections",
+                1204,
+                130 * 130,
+                6,
+                4,
+            ),
+        ];
+        table
+            .iter()
+            .map(
+                |&(name, description, seed, size, level, variant)| InputSet {
+                    name,
+                    description,
+                    seed,
+                    size: self.scale.apply(size),
+                    level,
+                    variant,
+                },
+            )
+            .collect()
+    }
+
+    fn run(&self, input: &InputSet, t: &mut dyn Tracer) {
+        let mut rng = Xoshiro256::seed_from_u64(input.seed);
+        let scene = Scene::grid(input.variant, &mut rng);
+        let side = (input.size as f64).sqrt() as u32;
+        let eye = Vec3::new(0.0, 2.5, -6.0);
+        let mut total = 0.0f64;
+        let mut px = 0u64;
+        let pixels = side as u64 * side as u64;
+        while br!(t, S_PIXEL_LOOP, px < pixels) {
+            let (ix, iy) = (px % side as u64, px / side as u64);
+            px += 1;
+            // 2x supersampling on edge-detected pixels (cheap adaptive AA):
+            // a second sample when the pixel column is odd keeps the loop
+            // branch data-dependent without doubling the whole frame
+            let samples = if ix % 2 == 1 { 2u32 } else { 1 };
+            let mut s = 0u32;
+            while br!(t, S_AA_LOOP, s < samples) {
+                let ju = s as f64 * 0.4 / side as f64;
+                let u = (ix as f64 / side as f64 - 0.5 + ju) * 2.0;
+                let v = (0.5 - iy as f64 / side as f64) * 1.5;
+                let dir = Vec3::new(u, v, 1.0).norm();
+                total += scene.trace(eye, dir, input.level as u32, t);
+                s += 1;
+            }
+        }
+        std::hint::black_box(total);
+    }
+
+    fn instructions_per_branch(&self) -> f64 {
+        12.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrace::NullTracer;
+
+    fn test_scene() -> Scene {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        Scene::grid(3, &mut rng)
+    }
+
+    #[test]
+    fn ray_at_sphere_hits() {
+        let scene = Scene::from_spheres(
+            vec![Sphere::new(Vec3::new(0.0, 0.0, 5.0), 1.0, false, 0.5)],
+            Vec3::new(0.0, 10.0, 0.0),
+        );
+        let hit = scene.intersect(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            &mut NullTracer,
+        );
+        let (t_hit, normal, ..) = hit.expect("dead-center ray must hit");
+        assert!((t_hit - 4.0).abs() < 1e-9);
+        assert!((normal.z + 1.0).abs() < 1e-9, "normal faces the ray");
+    }
+
+    #[test]
+    fn ray_missing_everything_sees_sky() {
+        let scene = test_scene();
+        let up = scene.trace(
+            Vec3::new(0.0, 2.0, -6.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            3,
+            &mut NullTracer,
+        );
+        assert!((up - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downward_ray_hits_checkerboard() {
+        let scene = test_scene();
+        let hit = scene.intersect(
+            Vec3::new(50.0, 5.0, 50.0), // far from all spheres
+            Vec3::new(0.0, -1.0, 0.0),
+            &mut NullTracer,
+        );
+        let (t_hit, normal, shade, refl) = hit.expect("plane must catch the ray");
+        assert!((t_hit - 5.0).abs() < 1e-9);
+        assert_eq!(normal, Vec3::new(0.0, 1.0, 0.0));
+        assert!(!refl);
+        assert!(shade == 0.2 || shade == 0.7);
+    }
+
+    #[test]
+    fn shadowed_point_is_darker() {
+        // A point directly under a sphere is shadowed from a light directly
+        // above it.
+        let scene = Scene::from_spheres(
+            vec![Sphere::new(Vec3::new(0.0, 3.0, 5.0), 1.0, false, 0.9)],
+            Vec3::new(0.0, 100.0, 5.0),
+        );
+        let shadowed = scene.trace(
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, -0.19, 0.98).norm(),
+            2,
+            &mut NullTracer,
+        );
+        let lit = scene.trace(
+            Vec3::new(8.0, 1.0, 0.0),
+            Vec3::new(0.0, -0.19, 0.98).norm(),
+            2,
+            &mut NullTracer,
+        );
+        assert!(
+            shadowed < lit,
+            "under-sphere {shadowed:.3} vs open floor {lit:.3}"
+        );
+    }
+
+    #[test]
+    fn depth_zero_terminates() {
+        let scene = test_scene();
+        let v = scene.trace(
+            Vec3::new(0.0, 2.0, -6.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            0,
+            &mut NullTracer,
+        );
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn bvh_matches_brute_force_intersection() {
+        let mut rng = Xoshiro256::seed_from_u64(31);
+        let scene = Scene::grid(6, &mut rng);
+        // brute force oracle over the same spheres
+        let brute = |orig: Vec3, dir: Vec3| -> Option<f64> {
+            scene
+                .spheres
+                .iter()
+                .filter_map(|s| {
+                    let oc = orig.sub(s.center);
+                    let b = oc.dot(dir);
+                    let c = oc.dot(oc) - s.radius * s.radius;
+                    let disc = b * b - c;
+                    (disc > 0.0).then(|| -b - disc.sqrt()).filter(|&t| t > 1e-4)
+                })
+                .min_by(|a, b| a.partial_cmp(b).unwrap())
+        };
+        let eye = Vec3::new(0.0, 2.5, -6.0);
+        let mut hits = 0u32;
+        for i in 0..500u32 {
+            let u = (i % 25) as f64 / 25.0 - 0.5;
+            // aim slightly downward toward the sphere field (centres near
+            // y = 0.8, eye at y = 2.5)
+            let v = -0.02 - (i / 25) as f64 * 0.012;
+            let dir = Vec3::new(u * 2.0, v, 1.0).norm();
+            let bvh_t = scene
+                .intersect(eye, dir, &mut NullTracer)
+                .map(|(t, ..)| t)
+                // exclude plane hits, which the oracle doesn't model
+                .filter(|_| dir.y >= 0.0 || brute(eye, dir).is_some());
+            match (bvh_t, brute(eye, dir)) {
+                (Some(a), Some(b)) => {
+                    // the BVH must find the same nearest sphere (or the plane
+                    // in front of it)
+                    assert!(a <= b + 1e-9, "BVH {a} vs brute {b}");
+                    if (a - b).abs() < 1e-9 {
+                        hits += 1;
+                    }
+                }
+                (None, Some(b)) => panic!("BVH missed a sphere hit at t={b}"),
+                _ => {}
+            }
+        }
+        assert!(hits > 50, "enough rays should hit spheres: {hits}");
+    }
+
+    #[test]
+    fn brightness_stays_normalized() {
+        let scene = test_scene();
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        for _ in 0..500 {
+            let dir = Vec3::new(rng.unit() - 0.5, rng.unit() - 0.5, 1.0).norm();
+            let v = scene.trace(Vec3::new(0.0, 2.0, -6.0), dir, 4, &mut NullTracer);
+            assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+    }
+}

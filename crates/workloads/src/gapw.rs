@@ -1,0 +1,610 @@
+//! `gap` analogue: a dynamically-typed math interpreter.
+//!
+//! GAP stores small integers immediately (tagged `T_INT`) and switches to a
+//! multi-limb representation for magnitudes ≥ 2³⁰. The paper's Figure 6
+//! shows the `Sum` handler's type-check branch — "are both operands
+//! immediate integers?" — whose prediction accuracy is 90% on the train
+//! input (mostly small values) but 58% on the reference input (about half
+//! big values). This module reimplements that interpreter: tagged values,
+//! the fast small-int paths with overflow checks, and a real multi-limb
+//! big-integer fallback with instrumented carry/compare loops.
+
+use crate::rng::Xoshiro256;
+use crate::{InputSet, Scale, Workload};
+use btrace::{SiteDecl, Tracer};
+
+declare_sites! {
+    S_HD_IS_INT => "sum_operands_are_t_int" (TypeCheck),
+    S_ADD_OVERFLOW => "small_add_overflow" (Guard),
+    S_MUL_IS_INT => "prod_operands_are_t_int" (TypeCheck),
+    S_MUL_OVERFLOW => "small_mul_overflow" (Guard),
+    S_CARRY_LOOP => "big_add_carry_loop" (Loop),
+    S_BIG_CMP_LOOP => "big_compare_limb_loop" (Search),
+    S_FITS_SMALL => "big_demotes_to_small" (Guard),
+    S_NORMALIZE => "big_strip_zero_limbs" (Loop),
+    S_OP_ARITH => "op_is_arithmetic" (IfElse),
+    S_GCD_LOOP => "gcd_iteration" (Loop),
+    S_GCD_SWAP => "gcd_operand_swap" (Search),
+    S_LIST_LOOP => "list_sum_loop" (Loop),
+    S_BORROW_LOOP => "big_sub_borrow_loop" (Loop),
+    S_CMP_IS_INT => "cmp_operands_are_t_int" (TypeCheck),
+    S_CMP_LESS => "cmp_result_less" (Search),
+    S_POW_LOOP => "pow_square_loop" (Loop),
+    S_POW_BIT_SET => "pow_exponent_bit_set" (IfElse),
+}
+
+/// GAP's immediate-integer magnitude bound: values at or above 2³⁰ are
+/// stored as multi-limb big integers.
+pub const SMALL_LIMIT: u64 = 1 << 30;
+
+/// A GAP-style tagged value: an immediate small integer or a multi-limb
+/// (base 2³²) magnitude. Only non-negative magnitudes are modeled — GAP's
+/// sign handling is orthogonal to the branch behaviour under study.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// Immediate integer, `< SMALL_LIMIT` (the `T_INT` tag of Figure 6).
+    Small(u64),
+    /// Multi-limb magnitude, little-endian base-2³² limbs, no leading zero
+    /// limb, always `>= SMALL_LIMIT`.
+    Big(Vec<u32>),
+}
+
+impl Value {
+    /// Builds a value from a `u64`, choosing the representation by
+    /// `SMALL_LIMIT` exactly as GAP does.
+    pub fn from_u64(v: u64) -> Self {
+        if v < SMALL_LIMIT {
+            Value::Small(v)
+        } else {
+            let lo = v as u32;
+            let hi = (v >> 32) as u32;
+            if hi == 0 {
+                Value::Big(vec![lo])
+            } else {
+                Value::Big(vec![lo, hi])
+            }
+        }
+    }
+
+    /// Whether the value is an immediate integer.
+    pub fn is_small(&self) -> bool {
+        matches!(self, Value::Small(_))
+    }
+
+    /// The value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self {
+            Value::Small(v) => Some(*v),
+            Value::Big(limbs) => match limbs.len() {
+                1 => Some(limbs[0] as u64),
+                2 => Some(limbs[0] as u64 | (limbs[1] as u64) << 32),
+                _ => None,
+            },
+        }
+    }
+
+    fn limbs(&self) -> Vec<u32> {
+        match self {
+            Value::Small(v) => {
+                if *v >> 32 == 0 {
+                    vec![*v as u32]
+                } else {
+                    vec![*v as u32, (*v >> 32) as u32]
+                }
+            }
+            Value::Big(l) => l.clone(),
+        }
+    }
+}
+
+fn normalize(mut limbs: Vec<u32>, t: &mut dyn Tracer) -> Value {
+    while br!(
+        t,
+        S_NORMALIZE,
+        limbs.len() > 1 && *limbs.last().unwrap() == 0
+    ) {
+        limbs.pop();
+    }
+    let small_candidate = match limbs.len() {
+        1 => Some(limbs[0] as u64),
+        2 => Some(limbs[0] as u64 | (limbs[1] as u64) << 32),
+        _ => None,
+    };
+    match small_candidate {
+        Some(v) if br!(t, S_FITS_SMALL, v < SMALL_LIMIT) => Value::Small(v),
+        _ => Value::Big(limbs),
+    }
+}
+
+fn big_add(a: &[u32], b: &[u32], t: &mut dyn Tracer) -> Vec<u32> {
+    let n = a.len().max(b.len());
+    let mut out = Vec::with_capacity(n + 1);
+    let mut carry = 0u64;
+    for i in 0..n {
+        let x = *a.get(i).unwrap_or(&0) as u64;
+        let y = *b.get(i).unwrap_or(&0) as u64;
+        let s = x + y + carry;
+        out.push(s as u32);
+        carry = s >> 32;
+        br!(t, S_CARRY_LOOP, carry != 0);
+    }
+    if carry != 0 {
+        out.push(carry as u32);
+    }
+    out
+}
+
+/// Compares two limb vectors as magnitudes.
+fn big_cmp(a: &[u32], b: &[u32], t: &mut dyn Tracer) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for i in (0..a.len()).rev() {
+        if br!(t, S_BIG_CMP_LOOP, a[i] != b[i]) {
+            return a[i].cmp(&b[i]);
+        }
+    }
+    Ordering::Equal
+}
+
+/// `|a - b|` over limb vectors (a >= b must hold).
+fn big_sub(a: &[u32], b: &[u32], t: &mut dyn Tracer) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i64;
+    for (i, &limb) in a.iter().enumerate() {
+        let x = limb as i64;
+        let y = *b.get(i).unwrap_or(&0) as i64;
+        let mut d = x - y - borrow;
+        borrow = 0;
+        if br!(t, S_BORROW_LOOP, d < 0) {
+            d += 1 << 32;
+            borrow = 1;
+        }
+        out.push(d as u32);
+    }
+    out
+}
+
+fn big_mul(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = vec![0u32; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        let mut carry = 0u64;
+        for (j, &y) in b.iter().enumerate() {
+            let cur = out[i + j] as u64 + x as u64 * y as u64 + carry;
+            out[i + j] = cur as u32;
+            carry = cur >> 32;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u64 + carry;
+            out[k] = cur as u32;
+            carry = cur >> 32;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// The interpreter's `Sum` handler — the paper's Figure 6, including the
+/// `T_INT` type check (line 5) and the shifted-overflow test (line 9).
+pub fn sum(a: &Value, b: &Value, t: &mut dyn Tracer) -> Value {
+    if br!(t, S_HD_IS_INT, a.is_small() && b.is_small()) {
+        let (x, y) = match (a, b) {
+            (Value::Small(x), Value::Small(y)) => (*x, *y),
+            _ => unreachable!("guarded by the T_INT check"),
+        };
+        let result = x + y; // cannot overflow u64: both < 2^30
+        if !br!(t, S_ADD_OVERFLOW, result >= SMALL_LIMIT) {
+            return Value::Small(result);
+        }
+        // falls through to the generic path, like GAP's SUM()
+    }
+    normalize(big_add(&a.limbs(), &b.limbs(), t), t)
+}
+
+/// The interpreter's `Prod` handler with its own type-check and overflow
+/// branches.
+pub fn prod(a: &Value, b: &Value, t: &mut dyn Tracer) -> Value {
+    if br!(t, S_MUL_IS_INT, a.is_small() && b.is_small()) {
+        let (x, y) = match (a, b) {
+            (Value::Small(x), Value::Small(y)) => (*x, *y),
+            _ => unreachable!("guarded by the T_INT check"),
+        };
+        let result = x * y; // < 2^60, no u64 overflow
+        if !br!(t, S_MUL_OVERFLOW, result >= SMALL_LIMIT) {
+            return Value::Small(result);
+        }
+    }
+    normalize(big_mul(&a.limbs(), &b.limbs()), t)
+}
+
+/// Less-than comparison with GAP's immediate-integer fast path.
+pub fn less_than(a: &Value, b: &Value, t: &mut dyn Tracer) -> bool {
+    if br!(t, S_CMP_IS_INT, a.is_small() && b.is_small()) {
+        let (x, y) = match (a, b) {
+            (Value::Small(x), Value::Small(y)) => (*x, *y),
+            _ => unreachable!("guarded by the T_INT check"),
+        };
+        return br!(t, S_CMP_LESS, x < y);
+    }
+    let r = big_cmp(&a.limbs(), &b.limbs(), t) == std::cmp::Ordering::Less;
+    br!(t, S_CMP_LESS, r)
+}
+
+/// `base^exp` by binary exponentiation with magnitude clamping (results are
+/// bounded at six limbs, like a computation working modulo a word count).
+pub fn pow(base: &Value, exp: u32, t: &mut dyn Tracer) -> Value {
+    let mut result = Value::Small(1);
+    let mut sq = base.clone();
+    let mut e = exp;
+    while br!(t, S_POW_LOOP, e != 0) {
+        if br!(t, S_POW_BIT_SET, e & 1 == 1) {
+            result = prod(&result, &sq, t);
+        }
+        e >>= 1;
+        if e != 0 {
+            sq = prod(&sq, &sq, t);
+        }
+        // clamp runaway magnitudes to keep limb counts realistic
+        if let Value::Big(l) = &result {
+            if l.len() > 6 {
+                result = normalize(l[..6].to_vec(), t);
+            }
+        }
+        if let Value::Big(l) = &sq {
+            if l.len() > 6 {
+                sq = normalize(l[..6].to_vec(), t);
+            }
+        }
+    }
+    result
+}
+
+/// `|a - b|` on values.
+pub fn absdiff(a: &Value, b: &Value, t: &mut dyn Tracer) -> Value {
+    let (al, bl) = (a.limbs(), b.limbs());
+    match big_cmp(&al, &bl, t) {
+        std::cmp::Ordering::Less => normalize(big_sub(&bl, &al, t), t),
+        _ => normalize(big_sub(&al, &bl, t), t),
+    }
+}
+
+/// GCD, instrumented: Euclidean division when both operands fit in a
+/// machine word (the common case, with a data-dependent iteration count),
+/// falling back to bounded subtractive steps for multi-limb operands.
+pub fn gcd(a: &Value, b: &Value, t: &mut dyn Tracer) -> Value {
+    if let (Some(mut x), Some(mut y)) = (a.to_u64(), b.to_u64()) {
+        if br!(t, S_GCD_SWAP, x < y) {
+            std::mem::swap(&mut x, &mut y);
+        }
+        while br!(t, S_GCD_LOOP, y != 0) {
+            let r = x % y;
+            x = y;
+            y = r;
+        }
+        return Value::from_u64(x);
+    }
+    // multi-limb fallback: a few subtractive rounds bring the magnitudes
+    // together or down into machine-word range
+    let mut x = a.clone();
+    let mut y = b.clone();
+    let mut fuel = 64u32;
+    while br!(t, S_GCD_LOOP, y.to_u64() != Some(0) && fuel != 0) {
+        fuel -= 1;
+        if let (Some(xs), Some(ys)) = (x.to_u64(), y.to_u64()) {
+            return gcd(&Value::from_u64(xs), &Value::from_u64(ys), t);
+        }
+        let (xl, yl) = (x.limbs(), y.limbs());
+        if br!(
+            t,
+            S_GCD_SWAP,
+            big_cmp(&xl, &yl, t) == std::cmp::Ordering::Less
+        ) {
+            std::mem::swap(&mut x, &mut y);
+            continue;
+        }
+        let d = absdiff(&x, &y, t);
+        x = y;
+        y = d;
+    }
+    x
+}
+
+/// One generated interpreter operation.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Sum(usize, usize, usize),
+    Prod(usize, usize, usize),
+    Diff(usize, usize, usize),
+    Gcd(usize, usize, usize),
+    Cmp(usize, usize, usize),
+    Pow(usize, usize, u32),
+    SumList(usize),
+    Fresh(usize, u64),
+}
+
+/// The gap-analogue workload.
+#[derive(Clone, Copy, Debug)]
+pub struct GapWorkload {
+    scale: Scale,
+}
+
+impl GapWorkload {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale }
+    }
+}
+
+const NUM_VARS: usize = 64;
+
+fn gen_value(rng: &mut Xoshiro256, big_pct: u64) -> u64 {
+    if rng.chance(big_pct) {
+        // big magnitude: force >= 2^30, up to 2^52 so products grow limbs
+        SMALL_LIMIT + rng.below(1 << 52)
+    } else {
+        // small values, low enough that products of two smalls stay under
+        // the 2^30 immediate-integer limit (as typical GAP working values do)
+        rng.below(1 << 15)
+    }
+}
+
+impl Workload for GapWorkload {
+    fn name(&self) -> &'static str {
+        "gap"
+    }
+
+    fn description(&self) -> &'static str {
+        "dynamically-typed math interpreter with immediate and big integers"
+    }
+
+    fn sites(&self) -> &'static [SiteDecl] {
+        SITES
+    }
+
+    fn input_sets(&self) -> Vec<InputSet> {
+        // level = percentage of freshly generated values that are big;
+        // variant = op-mix flavour (0 arithmetic, 1 gcd-heavy, 2 list-heavy)
+        let table: [(&'static str, &'static str, u64, u64, i64, u32); 6] = [
+            ("train", "mostly small integers", 201, 130_000, 5, 0),
+            ("ref", "about half big integers", 202, 320_000, 45, 0),
+            (
+                "ext-1",
+                "Smith-Normal-Form-like gcd mix",
+                203,
+                160_000,
+                30,
+                1,
+            ),
+            ("ext-2", "group ops, small ints only", 204, 180_000, 0, 0),
+            ("ext-3", "medium reduced input", 205, 140_000, 20, 2),
+            ("ext-4", "modified ref input", 206, 200_000, 60, 0),
+        ];
+        table
+            .iter()
+            .map(
+                |&(name, description, seed, size, level, variant)| InputSet {
+                    name,
+                    description,
+                    seed,
+                    size: self.scale.apply(size),
+                    level,
+                    variant,
+                },
+            )
+            .collect()
+    }
+
+    fn run(&self, input: &InputSet, t: &mut dyn Tracer) {
+        let mut rng = Xoshiro256::seed_from_u64(input.seed);
+        let big_pct = input.level as u64;
+        let mut vars: Vec<Value> = (0..NUM_VARS)
+            .map(|_| Value::from_u64(gen_value(&mut rng, big_pct)))
+            .collect();
+        let mut checksum = 0u64;
+        for step in 0..input.size {
+            let d = rng.below(NUM_VARS as u64) as usize;
+            let a = rng.below(NUM_VARS as u64) as usize;
+            let b = rng.below(NUM_VARS as u64) as usize;
+            // Interpreter workspaces don't drift toward all-big values the
+            // way unconstrained accumulation would: most operands come from
+            // the input stream itself, and each sub-computation starts from
+            // a fresh workspace. Refresh accordingly so the T_INT mix tracks
+            // the input's big-value fraction (Fig. 6).
+            if rng.chance(90) {
+                vars[a] = Value::from_u64(gen_value(&mut rng, big_pct));
+            }
+            if rng.chance(90) {
+                vars[b] = Value::from_u64(gen_value(&mut rng, big_pct));
+            }
+            if step % 2000 == 1999 {
+                for v in vars.iter_mut() {
+                    *v = Value::from_u64(gen_value(&mut rng, big_pct));
+                }
+            }
+            let op = match input.variant {
+                1 => match rng.below(10) {
+                    0..=3 => Op::Gcd(d, a, b),
+                    4..=6 => Op::Diff(d, a, b),
+                    7..=8 => Op::Sum(d, a, b),
+                    _ => Op::Fresh(d, gen_value(&mut rng, big_pct)),
+                },
+                2 => match rng.below(10) {
+                    0..=4 => Op::SumList(d),
+                    5..=7 => Op::Sum(d, a, b),
+                    _ => Op::Fresh(d, gen_value(&mut rng, big_pct)),
+                },
+                _ => match rng.below(18) {
+                    0..=5 => Op::Sum(d, a, b),
+                    6..=8 => Op::Prod(d, a, b),
+                    9..=10 => Op::Diff(d, a, b),
+                    11 => Op::Gcd(d, a, b),
+                    12..=13 => Op::Cmp(d, a, b),
+                    14 => Op::Pow(d, a, 2 + rng.below(9) as u32),
+                    15 => Op::SumList(d),
+                    _ => Op::Fresh(d, gen_value(&mut rng, big_pct)),
+                },
+            };
+            // op dispatch branch: arithmetic fast path vs. structural op
+            let arith = matches!(op, Op::Sum(..) | Op::Prod(..) | Op::Diff(..));
+            br!(t, S_OP_ARITH, arith);
+            match op {
+                Op::Sum(d, a, b) => vars[d] = sum(&vars[a], &vars[b], t),
+                Op::Prod(d, a, b) => {
+                    let p = prod(&vars[a], &vars[b], t);
+                    // keep magnitudes bounded so limb counts stay realistic
+                    vars[d] = if matches!(&p, Value::Big(l) if l.len() > 6) {
+                        Value::from_u64(gen_value(&mut rng, big_pct))
+                    } else {
+                        p
+                    };
+                }
+                Op::Diff(d, a, b) => vars[d] = absdiff(&vars[a], &vars[b], t),
+                Op::Gcd(d, a, b) => vars[d] = gcd(&vars[a], &vars[b], t),
+                Op::Cmp(d, a, b) => {
+                    vars[d] = Value::Small(less_than(&vars[a], &vars[b], t) as u64);
+                }
+                Op::Pow(d, a, e) => vars[d] = pow(&vars[a], e, t),
+                Op::SumList(d) => {
+                    // sum over a freshly generated input list (gap's Sum over
+                    // list elements read from the input stream)
+                    let mut acc = Value::Small(0);
+                    let len = 4 + rng.below(8);
+                    let mut i = 0u64;
+                    while br!(t, S_LIST_LOOP, i < len) {
+                        let elem = Value::from_u64(gen_value(&mut rng, big_pct));
+                        acc = sum(&acc, &elem, t);
+                        i += 1;
+                    }
+                    vars[d] = acc;
+                }
+                Op::Fresh(d, v) => vars[d] = Value::from_u64(v),
+            }
+            if let Some(v) = vars[d].to_u64() {
+                checksum = checksum.wrapping_add(v);
+            }
+        }
+        std::hint::black_box(checksum);
+    }
+
+    fn instructions_per_branch(&self) -> f64 {
+        8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrace::{EdgeProfiler, NullTracer};
+
+    fn v(x: u64) -> Value {
+        Value::from_u64(x)
+    }
+
+    #[test]
+    fn representation_boundary() {
+        assert!(v(SMALL_LIMIT - 1).is_small());
+        assert!(!v(SMALL_LIMIT).is_small());
+        assert_eq!(v(SMALL_LIMIT).to_u64(), Some(SMALL_LIMIT));
+        assert_eq!(v(u64::MAX).to_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn sum_small_fast_path_and_overflow() {
+        let t = &mut NullTracer;
+        assert_eq!(sum(&v(2), &v(3), t), v(5));
+        // two values just under the limit overflow into a big
+        let a = SMALL_LIMIT - 1;
+        let r = sum(&v(a), &v(a), t);
+        assert!(!r.is_small());
+        assert_eq!(r.to_u64(), Some(2 * a));
+    }
+
+    #[test]
+    fn sum_matches_u64_arithmetic_exhaustively() {
+        let t = &mut NullTracer;
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        for _ in 0..2_000 {
+            let a = rng.below(1 << 62);
+            let b = rng.below(1 << 62);
+            assert_eq!(sum(&v(a), &v(b), t).to_u64(), Some(a + b));
+        }
+    }
+
+    #[test]
+    fn prod_matches_u128_arithmetic() {
+        let t = &mut NullTracer;
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        for _ in 0..2_000 {
+            let a = rng.below(1 << 32);
+            let b = rng.below(1 << 31);
+            let p = prod(&v(a), &v(b), t);
+            assert_eq!(p.to_u64(), Some(a * b), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn prod_grows_many_limbs() {
+        let t = &mut NullTracer;
+        let big = v(u64::MAX);
+        let p = prod(&big, &big, t);
+        match p {
+            Value::Big(ref l) => assert_eq!(l.len(), 4),
+            _ => panic!("u64::MAX squared needs 4 limbs"),
+        }
+        // (2^64-1)^2 = 2^128 - 2^65 + 1; check low limb
+        if let Value::Big(l) = p {
+            assert_eq!(l[0], 1);
+        }
+    }
+
+    #[test]
+    fn absdiff_and_demotion() {
+        let t = &mut NullTracer;
+        let a = v(SMALL_LIMIT + 100);
+        let b = v(SMALL_LIMIT + 30);
+        let d = absdiff(&a, &b, t);
+        assert_eq!(d, v(70), "difference of two bigs demotes to small");
+        assert!(d.is_small());
+        assert_eq!(absdiff(&v(30), &v(100), t), v(70), "absolute");
+    }
+
+    #[test]
+    fn gcd_known_values() {
+        let t = &mut NullTracer;
+        assert_eq!(gcd(&v(48), &v(36), t).to_u64(), Some(12));
+        assert_eq!(gcd(&v(17), &v(5), t).to_u64(), Some(1));
+        assert_eq!(gcd(&v(0), &v(9), t).to_u64(), Some(9));
+        let g = gcd(&v(SMALL_LIMIT * 6), &v(SMALL_LIMIT * 4), t);
+        assert_eq!(g.to_u64(), Some(SMALL_LIMIT * 2));
+    }
+
+    #[test]
+    fn type_check_branch_bias_follows_input_mix() {
+        // The Figure 6 property: the T_INT check is heavily taken on the
+        // train-like mix and near 50/50 on the ref-like mix.
+        let w = GapWorkload::new(Scale::Tiny);
+        let rate = |name: &str| {
+            let mut prof = EdgeProfiler::new(SITES.len());
+            w.run(&w.input_set(name).unwrap(), &mut prof);
+            prof.edge(S_HD_IS_INT).taken_rate().unwrap()
+        };
+        let train = rate("train");
+        let reference = rate("ref");
+        assert!(train > 0.8, "train mostly small ints: {train:.3}");
+        assert!(
+            reference < train - 0.2,
+            "ref has many bigs: train={train:.3} ref={reference:.3}"
+        );
+    }
+
+    #[test]
+    fn normalization_strips_leading_zeros() {
+        let t = &mut NullTracer;
+        let val = normalize(vec![5, 0, 0], t);
+        assert_eq!(val, Value::Small(5));
+        let kept = normalize(vec![0, 0, 1], t);
+        assert_eq!(kept, Value::Big(vec![0, 0, 1]));
+    }
+}

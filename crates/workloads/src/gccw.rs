@@ -1,0 +1,975 @@
+//! `gcc` analogue: a toy C-subset compiler.
+//!
+//! Four real phases over generated source files: a hand-written lexer, a
+//! recursive-descent parser into an AST, a constant-folding +
+//! dead-branch-elimination optimizer, and a stack-machine code generator
+//! with a tiny linear-scan register allocator. gcc's branch behaviour is
+//! famously input-dependent because every phase dispatches on token/node
+//! kinds whose mix tracks the *style* of the source file being compiled —
+//! arithmetic-heavy, control-heavy, or declaration-heavy programs exercise
+//! the same branches at very different rates.
+
+use crate::rng::Xoshiro256;
+use crate::{InputSet, Scale, Workload};
+use btrace::{SiteDecl, Tracer};
+
+declare_sites! {
+    S_LEX_LOOP => "lex_char_loop" (Loop),
+    S_LEX_SPACE => "lex_is_space" (Guard),
+    S_LEX_DIGIT => "lex_is_digit" (TypeCheck),
+    S_LEX_IDENT => "lex_ident_continue" (Loop),
+    S_LEX_KEYWORD => "lex_keyword_probe" (Search),
+    S_PARSE_STMT => "parse_stmt_is_if" (TypeCheck),
+    S_PARSE_WHILE => "parse_stmt_is_while" (TypeCheck),
+    S_PARSE_ASSIGN => "parse_stmt_is_assign" (TypeCheck),
+    S_EXPR_BINOP => "expr_more_binops" (Loop),
+    S_EXPR_PAREN => "expr_is_parenthesized" (IfElse),
+    S_FOLD_CONST => "fold_both_const" (Guard),
+    S_FOLD_DEAD => "fold_branch_dead" (Guard),
+    S_CSE_HIT => "cse_table_hit" (Search),
+    S_REG_FREE => "regalloc_register_free" (Guard),
+    S_EMIT_IMM => "emit_operand_immediate" (IfElse),
+    S_DSE_LOOP => "dse_instruction_loop" (Loop),
+    S_STORE_DEAD => "dse_store_is_dead" (Guard),
+    S_DSE_BARRIER => "dse_control_barrier" (Guard),
+}
+
+/// Token kinds of the toy language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal.
+    Num(i64),
+    /// Identifier (variable index 0..26).
+    Ident(u8),
+    /// `if` / `while` / `int` keywords.
+    Kw(&'static str),
+    /// Single-char punctuation/operator.
+    Ch(u8),
+}
+
+const KEYWORDS: [&str; 3] = ["if", "while", "int"];
+
+/// Lexes toy-C source, tracing character-class branches.
+pub fn lex(src: &[u8], t: &mut dyn Tracer) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while br!(t, S_LEX_LOOP, i < src.len()) {
+        let c = src[i];
+        if br!(t, S_LEX_SPACE, c.is_ascii_whitespace()) {
+            i += 1;
+            continue;
+        }
+        if br!(t, S_LEX_DIGIT, c.is_ascii_digit()) {
+            let mut v = 0i64;
+            while i < src.len() && src[i].is_ascii_digit() {
+                v = v * 10 + (src[i] - b'0') as i64;
+                i += 1;
+            }
+            toks.push(Tok::Num(v));
+            continue;
+        }
+        if c.is_ascii_alphabetic() {
+            let start = i;
+            while br!(
+                t,
+                S_LEX_IDENT,
+                i < src.len() && src[i].is_ascii_alphanumeric()
+            ) {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let mut kw = None;
+            for k in KEYWORDS {
+                if !br!(t, S_LEX_KEYWORD, word != k.as_bytes()) {
+                    kw = Some(k);
+                    break;
+                }
+            }
+            match kw {
+                Some(k) => toks.push(Tok::Kw(k)),
+                None => toks.push(Tok::Ident((word[0].to_ascii_lowercase() - b'a') % 26)),
+            }
+            continue;
+        }
+        toks.push(Tok::Ch(c));
+        i += 1;
+    }
+    toks
+}
+
+/// Expression AST.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Constant.
+    Const(i64),
+    /// Variable reference.
+    Var(u8),
+    /// Binary operation: op, lhs, rhs.
+    Bin(u8, Box<Expr>, Box<Expr>),
+}
+
+/// Statement AST.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `v = expr;`
+    Assign(u8, Expr),
+    /// `if (expr) { body }`
+    If(Expr, Vec<Stmt>),
+    /// `while (expr) { body }` — loop bodies are compiled, not executed.
+    While(Expr, Vec<Stmt>),
+}
+
+struct ParserState<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+}
+
+impl ParserState<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn eat_ch(&mut self, c: u8) -> bool {
+        if self.peek() == Some(&Tok::Ch(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_primary(&mut self, t: &mut dyn Tracer) -> Expr {
+        if br!(t, S_EXPR_PAREN, self.peek() == Some(&Tok::Ch(b'('))) {
+            self.pos += 1;
+            let e = self.parse_expr(t);
+            self.eat_ch(b')');
+            return e;
+        }
+        match self.peek().cloned() {
+            Some(Tok::Num(v)) => {
+                self.pos += 1;
+                Expr::Const(v)
+            }
+            Some(Tok::Ident(v)) => {
+                self.pos += 1;
+                Expr::Var(v)
+            }
+            _ => {
+                self.pos += 1; // error recovery: skip
+                Expr::Const(0)
+            }
+        }
+    }
+
+    fn parse_expr(&mut self, t: &mut dyn Tracer) -> Expr {
+        let mut lhs = self.parse_primary(t);
+        while br!(
+            t,
+            S_EXPR_BINOP,
+            matches!(
+                self.peek(),
+                Some(Tok::Ch(b'+'))
+                    | Some(Tok::Ch(b'-'))
+                    | Some(Tok::Ch(b'*'))
+                    | Some(Tok::Ch(b'<'))
+            )
+        ) {
+            let op = match self.peek() {
+                Some(&Tok::Ch(c)) => c,
+                _ => unreachable!("guarded by the matches! above"),
+            };
+            self.pos += 1;
+            let rhs = self.parse_primary(t);
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        lhs
+    }
+
+    fn parse_block(&mut self, t: &mut dyn Tracer, depth: u32) -> Vec<Stmt> {
+        let mut body = Vec::new();
+        while self.pos < self.toks.len() && self.peek() != Some(&Tok::Ch(b'}')) {
+            if let Some(s) = self.parse_stmt(t, depth) {
+                body.push(s);
+            }
+        }
+        body
+    }
+
+    fn parse_stmt(&mut self, t: &mut dyn Tracer, depth: u32) -> Option<Stmt> {
+        if depth > 32 {
+            self.pos += 1;
+            return None;
+        }
+        let is_if = br!(t, S_PARSE_STMT, self.peek() == Some(&Tok::Kw("if")));
+        if is_if {
+            self.pos += 1;
+            self.eat_ch(b'(');
+            let cond = self.parse_expr(t);
+            self.eat_ch(b')');
+            self.eat_ch(b'{');
+            let body = self.parse_block(t, depth + 1);
+            self.eat_ch(b'}');
+            return Some(Stmt::If(cond, body));
+        }
+        if br!(t, S_PARSE_WHILE, self.peek() == Some(&Tok::Kw("while"))) {
+            self.pos += 1;
+            self.eat_ch(b'(');
+            let cond = self.parse_expr(t);
+            self.eat_ch(b')');
+            self.eat_ch(b'{');
+            let body = self.parse_block(t, depth + 1);
+            self.eat_ch(b'}');
+            return Some(Stmt::While(cond, body));
+        }
+        let is_assign = matches!(self.peek(), Some(Tok::Ident(_)) | Some(Tok::Kw("int")));
+        if br!(t, S_PARSE_ASSIGN, is_assign) {
+            if self.peek() == Some(&Tok::Kw("int")) {
+                self.pos += 1;
+            }
+            let v = match self.peek() {
+                Some(&Tok::Ident(v)) => {
+                    self.pos += 1;
+                    v
+                }
+                _ => 0,
+            };
+            self.eat_ch(b'=');
+            let e = self.parse_expr(t);
+            self.eat_ch(b';');
+            return Some(Stmt::Assign(v, e));
+        }
+        self.pos += 1; // skip stray token
+        None
+    }
+}
+
+/// Parses a token stream into statements.
+pub fn parse(toks: &[Tok], t: &mut dyn Tracer) -> Vec<Stmt> {
+    let mut p = ParserState { toks, pos: 0 };
+    p.parse_block(t, 0)
+}
+
+/// Constant-folds an expression.
+fn fold_expr(e: Expr, t: &mut dyn Tracer) -> Expr {
+    match e {
+        Expr::Bin(op, lhs, rhs) => {
+            let l = fold_expr(*lhs, t);
+            let r = fold_expr(*rhs, t);
+            let both_const = matches!((&l, &r), (Expr::Const(_), Expr::Const(_)));
+            if br!(t, S_FOLD_CONST, both_const) {
+                if let (Expr::Const(a), Expr::Const(b)) = (&l, &r) {
+                    let v = match op {
+                        b'+' => a.wrapping_add(*b),
+                        b'-' => a.wrapping_sub(*b),
+                        b'*' => a.wrapping_mul(*b),
+                        _ => (a < b) as i64,
+                    };
+                    return Expr::Const(v);
+                }
+            }
+            Expr::Bin(op, Box::new(l), Box::new(r))
+        }
+        other => other,
+    }
+}
+
+/// Constant folding + dead-branch elimination over a statement list.
+pub fn optimize(stmts: Vec<Stmt>, t: &mut dyn Tracer) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, e) => out.push(Stmt::Assign(v, fold_expr(e, t))),
+            Stmt::If(c, body) => {
+                let c = fold_expr(c, t);
+                let dead = matches!(c, Expr::Const(0));
+                if br!(t, S_FOLD_DEAD, dead) {
+                    continue; // drop statically-false branch
+                }
+                out.push(Stmt::If(c, optimize(body, t)));
+            }
+            Stmt::While(c, body) => {
+                let c = fold_expr(c, t);
+                let dead = matches!(c, Expr::Const(0));
+                if br!(t, S_FOLD_DEAD, dead) {
+                    continue;
+                }
+                out.push(Stmt::While(c, optimize(body, t)));
+            }
+        }
+    }
+    out
+}
+
+/// One emitted pseudo-instruction (opcode byte + operands), enough to count
+/// code size and register pressure.
+pub type Inst = (u8, i64, i64);
+
+struct Codegen<'a> {
+    t: &'a mut dyn Tracer,
+    code: Vec<Inst>,
+    regs_in_use: [bool; 8],
+    cse: Vec<(u64, u8)>, // (expr hash, register)
+}
+
+impl Codegen<'_> {
+    fn alloc_reg(&mut self) -> u8 {
+        for (i, used) in self.regs_in_use.iter_mut().enumerate() {
+            if br!(self.t, S_REG_FREE, !*used) {
+                *used = true;
+                return i as u8;
+            }
+        }
+        // spill register 0
+        self.code.push((b'S', 0, 0));
+        0
+    }
+
+    fn free_reg(&mut self, r: u8) {
+        if (r as usize) < self.regs_in_use.len() {
+            self.regs_in_use[r as usize] = false;
+        }
+        // a freed register no longer holds its CSE value
+        self.cse.retain(|&(_, reg)| reg != r);
+    }
+
+    fn hash_expr(e: &Expr) -> u64 {
+        match e {
+            // odd multiplier keeps the map injective over constants; the
+            // added tag separates Const(v) from Var/Bin hashes
+            Expr::Const(v) => (*v as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0x5851_F42D),
+            Expr::Var(v) => 0x85EB_CA6Bu64.wrapping_mul(*v as u64 + 2),
+            Expr::Bin(op, l, r) => Self::hash_expr(l)
+                .rotate_left(13)
+                .wrapping_mul(31)
+                .wrapping_add(Self::hash_expr(r).rotate_left(7))
+                .wrapping_add(*op as u64),
+        }
+    }
+
+    fn gen_expr(&mut self, e: &Expr) -> u8 {
+        let h = Self::hash_expr(e);
+        let mut hit = None;
+        for &(eh, r) in self.cse.iter().rev().take(8) {
+            if !br!(self.t, S_CSE_HIT, eh != h) {
+                hit = Some(r);
+                break;
+            }
+        }
+        if let Some(r) = hit {
+            // copy the cached value into a fresh register: binary ops are
+            // destructive on their left operand, so handing out the cached
+            // register directly would let a later op clobber it
+            let dst = self.alloc_reg();
+            self.code.push((b'M', dst as i64, r as i64));
+            return dst;
+        }
+        let r = match e {
+            Expr::Const(v) => {
+                let r = self.alloc_reg();
+                br!(self.t, S_EMIT_IMM, true);
+                self.code.push((b'I', r as i64, *v));
+                r
+            }
+            Expr::Var(v) => {
+                let r = self.alloc_reg();
+                br!(self.t, S_EMIT_IMM, false);
+                self.code.push((b'L', r as i64, *v as i64));
+                r
+            }
+            Expr::Bin(op, l, rhs) => {
+                let rl = self.gen_expr(l);
+                let rr = self.gen_expr(rhs);
+                self.code.push((*op, rl as i64, rr as i64));
+                if rr != rl {
+                    self.free_reg(rr);
+                }
+                // rl is overwritten with the result: its old value's CSE
+                // entry is dead
+                self.cse.retain(|&(_, reg)| reg != rl);
+                rl
+            }
+        };
+        self.cse.push((h, r));
+        r
+    }
+
+    fn gen_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign(v, e) => {
+                let r = self.gen_expr(e);
+                self.code.push((b'=', *v as i64, r as i64));
+                self.free_reg(r);
+                self.cse.clear(); // assignment invalidates CSE entries
+            }
+            Stmt::If(c, body) => {
+                let r = self.gen_expr(c);
+                // J = jump-to-b-if-register-a-is-zero; target patched below
+                let jump_at = self.code.len();
+                self.code.push((b'J', r as i64, 0));
+                self.free_reg(r);
+                self.cse.clear(); // values beyond the join are path-dependent
+                for s in body {
+                    self.gen_stmt(s);
+                }
+                self.code[jump_at].2 = self.code.len() as i64;
+            }
+            Stmt::While(c, body) => {
+                let loop_start = self.code.len();
+                self.cse.clear(); // the back edge invalidates prior values
+                let r = self.gen_expr(c);
+                let jump_at = self.code.len();
+                self.code.push((b'J', r as i64, 0));
+                self.free_reg(r);
+                for s in body {
+                    self.gen_stmt(s);
+                }
+                // B = unconditional back jump to the condition
+                self.code.push((b'B', 0, loop_start as i64));
+                self.code[jump_at].2 = self.code.len() as i64;
+            }
+        }
+    }
+}
+
+/// Compiles statements to pseudo-instructions.
+pub fn codegen(stmts: &[Stmt], t: &mut dyn Tracer) -> Vec<Inst> {
+    let mut cg = Codegen {
+        t,
+        code: Vec::new(),
+        regs_in_use: [false; 8],
+        cse: Vec::new(),
+    };
+    for s in stmts {
+        cg.gen_stmt(s);
+    }
+    cg.code
+}
+
+/// Backward dead-store elimination over emitted code: a store to a variable
+/// that is overwritten before any load (within a branch-free region) is
+/// dropped. Control-flow markers (`J`/`W`/`B`) conservatively make all
+/// variables live.
+pub fn eliminate_dead_stores(code: &[Inst], t: &mut dyn Tracer) -> Vec<Inst> {
+    let mut live = [true; 26];
+    let mut keep = vec![true; code.len()];
+    let mut i = code.len();
+    while br!(t, S_DSE_LOOP, i > 0) {
+        i -= 1;
+        let (op, a, b) = code[i];
+        match op {
+            b'=' => {
+                let v = a as usize % 26;
+                if br!(t, S_STORE_DEAD, !live[v]) {
+                    keep[i] = false;
+                } else {
+                    live[v] = false;
+                }
+                let _ = b;
+            }
+            b'L' => live[b as usize % 26] = true,
+            b'J' | b'W' | b'B' => {
+                br!(t, S_DSE_BARRIER, true);
+                live = [true; 26];
+            }
+            _ => {
+                br!(t, S_DSE_BARRIER, false);
+            }
+        }
+    }
+    // compact, remapping jump targets (J/B carry absolute indices)
+    let mut new_index = vec![0usize; code.len() + 1];
+    let mut n = 0usize;
+    for (i, &k) in keep.iter().enumerate() {
+        new_index[i] = n;
+        n += k as usize;
+    }
+    new_index[code.len()] = n;
+    code.iter()
+        .zip(&keep)
+        .filter(|&(_, &k)| k)
+        .map(|(&(op, a, b), _)| match op {
+            b'J' | b'B' => (op, a, new_index[b as usize] as i64),
+            _ => (op, a, b),
+        })
+        .collect()
+}
+
+/// Why the register VM stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmExit {
+    /// Fell off the end of the program.
+    Finished,
+    /// The fuel budget ran out mid-loop.
+    OutOfFuel,
+}
+
+/// Executes compiled code on the 8-register / 26-variable machine the
+/// code generator targets. Returns the final variable file and the exit
+/// reason. `fuel` bounds the executed instruction count (generated `while`
+/// loops are not guaranteed to terminate).
+pub fn execute(code: &[Inst], fuel: u64) -> ([i64; 26], VmExit) {
+    let mut regs = [0i64; 8];
+    let mut vars = [0i64; 26];
+    let mut pc = 0usize;
+    let mut remaining = fuel;
+    while pc < code.len() {
+        if remaining == 0 {
+            return (vars, VmExit::OutOfFuel);
+        }
+        remaining -= 1;
+        let (op, a, b) = code[pc];
+        pc += 1;
+        match op {
+            b'I' => regs[a as usize % 8] = b,
+            b'L' => regs[a as usize % 8] = vars[b as usize % 26],
+            b'M' => regs[a as usize % 8] = regs[b as usize % 8],
+            b'=' => vars[a as usize % 26] = regs[b as usize % 8],
+            b'+' => regs[a as usize % 8] = regs[a as usize % 8].wrapping_add(regs[b as usize % 8]),
+            b'-' => regs[a as usize % 8] = regs[a as usize % 8].wrapping_sub(regs[b as usize % 8]),
+            b'*' => regs[a as usize % 8] = regs[a as usize % 8].wrapping_mul(regs[b as usize % 8]),
+            b'<' => {
+                regs[a as usize % 8] = (regs[a as usize % 8] < regs[b as usize % 8]) as i64;
+            }
+            b'J' if regs[a as usize % 8] == 0 => pc = b as usize,
+            b'J' => {}
+            b'B' => pc = b as usize,
+            _ => {} // 'S' spill marker and unknown ops are no-ops
+        }
+    }
+    (vars, VmExit::Finished)
+}
+
+/// Reference interpreter: evaluates the AST directly with the same wrapping
+/// semantics and fuel policy as [`execute`] (fuel is charged per statement
+/// and per loop iteration). The oracle for compiler-correctness tests.
+pub fn eval_ast(stmts: &[Stmt], fuel: &mut u64) -> Option<[i64; 26]> {
+    let mut vars = [0i64; 26];
+    if eval_block(stmts, &mut vars, fuel) {
+        Some(vars)
+    } else {
+        None
+    }
+}
+
+fn eval_expr(e: &Expr, vars: &[i64; 26]) -> i64 {
+    match e {
+        Expr::Const(v) => *v,
+        Expr::Var(v) => vars[*v as usize % 26],
+        Expr::Bin(op, l, r) => {
+            let (a, b) = (eval_expr(l, vars), eval_expr(r, vars));
+            match op {
+                b'+' => a.wrapping_add(b),
+                b'-' => a.wrapping_sub(b),
+                b'*' => a.wrapping_mul(b),
+                _ => (a < b) as i64,
+            }
+        }
+    }
+}
+
+fn eval_block(stmts: &[Stmt], vars: &mut [i64; 26], fuel: &mut u64) -> bool {
+    for s in stmts {
+        if *fuel == 0 {
+            return false;
+        }
+        *fuel -= 1;
+        match s {
+            Stmt::Assign(v, e) => vars[*v as usize % 26] = eval_expr(e, vars),
+            Stmt::If(c, body) => {
+                if eval_expr(c, vars) != 0 && !eval_block(body, vars, fuel) {
+                    return false;
+                }
+            }
+            Stmt::While(c, body) => {
+                while eval_expr(c, vars) != 0 {
+                    if *fuel == 0 {
+                        return false;
+                    }
+                    *fuel -= 1;
+                    if !eval_block(body, vars, fuel) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Generates a toy-C source file. `style` 0 = arithmetic-heavy,
+/// 1 = control-heavy, 2 = declaration-heavy, 3 = constant-heavy (folds a
+/// lot).
+pub fn gen_source(lines: usize, style: u32, rng: &mut Xoshiro256) -> Vec<u8> {
+    let mut src = Vec::new();
+    let mut depth = 0usize;
+    for _ in 0..lines {
+        let kind = match style {
+            1 => rng.below(10), // control-heavy uses full range
+            _ => 3 + rng.below(7),
+        };
+        let var = b'a' + rng.below(20) as u8;
+        match kind {
+            0..=1 if depth < 4 => {
+                src.extend_from_slice(b"if (");
+                src.push(b'a' + rng.below(20) as u8);
+                src.extend_from_slice(b" < ");
+                src.extend_from_slice(rng.below(100).to_string().as_bytes());
+                src.extend_from_slice(b") {\n");
+                depth += 1;
+            }
+            2 if depth < 4 => {
+                src.extend_from_slice(b"while (");
+                src.push(b'a' + rng.below(20) as u8);
+                src.extend_from_slice(b" < ");
+                src.extend_from_slice(rng.below(50).to_string().as_bytes());
+                src.extend_from_slice(b") {\n");
+                depth += 1;
+            }
+            _ => {
+                if style == 2 && rng.chance(50) {
+                    src.extend_from_slice(b"int ");
+                }
+                src.push(var);
+                src.extend_from_slice(b" = ");
+                let terms = 1 + rng.below(if style == 0 { 5 } else { 2 });
+                for k in 0..terms {
+                    if k > 0 {
+                        src.extend_from_slice([b" + ", b" * ", b" - "][rng.below(3) as usize]);
+                    }
+                    if style == 3 || rng.chance(40) {
+                        src.extend_from_slice(rng.below(1000).to_string().as_bytes());
+                    } else {
+                        src.push(b'a' + rng.below(20) as u8);
+                    }
+                }
+                src.extend_from_slice(b";\n");
+                if depth > 0 && rng.chance(30) {
+                    src.extend_from_slice(b"}\n");
+                    depth -= 1;
+                }
+            }
+        }
+    }
+    for _ in 0..depth {
+        src.extend_from_slice(b"}\n");
+    }
+    src
+}
+
+/// The gcc-analogue workload.
+#[derive(Clone, Copy, Debug)]
+pub struct GccWorkload {
+    scale: Scale,
+}
+
+impl GccWorkload {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale }
+    }
+}
+
+impl Workload for GccWorkload {
+    fn name(&self) -> &'static str {
+        "gcc"
+    }
+
+    fn description(&self) -> &'static str {
+        "toy C-subset compiler: lex, parse, fold, codegen"
+    }
+
+    fn sites(&self) -> &'static [SiteDecl] {
+        SITES
+    }
+
+    fn input_sets(&self) -> Vec<InputSet> {
+        // size = source lines; level unused; variant = source style
+        let table: [(&'static str, &'static str, u64, u64, i64, u32); 8] = [
+            ("train", "cp-decl.i: declaration-heavy", 801, 30_000, 0, 2),
+            ("ref", "166.i: mixed large unit", 802, 80_000, 0, 0),
+            ("ext-1", "small reduced input", 803, 24_000, 0, 0),
+            ("ext-2", "jump.i: control-heavy", 804, 34_000, 0, 1),
+            ("ext-3", "emit-rtl.i: arithmetic-heavy", 805, 40_000, 0, 0),
+            ("ext-4", "dbxout.i: constant-heavy", 806, 36_000, 0, 3),
+            ("ext-5", "medium reduced input", 807, 40_000, 0, 1),
+            ("ext-6", "large reduced input", 808, 56_000, 0, 2),
+        ];
+        table
+            .iter()
+            .map(
+                |&(name, description, seed, size, level, variant)| InputSet {
+                    name,
+                    description,
+                    seed,
+                    size: self.scale.apply(size),
+                    level,
+                    variant,
+                },
+            )
+            .collect()
+    }
+
+    fn run(&self, input: &InputSet, t: &mut dyn Tracer) {
+        let mut rng = Xoshiro256::seed_from_u64(input.seed);
+        // compile several "files", as a compilation unit sweep
+        let files = 6usize;
+        let lines_per_file = (input.size as usize / files).max(8);
+        let mut total_code = 0usize;
+        for f in 0..files {
+            let style = if input.variant == 0 {
+                f as u32 % 3 // "mixed" cycles styles per file
+            } else {
+                input.variant
+            };
+            let src = gen_source(lines_per_file, style, &mut rng);
+            let toks = lex(&src, t);
+            let ast = parse(&toks, t);
+            let opt = optimize(ast, t);
+            let code = codegen(&opt, t);
+            let final_code = eliminate_dead_stores(&code, t);
+            total_code += final_code.len();
+        }
+        std::hint::black_box(total_code);
+    }
+
+    fn instructions_per_branch(&self) -> f64 {
+        5.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrace::NullTracer;
+
+    #[test]
+    fn lexer_tokenizes_all_classes() {
+        let toks = lex(b"int x = 42; if (y < 7) { z = x + 1; }", &mut NullTracer);
+        assert!(toks.contains(&Tok::Kw("int")));
+        assert!(toks.contains(&Tok::Kw("if")));
+        assert!(toks.contains(&Tok::Num(42)));
+        assert!(toks.contains(&Tok::Ch(b'<')));
+        assert!(matches!(toks[1], Tok::Ident(_)));
+    }
+
+    #[test]
+    fn parser_builds_nested_structure() {
+        let toks = lex(
+            b"if (a < 2) { b = 3; while (c < 1) { d = 4; } }",
+            &mut NullTracer,
+        );
+        let ast = parse(&toks, &mut NullTracer);
+        assert_eq!(ast.len(), 1);
+        match &ast[0] {
+            Stmt::If(_, body) => {
+                assert_eq!(body.len(), 2);
+                assert!(matches!(body[1], Stmt::While(..)));
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn folding_evaluates_constants() {
+        let toks = lex(b"x = 2 + 3 * 4;", &mut NullTracer);
+        let ast = parse(&toks, &mut NullTracer);
+        let opt = optimize(ast, &mut NullTracer);
+        // left-assoc parse: (2 + 3) * 4 = 20
+        assert_eq!(opt, vec![Stmt::Assign(23, Expr::Const(20))]);
+    }
+
+    #[test]
+    fn dead_if_is_eliminated() {
+        let toks = lex(b"if (1 < 1) { x = 5; } y = 2;", &mut NullTracer);
+        let ast = parse(&toks, &mut NullTracer);
+        let opt = optimize(ast, &mut NullTracer);
+        assert_eq!(opt.len(), 1, "the statically-false if must vanish: {opt:?}");
+        assert!(matches!(opt[0], Stmt::Assign(..)));
+    }
+
+    #[test]
+    fn live_if_is_kept() {
+        let toks = lex(b"if (a < 1) { x = 5; }", &mut NullTracer);
+        let opt = optimize(parse(&toks, &mut NullTracer), &mut NullTracer);
+        assert_eq!(opt.len(), 1);
+        assert!(matches!(opt[0], Stmt::If(..)));
+    }
+
+    #[test]
+    fn codegen_emits_and_reuses_registers() {
+        let toks = lex(b"x = a + b; y = c + d; z = e + f;", &mut NullTracer);
+        let opt = optimize(parse(&toks, &mut NullTracer), &mut NullTracer);
+        let code = codegen(&opt, &mut NullTracer);
+        assert!(code.iter().any(|&(op, _, _)| op == b'+'));
+        assert!(
+            code.iter().all(|&(op, _, _)| op != b'S'),
+            "three simple statements must not spill: {code:?}"
+        );
+        // registers are recycled: max register index stays small
+        let max_reg = code
+            .iter()
+            .filter(|&&(op, _, _)| op == b'L')
+            .map(|&(_, r, _)| r)
+            .max()
+            .unwrap();
+        assert!(max_reg <= 2, "register reuse failed: {code:?}");
+    }
+
+    fn count_stmts(stmts: &[Stmt]) -> usize {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Assign(..) => 1,
+                Stmt::If(_, body) | Stmt::While(_, body) => 1 + count_stmts(body),
+            })
+            .sum()
+    }
+
+    #[test]
+    fn generated_source_is_parseable() {
+        for style in 0..4 {
+            let mut rng = Xoshiro256::seed_from_u64(style as u64 + 10);
+            let src = gen_source(300, style, &mut rng);
+            let toks = lex(&src, &mut NullTracer);
+            let ast = parse(&toks, &mut NullTracer);
+            let total = count_stmts(&ast);
+            assert!(
+                total > 150,
+                "style {style} should produce many statements, got {total}"
+            );
+        }
+    }
+
+    /// Compiles source text end-to-end (optionally optimizing) and runs it
+    /// on the VM; also evaluates the AST oracle. Returns (vm vars, oracle).
+    fn run_both(src: &[u8], optimize_first: bool, fuel: u64) -> ([i64; 26], Option<[i64; 26]>) {
+        let t = &mut NullTracer;
+        let ast = parse(&lex(src, t), t);
+        let mut oracle_fuel = fuel;
+        let oracle = eval_ast(&ast, &mut oracle_fuel);
+        let ast = if optimize_first {
+            optimize(ast, t)
+        } else {
+            ast
+        };
+        let code = eliminate_dead_stores(&codegen(&ast, t), t);
+        let (vars, _) = execute(&code, fuel * 16);
+        (vars, oracle)
+    }
+
+    #[test]
+    fn compiled_code_matches_ast_oracle_straightline() {
+        let cases: [&[u8]; 6] = [
+            b"a = 5; b = a + 3; c = a * b;",
+            b"x = 2 + 3 * 4; y = x - 10; z = y < 3;",
+            b"a = 1; a = a + a + a; b = a * a * a;",
+            b"q = 7 * (3 + 2); r = q - (1 + 1);",
+            b"m = 4; n = m * (m + 1); o = n < m;",
+            b"a = 9; b = 9; c = a - b; d = c < 1;",
+        ];
+        for src in cases {
+            for optimize_first in [false, true] {
+                let (vm, oracle) = run_both(src, optimize_first, 10_000);
+                assert_eq!(
+                    Some(vm),
+                    oracle,
+                    "source {:?} optimize={optimize_first}",
+                    std::str::from_utf8(src).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_code_matches_oracle_with_branches() {
+        let cases: [&[u8]; 4] = [
+            b"a = 5; if (a < 10) { b = 1; } if (a < 2) { b = 2; } c = b + a;",
+            b"a = 1; if (a) { a = a + 1; if (a < 3) { a = a * 10; } } d = a;",
+            b"x = 0; if (1 < 2) { x = 7; } y = x;",
+            b"x = 3; if (2 < 1) { x = 9; } y = x + 1;",
+        ];
+        for src in cases {
+            for optimize_first in [false, true] {
+                let (vm, oracle) = run_both(src, optimize_first, 10_000);
+                assert_eq!(
+                    Some(vm),
+                    oracle,
+                    "source {:?} optimize={optimize_first}",
+                    std::str::from_utf8(src).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_loops_execute_correctly() {
+        // sum 0..5 via a while loop: i counts up, s accumulates
+        let src: &[u8] = b"i = 0; s = 0; while (i < 5) { s = s + i; i = i + 1; }";
+        let (vm, oracle) = run_both(src, true, 10_000);
+        assert_eq!(Some(vm), oracle);
+        assert_eq!(vm[(b'i' - b'a') as usize], 5);
+        assert_eq!(vm[(b's' - b'a') as usize], 10);
+    }
+
+    #[test]
+    fn vm_fuel_bounds_infinite_loops() {
+        let src: &[u8] = b"a = 1; while (a) { b = b + 1; }";
+        let t = &mut NullTracer;
+        let code = codegen(&parse(&lex(src, t), t), t);
+        let (_, exit) = execute(&code, 1_000);
+        assert_eq!(exit, VmExit::OutOfFuel);
+    }
+
+    #[test]
+    fn generated_programs_compile_and_run_semantically_equal() {
+        // fuzz-ish: every style's generated source must run identically on
+        // the VM (optimized and unoptimized) and match the AST oracle when
+        // the oracle terminates within fuel
+        for style in 0..4u32 {
+            for seed in 0..5u64 {
+                let mut rng = Xoshiro256::seed_from_u64(seed * 31 + style as u64);
+                let src = gen_source(60, style, &mut rng);
+                let (vm_opt, oracle) = run_both(&src, true, 50_000);
+                let (vm_raw, _) = run_both(&src, false, 50_000);
+                if let Some(expect) = oracle {
+                    assert_eq!(vm_opt, expect, "style {style} seed {seed} (optimized)");
+                    assert_eq!(vm_raw, expect, "style {style} seed {seed} (raw)");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dse_preserves_semantics_and_shrinks_code() {
+        let t = &mut NullTracer;
+        let src: &[u8] = b"a = 1; a = 2; a = 3; b = a; b = a + 1; c = b;";
+        let ast = parse(&lex(src, t), t);
+        let code = codegen(&ast, t);
+        let dse = eliminate_dead_stores(&code, t);
+        assert!(dse.len() < code.len(), "dead stores must be removed");
+        let (v1, _) = execute(&code, 10_000);
+        let (v2, _) = execute(&dse, 10_000);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn styles_change_branch_mix() {
+        use btrace::EdgeProfiler;
+        let rate_if = |style: u32| {
+            let mut rng = Xoshiro256::seed_from_u64(77);
+            let src = gen_source(1_000, style, &mut rng);
+            let toks = lex(&src, &mut NullTracer);
+            let mut prof = EdgeProfiler::new(SITES.len());
+            let _ = parse(&toks, &mut prof);
+            prof.edge(S_PARSE_STMT).taken_rate().unwrap()
+        };
+        let control = rate_if(1);
+        let arith = rate_if(0);
+        assert!(
+            control > arith,
+            "control-heavy style hits the if-statement branch more: {control:.3} vs {arith:.3}"
+        );
+    }
+}

@@ -1,0 +1,666 @@
+//! `gzip` analogue: LZ77 compression with hash chains.
+//!
+//! Reimplements the deflate-style match finder whose loop-exit branch the
+//! paper singles out in Figure 7: `max_chain_length` is read from a
+//! `config_table` indexed by the compression level, so the number of
+//! iterations of the hash-chain walk — and hence the predictability of its
+//! exit branch — is a direct function of a program *parameter*. At level 1
+//! the chain cap is 4 (the exit branch is taken every 4th time, ~75%
+//! predictable without a loop predictor); at level 9 it is 4096 (the branch
+//! is almost always "continue", >99.9% predictable).
+
+use crate::datagen::{generate, DataKind};
+use crate::{InputSet, Scale, Workload};
+use btrace::{SiteDecl, Tracer};
+
+declare_sites! {
+    S_MAIN_LOOP => "deflate_pos_loop" (Loop),
+    S_HASH_HIT => "hash_head_present" (Guard),
+    S_CHAIN_EXIT => "hash_chain_exit" (Loop),
+    S_CMP_LOOP => "match_compare_extend" (Loop),
+    S_QUICK_REJECT => "match_quick_reject" (Search),
+    S_LEN_BETTER => "match_len_better" (Search),
+    S_NICE_STOP => "nice_length_reached" (Guard),
+    S_GOOD_REDUCE => "good_length_reduce" (IfElse),
+    S_TOO_FAR => "min_match_too_far" (Guard),
+    S_EMIT_MATCH => "emit_match_or_literal" (IfElse),
+    S_LAZY_BETTER => "lazy_match_better" (Search),
+    S_DIST_SHORT => "distance_fits_short_code" (IfElse),
+    S_TOK_IS_MATCH => "token_is_match" (TypeCheck),
+    S_LEN_SHORT_CODE => "length_fits_base_code" (IfElse),
+    S_DIST_BUCKET => "distance_bucket_scan" (Search),
+    S_LIT_PRINTABLE => "literal_is_printable" (IfElse),
+}
+
+/// Distance-code bucket boundaries (powers of two, as in deflate's
+/// distance-code table).
+const DIST_BUCKETS: [u32; 12] = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 32768];
+
+/// Models the deflate output stage: walks the token stream assigning
+/// length/distance/literal code sizes, tracing the coder's branches.
+/// Returns the modeled output size in bits.
+pub fn encode_cost(tokens: &[Token], t: &mut dyn Tracer) -> u64 {
+    let mut bits = 0u64;
+    for &tok in tokens {
+        if br!(t, S_TOK_IS_MATCH, matches!(tok, Token::Match(..))) {
+            let Token::Match(dist, len) = tok else {
+                unreachable!("guarded")
+            };
+            bits += if br!(t, S_LEN_SHORT_CODE, len <= 10) {
+                7
+            } else {
+                8 + (32 - (len - 3).leading_zeros() as u64).saturating_sub(3)
+            };
+            let mut bucket = 0usize;
+            while br!(
+                t,
+                S_DIST_BUCKET,
+                bucket < DIST_BUCKETS.len() && dist > DIST_BUCKETS[bucket]
+            ) {
+                bucket += 1;
+            }
+            bits += 5 + bucket as u64 / 2;
+        } else {
+            let Token::Literal(b) = tok else {
+                unreachable!("guarded")
+            };
+            // printable ASCII gets the short codes in text-trained tables
+            bits += if br!(t, S_LIT_PRINTABLE, (0x20..0x7F).contains(&b)) {
+                8
+            } else {
+                9
+            };
+        }
+    }
+    bits
+}
+
+/// The gzip `config_table` (the paper's Figure 7, lines 8–14): per
+/// compression level `(good_length, max_lazy, nice_length, max_chain)`.
+pub const CONFIG_TABLE: [(u32, u32, u32, u32); 10] = [
+    (0, 0, 0, 0),         // level 0 unused
+    (4, 4, 8, 4),         // 1: min compression level
+    (4, 5, 16, 8),        // 2
+    (4, 6, 32, 32),       // 3
+    (4, 4, 16, 16),       // 4
+    (8, 16, 32, 32),      // 5
+    (8, 16, 128, 128),    // 6
+    (8, 32, 128, 256),    // 7
+    (32, 128, 258, 1024), // 8
+    (32, 258, 258, 4096), // 9: max compression level
+];
+
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const MAX_DIST: usize = 32 * 1024;
+const TOO_FAR: usize = 4096;
+const HASH_BITS: u32 = 15;
+const NIL: u32 = u32::MAX;
+
+#[inline]
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let h = (data[pos] as u32) << 10 ^ (data[pos + 1] as u32) << 5 ^ data[pos + 2] as u32;
+    (h.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Output token of the compressor (exposed so tests can check round-trip
+/// fidelity of the match finder).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference `(distance, length)`.
+    Match(u32, u32),
+}
+
+/// Decodes a token stream back into bytes (test oracle).
+pub fn decode(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => out.push(b),
+            Token::Match(dist, len) => {
+                let start = out.len() - dist as usize;
+                for i in 0..len as usize {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+struct Matcher<'a> {
+    data: &'a [u8],
+    head: Vec<u32>,
+    prev: Vec<u32>,
+    good_length: usize,
+    nice_length: usize,
+    max_chain: usize,
+}
+
+impl<'a> Matcher<'a> {
+    fn new(data: &'a [u8], level: usize) -> Self {
+        let (good, _lazy, nice, chain) = CONFIG_TABLE[level];
+        Self {
+            data,
+            head: vec![NIL; 1 << HASH_BITS],
+            prev: vec![NIL; data.len()],
+            good_length: good as usize,
+            nice_length: nice as usize,
+            max_chain: chain as usize,
+        }
+    }
+
+    /// Inserts `pos` into its hash chain and returns the previous chain head
+    /// (the most recent earlier occurrence of this trigram), exactly like
+    /// gzip's `INSERT_STRING` macro.
+    fn insert(&mut self, pos: usize) -> u32 {
+        if pos + MIN_MATCH <= self.data.len() {
+            let h = hash3(self.data, pos);
+            let old = self.head[h];
+            self.prev[pos] = old;
+            self.head[h] = pos as u32;
+            old
+        } else {
+            NIL
+        }
+    }
+
+    /// The deflate `longest_match` routine, with the paper's Figure 7 branch
+    /// instrumented as `S_CHAIN_EXIT`.
+    fn longest_match(
+        &self,
+        pos: usize,
+        prev_length: usize,
+        chain_start: u32,
+        t: &mut dyn Tracer,
+    ) -> (usize, usize) {
+        let data = self.data;
+        let limit = pos.saturating_sub(MAX_DIST);
+        let max_len = MAX_MATCH.min(data.len() - pos);
+        // gzip shortens the chain walk when the previous match was already
+        // "good" — an input-dependent heuristic branch of its own.
+        let mut chain_length = if br!(t, S_GOOD_REDUCE, prev_length >= self.good_length) {
+            (self.max_chain >> 2).max(1)
+        } else {
+            self.max_chain
+        };
+        let mut best_len = prev_length.max(MIN_MATCH - 1);
+        let mut best_pos = usize::MAX;
+        let mut cur = chain_start;
+        if !br!(
+            t,
+            S_HASH_HIT,
+            cur != NIL && (cur as usize) >= limit && (cur as usize) < pos
+        ) {
+            return (0, 0);
+        }
+        loop {
+            let m = cur as usize;
+            // quick reject: does the candidate beat best_len at its tail?
+            let reject = best_len >= max_len
+                || m + best_len >= data.len()
+                || data[m + best_len] != data[pos + best_len];
+            if !br!(t, S_QUICK_REJECT, reject) {
+                let mut len = 0usize;
+                while len < max_len
+                    && br!(
+                        t,
+                        S_CMP_LOOP,
+                        data[m + len] == data[pos + len] && len + 1 < max_len
+                    )
+                {
+                    len += 1;
+                }
+                if data[m + len] == data[pos + len] && len < max_len {
+                    len += 1;
+                }
+                if br!(t, S_LEN_BETTER, len > best_len) {
+                    best_len = len;
+                    best_pos = m;
+                    if br!(t, S_NICE_STOP, len >= self.nice_length) {
+                        break;
+                    }
+                }
+            }
+            // Figure 7, line 24–25: the input-dependent loop-exit branch.
+            chain_length -= 1;
+            let next = self.prev[m];
+            let cont =
+                next != NIL && (next as usize) >= limit && (next as usize) < m && chain_length != 0;
+            if !br!(t, S_CHAIN_EXIT, cont) {
+                break;
+            }
+            cur = next;
+        }
+        if best_len >= MIN_MATCH && best_pos != usize::MAX {
+            (best_pos, best_len)
+        } else {
+            (0, 0)
+        }
+    }
+}
+
+/// Runs the LZ77 compressor over `data` at `level`, tracing branches into
+/// `t`, and returns the token stream.
+pub fn deflate(data: &[u8], level: usize, t: &mut dyn Tracer) -> Vec<Token> {
+    assert!((1..=9).contains(&level), "level must be 1..=9");
+    let mut m = Matcher::new(data, level);
+    let (_, max_lazy, _, _) = CONFIG_TABLE[level];
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    let mut prev_len = 0usize;
+    let mut prev_pos = 0usize;
+    let mut have_prev = false;
+    while br!(t, S_MAIN_LOOP, pos + MIN_MATCH <= data.len()) {
+        let chain_start = m.insert(pos);
+        let (mpos, mut mlen) = m.longest_match(pos, prev_len, chain_start, t);
+        // discard minimum-length matches that are too far away (gzip's
+        // TOO_FAR heuristic)
+        if mlen == MIN_MATCH && br!(t, S_TOO_FAR, pos - mpos > TOO_FAR) {
+            mlen = 0;
+        }
+        if have_prev {
+            // lazy evaluation: emit the previous match unless the current
+            // one is strictly longer (and lazy matching is enabled at this
+            // level)
+            if br!(
+                t,
+                S_LAZY_BETTER,
+                mlen > prev_len && prev_len < max_lazy as usize
+            ) {
+                tokens.push(Token::Literal(data[pos - 1]));
+                prev_len = mlen;
+                prev_pos = mpos;
+                pos += 1;
+                continue;
+            }
+            let dist = (pos - 1 - prev_pos) as u32;
+            br!(t, S_DIST_SHORT, dist < 256);
+            tokens.push(Token::Match(dist, prev_len as u32));
+            // insert skipped positions into the hash chains
+            let end = (pos - 1 + prev_len).min(data.len());
+            for p in pos + 1..end {
+                m.insert(p);
+            }
+            pos = end;
+            have_prev = false;
+            prev_len = 0;
+            continue;
+        }
+        if br!(t, S_EMIT_MATCH, mlen >= MIN_MATCH) {
+            prev_len = mlen;
+            prev_pos = mpos;
+            have_prev = true;
+            pos += 1;
+        } else {
+            tokens.push(Token::Literal(data[pos]));
+            pos += 1;
+        }
+    }
+    if have_prev {
+        let dist = (pos - 1 - prev_pos) as u32;
+        tokens.push(Token::Match(dist, prev_len as u32));
+        pos = pos - 1 + prev_len;
+    }
+    while pos < data.len() {
+        tokens.push(Token::Literal(data[pos]));
+        pos += 1;
+    }
+    tokens
+}
+
+/// Errors from [`inflate_bytes`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GzipError {
+    /// The container ended early or a length field is inconsistent.
+    Malformed,
+    /// The embedded Huffman stream failed to decode.
+    Entropy(crate::huffman::HuffmanError),
+}
+
+impl std::fmt::Display for GzipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GzipError::Malformed => f.write_str("malformed gzipw container"),
+            GzipError::Entropy(e) => write!(f, "entropy stream: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GzipError {}
+
+impl From<crate::huffman::HuffmanError> for GzipError {
+    fn from(e: crate::huffman::HuffmanError) -> Self {
+        GzipError::Entropy(e)
+    }
+}
+
+// The token-stream alphabet of the byte container: 0..=255 literals, 256 the
+// match marker. Lengths and distances follow a match marker as
+// variable-width raw fields (4-bit width prefix + that many bits), which
+// keeps the container simple while staying entropy-coded where it matters.
+const SYM_MATCH: u16 = 256;
+
+fn write_varbits(w: &mut crate::huffman::BitWriter, v: u32) {
+    let width = 32 - v.leading_zeros().min(31);
+    let width = width.max(1);
+    w.write(width - 1, 5);
+    w.write(v, width as u8);
+}
+
+fn read_varbits(r: &mut crate::huffman::BitReader<'_>) -> Result<u32, GzipError> {
+    let mut width = 0u32;
+    for _ in 0..5 {
+        width = (width << 1) | r.read_bit()?;
+    }
+    let width = width + 1;
+    let mut v = 0u32;
+    for _ in 0..width {
+        v = (v << 1) | r.read_bit()?;
+    }
+    Ok(v)
+}
+
+/// Compresses `data` into an actual byte container: the LZ77 token stream
+/// is serialized with a canonical Huffman code over literals plus a match
+/// marker, with raw varbit length/distance fields. Inverse:
+/// [`inflate_bytes`].
+pub fn deflate_bytes(data: &[u8], level: usize, t: &mut dyn Tracer) -> Vec<u8> {
+    use crate::huffman::{BitWriter, Codec};
+    let tokens = deflate(data, level, t);
+    let mut freq = [0u64; 257];
+    for tok in &tokens {
+        match tok {
+            Token::Literal(b) => freq[*b as usize] += 1,
+            Token::Match(..) => freq[SYM_MATCH as usize] += 1,
+        }
+    }
+    let codec = Codec::from_frequencies(&freq).expect("counted frequencies are valid");
+    let mut w = BitWriter::new();
+    for tok in &tokens {
+        match tok {
+            Token::Literal(b) => codec.encode(&[*b as u16], &mut w),
+            Token::Match(dist, len) => {
+                codec.encode(&[SYM_MATCH], &mut w);
+                write_varbits(&mut w, *dist);
+                write_varbits(&mut w, *len);
+            }
+        }
+    }
+    let payload = w.into_bytes();
+    let mut out = Vec::with_capacity(payload.len() + 300);
+    out.extend_from_slice(&(tokens.len() as u32).to_le_bytes());
+    for sym in 0..257usize {
+        out.push(codec.length(sym));
+    }
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decompresses a [`deflate_bytes`] container.
+///
+/// # Errors
+///
+/// [`GzipError`] on truncated or corrupt input.
+pub fn inflate_bytes(container: &[u8]) -> Result<Vec<u8>, GzipError> {
+    use crate::huffman::{canonical_codes, BitReader, Codec};
+    let header = 4 + 257 + 4;
+    if container.len() < header {
+        return Err(GzipError::Malformed);
+    }
+    let token_count = u32::from_le_bytes(container[0..4].try_into().expect("4 bytes")) as usize;
+    let lengths = container[4..4 + 257].to_vec();
+    let payload_len =
+        u32::from_le_bytes(container[4 + 257..header].try_into().expect("4 bytes")) as usize;
+    let payload = container
+        .get(header..header + payload_len)
+        .ok_or(GzipError::Malformed)?;
+    if header + payload_len != container.len() {
+        return Err(GzipError::Malformed);
+    }
+    let codes = canonical_codes(&lengths)?;
+    let codec = Codec::from_parts(lengths, codes);
+    let mut r = BitReader::new(payload);
+    let mut tokens = Vec::with_capacity(token_count);
+    for _ in 0..token_count {
+        let sym = codec.decode(&mut r, 1)?[0];
+        if sym == SYM_MATCH {
+            let dist = read_varbits(&mut r)?;
+            let len = read_varbits(&mut r)?;
+            tokens.push(Token::Match(dist, len));
+        } else {
+            tokens.push(Token::Literal(sym as u8));
+        }
+    }
+    // validate back-references before decoding
+    let mut produced = 0usize;
+    for tok in &tokens {
+        match tok {
+            Token::Literal(_) => produced += 1,
+            Token::Match(dist, len) => {
+                if *dist as usize > produced || *dist == 0 {
+                    return Err(GzipError::Malformed);
+                }
+                produced += *len as usize;
+            }
+        }
+    }
+    Ok(decode(&tokens))
+}
+
+/// The gzip-analogue workload.
+#[derive(Clone, Copy, Debug)]
+pub struct GzipWorkload {
+    scale: Scale,
+}
+
+impl GzipWorkload {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale }
+    }
+}
+
+impl Workload for GzipWorkload {
+    fn name(&self) -> &'static str {
+        "gzip"
+    }
+
+    fn description(&self) -> &'static str {
+        "LZ77 compressor with level-configured hash-chain match finder"
+    }
+
+    fn sites(&self) -> &'static [SiteDecl] {
+        SITES
+    }
+
+    fn input_sets(&self) -> Vec<InputSet> {
+        // (name, description, seed, KB, level, data kind)
+        let table: [(&'static str, &'static str, u64, u64, i64, u32); 8] = [
+            ("train", "combined text, level 6", 101, 224, 6, 0),
+            ("ref", "source code, level 9", 102, 512, 9, 1),
+            ("ext-1", "server logs, level 3", 103, 288, 3, 2),
+            ("ext-2", "graphic data, level 5", 104, 320, 5, 3),
+            ("ext-3", "random data, level 9", 105, 288, 9, 5),
+            ("ext-4", "program source, level 2", 106, 320, 2, 1),
+            ("ext-5", "C source, level 7", 107, 288, 7, 1),
+            ("ext-6", "large text, level 1", 108, 384, 1, 0),
+        ];
+        table
+            .iter()
+            .map(|&(name, description, seed, kb, level, variant)| InputSet {
+                name,
+                description,
+                seed,
+                size: self.scale.apply(kb * 1024),
+                level,
+                variant,
+            })
+            .collect()
+    }
+
+    fn run(&self, input: &InputSet, tracer: &mut dyn Tracer) {
+        let kind = DataKind::from_variant(input.variant);
+        let data = generate(kind, input.size as usize, input.seed);
+        let tokens = deflate(&data, input.level as usize, tracer);
+        let bits = encode_cost(&tokens, tracer);
+        std::hint::black_box(bits);
+    }
+
+    fn instructions_per_branch(&self) -> f64 {
+        6.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrace::{CountingTracer, EdgeProfiler, NullTracer, SiteId};
+
+    #[test]
+    fn roundtrip_all_kinds_and_levels() {
+        for (kind, level) in [
+            (DataKind::Text, 1),
+            (DataKind::Text, 9),
+            (DataKind::Source, 6),
+            (DataKind::Random, 4),
+            (DataKind::Graphic, 8),
+            (DataKind::Video, 2),
+            (DataKind::Log, 5),
+        ] {
+            let data = generate(kind, 20_000, 7);
+            let tokens = deflate(&data, level, &mut NullTracer);
+            assert_eq!(decode(&tokens), data, "{kind:?} level {level}");
+        }
+    }
+
+    #[test]
+    fn compressible_data_produces_matches() {
+        let data = generate(DataKind::Text, 50_000, 3);
+        let tokens = deflate(&data, 9, &mut NullTracer);
+        let matches = tokens
+            .iter()
+            .filter(|t| matches!(t, Token::Match(..)))
+            .count();
+        assert!(
+            matches * 10 > tokens.len(),
+            "text should compress: {matches}/{}",
+            tokens.len()
+        );
+        assert!(tokens.len() < data.len() / 2);
+    }
+
+    #[test]
+    fn random_data_is_mostly_literals() {
+        let data = generate(DataKind::Random, 50_000, 3);
+        let tokens = deflate(&data, 9, &mut NullTracer);
+        let literals = tokens
+            .iter()
+            .filter(|t| matches!(t, Token::Literal(_)))
+            .count();
+        assert!(
+            literals * 10 > tokens.len() * 9,
+            "{literals}/{}",
+            tokens.len()
+        );
+    }
+
+    #[test]
+    fn chain_exit_bias_depends_on_level() {
+        // The Figure 7 property: at level 1 the chain walk caps at 4, so the
+        // exit branch's taken ("continue") rate is far lower than at level 9.
+        let data = generate(DataKind::Text, 60_000, 11);
+        let rate = |level: usize| {
+            let mut prof = EdgeProfiler::new(SITES.len());
+            deflate(&data, level, &mut prof);
+            prof.edge(S_CHAIN_EXIT).taken_rate().unwrap()
+        };
+        let r1 = rate(1);
+        let r9 = rate(9);
+        assert!(
+            r9 > r1 + 0.15,
+            "chain-continue rate should rise with level: L1={r1:.3} L9={r9:.3}"
+        );
+    }
+
+    #[test]
+    fn higher_level_finds_no_fewer_matches() {
+        let data = generate(DataKind::Source, 40_000, 13);
+        let compressed_len = |level| deflate(&data, level, &mut NullTracer).len();
+        let l1 = compressed_len(1);
+        let l9 = compressed_len(9);
+        assert!(
+            l9 <= l1,
+            "level 9 ({l9}) should not be worse than level 1 ({l1})"
+        );
+    }
+
+    #[test]
+    fn byte_container_roundtrips() {
+        for (kind, level) in [
+            (DataKind::Text, 9),
+            (DataKind::Source, 6),
+            (DataKind::Random, 1),
+            (DataKind::Log, 4),
+        ] {
+            let data = generate(kind, 30_000, 55);
+            let container = deflate_bytes(&data, level, &mut NullTracer);
+            assert_eq!(inflate_bytes(&container).unwrap(), data, "{kind:?}");
+            if kind == DataKind::Text {
+                assert!(
+                    container.len() < data.len() / 2,
+                    "text at level 9 should at least halve: {} -> {}",
+                    data.len(),
+                    container.len()
+                );
+            }
+        }
+        let empty = deflate_bytes(&[], 5, &mut NullTracer);
+        assert_eq!(inflate_bytes(&empty).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn corrupt_containers_rejected() {
+        let data = generate(DataKind::Text, 5_000, 77);
+        let container = deflate_bytes(&data, 6, &mut NullTracer);
+        assert!(inflate_bytes(&container[..container.len() - 3]).is_err());
+        assert!(inflate_bytes(&container[..10]).is_err());
+        let mut long = container.clone();
+        long.push(1);
+        assert_eq!(inflate_bytes(&long), Err(GzipError::Malformed));
+    }
+
+    #[test]
+    fn workload_runs_and_traces() {
+        let w = GzipWorkload::new(Scale::Tiny);
+        let mut c = CountingTracer::new();
+        w.run(&w.input_set("train").unwrap(), &mut c);
+        assert!(c.count() > 10_000, "{}", c.count());
+    }
+
+    #[test]
+    fn site_constants_are_dense() {
+        assert_eq!(S_MAIN_LOOP, SiteId(0));
+        assert_eq!(SITES.len(), 16);
+        btrace::validate_sites("gzip", SITES);
+    }
+
+    #[test]
+    #[should_panic(expected = "level must be 1..=9")]
+    fn deflate_rejects_level_zero() {
+        let _ = deflate(b"abc", 0, &mut NullTracer);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(deflate(b"", 5, &mut NullTracer).is_empty());
+        assert_eq!(
+            deflate(b"ab", 5, &mut NullTracer),
+            vec![Token::Literal(b'a'), Token::Literal(b'b')]
+        );
+    }
+}

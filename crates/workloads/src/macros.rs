@@ -1,0 +1,82 @@
+//! Internal macros shared by the workload implementations.
+
+/// Declares a workload's static branch-site table plus one `SiteId` constant
+/// per site:
+///
+/// ```ignore
+/// declare_sites! {
+///     S_CHAIN_EXIT => "hash_chain_exit" (Loop),
+///     S_MATCH_LONGER => "match_longer" (Search),
+/// }
+/// ```
+///
+/// expands to `pub const SITES: &[SiteDecl]` and
+/// `const S_CHAIN_EXIT: SiteId = SiteId(0);` etc., with ids assigned in
+/// declaration order.
+macro_rules! declare_sites {
+    ($($konst:ident => $name:literal ($kind:ident)),+ $(,)?) => {
+        /// The workload's static branch-site table.
+        pub const SITES: &[btrace::SiteDecl] = &[
+            $(btrace::SiteDecl::new($name, btrace::BranchKind::$kind)),+
+        ];
+        declare_sites!(@ids 0u32; $($konst),+);
+    };
+    (@ids $idx:expr; $head:ident $(, $rest:ident)*) => {
+        pub(crate) const $head: btrace::SiteId = btrace::SiteId($idx);
+        declare_sites!(@ids $idx + 1u32; $($rest),*);
+    };
+    (@ids $idx:expr;) => {};
+}
+
+/// Traces a conditional branch through the ambient tracer and yields the
+/// condition, so instrumented code reads like ordinary control flow:
+///
+/// ```ignore
+/// if br!(t, S_CHAIN_EXIT, chain_length != 0) { … }
+/// ```
+macro_rules! br {
+    ($tracer:expr, $site:expr, $cond:expr) => {{
+        let cond: bool = $cond;
+        $tracer.branch($site, cond);
+        cond
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use btrace::{CountingTracer, SiteId, Tracer};
+
+    mod demo {
+        declare_sites! {
+            S_A => "alpha" (Loop),
+            S_B => "beta" (Guard),
+            S_C => "gamma" (TypeCheck),
+        }
+    }
+
+    #[test]
+    fn ids_follow_declaration_order() {
+        assert_eq!(demo::S_A, SiteId(0));
+        assert_eq!(demo::S_B, SiteId(1));
+        assert_eq!(demo::S_C, SiteId(2));
+        assert_eq!(demo::SITES.len(), 3);
+        assert_eq!(demo::SITES[1].name, "beta");
+        assert_eq!(demo::SITES[2].kind, btrace::BranchKind::TypeCheck);
+    }
+
+    #[test]
+    fn br_macro_traces_and_returns() {
+        let mut t = CountingTracer::new();
+        let tr: &mut dyn Tracer = &mut t;
+        let x = 5;
+        let mut hits = 0;
+        if br!(tr, demo::S_A, x > 3) {
+            hits += 1;
+        }
+        if br!(tr, demo::S_B, x > 9) {
+            hits += 1;
+        }
+        assert_eq!(hits, 1);
+        assert_eq!(t.count(), 2);
+    }
+}

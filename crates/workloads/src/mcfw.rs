@@ -1,0 +1,386 @@
+//! `mcf` analogue: minimum-cost flow on generated transport networks.
+//!
+//! Successive shortest augmenting paths with an SPFA (queue-based
+//! Bellman–Ford) distance computation over the residual network — the same
+//! algorithmic skeleton as SPEC mcf's network simplex in terms of branch
+//! structure: relaxation tests, residual-capacity guards, and queue
+//! membership checks whose behaviour tracks the network's size, topology and
+//! cost distribution.
+
+use crate::rng::Xoshiro256;
+use crate::{InputSet, Scale, Workload};
+use btrace::{SiteDecl, Tracer};
+use std::collections::VecDeque;
+
+declare_sites! {
+    S_SSP_ROUND => "shortest_path_round" (Loop),
+    S_QUEUE_LOOP => "spfa_queue_loop" (Loop),
+    S_ARC_LOOP => "arc_scan_loop" (Loop),
+    S_CAP_POS => "residual_capacity_positive" (Guard),
+    S_RELAX => "distance_relaxation" (Search),
+    S_IN_QUEUE => "node_already_queued" (Guard),
+    S_SINK_REACHED => "sink_reachable" (Guard),
+    S_AUGMENT_LOOP => "augment_path_walk" (Loop),
+    S_BOTTLENECK => "bottleneck_tightens" (Search),
+    S_ARC_FORWARD => "arc_is_forward" (IfElse),
+    S_DIST_SET => "node_distance_known" (Guard),
+    S_COST_ZERO => "arc_cost_is_zero" (TypeCheck),
+}
+
+/// A directed arc with capacity and cost; arcs are stored with their
+/// residual twins (`arc ^ 1` is the reverse arc).
+#[derive(Clone, Copy, Debug)]
+struct Arc {
+    to: u32,
+    cap: i64,
+    cost: i64,
+}
+
+/// A flow network in adjacency-list form.
+#[derive(Clone, Debug)]
+pub struct Network {
+    arcs: Vec<Arc>,
+    adj: Vec<Vec<u32>>,
+    source: u32,
+    sink: u32,
+}
+
+impl Network {
+    fn add_arc(&mut self, from: u32, to: u32, cap: i64, cost: i64) {
+        let id = self.arcs.len() as u32;
+        self.arcs.push(Arc { to, cap, cost });
+        self.arcs.push(Arc {
+            to: from,
+            cap: 0,
+            cost: -cost,
+        });
+        self.adj[from as usize].push(id);
+        self.adj[to as usize].push(id + 1);
+    }
+
+    /// Generates a layered transport network: `layers` layers of `width`
+    /// nodes, arcs between adjacent layers plus `shortcut_pct`% skip arcs,
+    /// costs in `[1, cost_range]`.
+    pub fn generate(
+        layers: usize,
+        width: usize,
+        shortcut_pct: u64,
+        cost_range: i64,
+        rng: &mut Xoshiro256,
+    ) -> Self {
+        assert!(layers >= 2 && width >= 1, "need at least 2 layers");
+        let n = layers * width + 2;
+        let source = 0u32;
+        let sink = (n - 1) as u32;
+        let mut net = Self {
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); n],
+            source,
+            sink,
+        };
+        let node = |l: usize, w: usize| (1 + l * width + w) as u32;
+        for w in 0..width {
+            net.add_arc(source, node(0, w), 2 + rng.below(6) as i64, 0);
+            net.add_arc(node(layers - 1, w), sink, 2 + rng.below(6) as i64, 0);
+        }
+        for l in 0..layers - 1 {
+            for w in 0..width {
+                // arcs to a few nodes in the next layer
+                let fan = 2 + rng.below(3) as usize;
+                for _ in 0..fan {
+                    let dst = rng.below(width as u64) as usize;
+                    net.add_arc(
+                        node(l, w),
+                        node(l + 1, dst),
+                        1 + rng.below(8) as i64,
+                        1 + rng.below(cost_range as u64) as i64,
+                    );
+                }
+                // occasional long skip arc
+                if l + 2 < layers && rng.chance(shortcut_pct) {
+                    let dst = rng.below(width as u64) as usize;
+                    net.add_arc(
+                        node(l, w),
+                        node(l + 2, dst),
+                        1 + rng.below(4) as i64,
+                        1 + rng.below((cost_range * 2) as u64) as i64,
+                    );
+                }
+            }
+        }
+        net
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+/// Result of a min-cost-flow computation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowResult {
+    /// Total flow pushed from source to sink.
+    pub flow: i64,
+    /// Total cost of that flow.
+    pub cost: i64,
+}
+
+/// Runs successive-shortest-path min-cost max-flow, tracing branches.
+pub fn min_cost_flow(net: &Network, t: &mut dyn Tracer) -> FlowResult {
+    let n = net.num_nodes();
+    let mut cap: Vec<i64> = net.arcs.iter().map(|a| a.cap).collect();
+    let mut result = FlowResult::default();
+    loop {
+        // SPFA from source on the residual network
+        let mut dist = vec![i64::MAX; n];
+        let mut in_queue = vec![false; n];
+        let mut pred: Vec<i32> = vec![-1; n];
+        dist[net.source as usize] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(net.source);
+        in_queue[net.source as usize] = true;
+        while br!(t, S_QUEUE_LOOP, !queue.is_empty()) {
+            let u = queue.pop_front().expect("guarded") as usize;
+            in_queue[u] = false;
+            let mut ai = 0usize;
+            while br!(t, S_ARC_LOOP, ai < net.adj[u].len()) {
+                let aid = net.adj[u][ai] as usize;
+                ai += 1;
+                br!(t, S_ARC_FORWARD, aid.is_multiple_of(2));
+                if !br!(t, S_CAP_POS, cap[aid] > 0) {
+                    continue;
+                }
+                let arc = net.arcs[aid];
+                let v = arc.to as usize;
+                br!(t, S_COST_ZERO, arc.cost == 0);
+                br!(t, S_DIST_SET, dist[v] != i64::MAX);
+                let nd = dist[u].saturating_add(arc.cost);
+                if br!(t, S_RELAX, nd < dist[v]) {
+                    dist[v] = nd;
+                    pred[v] = aid as i32;
+                    if !br!(t, S_IN_QUEUE, in_queue[v]) {
+                        in_queue[v] = true;
+                        queue.push_back(v as u32);
+                    }
+                }
+            }
+        }
+        if !br!(t, S_SINK_REACHED, dist[net.sink as usize] != i64::MAX) {
+            break;
+        }
+        // walk predecessors to find the bottleneck, then augment
+        let mut bottleneck = i64::MAX;
+        let mut v = net.sink as usize;
+        while br!(t, S_AUGMENT_LOOP, v != net.source as usize) {
+            let aid = pred[v] as usize;
+            if br!(t, S_BOTTLENECK, cap[aid] < bottleneck) {
+                bottleneck = cap[aid];
+            }
+            v = net.arcs[aid ^ 1].to as usize;
+        }
+        let mut v = net.sink as usize;
+        while v != net.source as usize {
+            let aid = pred[v] as usize;
+            cap[aid] -= bottleneck;
+            cap[aid ^ 1] += bottleneck;
+            v = net.arcs[aid ^ 1].to as usize;
+        }
+        result.flow += bottleneck;
+        result.cost += bottleneck * dist[net.sink as usize];
+        br!(t, S_SSP_ROUND, true);
+    }
+    br!(t, S_SSP_ROUND, false);
+    result
+}
+
+/// The mcf-analogue workload.
+#[derive(Clone, Copy, Debug)]
+pub struct McfWorkload {
+    scale: Scale,
+}
+
+impl McfWorkload {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale }
+    }
+}
+
+impl Workload for McfWorkload {
+    fn name(&self) -> &'static str {
+        "mcf"
+    }
+
+    fn description(&self) -> &'static str {
+        "min-cost flow via successive shortest augmenting paths"
+    }
+
+    fn sites(&self) -> &'static [SiteDecl] {
+        SITES
+    }
+
+    fn input_sets(&self) -> Vec<InputSet> {
+        // size = instances x 1000; level = layers;
+        // variant = (width << 16) | (shortcut_pct << 8) | cost_range
+        let table: [(&'static str, &'static str, u64, u64, i64, u32); 4] = [
+            (
+                "train",
+                "small networks, low cost spread",
+                701,
+                9_000,
+                12,
+                (10 << 16) | (20 << 8) | 10,
+            ),
+            (
+                "ref",
+                "large networks, wide cost spread",
+                702,
+                16_000,
+                20,
+                (14 << 16) | (35 << 8) | 60,
+            ),
+            (
+                "ext-1",
+                "deep narrow networks",
+                703,
+                11_000,
+                30,
+                (6 << 16) | (10 << 8) | 25,
+            ),
+            (
+                "ext-2",
+                "shallow wide networks",
+                704,
+                12_000,
+                6,
+                (24 << 16) | (50 << 8) | 15,
+            ),
+        ];
+        table
+            .iter()
+            .map(
+                |&(name, description, seed, size, level, variant)| InputSet {
+                    name,
+                    description,
+                    seed,
+                    size: self.scale.apply(size),
+                    level,
+                    variant,
+                },
+            )
+            .collect()
+    }
+
+    fn run(&self, input: &InputSet, t: &mut dyn Tracer) {
+        let mut rng = Xoshiro256::seed_from_u64(input.seed);
+        let width = (input.variant >> 16) as usize;
+        let layers = input.level as usize;
+        let shortcut = ((input.variant >> 8) & 0xFF) as u64;
+        let cost_range = (input.variant & 0xFF) as i64;
+        // solve a series of instances, as SPEC mcf re-optimizes timetables
+        let instances = (input.size / 1000).max(1);
+        let mut total = FlowResult::default();
+        for _ in 0..instances {
+            let net = Network::generate(layers, width, shortcut, cost_range, &mut rng);
+            let r = min_cost_flow(&net, t);
+            total.flow += r.flow;
+            total.cost += r.cost;
+        }
+        std::hint::black_box(total);
+    }
+
+    fn instructions_per_branch(&self) -> f64 {
+        7.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrace::NullTracer;
+
+    /// Hand-checkable diamond network.
+    fn diamond() -> Network {
+        //      1
+        //   /     \
+        // 0         3
+        //   \     /
+        //      2
+        let mut net = Network {
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); 4],
+            source: 0,
+            sink: 3,
+        };
+        net.add_arc(0, 1, 2, 1); // cheap, cap 2
+        net.add_arc(0, 2, 2, 4); // pricey, cap 2
+        net.add_arc(1, 3, 2, 1);
+        net.add_arc(2, 3, 2, 1);
+        net
+    }
+
+    #[test]
+    fn diamond_flow_and_cost() {
+        let r = min_cost_flow(&diamond(), &mut NullTracer);
+        assert_eq!(r.flow, 4);
+        // 2 units over 0-1-3 at cost 2 each, 2 units over 0-2-3 at cost 5
+        assert_eq!(r.cost, 2 * 2 + 2 * 5);
+    }
+
+    #[test]
+    fn disconnected_network_pushes_nothing() {
+        let mut net = Network {
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); 3],
+            source: 0,
+            sink: 2,
+        };
+        net.add_arc(0, 1, 5, 1); // no arc reaches the sink
+        let r = min_cost_flow(&net, &mut NullTracer);
+        assert_eq!(r, FlowResult { flow: 0, cost: 0 });
+    }
+
+    #[test]
+    fn cheaper_path_saturates_first() {
+        // With unit capacities, the cheapest path must carry the first unit.
+        let mut net = Network {
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); 4],
+            source: 0,
+            sink: 3,
+        };
+        net.add_arc(0, 1, 1, 1);
+        net.add_arc(1, 3, 1, 1);
+        net.add_arc(0, 2, 1, 10);
+        net.add_arc(2, 3, 1, 10);
+        let r = min_cost_flow(&net, &mut NullTracer);
+        assert_eq!(r.flow, 2);
+        assert_eq!(r.cost, 2 + 20);
+    }
+
+    #[test]
+    fn generated_networks_have_positive_flow() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let net = Network::generate(6, 8, 25, 20, &mut rng);
+        let r = min_cost_flow(&net, &mut NullTracer);
+        assert!(r.flow > 0, "layered network must be connected");
+        assert!(r.cost >= r.flow, "every interior arc costs at least 1");
+    }
+
+    #[test]
+    fn flow_conservation_via_rerun_determinism() {
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        let net = Network::generate(5, 6, 30, 15, &mut rng);
+        let a = min_cost_flow(&net, &mut NullTracer);
+        let b = min_cost_flow(&net, &mut NullTracer);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 layers")]
+    fn generate_rejects_degenerate() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let _ = Network::generate(1, 4, 10, 5, &mut rng);
+    }
+}

@@ -1,0 +1,479 @@
+//! `parser` analogue: a dictionary-driven natural-language parser.
+//!
+//! Tokenizes generated English-like sentences, looks each word up in a
+//! dictionary of word classes, and parses with a backtracking recursive
+//! descent over a small phrase grammar (S → NP VP, NP → Det? Adj* N | Pron,
+//! VP → V NP? PP*, PP → P NP). Dictionary coverage and sentence structure
+//! differ per input set, shifting the lookup-miss and backtracking branches.
+
+use crate::rng::Xoshiro256;
+use crate::{InputSet, Scale, Workload};
+use btrace::{SiteDecl, Tracer};
+
+declare_sites! {
+    S_SENT_LOOP => "sentence_loop" (Loop),
+    S_TOKEN_LOOP => "token_scan_loop" (Loop),
+    S_DICT_PROBE => "dict_probe_mismatch" (Search),
+    S_KNOWN_WORD => "word_in_dictionary" (Guard),
+    S_SUFFIX_S => "unknown_suffix_s" (IfElse),
+    S_CLASS_NOUN => "class_is_noun" (TypeCheck),
+    S_CLASS_VERB => "class_is_verb" (TypeCheck),
+    S_TRY_DET => "np_has_determiner" (Search),
+    S_ADJ_LOOP => "np_adjective_loop" (Loop),
+    S_VP_HAS_OBJ => "vp_has_object" (Search),
+    S_PP_LOOP => "vp_pp_loop" (Loop),
+    S_BACKTRACK => "parse_backtracks" (Search),
+    S_PARSE_OK => "sentence_parses" (Guard),
+    S_NP_PRONOUN => "np_is_pronoun" (TypeCheck),
+    S_SENT_LONG => "sentence_is_long" (IfElse),
+}
+
+/// Word classes of the toy grammar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WordClass {
+    /// Noun.
+    Noun,
+    /// Verb.
+    Verb,
+    /// Adjective.
+    Adjective,
+    /// Determiner.
+    Determiner,
+    /// Pronoun.
+    Pronoun,
+    /// Preposition.
+    Preposition,
+}
+
+const NOUNS: &[&str] = &[
+    "cat", "dog", "tree", "house", "bird", "car", "book", "river", "stone", "cloud", "child",
+    "road", "ship", "garden", "window",
+];
+const VERBS: &[&str] = &[
+    "sees", "finds", "takes", "makes", "gives", "holds", "follows", "paints", "builds", "reads",
+];
+const ADJS: &[&str] = &[
+    "big", "small", "red", "old", "quick", "bright", "quiet", "heavy", "green", "round",
+];
+const DETS: &[&str] = &["the", "a", "every", "some", "this"];
+const PRONS: &[&str] = &["she", "he", "they", "it"];
+const PREPS: &[&str] = &["on", "under", "near", "behind", "with"];
+
+/// An open-addressing dictionary from word to class, with an instrumented
+/// probe loop (linear probing, as link-grammar-era C dictionaries used).
+pub struct Dictionary {
+    slots: Vec<Option<(String, WordClass)>>,
+    mask: usize,
+}
+
+impl Dictionary {
+    /// Builds a dictionary containing a `coverage`-percent sample of the full
+    /// vocabulary (unknown words force the parser onto its guessing path).
+    pub fn build(coverage: u64, rng: &mut Xoshiro256) -> Self {
+        let cap = 256usize; // power of two, ~40% load
+        let mut d = Self {
+            slots: vec![None; cap],
+            mask: cap - 1,
+        };
+        let classes: [(&[&str], WordClass); 6] = [
+            (NOUNS, WordClass::Noun),
+            (VERBS, WordClass::Verb),
+            (ADJS, WordClass::Adjective),
+            (DETS, WordClass::Determiner),
+            (PRONS, WordClass::Pronoun),
+            (PREPS, WordClass::Preposition),
+        ];
+        for (words, class) in classes {
+            for &w in words {
+                // closed-class words are always kept; open-class words are
+                // sampled by coverage
+                let keep = matches!(
+                    class,
+                    WordClass::Determiner | WordClass::Pronoun | WordClass::Preposition
+                ) || rng.chance(coverage);
+                if keep {
+                    d.insert(w, class);
+                }
+            }
+        }
+        d
+    }
+
+    fn hash(word: &str) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in word.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h as usize
+    }
+
+    fn insert(&mut self, word: &str, class: WordClass) {
+        let mut i = Self::hash(word) & self.mask;
+        while self.slots[i].is_some() {
+            if self.slots[i].as_ref().map(|(w, _)| w.as_str()) == Some(word) {
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+        self.slots[i] = Some((word.to_owned(), class));
+    }
+
+    /// Looks up a word, tracing the probe loop.
+    pub fn lookup(&self, word: &str, t: &mut dyn Tracer) -> Option<WordClass> {
+        let mut i = Self::hash(word) & self.mask;
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some((w, class)) => {
+                    if !br!(t, S_DICT_PROBE, w != word) {
+                        return Some(*class);
+                    }
+                    i = (i + 1) & self.mask;
+                }
+            }
+        }
+    }
+}
+
+/// Classifies a token: dictionary hit, or a suffix-based guess.
+fn classify(dict: &Dictionary, word: &str, t: &mut dyn Tracer) -> WordClass {
+    let hit = dict.lookup(word, t);
+    if br!(t, S_KNOWN_WORD, hit.is_some()) {
+        return hit.expect("guarded");
+    }
+    // unknown-word morphology guess, as the SPEC parser does
+    if br!(t, S_SUFFIX_S, word.ends_with('s')) {
+        WordClass::Verb
+    } else {
+        WordClass::Noun
+    }
+}
+
+struct Parser<'a> {
+    tokens: &'a [WordClass],
+    pos: usize,
+    backtracks: u32,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<WordClass> {
+        self.tokens.get(self.pos).copied()
+    }
+
+    fn parse_np(&mut self, t: &mut dyn Tracer) -> bool {
+        let start = self.pos;
+        if br!(t, S_NP_PRONOUN, self.peek() == Some(WordClass::Pronoun)) {
+            self.pos += 1;
+            return true;
+        }
+        if br!(t, S_TRY_DET, self.peek() == Some(WordClass::Determiner)) {
+            self.pos += 1;
+        }
+        while br!(t, S_ADJ_LOOP, self.peek() == Some(WordClass::Adjective)) {
+            self.pos += 1;
+        }
+        if br!(t, S_CLASS_NOUN, self.peek() == Some(WordClass::Noun)) {
+            self.pos += 1;
+            true
+        } else {
+            br!(t, S_BACKTRACK, self.pos != start);
+            self.backtracks += (self.pos != start) as u32;
+            self.pos = start;
+            false
+        }
+    }
+
+    fn parse_pp(&mut self, t: &mut dyn Tracer) -> bool {
+        let start = self.pos;
+        if self.peek() != Some(WordClass::Preposition) {
+            return false;
+        }
+        self.pos += 1;
+        if self.parse_np(t) {
+            true
+        } else {
+            br!(t, S_BACKTRACK, true);
+            self.backtracks += 1;
+            self.pos = start;
+            false
+        }
+    }
+
+    fn parse_vp(&mut self, t: &mut dyn Tracer) -> bool {
+        if !br!(t, S_CLASS_VERB, self.peek() == Some(WordClass::Verb)) {
+            return false;
+        }
+        self.pos += 1;
+        br!(t, S_VP_HAS_OBJ, self.parse_np(t));
+        while br!(t, S_PP_LOOP, self.parse_pp(t)) {}
+        true
+    }
+
+    fn parse_sentence(&mut self, t: &mut dyn Tracer) -> bool {
+        self.parse_np(t) && self.parse_vp(t) && self.pos == self.tokens.len()
+    }
+}
+
+/// Generates one sentence's words. `complexity` (0–100) controls adjective
+/// stacking, PP chains and ungrammatical noise.
+fn gen_sentence(rng: &mut Xoshiro256, complexity: u64, out: &mut Vec<&'static str>) {
+    out.clear();
+    // NP
+    if rng.chance(25) {
+        out.push(*rng.pick(PRONS));
+    } else {
+        if rng.chance(85) {
+            out.push(*rng.pick(DETS));
+        }
+        while rng.chance(complexity / 2) && out.len() < 6 {
+            out.push(*rng.pick(ADJS));
+        }
+        out.push(*rng.pick(NOUNS));
+    }
+    // VP
+    out.push(*rng.pick(VERBS));
+    if rng.chance(70) {
+        if rng.chance(80) {
+            out.push(*rng.pick(DETS));
+        }
+        out.push(*rng.pick(NOUNS));
+    }
+    while rng.chance(complexity / 3) && out.len() < 14 {
+        out.push(*rng.pick(PREPS));
+        out.push(*rng.pick(DETS));
+        out.push(*rng.pick(NOUNS));
+    }
+    // noise: swap two words occasionally, making some sentences fail
+    if rng.chance(complexity / 4) && out.len() >= 2 {
+        let i = rng.below(out.len() as u64) as usize;
+        let j = rng.below(out.len() as u64) as usize;
+        out.swap(i, j);
+    }
+}
+
+/// The parser-analogue workload.
+#[derive(Clone, Copy, Debug)]
+pub struct ParserWorkload {
+    scale: Scale,
+}
+
+impl ParserWorkload {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale }
+    }
+}
+
+impl Workload for ParserWorkload {
+    fn name(&self) -> &'static str {
+        "parser"
+    }
+
+    fn description(&self) -> &'static str {
+        "dictionary-based backtracking sentence parser"
+    }
+
+    fn sites(&self) -> &'static [SiteDecl] {
+        SITES
+    }
+
+    fn input_sets(&self) -> Vec<InputSet> {
+        // size = sentences; level = dictionary coverage %; variant = complexity
+        let table: [(&'static str, &'static str, u64, u64, i64, u32); 4] = [
+            (
+                "train",
+                "simple sentences, full dictionary",
+                601,
+                40_000,
+                95,
+                25,
+            ),
+            (
+                "ref",
+                "complex sentences, partial dictionary",
+                602,
+                110_000,
+                70,
+                60,
+            ),
+            (
+                "ext-1",
+                "very complex, sparse dictionary",
+                603,
+                50_000,
+                45,
+                85,
+            ),
+            ("ext-2", "simple, medium dictionary", 604, 45_000, 80, 30),
+        ];
+        table
+            .iter()
+            .map(
+                |&(name, description, seed, size, level, variant)| InputSet {
+                    name,
+                    description,
+                    seed,
+                    size: self.scale.apply(size),
+                    level,
+                    variant,
+                },
+            )
+            .collect()
+    }
+
+    fn run(&self, input: &InputSet, t: &mut dyn Tracer) {
+        let mut rng = Xoshiro256::seed_from_u64(input.seed);
+        let dict = Dictionary::build(input.level as u64, &mut rng);
+        let mut words = Vec::with_capacity(16);
+        let mut classes = Vec::with_capacity(16);
+        let mut parsed = 0u64;
+        let mut s = 0u64;
+        while br!(t, S_SENT_LOOP, s < input.size) {
+            s += 1;
+            gen_sentence(&mut rng, input.variant as u64, &mut words);
+            br!(t, S_SENT_LONG, words.len() > 7);
+            classes.clear();
+            let mut i = 0usize;
+            while br!(t, S_TOKEN_LOOP, i < words.len()) {
+                classes.push(classify(&dict, words[i], t));
+                i += 1;
+            }
+            let mut p = Parser {
+                tokens: &classes,
+                pos: 0,
+                backtracks: 0,
+            };
+            let ok = p.parse_sentence(t);
+            if br!(t, S_PARSE_OK, ok) {
+                parsed += 1;
+            }
+        }
+        std::hint::black_box(parsed);
+    }
+
+    fn instructions_per_branch(&self) -> f64 {
+        6.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrace::NullTracer;
+
+    fn full_dict() -> Dictionary {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        Dictionary::build(100, &mut rng)
+    }
+
+    #[test]
+    fn dictionary_lookup_hits_and_misses() {
+        let d = full_dict();
+        let t = &mut NullTracer;
+        assert_eq!(d.lookup("cat", t), Some(WordClass::Noun));
+        assert_eq!(d.lookup("sees", t), Some(WordClass::Verb));
+        assert_eq!(d.lookup("the", t), Some(WordClass::Determiner));
+        assert_eq!(d.lookup("zzyzx", t), None);
+    }
+
+    #[test]
+    fn unknown_words_are_guessed_by_suffix() {
+        let d = full_dict();
+        let t = &mut NullTracer;
+        assert_eq!(classify(&d, "wugs", t), WordClass::Verb);
+        assert_eq!(classify(&d, "wug", t), WordClass::Noun);
+    }
+
+    #[test]
+    fn grammatical_sentences_parse() {
+        use WordClass::*;
+        let t = &mut NullTracer;
+        let cases: Vec<(Vec<WordClass>, bool)> = vec![
+            (vec![Determiner, Noun, Verb, Determiner, Noun], true),
+            (vec![Pronoun, Verb], true),
+            (
+                vec![
+                    Determiner,
+                    Adjective,
+                    Adjective,
+                    Noun,
+                    Verb,
+                    Preposition,
+                    Determiner,
+                    Noun,
+                ],
+                true,
+            ),
+            (vec![Determiner, Noun], false),       // no VP
+            (vec![Verb, Determiner, Noun], false), // no subject
+            (vec![Determiner, Noun, Verb, Preposition], false), // dangling P
+        ];
+        for (tokens, expect) in cases {
+            let mut p = Parser {
+                tokens: &tokens,
+                pos: 0,
+                backtracks: 0,
+            };
+            assert_eq!(p.parse_sentence(t), expect, "{tokens:?}");
+        }
+    }
+
+    #[test]
+    fn pp_failure_backtracks_cleanly() {
+        use WordClass::*;
+        let t = &mut NullTracer;
+        // "she sees on" — PP starts but has no NP; VP should still succeed
+        // with the position restored, then fail at end-of-input check.
+        let tokens = vec![Pronoun, Verb, Preposition];
+        let mut p = Parser {
+            tokens: &tokens,
+            pos: 0,
+            backtracks: 0,
+        };
+        assert!(!p.parse_sentence(t));
+        assert_eq!(p.backtracks, 1);
+    }
+
+    #[test]
+    fn coverage_changes_parse_rate() {
+        let w = ParserWorkload::new(Scale::Tiny);
+        let count_ok = |level: i64, variant: u32| {
+            let mut rng = Xoshiro256::seed_from_u64(9);
+            let dict = Dictionary::build(level as u64, &mut rng);
+            let mut ok = 0u32;
+            let mut words = Vec::new();
+            for _ in 0..500 {
+                gen_sentence(&mut rng, variant as u64, &mut words);
+                let classes: Vec<_> = words
+                    .iter()
+                    .map(|w| classify(&dict, w, &mut NullTracer))
+                    .collect();
+                let mut p = Parser {
+                    tokens: &classes,
+                    pos: 0,
+                    backtracks: 0,
+                };
+                ok += p.parse_sentence(&mut NullTracer) as u32;
+            }
+            ok
+        };
+        let easy = count_ok(100, 20);
+        let hard = count_ok(40, 80);
+        assert!(
+            easy > hard + 50,
+            "full dictionary + simple sentences parse more: {easy} vs {hard}"
+        );
+        let _ = w; // silence unused in case of refactors
+    }
+
+    #[test]
+    fn sentences_have_sane_lengths() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut words = Vec::new();
+        for _ in 0..1_000 {
+            gen_sentence(&mut rng, 70, &mut words);
+            assert!((2..=17).contains(&words.len()), "{}", words.len());
+        }
+    }
+}

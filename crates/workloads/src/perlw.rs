@@ -1,0 +1,505 @@
+//! `perlbmk` analogue: text processing and pattern matching.
+//!
+//! Mirrors SPEC's `diffmail.pl` workload: generate batches of mail-like
+//! messages, diff pairs of message bodies line-by-line (LCS dynamic
+//! program), and match headers against a set of glob-style patterns with a
+//! backtracking matcher. Input sets vary message similarity, pattern
+//! selectivity and batch shape — exactly the knobs `diffmail.pl` takes as
+//! command-line parameters.
+
+use crate::rng::Xoshiro256;
+use crate::{InputSet, Scale, Workload};
+use btrace::{SiteDecl, Tracer};
+
+declare_sites! {
+    S_MSG_LOOP => "message_loop" (Loop),
+    S_LINE_LOOP => "diff_line_loop" (Loop),
+    S_LINE_EQ => "diff_lines_equal" (Search),
+    S_DP_TAKE_LEFT => "lcs_prefers_left" (IfElse),
+    S_RX_CHAR_EQ => "glob_char_matches" (Search),
+    S_RX_IS_STAR => "glob_token_is_star" (TypeCheck),
+    S_RX_IS_CLASS => "glob_token_is_class" (TypeCheck),
+    S_RX_STAR_EXTEND => "glob_star_extend" (Loop),
+    S_RX_CLASS_MEMBER => "glob_class_member_scan" (Search),
+    S_HDR_FILTER => "header_filter_hits" (Guard),
+    S_CASE_UPPER => "char_needs_casefold" (IfElse),
+    S_DOMAIN_EQ => "from_domain_matches" (Search),
+    S_SUBJ_LONG => "subject_is_long" (IfElse),
+    S_MYERS_D_LOOP => "myers_edit_distance_loop" (Loop),
+    S_MYERS_GO_DOWN => "myers_step_is_down" (IfElse),
+    S_MYERS_SNAKE => "myers_snake_extends" (Loop),
+}
+
+/// A glob-style pattern token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Pat {
+    Lit(u8),
+    Any,            // ?
+    Star,           // *
+    Class(Vec<u8>), // [abc]
+}
+
+/// Compiles a glob pattern (`*`, `?`, `[...]`, literals).
+pub fn compile_glob(pattern: &str) -> Vec<u8> {
+    // patterns are stored as bytes and parsed on the fly by the matcher, so
+    // this just validates and normalizes
+    pattern.bytes().collect()
+}
+
+fn parse_tokens(pat: &[u8]) -> Vec<Pat> {
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < pat.len() {
+        match pat[i] {
+            b'*' => {
+                toks.push(Pat::Star);
+                i += 1;
+            }
+            b'?' => {
+                toks.push(Pat::Any);
+                i += 1;
+            }
+            b'[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < pat.len() && pat[i] != b']' {
+                    set.push(pat[i]);
+                    i += 1;
+                }
+                i += 1; // skip ]
+                toks.push(Pat::Class(set));
+            }
+            c => {
+                toks.push(Pat::Lit(c));
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+fn match_tokens(toks: &[Pat], text: &[u8], t: &mut dyn Tracer) -> bool {
+    match toks.first() {
+        None => text.is_empty(),
+        Some(tok) => {
+            if br!(t, S_RX_IS_STAR, *tok == Pat::Star) {
+                // greedy star with backtracking: try every split point
+                let mut skip = text.len();
+                loop {
+                    if match_tokens(&toks[1..], &text[skip..], t) {
+                        return true;
+                    }
+                    if !br!(t, S_RX_STAR_EXTEND, skip > 0) {
+                        return false;
+                    }
+                    skip -= 1;
+                }
+            }
+            if text.is_empty() {
+                return false;
+            }
+            let c = text[0].to_ascii_lowercase();
+            br!(t, S_CASE_UPPER, text[0].is_ascii_uppercase());
+            let head_ok = if br!(t, S_RX_IS_CLASS, matches!(tok, Pat::Class(_))) {
+                let Pat::Class(set) = tok else {
+                    unreachable!("guarded")
+                };
+                let mut hit = false;
+                for &m in set {
+                    if !br!(t, S_RX_CLASS_MEMBER, m != c) {
+                        hit = true;
+                        break;
+                    }
+                }
+                hit
+            } else {
+                match tok {
+                    Pat::Lit(l) => br!(t, S_RX_CHAR_EQ, *l == c),
+                    Pat::Any => true,
+                    _ => unreachable!("star and class handled above"),
+                }
+            };
+            head_ok && match_tokens(&toks[1..], &text[1..], t)
+        }
+    }
+}
+
+/// Matches a glob pattern against text (case-insensitive), tracing the
+/// matcher's branches.
+pub fn glob_match(pattern: &[u8], text: &[u8], t: &mut dyn Tracer) -> bool {
+    match_tokens(&parse_tokens(pattern), text, t)
+}
+
+/// Line-level diff size via Myers' O(ND) algorithm — the algorithm diff(1)
+/// and Perl's Algorithm::Diff actually use. Returns the number of changed
+/// lines (insertions + deletions), i.e. the shortest edit distance.
+///
+/// The working set is the classic `v` array of furthest-reaching x per
+/// diagonal; the hot branches are the down/right choice and the "snake"
+/// (matching-run) extension loop, both directly input-similarity-dependent.
+pub fn diff_size(a: &[u64], b: &[u64], t: &mut dyn Tracer) -> usize {
+    let (n, m) = (a.len() as i64, b.len() as i64);
+    if n == 0 {
+        return m as usize;
+    }
+    if m == 0 {
+        return n as usize;
+    }
+    let max = n + m;
+    let offset = max;
+    let mut v = vec![0i64; (2 * max + 1) as usize];
+    let mut d = 0i64;
+    while br!(t, S_MYERS_D_LOOP, d <= max) {
+        let mut k = -d;
+        while k <= d {
+            let go_down =
+                k == -d || (k != d && v[(offset + k - 1) as usize] < v[(offset + k + 1) as usize]);
+            let mut x = if br!(t, S_MYERS_GO_DOWN, go_down) {
+                v[(offset + k + 1) as usize]
+            } else {
+                v[(offset + k - 1) as usize] + 1
+            };
+            let mut y = x - k;
+            while br!(
+                t,
+                S_MYERS_SNAKE,
+                x < n && y < m && a[x as usize] == b[y as usize]
+            ) {
+                x += 1;
+                y += 1;
+            }
+            v[(offset + k) as usize] = x;
+            if x >= n && y >= m {
+                return d as usize;
+            }
+            k += 2;
+        }
+        d += 1;
+    }
+    unreachable!("d = n + m always reaches the end")
+}
+
+/// Line-level diff size via the classic LCS dynamic program (the O(NM)
+/// oracle [`diff_size`] is tested against).
+pub fn diff_size_dp(a: &[u64], b: &[u64], t: &mut dyn Tracer) -> usize {
+    let (n, m) = (a.len(), b.len());
+    let mut dp = vec![0u32; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    let mut i = 0usize;
+    while br!(t, S_LINE_LOOP, i < n) {
+        for j in 0..m {
+            let v = if br!(t, S_LINE_EQ, a[i] == b[j]) {
+                dp[idx(i, j)] + 1
+            } else {
+                let (left, up) = (dp[idx(i + 1, j)], dp[idx(i, j + 1)]);
+                if br!(t, S_DP_TAKE_LEFT, left >= up) {
+                    left
+                } else {
+                    up
+                }
+            };
+            dp[idx(i + 1, j + 1)] = v;
+        }
+        i += 1;
+    }
+    let lcs = dp[idx(n, m)] as usize;
+    (n - lcs) + (m - lcs)
+}
+
+/// A generated mail message: header fields plus body-line hashes.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Subject line.
+    pub subject: Vec<u8>,
+    /// From address.
+    pub from: Vec<u8>,
+    /// Hashes of the body lines (the diff operates on line identity).
+    pub body: Vec<u64>,
+}
+
+const SUBJECT_WORDS: &[&str] = &[
+    "meeting",
+    "report",
+    "urgent",
+    "schedule",
+    "update",
+    "invoice",
+    "holiday",
+    "review",
+    "reminder",
+    "newsletter",
+];
+const DOMAINS: &[&str] = &["example.com", "mail.org", "corp.net", "lists.io"];
+
+fn gen_message(rng: &mut Xoshiro256, body_lines: u64) -> Message {
+    let mut subject = Vec::new();
+    for k in 0..1 + rng.below(4) {
+        if k > 0 {
+            subject.push(b' ');
+        }
+        subject.extend_from_slice(rng.pick(SUBJECT_WORDS).as_bytes());
+    }
+    if rng.chance(30) {
+        // mixed case to exercise folding
+        for b in subject.iter_mut() {
+            if rng.chance(25) {
+                *b = b.to_ascii_uppercase();
+            }
+        }
+    }
+    let mut from = Vec::new();
+    from.extend_from_slice(b"user");
+    from.extend_from_slice(rng.below(1000).to_string().as_bytes());
+    from.push(b'@');
+    from.extend_from_slice(rng.pick(DOMAINS).as_bytes());
+    let body = (0..body_lines).map(|_| rng.below(1 << 20)).collect();
+    Message {
+        subject,
+        from,
+        body,
+    }
+}
+
+/// Mutates a message body: each line changes with probability
+/// `churn_pct`/100 (diffmail's "how different are the two mailboxes" knob).
+fn mutate_body(body: &[u64], churn_pct: u64, rng: &mut Xoshiro256) -> Vec<u64> {
+    let mut out = Vec::with_capacity(body.len());
+    for &line in body {
+        if rng.chance(churn_pct) {
+            if rng.chance(30) {
+                continue; // deletion
+            }
+            out.push(rng.below(1 << 20)); // replacement
+            if rng.chance(20) {
+                out.push(rng.below(1 << 20)); // extra insertion
+            }
+        } else {
+            out.push(line);
+        }
+    }
+    out
+}
+
+/// The perlbmk-analogue workload.
+#[derive(Clone, Copy, Debug)]
+pub struct PerlWorkload {
+    scale: Scale,
+}
+
+impl PerlWorkload {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale }
+    }
+}
+
+const PATTERNS: &[&str] = &[
+    "urgent*", "*report*", "meet?ng*", "[ru]e*", "*invoice", "news*er",
+];
+
+impl Workload for PerlWorkload {
+    fn name(&self) -> &'static str {
+        "perlbmk"
+    }
+
+    fn description(&self) -> &'static str {
+        "diffmail-like text diffing + glob pattern matching"
+    }
+
+    fn sites(&self) -> &'static [SiteDecl] {
+        SITES
+    }
+
+    fn input_sets(&self) -> Vec<InputSet> {
+        // size = messages; level = body churn %; variant = body lines
+        let table: [(&'static str, &'static str, u64, u64, i64, u32); 4] = [
+            (
+                "train",
+                "diffmail param set 2: similar mailboxes",
+                1101,
+                2_800,
+                12,
+                28,
+            ),
+            (
+                "ref",
+                "diffmail param set 1: larger batch, similar mix",
+                1102,
+                5_200,
+                16,
+                36,
+            ),
+            ("ext-1", "short messages, heavy churn", 1103, 3_600, 70, 14),
+            ("ext-2", "long messages, light churn", 1104, 2_200, 6, 60),
+        ];
+        table
+            .iter()
+            .map(
+                |&(name, description, seed, size, level, variant)| InputSet {
+                    name,
+                    description,
+                    seed,
+                    size: self.scale.apply(size),
+                    level,
+                    variant,
+                },
+            )
+            .collect()
+    }
+
+    fn run(&self, input: &InputSet, t: &mut dyn Tracer) {
+        let mut rng = Xoshiro256::seed_from_u64(input.seed);
+        let patterns: Vec<Vec<u8>> = PATTERNS.iter().map(|p| compile_glob(p)).collect();
+        let mut total_diff = 0usize;
+        let mut matched = 0u64;
+        let mut m = 0u64;
+        while br!(t, S_MSG_LOOP, m < input.size) {
+            m += 1;
+            let msg = gen_message(&mut rng, input.variant as u64);
+            br!(t, S_SUBJ_LONG, msg.subject.len() > 14);
+            let other_body = mutate_body(&msg.body, input.level as u64, &mut rng);
+            total_diff += diff_size(&msg.body, &other_body, t);
+            // every 16th message also gets a full LCS table, as diffmail
+            // renders context output for a sample of messages
+            if m % 16 == 1 {
+                let cap_a = msg.body.len().min(24);
+                let cap_b = other_body.len().min(24);
+                total_diff += diff_size_dp(&msg.body[..cap_a], &other_body[..cap_b], t);
+            }
+            for p in &patterns {
+                let hit = glob_match(p, &msg.subject, t);
+                if br!(t, S_HDR_FILTER, hit) {
+                    matched += 1;
+                }
+            }
+            // domain filter over the From header, scanning character by
+            // character like Perl's index()
+            let watch = b"corp.net";
+            let mut dom_hit = false;
+            for win in msg.from.windows(watch.len()) {
+                if !br!(t, S_DOMAIN_EQ, win != watch) {
+                    dom_hit = true;
+                    break;
+                }
+            }
+            matched += dom_hit as u64;
+        }
+        std::hint::black_box((total_diff, matched));
+    }
+
+    fn instructions_per_branch(&self) -> f64 {
+        6.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrace::NullTracer;
+
+    fn m(p: &str, s: &str) -> bool {
+        glob_match(p.as_bytes(), s.as_bytes(), &mut NullTracer)
+    }
+
+    #[test]
+    fn literal_and_any() {
+        assert!(m("cat", "cat"));
+        assert!(m("c?t", "cat"));
+        assert!(m("c?t", "cut"));
+        assert!(!m("c?t", "cart"));
+        assert!(!m("cat", "dog"));
+        assert!(m("", ""));
+        assert!(!m("", "x"));
+    }
+
+    #[test]
+    fn star_matches_greedily_with_backtracking() {
+        assert!(m("*", ""));
+        assert!(m("*", "anything"));
+        assert!(m("a*b", "ab"));
+        assert!(m("a*b", "axxxb"));
+        assert!(!m("a*b", "axxxc"));
+        assert!(m("*a*a*", "banana"));
+        assert!(m("a*a*b", "aab"));
+    }
+
+    #[test]
+    fn classes_and_case_folding() {
+        assert!(m("[abc]x", "bx"));
+        assert!(!m("[abc]x", "dx"));
+        assert!(m("cat", "CAT"), "matching is case-insensitive on text");
+        assert!(m("[ru]e*", "Report"));
+    }
+
+    #[test]
+    fn diff_of_identical_is_zero() {
+        let a = vec![1, 2, 3, 4];
+        assert_eq!(diff_size(&a, &a, &mut NullTracer), 0);
+    }
+
+    #[test]
+    fn diff_counts_insertions_and_deletions() {
+        let a = vec![1, 2, 3];
+        let b = vec![1, 3];
+        assert_eq!(diff_size(&a, &b, &mut NullTracer), 1, "one deletion");
+        let c = vec![9, 1, 2, 3, 9];
+        assert_eq!(diff_size(&a, &c, &mut NullTracer), 2, "two insertions");
+        let disjoint = vec![7, 8];
+        assert_eq!(
+            diff_size(&a, &disjoint, &mut NullTracer),
+            5,
+            "no common lines"
+        );
+    }
+
+    #[test]
+    fn myers_matches_dp_oracle() {
+        let mut rng = Xoshiro256::seed_from_u64(17);
+        for case in 0..200 {
+            let n = rng.below(30) as usize;
+            let a: Vec<u64> = (0..n).map(|_| rng.below(6)).collect();
+            let b: Vec<u64> = (0..rng.below(30) as usize).map(|_| rng.below(6)).collect();
+            let myers = diff_size(&a, &b, &mut NullTracer);
+            let dp = diff_size_dp(&a, &b, &mut NullTracer);
+            assert_eq!(myers, dp, "case {case}: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn myers_edge_cases() {
+        let t = &mut NullTracer;
+        assert_eq!(diff_size(&[], &[], t), 0);
+        assert_eq!(diff_size(&[1, 2], &[], t), 2);
+        assert_eq!(diff_size(&[], &[9], t), 1);
+        assert_eq!(diff_size(&[1, 2, 3], &[1, 2, 3], t), 0);
+        assert_eq!(diff_size(&[1, 2, 3], &[3, 2, 1], t), 4);
+    }
+
+    #[test]
+    fn churn_scales_diff_size() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let base: Vec<u64> = (0..200).map(|_| rng.below(1 << 20)).collect();
+        let light = mutate_body(&base, 5, &mut rng);
+        let heavy = mutate_body(&base, 60, &mut rng);
+        let dl = diff_size(&base, &light, &mut NullTracer);
+        let dh = diff_size(&base, &heavy, &mut NullTracer);
+        assert!(dh > dl * 3, "heavy churn diffs more: {dl} vs {dh}");
+    }
+
+    #[test]
+    fn patterns_compile_and_some_subjects_match() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut hits = 0;
+        for _ in 0..200 {
+            let msg = gen_message(&mut rng, 5);
+            for p in PATTERNS {
+                hits += m(p, std::str::from_utf8(&msg.subject).unwrap()) as u32;
+            }
+        }
+        assert!(
+            hits > 10,
+            "pattern set should hit generated subjects: {hits}"
+        );
+        assert!(hits < 800, "but not everything: {hits}");
+    }
+}

@@ -1,0 +1,407 @@
+//! `twolf` analogue: simulated-annealing standard-cell placement.
+//!
+//! TimberWolf places cells on a grid by proposing random swaps/moves and
+//! accepting them by the Metropolis criterion under a cooling temperature.
+//! The *accept-worsening-move* branch is the canonical phase-behaviour
+//! branch: early in the schedule (hot) it is taken most of the time, late
+//! (cold) almost never — so its prediction accuracy drifts through the run,
+//! and its overall behaviour shifts with the netlist and schedule
+//! parameters. This is why twolf shows many input-dependent branches in the
+//! paper despite a stable overall misprediction rate (Table 1 vs Figure 3).
+
+use crate::rng::Xoshiro256;
+use crate::{InputSet, Scale, Workload};
+use btrace::{SiteDecl, Tracer};
+
+declare_sites! {
+    S_TEMP_LOOP => "cooling_step_loop" (Loop),
+    S_MOVE_LOOP => "moves_per_temp_loop" (Loop),
+    S_MOVE_KIND => "move_is_swap" (IfElse),
+    S_CELL_OCCUPIED => "target_cell_occupied" (Guard),
+    S_DELTA_IMPROVES => "delta_improves" (Search),
+    S_ACCEPT_WORSE => "accept_worsening_move" (Search),
+    S_NET_SPAN_X => "net_spans_x" (IfElse),
+    S_SAME_ROW => "cells_same_row" (IfElse),
+    S_BOUNDS => "move_in_bounds" (Guard),
+    S_PIN_LOOP => "net_pin_loop" (Loop),
+    S_REJECT_FROZEN => "temperature_frozen" (Guard),
+    S_IN_WINDOW => "move_within_range_window" (Guard),
+    S_NET_SMALL => "net_is_two_pin" (TypeCheck),
+}
+
+/// A placement problem: cells connected by 2-pin and multi-pin nets on a
+/// `rows x cols` grid.
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    rows: usize,
+    cols: usize,
+    /// nets as lists of cell ids
+    nets: Vec<Vec<u32>>,
+    /// nets touching each cell
+    cell_nets: Vec<Vec<u32>>,
+    num_cells: usize,
+}
+
+impl Netlist {
+    /// Generates a random netlist with `num_cells` cells on a grid with
+    /// ~30% free sites, average net degree set by `avg_degree` (x10).
+    pub fn generate(num_cells: usize, avg_degree_x10: u32, rng: &mut Xoshiro256) -> Self {
+        assert!(num_cells >= 4, "need at least 4 cells");
+        let sites = (num_cells * 13 / 10).max(num_cells + 2);
+        let cols = (sites as f64).sqrt().ceil() as usize;
+        let rows = sites.div_ceil(cols);
+        let num_nets = num_cells * avg_degree_x10 as usize / 25;
+        let mut nets = Vec::with_capacity(num_nets);
+        for _ in 0..num_nets.max(1) {
+            let degree = 2 + rng.below(4) as usize;
+            let mut pins: Vec<u32> = (0..degree)
+                .map(|_| rng.below(num_cells as u64) as u32)
+                .collect();
+            pins.sort_unstable();
+            pins.dedup();
+            if pins.len() >= 2 {
+                nets.push(pins);
+            }
+        }
+        let mut cell_nets = vec![Vec::new(); num_cells];
+        for (ni, net) in nets.iter().enumerate() {
+            for &c in net {
+                cell_nets[c as usize].push(ni as u32);
+            }
+        }
+        Self {
+            rows,
+            cols,
+            nets,
+            cell_nets,
+            num_cells,
+        }
+    }
+}
+
+/// Placement state: cell -> site and site -> cell maps.
+struct Placement {
+    pos: Vec<usize>,    // cell -> site index
+    occupant: Vec<i32>, // site -> cell id or -1
+}
+
+/// Half-perimeter wirelength of one net under a placement.
+fn net_hpwl(net: &[u32], pos: &[usize], cols: usize, t: &mut dyn Tracer) -> i64 {
+    let (mut min_x, mut max_x) = (i64::MAX, i64::MIN);
+    let (mut min_y, mut max_y) = (i64::MAX, i64::MIN);
+    br!(t, S_NET_SMALL, net.len() == 2);
+    let mut i = 0usize;
+    while br!(t, S_PIN_LOOP, i < net.len()) {
+        let p = pos[net[i] as usize];
+        let (x, y) = ((p % cols) as i64, (p / cols) as i64);
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+        i += 1;
+    }
+    // branch on which dimension dominates (router-direction heuristic)
+    let dx = max_x - min_x;
+    let dy = max_y - min_y;
+    br!(t, S_NET_SPAN_X, dx >= dy);
+    dx + dy
+}
+
+/// Wirelength over the nets touching `cell`.
+fn cell_cost(nl: &Netlist, cell: u32, pos: &[usize], t: &mut dyn Tracer) -> i64 {
+    nl.cell_nets[cell as usize]
+        .iter()
+        .map(|&ni| net_hpwl(&nl.nets[ni as usize], pos, nl.cols, t))
+        .sum()
+}
+
+/// Runs the annealing schedule; returns the final total wirelength.
+/// `temp0_x10` is the starting temperature × 10 (e.g. 400 = 40.0).
+pub fn anneal(
+    nl: &Netlist,
+    temp_steps: u32,
+    moves_per_step: u32,
+    temp0_x10: u32,
+    seed: u64,
+    t: &mut dyn Tracer,
+) -> i64 {
+    let sites = nl.rows * nl.cols;
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x0770_1F00);
+    let mut place = Placement {
+        pos: Vec::new(),
+        occupant: vec![-1; sites],
+    };
+    let mut site_order: Vec<usize> = (0..sites).collect();
+    rng.shuffle(&mut site_order);
+    place.pos = site_order[..nl.num_cells].to_vec();
+    for (cell, &site) in place.pos.iter().enumerate() {
+        place.occupant[site] = cell as i32;
+    }
+    // geometric cooling from a temperature that accepts most moves
+    let temp0 = temp0_x10 as f64 / 10.0;
+    let mut temperature = temp0;
+    let cooling = 0.92f64;
+    let mut step = 0u32;
+    while br!(t, S_TEMP_LOOP, step < temp_steps) {
+        let frozen = temperature < 0.05;
+        if br!(t, S_REJECT_FROZEN, frozen) {
+            break;
+        }
+        let mut m = 0u32;
+        while br!(t, S_MOVE_LOOP, m < moves_per_step) {
+            m += 1;
+            let cell = rng.below(nl.num_cells as u64) as u32;
+            let from = place.pos[cell as usize];
+            let to = rng.below(sites as u64) as usize;
+            if !br!(t, S_BOUNDS, to != from) {
+                continue;
+            }
+            // TimberWolf's range limiter: as the schedule cools, only moves
+            // within a shrinking window around the cell are considered —
+            // this guard's bias drifts with temperature (phase behaviour)
+            let window = (nl.cols as f64 * (temperature / temp0).max(0.15)) as i64 + 1;
+            let dx = ((to % nl.cols) as i64 - (from % nl.cols) as i64).abs();
+            let dy = ((to / nl.cols) as i64 - (from / nl.cols) as i64).abs();
+            if !br!(t, S_IN_WINDOW, dx <= window && dy <= window) {
+                continue;
+            }
+            let other = place.occupant[to];
+            let is_swap = br!(t, S_CELL_OCCUPIED, other >= 0);
+            br!(t, S_MOVE_KIND, is_swap);
+            br!(t, S_SAME_ROW, from / nl.cols == to / nl.cols);
+            // cost before
+            let before = cell_cost(nl, cell, &place.pos, t)
+                + if is_swap {
+                    cell_cost(nl, other as u32, &place.pos, t)
+                } else {
+                    0
+                };
+            // tentatively apply
+            place.pos[cell as usize] = to;
+            if is_swap {
+                place.pos[other as usize] = from;
+            }
+            let after = cell_cost(nl, cell, &place.pos, t)
+                + if is_swap {
+                    cell_cost(nl, other as u32, &place.pos, t)
+                } else {
+                    0
+                };
+            let delta = after - before;
+            let accept = if br!(t, S_DELTA_IMPROVES, delta <= 0) {
+                true
+            } else {
+                // Metropolis criterion — the classic phase-behaviour branch
+                br!(
+                    t,
+                    S_ACCEPT_WORSE,
+                    rng.unit() < (-(delta as f64) / temperature).exp()
+                )
+            };
+            if accept {
+                place.occupant[from] = if is_swap { other } else { -1 };
+                place.occupant[to] = cell as i32;
+            } else {
+                // roll back
+                place.pos[cell as usize] = from;
+                if is_swap {
+                    place.pos[other as usize] = to;
+                }
+            }
+        }
+        temperature *= cooling;
+        step += 1;
+    }
+    nl.nets
+        .iter()
+        .map(|net| net_hpwl(net, &place.pos, nl.cols, t))
+        .sum()
+}
+
+/// The twolf-analogue workload.
+#[derive(Clone, Copy, Debug)]
+pub struct TwolfWorkload {
+    scale: Scale,
+}
+
+impl TwolfWorkload {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale }
+    }
+}
+
+impl Workload for TwolfWorkload {
+    fn name(&self) -> &'static str {
+        "twolf"
+    }
+
+    fn description(&self) -> &'static str {
+        "simulated-annealing standard-cell placer"
+    }
+
+    fn sites(&self) -> &'static [SiteDecl] {
+        SITES
+    }
+
+    fn input_sets(&self) -> Vec<InputSet> {
+        // size = moves per temperature step;
+        // level = cells | (temp_steps << 16);
+        // variant = degree_x10 | (temp0_x10 << 8)
+        let table: [(&'static str, &'static str, u64, u64, i64, u32); 6] = [
+            (
+                "train",
+                "small netlist, hot short schedule",
+                401,
+                2_600,
+                160 | (40 << 16),
+                22 | (500 << 8),
+            ),
+            (
+                "ref",
+                "large netlist, long cold-tail schedule",
+                402,
+                6_500,
+                420 | (85 << 16),
+                26 | (220 << 8),
+            ),
+            (
+                "ext-1",
+                "large reduced input",
+                403,
+                3_600,
+                300 | (60 << 16),
+                24 | (400 << 8),
+            ),
+            (
+                "ext-2",
+                "medium reduced, quenched schedule",
+                404,
+                3_000,
+                220 | (30 << 16),
+                20 | (120 << 8),
+            ),
+            (
+                "ext-3",
+                "modified ref input",
+                405,
+                4_800,
+                420 | (70 << 16),
+                30 | (300 << 8),
+            ),
+            (
+                "ext-4",
+                "small reduced, slow anneal",
+                406,
+                2_400,
+                120 | (95 << 16),
+                18 | (600 << 8),
+            ),
+        ];
+        table
+            .iter()
+            .map(
+                |&(name, description, seed, size, level, variant)| InputSet {
+                    name,
+                    description,
+                    seed,
+                    size: self.scale.apply(size),
+                    level,
+                    variant,
+                },
+            )
+            .collect()
+    }
+
+    fn run(&self, input: &InputSet, t: &mut dyn Tracer) {
+        let mut rng = Xoshiro256::seed_from_u64(input.seed);
+        let cells = (input.level & 0xFFFF) as usize;
+        let temp_steps = (input.level >> 16) as u32;
+        let degree = input.variant & 0xFF;
+        let temp0_x10 = input.variant >> 8;
+        let nl = Netlist::generate(cells, degree, &mut rng);
+        let wl = anneal(&nl, temp_steps, input.size as u32, temp0_x10, input.seed, t);
+        std::hint::black_box(wl);
+    }
+
+    fn instructions_per_branch(&self) -> f64 {
+        7.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrace::{EdgeProfiler, NullTracer};
+
+    fn small_netlist(seed: u64) -> Netlist {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        Netlist::generate(60, 24, &mut rng)
+    }
+
+    #[test]
+    fn netlist_is_well_formed() {
+        let nl = small_netlist(1);
+        assert!(nl.rows * nl.cols >= nl.num_cells);
+        for net in &nl.nets {
+            assert!(net.len() >= 2);
+            for &c in net {
+                assert!((c as usize) < nl.num_cells);
+                assert!(nl.cell_nets[c as usize]
+                    .iter()
+                    .any(|&n| { nl.nets[n as usize].contains(&c) }));
+            }
+        }
+    }
+
+    #[test]
+    fn annealing_reduces_wirelength() {
+        let nl = small_netlist(2);
+        let quick = anneal(&nl, 1, 10, 400, 7, &mut NullTracer);
+        let long = anneal(&nl, 60, 400, 400, 7, &mut NullTracer);
+        assert!(
+            long < quick,
+            "long schedule ({long}) should beat a near-random placement ({quick})"
+        );
+    }
+
+    #[test]
+    fn accept_worse_rate_declines_with_cooling() {
+        // Run two separate schedules: a hot one (few steps, high temp) and
+        // the tail of a cold one, comparing the Metropolis branch's bias.
+        let nl = small_netlist(3);
+        let rate_for_steps = |steps: u32| {
+            let mut prof = EdgeProfiler::new(SITES.len());
+            anneal(&nl, steps, 300, 400, 11, &mut prof);
+            prof.edge(S_ACCEPT_WORSE).taken_rate().unwrap()
+        };
+        let hot = rate_for_steps(3); // only hot phase
+        let full = rate_for_steps(60); // includes long cold tail
+        assert!(
+            hot > full + 0.1,
+            "hot acceptance {hot:.3} should exceed whole-run acceptance {full:.3}"
+        );
+    }
+
+    #[test]
+    fn hpwl_of_single_colocated_net_is_zero() {
+        let nl = small_netlist(4);
+        let pos: Vec<usize> = vec![5; nl.num_cells];
+        assert_eq!(net_hpwl(&nl.nets[0], &pos, nl.cols, &mut NullTracer), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let nl = small_netlist(5);
+        let a = anneal(&nl, 10, 100, 400, 9, &mut NullTracer);
+        let b = anneal(&nl, 10, 100, 400, 9, &mut NullTracer);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 cells")]
+    fn rejects_degenerate_netlist() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let _ = Netlist::generate(2, 20, &mut rng);
+    }
+}

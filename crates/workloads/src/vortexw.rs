@@ -1,0 +1,776 @@
+//! `vortex` analogue: an object-oriented in-memory database.
+//!
+//! A hand-built B-tree (order 16) storing typed records, driven by
+//! transaction mixes of inserts, lookups, deletes and range scans — the
+//! schema-manipulation pattern of SPEC vortex. The branch profile follows
+//! the key distribution (sequential keys descend one spine; random keys
+//! spread; skewed keys revisit hot nodes) and the operation mix.
+
+use crate::rng::Xoshiro256;
+use crate::{InputSet, Scale, Workload};
+use btrace::{SiteDecl, Tracer};
+
+declare_sites! {
+    S_TXN_LOOP => "transaction_loop" (Loop),
+    S_OP_IS_QUERY => "op_is_query" (TypeCheck),
+    S_DESCEND => "btree_descend_loop" (Loop),
+    S_KEY_SEARCH => "node_key_search" (Search),
+    S_IS_LEAF => "node_is_leaf" (TypeCheck),
+    S_FOUND => "key_found" (Guard),
+    S_NODE_FULL => "leaf_node_full" (Guard),
+    S_SPLIT_ROOT => "split_reaches_root" (Guard),
+    S_SCAN_LOOP => "range_scan_loop" (Loop),
+    S_KIND_CHECK => "record_kind_matches" (TypeCheck),
+    S_DELETE_HIT => "delete_target_present" (Guard),
+    S_UNDERFLOW => "leaf_underflow" (Guard),
+    S_SCAN_IN_RANGE => "scan_record_in_range" (Guard),
+    S_PAYLOAD_OK => "payload_checksum_ok" (Guard),
+}
+
+const ORDER: usize = 16; // max keys per node
+
+/// A typed database record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// Primary key.
+    pub key: u64,
+    /// Record type tag (vortex's object kinds).
+    pub kind: u8,
+    /// Payload checksum stand-in.
+    pub payload: u64,
+}
+
+enum Node {
+    Leaf {
+        records: Vec<Record>,
+    },
+    Inner {
+        keys: Vec<u64>,
+        children: Vec<Box<Node>>,
+    },
+}
+
+/// An order-16 B-tree of records.
+pub struct BTree {
+    root: Box<Node>,
+    len: usize,
+}
+
+impl Default for BTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self {
+            root: Box::new(Node::Leaf {
+                records: Vec::new(),
+            }),
+            len: 0,
+        }
+    }
+
+    /// Number of records stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Child index for descending an inner node: separator keys equal to the
+    /// search key route right (the separator is the first key of the right
+    /// subtree after a leaf split).
+    fn position_inner(keys: &[u64], key: u64, t: &mut dyn Tracer) -> usize {
+        let mut i = 0usize;
+        while br!(t, S_KEY_SEARCH, i < keys.len() && keys[i] <= key) {
+            i += 1;
+        }
+        i
+    }
+
+    /// Linear key search within a leaf, tracing each comparison — the
+    /// hottest branch of the workload, exactly like vortex's `Chunk` scans.
+    fn position_rec(records: &[Record], key: u64, t: &mut dyn Tracer) -> usize {
+        let mut i = 0usize;
+        while br!(t, S_KEY_SEARCH, i < records.len() && records[i].key < key) {
+            i += 1;
+        }
+        i
+    }
+
+    /// Looks up a record by key.
+    pub fn lookup(&self, key: u64, t: &mut dyn Tracer) -> Option<Record> {
+        let mut node = &*self.root;
+        loop {
+            let is_leaf = matches!(node, Node::Leaf { .. });
+            if br!(t, S_IS_LEAF, is_leaf) {
+                let Node::Leaf { records } = node else {
+                    unreachable!("guarded")
+                };
+                let i = Self::position_rec(records, key, t);
+                let hit = i < records.len() && records[i].key == key;
+                return if br!(t, S_FOUND, hit) {
+                    Some(records[i])
+                } else {
+                    None
+                };
+            }
+            let Node::Inner { keys, children } = node else {
+                unreachable!("guarded")
+            };
+            let i = Self::position_inner(keys, key, t);
+            br!(t, S_DESCEND, true);
+            node = &children[i];
+        }
+    }
+
+    /// Inserts or overwrites a record. Returns whether the key was new.
+    pub fn insert(&mut self, rec: Record, t: &mut dyn Tracer) -> bool {
+        let (new, split) = Self::insert_into(&mut self.root, rec, t);
+        if let Some((mid, right)) = split {
+            if br!(t, S_SPLIT_ROOT, true) {
+                let old_root = std::mem::replace(
+                    &mut self.root,
+                    Box::new(Node::Inner {
+                        keys: vec![mid],
+                        children: Vec::new(),
+                    }),
+                );
+                let Node::Inner { children, .. } = &mut *self.root else {
+                    unreachable!("just built")
+                };
+                children.push(old_root);
+                children.push(right);
+            }
+        }
+        self.len += new as usize;
+        new
+    }
+
+    fn insert_into(
+        node: &mut Node,
+        rec: Record,
+        t: &mut dyn Tracer,
+    ) -> (bool, Option<(u64, Box<Node>)>) {
+        match node {
+            Node::Leaf { records } => {
+                let i = Self::position_rec(records, rec.key, t);
+                if i < records.len() && records[i].key == rec.key {
+                    records[i] = rec;
+                    return (false, None);
+                }
+                records.insert(i, rec);
+                if br!(t, S_NODE_FULL, records.len() > ORDER) {
+                    let mid = records.len() / 2;
+                    let right: Vec<Record> = records.split_off(mid);
+                    let sep = right[0].key;
+                    return (true, Some((sep, Box::new(Node::Leaf { records: right }))));
+                }
+                (true, None)
+            }
+            Node::Inner { keys, children } => {
+                let i = Self::position_inner(keys, rec.key, t);
+                br!(t, S_DESCEND, true);
+                let (new, split) = Self::insert_into(&mut children[i], rec, t);
+                if let Some((sep, right)) = split {
+                    keys.insert(i, sep);
+                    children.insert(i + 1, right);
+                    if keys.len() > ORDER {
+                        let mid = keys.len() / 2;
+                        let sep_up = keys[mid];
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // sep_up moves up
+                        let right_children = children.split_off(mid + 1);
+                        return (
+                            new,
+                            Some((
+                                sep_up,
+                                Box::new(Node::Inner {
+                                    keys: right_keys,
+                                    children: right_children,
+                                }),
+                            )),
+                        );
+                    }
+                }
+                (new, None)
+            }
+        }
+    }
+
+    /// Deletes a record by key, rebalancing underfull leaves by borrowing
+    /// from or merging with an adjacent sibling, and collapsing the root
+    /// when it empties. Returns the removed record.
+    pub fn delete(&mut self, key: u64, t: &mut dyn Tracer) -> Option<Record> {
+        fn walk(node: &mut Node, key: u64, t: &mut dyn Tracer) -> Option<Record> {
+            match node {
+                Node::Leaf { records } => {
+                    let i = BTree::position_rec(records, key, t);
+                    let hit = i < records.len() && records[i].key == key;
+                    if br!(t, S_DELETE_HIT, hit) {
+                        Some(records.remove(i))
+                    } else {
+                        None
+                    }
+                }
+                Node::Inner { keys, children } => {
+                    let i = BTree::position_inner(keys, key, t);
+                    br!(t, S_DESCEND, true);
+                    let removed = walk(&mut children[i], key, t);
+                    if removed.is_some() {
+                        let underfull = match &*children[i] {
+                            Node::Leaf { records } => records.len() < ORDER / 4,
+                            Node::Inner { keys, .. } => keys.is_empty(),
+                        };
+                        if br!(t, S_UNDERFLOW, underfull) {
+                            BTree::rebalance_child(keys, children, i);
+                        }
+                    }
+                    removed
+                }
+            }
+        }
+        let removed = walk(&mut self.root, key, t);
+        // collapse a root that merging left with a single child
+        if let Node::Inner { keys, children } = &mut *self.root {
+            if keys.is_empty() {
+                self.root = children.pop().expect("an inner node has children");
+            }
+        }
+        self.len -= removed.is_some() as usize;
+        removed
+    }
+
+    /// Restores the minimum-fill invariant of the underfull `children[i]`
+    /// by borrowing from an adjacent sibling when it can spare an element,
+    /// or merging with it otherwise — the standard B-tree deletion fix-up,
+    /// applied at every level on the way back up. Separator keys are
+    /// maintained as "smallest key of the right subtree".
+    fn rebalance_child(keys: &mut Vec<u64>, children: &mut Vec<Box<Node>>, i: usize) {
+        let leaf_min = ORDER / 4;
+        // --- try borrowing from the left sibling ---
+        if i > 0 {
+            let (left_part, right_part) = children.split_at_mut(i);
+            match (&mut *left_part[i - 1], &mut *right_part[0]) {
+                (Node::Leaf { records: left }, Node::Leaf { records: child })
+                    if left.len() > leaf_min =>
+                {
+                    let moved = left.pop().expect("left is non-empty");
+                    keys[i - 1] = moved.key;
+                    child.insert(0, moved);
+                    return;
+                }
+                (
+                    Node::Inner {
+                        keys: lk,
+                        children: lc,
+                    },
+                    Node::Inner {
+                        keys: ck,
+                        children: cc,
+                    },
+                ) if lk.len() >= 2 => {
+                    // rotate: left's last child moves over; the parent
+                    // separator rotates down, left's last key rotates up
+                    ck.insert(0, keys[i - 1]);
+                    keys[i - 1] = lk.pop().expect("left has >= 2 keys");
+                    cc.insert(0, lc.pop().expect("inner node has children"));
+                    return;
+                }
+                _ => {}
+            }
+        }
+        // --- try borrowing from the right sibling ---
+        if i + 1 < children.len() {
+            let (left_part, right_part) = children.split_at_mut(i + 1);
+            match (&mut *left_part[i], &mut *right_part[0]) {
+                (Node::Leaf { records: child }, Node::Leaf { records: right })
+                    if right.len() > leaf_min =>
+                {
+                    let moved = right.remove(0);
+                    child.push(moved);
+                    keys[i] = right[0].key;
+                    return;
+                }
+                (
+                    Node::Inner {
+                        keys: ck,
+                        children: cc,
+                    },
+                    Node::Inner {
+                        keys: rk,
+                        children: rc,
+                    },
+                ) if rk.len() >= 2 => {
+                    ck.push(keys[i]);
+                    keys[i] = rk.remove(0);
+                    cc.push(rc.remove(0));
+                    return;
+                }
+                _ => {}
+            }
+        }
+        // --- merge with a sibling (prefer left) ---
+        if i > 0 {
+            let absorbed = *children.remove(i);
+            let sep = keys.remove(i - 1);
+            match (&mut *children[i - 1], absorbed) {
+                (Node::Leaf { records: left }, Node::Leaf { records: child }) => {
+                    left.extend(child);
+                }
+                (
+                    Node::Inner {
+                        keys: lk,
+                        children: lc,
+                    },
+                    Node::Inner {
+                        keys: ck,
+                        children: cc,
+                    },
+                ) => {
+                    lk.push(sep);
+                    lk.extend(ck);
+                    lc.extend(cc);
+                }
+                _ => unreachable!("siblings are at the same level"),
+            }
+        } else if i + 1 < children.len() {
+            let absorbed = *children.remove(i + 1);
+            let sep = keys.remove(i);
+            match (&mut *children[i], absorbed) {
+                (Node::Leaf { records: child }, Node::Leaf { records: right }) => {
+                    child.extend(right);
+                }
+                (
+                    Node::Inner {
+                        keys: ck,
+                        children: cc,
+                    },
+                    Node::Inner {
+                        keys: rk,
+                        children: rc,
+                    },
+                ) => {
+                    ck.push(sep);
+                    ck.extend(rk);
+                    cc.extend(rc);
+                }
+                _ => unreachable!("siblings are at the same level"),
+            }
+        }
+        // an only child has no sibling: delete() collapses the root case
+    }
+
+    /// Scans `[lo, hi)`, counting records whose kind equals `kind`.
+    pub fn scan_count(&self, lo: u64, hi: u64, kind: u8, t: &mut dyn Tracer) -> usize {
+        fn walk(node: &Node, lo: u64, hi: u64, kind: u8, t: &mut dyn Tracer, acc: &mut usize) {
+            match node {
+                Node::Leaf { records } => {
+                    let mut i = 0usize;
+                    while br!(t, S_SCAN_LOOP, i < records.len()) {
+                        let r = records[i];
+                        i += 1;
+                        if br!(t, S_SCAN_IN_RANGE, r.key >= lo && r.key < hi)
+                            && br!(t, S_KIND_CHECK, r.kind == kind)
+                        {
+                            *acc += 1;
+                        }
+                    }
+                }
+                Node::Inner { keys, children } => {
+                    for (ci, child) in children.iter().enumerate() {
+                        // prune subtrees outside the range
+                        let lower_ok = ci == 0 || keys[ci - 1] < hi;
+                        let upper_ok = ci == keys.len() || keys[ci] >= lo;
+                        if lower_ok && upper_ok {
+                            walk(child, lo, hi, kind, t, acc);
+                        }
+                    }
+                }
+            }
+        }
+        let mut acc = 0usize;
+        walk(&self.root, lo, hi, kind, t, &mut acc);
+        acc
+    }
+
+    /// Verifies structural invariants (sorted keys, separator semantics,
+    /// uniform depth, and leaf minimum fill except at the root). Panics with
+    /// a description on violation; for tests and debugging.
+    pub fn check_invariants(&self) {
+        fn walk(
+            node: &Node,
+            lo: u64,
+            hi: u64,
+            is_root: bool,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+        ) {
+            match node {
+                Node::Leaf { records } => {
+                    match leaf_depth {
+                        Some(d) => assert_eq!(*d, depth, "leaves at uneven depth"),
+                        None => *leaf_depth = Some(depth),
+                    }
+                    assert!(records.len() <= ORDER + 1, "leaf overflow");
+                    if !is_root {
+                        assert!(
+                            records.len() >= ORDER / 4,
+                            "non-root leaf underfull: {}",
+                            records.len()
+                        );
+                    }
+                    for w in records.windows(2) {
+                        assert!(w[0].key < w[1].key, "leaf keys out of order");
+                    }
+                    for r in records {
+                        assert!(r.key >= lo && r.key < hi, "leaf key outside subtree range");
+                    }
+                }
+                Node::Inner { keys, children } => {
+                    assert_eq!(children.len(), keys.len() + 1, "inner arity mismatch");
+                    assert!(!keys.is_empty() || is_root, "empty inner node");
+                    for w in keys.windows(2) {
+                        assert!(w[0] < w[1], "inner keys out of order");
+                    }
+                    for (ci, child) in children.iter().enumerate() {
+                        let child_lo = if ci == 0 { lo } else { keys[ci - 1] };
+                        let child_hi = if ci == keys.len() { hi } else { keys[ci] };
+                        walk(child, child_lo, child_hi, false, depth + 1, leaf_depth);
+                    }
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        walk(&self.root, 0, u64::MAX, true, 0, &mut leaf_depth);
+    }
+
+    /// Tree depth (for structural tests).
+    pub fn depth(&self) -> usize {
+        let mut d = 1usize;
+        let mut node = &*self.root;
+        while let Node::Inner { children, .. } = node {
+            node = &children[0];
+            d += 1;
+        }
+        d
+    }
+}
+
+/// Key-distribution flavours of the transaction generators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum KeyDist {
+    Sequential,
+    Random,
+    Skewed,
+}
+
+fn gen_key(dist: KeyDist, counter: &mut u64, rng: &mut Xoshiro256) -> u64 {
+    match dist {
+        KeyDist::Sequential => {
+            *counter += 7;
+            *counter
+        }
+        KeyDist::Random => rng.below(1 << 40),
+        KeyDist::Skewed => {
+            // 80% of accesses in a hot 1/64 of the space
+            if rng.chance(80) {
+                rng.below(1 << 34)
+            } else {
+                rng.below(1 << 40)
+            }
+        }
+    }
+}
+
+/// The vortex-analogue workload.
+#[derive(Clone, Copy, Debug)]
+pub struct VortexWorkload {
+    scale: Scale,
+}
+
+impl VortexWorkload {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale }
+    }
+}
+
+impl Workload for VortexWorkload {
+    fn name(&self) -> &'static str {
+        "vortex"
+    }
+
+    fn description(&self) -> &'static str {
+        "B-tree object database under transaction mixes"
+    }
+
+    fn sites(&self) -> &'static [SiteDecl] {
+        SITES
+    }
+
+    fn input_sets(&self) -> Vec<InputSet> {
+        // size = transactions; level = lookup share (%);
+        // variant = key distribution (0 seq, 1 random, 2 skewed)
+        let table: [(&'static str, &'static str, u64, u64, i64, u32); 4] = [
+            (
+                "train",
+                "lendian.raw: random keys, lookup-heavy",
+                1001,
+                90_000,
+                68,
+                1,
+            ),
+            (
+                "ref",
+                "lendian1.raw: random keys, mixed ops",
+                1002,
+                230_000,
+                52,
+                1,
+            ),
+            ("ext-1", "skewed keys, delete-heavy", 1003, 110_000, 30, 2),
+            ("ext-2", "sequential load, scan-heavy", 1004, 100_000, 55, 0),
+        ];
+        table
+            .iter()
+            .map(
+                |&(name, description, seed, size, level, variant)| InputSet {
+                    name,
+                    description,
+                    seed,
+                    size: self.scale.apply(size),
+                    level,
+                    variant,
+                },
+            )
+            .collect()
+    }
+
+    fn run(&self, input: &InputSet, t: &mut dyn Tracer) {
+        let mut rng = Xoshiro256::seed_from_u64(input.seed);
+        let dist = match input.variant {
+            0 => KeyDist::Sequential,
+            1 => KeyDist::Random,
+            _ => KeyDist::Skewed,
+        };
+        let lookup_pct = input.level as u64;
+        let mut tree = BTree::new();
+        let mut counter = 0u64;
+        let mut found = 0u64;
+        let mut txn = 0u64;
+        // recently inserted keys, so lookups and deletes hit live records
+        // (vortex transactions operate on existing objects most of the time)
+        let mut live: Vec<u64> = Vec::new();
+        while br!(t, S_TXN_LOOP, txn < input.size) {
+            txn += 1;
+            let roll = rng.below(100);
+            let is_query = roll < lookup_pct;
+            br!(t, S_OP_IS_QUERY, is_query);
+            if is_query {
+                let key = if !live.is_empty() && rng.chance(60) {
+                    *rng.pick(&live)
+                } else {
+                    gen_key(dist, &mut counter, &mut rng)
+                };
+                if let Some(rec) = tree.lookup(key, t) {
+                    found += 1;
+                    // object integrity check, as vortex validates each
+                    // fetched object
+                    br!(
+                        t,
+                        S_PAYLOAD_OK,
+                        rec.payload == rec.key.wrapping_mul(0x9E3779B9)
+                    );
+                }
+            } else if roll < lookup_pct + 20 {
+                let key = gen_key(dist, &mut counter, &mut rng);
+                if live.len() < 4096 {
+                    live.push(key);
+                }
+                tree.insert(
+                    Record {
+                        key,
+                        kind: (key % 5) as u8,
+                        payload: key.wrapping_mul(0x9E3779B9),
+                    },
+                    t,
+                );
+            } else if roll < lookup_pct + 28 {
+                let key = if !live.is_empty() && rng.chance(70) {
+                    let i = rng.below(live.len() as u64) as usize;
+                    live.swap_remove(i)
+                } else {
+                    gen_key(dist, &mut counter, &mut rng)
+                };
+                tree.delete(key, t);
+            } else {
+                let lo = gen_key(dist, &mut counter, &mut rng);
+                let span = 1 + rng.below(1 << 30);
+                found += tree.scan_count(lo, lo.saturating_add(span), 2, t) as u64;
+            }
+        }
+        std::hint::black_box((found, tree.len()));
+    }
+
+    fn instructions_per_branch(&self) -> f64 {
+        7.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrace::NullTracer;
+
+    fn rec(key: u64) -> Record {
+        Record {
+            key,
+            kind: (key % 5) as u8,
+            payload: key * 3,
+        }
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let t = &mut NullTracer;
+        let mut tree = BTree::new();
+        for k in (0..500u64).map(|i| i * 13 % 501) {
+            assert!(tree.insert(rec(k), t));
+        }
+        assert_eq!(tree.len(), 500);
+        for k in (0..500u64).map(|i| i * 13 % 501) {
+            assert_eq!(tree.lookup(k, t), Some(rec(k)), "key {k}");
+        }
+        assert_eq!(tree.lookup(999_999, t), None);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let t = &mut NullTracer;
+        let mut tree = BTree::new();
+        assert!(tree.insert(rec(5), t));
+        let updated = Record {
+            key: 5,
+            kind: 9,
+            payload: 1,
+        };
+        assert!(!tree.insert(updated, t));
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.lookup(5, t).unwrap().kind, 9);
+    }
+
+    #[test]
+    fn tree_grows_in_depth_logarithmically() {
+        let t = &mut NullTracer;
+        let mut tree = BTree::new();
+        for k in 0..5_000u64 {
+            tree.insert(rec(k), t);
+        }
+        let d = tree.depth();
+        assert!((2..=5).contains(&d), "depth {d} for 5000 keys at order 16");
+    }
+
+    #[test]
+    fn keys_remain_sorted_in_leaves() {
+        let t = &mut NullTracer;
+        let mut tree = BTree::new();
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        for _ in 0..2_000 {
+            tree.insert(rec(rng.below(1 << 32)), t);
+        }
+        // a full-range ascending scan visits every record exactly once
+        let total = tree.scan_count(0, u64::MAX, 0, t)
+            + tree.scan_count(0, u64::MAX, 1, t)
+            + tree.scan_count(0, u64::MAX, 2, t)
+            + tree.scan_count(0, u64::MAX, 3, t)
+            + tree.scan_count(0, u64::MAX, 4, t);
+        assert_eq!(total, tree.len());
+    }
+
+    #[test]
+    fn delete_removes_and_tolerates_missing() {
+        let t = &mut NullTracer;
+        let mut tree = BTree::new();
+        for k in 0..100u64 {
+            tree.insert(rec(k), t);
+        }
+        assert_eq!(tree.delete(40, t), Some(rec(40)));
+        assert_eq!(tree.lookup(40, t), None);
+        assert_eq!(tree.delete(40, t), None);
+        assert_eq!(tree.len(), 99);
+    }
+
+    #[test]
+    fn range_scan_counts_by_kind() {
+        let t = &mut NullTracer;
+        let mut tree = BTree::new();
+        for k in 0..50u64 {
+            tree.insert(rec(k), t);
+        }
+        // kinds cycle 0..5; in [0, 50) each kind appears 10 times
+        for kind in 0..5u8 {
+            assert_eq!(tree.scan_count(0, 50, kind, t), 10);
+        }
+        assert_eq!(tree.scan_count(10, 20, 0, t), 2); // keys 10 and 15
+    }
+
+    #[test]
+    fn delete_rebalances_and_tree_stays_valid() {
+        let t = &mut NullTracer;
+        let mut tree = BTree::new();
+        for k in 0..3_000u64 {
+            tree.insert(rec(k * 2), t);
+        }
+        tree.check_invariants();
+        // delete everything in an order that exercises borrows and merges
+        let mut keys: Vec<u64> = (0..3_000u64).map(|k| k * 2).collect();
+        let mut rng = Xoshiro256::seed_from_u64(12);
+        rng.shuffle(&mut keys);
+        for (n, k) in keys.iter().enumerate() {
+            assert!(tree.delete(*k, t).is_some(), "key {k}");
+            if n % 97 == 0 {
+                tree.check_invariants();
+            }
+        }
+        tree.check_invariants();
+        assert!(tree.is_empty());
+        assert_eq!(tree.depth(), 1, "root must collapse back to a single leaf");
+    }
+
+    #[test]
+    fn interleaved_inserts_and_deletes_maintain_invariants() {
+        let t = &mut NullTracer;
+        let mut tree = BTree::new();
+        let mut rng = Xoshiro256::seed_from_u64(77);
+        for step in 0..8_000u32 {
+            let k = rng.below(600);
+            if rng.chance(55) {
+                tree.insert(rec(k), t);
+            } else {
+                tree.delete(k, t);
+            }
+            if step % 211 == 0 {
+                tree.check_invariants();
+            }
+        }
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t = &mut NullTracer;
+        let mut tree = BTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.lookup(1, t), None);
+        assert_eq!(tree.delete(1, t), None);
+        assert_eq!(tree.scan_count(0, u64::MAX, 0, t), 0);
+        assert_eq!(tree.depth(), 1);
+    }
+}

@@ -1,0 +1,353 @@
+//! `vpr` analogue: FPGA maze routing.
+//!
+//! Routes a list of two-pin nets across a grid with obstacles using
+//! breadth-first wavefront expansion (the Lee/maze router VPR's
+//! PathFinder derives from), with per-cell congestion costs that grow as
+//! nets pile up. Branch behaviour follows the architecture: obstacle
+//! density, grid shape and net locality move the hit rates of the cell
+//! tests and expansion loops.
+
+use crate::rng::Xoshiro256;
+use crate::{InputSet, Scale, Workload};
+use btrace::{SiteDecl, Tracer};
+use std::collections::VecDeque;
+
+declare_sites! {
+    S_NET_LOOP => "net_route_loop" (Loop),
+    S_WAVE_LOOP => "wavefront_loop" (Loop),
+    S_DIR_LOOP => "direction_scan" (Loop),
+    S_IN_GRID => "cell_in_grid" (Guard),
+    S_CELL_BLOCKED => "cell_blocked" (Guard),
+    S_CELL_VISITED => "cell_already_visited" (Guard),
+    S_GOAL_FOUND => "goal_reached" (Guard),
+    S_CONGESTED => "cell_congested" (IfElse),
+    S_TRACEBACK => "traceback_walk" (Loop),
+    S_ROUTE_OK => "net_routed" (Guard),
+    S_BBOX_SKIP => "outside_net_bbox" (Guard),
+    S_RETRY => "failed_net_retried" (Guard),
+    S_PATH_BEND => "path_has_bend" (IfElse),
+}
+
+/// A routing grid with obstacles and per-cell usage counts.
+#[derive(Clone, Debug)]
+pub struct Grid {
+    width: usize,
+    height: usize,
+    blocked: Vec<bool>,
+    usage: Vec<u16>,
+}
+
+impl Grid {
+    /// Generates a `width x height` grid with `obstacle_pct`% blocked cells.
+    pub fn generate(width: usize, height: usize, obstacle_pct: u64, rng: &mut Xoshiro256) -> Self {
+        assert!(width >= 4 && height >= 4, "grid must be at least 4x4");
+        let blocked = (0..width * height)
+            .map(|_| rng.chance(obstacle_pct))
+            .collect();
+        Self {
+            width,
+            height,
+            blocked,
+            usage: vec![0; width * height],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize) -> usize {
+        y * self.width + x
+    }
+}
+
+/// Outcome of routing one net.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteResult {
+    /// Path cells from source to sink, empty if unroutable.
+    pub path: Vec<(u16, u16)>,
+    /// Cells expanded by the wavefront.
+    pub expanded: u32,
+}
+
+/// Routes one net with BFS wavefront expansion confined to the net's
+/// bounding box (plus a margin), as VPR's router does for speed.
+pub fn route_net(
+    grid: &mut Grid,
+    src: (u16, u16),
+    dst: (u16, u16),
+    t: &mut dyn Tracer,
+) -> RouteResult {
+    let (w, h) = (grid.width, grid.height);
+    let margin = 3i32;
+    let bbox = (
+        (src.0.min(dst.0) as i32 - margin).max(0) as usize,
+        (src.1.min(dst.1) as i32 - margin).max(0) as usize,
+        (src.0.max(dst.0) as i32 + margin).min(w as i32 - 1) as usize,
+        (src.1.max(dst.1) as i32 + margin).min(h as i32 - 1) as usize,
+    );
+    let mut prev: Vec<i32> = vec![-1; w * h];
+    let mut queue = VecDeque::new();
+    let s_idx = grid.idx(src.0 as usize, src.1 as usize);
+    prev[s_idx] = s_idx as i32;
+    queue.push_back((src.0 as usize, src.1 as usize));
+    let mut expanded = 0u32;
+    let mut found = false;
+    while br!(t, S_WAVE_LOOP, !queue.is_empty()) {
+        let (x, y) = queue.pop_front().expect("guarded");
+        expanded += 1;
+        if br!(t, S_GOAL_FOUND, (x as u16, y as u16) == dst) {
+            found = true;
+            break;
+        }
+        const DIRS: [(i32, i32); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
+        let mut d = 0usize;
+        while br!(t, S_DIR_LOOP, d < DIRS.len()) {
+            let (dx, dy) = DIRS[d];
+            d += 1;
+            let nx = x as i32 + dx;
+            let ny = y as i32 + dy;
+            if !br!(
+                t,
+                S_IN_GRID,
+                nx >= 0 && ny >= 0 && nx < w as i32 && ny < h as i32
+            ) {
+                continue;
+            }
+            let (nx, ny) = (nx as usize, ny as usize);
+            if br!(
+                t,
+                S_BBOX_SKIP,
+                nx < bbox.0 || ny < bbox.1 || nx > bbox.2 || ny > bbox.3
+            ) {
+                continue;
+            }
+            let ni = grid.idx(nx, ny);
+            if br!(t, S_CELL_BLOCKED, grid.blocked[ni]) {
+                continue;
+            }
+            if br!(t, S_CELL_VISITED, prev[ni] >= 0) {
+                continue;
+            }
+            // congestion-aware: heavily-used cells are deferred (treated as
+            // blocked once over capacity)
+            if br!(t, S_CONGESTED, grid.usage[ni] >= 3) {
+                continue;
+            }
+            prev[ni] = grid.idx(x, y) as i32;
+            queue.push_back((nx, ny));
+        }
+    }
+    if !br!(t, S_ROUTE_OK, found) {
+        return RouteResult {
+            path: Vec::new(),
+            expanded,
+        };
+    }
+    // traceback
+    let mut path = Vec::new();
+    let mut cur = grid.idx(dst.0 as usize, dst.1 as usize);
+    while br!(t, S_TRACEBACK, cur != s_idx) {
+        path.push(((cur % w) as u16, (cur / w) as u16));
+        cur = prev[cur] as usize;
+    }
+    path.push(src);
+    path.reverse();
+    for (k, &(x, y)) in path.iter().enumerate() {
+        let i = grid.idx(x as usize, y as usize);
+        grid.usage[i] += 1;
+        // bend detection, as routers cost direction changes
+        if k >= 2 {
+            let (a, b, c) = (path[k - 2], path[k - 1], (x, y));
+            let bend = (b.0 as i32 - a.0 as i32, b.1 as i32 - a.1 as i32)
+                != (c.0 as i32 - b.0 as i32, c.1 as i32 - b.1 as i32);
+            br!(t, S_PATH_BEND, bend);
+        }
+    }
+    RouteResult { path, expanded }
+}
+
+/// The vpr-analogue workload.
+#[derive(Clone, Copy, Debug)]
+pub struct VprWorkload {
+    scale: Scale,
+}
+
+impl VprWorkload {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale }
+    }
+}
+
+impl Workload for VprWorkload {
+    fn name(&self) -> &'static str {
+        "vpr"
+    }
+
+    fn description(&self) -> &'static str {
+        "congestion-aware maze router on an FPGA-like grid"
+    }
+
+    fn sites(&self) -> &'static [SiteDecl] {
+        SITES
+    }
+
+    fn input_sets(&self) -> Vec<InputSet> {
+        // size = nets; level = grid side; variant = (obstacle_pct << 8) | locality
+        let table: [(&'static str, &'static str, u64, u64, i64, u32); 4] = [
+            (
+                "train",
+                "small array, sparse obstacles",
+                901,
+                2_600,
+                48,
+                (8 << 8) | 12,
+            ),
+            (
+                "ref",
+                "large array, denser obstacles",
+                902,
+                6_200,
+                80,
+                (16 << 8) | 20,
+            ),
+            (
+                "ext-1",
+                "very dense obstacles",
+                903,
+                3_000,
+                64,
+                (30 << 8) | 10,
+            ),
+            ("ext-2", "long global nets", 904, 2_800, 72, (10 << 8) | 48),
+        ];
+        table
+            .iter()
+            .map(
+                |&(name, description, seed, size, level, variant)| InputSet {
+                    name,
+                    description,
+                    seed,
+                    size: self.scale.apply(size),
+                    level,
+                    variant,
+                },
+            )
+            .collect()
+    }
+
+    fn run(&self, input: &InputSet, t: &mut dyn Tracer) {
+        let mut rng = Xoshiro256::seed_from_u64(input.seed);
+        let side = input.level as usize;
+        let obstacle_pct = (input.variant >> 8) as u64;
+        let locality = (input.variant & 0xFF) as i64;
+        let mut grid = Grid::generate(side, side, obstacle_pct, &mut rng);
+        let mut routed = 0u64;
+        let mut n = 0u64;
+        while br!(t, S_NET_LOOP, n < input.size) {
+            n += 1;
+            let sx = rng.below(side as u64) as i64;
+            let sy = rng.below(side as u64) as i64;
+            let dx = (sx + rng.range(-locality, locality)).clamp(0, side as i64 - 1);
+            let dy = (sy + rng.range(-locality, locality)).clamp(0, side as i64 - 1);
+            let src = (sx as u16, sy as u16);
+            let dst = (dx as u16, dy as u16);
+            let r = route_net(&mut grid, src, dst, t);
+            // rip-up-free single retry: failed nets try once more after the
+            // congestion map has evolved, like PathFinder's later iterations
+            if br!(t, S_RETRY, r.path.is_empty()) {
+                let r2 = route_net(&mut grid, src, dst, t);
+                routed += !r2.path.is_empty() as u64;
+            } else {
+                routed += 1;
+            }
+        }
+        std::hint::black_box(routed);
+    }
+
+    fn instructions_per_branch(&self) -> f64 {
+        6.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrace::NullTracer;
+
+    fn open_grid(side: usize) -> Grid {
+        Grid {
+            width: side,
+            height: side,
+            blocked: vec![false; side * side],
+            usage: vec![0; side * side],
+        }
+    }
+
+    #[test]
+    fn straight_route_has_manhattan_length() {
+        let mut g = open_grid(16);
+        let r = route_net(&mut g, (2, 3), (7, 3), &mut NullTracer);
+        assert_eq!(r.path.len(), 6, "BFS finds a shortest path");
+        assert_eq!(r.path.first(), Some(&(2, 3)));
+        assert_eq!(r.path.last(), Some(&(7, 3)));
+        // path is 4-connected
+        for w in r.path.windows(2) {
+            let dx = (w[0].0 as i32 - w[1].0 as i32).abs();
+            let dy = (w[0].1 as i32 - w[1].1 as i32).abs();
+            assert_eq!(dx + dy, 1);
+        }
+    }
+
+    #[test]
+    fn wall_blocks_route_within_bbox() {
+        let mut g = open_grid(12);
+        // vertical wall at x=5 (full height) between src and dst
+        for y in 0..12 {
+            let i = g.idx(5, y);
+            g.blocked[i] = true;
+        }
+        let r = route_net(&mut g, (2, 6), (8, 6), &mut NullTracer);
+        assert!(r.path.is_empty(), "wall spans the grid: unroutable");
+        assert!(r.expanded > 0);
+    }
+
+    #[test]
+    fn routing_marks_usage_and_congestion_diverts() {
+        let mut g = open_grid(16);
+        for _ in 0..3 {
+            let r = route_net(&mut g, (1, 8), (14, 8), &mut NullTracer);
+            assert!(!r.path.is_empty());
+        }
+        // the straight row is now congested; the 4th net must take a longer
+        // path (or fail), not the saturated one
+        let r4 = route_net(&mut g, (1, 8), (14, 8), &mut NullTracer);
+        if !r4.path.is_empty() {
+            assert!(
+                r4.path.len() > 14,
+                "must detour around congestion: {}",
+                r4.path.len()
+            );
+        }
+    }
+
+    #[test]
+    fn src_equals_dst() {
+        let mut g = open_grid(8);
+        let r = route_net(&mut g, (3, 3), (3, 3), &mut NullTracer);
+        assert_eq!(r.path, vec![(3, 3)]);
+    }
+
+    #[test]
+    fn bbox_confines_expansion() {
+        let mut g = open_grid(64);
+        let r = route_net(&mut g, (30, 30), (33, 30), &mut NullTracer);
+        // bbox is ~10x7; expansion must stay well under the full grid
+        assert!(r.expanded < 100, "expanded {} cells", r.expanded);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4x4")]
+    fn tiny_grid_rejected() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let _ = Grid::generate(2, 2, 10, &mut rng);
+    }
+}

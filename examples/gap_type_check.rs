@@ -1,0 +1,67 @@
+//! The paper's Figure 6 example, live: gap's `T_INT` type-check branch.
+//!
+//! Runs the math interpreter while sweeping the fraction of big (multi-limb)
+//! values in the input stream, showing how the `Sum` handler's type-check
+//! branch swings from highly predictable to coin-flip — purely as a function
+//! of the input data.
+
+use twodprof::bpred::{Gshare, PredictorSim};
+use twodprof::btrace::{EdgeProfiler, SiteId, Tee};
+use twodprof::core2d::{CostModel, PredicationDecision};
+use twodprof::workloads::gapw::SITES;
+use twodprof::workloads::{InputSet, Scale, Workload};
+
+fn main() {
+    let w = twodprof::workloads::gapw::GapWorkload::new(Scale::Small);
+    let type_check = SiteId(
+        SITES
+            .iter()
+            .position(|s| s.name == "sum_operands_are_t_int")
+            .expect("site exists") as u32,
+    );
+    let model = CostModel::paper_example();
+    println!("gap T_INT type-check branch vs. big-value fraction of the input\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}  if-convert?",
+        "big %", "executions", "taken_rate", "misp_rate"
+    );
+    for big_pct in [0, 5, 10, 20, 30, 45, 60, 80] {
+        let input = InputSet {
+            name: "sweep",
+            description: "synthetic big-value sweep",
+            seed: 42,
+            size: 60_000,
+            level: big_pct,
+            variant: 0,
+        };
+        let mut tee = Tee::new(
+            EdgeProfiler::new(SITES.len()),
+            PredictorSim::new(SITES.len(), Gshare::new_4kb()),
+        );
+        w.run(&input, &mut tee);
+        let (edges, sim) = tee.into_inner();
+        let p = sim.into_profile();
+        let taken = edges.edge(type_check).taken_rate().unwrap_or(0.0);
+        let misp = p.misprediction_rate(type_check).unwrap_or(0.0);
+        // Equation (3) of the paper with the Figure 2 parameters: should the
+        // compiler if-convert this branch?
+        let decision = match model.decide(taken, misp) {
+            PredicationDecision::Predicate => "predicate",
+            PredicationDecision::KeepBranch => "keep branch",
+        };
+        println!(
+            "{:>7}% {:>12} {:>11.1}% {:>11.1}%  {}",
+            big_pct,
+            p.executions(type_check),
+            taken * 100.0,
+            misp * 100.0,
+            decision
+        );
+    }
+    println!(
+        "\nThe same static branch crosses the paper's 7% predication threshold as\n\
+         the input mix changes: a compiler profiling with small-integer inputs\n\
+         makes the wrong call for big-integer inputs. That is the paper's Figure 6\n\
+         (and §2.1's motivation for detecting input-dependent branches)."
+    );
+}

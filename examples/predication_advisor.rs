@@ -1,0 +1,80 @@
+//! A compiler-style predication advisor — the use case the paper builds
+//! 2D-profiling for (§2.1).
+//!
+//! Profiles a workload once (single input set), then advises per branch:
+//!
+//! - **predicate** — equation (3) says predicated code wins and the branch
+//!   is predicted input-*independent*, so the profile can be trusted;
+//! - **keep branch** — the branch code wins and the profile can be trusted;
+//! - **defer to hardware** — the branch is predicted input-*dependent*, so
+//!   the compiler should leave the choice to a dynamic mechanism (the
+//!   paper cites wish branches / dynamic optimizers).
+
+use twodprof::bpred::Gshare;
+use twodprof::btrace::{EdgeProfiler, Tee};
+use twodprof::core2d::{CostModel, PredicationDecision, SliceConfig, Thresholds, TwoDProfiler};
+use twodprof::workloads::{self, Scale};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gap".to_owned());
+    let workload = workloads::by_name(&name, Scale::Small)
+        .unwrap_or_else(|| panic!("unknown workload {name:?}"));
+    let input = workload.input_set("train").expect("train exists");
+    let model = CostModel::paper_example();
+
+    // one profiling run feeding both the edge profile (taken rates for the
+    // cost model) and the 2D profiler (input-dependence classification)
+    let mut count = twodprof::btrace::CountingTracer::new();
+    workload.run(&input, &mut count);
+    let mut tee = Tee::new(
+        EdgeProfiler::new(workload.sites().len()),
+        TwoDProfiler::new(
+            workload.sites().len(),
+            Gshare::new_4kb(),
+            SliceConfig::auto(count.count()),
+        ),
+    );
+    workload.run(&input, &mut tee);
+    let (edges, profiler) = tee.into_inner();
+    let report = profiler.finish(Thresholds::paper());
+
+    println!(
+        "predication advice for {} (profiled once, on `{}`)\n",
+        workload.name(),
+        input.name
+    );
+    println!(
+        "{:<30} {:>9} {:>9} {:>9}  advice",
+        "branch", "taken", "misp", "2D-class"
+    );
+    for (i, decl) in workload.sites().iter().enumerate() {
+        let site = twodprof::btrace::SiteId(i as u32);
+        let stats = report.stats(site);
+        let Some(agg) = stats.aggregate_accuracy else {
+            continue; // never executed
+        };
+        let taken = edges.edge(site).taken_rate().unwrap_or(0.0);
+        let misp = 1.0 - agg;
+        let dependent = stats.classification.is_dependent();
+        let advice = if dependent {
+            "defer to hardware (input-dependent)"
+        } else {
+            match model.decide(taken, misp) {
+                PredicationDecision::Predicate => "predicate",
+                PredicationDecision::KeepBranch => "keep branch",
+            }
+        };
+        println!(
+            "{:<30} {:>8.1}% {:>8.1}% {:>9}  {}",
+            decl.name,
+            taken * 100.0,
+            misp * 100.0,
+            if dependent { "dep" } else { "indep" },
+            advice
+        );
+    }
+    println!(
+        "\ncost model: exec_T={} exec_N={} exec_pred={} misp_penalty={} (Figure 2)",
+        model.exec_taken, model.exec_not_taken, model.exec_predicated, model.misp_penalty
+    );
+}

@@ -1,0 +1,48 @@
+//! `twodprof` — a full reproduction of the CGO 2006 paper
+//! *"2D-Profiling: Detecting Input-Dependent Branches with a Single Input
+//! Data Set"* (Kim, Suleman, Mutlu, Patt).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`btrace`] — the instrumentation runtime (the Pin substitute): branch
+//!   sites, tracers, edge profiling, trace recording/replay.
+//! - [`bpred`] — branch predictors (gshare, perceptron, bimodal, local,
+//!   tournament, …) and per-branch accuracy tracking.
+//! - [`core2d`] — the 2D-profiling algorithm itself, ground-truth
+//!   input-dependence, evaluation metrics, and the if-conversion cost model.
+//! - [`workloads`] — twelve SPEC CPU2000 INT–analogue workloads with
+//!   multiple input sets each.
+//! - [`experiments`] — the harness that regenerates every table and figure
+//!   of the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! Profile one workload with its `train` input and list the branches the
+//! 2D-profiler predicts to be input-dependent:
+//!
+//! ```
+//! use twodprof::bpred::Gshare;
+//! use twodprof::core2d::{SliceConfig, Thresholds, TwoDProfiler};
+//! use twodprof::workloads::{suite, Scale};
+//!
+//! let workload = &suite(Scale::Tiny)[0];
+//! let input = workload.input_set("train").expect("train input exists");
+//! let mut profiler = TwoDProfiler::new(
+//!     workload.sites().len(),
+//!     Gshare::new_4kb(),
+//!     SliceConfig::new(2_000, 8),
+//! );
+//! workload.run(&input, &mut profiler);
+//! let report = profiler.finish(Thresholds::default());
+//! println!(
+//!     "{}: {} branches predicted input-dependent",
+//!     workload.name(),
+//!     report.predicted_dependent().count()
+//! );
+//! ```
+
+pub use bpred;
+pub use btrace;
+pub use experiments;
+pub use twodprof_core as core2d;
+pub use workloads;

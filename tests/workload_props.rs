@@ -1,0 +1,265 @@
+//! Property-based tests over the workload substrates: the compressors, the
+//! interpreter arithmetic, the pattern matcher and the object database are
+//! real systems and get model-checked against reference implementations.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use twodprof::btrace::NullTracer;
+use twodprof::workloads::bzip2w::{bwt, decode_block, encode_block, inverse_bwt};
+use twodprof::workloads::gapw::{absdiff, gcd, less_than, pow, prod, sum, Value};
+use twodprof::workloads::gccw;
+use twodprof::workloads::gzipw::{decode, deflate, deflate_bytes, inflate_bytes};
+use twodprof::workloads::huffman::{BitReader, BitWriter, Codec};
+use twodprof::workloads::perlw::glob_match;
+use twodprof::workloads::vortexw::{BTree, Record};
+
+/// Reference glob matcher: simple recursive spec without instrumentation.
+fn glob_oracle(pat: &[u8], text: &[u8]) -> bool {
+    fn rec(p: &[u8], t: &[u8]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some(b'*') => (0..=t.len()).any(|k| rec(&p[1..], &t[k..])),
+            Some(b'[') => {
+                let close = p[1..]
+                    .iter()
+                    .position(|&c| c == b']')
+                    .map(|k| k + 1)
+                    .unwrap_or(p.len());
+                let set = &p[1..close];
+                let next = (close + 1).min(p.len());
+                !t.is_empty()
+                    && set.contains(&t[0].to_ascii_lowercase())
+                    && rec(&p[next..], &t[1..])
+            }
+            Some(b'?') => !t.is_empty() && rec(&p[1..], &t[1..]),
+            Some(&c) => !t.is_empty() && t[0].to_ascii_lowercase() == c && rec(&p[1..], &t[1..]),
+        }
+    }
+    rec(pat, text)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn deflate_roundtrips_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..4000),
+        level in 1usize..=9,
+    ) {
+        let tokens = deflate(&data, level, &mut NullTracer);
+        prop_assert_eq!(decode(&tokens), data);
+    }
+
+    #[test]
+    fn deflate_roundtrips_repetitive_bytes(
+        seed in prop::collection::vec(any::<u8>(), 1..24),
+        reps in 1usize..200,
+        level in 1usize..=9,
+    ) {
+        // highly repetitive data exercises long matches and lazy emission
+        let data: Vec<u8> = seed.iter().cycle().take(seed.len() * reps).copied().collect();
+        let tokens = deflate(&data, level, &mut NullTracer);
+        prop_assert_eq!(decode(&tokens), data);
+    }
+
+    #[test]
+    fn gzip_container_roundtrips_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..3000),
+        level in 1usize..=9,
+    ) {
+        let container = deflate_bytes(&data, level, &mut NullTracer);
+        prop_assert_eq!(inflate_bytes(&container).unwrap(), data);
+    }
+
+    #[test]
+    fn bzip2_container_roundtrips_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..3000),
+    ) {
+        use twodprof::workloads::bzip2w::{compress_bytes, decompress_bytes};
+        let container = compress_bytes(&data, &mut NullTracer);
+        prop_assert_eq!(decompress_bytes(&container).unwrap(), data);
+    }
+
+    #[test]
+    fn huffman_roundtrips_arbitrary_symbol_streams(
+        symbols in prop::collection::vec(0u16..258, 1..2000),
+    ) {
+        let mut freq = vec![0u64; 258];
+        for &s in &symbols {
+            freq[s as usize] += 1;
+        }
+        let codec = Codec::from_frequencies(&freq).unwrap();
+        let mut w = BitWriter::new();
+        codec.encode(&symbols, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        prop_assert_eq!(codec.decode(&mut r, symbols.len()).unwrap(), symbols);
+    }
+
+    #[test]
+    fn bzip2_zrl_roundtrips(mtf in prop::collection::vec(0u8..8, 0..600)) {
+        use twodprof::workloads::bzip2w::{zrl_decode, zrl_encode};
+        // small symbol range makes zero runs common
+        let symbols = zrl_encode(&mtf, &mut NullTracer);
+        prop_assert_eq!(zrl_decode(&symbols), mtf);
+    }
+
+    #[test]
+    fn bzip2_block_roundtrips_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..1200),
+    ) {
+        let block = encode_block(&data, &mut NullTracer);
+        prop_assert_eq!(decode_block(&block), data);
+    }
+
+    #[test]
+    fn bzip2_block_roundtrips_runny_bytes(
+        runs in prop::collection::vec((any::<u8>(), 1usize..400), 0..12),
+    ) {
+        // run-heavy data stresses RLE1's 259-cap boundary and the BWT's
+        // tie handling on periodic content
+        let data: Vec<u8> = runs
+            .iter()
+            .flat_map(|&(b, n)| std::iter::repeat_n(b, n))
+            .collect();
+        let block = encode_block(&data, &mut NullTracer);
+        prop_assert_eq!(decode_block(&block), data);
+    }
+
+    #[test]
+    fn inverse_bwt_inverts_bwt_on_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..500),
+    ) {
+        let (last, primary) = bwt(&data, &mut NullTracer);
+        prop_assert_eq!(inverse_bwt(&last, primary), data);
+    }
+
+    #[test]
+    fn gcc_compiled_programs_match_ast_oracle(
+        style in 0u32..4,
+        seed in any::<u64>(),
+        lines in 5usize..80,
+    ) {
+        let t = &mut NullTracer;
+        let mut rng = twodprof::workloads::Xoshiro256::seed_from_u64(seed);
+        let src = gccw::gen_source(lines, style, &mut rng);
+        let ast = gccw::parse(&gccw::lex(&src, t), t);
+        let mut fuel = 100_000u64;
+        let oracle = gccw::eval_ast(&ast, &mut fuel);
+        if let Some(expect) = oracle {
+            let raw = gccw::codegen(&ast, t);
+            let (vm_raw, _) = gccw::execute(&raw, 2_000_000);
+            prop_assert_eq!(vm_raw, expect, "unoptimized");
+            let opt = gccw::optimize(ast, t);
+            let code = gccw::eliminate_dead_stores(&gccw::codegen(&opt, t), t);
+            let (vm_opt, _) = gccw::execute(&code, 2_000_000);
+            prop_assert_eq!(vm_opt, expect, "optimized");
+        }
+    }
+
+    #[test]
+    fn bwt_output_is_a_permutation(data in prop::collection::vec(any::<u8>(), 0..600)) {
+        let (out, primary) = bwt(&data, &mut NullTracer);
+        prop_assert_eq!(out.len(), data.len());
+        let mut a = data.clone();
+        let mut b = out.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b, "BWT must permute the input bytes");
+        if !data.is_empty() {
+            prop_assert!(primary < data.len());
+        }
+    }
+
+    #[test]
+    fn gap_sum_prod_match_u128(a in any::<u64>(), b in any::<u64>()) {
+        let t = &mut NullTracer;
+        let (va, vb) = (Value::from_u64(a), Value::from_u64(b));
+        // sum fits u64 when no overflow; compare via u128 either way
+        let s = sum(&va, &vb, t);
+        if let Some(got) = s.to_u64() {
+            prop_assert_eq!(got as u128, a as u128 + b as u128);
+        } else {
+            prop_assert!(a as u128 + b as u128 > u64::MAX as u128);
+        }
+        let p = prod(&va, &vb, t);
+        if let Some(got) = p.to_u64() {
+            prop_assert_eq!(got as u128, a as u128 * b as u128);
+        } else {
+            prop_assert!(a as u128 * b as u128 > u64::MAX as u128);
+        }
+    }
+
+    #[test]
+    fn gap_absdiff_and_cmp_match_integers(a in any::<u64>(), b in any::<u64>()) {
+        let t = &mut NullTracer;
+        let (va, vb) = (Value::from_u64(a), Value::from_u64(b));
+        prop_assert_eq!(absdiff(&va, &vb, t).to_u64(), Some(a.abs_diff(b)));
+        prop_assert_eq!(less_than(&va, &vb, t), a < b);
+    }
+
+    #[test]
+    fn gap_gcd_matches_euclid(a in 0u64..1_000_000_000_000, b in 0u64..1_000_000_000_000) {
+        fn reference(mut a: u64, mut b: u64) -> u64 {
+            while b != 0 {
+                let r = a % b;
+                a = b;
+                b = r;
+            }
+            a
+        }
+        let t = &mut NullTracer;
+        let g = gcd(&Value::from_u64(a), &Value::from_u64(b), t);
+        prop_assert_eq!(g.to_u64(), Some(reference(a, b)));
+    }
+
+    #[test]
+    fn gap_pow_matches_u128_when_small(base in 0u64..1000, exp in 0u32..8) {
+        let t = &mut NullTracer;
+        let expect = (base as u128).pow(exp);
+        if expect <= u64::MAX as u128 {
+            let got = pow(&Value::from_u64(base), exp, t);
+            prop_assert_eq!(got.to_u64(), Some(expect as u64));
+        }
+    }
+
+    #[test]
+    fn glob_matches_oracle(
+        pat in "[a-c?*\\[\\]]{0,8}",
+        text in "[a-cA-C]{0,8}",
+    ) {
+        let matched = glob_match(pat.as_bytes(), text.as_bytes(), &mut NullTracer);
+        prop_assert_eq!(matched, glob_oracle(pat.as_bytes(), text.as_bytes()));
+    }
+
+    #[test]
+    fn btree_agrees_with_std_btreemap(
+        ops in prop::collection::vec((0u8..3, 0u64..500), 1..400),
+    ) {
+        let t = &mut NullTracer;
+        let mut tree = BTree::new();
+        let mut model: BTreeMap<u64, Record> = BTreeMap::new();
+        for &(op, key) in &ops {
+            match op {
+                0 => {
+                    let rec = Record { key, kind: (key % 5) as u8, payload: key * 7 };
+                    let new = tree.insert(rec, t);
+                    prop_assert_eq!(new, model.insert(key, rec).is_none());
+                }
+                1 => {
+                    prop_assert_eq!(tree.lookup(key, t), model.get(&key).copied());
+                }
+                _ => {
+                    prop_assert_eq!(tree.delete(key, t), model.remove(&key));
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        tree.check_invariants();
+        // final state: full scan per kind equals the model's census
+        for kind in 0u8..5 {
+            let expect = model.values().filter(|r| r.kind == kind).count();
+            prop_assert_eq!(tree.scan_count(0, u64::MAX, kind, t), expect);
+        }
+    }
+}
