@@ -1,0 +1,40 @@
+//! Sequential vs parallel sweep throughput on the engine's full tiny-scale
+//! job grid — quantifies the worker pool's speedup and its scheduling
+//! overhead at one worker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use twodprof_engine::{full_grid, Engine, EngineConfig};
+use workloads::Scale;
+
+fn bench_sweep(c: &mut Criterion) {
+    let specs = full_grid(Scale::Tiny);
+    // total dynamic branch events of one sweep, for Melem/s reporting
+    let events: u64 = Engine::new(EngineConfig::default())
+        .run_jobs(&specs)
+        .iter()
+        .map(|r| r.events())
+        .sum();
+
+    let mut group = c.benchmark_group("engine_sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("tiny_grid", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let engine = Engine::new(EngineConfig {
+                        jobs: workers,
+                        ..EngineConfig::default()
+                    });
+                    engine.run_jobs(&specs).len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Named predictor configurations of the paper's evaluation.
+//!
+//! Lives in `bpred` (rather than the experiment harness) so the sweep
+//! engine can name a predictor inside a job specification without depending
+//! on the experiments crate.
+
+use crate::{BranchPredictor, Gshare, Perceptron};
+
+/// The predictor configurations used by the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// 4 KB gshare, 14-bit history — the profiling/baseline predictor.
+    Gshare4Kb,
+    /// 16 KB perceptron, 457 entries, 36-bit history — the alternative
+    /// target-machine predictor of §5.3.
+    Perceptron16Kb,
+}
+
+impl PredictorKind {
+    /// Both evaluation predictors, in paper order.
+    pub const ALL: [PredictorKind; 2] = [PredictorKind::Gshare4Kb, PredictorKind::Perceptron16Kb];
+
+    /// Instantiates the predictor.
+    pub fn build(self) -> Box<dyn BranchPredictor> {
+        match self {
+            PredictorKind::Gshare4Kb => Box::new(Gshare::new_4kb()),
+            PredictorKind::Perceptron16Kb => Box::new(Perceptron::new_16kb()),
+        }
+    }
+
+    /// Short label used in table headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            PredictorKind::Gshare4Kb => "4KB-gshare",
+            PredictorKind::Perceptron16Kb => "16KB-percep",
+        }
+    }
+
+    /// Stable machine identifier, used in cache keys and file names. Must
+    /// never change for an existing variant — add new variants instead.
+    pub fn id(self) -> &'static str {
+        match self {
+            PredictorKind::Gshare4Kb => "gshare4kb",
+            PredictorKind::Perceptron16Kb => "perceptron16kb",
+        }
+    }
+
+    /// Parses an [`id`](Self::id) back into the kind.
+    pub fn from_id(id: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.id() == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_and_are_distinct() {
+        for kind in PredictorKind::ALL {
+            assert_eq!(PredictorKind::from_id(kind.id()), Some(kind));
+        }
+        assert_ne!(
+            PredictorKind::Gshare4Kb.id(),
+            PredictorKind::Perceptron16Kb.id()
+        );
+        assert_eq!(PredictorKind::from_id("nonexistent"), None);
+    }
+
+    #[test]
+    fn builds_the_paper_configs() {
+        assert_eq!(PredictorKind::Gshare4Kb.build().name(), "gshare-4KB");
+        assert_eq!(
+            PredictorKind::Perceptron16Kb.build().name(),
+            "perceptron-16KB"
+        );
+    }
+}

@@ -30,6 +30,7 @@ mod bimodal;
 mod counter;
 mod gag;
 mod gshare;
+mod kind;
 mod local;
 mod loop_pred;
 mod perceptron;
@@ -41,6 +42,7 @@ pub use bimodal::{Bimodal, StaticNotTaken, StaticTaken};
 pub use counter::TwoBitCounter;
 pub use gag::GAg;
 pub use gshare::Gshare;
+pub use kind::PredictorKind;
 pub use local::LocalTwoLevel;
 pub use loop_pred::{GshareWithLoop, LoopPredictor};
 pub use perceptron::Perceptron;
@@ -57,7 +59,11 @@ use btrace::SiteId;
 /// [`site_pc`]. Implementations are deterministic: the same stream of
 /// `predict_and_train` calls always produces the same predictions, which the
 /// profiling methodology relies on.
-pub trait BranchPredictor {
+///
+/// `Send` is a supertrait so boxed predictors can move across the sweep
+/// engine's worker threads; predictor state is plain table data, so every
+/// implementation satisfies it automatically.
+pub trait BranchPredictor: Send {
     /// Predicts the direction of the branch at `pc` given current predictor
     /// state, **without** updating any state.
     fn predict(&self, pc: u64) -> bool;

@@ -7,7 +7,8 @@
 //! result.
 
 use crate::{site_pc, BranchPredictor};
-use btrace::{SiteId, Tracer};
+use btrace::{read_varint, write_varint, SiteId, Tracer};
+use std::io::{self, Read, Write};
 
 /// Per-static-branch prediction-accuracy results of one profiling run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -84,6 +85,55 @@ impl AccuracyProfile {
             .enumerate()
             .filter(|&(_i, &e)| e > 0)
             .map(|(i, &e)| (SiteId(i as u32), e, self.correct[i] as f64 / e as f64))
+    }
+
+    /// Writes the profile in a compact varint format (the payload the sweep
+    /// engine's result cache stores).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let name = self.predictor_name.as_bytes();
+        write_varint(w, name.len() as u64)?;
+        w.write_all(name)?;
+        write_varint(w, self.exec.len() as u64)?;
+        for i in 0..self.exec.len() {
+            write_varint(w, self.exec[i])?;
+            write_varint(w, self.correct[i])?;
+        }
+        Ok(())
+    }
+
+    /// Reads a profile written by [`write_to`](Self::write_to).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed input (non-UTF-8 predictor name,
+    /// correct count exceeding executions) and propagates I/O errors.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
+        let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+        let name_len = read_varint(r)? as usize;
+        if name_len > 1 << 16 {
+            return Err(invalid("unreasonable predictor-name length"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let predictor_name =
+            String::from_utf8(name).map_err(|_| invalid("predictor name is not UTF-8"))?;
+        let num_sites = read_varint(r)? as usize;
+        if num_sites > 1 << 28 {
+            return Err(invalid("unreasonable site count"));
+        }
+        let mut profile = AccuracyProfile::new(num_sites, predictor_name);
+        for i in 0..num_sites {
+            profile.exec[i] = read_varint(r)?;
+            profile.correct[i] = read_varint(r)?;
+            if profile.correct[i] > profile.exec[i] {
+                return Err(invalid("correct count exceeds executions"));
+            }
+        }
+        Ok(profile)
     }
 }
 
@@ -203,6 +253,35 @@ mod tests {
         let (mut pred, profile) = sim.into_parts();
         assert_eq!(profile.predictor_name(), "gshare-4KB");
         pred.reset();
+    }
+
+    #[test]
+    fn profile_serialization_roundtrips() {
+        let mut sim = PredictorSim::new(5, Gshare::new(8, 8));
+        for i in 0..4_000u64 {
+            sim.branch(SiteId((i % 3) as u32), i % 7 < 4);
+        }
+        let profile = sim.into_profile();
+        let mut buf = Vec::new();
+        profile.write_to(&mut buf).unwrap();
+        let back = AccuracyProfile::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn profile_deserialization_rejects_corruption() {
+        let mut sim = PredictorSim::new(2, StaticTaken);
+        sim.branch(SiteId(0), true);
+        let mut buf = Vec::new();
+        sim.into_profile().write_to(&mut buf).unwrap();
+        // truncation
+        let short = &buf[..buf.len() - 1];
+        assert!(AccuracyProfile::read_from(&mut &*short).is_err());
+        // correct > exec: site 0 has exec=1/correct=1; bump correct varint
+        let mut bad = buf.clone();
+        let correct_pos = bad.len() - 3;
+        bad[correct_pos] = 9;
+        assert!(AccuracyProfile::read_from(&mut bad.as_slice()).is_err());
     }
 
     #[test]

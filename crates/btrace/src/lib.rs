@@ -34,7 +34,7 @@ mod tee;
 
 pub use edge::{EdgeCount, EdgeProfiler};
 pub use record::{RecordingTracer, Trace, TraceEvent, TraceIter, TraceStats};
-pub use serial::{read_trace, write_trace, ReadTraceError};
+pub use serial::{read_trace, read_varint, write_trace, write_varint, ReadTraceError};
 pub use site::{validate_sites, BranchKind, SiteDecl, SiteId};
 pub use tee::Tee;
 

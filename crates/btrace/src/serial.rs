@@ -74,7 +74,13 @@ impl From<io::Error> for ReadTraceError {
     }
 }
 
-fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+/// Writes `v` as a LEB128 varint — the primitive the 2DPT trace format and
+/// the sweep engine's result cache share.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -85,7 +91,13 @@ fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     }
 }
 
-fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+/// Reads a LEB128 varint written by [`write_varint`].
+///
+/// # Errors
+///
+/// Returns an `InvalidData` error on an over-long encoding, and propagates
+/// I/O errors (including `UnexpectedEof` on truncation).
+pub fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {

@@ -1,7 +1,8 @@
 //! End-of-run profiling reports.
 
-use crate::{TestOutcomes, Thresholds};
-use btrace::SiteId;
+use crate::{MeanThreshold, TestOutcomes, Thresholds};
+use btrace::{read_varint, write_varint, SiteId};
+use std::io::{self, Read, Write};
 
 /// 2D-profiling verdict for one static branch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,7 +60,7 @@ pub struct BranchStats {
 }
 
 /// The complete result of one 2D-profiling run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProfileReport {
     stats: Vec<BranchStats>,
     thresholds: Thresholds,
@@ -72,7 +73,7 @@ pub struct ProfileReport {
 }
 
 /// Recorded per-slice time series (Figure 8 support).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub(crate) struct SeriesData {
     /// For each site: `(slice index, filtered accuracy)` samples for counted
     /// slices.
@@ -195,11 +196,270 @@ impl ProfileReport {
     pub fn overall_series(&self) -> Option<&[(u64, f64)]> {
         self.series.as_ref().map(|s| s.overall.as_slice())
     }
+
+    /// Writes the full report (statistics, thresholds, series) in a compact
+    /// binary format — the payload the sweep engine's result cache stores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_thresholds(w, &self.thresholds)?;
+        write_opt_f64(w, self.program_accuracy)?;
+        write_opt_f64(w, self.resolved_mean_threshold)?;
+        write_varint(w, self.total_slices)?;
+        write_varint(w, self.total_branches)?;
+        let name = self.predictor_name.as_bytes();
+        write_varint(w, name.len() as u64)?;
+        w.write_all(name)?;
+        write_varint(w, self.stats.len() as u64)?;
+        for s in &self.stats {
+            write_varint(w, s.slices)?;
+            write_opt_f64(w, s.mean)?;
+            write_opt_f64(w, s.std_dev)?;
+            write_opt_f64(w, s.pam_fraction)?;
+            write_varint(w, s.executions)?;
+            write_opt_f64(w, s.aggregate_accuracy)?;
+            let outcome_bits = match s.outcomes {
+                None => 0u64,
+                Some(o) => 0b1000 | (o.mean as u64) | ((o.std as u64) << 1) | ((o.pam as u64) << 2),
+            };
+            write_varint(w, outcome_bits)?;
+            let class = match s.classification {
+                Classification::Dependent => 0u64,
+                Classification::Independent => 1,
+                Classification::Insufficient => 2,
+            };
+            write_varint(w, class)?;
+        }
+        match &self.series {
+            None => write_varint(w, 0)?,
+            Some(series) => {
+                write_varint(w, 1)?;
+                write_varint(w, series.per_site.len() as u64)?;
+                for samples in &series.per_site {
+                    write_series(w, samples)?;
+                }
+                write_series(w, &series.overall)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a report written by [`write_to`](Self::write_to).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed input and propagates I/O errors.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
+        let thresholds = read_thresholds(r)?;
+        let program_accuracy = read_opt_f64(r)?;
+        let resolved_mean_threshold = read_opt_f64(r)?;
+        let total_slices = read_varint(r)?;
+        let total_branches = read_varint(r)?;
+        let name_len = read_varint(r)? as usize;
+        if name_len > 1 << 16 {
+            return Err(invalid("unreasonable predictor-name length"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let predictor_name =
+            String::from_utf8(name).map_err(|_| invalid("predictor name is not UTF-8"))?;
+        let num_sites = read_varint(r)? as usize;
+        if num_sites > 1 << 28 {
+            return Err(invalid("unreasonable site count"));
+        }
+        let mut stats = Vec::with_capacity(num_sites);
+        for i in 0..num_sites {
+            let slices = read_varint(r)?;
+            let mean = read_opt_f64(r)?;
+            let std_dev = read_opt_f64(r)?;
+            let pam_fraction = read_opt_f64(r)?;
+            let executions = read_varint(r)?;
+            let aggregate_accuracy = read_opt_f64(r)?;
+            let outcome_bits = read_varint(r)?;
+            let outcomes = if outcome_bits & 0b1000 != 0 {
+                Some(TestOutcomes {
+                    mean: outcome_bits & 1 != 0,
+                    std: outcome_bits & 2 != 0,
+                    pam: outcome_bits & 4 != 0,
+                })
+            } else {
+                None
+            };
+            let classification = match read_varint(r)? {
+                0 => Classification::Dependent,
+                1 => Classification::Independent,
+                2 => Classification::Insufficient,
+                _ => return Err(invalid("unknown classification tag")),
+            };
+            stats.push(BranchStats {
+                site: SiteId(i as u32),
+                slices,
+                mean,
+                std_dev,
+                pam_fraction,
+                executions,
+                aggregate_accuracy,
+                outcomes,
+                classification,
+            });
+        }
+        let series = match read_varint(r)? {
+            0 => None,
+            1 => {
+                let n = read_varint(r)? as usize;
+                if n != num_sites {
+                    return Err(invalid("series table size mismatch"));
+                }
+                let mut per_site = Vec::with_capacity(n);
+                for _ in 0..n {
+                    per_site.push(read_series(r)?);
+                }
+                let overall = read_series(r)?;
+                Some(SeriesData { per_site, overall })
+            }
+            _ => return Err(invalid("unknown series tag")),
+        };
+        Ok(Self {
+            stats,
+            thresholds,
+            program_accuracy,
+            resolved_mean_threshold,
+            total_slices,
+            total_branches,
+            predictor_name,
+            series,
+        })
+    }
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_bits().to_le_bytes())
+}
+
+fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(f64::from_bits(u64::from_le_bytes(buf)))
+}
+
+fn write_opt_f64<W: Write>(w: &mut W, v: Option<f64>) -> io::Result<()> {
+    match v {
+        None => w.write_all(&[0]),
+        Some(v) => {
+            w.write_all(&[1])?;
+            write_f64(w, v)
+        }
+    }
+}
+
+fn read_opt_f64<R: Read>(r: &mut R) -> io::Result<Option<f64>> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    match tag[0] {
+        0 => Ok(None),
+        1 => Ok(Some(read_f64(r)?)),
+        _ => Err(invalid("bad optional-float tag")),
+    }
+}
+
+fn write_thresholds<W: Write>(w: &mut W, t: &Thresholds) -> io::Result<()> {
+    match t.mean {
+        MeanThreshold::ProgramAccuracy => w.write_all(&[0])?,
+        MeanThreshold::Fixed(v) => {
+            w.write_all(&[1])?;
+            write_f64(w, v)?;
+        }
+    }
+    write_f64(w, t.std)?;
+    write_f64(w, t.pam)
+}
+
+fn read_thresholds<R: Read>(r: &mut R) -> io::Result<Thresholds> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let mean = match tag[0] {
+        0 => MeanThreshold::ProgramAccuracy,
+        1 => MeanThreshold::Fixed(read_f64(r)?),
+        _ => return Err(invalid("bad mean-threshold tag")),
+    };
+    Ok(Thresholds {
+        mean,
+        std: read_f64(r)?,
+        pam: read_f64(r)?,
+    })
+}
+
+fn write_series<W: Write>(w: &mut W, samples: &[(u64, f64)]) -> io::Result<()> {
+    write_varint(w, samples.len() as u64)?;
+    for &(slice, acc) in samples {
+        write_varint(w, slice)?;
+        write_f64(w, acc)?;
+    }
+    Ok(())
+}
+
+fn read_series<R: Read>(r: &mut R) -> io::Result<Vec<(u64, f64)>> {
+    let n = read_varint(r)? as usize;
+    if n > 1 << 28 {
+        return Err(invalid("unreasonable series length"));
+    }
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let slice = read_varint(r)?;
+        samples.push((slice, read_f64(r)?));
+    }
+    Ok(samples)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{SliceConfig, TwoDProfiler};
+    use btrace::Tracer;
+
+    fn sample_report(with_series: bool) -> ProfileReport {
+        let make = if with_series {
+            TwoDProfiler::with_series
+        } else {
+            TwoDProfiler::new
+        };
+        let mut prof = make(3, bpred::Gshare::new(8, 8), SliceConfig::new(500, 8));
+        for i in 0..20_000u64 {
+            let noisy = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).count_ones() % 2 == 0;
+            prof.branch(SiteId(0), if i < 10_000 { noisy } else { true });
+            prof.branch(SiteId(1), true);
+            // site 2 never executes: exercises the Insufficient path
+        }
+        prof.finish(Thresholds::paper())
+    }
+
+    #[test]
+    fn report_serialization_roundtrips() {
+        for with_series in [false, true] {
+            let report = sample_report(with_series);
+            let mut buf = Vec::new();
+            report.write_to(&mut buf).unwrap();
+            let back = ProfileReport::read_from(&mut buf.as_slice()).unwrap();
+            assert_eq!(back, report, "with_series={with_series}");
+        }
+    }
+
+    #[test]
+    fn report_deserialization_rejects_corruption() {
+        let report = sample_report(false);
+        let mut buf = Vec::new();
+        report.write_to(&mut buf).unwrap();
+        assert!(ProfileReport::read_from(&mut &buf[..buf.len() - 2]).is_err());
+        let mut bad = buf.clone();
+        bad[0] = 99; // mean-threshold tag
+        assert!(ProfileReport::read_from(&mut bad.as_slice()).is_err());
+    }
 
     #[test]
     fn classification_display_and_predicate() {

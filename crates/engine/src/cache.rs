@@ -1,0 +1,243 @@
+//! The persistent on-disk result cache.
+//!
+//! Layout: `<root>/v<SCHEMA>/<workload>-<input>-<scale>-<kind>-<hash>.bin`.
+//! Each entry is one job's output behind a small header:
+//!
+//! ```text
+//! magic   "2DPC"                      4 bytes
+//! version u8                          currently 1
+//! spec    u64 LE content hash         integrity check against key collisions
+//! kind    u8                          0 = count, 1 = accuracy, 2 = 2D report
+//! payload varint / profile encoding   see bpred::AccuracyProfile::write_to,
+//!                                     twodprof_core::ProfileReport::write_to
+//! ```
+//!
+//! Invalidation is by construction rather than by deletion: the schema
+//! version participates in both the directory name and every content hash
+//! (see [`crate::CACHE_SCHEMA_VERSION`]), so a version bump makes all old
+//! entries unreachable. Corrupt or mismatched entries are treated as misses
+//! and overwritten on the next store; a cache can always be deleted outright
+//! with `rm -r`.
+
+use crate::{JobKind, JobSpec, CACHE_SCHEMA_VERSION};
+use bpred::AccuracyProfile;
+use btrace::{read_varint, write_varint};
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use twodprof_core::ProfileReport;
+
+const MAGIC: &[u8; 4] = b"2DPC";
+const VERSION: u8 = 1;
+
+/// One job's computed result.
+///
+/// Profiles and reports are behind `Arc` so cache hits can be shared with
+/// experiment code without cloning `O(sites)` payloads.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutput {
+    /// Total dynamic conditional branches of the run.
+    Count(u64),
+    /// Per-branch accuracy profile.
+    Accuracy(Arc<AccuracyProfile>),
+    /// Full 2D-profiling report.
+    Report(Arc<ProfileReport>),
+}
+
+impl JobOutput {
+    /// Dynamic branch events the result represents (for throughput
+    /// accounting).
+    pub fn events(&self) -> u64 {
+        match self {
+            JobOutput::Count(n) => *n,
+            JobOutput::Accuracy(p) => p.total_executions(),
+            JobOutput::Report(r) => r.total_branches(),
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            JobOutput::Count(_) => 0,
+            JobOutput::Accuracy(_) => 1,
+            JobOutput::Report(_) => 2,
+        }
+    }
+
+    /// The tag an output for `kind` must carry.
+    fn expected_tag(kind: JobKind) -> u8 {
+        match kind {
+            JobKind::BranchCount => 0,
+            JobKind::Accuracy(_) => 1,
+            JobKind::TwoD(_) => 2,
+        }
+    }
+}
+
+/// A directory of serialized job outputs, safe for concurrent use from many
+/// worker threads (stores go through a unique temp file plus an atomic
+/// rename).
+#[derive(Debug)]
+pub struct DiskCache {
+    root: PathBuf,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) the cache under `dir`. The schema
+    /// version is a subdirectory, so caches from different schema eras
+    /// coexist without interference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        let root = dir.join(format!("v{CACHE_SCHEMA_VERSION}"));
+        fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The versioned cache directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the entry for `spec`.
+    pub fn entry_path(&self, spec: &JobSpec) -> PathBuf {
+        self.root.join(spec.cache_file_name())
+    }
+
+    /// Loads the cached output for `spec`, or `None` on a miss. Corrupt,
+    /// truncated, or mismatched entries are misses, never errors: the
+    /// worker will recompute and overwrite them.
+    pub fn load(&self, spec: &JobSpec) -> Option<JobOutput> {
+        let bytes = fs::read(self.entry_path(spec)).ok()?;
+        read_entry(&mut bytes.as_slice(), spec).ok()
+    }
+
+    /// Stores `output` as the result of `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (callers typically degrade to warn-and-
+    /// continue: a broken cache must not fail a sweep).
+    pub fn store(&self, spec: &JobSpec, output: &JobOutput) -> io::Result<()> {
+        let mut buf = Vec::new();
+        write_entry(&mut buf, spec, output)?;
+        // unique temp name per thread+spec, then atomic rename: concurrent
+        // writers of the same entry race benignly (identical content)
+        let tmp = self.root.join(format!(
+            ".tmp-{:016x}-{:?}",
+            spec.content_hash(),
+            std::thread::current().id()
+        ));
+        fs::write(&tmp, &buf)?;
+        match fs::rename(&tmp, self.entry_path(spec)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+fn write_entry<W: Write>(w: &mut W, spec: &JobSpec, output: &JobOutput) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    w.write_all(&spec.content_hash().to_le_bytes())?;
+    w.write_all(&[output.tag()])?;
+    match output {
+        JobOutput::Count(n) => write_varint(w, *n),
+        JobOutput::Accuracy(p) => p.write_to(w),
+        JobOutput::Report(r) => r.write_to(w),
+    }
+}
+
+fn read_entry<R: Read>(r: &mut R, spec: &JobSpec) -> io::Result<JobOutput> {
+    let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(invalid("not a 2DPC cache entry"));
+    }
+    let mut version = [0u8; 1];
+    r.read_exact(&mut version)?;
+    if version[0] != VERSION {
+        return Err(invalid("unsupported cache-entry version"));
+    }
+    let mut hash = [0u8; 8];
+    r.read_exact(&mut hash)?;
+    if u64::from_le_bytes(hash) != spec.content_hash() {
+        return Err(invalid("cache entry is for a different spec"));
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    if tag[0] != JobOutput::expected_tag(spec.kind) {
+        return Err(invalid("cache entry holds a different result kind"));
+    }
+    Ok(match tag[0] {
+        0 => JobOutput::Count(read_varint(r)?),
+        1 => JobOutput::Accuracy(Arc::new(AccuracyProfile::read_from(r)?)),
+        _ => JobOutput::Report(Arc::new(ProfileReport::read_from(r)?)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred::PredictorKind;
+    use workloads::Scale;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("twodprof_cache_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn count_roundtrips_through_the_cache() {
+        let dir = tmpdir("count");
+        let cache = DiskCache::open(&dir).unwrap();
+        let spec = JobSpec::count("gzip", "train", Scale::Tiny);
+        assert!(cache.load(&spec).is_none());
+        cache.store(&spec, &JobOutput::Count(12_345)).unwrap();
+        match cache.load(&spec) {
+            Some(JobOutput::Count(12_345)) => {}
+            other => panic!("expected Count(12345), got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let dir = tmpdir("corrupt");
+        let cache = DiskCache::open(&dir).unwrap();
+        let spec = JobSpec::count("mcf", "ref", Scale::Tiny);
+        cache.store(&spec, &JobOutput::Count(7)).unwrap();
+        fs::write(cache.entry_path(&spec), b"garbage").unwrap();
+        assert!(cache.load(&spec).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kind_mismatch_is_a_miss() {
+        let dir = tmpdir("kind");
+        let cache = DiskCache::open(&dir).unwrap();
+        let count = JobSpec::count("gap", "train", Scale::Tiny);
+        cache.store(&count, &JobOutput::Count(3)).unwrap();
+        // same file, hand-rewritten to claim the accuracy spec's name
+        let acc = JobSpec::accuracy("gap", "train", Scale::Tiny, PredictorKind::Gshare4Kb);
+        fs::copy(cache.entry_path(&count), cache.entry_path(&acc)).unwrap();
+        assert!(cache.load(&acc).is_none(), "hash check must reject");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schema_version_partitions_the_directory() {
+        let dir = tmpdir("schema");
+        let cache = DiskCache::open(&dir).unwrap();
+        assert!(cache.root().ends_with(format!("v{CACHE_SCHEMA_VERSION}")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,408 @@
+//! `twodprof-engine` — a parallel, fault-isolated sweep executor with a
+//! persistent on-disk result cache.
+//!
+//! The paper's evaluation is a large grid: every (workload × input set ×
+//! predictor) trio must be simulated to build ground truth, and every
+//! figure and table re-runs subsets of that grid. Each run owns its
+//! predictor state, so the grid is embarrassingly parallel across runs —
+//! exactly the shape of a job scheduler. This crate turns each run into a
+//! content-addressed [`JobSpec`], executes specs on a configurable worker
+//! pool, persists results to a schema-versioned disk cache, and isolates
+//! failures: a panicking job is caught, recorded as
+//! [`JobStatus::Failed`] with its panic message, and never kills the sweep.
+//!
+//! ```
+//! use twodprof_engine::{Engine, EngineConfig, JobSpec};
+//! use workloads::Scale;
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! let specs = vec![
+//!     JobSpec::count("gzip", "train", Scale::Tiny),
+//!     JobSpec::count("gap", "train", Scale::Tiny),
+//! ];
+//! let results = engine.run_jobs(&specs);
+//! assert!(results.iter().all(|r| r.status.is_success()));
+//! ```
+
+mod cache;
+mod spec;
+
+pub use cache::{DiskCache, JobOutput};
+pub use spec::{scale_id, JobKind, JobSpec, CACHE_SCHEMA_VERSION};
+
+use bpred::{PredictorKind, PredictorSim};
+use btrace::CountingTracer;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
+use workloads::Scale;
+
+/// Engine configuration.
+#[derive(Clone, Debug, Default)]
+pub struct EngineConfig {
+    /// Worker threads for [`Engine::run_jobs`]; `0` means
+    /// `std::thread::available_parallelism()`.
+    pub jobs: usize,
+    /// Directory of the persistent result cache; `None` disables disk
+    /// caching entirely.
+    pub cache_dir: Option<PathBuf>,
+    /// Emit periodic progress lines on stderr during sweeps.
+    pub progress: bool,
+}
+
+/// How a job's result was obtained (or lost).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Simulated by a worker in this sweep.
+    Computed,
+    /// Served from the disk cache without simulation.
+    Cached,
+    /// The job panicked; the sweep continued without it.
+    Failed(String),
+}
+
+impl JobStatus {
+    /// Whether the job produced a result.
+    pub fn is_success(&self) -> bool {
+        !matches!(self, JobStatus::Failed(_))
+    }
+}
+
+/// The outcome of one job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The spec that ran.
+    pub spec: JobSpec,
+    /// How the result was obtained.
+    pub status: JobStatus,
+    /// The result, absent iff the job failed.
+    pub output: Option<JobOutput>,
+    /// Wall-clock time spent on this job (near zero for cache hits).
+    pub duration: Duration,
+}
+
+impl JobResult {
+    /// Dynamic branch events the job's result represents.
+    pub fn events(&self) -> u64 {
+        self.output.as_ref().map_or(0, JobOutput::events)
+    }
+}
+
+/// Cumulative job-status counters (across every job the engine has run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Jobs simulated by a worker.
+    pub computed: u64,
+    /// Jobs served from the disk cache.
+    pub cached: u64,
+    /// Jobs that panicked.
+    pub failed: u64,
+    /// Dynamic branch events across computed jobs.
+    pub events: u64,
+}
+
+impl EngineCounters {
+    /// Total jobs accounted for.
+    pub fn total(&self) -> u64 {
+        self.computed + self.cached + self.failed
+    }
+}
+
+/// The sweep executor. Cheap to share by reference across threads; all
+/// mutability is internal.
+#[derive(Debug)]
+pub struct Engine {
+    jobs: usize,
+    cache: Option<DiskCache>,
+    progress: bool,
+    counters: Mutex<EngineCounters>,
+}
+
+impl Engine {
+    /// Creates an engine. An unusable cache directory degrades to
+    /// cache-less operation with a warning — a broken cache must never
+    /// fail a sweep.
+    pub fn new(config: EngineConfig) -> Self {
+        let cache = config.cache_dir.as_ref().and_then(|dir| {
+            DiskCache::open(dir)
+                .map_err(|e| {
+                    eprintln!(
+                        "[engine] warning: cache at {} unusable ({e}); running uncached",
+                        dir.display()
+                    )
+                })
+                .ok()
+        });
+        Self {
+            jobs: config.jobs,
+            cache,
+            progress: config.progress,
+            counters: Mutex::new(EngineCounters::default()),
+        }
+    }
+
+    /// The number of worker threads a sweep will use.
+    pub fn worker_count(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+
+    /// Whether a disk cache is attached.
+    pub fn has_cache(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Cumulative status counters over the engine's lifetime.
+    pub fn counters(&self) -> EngineCounters {
+        *self.counters.lock().expect("counter lock")
+    }
+
+    /// Runs one job on the calling thread: disk-cache lookup, then
+    /// fault-isolated execution, then write-back.
+    pub fn run_one(&self, spec: &JobSpec) -> JobResult {
+        let start = Instant::now();
+        if let Some(output) = self.cache.as_ref().and_then(|c| c.load(spec)) {
+            self.bump(|c| c.cached += 1);
+            return JobResult {
+                spec: spec.clone(),
+                status: JobStatus::Cached,
+                output: Some(output),
+                duration: start.elapsed(),
+            };
+        }
+        match catch_unwind(AssertUnwindSafe(|| self.execute(spec))) {
+            Ok(output) => {
+                if let Some(cache) = &self.cache {
+                    if let Err(e) = cache.store(spec, &output) {
+                        eprintln!(
+                            "[engine] warning: failed to cache {} ({e})",
+                            spec.describe()
+                        );
+                    }
+                }
+                self.bump(|c| {
+                    c.computed += 1;
+                    c.events += output.events();
+                });
+                JobResult {
+                    spec: spec.clone(),
+                    status: JobStatus::Computed,
+                    output: Some(output),
+                    duration: start.elapsed(),
+                }
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                self.bump(|c| c.failed += 1);
+                JobResult {
+                    spec: spec.clone(),
+                    status: JobStatus::Failed(message),
+                    output: None,
+                    duration: start.elapsed(),
+                }
+            }
+        }
+    }
+
+    /// Runs a batch of jobs on the worker pool and returns results in spec
+    /// order. Failures are isolated per job; the returned vector always has
+    /// one entry per spec.
+    pub fn run_jobs(&self, specs: &[JobSpec]) -> Vec<JobResult> {
+        let total = specs.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let workers = self.worker_count().min(total);
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let computed_events = AtomicU64::new(0);
+        let slots: Vec<Mutex<Option<JobResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let sweep_start = Instant::now();
+        // progress cadence: ~10 lines per sweep, and always the final one
+        let step = (total / 10).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let result = self.run_one(&specs[i]);
+                    if matches!(result.status, JobStatus::Computed) {
+                        computed_events.fetch_add(result.events(), Ordering::Relaxed);
+                    }
+                    *slots[i].lock().expect("result slot") = Some(result);
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if self.progress && (finished.is_multiple_of(step) || finished == total) {
+                        self.print_progress(
+                            finished,
+                            total,
+                            computed_events.load(Ordering::Relaxed),
+                            sweep_start.elapsed(),
+                        );
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("worker filled every slot")
+            })
+            .collect()
+    }
+
+    fn print_progress(&self, done: usize, total: usize, events: u64, elapsed: Duration) {
+        let c = self.counters();
+        let rate = events as f64 / elapsed.as_secs_f64().max(1e-9) / 1e6;
+        eprintln!(
+            "[engine] {done}/{total} jobs · {} computed · {} cached · {} failed · {rate:.1} Mevents/s",
+            c.computed, c.cached, c.failed
+        );
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut EngineCounters)) {
+        f(&mut self.counters.lock().expect("counter lock"));
+    }
+
+    /// Executes a spec on the calling thread. Panics (caught by
+    /// [`run_one`](Self::run_one)) on unknown workloads or inputs — the
+    /// same contract the experiment context had.
+    fn execute(&self, spec: &JobSpec) -> JobOutput {
+        let workload = workloads::by_name(&spec.workload, spec.scale)
+            .unwrap_or_else(|| panic!("unknown workload {:?}", spec.workload));
+        let input = workload
+            .input_set(&spec.input)
+            .unwrap_or_else(|| panic!("{} lacks input {:?}", workload.name(), spec.input));
+        match spec.kind {
+            JobKind::BranchCount => {
+                let mut tracer = CountingTracer::new();
+                workload.run(&input, &mut tracer);
+                JobOutput::Count(tracer.count())
+            }
+            JobKind::Accuracy(kind) => {
+                let mut sim = PredictorSim::new(workload.sites().len(), kind.build());
+                workload.run(&input, &mut sim);
+                JobOutput::Accuracy(sim.into_profile().into())
+            }
+            JobKind::TwoD(kind) => {
+                // the auto slice configuration needs the run length; resolve
+                // it as its own job so the count lands in the cache too
+                let count_spec = JobSpec {
+                    kind: JobKind::BranchCount,
+                    ..spec.clone()
+                };
+                let total = match self.run_one(&count_spec).output {
+                    Some(JobOutput::Count(n)) => n,
+                    _ => panic!("branch-count job failed for {}", spec.describe()),
+                };
+                let mut profiler = TwoDProfiler::new(
+                    workload.sites().len(),
+                    kind.build(),
+                    SliceConfig::auto(total),
+                );
+                workload.run(&input, &mut profiler);
+                JobOutput::Report(profiler.finish(Thresholds::paper()).into())
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Enumerates the full evaluation grid at `scale`: for every workload and
+/// every input set, a branch count and an accuracy profile under each
+/// evaluation predictor, plus one 2D-profiling run per (workload,
+/// predictor) on the `train` input — the superset of simulations the
+/// paper's figures and tables consume.
+pub fn full_grid(scale: Scale) -> Vec<JobSpec> {
+    let mut specs = Vec::new();
+    for workload in workloads::suite(scale) {
+        let name = workload.name();
+        for input in workload.input_sets() {
+            specs.push(JobSpec::count(name, input.name, scale));
+            for kind in PredictorKind::ALL {
+                specs.push(JobSpec::accuracy(name, input.name, scale, kind));
+            }
+        }
+        for kind in PredictorKind::ALL {
+            specs.push(JobSpec::two_d(name, "train", scale, kind));
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_covers_every_workload_and_kind() {
+        let specs = full_grid(Scale::Tiny);
+        let workload_count = workloads::suite(Scale::Tiny).len();
+        assert!(specs.len() > workload_count * 5);
+        for workload in workloads::suite(Scale::Tiny) {
+            for kind in [
+                JobKind::BranchCount,
+                JobKind::Accuracy(PredictorKind::Gshare4Kb),
+                JobKind::TwoD(PredictorKind::Perceptron16Kb),
+            ] {
+                assert!(
+                    specs
+                        .iter()
+                        .any(|s| s.workload == workload.name() && s.kind == kind),
+                    "{} lacks {kind:?}",
+                    workload.name()
+                );
+            }
+        }
+        // no duplicate specs in the grid
+        let mut keys: Vec<u64> = specs.iter().map(JobSpec::content_hash).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), specs.len());
+    }
+
+    #[test]
+    fn worker_count_defaults_to_parallelism() {
+        let default = Engine::new(EngineConfig::default());
+        assert!(default.worker_count() >= 1);
+        let fixed = Engine::new(EngineConfig {
+            jobs: 3,
+            ..EngineConfig::default()
+        });
+        assert_eq!(fixed.worker_count(), 3);
+        assert!(!fixed.has_cache());
+    }
+
+    #[test]
+    fn counters_accumulate_across_runs() {
+        let engine = Engine::new(EngineConfig {
+            jobs: 2,
+            ..EngineConfig::default()
+        });
+        let spec = JobSpec::count("gzip", "train", Scale::Tiny);
+        engine.run_one(&spec);
+        engine.run_one(&spec); // no disk cache: both compute
+        let c = engine.counters();
+        assert_eq!(c.computed, 2);
+        assert_eq!(c.cached, 0);
+        assert!(c.events > 0);
+    }
+}

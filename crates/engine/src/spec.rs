@@ -1,0 +1,205 @@
+//! Content-addressed job specifications.
+//!
+//! A [`JobSpec`] names one simulation run of the evaluation grid — a
+//! (workload, input, job kind, scale) tuple — and hashes to a stable cache
+//! key. The hash is FNV-1a over the spec's canonical encoding plus
+//! [`CACHE_SCHEMA_VERSION`], so bumping the version (for any change to
+//! simulation semantics or payload format) invalidates every cached result
+//! at once without touching old files.
+
+use bpred::PredictorKind;
+use workloads::Scale;
+
+/// Version of the cache key scheme *and* payload format. Bump whenever
+/// simulation semantics, spec encoding, or serialized payloads change; old
+/// cache entries then simply stop being found.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// What a job computes for its (workload, input) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JobKind {
+    /// Total dynamic conditional branch count (a [`btrace::CountingTracer`]
+    /// run).
+    BranchCount,
+    /// Per-branch accuracy profile under the given predictor
+    /// ([`bpred::PredictorSim`]).
+    Accuracy(PredictorKind),
+    /// A full 2D-profiling run under the given predictor, with the
+    /// auto-scaled slice configuration and the paper's thresholds.
+    TwoD(PredictorKind),
+}
+
+impl JobKind {
+    /// Stable, filename-safe identifier of the kind.
+    pub fn slug(self) -> String {
+        match self {
+            JobKind::BranchCount => "count".to_owned(),
+            JobKind::Accuracy(k) => format!("acc-{}", k.id()),
+            JobKind::TwoD(k) => format!("twod-{}", k.id()),
+        }
+    }
+}
+
+/// Stable identifier of a workload scale (for keys and filenames).
+pub fn scale_id(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+/// One run of the evaluation grid, in content-addressed form.
+///
+/// Workload and input are referenced *by name*: the worker that executes
+/// the job reconstructs both from the registry, so specs are cheap to
+/// clone, trivially `Send`, and hash independently of any in-memory object
+/// identity.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct JobSpec {
+    /// Workload name (e.g. `"gzip"`).
+    pub workload: String,
+    /// Input-set name (e.g. `"train"`, `"ext-3"`).
+    pub input: String,
+    /// Workload scale of the run.
+    pub scale: Scale,
+    /// What to compute.
+    pub kind: JobKind,
+}
+
+impl JobSpec {
+    /// A branch-count job.
+    pub fn count(workload: &str, input: &str, scale: Scale) -> Self {
+        Self {
+            workload: workload.to_owned(),
+            input: input.to_owned(),
+            scale,
+            kind: JobKind::BranchCount,
+        }
+    }
+
+    /// An accuracy-profile job.
+    pub fn accuracy(workload: &str, input: &str, scale: Scale, kind: PredictorKind) -> Self {
+        Self {
+            workload: workload.to_owned(),
+            input: input.to_owned(),
+            scale,
+            kind: JobKind::Accuracy(kind),
+        }
+    }
+
+    /// A 2D-profiling job.
+    pub fn two_d(workload: &str, input: &str, scale: Scale, kind: PredictorKind) -> Self {
+        Self {
+            workload: workload.to_owned(),
+            input: input.to_owned(),
+            scale,
+            kind: JobKind::TwoD(kind),
+        }
+    }
+
+    /// Stable content hash of the spec (FNV-1a over its canonical
+    /// encoding, seeded with [`CACHE_SCHEMA_VERSION`]).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(CACHE_SCHEMA_VERSION as u64);
+        h.write_str(&self.workload);
+        h.write_str(&self.input);
+        h.write_str(scale_id(self.scale));
+        h.write_str(&self.kind.slug());
+        h.finish()
+    }
+
+    /// Cache file name: human-readable slug plus the content hash.
+    pub fn cache_file_name(&self) -> String {
+        format!(
+            "{}-{}-{}-{}-{:016x}.bin",
+            self.workload,
+            self.input,
+            scale_id(self.scale),
+            self.kind.slug(),
+            self.content_hash()
+        )
+    }
+
+    /// Short human-readable description for progress and error reporting.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} {}/{} @{}",
+            self.kind.slug(),
+            self.workload,
+            self.input,
+            scale_id(self.scale)
+        )
+    }
+}
+
+/// Minimal FNV-1a, kept local so cache keys never depend on the standard
+/// library's unstable-across-releases `DefaultHasher`.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0xFF]); // field separator: "ab","c" hashes unlike "a","bc"
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_and_field_sensitive() {
+        let a = JobSpec::accuracy("gzip", "train", Scale::Tiny, PredictorKind::Gshare4Kb);
+        assert_eq!(a.content_hash(), a.clone().content_hash());
+        let variants = [
+            JobSpec::accuracy("gzi", "ptrain", Scale::Tiny, PredictorKind::Gshare4Kb),
+            JobSpec::accuracy("gzip", "train", Scale::Small, PredictorKind::Gshare4Kb),
+            JobSpec::accuracy("gzip", "train", Scale::Tiny, PredictorKind::Perceptron16Kb),
+            JobSpec::two_d("gzip", "train", Scale::Tiny, PredictorKind::Gshare4Kb),
+            JobSpec::count("gzip", "train", Scale::Tiny),
+        ];
+        for v in &variants {
+            assert_ne!(a.content_hash(), v.content_hash(), "{}", v.describe());
+        }
+    }
+
+    #[test]
+    fn file_names_are_unique_and_readable() {
+        let a = JobSpec::count("mcf", "ref", Scale::Full);
+        let name = a.cache_file_name();
+        assert!(name.starts_with("mcf-ref-full-count-"));
+        assert!(name.ends_with(".bin"));
+        let b = JobSpec::count("mcf", "ref", Scale::Small);
+        assert_ne!(name, b.cache_file_name());
+    }
+
+    #[test]
+    fn describe_mentions_all_coordinates() {
+        let s = JobSpec::two_d("gap", "train", Scale::Small, PredictorKind::Perceptron16Kb);
+        let d = s.describe();
+        for needle in ["gap", "train", "small", "twod", "perceptron16kb"] {
+            assert!(d.contains(needle), "{d:?} lacks {needle}");
+        }
+    }
+}

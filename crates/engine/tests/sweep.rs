@@ -1,0 +1,92 @@
+//! End-to-end engine guarantees: determinism across worker counts, disk
+//! cache persistence across engine instances, and per-job fault isolation.
+
+use std::fs;
+use std::path::PathBuf;
+use twodprof_engine::{full_grid, Engine, EngineConfig, JobOutput, JobSpec, JobStatus};
+use workloads::Scale;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("twodprof_sweep_test_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn engine(jobs: usize, cache_dir: Option<PathBuf>) -> Engine {
+    Engine::new(EngineConfig {
+        jobs,
+        cache_dir,
+        progress: false,
+    })
+}
+
+/// The simulations are deterministic, so a parallel sweep must produce
+/// bit-identical results to a sequential one — for every workload, every
+/// input, every job kind.
+#[test]
+fn parallel_sweep_matches_sequential() {
+    let specs = full_grid(Scale::Tiny);
+    let sequential = engine(1, None).run_jobs(&specs);
+    let parallel = engine(4, None).run_jobs(&specs);
+    assert_eq!(sequential.len(), parallel.len());
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(s.spec, p.spec, "results must come back in spec order");
+        assert_eq!(s.status, JobStatus::Computed, "{}", s.spec.describe());
+        assert_eq!(p.status, JobStatus::Computed, "{}", p.spec.describe());
+        assert_eq!(s.output, p.output, "{} diverged", s.spec.describe());
+    }
+}
+
+/// Results stored by one engine must be served as cache hits — with
+/// identical payloads — by a fresh engine opened on the same directory.
+#[test]
+fn cache_round_trips_across_engines() {
+    let dir = tmpdir("roundtrip");
+    let specs: Vec<JobSpec> = full_grid(Scale::Tiny)
+        .into_iter()
+        .filter(|s| s.workload == "gzip")
+        .collect();
+    assert!(!specs.is_empty());
+    let first = engine(2, Some(dir.clone())).run_jobs(&specs);
+    assert!(first.iter().all(|r| r.status == JobStatus::Computed));
+
+    let warm = engine(2, Some(dir.clone()));
+    let second = warm.run_jobs(&specs);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(b.status, JobStatus::Cached, "{}", b.spec.describe());
+        assert_eq!(a.output, b.output, "{} corrupted", a.spec.describe());
+    }
+    let counters = warm.counters();
+    assert_eq!(counters.computed, 0);
+    assert_eq!(counters.cached, specs.len() as u64);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A job that panics (here: a workload the registry doesn't know) is
+/// reported `Failed` with the panic message, while its siblings complete
+/// normally.
+#[test]
+fn panicking_job_is_isolated() {
+    let specs = vec![
+        JobSpec::count("gzip", "train", Scale::Tiny),
+        JobSpec::count("no-such-workload", "train", Scale::Tiny),
+        JobSpec::count("gap", "train", Scale::Tiny),
+    ];
+    let results = engine(2, None).run_jobs(&specs);
+    assert_eq!(results.len(), 3);
+    match &results[1].status {
+        JobStatus::Failed(msg) => {
+            assert!(
+                msg.contains("no-such-workload"),
+                "unhelpful message {msg:?}"
+            )
+        }
+        other => panic!("expected failure, got {other:?}"),
+    }
+    assert!(results[1].output.is_none());
+    for i in [0, 2] {
+        assert_eq!(results[i].status, JobStatus::Computed);
+        assert!(matches!(results[i].output, Some(JobOutput::Count(n)) if n > 0));
+    }
+}

@@ -1,7 +1,8 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale tiny|small|full] [--out DIR] [EXPERIMENT ...]
+//! repro [--scale tiny|small|full] [--out DIR] [--jobs N]
+//!       [--cache-dir DIR | --no-cache] [EXPERIMENT ...]
 //! ```
 //!
 //! Experiments: `fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 fig12 fig13
@@ -14,11 +15,14 @@ use experiments::{
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
+use twodprof_engine::{full_grid, Engine, EngineConfig, JobStatus};
 use workloads::Scale;
 
 struct Args {
     scale: Scale,
     out: Option<PathBuf>,
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
     experiments: Vec<String>,
 }
 
@@ -34,6 +38,8 @@ const EXTRA: &[&str] = &["detail"];
 fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::Full;
     let mut out = None;
+    let mut jobs = 0; // 0 = auto (available_parallelism)
+    let mut cache_dir = Some(PathBuf::from(".twodprof-cache"));
     let mut experiments = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -50,9 +56,22 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--jobs needs a number, got {v:?}"))?;
+            }
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(it.next().ok_or("--cache-dir needs a value")?));
+            }
+            "--no-cache" => cache_dir = None,
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: repro [--scale tiny|small|full] [--out DIR] [EXPERIMENT ...]\n\
+                    "usage: repro [--scale tiny|small|full] [--out DIR] [--jobs N]\n\
+                     \x20            [--cache-dir DIR | --no-cache] [EXPERIMENT ...]\n\
+                     --jobs 0 (default) sizes the worker pool to the machine\n\
+                     results are cached in .twodprof-cache unless --no-cache\n\
                      experiments: {} all\n\
                      drill-down: {} <workload>",
                     ALL.join(" "),
@@ -74,6 +93,8 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         scale,
         out,
+        jobs,
+        cache_dir,
         experiments,
     })
 }
@@ -95,12 +116,43 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut ctx = Context::new(args.scale);
+    let engine = Engine::new(EngineConfig {
+        jobs: args.jobs,
+        cache_dir: args.cache_dir.clone(),
+        progress: true,
+    });
+    // worker count goes to stderr: every simulated table is byte-identical
+    // across --jobs settings (only fig16's wall-clock figure carries noise)
+    eprintln!("[engine] {} worker(s)", engine.worker_count());
+    let mut ctx = Context::with_engine(args.scale, engine);
     println!(
         "# 2D-profiling reproduction — scale {:?}, {} experiment(s)\n",
         args.scale,
         args.experiments.len()
     );
+    // a full run's job grid is known up front: sweep it on the worker pool
+    // so individual experiments afterwards only hit warm memory
+    if ALL.iter().all(|e| args.experiments.iter().any(|x| x == e)) {
+        let specs = full_grid(args.scale);
+        let start = std::time::Instant::now();
+        let results = ctx.prewarm(&specs);
+        let (mut computed, mut cached, mut failed) = (0usize, 0usize, 0usize);
+        for r in &results {
+            match &r.status {
+                JobStatus::Computed => computed += 1,
+                JobStatus::Cached => cached += 1,
+                JobStatus::Failed(msg) => {
+                    failed += 1;
+                    eprintln!("[engine] job {} FAILED: {msg}", r.spec.describe());
+                }
+            }
+        }
+        eprintln!(
+            "[engine] sweep of {} jobs in {:.1?}: {computed} computed · {cached} cached · {failed} failed",
+            results.len(),
+            start.elapsed()
+        );
+    }
     for e in &args.experiments {
         let start = std::time::Instant::now();
         match e.as_str() {

@@ -1,55 +1,45 @@
 //! Shared experiment context: predictor configurations, profile caching and
 //! ground-truth construction.
+//!
+//! Since the sweep engine landed, the context no longer simulates anything
+//! itself: every run is expressed as a [`JobSpec`] and delegated to a
+//! [`twodprof_engine::Engine`]. The in-memory maps here are a read-through
+//! layer over the engine's (optional) disk cache, holding `Arc`s so repeated
+//! lookups share one allocation instead of cloning `O(sites)` payloads.
 
-use bpred::{AccuracyProfile, BranchPredictor, Gshare, Perceptron, PredictorSim};
-use btrace::CountingTracer;
+use bpred::AccuracyProfile;
+pub use bpred::PredictorKind;
 use std::collections::HashMap;
-use twodprof_core::{
-    GroundTruth, ProfileReport, SliceConfig, Thresholds, TwoDProfiler, INPUT_DEPENDENCE_DELTA,
-};
+use std::sync::Arc;
+use twodprof_core::{GroundTruth, ProfileReport, INPUT_DEPENDENCE_DELTA};
+use twodprof_engine::{Engine, EngineConfig, JobOutput, JobResult, JobSpec, JobStatus};
 use workloads::{InputSet, Scale, Workload};
 
-/// The predictor configurations used by the paper's evaluation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum PredictorKind {
-    /// 4 KB gshare, 14-bit history — the profiling/baseline predictor.
-    Gshare4Kb,
-    /// 16 KB perceptron, 457 entries, 36-bit history — the alternative
-    /// target-machine predictor of §5.3.
-    Perceptron16Kb,
-}
-
-impl PredictorKind {
-    /// Instantiates the predictor.
-    pub fn build(self) -> Box<dyn BranchPredictor> {
-        match self {
-            PredictorKind::Gshare4Kb => Box::new(Gshare::new_4kb()),
-            PredictorKind::Perceptron16Kb => Box::new(Perceptron::new_16kb()),
-        }
-    }
-
-    /// Short label used in table headers.
-    pub fn label(self) -> &'static str {
-        match self {
-            PredictorKind::Gshare4Kb => "4KB-gshare",
-            PredictorKind::Perceptron16Kb => "16KB-percep",
-        }
-    }
-}
-
 /// Shared state for all experiments: the workload scale, the
-/// input-dependence parameters, and a cache of per-run accuracy profiles so
-/// each (workload, input, predictor) trio is simulated exactly once.
+/// input-dependence parameters, the sweep engine, and read-through caches
+/// of per-run results so each (workload, input, predictor) trio is
+/// simulated exactly once per process (and, with a disk cache, once ever).
 pub struct Context {
     scale: Scale,
     min_exec: u64,
-    profiles: HashMap<(String, String, PredictorKind), AccuracyProfile>,
+    engine: Engine,
+    profiles: HashMap<(String, String, PredictorKind), Arc<AccuracyProfile>>,
     counts: HashMap<(String, String), u64>,
+    reports: HashMap<(String, PredictorKind), Arc<ProfileReport>>,
 }
 
 impl Context {
-    /// Creates a context at the given workload scale.
+    /// Creates a context at the given workload scale, with an in-process
+    /// engine (no disk cache, no progress output) — the hermetic
+    /// configuration unit tests want.
     pub fn new(scale: Scale) -> Self {
+        Self::with_engine(scale, Engine::new(EngineConfig::default()))
+    }
+
+    /// Creates a context that delegates simulation to `engine` (typically
+    /// configured with a worker pool and a persistent cache by the `repro`
+    /// binary).
+    pub fn with_engine(scale: Scale, engine: Engine) -> Self {
         // the eligibility floor scales with run length, mirroring how the
         // paper's 1000-executions threshold relates to its 15M-branch slices
         let min_exec = match scale {
@@ -60,9 +50,16 @@ impl Context {
         Self {
             scale,
             min_exec,
+            engine,
             profiles: HashMap::new(),
             counts: HashMap::new(),
+            reports: HashMap::new(),
         }
+    }
+
+    /// The engine this context delegates to.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// The context's workload scale.
@@ -89,35 +86,91 @@ impl Context {
         workloads::by_name(name, self.scale).unwrap_or_else(|| panic!("unknown workload {name:?}"))
     }
 
+    /// Runs `specs` on the engine's worker pool and absorbs every
+    /// successful result into the in-memory maps, so later lookups are
+    /// pure cache hits. Returns the per-job results (the `repro` binary
+    /// reports their status counts).
+    pub fn prewarm(&mut self, specs: &[JobSpec]) -> Vec<JobResult> {
+        let results = self.engine.run_jobs(specs);
+        for result in &results {
+            self.absorb(result);
+        }
+        results
+    }
+
+    fn absorb(&mut self, result: &JobResult) {
+        let spec = &result.spec;
+        match &result.output {
+            Some(JobOutput::Count(n)) => {
+                self.counts
+                    .insert((spec.workload.clone(), spec.input.clone()), *n);
+            }
+            Some(JobOutput::Accuracy(profile)) => {
+                if let twodprof_engine::JobKind::Accuracy(kind) = spec.kind {
+                    self.profiles.insert(
+                        (spec.workload.clone(), spec.input.clone(), kind),
+                        Arc::clone(profile),
+                    );
+                }
+            }
+            Some(JobOutput::Report(report)) => {
+                if let twodprof_engine::JobKind::TwoD(kind) = spec.kind {
+                    // the context's 2D runs are always on `train`
+                    if spec.input == "train" {
+                        self.reports
+                            .insert((spec.workload.clone(), kind), Arc::clone(report));
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// Unwraps a single job result, panicking with the job's own message on
+    /// failure — the same contract the pre-engine context had.
+    fn expect_output(result: JobResult) -> JobOutput {
+        match result.status {
+            JobStatus::Failed(message) => {
+                panic!("job {} failed: {message}", result.spec.describe())
+            }
+            _ => result.output.expect("successful job has output"),
+        }
+    }
+
     /// Total dynamic conditional branches of `(workload, input)`, cached.
     pub fn branch_count(&mut self, w: &dyn Workload, input: &InputSet) -> u64 {
         let key = (w.name().to_owned(), input.name.to_owned());
-        if let Some(&c) = self.counts.get(&key) {
-            return c;
+        if let Some(&count) = self.counts.get(&key) {
+            return count;
         }
-        let mut c = CountingTracer::new();
-        w.run(input, &mut c);
-        let n = c.count();
-        self.counts.insert(key, n);
-        n
+        let spec = JobSpec::count(w.name(), input.name, self.scale);
+        let count = match Self::expect_output(self.engine.run_one(&spec)) {
+            JobOutput::Count(n) => n,
+            other => unreachable!("count job returned {other:?}"),
+        };
+        self.counts.insert(key, count);
+        count
     }
 
     /// Per-branch accuracy profile of `(workload, input)` under `kind`,
-    /// cached across experiments.
+    /// cached across experiments. The `Arc` is shared with the cache — cache
+    /// hits cost a reference count, not an `O(sites)` clone.
     pub fn profile(
         &mut self,
         w: &dyn Workload,
         input: &InputSet,
         kind: PredictorKind,
-    ) -> AccuracyProfile {
+    ) -> Arc<AccuracyProfile> {
         let key = (w.name().to_owned(), input.name.to_owned(), kind);
-        if let Some(p) = self.profiles.get(&key) {
-            return p.clone();
+        if let Some(profile) = self.profiles.get(&key) {
+            return Arc::clone(profile);
         }
-        let mut sim = PredictorSim::new(w.sites().len(), kind.build());
-        w.run(input, &mut sim);
-        let profile = sim.into_profile();
-        self.profiles.insert(key, profile.clone());
+        let spec = JobSpec::accuracy(w.name(), input.name, self.scale, kind);
+        let profile = match Self::expect_output(self.engine.run_one(&spec)) {
+            JobOutput::Accuracy(p) => p,
+            other => unreachable!("accuracy job returned {other:?}"),
+        };
+        self.profiles.insert(key, Arc::clone(&profile));
         profile
     }
 
@@ -163,14 +216,19 @@ impl Context {
 
     /// Runs 2D-profiling on the workload's `train` input with the given
     /// profiling predictor, using an auto-scaled slice configuration and the
-    /// paper's thresholds.
-    pub fn profile_2d(&mut self, w: &dyn Workload, kind: PredictorKind) -> ProfileReport {
-        let input = w.input_set("train").expect("train input exists");
-        let total = self.branch_count(w, &input);
-        let config = SliceConfig::auto(total);
-        let mut prof = TwoDProfiler::new(w.sites().len(), kind.build(), config);
-        w.run(&input, &mut prof);
-        prof.finish(Thresholds::paper())
+    /// paper's thresholds. Cached like [`profile`](Self::profile).
+    pub fn profile_2d(&mut self, w: &dyn Workload, kind: PredictorKind) -> Arc<ProfileReport> {
+        let key = (w.name().to_owned(), kind);
+        if let Some(report) = self.reports.get(&key) {
+            return Arc::clone(report);
+        }
+        let spec = JobSpec::two_d(w.name(), "train", self.scale, kind);
+        let report = match Self::expect_output(self.engine.run_one(&spec)) {
+            JobOutput::Report(r) => r,
+            other => unreachable!("2D job returned {other:?}"),
+        };
+        self.reports.insert(key, Arc::clone(&report));
+        report
     }
 }
 
@@ -188,6 +246,8 @@ mod tests {
         let b = ctx.profile(&*w, &input, PredictorKind::Gshare4Kb);
         assert_eq!(a, b);
         assert!(a.total_executions() > 1_000);
+        // the memory cache hands out the same allocation, not a copy
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
@@ -223,6 +283,28 @@ mod tests {
         assert!(report.program_accuracy().unwrap() > 0.5);
         // at least one site accumulated slices
         assert!((0..report.num_sites()).any(|i| report.stats(SiteId(i as u32)).slices > 10));
+        // repeat lookups share the cached report
+        let again = ctx.profile_2d(&*w, PredictorKind::Gshare4Kb);
+        assert!(Arc::ptr_eq(&report, &again));
+    }
+
+    #[test]
+    fn prewarm_absorbs_results_into_memory() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let specs = vec![
+            JobSpec::count("gzip", "train", Scale::Tiny),
+            JobSpec::accuracy("gzip", "train", Scale::Tiny, PredictorKind::Gshare4Kb),
+        ];
+        let results = ctx.prewarm(&specs);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.status.is_success()));
+        // both lookups must now be memory hits: the engine sees no new jobs
+        let before = ctx.engine().counters().total();
+        let w = ctx.workload("gzip");
+        let input = w.input_set("train").unwrap();
+        ctx.branch_count(&*w, &input);
+        ctx.profile(&*w, &input, PredictorKind::Gshare4Kb);
+        assert_eq!(ctx.engine().counters().total(), before);
     }
 
     #[test]

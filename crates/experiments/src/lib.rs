@@ -67,7 +67,15 @@ pub const ACCURACY_BIN_LABELS: [&str; 6] =
     ["0-70%", "70-80%", "80-90%", "90-95%", "95-99%", "99-100%"];
 
 /// Index of the accuracy bin containing `acc`.
+///
+/// `acc` is a prediction-accuracy fraction and must be finite and within
+/// `[0, 1]` (debug-asserted); in release builds out-of-range values land in
+/// the nearest edge bin.
 pub fn accuracy_bin(acc: f64) -> usize {
+    debug_assert!(
+        acc.is_finite() && (0.0..=1.0).contains(&acc),
+        "accuracy {acc} outside [0, 1]"
+    );
     ACCURACY_BINS
         .iter()
         .position(|&(lo, hi)| acc >= lo && acc < hi)
@@ -88,5 +96,19 @@ mod tests {
         assert_eq!(accuracy_bin(0.97), 4);
         assert_eq!(accuracy_bin(0.99), 5);
         assert_eq!(accuracy_bin(1.0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    #[cfg(debug_assertions)]
+    fn accuracy_bin_rejects_out_of_range() {
+        accuracy_bin(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    #[cfg(debug_assertions)]
+    fn accuracy_bin_rejects_nan() {
+        accuracy_bin(f64::NAN);
     }
 }

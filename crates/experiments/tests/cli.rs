@@ -3,7 +3,11 @@
 use std::process::Command;
 
 fn repro() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_repro"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    // run away from the source tree so the default .twodprof-cache
+    // directory never lands in the repository
+    cmd.current_dir(std::env::temp_dir());
+    cmd
 }
 
 #[test]

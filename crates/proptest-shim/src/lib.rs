@@ -1,0 +1,410 @@
+//! A self-contained, deterministic stand-in for the `proptest` crate.
+//!
+//! The workspace's property tests were written against the real
+//! [proptest](https://crates.io/crates/proptest) API, but this repository
+//! builds in hermetic environments with no registry access. This shim
+//! implements the subset of the API those tests use — `proptest!`,
+//! `prop_assert*`, `Strategy`, numeric-range and collection strategies, and
+//! simple character-class string patterns — on top of a splitmix64 generator
+//! seeded from the test name, so every run of every test is reproducible.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case panics with the values that broke it
+//!   (via the standard `assert!` machinery); there is no minimization pass.
+//! - **Deterministic seeding.** Cases are derived from a hash of the test
+//!   name, not OS entropy, so CI failures always reproduce locally.
+//! - **String strategies** support only `[class]{lo,hi}` patterns (character
+//!   classes with ranges and `\`-escapes, plus a brace repetition count),
+//!   which is the only shape the workspace uses.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic splitmix64 generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Seeds a generator from a test name (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in name.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(h)
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // modulo bias is irrelevant at property-test sample sizes
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of test-case values (the shim's version of
+/// `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// `any::<T>()` — the full-range strategy for `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary {
+    /// Produces an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Returns the full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.next_f64()
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// String pattern strategy: `[class]{lo,hi}` with `a-z` ranges and
+/// `\`-escapes inside the class.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_pattern(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| chars[rng.below(chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses the supported pattern grammar; panics on anything else so an
+/// unsupported test fails loudly rather than silently testing nothing.
+fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+    let rest = pat
+        .strip_prefix('[')
+        .unwrap_or_else(|| panic!("shim supports only [class]{{lo,hi}} patterns, got {pat:?}"));
+    let mut chars: Vec<char> = Vec::new();
+    let mut it = rest.chars().peekable();
+    loop {
+        match it.next() {
+            None => panic!("unterminated character class in {pat:?}"),
+            Some(']') => break,
+            Some('\\') => {
+                let c = it
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pat:?}"));
+                chars.push(c);
+            }
+            Some(c) => {
+                if it.peek() == Some(&'-') {
+                    let mut probe = it.clone();
+                    probe.next(); // consume '-'
+                    match probe.peek() {
+                        Some(&end) if end != ']' => {
+                            it = probe;
+                            let end = it.next().expect("peeked");
+                            assert!(c <= end, "inverted range {c}-{end} in {pat:?}");
+                            for v in c as u32..=end as u32 {
+                                chars.push(char::from_u32(v).expect("valid range"));
+                            }
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                chars.push(c);
+            }
+        }
+    }
+    let reps: String = it.collect();
+    let reps = reps
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("missing {{lo,hi}} repetition in {pat:?}"));
+    let (lo, hi) = reps
+        .split_once(',')
+        .unwrap_or_else(|| panic!("repetition must be {{lo,hi}} in {pat:?}"));
+    let lo: usize = lo.trim().parse().expect("numeric lower repetition bound");
+    let hi: usize = hi.trim().parse().expect("numeric upper repetition bound");
+    assert!(lo <= hi && !chars.is_empty(), "degenerate pattern {pat:?}");
+    (chars, lo, hi)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+
+    /// A `Vec` strategy with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, lo..hi)` — a vector of `lo..hi` elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop` namespace mirror (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Per-`proptest!` configuration. Only `cases` is supported.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Declares property tests. Mirrors `proptest::proptest!` for the
+/// `#[test] fn name(arg in strategy, ...) { .. }` form, with an optional
+/// leading `#![proptest_config(..)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!{ (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr) $( #[test] fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..config.cases {
+                    let _ = __case;
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking to roll back).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `prop_assert_ne!` — plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        let va: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(
+            va,
+            (0..10)
+                .map(|_| TestRng::from_name("y").next_u64())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (1usize..=9).generate(&mut rng);
+            assert!((1..=9).contains(&w));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_and_elements() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let v = collection::vec((0u32..8, any::<bool>()), 1..600).generate(&mut rng);
+            assert!((1..600).contains(&v.len()));
+            assert!(v.iter().all(|&(s, _)| s < 8));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_draws_from_the_class() {
+        let mut rng = TestRng::new(13);
+        for _ in 0..500 {
+            let s = "[a-c?*\\[\\]]{0,8}".generate(&mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| "abc?*[]".contains(c)), "{s:?}");
+        }
+        let lens: Vec<usize> = (0..100)
+            .map(|_| "[a-cA-C]{0,8}".generate(&mut rng).len())
+            .collect();
+        assert!(lens.contains(&0) && lens.iter().any(|&l| l > 4));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn the_macro_itself_runs(x in 0u64..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(flip as u64 <= 1, true);
+        }
+    }
+}

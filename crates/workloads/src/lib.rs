@@ -120,7 +120,12 @@ impl Scale {
 }
 
 /// A benchmark program with instrumented conditional branches.
-pub trait Workload {
+///
+/// `Send + Sync` are supertraits so boxed workloads can be shared with the
+/// sweep engine's worker threads; workloads are immutable descriptions
+/// (all run state lives on the `run` stack), so every implementation
+/// satisfies them automatically.
+pub trait Workload: Send + Sync {
     /// Workload name (the SPEC analogue's name, e.g. `"gzip"`).
     fn name(&self) -> &'static str;
 
