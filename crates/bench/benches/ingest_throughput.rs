@@ -1,0 +1,93 @@
+//! Daemon ingestion throughput: dynamic branch events per second through a
+//! loopback `twodprofd` at 1, 4, and 8 concurrent sessions.
+//!
+//! Each session ships one fixed pre-generated event stream and runs to
+//! `Finish`, so an iteration measures the whole pipeline — client batching,
+//! wire encoding, TCP loopback, frame decoding, and the per-session online
+//! `TwoDProfiler` — not just the socket.
+
+use bpred::PredictorKind;
+use btrace::{SiteId, Tracer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::net::SocketAddr;
+use std::thread;
+use twodprof_core::SliceConfig;
+use twodprof_serve::{RemoteSession, RemoteTracer, Server, ServerConfig, ServerHandle};
+
+const EVENTS_PER_SESSION: usize = 200_000;
+const NUM_SITES: u32 = 64;
+
+/// Fixed xorshift event stream; `salt` decorrelates concurrent sessions.
+fn stream(salt: u64) -> Vec<(SiteId, bool)> {
+    let mut x = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..EVENTS_PER_SESSION)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (SiteId((x % NUM_SITES as u64) as u32), x & 2 == 2)
+        })
+        .collect()
+}
+
+fn run_session(addr: SocketAddr, events: &[(SiteId, bool)]) {
+    let mut tracer = RemoteTracer::new(
+        RemoteSession::connect(
+            addr,
+            NUM_SITES as usize,
+            PredictorKind::Gshare4Kb,
+            SliceConfig::new(4096, 64),
+        )
+        .expect("connect"),
+    );
+    for &(site, taken) in events {
+        tracer.branch(site, taken);
+    }
+    tracer.finish().expect("finish");
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            quiet: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle: ServerHandle = server.handle();
+    let daemon = thread::spawn(move || server.run().expect("server run"));
+
+    let mut group = c.benchmark_group("ingest_throughput");
+    group.sample_size(10);
+    for sessions in [1usize, 4, 8] {
+        let streams: Vec<_> = (0..sessions).map(|i| stream(i as u64 + 1)).collect();
+        group.throughput(Throughput::Elements((EVENTS_PER_SESSION * sessions) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("loopback_sessions", sessions),
+            &sessions,
+            |b, _| {
+                b.iter(|| {
+                    let workers: Vec<_> = streams
+                        .iter()
+                        .map(|events| {
+                            let events = events.clone();
+                            thread::spawn(move || run_session(addr, &events))
+                        })
+                        .collect();
+                    for w in workers {
+                        w.join().expect("session worker");
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+
+    handle.shutdown();
+    daemon.join().expect("daemon thread");
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -46,8 +46,26 @@ impl PredictorKind {
     }
 
     /// Parses an [`id`](Self::id) back into the kind.
+    ///
+    /// This is also the wire decoding used by the ingestion daemon: a
+    /// `Hello` frame names its predictor by [`id`](Self::id), and the server
+    /// reconstructs the kind (and [`build`](Self::build)s a fresh predictor)
+    /// from that string.
     pub fn from_id(id: &str) -> Option<Self> {
         Self::ALL.into_iter().find(|k| k.id() == id)
+    }
+
+    /// All valid [`id`](Self::id) strings, for CLI/protocol error messages.
+    pub fn ids() -> impl Iterator<Item = &'static str> {
+        Self::ALL.into_iter().map(Self::id)
+    }
+}
+
+impl std::fmt::Display for PredictorKind {
+    /// Displays as the stable [`id`](Self::id), so formatted output can be
+    /// parsed back with [`from_id`](Self::from_id).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
     }
 }
 
@@ -65,6 +83,14 @@ mod tests {
             PredictorKind::Perceptron16Kb.id()
         );
         assert_eq!(PredictorKind::from_id("nonexistent"), None);
+    }
+
+    #[test]
+    fn display_roundtrips_through_from_id() {
+        for kind in PredictorKind::ALL {
+            assert_eq!(PredictorKind::from_id(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(PredictorKind::ids().count(), PredictorKind::ALL.len());
     }
 
     #[test]

@@ -34,7 +34,10 @@ mod tee;
 
 pub use edge::{EdgeCount, EdgeProfiler};
 pub use record::{RecordingTracer, Trace, TraceEvent, TraceIter, TraceStats};
-pub use serial::{read_trace, read_varint, write_trace, write_varint, ReadTraceError};
+pub use serial::{
+    read_frame, read_trace, read_varint, write_frame, write_trace, write_varint, ReadTraceError,
+    MAX_FRAME_LEN,
+};
 pub use site::{validate_sites, BranchKind, SiteDecl, SiteId};
 pub use tee::Tee;
 

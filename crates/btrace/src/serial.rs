@@ -117,6 +117,44 @@ pub fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
     }
 }
 
+/// Default ceiling on the payload length of a single wire frame (4 MiB).
+///
+/// Shared by every framed protocol in the workspace (notably the
+/// `twodprof-serve` ingestion daemon) so both sides agree on the bound a
+/// reader enforces before allocating.
+pub const MAX_FRAME_LEN: usize = 1 << 22;
+
+/// Writes one length-prefixed frame: `varint(payload.len())` followed by the
+/// raw payload bytes.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    write_varint(w, payload.len() as u64)?;
+    w.write_all(payload)
+}
+
+/// Reads one frame written by [`write_frame`], rejecting any frame whose
+/// declared length exceeds `max_len` *before* allocating for it.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on an oversized length declaration and propagates
+/// I/O errors (including `UnexpectedEof` when the stream ends mid-frame).
+pub fn read_frame<R: Read>(r: &mut R, max_len: usize) -> io::Result<Vec<u8>> {
+    let len = read_varint(r)?;
+    if len > max_len as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit {max_len}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
 /// Writes `trace` to `w` in the 2DPT format.
 ///
 /// # Errors
@@ -256,6 +294,37 @@ mod tests {
             read_trace(&mut buf.as_slice()),
             Err(ReadTraceError::SiteOutOfRange { site: 3, .. })
         ));
+    }
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xAB; 300]).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r, MAX_FRAME_LEN).unwrap(), b"first");
+        assert_eq!(read_frame(&mut r, MAX_FRAME_LEN).unwrap(), b"");
+        assert_eq!(read_frame(&mut r, MAX_FRAME_LEN).unwrap(), vec![0xAB; 300]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn oversized_frame_length_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        // declare a frame far larger than the limit, with no payload behind it
+        write_varint(&mut buf, (MAX_FRAME_LEN as u64) + 1).unwrap();
+        let err = read_frame(&mut buf.as_slice(), MAX_FRAME_LEN).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[7u8; 64]).unwrap();
+        buf.truncate(buf.len() - 1);
+        let err = read_frame(&mut buf.as_slice(), MAX_FRAME_LEN).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 
     #[test]

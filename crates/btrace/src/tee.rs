@@ -13,6 +13,31 @@ use crate::{SiteId, Tracer};
 /// assert_eq!(t.first().count(), 1);
 /// assert_eq!(t.second().edge(SiteId(0)).taken, 1);
 /// ```
+///
+/// The [`branch`](Tracer::branch) fast path is two static calls — no
+/// boxing, no cloning of the event — so live capture can fan one run out to
+/// several observers (say a remote ingestion client, a local 2D-profiler,
+/// and an edge profiler) and get each child back afterwards with
+/// [`into_inner`](Tee::into_inner):
+///
+/// ```
+/// use btrace::{Tee, CountingTracer, EdgeProfiler, RecordingTracer, Tracer, SiteId};
+///
+/// // three-way nesting: remote-ish recorder + (edge profiler + counter)
+/// let mut t = Tee::new(
+///     RecordingTracer::new(2),
+///     Tee::new(EdgeProfiler::new(2), CountingTracer::new()),
+/// );
+/// for i in 0..10u32 {
+///     t.branch(SiteId(i % 2), i % 3 == 0);
+/// }
+/// // every child saw the identical stream, in program order
+/// let (recorder, rest) = t.into_inner();
+/// let (edges, counter) = rest.into_inner();
+/// assert_eq!(recorder.trace().len(), 10);
+/// assert_eq!(edges.edge(SiteId(0)).total() + edges.edge(SiteId(1)).total(), 10);
+/// assert_eq!(counter.count(), 10);
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct Tee<A, B> {
     first: A,

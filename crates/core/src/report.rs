@@ -246,6 +246,34 @@ impl ProfileReport {
         Ok(())
     }
 
+    /// Serializes the report to an owned buffer via
+    /// [`write_to`](Self::write_to).
+    ///
+    /// This is the exact payload the ingestion daemon ships back over the
+    /// wire, so byte-equality of two `to_bytes` results is the "bit-identical
+    /// report" check the remote/in-process equivalence tests rely on.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf)
+            .expect("writing to a Vec<u8> cannot fail");
+        buf
+    }
+
+    /// Parses a report from a [`to_bytes`](Self::to_bytes) buffer, rejecting
+    /// trailing garbage.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed input or leftover bytes.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
+        let mut r = bytes;
+        let report = Self::read_from(&mut r)?;
+        if !r.is_empty() {
+            return Err(invalid("trailing bytes after report"));
+        }
+        Ok(report)
+    }
+
     /// Reads a report written by [`write_to`](Self::write_to).
     ///
     /// # Errors
@@ -459,6 +487,20 @@ mod tests {
         let mut bad = buf.clone();
         bad[0] = 99; // mean-threshold tag
         assert!(ProfileReport::read_from(&mut bad.as_slice()).is_err());
+    }
+
+    #[test]
+    fn byte_helpers_match_streaming_forms() {
+        let report = sample_report(true);
+        let bytes = report.to_bytes();
+        let mut streamed = Vec::new();
+        report.write_to(&mut streamed).unwrap();
+        assert_eq!(bytes, streamed);
+        assert_eq!(ProfileReport::from_bytes(&bytes).unwrap(), report);
+        // trailing garbage after a valid report is rejected
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(ProfileReport::from_bytes(&padded).is_err());
     }
 
     #[test]

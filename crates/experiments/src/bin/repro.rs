@@ -3,11 +3,18 @@
 //! ```text
 //! repro [--scale tiny|small|full] [--out DIR] [--jobs N]
 //!       [--cache-dir DIR | --no-cache] [EXPERIMENT ...]
+//! repro serve [daemon options]
+//! repro replay WORKLOAD INPUT [replay options]
 //! ```
 //!
 //! Experiments: `fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 fig12 fig13
 //! fig14 fig15 fig16 table1 table2 table4 ablation bias2d predcmp`, or
 //! `all` (the default); `detail <workload>` drills into one benchmark.
+//!
+//! `serve` and `replay` are the `twodprofd` daemon and its client (see the
+//! `twodprof-serve` crate), exposed here so one binary covers the whole
+//! toolchain; their options match `twodprofd --help` / `twodprof-client
+//! --help`.
 
 use experiments::{
     ablation, bias_cmp, detail, fig02, fig03, fig04_05, fig06_07, fig08, fig10, fig11_14, fig12_13,
@@ -73,7 +80,9 @@ fn parse_args() -> Result<Args, String> {
                      --jobs 0 (default) sizes the worker pool to the machine\n\
                      results are cached in .twodprof-cache unless --no-cache\n\
                      experiments: {} all\n\
-                     drill-down: {} <workload>",
+                     drill-down: {} <workload>\n\
+                     daemon: repro serve [...] / repro replay WORKLOAD INPUT [...]\n\
+                     (see `repro serve --help` and `repro replay --help`)",
                     ALL.join(" "),
                     EXTRA.join(" ")
                 ));
@@ -109,6 +118,30 @@ fn emit(table: &Table, name: &str, out: &Option<PathBuf>) {
 }
 
 fn main() -> ExitCode {
+    // daemon-mode dispatch: `repro serve ...` / `repro replay ...` are the
+    // twodprofd daemon and its replay client under the one binary
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match raw.first().map(String::as_str) {
+        Some("serve") => {
+            return match twodprof_serve::cli::serve_main(&raw[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("replay") => {
+            return match twodprof_serve::cli::replay_main(&raw[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        _ => {}
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {

@@ -68,17 +68,25 @@ pub const ACCURACY_BIN_LABELS: [&str; 6] =
 
 /// Index of the accuracy bin containing `acc`.
 ///
-/// `acc` is a prediction-accuracy fraction and must be finite and within
-/// `[0, 1]` (debug-asserted); in release builds out-of-range values land in
-/// the nearest edge bin.
+/// `acc` is a prediction-accuracy fraction. Finite values outside `[0, 1]`
+/// (e.g. from float rounding at the edges) are clamped to the nearest edge
+/// bin in every build profile — previously a negative value fell through to
+/// the *highest* bin in release builds.
+///
+/// # Panics
+///
+/// Panics on non-finite input (NaN or ±∞): those are never rounding noise
+/// but an upstream accounting bug, and silently binning them would corrupt a
+/// figure.
 pub fn accuracy_bin(acc: f64) -> usize {
-    debug_assert!(
-        acc.is_finite() && (0.0..=1.0).contains(&acc),
-        "accuracy {acc} outside [0, 1]"
-    );
+    assert!(acc.is_finite(), "accuracy {acc} is not a finite fraction");
+    if acc <= 0.0 {
+        return 0;
+    }
     ACCURACY_BINS
         .iter()
         .position(|&(lo, hi)| acc >= lo && acc < hi)
+        // only values >= the last bin's upper edge fall through: clamp high
         .unwrap_or(ACCURACY_BINS.len() - 1)
 }
 
@@ -99,16 +107,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "outside [0, 1]")]
-    #[cfg(debug_assertions)]
-    fn accuracy_bin_rejects_out_of_range() {
-        accuracy_bin(1.5);
+    fn accuracy_bin_clamps_finite_out_of_range_to_edge_bins() {
+        assert_eq!(accuracy_bin(-0.25), 0);
+        assert_eq!(accuracy_bin(-f64::MIN_POSITIVE), 0);
+        assert_eq!(accuracy_bin(1.0 + f64::EPSILON), ACCURACY_BINS.len() - 1);
+        assert_eq!(accuracy_bin(1.5), ACCURACY_BINS.len() - 1);
     }
 
     #[test]
-    #[should_panic(expected = "outside [0, 1]")]
-    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not a finite fraction")]
     fn accuracy_bin_rejects_nan() {
         accuracy_bin(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a finite fraction")]
+    fn accuracy_bin_rejects_infinity() {
+        accuracy_bin(f64::INFINITY);
     }
 }

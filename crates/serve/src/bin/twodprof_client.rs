@@ -1,0 +1,21 @@
+//! `twodprof-client` — replays a workload's branch stream against a live
+//! `twodprofd`.
+//!
+//! ```text
+//! twodprof-client replay WORKLOAD INPUT [--addr HOST:PORT]
+//!                 [--scale tiny|small|full] [--predictor ID] [--batch N]
+//!                 [--slice-len N --exec-threshold N] [--verify]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match twodprof_serve::cli::replay_main(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

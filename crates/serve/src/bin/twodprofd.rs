@@ -1,0 +1,20 @@
+//! `twodprofd` — the streaming 2D-profile ingestion daemon.
+//!
+//! ```text
+//! twodprofd [--addr HOST:PORT] [--addr-file PATH] [--max-sessions N]
+//!           [--max-events N] [--idle-timeout-ms N] [--drain-timeout-ms N]
+//!           [--quiet]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match twodprof_serve::cli::serve_main(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Argument parsing and entry points shared by the `twodprofd` /
+//! `twodprof-client` binaries and the `repro serve` / `repro replay`
+//! subcommands.
+
+use crate::client::DEFAULT_BATCH_EVENTS;
+use crate::replay::{replay_workload, ReplaySpec};
+use crate::server::{Server, ServerConfig, ServerHandle};
+use bpred::PredictorKind;
+use std::sync::OnceLock;
+use std::time::Duration;
+use twodprof_core::SliceConfig;
+use workloads::Scale;
+
+/// Default daemon endpoint shared by both sides.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:4272";
+
+fn parse_scale(v: &str) -> Result<Scale, String> {
+    match v {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(format!("unknown scale {other:?}")),
+    }
+}
+
+fn parse_predictor(v: &str) -> Result<PredictorKind, String> {
+    PredictorKind::from_id(v).ok_or_else(|| {
+        format!(
+            "unknown predictor {v:?} (valid: {})",
+            PredictorKind::ids().collect::<Vec<_>>().join(" ")
+        )
+    })
+}
+
+fn numeric<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse::<T>()
+        .map_err(|_| format!("{flag} needs a number, got {v:?}"))
+}
+
+/// Entry point for `twodprofd` (and `repro serve`).
+///
+/// # Errors
+///
+/// Returns a usage/launch error message for the caller to print.
+pub fn serve_main(args: &[String]) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_owned();
+    let mut config = ServerConfig::default();
+    let mut addr_file = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?.to_owned(),
+            "--addr-file" => addr_file = Some(value("--addr-file")?.to_owned()),
+            "--max-sessions" => {
+                config.max_sessions = numeric("--max-sessions", value("--max-sessions")?)?;
+            }
+            "--max-events" => {
+                config.max_events_per_session = numeric("--max-events", value("--max-events")?)?;
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout = Duration::from_millis(numeric(
+                    "--idle-timeout-ms",
+                    value("--idle-timeout-ms")?,
+                )?);
+            }
+            "--drain-timeout-ms" => {
+                config.drain_timeout = Duration::from_millis(numeric(
+                    "--drain-timeout-ms",
+                    value("--drain-timeout-ms")?,
+                )?);
+            }
+            "--quiet" => config.quiet = true,
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: twodprofd [--addr HOST:PORT] [--addr-file PATH]\n\
+                     \x20               [--max-sessions N] [--max-events N]\n\
+                     \x20               [--idle-timeout-ms N] [--drain-timeout-ms N] [--quiet]\n\
+                     default address {DEFAULT_ADDR}; port 0 binds an ephemeral port\n\
+                     --addr-file writes the bound address to PATH once listening\n\
+                     SIGINT/SIGTERM shut down gracefully, finishing in-flight sessions"
+                ));
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    let quiet = config.quiet;
+    let server = Server::bind(&addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    println!("twodprofd listening on {local}");
+    if let Some(path) = addr_file {
+        std::fs::write(&path, local.to_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    install_signal_handlers(server.handle());
+    let stats = server.run().map_err(|e| format!("server failed: {e}"))?;
+    if !quiet {
+        eprintln!(
+            "[twodprofd] shut down: {} session(s) opened, {} finished, {} aborted, {} event(s)",
+            stats.sessions_opened,
+            stats.sessions_finished,
+            stats.sessions_aborted,
+            stats.events_ingested
+        );
+    }
+    Ok(())
+}
+
+/// Entry point for `twodprof-client` (and `repro replay`).
+///
+/// # Errors
+///
+/// Returns a usage/replay error message for the caller to print. A failed
+/// `--verify` comparison is an error, so scripted callers exit non-zero.
+pub fn replay_main(args: &[String]) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_owned();
+    let mut spec = ReplaySpec {
+        workload: String::new(),
+        input: String::new(),
+        scale: Scale::Tiny,
+        predictor: PredictorKind::Gshare4Kb,
+        batch: DEFAULT_BATCH_EVENTS,
+        slice: None,
+        verify: false,
+    };
+    let mut slice_len = None;
+    let mut exec_threshold = None;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?.to_owned(),
+            "--scale" => spec.scale = parse_scale(value("--scale")?)?,
+            "--predictor" => spec.predictor = parse_predictor(value("--predictor")?)?,
+            "--batch" => spec.batch = numeric("--batch", value("--batch")?)?,
+            "--slice-len" => slice_len = Some(numeric("--slice-len", value("--slice-len")?)?),
+            "--exec-threshold" => {
+                exec_threshold = Some(numeric("--exec-threshold", value("--exec-threshold")?)?);
+            }
+            "--verify" => spec.verify = true,
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: twodprof-client replay WORKLOAD INPUT [--addr HOST:PORT]\n\
+                     \x20      [--scale tiny|small|full] [--predictor ID] [--batch N]\n\
+                     \x20      [--slice-len N --exec-threshold N] [--verify]\n\
+                     streams WORKLOAD's INPUT branch stream to a twodprofd at --addr\n\
+                     (default {DEFAULT_ADDR}) and prints the returned report summary;\n\
+                     --verify also profiles in-process and fails on any report diff\n\
+                     predictors: {}",
+                    PredictorKind::ids().collect::<Vec<_>>().join(" ")
+                ));
+            }
+            other if !other.starts_with('-') => positional.push(other.to_owned()),
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    // accept both `replay gzip train` and plain `gzip train`, so the binary
+    // subcommand form and `repro replay ...` parse identically
+    if positional.first().map(String::as_str) == Some("replay") {
+        positional.remove(0);
+    }
+    let [workload, input] = positional.as_slice() else {
+        return Err("expected: replay WORKLOAD INPUT (try --help)".to_owned());
+    };
+    spec.workload = workload.clone();
+    spec.input = input.clone();
+    spec.slice = match (slice_len, exec_threshold) {
+        (None, None) => None,
+        (Some(len), Some(thr)) if len > 0 && thr < len => Some(SliceConfig::new(len, thr)),
+        (Some(_), Some(_)) => return Err("need --exec-threshold < --slice-len > 0".to_owned()),
+        _ => return Err("--slice-len and --exec-threshold go together".to_owned()),
+    };
+    let summary = replay_workload(addr.as_str(), &spec).map_err(|e| e.to_string())?;
+    let report = summary.remote.report();
+    println!(
+        "replayed {}/{} to {}: {} event(s), {} slice(s) of {}, predictor {}",
+        spec.workload,
+        spec.input,
+        addr,
+        summary.events,
+        report.total_slices(),
+        summary.slice.slice_len(),
+        report.predictor_name()
+    );
+    println!(
+        "program accuracy {:.4}; {} of {} branch(es) predicted input-dependent",
+        report.program_accuracy().unwrap_or(f64::NAN),
+        report.predicted_dependent().count(),
+        report.num_sites()
+    );
+    match summary.matches() {
+        None => {}
+        Some(true) => println!("verify: remote report is bit-identical to in-process run"),
+        Some(false) => return Err("verify: remote report DIFFERS from in-process run".to_owned()),
+    }
+    Ok(())
+}
+
+/// Installs SIGINT/SIGTERM handlers that request a graceful shutdown.
+///
+/// Uses the C `signal` entry point directly (std links libc anyway) to stay
+/// dependency-free; the handler body is a single atomic store, which is
+/// async-signal-safe.
+#[cfg(unix)]
+fn install_signal_handlers(handle: ServerHandle) {
+    static HANDLE: OnceLock<ServerHandle> = OnceLock::new();
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        if let Some(handle) = HANDLE.get() {
+            handle.shutdown();
+        }
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let _ = HANDLE.set(handle);
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers(_handle: ServerHandle) {}

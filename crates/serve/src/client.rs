@@ -1,0 +1,347 @@
+//! Client side of the `twodprofd` protocol: a blocking session wrapper and
+//! a batching [`Tracer`] so existing workloads can stream to a remote
+//! daemon unchanged.
+
+use crate::wire::{ClientFrame, Hello, ServerFrame, PROTOCOL_VERSION};
+use bpred::PredictorKind;
+use btrace::{SiteId, Tracer};
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use twodprof_core::{ProfileReport, SliceConfig};
+
+/// Default events buffered per [`RemoteTracer`] `Events` frame.
+pub const DEFAULT_BATCH_EVENTS: usize = 8192;
+
+/// Errors a remote session can surface.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The daemon refused or evicted the session for capacity reasons.
+    Busy(String),
+    /// The daemon reported a protocol error.
+    Server {
+        /// One of [`crate::wire::codes`].
+        code: u64,
+        /// Daemon-side detail.
+        msg: String,
+    },
+    /// The daemon answered with a frame the protocol does not allow here.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error talking to twodprofd: {e}"),
+            ClientError::Busy(msg) => write!(f, "daemon busy: {msg}"),
+            ClientError::Server { code, msg } => write!(f, "daemon error {code}: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A profile report received from the daemon: the raw wire bytes plus the
+/// decoded [`ProfileReport`].
+///
+/// The bytes are kept verbatim so callers can check bit-identity against an
+/// in-process run ([`ProfileReport::to_bytes`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RemoteReport {
+    bytes: Vec<u8>,
+    report: ProfileReport,
+}
+
+impl RemoteReport {
+    fn parse(bytes: Vec<u8>) -> Result<Self, ClientError> {
+        let report = ProfileReport::from_bytes(&bytes)
+            .map_err(|e| ClientError::Protocol(format!("undecodable report: {e}")))?;
+        Ok(Self { bytes, report })
+    }
+
+    /// The decoded report.
+    pub fn report(&self) -> &ProfileReport {
+        &self.report
+    }
+
+    /// The exact bytes the daemon sent.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the wrapper, keeping only the decoded report.
+    pub fn into_report(self) -> ProfileReport {
+        self.report
+    }
+}
+
+/// A blocking protocol session: `Hello` on connect, explicit
+/// [`send_events`](Self::send_events) / [`flush`](Self::flush) /
+/// [`finish`](Self::finish). Prefer [`RemoteTracer`] when driving it from a
+/// workload's branch stream.
+pub struct RemoteSession {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    session_id: u64,
+    events_sent: u64,
+}
+
+impl RemoteSession {
+    /// Connects to a daemon and opens a session for a workload with
+    /// `num_sites` static branches, profiled by `predictor` under `slice`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Busy`] if the daemon refuses the session, plus
+    /// transport and protocol errors.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        num_sites: usize,
+        predictor: PredictorKind,
+        slice: SliceConfig,
+    ) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut session = Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            session_id: 0,
+            events_sent: 0,
+        };
+        ClientFrame::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+            num_sites: num_sites as u32,
+            predictor,
+            slice_len: slice.slice_len(),
+            exec_threshold: slice.exec_threshold(),
+        })
+        .write_to(&mut session.writer)?;
+        session.writer.flush()?;
+        match session.read_reply()? {
+            ServerFrame::HelloOk { session_id } => {
+                session.session_id = session_id;
+                Ok(session)
+            }
+            other => Err(unexpected("HelloOk", &other)),
+        }
+    }
+
+    /// The daemon-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Events shipped so far (buffered daemon-side until `Finish`).
+    pub fn events_sent(&self) -> u64 {
+        self.events_sent
+    }
+
+    /// Ships one batch of `(site, taken)` outcomes. Does not wait for a
+    /// reply; pair with [`flush`](Self::flush) for flow control.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; a daemon-side `Busy`/`Error` already queued on the
+    /// socket is surfaced instead of a bare broken-pipe error when possible.
+    pub fn send_events(&mut self, events: &[(SiteId, bool)]) -> Result<(), ClientError> {
+        let packed: Vec<(u32, bool)> = events.iter().map(|&(s, t)| (s.0, t)).collect();
+        let frame = ClientFrame::Events(packed);
+        if let Err(e) = frame.write_to(&mut self.writer).and_then(|()| {
+            // push batches toward the daemon eagerly; the BufWriter only
+            // exists to coalesce the length prefix with the payload
+            self.writer.flush()
+        }) {
+            return Err(self.explain_write_error(e));
+        }
+        self.events_sent += events.len() as u64;
+        Ok(())
+    }
+
+    /// Round-trips a `Flush`, returning the daemon's ingested-event total —
+    /// the protocol's synchronization and backpressure point.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Busy`] if the daemon evicted the session, plus
+    /// transport and protocol errors.
+    pub fn flush(&mut self) -> Result<u64, ClientError> {
+        ClientFrame::Flush.write_to(&mut self.writer)?;
+        self.writer.flush()?;
+        match self.read_reply()? {
+            ServerFrame::Ack { events_total } => Ok(events_total),
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    /// Ends the session and returns the daemon's profile report.
+    ///
+    /// # Errors
+    ///
+    /// As [`flush`](Self::flush).
+    pub fn finish(mut self) -> Result<RemoteReport, ClientError> {
+        if let Err(e) = ClientFrame::Finish
+            .write_to(&mut self.writer)
+            .and_then(|()| self.writer.flush())
+        {
+            return Err(self.explain_write_error(e));
+        }
+        match self.read_reply()? {
+            ServerFrame::Report(bytes) => RemoteReport::parse(bytes),
+            other => Err(unexpected("Report", &other)),
+        }
+    }
+
+    /// Reads one server frame, mapping `Busy`/`Error` frames to errors.
+    fn read_reply(&mut self) -> Result<ServerFrame, ClientError> {
+        match ServerFrame::read_from(&mut self.reader)? {
+            ServerFrame::Busy { msg } => Err(ClientError::Busy(msg)),
+            ServerFrame::Error { code, msg } => Err(ClientError::Server { code, msg }),
+            frame => Ok(frame),
+        }
+    }
+
+    /// A write that fails after the daemon closed the connection usually
+    /// means a `Busy`/`Error` frame is sitting in our receive buffer — read
+    /// it so the caller sees the daemon's reason, not just a broken pipe.
+    fn explain_write_error(&mut self, e: io::Error) -> ClientError {
+        match self.read_reply() {
+            Ok(frame) => unexpected("none (write failed)", &frame),
+            Err(reply_err @ (ClientError::Busy(_) | ClientError::Server { .. })) => reply_err,
+            Err(_) => ClientError::Io(e),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &ServerFrame) -> ClientError {
+    let label = match got {
+        ServerFrame::HelloOk { .. } => "HelloOk",
+        ServerFrame::Ack { .. } => "Ack",
+        ServerFrame::Busy { .. } => "Busy",
+        ServerFrame::Report(_) => "Report",
+        ServerFrame::Error { .. } => "Error",
+    };
+    ClientError::Protocol(format!("expected {wanted}, got {label}"))
+}
+
+/// A [`Tracer`] that batches branch events into `Events` frames bound for a
+/// remote daemon.
+///
+/// Because [`Tracer::branch`] cannot return errors, transport failures are
+/// latched and every later event is dropped; [`finish`](Self::finish)
+/// surfaces the latched error. Compose with [`btrace::Tee`] to fan a live
+/// run out to the daemon and a local observer simultaneously.
+pub struct RemoteTracer {
+    session: RemoteSession,
+    buf: Vec<(SiteId, bool)>,
+    batch: usize,
+    error: Option<ClientError>,
+}
+
+impl RemoteTracer {
+    /// Connects with the default batch size ([`DEFAULT_BATCH_EVENTS`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteSession::connect`].
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        num_sites: usize,
+        predictor: PredictorKind,
+        slice: SliceConfig,
+    ) -> Result<Self, ClientError> {
+        Ok(Self::new(RemoteSession::connect(
+            addr, num_sites, predictor, slice,
+        )?))
+    }
+
+    /// Wraps an already-open session with the default batch size.
+    pub fn new(session: RemoteSession) -> Self {
+        Self::with_batch_size(session, DEFAULT_BATCH_EVENTS)
+    }
+
+    /// Wraps a session, shipping a frame every `batch` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn with_batch_size(session: RemoteSession, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        Self {
+            session,
+            buf: Vec::with_capacity(batch),
+            batch,
+            error: None,
+        }
+    }
+
+    /// The first transport error hit while streaming, if any.
+    pub fn error(&self) -> Option<&ClientError> {
+        self.error.as_ref()
+    }
+
+    /// Events shipped to the daemon so far (excluding the unsent buffer).
+    pub fn events_sent(&self) -> u64 {
+        self.session.events_sent()
+    }
+
+    /// Events observed so far, including the not-yet-shipped buffer — what
+    /// the daemon will have ingested once [`finish`](Self::finish) runs.
+    pub fn events_total(&self) -> u64 {
+        self.session.events_sent() + self.buf.len() as u64
+    }
+
+    fn ship_buffer(&mut self) {
+        if self.error.is_some() || self.buf.is_empty() {
+            return;
+        }
+        let result = self.session.send_events(&self.buf);
+        self.buf.clear();
+        if let Err(e) = result {
+            self.error = Some(e);
+        }
+    }
+
+    /// Ships any buffered events and ends the session, returning the
+    /// daemon's report.
+    ///
+    /// # Errors
+    ///
+    /// The latched streaming error if one occurred, otherwise any error
+    /// from the final `Finish` round trip.
+    pub fn finish(mut self) -> Result<RemoteReport, ClientError> {
+        self.ship_buffer();
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.session.finish()
+    }
+}
+
+impl Tracer for RemoteTracer {
+    #[inline]
+    fn branch(&mut self, site: SiteId, taken: bool) {
+        if self.error.is_some() {
+            return;
+        }
+        self.buf.push((site, taken));
+        if self.buf.len() >= self.batch {
+            self.ship_buffer();
+        }
+    }
+}

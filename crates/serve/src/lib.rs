@@ -1,0 +1,46 @@
+//! `twodprof-serve` — the streaming profile-ingestion service layer.
+//!
+//! The paper's 2D-profiler needs only seven state variables per static
+//! branch, cheap enough to run *online*. This crate turns the in-process
+//! profiler into an always-on facility: a thread-per-connection TCP daemon
+//! (`twodprofd`, [`server`]) that maintains one live
+//! [`TwoDProfiler`](twodprof_core::TwoDProfiler) per remote session, a
+//! framed binary [`wire`] protocol built on `btrace`'s LEB128 varints, and a
+//! client side ([`client`], [`replay`]) whose [`RemoteTracer`] implements
+//! [`btrace::Tracer`] so any existing workload streams to the daemon
+//! unchanged — or to the daemon *and* a local profiler at once via
+//! [`btrace::Tee`].
+//!
+//! ```no_run
+//! use bpred::PredictorKind;
+//! use btrace::Tracer;
+//! use twodprof_core::SliceConfig;
+//! use twodprof_serve::RemoteTracer;
+//!
+//! let mut tracer = RemoteTracer::connect(
+//!     "127.0.0.1:4272",
+//!     /* num_sites */ 2,
+//!     PredictorKind::Gshare4Kb,
+//!     SliceConfig::new(10_000, 16),
+//! )?;
+//! for i in 0..100_000u64 {
+//!     tracer.branch(btrace::SiteId((i % 2) as u32), i % 3 == 0);
+//! }
+//! let report = tracer.finish()?.into_report();
+//! println!("{} input-dependent", report.predicted_dependent().count());
+//! # Ok::<(), twodprof_serve::ClientError>(())
+//! ```
+//!
+//! Everything is `std`-only (no async runtime): one OS thread per
+//! connection, blocking buffered I/O, an idle-timeout GC thread, and
+//! explicit `Busy` backpressure replies.
+
+pub mod cli;
+mod client;
+mod replay;
+mod server;
+pub mod wire;
+
+pub use client::{ClientError, RemoteReport, RemoteSession, RemoteTracer, DEFAULT_BATCH_EVENTS};
+pub use replay::{replay_workload, ReplayError, ReplaySpec, ReplaySummary};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats};

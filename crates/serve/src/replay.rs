@@ -1,0 +1,160 @@
+//! Replaying a workload's branch stream against a live daemon, optionally
+//! fanning the same run out to an in-process profiler for an equivalence
+//! check.
+
+use crate::client::{ClientError, RemoteReport, RemoteSession, RemoteTracer};
+use bpred::PredictorKind;
+use btrace::{CountingTracer, Tee};
+use std::fmt;
+use std::net::ToSocketAddrs;
+use twodprof_core::{ProfileReport, SliceConfig, Thresholds, TwoDProfiler};
+use workloads::Scale;
+
+/// Errors from [`replay_workload`].
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The workload name is not in the suite.
+    UnknownWorkload(String),
+    /// The workload exists but lacks the named input set.
+    UnknownInput {
+        /// The workload consulted.
+        workload: String,
+        /// The missing input-set name.
+        input: String,
+    },
+    /// A remote-session failure.
+    Client(ClientError),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::UnknownWorkload(w) => write!(f, "unknown workload {w:?}"),
+            ReplayError::UnknownInput { workload, input } => {
+                write!(f, "workload {workload:?} has no input set {input:?}")
+            }
+            ReplayError::Client(e) => write!(f, "replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Client(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClientError> for ReplayError {
+    fn from(e: ClientError) -> Self {
+        ReplayError::Client(e)
+    }
+}
+
+/// What to replay and how.
+#[derive(Clone, Debug)]
+pub struct ReplaySpec {
+    /// Workload name (e.g. `"gzip"`).
+    pub workload: String,
+    /// Input-set name (e.g. `"train"`).
+    pub input: String,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Profiling predictor for the remote session.
+    pub predictor: PredictorKind,
+    /// Events per `Events` frame.
+    pub batch: usize,
+    /// Slice configuration; `None` auto-scales from the run length (one
+    /// extra local counting pass).
+    pub slice: Option<SliceConfig>,
+    /// Also run the in-process profiler over the same stream (via
+    /// [`Tee`]) and keep its report for comparison.
+    pub verify: bool,
+}
+
+/// The result of one replay.
+#[derive(Clone, Debug)]
+pub struct ReplaySummary {
+    /// Dynamic branch events streamed.
+    pub events: u64,
+    /// Slice configuration used on both sides.
+    pub slice: SliceConfig,
+    /// The daemon's report.
+    pub remote: RemoteReport,
+    /// The in-process report, when [`ReplaySpec::verify`] was set.
+    pub local: Option<ProfileReport>,
+}
+
+impl ReplaySummary {
+    /// Whether the remote report is bit-identical to the in-process one
+    /// (`None` when the replay did not verify).
+    pub fn matches(&self) -> Option<bool> {
+        self.local
+            .as_ref()
+            .map(|local| local.to_bytes() == self.remote.bytes())
+    }
+}
+
+/// Replays `spec` against the daemon at `addr`.
+///
+/// With [`ReplaySpec::verify`] set, the single workload run is fanned out
+/// through a [`Tee`] to both the [`RemoteTracer`] and a local
+/// [`TwoDProfiler`] with identical configuration, so the two reports must be
+/// bit-identical for a correct daemon.
+///
+/// # Errors
+///
+/// Returns a [`ReplayError`] for unknown workloads/inputs and any remote
+/// failure.
+pub fn replay_workload(
+    addr: impl ToSocketAddrs + Copy,
+    spec: &ReplaySpec,
+) -> Result<ReplaySummary, ReplayError> {
+    let workload = workloads::by_name(&spec.workload, spec.scale)
+        .ok_or_else(|| ReplayError::UnknownWorkload(spec.workload.clone()))?;
+    let input = workload
+        .input_set(&spec.input)
+        .ok_or_else(|| ReplayError::UnknownInput {
+            workload: spec.workload.clone(),
+            input: spec.input.clone(),
+        })?;
+    let slice = match spec.slice {
+        Some(slice) => slice,
+        None => {
+            // auto-sizing needs the run length; workloads are deterministic,
+            // so a counting pre-pass pins the same config on both sides
+            let mut counter = CountingTracer::new();
+            workload.run(&input, &mut counter);
+            SliceConfig::auto(counter.count())
+        }
+    };
+    let session = RemoteSession::connect(addr, workload.sites().len(), spec.predictor, slice)?;
+    let remote = RemoteTracer::with_batch_size(session, spec.batch);
+    if spec.verify {
+        let local = TwoDProfiler::new(workload.sites().len(), spec.predictor.build(), slice);
+        let mut tee = Tee::new(remote, local);
+        workload.run(&input, &mut tee);
+        let (remote, local) = tee.into_inner();
+        let events = remote.events_total();
+        let remote = remote.finish()?;
+        Ok(ReplaySummary {
+            events,
+            slice,
+            remote,
+            local: Some(local.finish(Thresholds::paper())),
+        })
+    } else {
+        let mut remote = remote;
+        workload.run(&input, &mut remote);
+        let events = remote.events_total();
+        let remote = remote.finish()?;
+        Ok(ReplaySummary {
+            events,
+            slice,
+            remote,
+            local: None,
+        })
+    }
+}

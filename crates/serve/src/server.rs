@@ -1,0 +1,508 @@
+//! The `twodprofd` daemon: a thread-per-connection TCP server that owns one
+//! live [`TwoDProfiler`] per client session.
+//!
+//! # Session state machine
+//!
+//! ```text
+//!            Hello ok                Events*/Flush*            Finish
+//! CONNECTED ──────────► STREAMING ──────────────► STREAMING ─────────► DONE
+//!     │                     │                                           │
+//!     │ Hello bad/Busy      │ limit exceeded → Busy, close              │
+//!     │ idle → GC           │ bad site/state → Error, close             │
+//!     ▼                     │ disconnect / idle → session dropped       ▼
+//!   CLOSED ◄────────────────┴──────────────────────────────────► Report sent
+//! ```
+//!
+//! Admission control is explicit: a `Hello` beyond
+//! [`ServerConfig::max_sessions`] (or during drain) gets a
+//! [`ServerFrame::Busy`] reply, and a session exceeding
+//! [`ServerConfig::max_events_per_session`] gets `Busy` mid-stream — the
+//! client sees it at its next synchronization point. An idle-timeout GC
+//! thread shuts down connections (sessions included) that go quiet for
+//! longer than [`ServerConfig::idle_timeout`]. Shutdown via
+//! [`ServerHandle::shutdown`] stops accepting, lets in-flight sessions run
+//! to `Finish`, and force-closes stragglers only after
+//! [`ServerConfig::drain_timeout`].
+
+use crate::wire::{codes, ClientFrame, Hello, ServerFrame, MAX_SITES, PROTOCOL_VERSION};
+use bpred::BranchPredictor;
+use btrace::{SiteId, Tracer};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
+
+/// Tuning knobs of a daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum concurrently open profiling sessions; a `Hello` beyond this
+    /// is refused with `Busy`.
+    pub max_sessions: usize,
+    /// Per-session ceiling on ingested events; exceeding it earns a `Busy`
+    /// reply and closes the session (backpressure, not silent truncation).
+    pub max_events_per_session: u64,
+    /// Connections (with or without an open session) idle longer than this
+    /// are garbage-collected by the GC thread.
+    pub idle_timeout: Duration,
+    /// On shutdown, how long to wait for in-flight sessions to `Finish`
+    /// before force-closing their connections.
+    pub drain_timeout: Duration,
+    /// Suppress per-connection log lines on stderr.
+    pub quiet: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_sessions: 64,
+            max_events_per_session: u64::MAX,
+            idle_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(10),
+            quiet: false,
+        }
+    }
+}
+
+/// Lifetime counters of a daemon instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Sessions that completed `Hello`.
+    pub sessions_opened: u64,
+    /// Sessions that ran to `Finish` and received their report.
+    pub sessions_finished: u64,
+    /// Sessions dropped early: disconnects, protocol errors, idle GC,
+    /// event-limit `Busy`.
+    pub sessions_aborted: u64,
+    /// Total branch events ingested across all sessions.
+    pub events_ingested: u64,
+}
+
+struct ConnEntry {
+    stream: TcpStream,
+    last_seen: Arc<Mutex<Instant>>,
+}
+
+struct Shared {
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    stopped: AtomicBool,
+    next_conn: AtomicU64,
+    active_conns: AtomicUsize,
+    live_sessions: AtomicUsize,
+    conns: Mutex<HashMap<u64, ConnEntry>>,
+    sessions_opened: AtomicU64,
+    sessions_finished: AtomicU64,
+    sessions_aborted: AtomicU64,
+    events_ingested: AtomicU64,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_finished: self.sessions_finished.load(Ordering::Relaxed),
+            sessions_aborted: self.sessions_aborted.load(Ordering::Relaxed),
+            events_ingested: self.events_ingested.load(Ordering::Relaxed),
+        }
+    }
+
+    fn log(&self, msg: std::fmt::Arguments<'_>) {
+        if !self.config.quiet {
+            eprintln!("[twodprofd] {msg}");
+        }
+    }
+}
+
+/// Cloneable remote control for a running [`Server`]: request shutdown and
+/// observe liveness from other threads (tests, signal handlers, benches).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful shutdown: stop accepting, drain in-flight
+    /// sessions, then return from [`Server::run`]. Safe to call from a
+    /// signal handler (a single atomic store).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Number of sessions currently between `Hello` and `Finish`.
+    pub fn live_sessions(&self) -> usize {
+        self.shared.live_sessions.load(Ordering::SeqCst)
+    }
+
+    /// Number of open connections (including pre-`Hello` ones).
+    pub fn active_connections(&self) -> usize {
+        self.shared.active_conns.load(Ordering::SeqCst)
+    }
+
+    /// Lifetime counters so far.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+}
+
+/// A bound, not-yet-running daemon. Call [`run`](Self::run) (usually on a
+/// dedicated thread) to serve connections.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the daemon to `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            shared: Arc::new(Shared {
+                config,
+                shutdown: AtomicBool::new(false),
+                stopped: AtomicBool::new(false),
+                next_conn: AtomicU64::new(1),
+                active_conns: AtomicUsize::new(0),
+                live_sessions: AtomicUsize::new(0),
+                conns: Mutex::new(HashMap::new()),
+                sessions_opened: AtomicU64::new(0),
+                sessions_finished: AtomicU64::new(0),
+                sessions_aborted: AtomicU64::new(0),
+                events_ingested: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The daemon's bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `getsockname` failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A remote-control handle valid before, during, and after
+    /// [`run`](Self::run).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Serves connections until [`ServerHandle::shutdown`] is requested,
+    /// then drains in-flight sessions and returns the lifetime stats.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket-configuration errors; per-connection I/O errors are
+    /// isolated to their connection threads.
+    pub fn run(self) -> io::Result<ServerStats> {
+        self.listener.set_nonblocking(true)?;
+        let gc = {
+            let shared = self.shared.clone();
+            thread::Builder::new()
+                .name("twodprofd-gc".into())
+                .spawn(move || gc_loop(&shared))
+                .expect("spawn GC thread")
+        };
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, peer)) => self.spawn_conn(stream, peer),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(15));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.shared.log(format_args!("accept error: {e}"));
+                    thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+        self.drain();
+        self.shared.stopped.store(true, Ordering::SeqCst);
+        gc.join().expect("GC thread never panics");
+        Ok(self.shared.stats())
+    }
+
+    fn spawn_conn(&self, stream: TcpStream, peer: SocketAddr) {
+        let shared = self.shared.clone();
+        let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        shared.active_conns.fetch_add(1, Ordering::SeqCst);
+        let spawned = thread::Builder::new()
+            .name(format!("twodprofd-conn-{id}"))
+            .spawn(move || {
+                let outcome = serve_conn(&shared, stream, id);
+                shared.conns.lock().expect("conn table").remove(&id);
+                shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                match outcome {
+                    Ok(()) => {}
+                    Err(e) => shared.log(format_args!("conn {id} ({peer}): {e}")),
+                }
+            });
+        if spawned.is_err() {
+            self.shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+            self.shared.log(format_args!("failed to spawn conn thread"));
+        }
+    }
+
+    /// Waits for in-flight connections to wind down, force-closing any left
+    /// after the drain timeout.
+    fn drain(&self) {
+        let start = Instant::now();
+        let mut forced = false;
+        while self.shared.active_conns.load(Ordering::SeqCst) > 0 {
+            if !forced && start.elapsed() > self.shared.config.drain_timeout {
+                forced = true;
+                let conns = self.shared.conns.lock().expect("conn table");
+                self.shared.log(format_args!(
+                    "drain timeout: force-closing {} connection(s)",
+                    conns.len()
+                ));
+                for entry in conns.values() {
+                    let _ = entry.stream.shutdown(Shutdown::Both);
+                }
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+/// Reaps connections that have gone idle past the configured timeout by
+/// shutting their sockets; the owning connection thread then unblocks,
+/// cleans up, and drops any live profiler.
+fn gc_loop(shared: &Shared) {
+    let tick = (shared.config.idle_timeout / 4)
+        .clamp(Duration::from_millis(10), Duration::from_millis(250));
+    while !shared.stopped.load(Ordering::SeqCst) {
+        thread::sleep(tick);
+        let now = Instant::now();
+        let conns = shared.conns.lock().expect("conn table");
+        for (id, entry) in conns.iter() {
+            let last = *entry.last_seen.lock().expect("last_seen");
+            if now.duration_since(last) > shared.config.idle_timeout {
+                shared.log(format_args!("conn {id}: idle timeout, reaping"));
+                let _ = entry.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// One live profiling session (between `Hello` and `Finish`).
+struct LiveSession {
+    profiler: TwoDProfiler<Box<dyn BranchPredictor>>,
+    num_sites: u32,
+    events: u64,
+}
+
+fn send<W: Write>(w: &mut W, frame: &ServerFrame) -> io::Result<()> {
+    frame.write_to(w)?;
+    w.flush()
+}
+
+fn send_error<W: Write>(w: &mut W, code: u64, msg: String) -> io::Result<()> {
+    send(w, &ServerFrame::Error { code, msg })
+}
+
+fn serve_conn(shared: &Shared, stream: TcpStream, id: u64) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let last_seen = Arc::new(Mutex::new(Instant::now()));
+    shared.conns.lock().expect("conn table").insert(
+        id,
+        ConnEntry {
+            stream: stream.try_clone()?,
+            last_seen: last_seen.clone(),
+        },
+    );
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut session = None;
+    let result = session_loop(
+        shared,
+        id,
+        &mut reader,
+        &mut writer,
+        &mut session,
+        &last_seen,
+    );
+    if let Some(s) = session {
+        // the connection ended with a session still open: disconnect, idle
+        // reap, or a protocol error — drop the profiler and account for it
+        shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
+        shared.sessions_aborted.fetch_add(1, Ordering::SeqCst);
+        shared.log(format_args!(
+            "conn {id}: session dropped after {} event(s)",
+            s.events
+        ));
+    }
+    result
+}
+
+fn session_loop<R: Read, W: Write>(
+    shared: &Shared,
+    id: u64,
+    reader: &mut R,
+    writer: &mut W,
+    session: &mut Option<LiveSession>,
+    last_seen: &Mutex<Instant>,
+) -> io::Result<()> {
+    loop {
+        let frame = match ClientFrame::read_from(reader) {
+            Ok(frame) => frame,
+            // a clean close between frames with no open session is a normal
+            // goodbye; anything else is worth a log line
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && session.is_none() => {
+                return Ok(())
+            }
+            Err(e) => return Err(e),
+        };
+        *last_seen.lock().expect("last_seen") = Instant::now();
+        match frame {
+            ClientFrame::Hello(hello) => {
+                if session.is_some() {
+                    return send_error(writer, codes::BAD_STATE, "duplicate Hello".into());
+                }
+                match admit(shared, &hello) {
+                    Admission::Accept(live) => {
+                        *session = Some(live);
+                        shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                        send(writer, &ServerFrame::HelloOk { session_id: id })?;
+                    }
+                    Admission::Busy(msg) => {
+                        shared.log(format_args!("conn {id}: busy ({msg})"));
+                        return send(writer, &ServerFrame::Busy { msg });
+                    }
+                    Admission::Reject(code, msg) => {
+                        shared.log(format_args!("conn {id}: bad hello ({msg})"));
+                        return send_error(writer, code, msg);
+                    }
+                }
+            }
+            ClientFrame::Events(events) => {
+                let Some(live) = session.as_mut() else {
+                    return send_error(writer, codes::BAD_STATE, "Events before Hello".into());
+                };
+                let n = events.len() as u64;
+                if live.events.saturating_add(n) > shared.config.max_events_per_session {
+                    // explicit backpressure: refuse the batch, close the
+                    // session (the abort accounting happens in serve_conn)
+                    return send(
+                        writer,
+                        &ServerFrame::Busy {
+                            msg: format!(
+                                "event limit {} exceeded",
+                                shared.config.max_events_per_session
+                            ),
+                        },
+                    );
+                }
+                for (site, taken) in events {
+                    if site >= live.num_sites {
+                        return send_error(
+                            writer,
+                            codes::SITE_RANGE,
+                            format!("site {site} outside table of {}", live.num_sites),
+                        );
+                    }
+                    live.profiler.branch(SiteId(site), taken);
+                }
+                live.events += n;
+                shared.events_ingested.fetch_add(n, Ordering::Relaxed);
+            }
+            ClientFrame::Flush => {
+                let Some(live) = session.as_ref() else {
+                    return send_error(writer, codes::BAD_STATE, "Flush before Hello".into());
+                };
+                send(
+                    writer,
+                    &ServerFrame::Ack {
+                        events_total: live.events,
+                    },
+                )?;
+            }
+            ClientFrame::Finish => {
+                let Some(live) = session.take() else {
+                    return send_error(writer, codes::BAD_STATE, "Finish before Hello".into());
+                };
+                shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
+                shared.sessions_finished.fetch_add(1, Ordering::Relaxed);
+                let events = live.events;
+                let report = live.profiler.finish(Thresholds::paper());
+                shared.log(format_args!(
+                    "conn {id}: session finished, {events} event(s), {} site(s)",
+                    report.num_sites()
+                ));
+                return send(writer, &ServerFrame::Report(report.to_bytes()));
+            }
+        }
+    }
+}
+
+enum Admission {
+    Accept(LiveSession),
+    Busy(String),
+    Reject(u64, String),
+}
+
+/// Validates a `Hello` and, if the session table has room, builds the
+/// session's profiler.
+fn admit(shared: &Shared, hello: &Hello) -> Admission {
+    if hello.protocol != PROTOCOL_VERSION {
+        return Admission::Reject(
+            codes::PROTOCOL,
+            format!(
+                "protocol {} unsupported (server speaks {PROTOCOL_VERSION})",
+                hello.protocol
+            ),
+        );
+    }
+    if hello.num_sites == 0 || hello.num_sites > MAX_SITES {
+        return Admission::Reject(
+            codes::BAD_HELLO,
+            format!("num_sites {} outside 1..={MAX_SITES}", hello.num_sites),
+        );
+    }
+    if hello.slice_len == 0 || hello.exec_threshold >= hello.slice_len {
+        return Admission::Reject(
+            codes::BAD_HELLO,
+            format!(
+                "invalid slice config (len {}, threshold {})",
+                hello.slice_len, hello.exec_threshold
+            ),
+        );
+    }
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Admission::Busy("daemon is shutting down".into());
+    }
+    // atomically claim a session slot
+    let claimed = shared
+        .live_sessions
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+            (cur < shared.config.max_sessions).then_some(cur + 1)
+        });
+    if claimed.is_err() {
+        return Admission::Busy(format!(
+            "session table full ({} sessions)",
+            shared.config.max_sessions
+        ));
+    }
+    let config = SliceConfig::new(hello.slice_len, hello.exec_threshold);
+    Admission::Accept(LiveSession {
+        profiler: TwoDProfiler::new(hello.num_sites as usize, hello.predictor.build(), config),
+        num_sites: hello.num_sites,
+        events: 0,
+    })
+}

@@ -1,0 +1,450 @@
+//! The `twodprofd` wire protocol: typed frames over the length-prefixed
+//! framing of [`btrace::serial`].
+//!
+//! Every message is one frame (`varint(len)` + payload, see
+//! [`btrace::write_frame`]); the payload starts with a one-byte tag followed
+//! by LEB128-varint fields. Client tags have the high bit clear, server tags
+//! have it set.
+//!
+//! # Frame grammar
+//!
+//! ```text
+//! frame      := varint(len) payload              len <= MAX_FRAME_LEN
+//! payload    := client-msg | server-msg
+//!
+//! client-msg := 0x01 hello | 0x02 events | 0x03 flush | 0x04 finish
+//! hello      := varint(protocol) varint(num_sites) string(predictor-id)
+//!               varint(slice_len) varint(exec_threshold)
+//! events     := varint(count) { varint(site << 1 | taken) }*count
+//! flush      := ε
+//! finish     := ε
+//!
+//! server-msg := 0x81 hello-ok | 0x82 ack | 0x83 busy | 0x84 report
+//!             | 0x85 error
+//! hello-ok   := varint(session_id)
+//! ack        := varint(events_total)
+//! busy       := string(msg)
+//! report     := bytes                            ProfileReport::write_to
+//! error      := varint(code) string(msg)
+//!
+//! string     := varint(len) utf8-bytes
+//! ```
+//!
+//! Event packing reuses the 2DPT trace encoding (`site << 1 | taken` as one
+//! varint), so a hot low-numbered site costs one byte per dynamic branch.
+
+use bpred::PredictorKind;
+use btrace::{read_frame, read_varint, write_frame, write_varint};
+use std::io::{self, Read, Write};
+
+/// Protocol revision spoken by this build. A server receiving any other
+/// value in `Hello` replies with [`codes::PROTOCOL`] and closes.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Ceiling on one frame's payload, re-exported from the shared framing layer.
+pub const MAX_FRAME_LEN: usize = btrace::MAX_FRAME_LEN;
+
+/// Ceiling on events in a single `Events` frame (each event is ≥ 1 byte, so
+/// this is also implied by [`MAX_FRAME_LEN`]; checked explicitly anyway).
+pub const MAX_EVENTS_PER_FRAME: usize = 1 << 20;
+
+/// Ceiling on the static-branch table size a session may declare.
+pub const MAX_SITES: u32 = 1 << 20;
+
+/// Error codes carried by [`ServerFrame::Error`].
+pub mod codes {
+    /// Protocol version mismatch.
+    pub const PROTOCOL: u64 = 1;
+    /// Malformed or out-of-range `Hello` fields (site table, slice config,
+    /// unknown predictor id).
+    pub const BAD_HELLO: u64 = 2;
+    /// An event referenced a site outside the session's declared table.
+    pub const SITE_RANGE: u64 = 3;
+    /// Frame arrived in the wrong session state (e.g. `Events` before
+    /// `Hello`, or a second `Hello`).
+    pub const BAD_STATE: u64 = 4;
+}
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_EVENTS: u8 = 0x02;
+const TAG_FLUSH: u8 = 0x03;
+const TAG_FINISH: u8 = 0x04;
+const TAG_HELLO_OK: u8 = 0x81;
+const TAG_ACK: u8 = 0x82;
+const TAG_BUSY: u8 = 0x83;
+const TAG_REPORT: u8 = 0x84;
+const TAG_ERROR: u8 = 0x85;
+
+/// Session parameters announced by the client's first frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// Must equal [`PROTOCOL_VERSION`].
+    pub protocol: u64,
+    /// Size of the workload's static branch-site table.
+    pub num_sites: u32,
+    /// Profiling predictor the server should simulate for this session.
+    pub predictor: PredictorKind,
+    /// Dynamic branches per 2D-profiling slice.
+    pub slice_len: u64,
+    /// Per-slice minimum executions for a branch's sample to count.
+    pub exec_threshold: u64,
+}
+
+/// Frames a client sends to `twodprofd`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientFrame {
+    /// Opens a session; must be the first frame on a connection.
+    Hello(Hello),
+    /// A batch of `(site, taken)` branch outcomes in program order.
+    Events(Vec<(u32, bool)>),
+    /// Requests an [`ServerFrame::Ack`] with the session's event total —
+    /// the client's synchronization / flow-control point.
+    Flush,
+    /// Ends the session; the server replies with [`ServerFrame::Report`].
+    Finish,
+}
+
+/// Frames `twodprofd` sends to a client.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerFrame {
+    /// Session accepted.
+    HelloOk {
+        /// Server-assigned session identifier (for logs/diagnostics).
+        session_id: u64,
+    },
+    /// Reply to [`ClientFrame::Flush`].
+    Ack {
+        /// Total events the session has ingested.
+        events_total: u64,
+    },
+    /// Backpressure: the session table is full, the daemon is draining, or
+    /// the session hit its event-count limit. The connection closes after
+    /// this frame.
+    Busy {
+        /// Human-readable reason.
+        msg: String,
+    },
+    /// Reply to [`ClientFrame::Finish`]: the serialized
+    /// [`ProfileReport`](twodprof_core::ProfileReport), byte-for-byte what
+    /// [`ProfileReport::to_bytes`](twodprof_core::ProfileReport::to_bytes)
+    /// produces in-process.
+    Report(Vec<u8>),
+    /// Protocol violation; the connection closes after this frame.
+    Error {
+        /// One of the [`codes`] constants.
+        code: u64,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_string(buf: &mut Vec<u8>, s: &str) {
+    write_varint(buf, s.len() as u64).expect("vec write");
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn read_string<R: Read>(r: &mut R, max_len: usize) -> io::Result<String> {
+    let len = read_varint(r)? as usize;
+    if len > max_len {
+        return Err(invalid(format!("string length {len} exceeds {max_len}")));
+    }
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    String::from_utf8(bytes).map_err(|_| invalid("string is not UTF-8"))
+}
+
+fn ensure_consumed(r: &[u8]) -> io::Result<()> {
+    if r.is_empty() {
+        Ok(())
+    } else {
+        Err(invalid(format!(
+            "{} trailing bytes after frame body",
+            r.len()
+        )))
+    }
+}
+
+impl ClientFrame {
+    /// Encodes the frame payload (tag + body, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            ClientFrame::Hello(h) => {
+                buf.push(TAG_HELLO);
+                write_varint(&mut buf, h.protocol).expect("vec write");
+                write_varint(&mut buf, h.num_sites as u64).expect("vec write");
+                write_string(&mut buf, h.predictor.id());
+                write_varint(&mut buf, h.slice_len).expect("vec write");
+                write_varint(&mut buf, h.exec_threshold).expect("vec write");
+            }
+            ClientFrame::Events(events) => {
+                buf.push(TAG_EVENTS);
+                write_varint(&mut buf, events.len() as u64).expect("vec write");
+                for &(site, taken) in events {
+                    write_varint(&mut buf, ((site as u64) << 1) | taken as u64).expect("vec write");
+                }
+            }
+            ClientFrame::Flush => buf.push(TAG_FLUSH),
+            ClientFrame::Finish => buf.push(TAG_FINISH),
+        }
+        buf
+    }
+
+    /// Decodes a frame payload, requiring it to be fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on unknown tags, out-of-range counts, unknown
+    /// predictor ids, or trailing bytes; `UnexpectedEof` on truncation.
+    pub fn decode(payload: &[u8]) -> io::Result<Self> {
+        let mut r = payload;
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let frame = match tag[0] {
+            TAG_HELLO => {
+                let protocol = read_varint(&mut r)?;
+                let num_sites = read_varint(&mut r)?;
+                if num_sites > u32::MAX as u64 {
+                    return Err(invalid("num_sites overflows u32"));
+                }
+                let id = read_string(&mut r, 256)?;
+                let predictor = PredictorKind::from_id(&id)
+                    .ok_or_else(|| invalid(format!("unknown predictor id {id:?}")))?;
+                let slice_len = read_varint(&mut r)?;
+                let exec_threshold = read_varint(&mut r)?;
+                ClientFrame::Hello(Hello {
+                    protocol,
+                    num_sites: num_sites as u32,
+                    predictor,
+                    slice_len,
+                    exec_threshold,
+                })
+            }
+            TAG_EVENTS => {
+                let count = read_varint(&mut r)? as usize;
+                if count > MAX_EVENTS_PER_FRAME {
+                    return Err(invalid(format!(
+                        "events frame declares {count} events (limit {MAX_EVENTS_PER_FRAME})"
+                    )));
+                }
+                let mut events = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let packed = read_varint(&mut r)?;
+                    let site = packed >> 1;
+                    if site > u32::MAX as u64 {
+                        return Err(invalid("event site overflows u32"));
+                    }
+                    events.push((site as u32, packed & 1 == 1));
+                }
+                ClientFrame::Events(events)
+            }
+            TAG_FLUSH => ClientFrame::Flush,
+            TAG_FINISH => ClientFrame::Finish,
+            other => return Err(invalid(format!("unknown client frame tag {other:#04x}"))),
+        };
+        ensure_consumed(r)?;
+        Ok(frame)
+    }
+
+    /// Writes the frame, length-prefixed, to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_frame(w, &self.encode())
+    }
+
+    /// Reads one length-prefixed frame from `r` and decodes it.
+    ///
+    /// # Errors
+    ///
+    /// As [`decode`](Self::decode), plus framing errors from
+    /// [`btrace::read_frame`].
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
+        Self::decode(&read_frame(r, MAX_FRAME_LEN)?)
+    }
+}
+
+impl ServerFrame {
+    /// Encodes the frame payload (tag + body, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            ServerFrame::HelloOk { session_id } => {
+                buf.push(TAG_HELLO_OK);
+                write_varint(&mut buf, *session_id).expect("vec write");
+            }
+            ServerFrame::Ack { events_total } => {
+                buf.push(TAG_ACK);
+                write_varint(&mut buf, *events_total).expect("vec write");
+            }
+            ServerFrame::Busy { msg } => {
+                buf.push(TAG_BUSY);
+                write_string(&mut buf, msg);
+            }
+            ServerFrame::Report(bytes) => {
+                buf.push(TAG_REPORT);
+                buf.extend_from_slice(bytes);
+            }
+            ServerFrame::Error { code, msg } => {
+                buf.push(TAG_ERROR);
+                write_varint(&mut buf, *code).expect("vec write");
+                write_string(&mut buf, msg);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a frame payload, requiring it to be fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClientFrame::decode`].
+    pub fn decode(payload: &[u8]) -> io::Result<Self> {
+        let mut r = payload;
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let frame = match tag[0] {
+            TAG_HELLO_OK => ServerFrame::HelloOk {
+                session_id: read_varint(&mut r)?,
+            },
+            TAG_ACK => ServerFrame::Ack {
+                events_total: read_varint(&mut r)?,
+            },
+            TAG_BUSY => ServerFrame::Busy {
+                msg: read_string(&mut r, 1 << 16)?,
+            },
+            TAG_REPORT => {
+                // the remainder is the report payload, opaque at this layer
+                let bytes = r.to_vec();
+                r = &[];
+                ServerFrame::Report(bytes)
+            }
+            TAG_ERROR => ServerFrame::Error {
+                code: read_varint(&mut r)?,
+                msg: read_string(&mut r, 1 << 16)?,
+            },
+            other => return Err(invalid(format!("unknown server frame tag {other:#04x}"))),
+        };
+        ensure_consumed(r)?;
+        Ok(frame)
+    }
+
+    /// Writes the frame, length-prefixed, to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_frame(w, &self.encode())
+    }
+
+    /// Reads one length-prefixed frame from `r` and decodes it.
+    ///
+    /// # Errors
+    ///
+    /// As [`decode`](Self::decode), plus framing errors from
+    /// [`btrace::read_frame`].
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
+        Self::decode(&read_frame(r, MAX_FRAME_LEN)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_client(frame: ClientFrame) {
+        let mut buf = Vec::new();
+        frame.write_to(&mut buf).unwrap();
+        assert_eq!(ClientFrame::read_from(&mut buf.as_slice()).unwrap(), frame);
+    }
+
+    fn roundtrip_server(frame: ServerFrame) {
+        let mut buf = Vec::new();
+        frame.write_to(&mut buf).unwrap();
+        assert_eq!(ServerFrame::read_from(&mut buf.as_slice()).unwrap(), frame);
+    }
+
+    #[test]
+    fn client_frames_roundtrip() {
+        roundtrip_client(ClientFrame::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+            num_sites: 321,
+            predictor: PredictorKind::Gshare4Kb,
+            slice_len: 10_000,
+            exec_threshold: 16,
+        }));
+        roundtrip_client(ClientFrame::Events(vec![
+            (0, true),
+            (5, false),
+            (1_000_000, true),
+        ]));
+        roundtrip_client(ClientFrame::Events(Vec::new()));
+        roundtrip_client(ClientFrame::Flush);
+        roundtrip_client(ClientFrame::Finish);
+    }
+
+    #[test]
+    fn server_frames_roundtrip() {
+        roundtrip_server(ServerFrame::HelloOk { session_id: 42 });
+        roundtrip_server(ServerFrame::Ack {
+            events_total: 1 << 40,
+        });
+        roundtrip_server(ServerFrame::Busy {
+            msg: "session table full".to_owned(),
+        });
+        roundtrip_server(ServerFrame::Report(vec![1, 2, 3, 250]));
+        roundtrip_server(ServerFrame::Report(Vec::new()));
+        roundtrip_server(ServerFrame::Error {
+            code: codes::SITE_RANGE,
+            msg: "site 9 outside table of 3".to_owned(),
+        });
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(ClientFrame::decode(&[0x7F]).is_err());
+        assert!(ServerFrame::decode(&[0x01]).is_err());
+        assert!(ClientFrame::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = ClientFrame::Flush.encode();
+        payload.push(0);
+        assert!(ClientFrame::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn unknown_predictor_id_rejected() {
+        let mut payload = ClientFrame::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+            num_sites: 1,
+            predictor: PredictorKind::Gshare4Kb,
+            slice_len: 100,
+            exec_threshold: 4,
+        })
+        .encode();
+        // corrupt the predictor id in place ("gshare4kb" -> "gshore4kb")
+        let pos = payload
+            .windows(9)
+            .position(|w| w == b"gshare4kb")
+            .expect("id embedded");
+        payload[pos + 3] = b'o';
+        assert!(ClientFrame::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn hot_low_sites_cost_one_byte_each() {
+        let events: Vec<(u32, bool)> = (0..1000).map(|i| (i % 4, i % 2 == 0)).collect();
+        let payload = ClientFrame::Events(events).encode();
+        // 1 tag byte + 2 count bytes + 1 byte per event
+        assert_eq!(payload.len(), 3 + 1000);
+    }
+}

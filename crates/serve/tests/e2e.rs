@@ -1,0 +1,402 @@
+//! End-to-end tests: a real `twodprofd` on an ephemeral loopback port, real
+//! client sessions over TCP.
+//!
+//! The centerpiece is the equivalence test — a workload's branch stream
+//! fanned out (via [`btrace::Tee`]) to the daemon and an in-process
+//! [`TwoDProfiler`] must produce **bit-identical** serialized reports.
+
+use bpred::PredictorKind;
+use btrace::{SiteId, Tracer};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
+use twodprof_serve::wire::{codes, ClientFrame, Hello, ServerFrame, PROTOCOL_VERSION};
+use twodprof_serve::{
+    replay_workload, ClientError, RemoteSession, RemoteTracer, ReplaySpec, Server, ServerConfig,
+    ServerHandle, ServerStats,
+};
+use workloads::Scale;
+
+struct Daemon {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    join: Option<thread::JoinHandle<ServerStats>>,
+}
+
+impl Daemon {
+    fn start(config: ServerConfig) -> Self {
+        let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+        let addr = server.local_addr().expect("local addr");
+        let handle = server.handle();
+        let join = thread::spawn(move || server.run().expect("server run"));
+        Self {
+            addr,
+            handle,
+            join: Some(join),
+        }
+    }
+
+    fn quiet_config() -> ServerConfig {
+        ServerConfig {
+            quiet: true,
+            ..ServerConfig::default()
+        }
+    }
+
+    fn stop(mut self) -> ServerStats {
+        self.handle.shutdown();
+        self.join
+            .take()
+            .expect("not yet stopped")
+            .join()
+            .expect("server thread")
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// A deterministic synthetic branch stream, parameterized so concurrent
+/// sessions each get a distinct one.
+fn synthetic_stream(salt: u64, len: usize, num_sites: u32) -> Vec<(SiteId, bool)> {
+    let mut x = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (SiteId((x % num_sites as u64) as u32), x & 2 == 2)
+        })
+        .collect()
+}
+
+/// Profiles `stream` in-process with the same configuration a remote
+/// session would use, returning the serialized report.
+fn local_report_bytes(
+    stream: &[(SiteId, bool)],
+    num_sites: usize,
+    predictor: PredictorKind,
+    slice: SliceConfig,
+) -> Vec<u8> {
+    let mut prof = TwoDProfiler::new(num_sites, predictor.build(), slice);
+    for &(site, taken) in stream {
+        prof.branch(site, taken);
+    }
+    prof.finish(Thresholds::paper()).to_bytes()
+}
+
+#[test]
+fn replay_verify_is_bit_identical() {
+    let daemon = Daemon::start(Daemon::quiet_config());
+    let spec = ReplaySpec {
+        workload: "gzip".to_owned(),
+        input: "train".to_owned(),
+        scale: Scale::Tiny,
+        predictor: PredictorKind::Gshare4Kb,
+        batch: 1024,
+        slice: None,
+        verify: true,
+    };
+    let summary = replay_workload(daemon.addr, &spec).expect("replay");
+    assert!(summary.events > 0, "workload must emit branch events");
+    assert_eq!(
+        summary.matches(),
+        Some(true),
+        "remote report must be bit-identical to the in-process run"
+    );
+    let stats = daemon.stop();
+    assert_eq!(stats.sessions_finished, 1);
+    assert_eq!(stats.sessions_aborted, 0);
+    assert_eq!(stats.events_ingested, summary.events);
+}
+
+#[test]
+fn concurrent_sessions_are_independent() {
+    const SESSIONS: usize = 6;
+    const NUM_SITES: usize = 16;
+    let daemon = Daemon::start(Daemon::quiet_config());
+    let addr = daemon.addr;
+    let slice = SliceConfig::new(512, 32);
+    let workers: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            thread::spawn(move || {
+                let stream = synthetic_stream(i as u64 + 1, 40_000, NUM_SITES as u32);
+                let mut remote = RemoteTracer::with_batch_size(
+                    RemoteSession::connect(addr, NUM_SITES, PredictorKind::Gshare4Kb, slice)
+                        .expect("connect"),
+                    // deliberately small batches so sessions interleave
+                    257 + i,
+                );
+                for &(site, taken) in &stream {
+                    remote.branch(site, taken);
+                }
+                let remote = remote.finish().expect("finish").bytes().to_vec();
+                let local = local_report_bytes(&stream, NUM_SITES, PredictorKind::Gshare4Kb, slice);
+                assert_eq!(remote, local, "session {i} diverged from its local run");
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker");
+    }
+    let stats = daemon.stop();
+    assert_eq!(stats.sessions_finished as usize, SESSIONS);
+    assert_eq!(stats.sessions_aborted, 0);
+}
+
+#[test]
+fn mid_session_disconnect_is_reaped_and_siblings_survive() {
+    let daemon = Daemon::start(Daemon::quiet_config());
+    let slice = SliceConfig::new(256, 16);
+
+    // sibling A: a long-lived healthy session
+    let stream_a = synthetic_stream(7, 20_000, 8);
+    let mut sib = RemoteTracer::with_batch_size(
+        RemoteSession::connect(daemon.addr, 8, PredictorKind::Gshare4Kb, slice).expect("connect"),
+        128,
+    );
+    for &(site, taken) in &stream_a[..10_000] {
+        sib.branch(site, taken);
+    }
+
+    // session B: streams a bit, then vanishes mid-session
+    {
+        let mut doomed = RemoteSession::connect(daemon.addr, 8, PredictorKind::Gshare4Kb, slice)
+            .expect("connect");
+        doomed
+            .send_events(&synthetic_stream(8, 100, 8))
+            .expect("send");
+        assert_eq!(doomed.flush().expect("flush"), 100);
+    } // dropped here: TCP close with the session still open
+
+    let handle = daemon.handle.clone();
+    wait_until("dropped session to be reaped", || {
+        handle.stats().sessions_aborted == 1
+    });
+    assert_eq!(handle.live_sessions(), 1, "only the sibling should remain");
+
+    // the sibling is unaffected: stream the rest and verify equivalence
+    for &(site, taken) in &stream_a[10_000..] {
+        sib.branch(site, taken);
+    }
+    let remote = sib.finish().expect("sibling finish").bytes().to_vec();
+    assert_eq!(
+        remote,
+        local_report_bytes(&stream_a, 8, PredictorKind::Gshare4Kb, slice)
+    );
+    let stats = daemon.stop();
+    assert_eq!(stats.sessions_finished, 1);
+    assert_eq!(stats.sessions_aborted, 1);
+}
+
+#[test]
+fn idle_session_is_garbage_collected() {
+    let daemon = Daemon::start(ServerConfig {
+        idle_timeout: Duration::from_millis(120),
+        quiet: true,
+        ..ServerConfig::default()
+    });
+    let mut session = RemoteSession::connect(
+        daemon.addr,
+        4,
+        PredictorKind::Gshare4Kb,
+        SliceConfig::new(64, 4),
+    )
+    .expect("connect");
+    session.send_events(&[(SiteId(0), true)]).expect("send");
+    let handle = daemon.handle.clone();
+    // go quiet: the GC thread must shut the connection down
+    wait_until("idle session to be reaped", || {
+        handle.stats().sessions_aborted == 1
+    });
+    wait_until("connection teardown", || handle.active_connections() == 0);
+    assert_eq!(handle.live_sessions(), 0);
+    assert!(
+        session.flush().is_err(),
+        "socket must be dead after the reap"
+    );
+}
+
+#[test]
+fn hello_beyond_session_table_gets_busy() {
+    let daemon = Daemon::start(ServerConfig {
+        max_sessions: 1,
+        quiet: true,
+        ..ServerConfig::default()
+    });
+    let slice = SliceConfig::new(64, 4);
+    let first =
+        RemoteSession::connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice).expect("connect");
+    match RemoteSession::connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice) {
+        Err(ClientError::Busy(msg)) => assert!(msg.contains("full"), "got {msg:?}"),
+        Err(other) => panic!("expected Busy, got {other:?}"),
+        Ok(_) => panic!("expected Busy, got a session"),
+    }
+    // finishing the first session frees the slot
+    first.finish().expect("finish");
+    RemoteSession::connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice)
+        .expect("slot must be free again")
+        .finish()
+        .expect("finish");
+}
+
+#[test]
+fn event_limit_is_enforced_as_busy_backpressure() {
+    let daemon = Daemon::start(ServerConfig {
+        max_events_per_session: 100,
+        quiet: true,
+        ..ServerConfig::default()
+    });
+    let mut session = RemoteSession::connect(
+        daemon.addr,
+        8,
+        PredictorKind::Gshare4Kb,
+        SliceConfig::new(64, 4),
+    )
+    .expect("connect");
+    session
+        .send_events(&synthetic_stream(1, 90, 8))
+        .expect("within limit");
+    // the overflowing batch is refused in whole; seen at the next sync point
+    session.send_events(&synthetic_stream(2, 20, 8)).ok();
+    match session.flush() {
+        Err(ClientError::Busy(msg)) => assert!(msg.contains("limit"), "got {msg:?}"),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    let handle = daemon.handle.clone();
+    wait_until("over-limit session to be dropped", || {
+        handle.stats().sessions_aborted == 1
+    });
+}
+
+#[test]
+fn out_of_range_site_is_a_protocol_error() {
+    let daemon = Daemon::start(Daemon::quiet_config());
+    let mut session = RemoteSession::connect(
+        daemon.addr,
+        4,
+        PredictorKind::Gshare4Kb,
+        SliceConfig::new(64, 4),
+    )
+    .expect("connect");
+    session.send_events(&[(SiteId(9), true)]).ok();
+    match session.flush() {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, codes::SITE_RANGE),
+        other => panic!("expected SITE_RANGE error, got {other:?}"),
+    }
+}
+
+#[test]
+fn protocol_version_mismatch_is_rejected() {
+    let daemon = Daemon::start(Daemon::quiet_config());
+    let mut stream = TcpStream::connect(daemon.addr).expect("connect");
+    ClientFrame::Hello(Hello {
+        protocol: PROTOCOL_VERSION + 1,
+        num_sites: 4,
+        predictor: PredictorKind::Gshare4Kb,
+        slice_len: 64,
+        exec_threshold: 4,
+    })
+    .write_to(&mut stream)
+    .expect("write hello");
+    match ServerFrame::read_from(&mut stream).expect("reply") {
+        ServerFrame::Error { code, .. } => assert_eq!(code, codes::PROTOCOL),
+        other => panic!("expected Error, got {other:?}"),
+    }
+}
+
+#[test]
+fn events_before_hello_is_rejected() {
+    let daemon = Daemon::start(Daemon::quiet_config());
+    let mut stream = TcpStream::connect(daemon.addr).expect("connect");
+    ClientFrame::Events(vec![(0, true)])
+        .write_to(&mut stream)
+        .expect("write events");
+    match ServerFrame::read_from(&mut stream).expect("reply") {
+        ServerFrame::Error { code, .. } => assert_eq!(code, codes::BAD_STATE),
+        other => panic!("expected Error, got {other:?}"),
+    }
+}
+
+#[test]
+fn graceful_shutdown_finishes_in_flight_sessions() {
+    let daemon = Daemon::start(Daemon::quiet_config());
+    let slice = SliceConfig::new(256, 16);
+    let stream = synthetic_stream(3, 10_000, 8);
+    let mut remote = RemoteTracer::with_batch_size(
+        RemoteSession::connect(daemon.addr, 8, PredictorKind::Gshare4Kb, slice).expect("connect"),
+        512,
+    );
+    for &(site, taken) in &stream[..5_000] {
+        remote.branch(site, taken);
+    }
+    // request shutdown mid-stream; the in-flight session must still be able
+    // to run to Finish and get its report during the drain window
+    daemon.handle.shutdown();
+    thread::sleep(Duration::from_millis(50));
+    for &(site, taken) in &stream[5_000..] {
+        remote.branch(site, taken);
+    }
+    let remote = remote.finish().expect("drain must let the session finish");
+    assert_eq!(
+        remote.bytes(),
+        &local_report_bytes(&stream, 8, PredictorKind::Gshare4Kb, slice)[..]
+    );
+    let stats = daemon.stop();
+    assert_eq!(stats.sessions_finished, 1);
+    assert_eq!(stats.sessions_aborted, 0);
+}
+
+#[test]
+fn new_sessions_are_refused_while_draining() {
+    // shutdown with one session still open keeps run() in its drain loop;
+    // admission must answer Busy rather than open fresh sessions
+    let daemon = Daemon::start(ServerConfig {
+        drain_timeout: Duration::from_secs(30),
+        quiet: true,
+        ..ServerConfig::default()
+    });
+    let slice = SliceConfig::new(64, 4);
+    let held =
+        RemoteSession::connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice).expect("connect");
+    daemon.handle.shutdown();
+    thread::sleep(Duration::from_millis(50));
+    // the kernel may still complete the TCP handshake (listen backlog), but
+    // no new session may be admitted once shutdown has been requested: the
+    // Hello either gets a Busy reply or no reply at all — never HelloOk
+    if let Ok(mut stream) = TcpStream::connect(daemon.addr) {
+        stream
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .expect("read timeout");
+        ClientFrame::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+            num_sites: 4,
+            predictor: PredictorKind::Gshare4Kb,
+            slice_len: 64,
+            exec_threshold: 4,
+        })
+        .write_to(&mut stream)
+        .expect("write hello");
+        if let Ok(ServerFrame::HelloOk { .. }) = ServerFrame::read_from(&mut stream) {
+            panic!("daemon admitted a session while draining");
+        }
+    }
+    held.finish().expect("held session finishes during drain");
+    let stats = daemon.stop();
+    assert_eq!(stats.sessions_finished, 1);
+}

@@ -1,0 +1,124 @@
+//! Property tests for the daemon wire protocol: every frame kind must
+//! round-trip bit-exactly, and malformed inputs (truncation, oversized
+//! length prefixes) must be rejected rather than mis-parsed or
+//! over-allocated.
+
+use bpred::PredictorKind;
+use btrace::{SiteId, Tracer};
+use proptest::prelude::*;
+use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
+use twodprof_serve::wire::{ClientFrame, Hello, ServerFrame, PROTOCOL_VERSION};
+
+fn predictor_from(seed: u8) -> PredictorKind {
+    let all = PredictorKind::ALL;
+    all[seed as usize % all.len()]
+}
+
+proptest! {
+    #[test]
+    fn hello_roundtrips(
+        num_sites in 1u32..=1 << 20,
+        pred_seed in any::<u8>(),
+        slice_len in 1u64..1 << 40,
+        thr_frac in 0.0f64..1.0,
+    ) {
+        let frame = ClientFrame::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+            num_sites,
+            predictor: predictor_from(pred_seed),
+            slice_len,
+            exec_threshold: ((slice_len as f64 - 1.0) * thr_frac) as u64,
+        });
+        let bytes = frame.encode();
+        prop_assert_eq!(ClientFrame::decode(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn events_roundtrip(
+        events in prop::collection::vec((0u32..1 << 20, any::<bool>()), 0..600),
+    ) {
+        let frame = ClientFrame::Events(events);
+        let bytes = frame.encode();
+        prop_assert_eq!(ClientFrame::decode(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn server_frames_roundtrip(
+        session_id in any::<u64>(),
+        events_total in any::<u64>(),
+        msg in "[ a-z0-9]{0,40}",
+        body in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        for frame in [
+            ServerFrame::HelloOk { session_id },
+            ServerFrame::Ack { events_total },
+            ServerFrame::Busy { msg: msg.clone() },
+            ServerFrame::Report(body),
+            ServerFrame::Error { code: session_id % 250, msg },
+        ] {
+            let bytes = frame.encode();
+            prop_assert_eq!(ServerFrame::decode(&bytes).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn truncated_client_frames_rejected(
+        events in prop::collection::vec((0u32..1 << 20, any::<bool>()), 1..200),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = ClientFrame::Events(events).encode();
+        // cut at least one byte off the end: every strict prefix must fail
+        let cut = 1 + ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(ClientFrame::decode(&bytes[..bytes.len() - cut]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected(extra in prop::collection::vec(any::<u8>(), 1..16)) {
+        let mut bytes = ClientFrame::Flush.encode();
+        bytes.extend_from_slice(&extra);
+        prop_assert!(ClientFrame::decode(&bytes).is_err());
+        let mut bytes = ServerFrame::Ack { events_total: 7 }.encode();
+        bytes.extend_from_slice(&extra);
+        prop_assert!(ServerFrame::decode(&bytes).is_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Regression guard for the report wire format itself: a report built
+    // from a random event stream must survive `to_bytes -> from_bytes` and
+    // re-encode to the identical byte string (the property the daemon's
+    // bit-identical `--verify` mode rests on).
+    #[test]
+    fn profile_report_bytes_roundtrip(
+        events in prop::collection::vec((0u32..8, any::<bool>()), 1..4000),
+        pred_seed in any::<u8>(),
+    ) {
+        let mut prof = TwoDProfiler::new(
+            8,
+            predictor_from(pred_seed).build(),
+            SliceConfig::new(64, 8),
+        );
+        for &(site, taken) in &events {
+            prof.branch(SiteId(site), taken);
+        }
+        let report = prof.finish(Thresholds::paper());
+        let bytes = report.to_bytes();
+        let decoded = twodprof_core::ProfileReport::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+}
+
+/// An oversized length prefix must be rejected *before* any allocation is
+/// attempted — a hostile peer must not be able to make the daemon reserve
+/// gigabytes with a five-byte frame header.
+#[test]
+fn oversized_length_prefix_rejected() {
+    let mut bytes = Vec::new();
+    btrace::write_varint(&mut bytes, u64::MAX).unwrap();
+    bytes.extend_from_slice(&[0u8; 16]);
+    let mut r = &bytes[..];
+    let err = btrace::read_frame(&mut r, btrace::MAX_FRAME_LEN).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}

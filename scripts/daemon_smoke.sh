@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Smoke test for the twodprofd daemon: start it on an ephemeral port, replay
+# a workload through twodprof-client with --verify (which diffs the remote
+# report against an in-process run bit-for-bit), then check the daemon shuts
+# down cleanly on SIGTERM.
+set -euo pipefail
+
+BIN_DIR="${BIN_DIR:-target/release}"
+WORK_DIR="$(mktemp -d)"
+ADDR_FILE="$WORK_DIR/addr"
+DAEMON_LOG="$WORK_DIR/twodprofd.log"
+
+cleanup() {
+    if [[ -n "${DAEMON_PID:-}" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+"$BIN_DIR/twodprofd" --addr 127.0.0.1:0 --addr-file "$ADDR_FILE" >"$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+
+# wait for the daemon to publish its bound address
+for _ in $(seq 1 100); do
+    [[ -s "$ADDR_FILE" ]] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$DAEMON_LOG"; echo "daemon died before listening"; exit 1; }
+    sleep 0.1
+done
+[[ -s "$ADDR_FILE" ]] || { cat "$DAEMON_LOG"; echo "daemon never wrote its address"; exit 1; }
+ADDR="$(cat "$ADDR_FILE")"
+echo "daemon up at $ADDR (pid $DAEMON_PID)"
+
+"$BIN_DIR/twodprof-client" replay gzip train --scale tiny --addr "$ADDR" --verify
+
+# graceful shutdown: SIGTERM must drain and exit 0
+kill -TERM "$DAEMON_PID"
+if ! wait "$DAEMON_PID"; then
+    cat "$DAEMON_LOG"
+    echo "daemon did not exit cleanly on SIGTERM"
+    exit 1
+fi
+cat "$DAEMON_LOG"
+echo "daemon smoke test passed"
