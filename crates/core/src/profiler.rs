@@ -36,6 +36,11 @@ impl<P: BranchPredictor> TwoDProfiler<P> {
     /// Creates a profiler for a workload with `num_sites` static branches,
     /// simulating `predictor` and slicing the run per `config`.
     pub fn new(num_sites: usize, predictor: P, config: SliceConfig) -> Self {
+        twodprof_obs::counter!(
+            "profiler_branches_tracked_total",
+            "Static branch sites tracked across all profiler instances."
+        )
+        .add(num_sites as u64);
         Self {
             predictor,
             states: vec![crate::BranchState::new(); num_sites],
@@ -77,12 +82,20 @@ impl<P: BranchPredictor> TwoDProfiler<P> {
 
     fn end_slice_all(&mut self) {
         let thr = self.config.exec_threshold();
+        // Metrics are accumulated here, at the slice boundary, so the
+        // per-event `branch` path stays untouched; the FIR/PAM deltas ride
+        // the O(sites) fold loop that runs anyway.
+        let mut fir_updates = 0u64;
+        let mut pam_updates = 0u64;
         match &mut self.series {
             Some(series) => {
                 for (i, st) in self.states.iter_mut().enumerate() {
+                    let pam_before = st.slices_above_mean();
                     if let Some(acc) = st.end_slice_sampled(thr) {
                         series.per_site[i].push((self.slice_index, acc));
+                        fir_updates += 1;
                     }
+                    pam_updates += st.slices_above_mean() - pam_before;
                 }
                 if self.slice_exec > 0 {
                     series.overall.push((
@@ -93,10 +106,34 @@ impl<P: BranchPredictor> TwoDProfiler<P> {
             }
             None => {
                 for st in &mut self.states {
+                    let n_before = st.slices();
+                    let pam_before = st.slices_above_mean();
                     st.end_slice(thr);
+                    fir_updates += st.slices() - n_before;
+                    pam_updates += st.slices_above_mean() - pam_before;
                 }
             }
         }
+        twodprof_obs::counter!(
+            "profiler_events_total",
+            "Dynamic branch events ingested by all profiler instances."
+        )
+        .add(self.in_slice);
+        twodprof_obs::counter!(
+            "profiler_slices_closed_total",
+            "Global slice boundaries folded (including trailing partials)."
+        )
+        .inc();
+        twodprof_obs::counter!(
+            "profiler_filter_updates_total",
+            "Per-branch FIR filter updates (slices counted into statistics)."
+        )
+        .add(fir_updates);
+        twodprof_obs::counter!(
+            "profiler_pam_updates_total",
+            "NPAM increments (counted slices above the running mean)."
+        )
+        .add(pam_updates);
         self.slice_exec = 0;
         self.slice_correct = 0;
         self.slice_index += 1;

@@ -109,6 +109,12 @@ impl BranchState {
         (self.n > 0).then(|| self.npam as f64 / self.n as f64)
     }
 
+    /// Raw count of slices above the running mean (`NPAM`). By construction
+    /// `NPAM <= N` always holds.
+    pub fn slices_above_mean(&self) -> u64 {
+        self.npam
+    }
+
     /// Total dynamic executions across the whole run (all slices, counted or
     /// not, plus any open slice).
     pub fn total_executions(&self) -> u64 {

@@ -1,0 +1,95 @@
+//! Property tests for the seven-variable branch state: the FIR filter,
+//! the SPA/SSPA moment accumulators, and the PAM counter.
+
+use btrace::{SiteId, Tracer};
+use proptest::prelude::*;
+use twodprof_core::{BranchState, SliceConfig, Thresholds, TwoDProfiler};
+
+/// Drives `state` through one slice with `correct` hits out of `total`
+/// executions, and returns the slice's raw (unfiltered) accuracy.
+fn run_slice(state: &mut BranchState, correct: u32, total: u32) -> f64 {
+    for i in 0..total {
+        state.record(i < correct);
+    }
+    correct as f64 / total as f64
+}
+
+proptest! {
+    #[test]
+    fn fir_output_stays_within_input_envelope(
+        slices in prop::collection::vec((0u32..=64, 1u32..=64), 1..40),
+    ) {
+        // The 2-tap FIR averages the slice accuracy with the previous
+        // filtered value, so every output must lie inside the min/max
+        // envelope of the raw accuracies seen so far.
+        let mut state = BranchState::new();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &(correct, extra) in &slices {
+            let total = correct + extra; // guarantees correct <= total, total >= 1
+            let raw = run_slice(&mut state, correct, total);
+            lo = lo.min(raw);
+            hi = hi.max(raw);
+            if let Some(filtered) = state.end_slice_sampled(0) {
+                prop_assert!(
+                    filtered >= lo - 1e-12 && filtered <= hi + 1e-12,
+                    "filtered {filtered} escaped [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn moment_accumulators_never_yield_negative_variance(
+        slices in prop::collection::vec((0u32..=64, 1u32..=64), 0..40),
+        threshold in 0u64..8,
+    ) {
+        // SPA/SSPA are running sums; catastrophic cancellation in
+        // SSPA/N - mean^2 must never surface as a negative variance or a
+        // NaN standard deviation.
+        let mut state = BranchState::new();
+        for &(correct, extra) in &slices {
+            run_slice(&mut state, correct, correct + extra);
+            state.end_slice(threshold);
+            match state.std_dev() {
+                None => prop_assert_eq!(state.slices(), 0),
+                Some(sd) => {
+                    prop_assert!(sd.is_finite(), "std_dev must never be NaN/inf");
+                    prop_assert!(sd >= 0.0, "std_dev must be non-negative");
+                }
+            }
+            if let Some(m) = state.mean() {
+                prop_assert!((0.0..=1.0).contains(&m), "mean {m} outside [0, 1]");
+            }
+        }
+    }
+
+    #[test]
+    fn npam_never_exceeds_slice_count(
+        events in prop::collection::vec((0u8..4, any::<bool>()), 1..2000),
+        slice_len in 8u64..64,
+    ) {
+        // NPAM counts a subset of the counted slices, so NPAM <= N must hold
+        // for arbitrary event streams fed through the full profiler.
+        let mut prof = TwoDProfiler::new(
+            4,
+            bpred::StaticTaken,
+            SliceConfig::new(slice_len, 2),
+        );
+        for &(site, taken) in &events {
+            prof.branch(SiteId(site as u32), taken);
+        }
+        for site in 0..4u32 {
+            let st = prof.state(SiteId(site));
+            prop_assert!(
+                st.slices_above_mean() <= st.slices(),
+                "site {site}: NPAM {} > N {}",
+                st.slices_above_mean(),
+                st.slices()
+            );
+        }
+        // finish() must classify without panicking on arbitrary streams
+        let report = prof.finish(Thresholds::default());
+        prop_assert!(report.total_branches() == events.len() as u64);
+    }
+}

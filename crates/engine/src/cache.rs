@@ -4,20 +4,23 @@
 //! Each entry is one job's output behind a small header:
 //!
 //! ```text
-//! magic   "2DPC"                      4 bytes
-//! version u8                          currently 1
-//! spec    u64 LE content hash         integrity check against key collisions
-//! kind    u8                          0 = count, 1 = accuracy, 2 = 2D report
-//! payload varint / profile encoding   see bpred::AccuracyProfile::write_to,
-//!                                     twodprof_core::ProfileReport::write_to
+//! magic    "2DPC"                      4 bytes
+//! version  u8                          currently 2
+//! spec     u64 LE content hash         integrity check against key collisions
+//! kind     u8                          0 = count, 1 = accuracy, 2 = 2D report
+//! payload  varint / profile encoding   see bpred::AccuracyProfile::write_to,
+//!                                      twodprof_core::ProfileReport::write_to
+//! checksum u64 LE FNV-1a of payload    catches bit flips structural decoding
+//!                                      would otherwise swallow
 //! ```
 //!
 //! Invalidation is by construction rather than by deletion: the schema
 //! version participates in both the directory name and every content hash
 //! (see [`crate::CACHE_SCHEMA_VERSION`]), so a version bump makes all old
-//! entries unreachable. Corrupt or mismatched entries are treated as misses
-//! and overwritten on the next store; a cache can always be deleted outright
-//! with `rm -r`.
+//! entries unreachable. Corrupt or mismatched entries — a distinct
+//! [`CacheLookup::Corrupt`] outcome so the engine can count recoveries —
+//! are recomputed and overwritten on the next store; a cache can always be
+//! deleted outright with `rm -r`.
 
 use crate::{JobKind, JobSpec, CACHE_SCHEMA_VERSION};
 use bpred::AccuracyProfile;
@@ -29,7 +32,7 @@ use std::sync::Arc;
 use twodprof_core::ProfileReport;
 
 const MAGIC: &[u8; 4] = b"2DPC";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 
 /// One job's computed result.
 ///
@@ -74,6 +77,22 @@ impl JobOutput {
     }
 }
 
+/// The outcome of a cache probe (see [`DiskCache::lookup`]).
+///
+/// Distinguishing [`Corrupt`](Self::Corrupt) from [`Miss`](Self::Miss)
+/// matters operationally: a rising corrupt count means disk trouble or a
+/// torn write, while misses are just cold entries.
+#[derive(Debug)]
+pub enum CacheLookup {
+    /// No entry on disk.
+    Miss,
+    /// A valid entry.
+    Hit(JobOutput),
+    /// An entry exists but failed validation (truncated, bit-flipped,
+    /// version- or kind-mismatched). The caller recomputes and overwrites.
+    Corrupt,
+}
+
 /// A directory of serialized job outputs, safe for concurrent use from many
 /// worker threads (stores go through a unique temp file plus an atomic
 /// rename).
@@ -110,8 +129,26 @@ impl DiskCache {
     /// truncated, or mismatched entries are misses, never errors: the
     /// worker will recompute and overwrite them.
     pub fn load(&self, spec: &JobSpec) -> Option<JobOutput> {
-        let bytes = fs::read(self.entry_path(spec)).ok()?;
-        read_entry(&mut bytes.as_slice(), spec).ok()
+        match self.lookup(spec) {
+            CacheLookup::Hit(output) => Some(output),
+            CacheLookup::Miss | CacheLookup::Corrupt => None,
+        }
+    }
+
+    /// Probes the cache for `spec`, distinguishing a cold miss from an
+    /// entry that exists but fails validation. Never errors: an unreadable
+    /// entry is [`CacheLookup::Corrupt`] and the caller recomputes.
+    pub fn lookup(&self, spec: &JobSpec) -> CacheLookup {
+        let path = self.entry_path(spec);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return CacheLookup::Miss,
+            Err(_) => return CacheLookup::Corrupt,
+        };
+        match read_entry(&bytes, spec) {
+            Ok(output) => CacheLookup::Hit(output),
+            Err(_) => CacheLookup::Corrupt,
+        }
     }
 
     /// Stores `output` as the result of `spec`.
@@ -141,20 +178,35 @@ impl DiskCache {
     }
 }
 
+/// FNV-1a over the payload bytes. Not cryptographic — it guards against
+/// torn writes and stray bit flips, not adversaries.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 fn write_entry<W: Write>(w: &mut W, spec: &JobSpec, output: &JobOutput) -> io::Result<()> {
     w.write_all(MAGIC)?;
     w.write_all(&[VERSION])?;
     w.write_all(&spec.content_hash().to_le_bytes())?;
     w.write_all(&[output.tag()])?;
+    let mut payload = Vec::new();
     match output {
-        JobOutput::Count(n) => write_varint(w, *n),
-        JobOutput::Accuracy(p) => p.write_to(w),
-        JobOutput::Report(r) => r.write_to(w),
+        JobOutput::Count(n) => write_varint(&mut payload, *n)?,
+        JobOutput::Accuracy(p) => p.write_to(&mut payload)?,
+        JobOutput::Report(r) => r.write_to(&mut payload)?,
     }
+    w.write_all(&payload)?;
+    w.write_all(&fnv1a(&payload).to_le_bytes())
 }
 
-fn read_entry<R: Read>(r: &mut R, spec: &JobSpec) -> io::Result<JobOutput> {
+fn read_entry(bytes: &[u8], spec: &JobSpec) -> io::Result<JobOutput> {
     let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+    let mut r = bytes;
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -175,11 +227,25 @@ fn read_entry<R: Read>(r: &mut R, spec: &JobSpec) -> io::Result<JobOutput> {
     if tag[0] != JobOutput::expected_tag(spec.kind) {
         return Err(invalid("cache entry holds a different result kind"));
     }
-    Ok(match tag[0] {
-        0 => JobOutput::Count(read_varint(r)?),
-        1 => JobOutput::Accuracy(Arc::new(AccuracyProfile::read_from(r)?)),
-        _ => JobOutput::Report(Arc::new(ProfileReport::read_from(r)?)),
-    })
+    // everything left is payload + trailing checksum; verify before decoding
+    // so payload bit flips are caught even where decoding would succeed
+    if r.len() < 8 {
+        return Err(invalid("cache entry truncated before checksum"));
+    }
+    let (payload, checksum) = r.split_at(r.len() - 8);
+    if fnv1a(payload) != u64::from_le_bytes(checksum.try_into().expect("8 bytes")) {
+        return Err(invalid("cache-entry payload checksum mismatch"));
+    }
+    let mut p = payload;
+    let output = match tag[0] {
+        0 => JobOutput::Count(read_varint(&mut p)?),
+        1 => JobOutput::Accuracy(Arc::new(AccuracyProfile::read_from(&mut p)?)),
+        _ => JobOutput::Report(Arc::new(ProfileReport::read_from(&mut p)?)),
+    };
+    if !p.is_empty() {
+        return Err(invalid("trailing bytes after cache-entry payload"));
+    }
+    Ok(output)
 }
 
 #[cfg(test)]
@@ -230,6 +296,49 @@ mod tests {
         let acc = JobSpec::accuracy("gap", "train", Scale::Tiny, PredictorKind::Gshare4Kb);
         fs::copy(cache.entry_path(&count), cache.entry_path(&acc)).unwrap();
         assert!(cache.load(&acc).is_none(), "hash check must reject");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lookup_distinguishes_miss_hit_and_corrupt() {
+        let dir = tmpdir("lookup");
+        let cache = DiskCache::open(&dir).unwrap();
+        let spec = JobSpec::count("gzip", "train", Scale::Tiny);
+        assert!(matches!(cache.lookup(&spec), CacheLookup::Miss));
+        cache.store(&spec, &JobOutput::Count(99)).unwrap();
+        assert!(matches!(
+            cache.lookup(&spec),
+            CacheLookup::Hit(JobOutput::Count(99))
+        ));
+        // truncation
+        let path = cache.entry_path(&spec);
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert!(matches!(cache.lookup(&spec), CacheLookup::Corrupt));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn payload_bit_flips_fail_the_checksum() {
+        let dir = tmpdir("bitflip");
+        let cache = DiskCache::open(&dir).unwrap();
+        let spec = JobSpec::count("gzip", "train", Scale::Tiny);
+        cache.store(&spec, &JobOutput::Count(1)).unwrap();
+        let path = cache.entry_path(&spec);
+        let clean = fs::read(&path).unwrap();
+        // flip each single bit in turn; every variant must read as corrupt,
+        // never as a hit with a silently different value
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut flipped = clean.clone();
+                flipped[byte] ^= 1 << bit;
+                fs::write(&path, &flipped).unwrap();
+                match cache.lookup(&spec) {
+                    CacheLookup::Corrupt => {}
+                    other => panic!("bit {bit} of byte {byte}: expected Corrupt, got {other:?}"),
+                }
+            }
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

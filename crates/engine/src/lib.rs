@@ -27,7 +27,7 @@
 mod cache;
 mod spec;
 
-pub use cache::{DiskCache, JobOutput};
+pub use cache::{CacheLookup, DiskCache, JobOutput};
 pub use spec::{scale_id, JobKind, JobSpec, CACHE_SCHEMA_VERSION};
 
 use bpred::{PredictorKind, PredictorSim};
@@ -100,6 +100,9 @@ pub struct EngineCounters {
     pub cached: u64,
     /// Jobs that panicked.
     pub failed: u64,
+    /// Corrupt cache entries recovered by recomputation (each such job is
+    /// also counted in `computed`).
+    pub corrupt: u64,
     /// Dynamic branch events across computed jobs.
     pub events: u64,
 }
@@ -167,14 +170,47 @@ impl Engine {
     /// fault-isolated execution, then write-back.
     pub fn run_one(&self, spec: &JobSpec) -> JobResult {
         let start = Instant::now();
-        if let Some(output) = self.cache.as_ref().and_then(|c| c.load(spec)) {
-            self.bump(|c| c.cached += 1);
-            return JobResult {
-                spec: spec.clone(),
-                status: JobStatus::Cached,
-                output: Some(output),
-                duration: start.elapsed(),
-            };
+        twodprof_obs::counter!("engine_jobs_total", "Jobs the engine has run.").inc();
+        match self
+            .cache
+            .as_ref()
+            .map_or(CacheLookup::Miss, |c| c.lookup(spec))
+        {
+            CacheLookup::Hit(output) => {
+                self.bump(|c| c.cached += 1);
+                twodprof_obs::counter!(
+                    "engine_cache_hits_total",
+                    "Jobs served from the disk cache."
+                )
+                .inc();
+                return JobResult {
+                    spec: spec.clone(),
+                    status: JobStatus::Cached,
+                    output: Some(output),
+                    duration: start.elapsed(),
+                };
+            }
+            CacheLookup::Corrupt => {
+                self.bump(|c| c.corrupt += 1);
+                twodprof_obs::counter!(
+                    "engine_cache_corrupt_total",
+                    "Corrupt cache entries recovered by recomputation."
+                )
+                .inc();
+                eprintln!(
+                    "[engine] warning: corrupt cache entry for {}; recomputing",
+                    spec.describe()
+                );
+            }
+            CacheLookup::Miss => {
+                if self.cache.is_some() {
+                    twodprof_obs::counter!(
+                        "engine_cache_misses_total",
+                        "Cache probes that found no entry."
+                    )
+                    .inc();
+                }
+            }
         }
         match catch_unwind(AssertUnwindSafe(|| self.execute(spec))) {
             Ok(output) => {
@@ -190,16 +226,32 @@ impl Engine {
                     c.computed += 1;
                     c.events += output.events();
                 });
+                let duration = start.elapsed();
+                twodprof_obs::counter!(
+                    "engine_events_total",
+                    "Dynamic branch events across computed jobs."
+                )
+                .add(output.events());
+                twodprof_obs::histogram!(
+                    "engine_job_micros",
+                    "Wall time per computed job, in microseconds."
+                )
+                .observe_duration(duration);
                 JobResult {
                     spec: spec.clone(),
                     status: JobStatus::Computed,
                     output: Some(output),
-                    duration: start.elapsed(),
+                    duration,
                 }
             }
             Err(payload) => {
                 let message = panic_message(payload.as_ref());
                 self.bump(|c| c.failed += 1);
+                twodprof_obs::counter!(
+                    "engine_jobs_failed_total",
+                    "Jobs that panicked (isolated; the sweep continued)."
+                )
+                .inc();
                 JobResult {
                     spec: spec.clone(),
                     status: JobStatus::Failed(message),
@@ -219,6 +271,11 @@ impl Engine {
             return Vec::new();
         }
         let workers = self.worker_count().min(total);
+        let queue_depth = twodprof_obs::gauge!(
+            "engine_queue_depth",
+            "Jobs admitted to the worker pool but not yet finished."
+        );
+        queue_depth.add(total as i64);
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let computed_events = AtomicU64::new(0);
@@ -238,6 +295,7 @@ impl Engine {
                         computed_events.fetch_add(result.events(), Ordering::Relaxed);
                     }
                     *slots[i].lock().expect("result slot") = Some(result);
+                    queue_depth.sub(1);
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if self.progress && (finished.is_multiple_of(step) || finished == total) {
                         self.print_progress(

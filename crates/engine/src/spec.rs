@@ -13,7 +13,7 @@ use workloads::Scale;
 /// Version of the cache key scheme *and* payload format. Bump whenever
 /// simulation semantics, spec encoding, or serialized payloads change; old
 /// cache entries then simply stop being found.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// What a job computes for its (workload, input) pair.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

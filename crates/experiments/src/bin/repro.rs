@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! repro [--scale tiny|small|full] [--out DIR] [--jobs N]
-//!       [--cache-dir DIR | --no-cache] [EXPERIMENT ...]
+//!       [--cache-dir DIR | --no-cache] [--metrics] [EXPERIMENT ...]
 //! repro serve [daemon options]
 //! repro replay WORKLOAD INPUT [replay options]
+//! repro stats [--addr HOST:PORT]
 //! ```
 //!
 //! Experiments: `fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 fig12 fig13
@@ -30,6 +31,7 @@ struct Args {
     out: Option<PathBuf>,
     jobs: usize,
     cache_dir: Option<PathBuf>,
+    metrics: bool,
     experiments: Vec<String>,
 }
 
@@ -47,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = None;
     let mut jobs = 0; // 0 = auto (available_parallelism)
     let mut cache_dir = Some(PathBuf::from(".twodprof-cache"));
+    let mut metrics = false;
     let mut experiments = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -73,16 +76,19 @@ fn parse_args() -> Result<Args, String> {
                 cache_dir = Some(PathBuf::from(it.next().ok_or("--cache-dir needs a value")?));
             }
             "--no-cache" => cache_dir = None,
+            "--metrics" => metrics = true,
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: repro [--scale tiny|small|full] [--out DIR] [--jobs N]\n\
-                     \x20            [--cache-dir DIR | --no-cache] [EXPERIMENT ...]\n\
+                     \x20            [--cache-dir DIR | --no-cache] [--metrics] [EXPERIMENT ...]\n\
                      --jobs 0 (default) sizes the worker pool to the machine\n\
                      results are cached in .twodprof-cache unless --no-cache\n\
+                     --metrics dumps the process metrics snapshot to stderr at exit\n\
                      experiments: {} all\n\
                      drill-down: {} <workload>\n\
-                     daemon: repro serve [...] / repro replay WORKLOAD INPUT [...]\n\
-                     (see `repro serve --help` and `repro replay --help`)",
+                     daemon: repro serve [...] / repro replay WORKLOAD INPUT [...] /\n\
+                     \x20       repro stats [...]\n\
+                     (see `repro serve --help`, `repro replay --help`, `repro stats --help`)",
                     ALL.join(" "),
                     EXTRA.join(" ")
                 ));
@@ -104,6 +110,7 @@ fn parse_args() -> Result<Args, String> {
         out,
         jobs,
         cache_dir,
+        metrics,
         experiments,
     })
 }
@@ -133,6 +140,15 @@ fn main() -> ExitCode {
         }
         Some("replay") => {
             return match twodprof_serve::cli::replay_main(&raw[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("stats") => {
+            return match twodprof_serve::cli::stats_main(&raw[1..]) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(msg) => {
                     eprintln!("{msg}");
@@ -268,6 +284,13 @@ fn main() -> ExitCode {
             other => unreachable!("validated experiment {other}"),
         }
         eprintln!("[{e} done in {:.1?}]", start.elapsed());
+    }
+    if args.metrics {
+        // stderr, so table/CSV output on stdout stays byte-stable
+        eprint!(
+            "# process metrics snapshot\n{}",
+            twodprof_obs::global().snapshot().to_text()
+        );
     }
     ExitCode::SUCCESS
 }

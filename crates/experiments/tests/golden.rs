@@ -1,0 +1,99 @@
+//! Golden-report regression suite: every built-in workload × evaluation
+//! predictor, profiled at `Scale::Tiny` on the fixed `train` input, must
+//! serialize to exactly the bytes checked in under `tests/golden/`.
+//!
+//! The whole pipeline is deterministic (seeded workload generators, integer
+//! event streams, fixed fold order), so any byte difference is a behaviour
+//! change in the profiler/predictor stack — intentional changes regenerate
+//! the files with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p experiments --test golden
+//! ```
+//!
+//! On failure the actual bytes are written to `target/golden-diff/` so CI
+//! can upload them as artifacts for offline comparison.
+
+use bpred::PredictorKind;
+use experiments::Context;
+use std::fs;
+use std::path::{Path, PathBuf};
+use workloads::Scale;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn diff_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/golden-diff")
+}
+
+fn updating() -> bool {
+    std::env::var("UPDATE_GOLDEN")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+#[test]
+fn reports_match_golden_files() {
+    let update = updating();
+    let golden = golden_dir();
+    if update {
+        fs::create_dir_all(&golden).expect("create golden dir");
+    }
+    let mut ctx = Context::new(Scale::Tiny);
+    let mut mismatches = Vec::new();
+    for workload in ctx.suite() {
+        for kind in PredictorKind::ALL {
+            let name = format!("{}__{}.bin", workload.name(), kind.id());
+            let actual = ctx.profile_2d(&*workload, kind).to_bytes();
+            let path = golden.join(&name);
+            if update {
+                fs::write(&path, &actual).expect("write golden file");
+                continue;
+            }
+            let expected = fs::read(&path).unwrap_or_else(|e| {
+                panic!(
+                    "missing golden file {} ({e}); regenerate with \
+                     UPDATE_GOLDEN=1 cargo test -p experiments --test golden",
+                    path.display()
+                )
+            });
+            if actual != expected {
+                let dir = diff_dir();
+                fs::create_dir_all(&dir).expect("create diff dir");
+                fs::write(dir.join(&name), &actual).expect("write diff file");
+                mismatches.push(name);
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} golden report(s) changed: {mismatches:?}\n\
+         actual bytes are under {}; if the change is intentional, regenerate \
+         with UPDATE_GOLDEN=1 cargo test -p experiments --test golden",
+        mismatches.len(),
+        diff_dir().display()
+    );
+}
+
+#[test]
+fn golden_files_cover_the_full_grid() {
+    if updating() {
+        return; // the regeneration pass itself establishes coverage
+    }
+    let ctx = Context::new(Scale::Tiny);
+    let expected: usize = ctx.suite().len() * PredictorKind::ALL.len();
+    let present = fs::read_dir(golden_dir())
+        .map(|d| {
+            d.filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|x| x == "bin"))
+                .count()
+        })
+        .unwrap_or(0);
+    assert_eq!(
+        present, expected,
+        "expected one golden file per workload × predictor; regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p experiments --test golden"
+    );
+}

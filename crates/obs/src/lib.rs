@@ -1,0 +1,107 @@
+//! `twodprof-obs` — the workspace's observability layer.
+//!
+//! The paper's pitch is that 2D-profiling is cheap enough to run *online*
+//! (seven state variables per branch); once the profiler, the sweep engine,
+//! and the ingestion daemon are long-lived services, that claim needs
+//! numbers behind it. This crate provides them: a process-global registry of
+//! atomic metrics that every layer of the stack instruments its hot paths
+//! with, cheap enough that the instrumented `ingest_throughput` bench stays
+//! within noise of the uninstrumented one.
+//!
+//! # Metric kinds
+//!
+//! - [`Counter`] — monotonically increasing `u64` (events ingested, cache
+//!   hits, sessions opened).
+//! - [`Gauge`] — signed up/down value (worker-pool queue depth, live
+//!   sessions).
+//! - [`Histogram`] — fixed-bucket base-2 histogram of `u64` samples
+//!   (per-job wall time in microseconds). Bucket `i` holds values `v` with
+//!   `v < 2^i` and `v >= 2^(i-1)` (bucket 0 holds zero), so `observe` is a
+//!   leading-zeros count plus one relaxed add — no floats, no locks.
+//!
+//! # Handle API
+//!
+//! Metrics are registered once and used through `&'static` handles; the
+//! [`counter!`], [`gauge!`], and [`histogram!`] macros cache the handle in a
+//! per-call-site `OnceLock`, so steady-state cost is one pointer load plus
+//! one relaxed atomic RMW:
+//!
+//! ```
+//! let events = twodprof_obs::counter!("demo_events_total", "Events seen.");
+//! events.add(128);
+//! assert!(events.get() >= 128);
+//! ```
+//!
+//! # Disabling
+//!
+//! Setting `TWODPROF_METRICS=off` (or `0` / `false`) in the environment
+//! detaches the global registry: every registration hands out a private
+//! *void* cell that no snapshot ever reads. The update path is the same
+//! machine code either way — load the handle, relaxed RMW — so disabling is
+//! branch-free on the hot path; it only removes the metric from exposition.
+//!
+//! # Exposition
+//!
+//! [`Registry::snapshot`] takes a point-in-time [`Snapshot`] which renders
+//! to Prometheus-compatible text lines ([`Snapshot::to_text`]) and
+//! serializes over the workspace's LEB128 varint layer
+//! ([`Snapshot::to_bytes`] / [`Snapshot::from_bytes`]) — the payload the
+//! `twodprofd` `Stats` wire frame carries.
+
+mod metric;
+mod registry;
+mod snapshot;
+
+pub use metric::{Counter, Gauge, Histogram, NUM_BUCKETS};
+pub use registry::{global, Registry};
+pub use snapshot::{HistogramSnapshot, Snapshot};
+
+/// Registers (idempotently) and returns a `&'static` [`Counter`] on the
+/// global registry, caching the handle per call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $help:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::global().counter($name, $help))
+    }};
+}
+
+/// Registers (idempotently) and returns a `&'static` [`Gauge`] on the
+/// global registry, caching the handle per call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $help:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::global().gauge($name, $help))
+    }};
+}
+
+/// Registers (idempotently) and returns a `&'static` [`Histogram`] on the
+/// global registry, caching the handle per call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $help:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::global().histogram($name, $help))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_cache_and_share_handles() {
+        let a = counter!("obs_lib_test_total", "Test counter.");
+        let b = crate::global().counter("obs_lib_test_total", "Test counter.");
+        assert!(std::ptr::eq(a, b), "same name must share one cell");
+        a.inc();
+        assert!(b.get() >= 1);
+        let g = gauge!("obs_lib_test_gauge", "Test gauge.");
+        g.add(3);
+        g.sub(1);
+        let h = histogram!("obs_lib_test_hist", "Test histogram.");
+        h.observe(7);
+        assert_eq!(h.count(), 1);
+    }
+}

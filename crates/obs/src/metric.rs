@@ -1,0 +1,199 @@
+//! The three metric primitives: relaxed atomics all the way down.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of base-2 buckets in a [`Histogram`]: bucket 0 holds zero, bucket
+/// `i` holds values in `[2^(i-1), 2^i)`, and the last bucket additionally
+/// absorbs everything larger. 40 buckets cover microsecond samples up to
+/// ~2^38 µs (about three days) before saturating.
+pub const NUM_BUCKETS: usize = 40;
+
+/// A monotonically increasing counter.
+///
+/// All updates are `Relaxed`: metrics are statistical, not synchronizing,
+/// and a relaxed `fetch_add` compiles to a single `lock xadd`/`ldadd`.
+#[derive(Debug, Default)]
+pub struct Counter {
+    cell: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Self {
+            cell: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed up/down gauge (queue depths, live-session counts).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    cell: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Self {
+        Self {
+            cell: AtomicI64::new(0),
+        }
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.cell.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket base-2 histogram of `u64` samples.
+///
+/// `observe` is branch-free modulo the bucket clamp: index = number of
+/// significant bits of the sample (so 0 → bucket 0, 1 → bucket 1, 2–3 →
+/// bucket 2, 4–7 → bucket 3, …), computed with `leading_zeros`. The running
+/// `sum` makes mean latency recoverable from a snapshot.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            // AtomicU64 is not Copy; an inline-const element repeats instead
+            buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value lands in.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        ((64 - v.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds (the workspace convention for
+    /// latency histograms).
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> [u64; NUM_BUCKETS] {
+        let mut out = [0u64; NUM_BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.buckets().iter().sum()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        let g = Gauge::new();
+        g.add(5);
+        g.sub(8);
+        assert_eq!(g.get(), -3);
+        g.set(42);
+        assert_eq!(g.get(), 42);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_counts_and_sums() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 3, 1000, 1 << 50] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1 + 3 + 1000 + (1u64 << 50));
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], 1); // the zero
+        assert_eq!(buckets[1], 1); // the one
+        assert_eq!(buckets[2], 1); // the three
+        assert_eq!(buckets[NUM_BUCKETS - 1], 1); // the saturated giant
+        h.observe_duration(Duration::from_micros(5));
+        assert_eq!(h.count(), 6);
+    }
+}

@@ -1,0 +1,198 @@
+//! The metric registry: name → handle, plus the process-global instance.
+
+use crate::metric::{Counter, Gauge, Histogram};
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// One registered metric, by kind.
+enum Entry {
+    Counter {
+        help: &'static str,
+        cell: &'static Counter,
+    },
+    Gauge {
+        help: &'static str,
+        cell: &'static Gauge,
+    },
+    Histogram {
+        help: &'static str,
+        cell: &'static Histogram,
+    },
+}
+
+/// A collection of named metrics.
+///
+/// Registration is idempotent by name (re-registering returns the existing
+/// handle) and happens off the hot path; the handles themselves are lock-free
+/// atomics. Handles are `&'static` — cells are leaked on first registration,
+/// which is the right trade for process-lifetime metrics.
+///
+/// A registry created *disabled* hands out detached "void" cells instead:
+/// the caller's update path is byte-for-byte the same (load handle, relaxed
+/// RMW — no enabled-branch anywhere), but no snapshot ever includes the
+/// value. This is how `TWODPROF_METRICS=off` turns the whole layer into a
+/// no-op without a conditional in any instrumented function.
+pub struct Registry {
+    enabled: bool,
+    entries: Mutex<BTreeMap<&'static str, Entry>>,
+}
+
+impl Registry {
+    /// An empty registry. `enabled = false` makes every future registration
+    /// return a detached void cell.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            entries: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether registrations land in snapshots.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers (or retrieves) a counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> &'static Counter {
+        if !self.enabled {
+            return Box::leak(Box::new(Counter::new()));
+        }
+        let mut entries = self.entries.lock().expect("metric registry");
+        match entries.entry(name).or_insert_with(|| Entry::Counter {
+            help,
+            cell: Box::leak(Box::new(Counter::new())),
+        }) {
+            Entry::Counter { cell, .. } => cell,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> &'static Gauge {
+        if !self.enabled {
+            return Box::leak(Box::new(Gauge::new()));
+        }
+        let mut entries = self.entries.lock().expect("metric registry");
+        match entries.entry(name).or_insert_with(|| Entry::Gauge {
+            help,
+            cell: Box::leak(Box::new(Gauge::new())),
+        }) {
+            Entry::Gauge { cell, .. } => cell,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> &'static Histogram {
+        if !self.enabled {
+            return Box::leak(Box::new(Histogram::new()));
+        }
+        let mut entries = self.entries.lock().expect("metric registry");
+        match entries.entry(name).or_insert_with(|| Entry::Histogram {
+            help,
+            cell: Box::leak(Box::new(Histogram::new())),
+        }) {
+            Entry::Histogram { cell, .. } => cell,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by name
+    /// (the `BTreeMap` ordering), so exposition is deterministic.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.entries.lock().expect("metric registry");
+        let mut snap = Snapshot::default();
+        for (&name, entry) in entries.iter() {
+            match entry {
+                Entry::Counter { help, cell } => {
+                    snap.counters
+                        .push((name.to_owned(), (*help).to_owned(), cell.get()));
+                }
+                Entry::Gauge { help, cell } => {
+                    snap.gauges
+                        .push((name.to_owned(), (*help).to_owned(), cell.get()));
+                }
+                Entry::Histogram { help, cell } => {
+                    snap.histograms.push((
+                        name.to_owned(),
+                        (*help).to_owned(),
+                        HistogramSnapshot {
+                            buckets: cell.buckets().to_vec(),
+                            sum: cell.sum(),
+                        },
+                    ));
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// The process-global registry the [`counter!`](crate::counter),
+/// [`gauge!`](crate::gauge), and [`histogram!`](crate::histogram) macros
+/// register on. Enabled unless the `TWODPROF_METRICS` environment variable
+/// is `off`, `0`, or `false` at first use.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let disabled = std::env::var("TWODPROF_METRICS")
+            .map(|v| matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"))
+            .unwrap_or(false);
+        Registry::new(!disabled)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = Registry::new(true);
+        let a = r.counter("x_total", "X.");
+        let b = r.counter("x_total", "X.");
+        assert!(std::ptr::eq(a, b));
+        a.add(2);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("x_total".to_owned(), "X.".to_owned(), 2)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new(true);
+        r.counter("clash", "A counter.");
+        r.gauge("clash", "A gauge.");
+    }
+
+    #[test]
+    fn disabled_registry_hands_out_void_cells() {
+        let r = Registry::new(false);
+        let c = r.counter("invisible_total", "Never seen.");
+        c.add(99);
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        // two registrations under the same name are independent cells
+        let d = r.counter("invisible_total", "Never seen.");
+        assert!(!std::ptr::eq(c, d));
+        assert_eq!(d.get(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let r = Registry::new(true);
+        r.counter("zzz_total", "Z.");
+        r.counter("aaa_total", "A.");
+        r.gauge("mid_gauge", "M.");
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].0, "aaa_total");
+        assert_eq!(snap.counters[1].0, "zzz_total");
+        assert_eq!(snap.gauges[0].0, "mid_gauge");
+    }
+}

@@ -1,0 +1,292 @@
+//! Point-in-time snapshots: text exposition and wire serialization.
+
+use crate::metric::NUM_BUCKETS;
+use btrace::{read_varint, write_varint};
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+
+/// Serialization format revision of [`Snapshot::to_bytes`].
+const SNAPSHOT_VERSION: u8 = 1;
+
+/// Frozen state of one histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (length [`NUM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// A point-in-time copy of a [`Registry`](crate::Registry)'s metrics,
+/// sorted by name. Each entry is `(name, help, value)`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic counters.
+    pub counters: Vec<(String, String, u64)>,
+    /// Signed gauges.
+    pub gauges: Vec<(String, String, i64)>,
+    /// Histograms.
+    pub histograms: Vec<(String, String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Looks up a counter's value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, _, v)| v)
+    }
+
+    /// Looks up a gauge's value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, _, v)| v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, h)| h)
+    }
+
+    /// Renders Prometheus-compatible exposition text: `# HELP` / `# TYPE`
+    /// preamble per metric, `name value` samples, and for histograms the
+    /// standard cumulative `_bucket{le="..."}` / `_sum` / `_count` triple.
+    /// Bucket upper bounds are `2^i - 1` (bucket `i` holds values `< 2^i`),
+    /// with a final `+Inf`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, help, value) in &self.counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, help, value) in &self.gauges {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, help, hist) in &self.histograms {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, count) in hist.buckets.iter().enumerate() {
+                cumulative += count;
+                if i + 1 == hist.buckets.len() {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                } else {
+                    let le = (1u64 << i) - 1;
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}", hist.sum);
+            let _ = writeln!(out, "{name}_count {cumulative}");
+        }
+        out
+    }
+
+    /// Serializes the snapshot over the workspace varint layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&[SNAPSHOT_VERSION])?;
+        write_varint(w, self.counters.len() as u64)?;
+        for (name, help, value) in &self.counters {
+            write_string(w, name)?;
+            write_string(w, help)?;
+            write_varint(w, *value)?;
+        }
+        write_varint(w, self.gauges.len() as u64)?;
+        for (name, help, value) in &self.gauges {
+            write_string(w, name)?;
+            write_string(w, help)?;
+            write_varint(w, zigzag(*value))?;
+        }
+        write_varint(w, self.histograms.len() as u64)?;
+        for (name, help, hist) in &self.histograms {
+            write_string(w, name)?;
+            write_string(w, help)?;
+            write_varint(w, hist.buckets.len() as u64)?;
+            for &b in &hist.buckets {
+                write_varint(w, b)?;
+            }
+            write_varint(w, hist.sum)?;
+        }
+        Ok(())
+    }
+
+    /// [`write_to`](Self::write_to) into an owned buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf)
+            .expect("writing to a Vec<u8> cannot fail");
+        buf
+    }
+
+    /// Parses a snapshot serialized by [`to_bytes`](Self::to_bytes),
+    /// rejecting trailing garbage.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed input or leftover bytes.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
+        let mut r = bytes;
+        let snap = Self::read_from(&mut r)?;
+        if !r.is_empty() {
+            return Err(invalid("trailing bytes after snapshot"));
+        }
+        Ok(snap)
+    }
+
+    /// Reads a snapshot written by [`write_to`](Self::write_to).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed input and propagates I/O errors.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
+        let mut version = [0u8; 1];
+        r.read_exact(&mut version)?;
+        if version[0] != SNAPSHOT_VERSION {
+            return Err(invalid("unsupported snapshot version"));
+        }
+        let mut snap = Snapshot::default();
+        let n = checked_len(read_varint(r)?)?;
+        for _ in 0..n {
+            let name = read_string(r)?;
+            let help = read_string(r)?;
+            snap.counters.push((name, help, read_varint(r)?));
+        }
+        let n = checked_len(read_varint(r)?)?;
+        for _ in 0..n {
+            let name = read_string(r)?;
+            let help = read_string(r)?;
+            snap.gauges.push((name, help, unzigzag(read_varint(r)?)));
+        }
+        let n = checked_len(read_varint(r)?)?;
+        for _ in 0..n {
+            let name = read_string(r)?;
+            let help = read_string(r)?;
+            let nb = read_varint(r)? as usize;
+            if nb > NUM_BUCKETS * 4 {
+                return Err(invalid("unreasonable histogram bucket count"));
+            }
+            let mut buckets = Vec::with_capacity(nb);
+            for _ in 0..nb {
+                buckets.push(read_varint(r)?);
+            }
+            let sum = read_varint(r)?;
+            snap.histograms
+                .push((name, help, HistogramSnapshot { buckets, sum }));
+        }
+        Ok(snap)
+    }
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+fn checked_len(n: u64) -> io::Result<usize> {
+    if n > 1 << 20 {
+        return Err(invalid("unreasonable snapshot entry count"));
+    }
+    Ok(n as usize)
+}
+
+/// Zigzag-encodes a signed value so small magnitudes stay small varints.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_string<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    write_varint(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_string<R: Read>(r: &mut R) -> io::Result<String> {
+    let len = read_varint(r)? as usize;
+    if len > 1 << 12 {
+        return Err(invalid("unreasonable metric-name length"));
+    }
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    String::from_utf8(bytes).map_err(|_| invalid("metric string is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new(true);
+        r.counter("jobs_total", "Jobs run.").add(17);
+        r.gauge("queue_depth", "Queued jobs.").set(-4);
+        let h = r.histogram("job_micros", "Job wall time.");
+        h.observe(0);
+        h.observe(5);
+        h.observe(1_000_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        assert_eq!(Snapshot::from_bytes(&bytes).unwrap(), snap);
+        // truncation and trailing garbage are rejected
+        assert!(Snapshot::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut padded = bytes.clone();
+        padded.push(7);
+        assert!(Snapshot::from_bytes(&padded).is_err());
+    }
+
+    #[test]
+    fn zigzag_roundtrips_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 123_456, -987_654] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn text_exposition_shape() {
+        let text = sample().to_text();
+        assert!(text.contains("# TYPE jobs_total counter"));
+        assert!(text.contains("jobs_total 17"));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth -4"));
+        assert!(text.contains("# TYPE job_micros histogram"));
+        assert!(text.contains("job_micros_bucket{le=\"0\"} 1"));
+        assert!(text.contains("job_micros_bucket{le=\"7\"} 2"));
+        assert!(text.contains("job_micros_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("job_micros_sum 1000005"));
+        assert!(text.contains("job_micros_count 3"));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let snap = sample();
+        assert_eq!(snap.counter("jobs_total"), Some(17));
+        assert_eq!(snap.gauge("queue_depth"), Some(-4));
+        assert_eq!(snap.histogram("job_micros").unwrap().count(), 3);
+        assert_eq!(snap.counter("missing"), None);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for snapshot serialization and text exposition.
+
+use proptest::prelude::*;
+use twodprof_obs::{Histogram, HistogramSnapshot, Snapshot, NUM_BUCKETS};
+
+/// Builds a snapshot from raw generated values. Names are synthesized so
+/// entries stay unique and sorted, matching what a registry would emit.
+fn snapshot_from(counters: &[u64], gauges: &[i64], samples: &[u64]) -> Snapshot {
+    let mut snap = Snapshot::default();
+    for (i, &v) in counters.iter().enumerate() {
+        snap.counters
+            .push((format!("c{i:03}_total"), format!("Counter {i}."), v));
+    }
+    for (i, &v) in gauges.iter().enumerate() {
+        snap.gauges
+            .push((format!("g{i:03}"), format!("Gauge {i}."), v));
+    }
+    let hist = Histogram::new();
+    for &s in samples {
+        hist.observe(s);
+    }
+    snap.histograms.push((
+        "h000_micros".to_owned(),
+        "Histogram.".to_owned(),
+        HistogramSnapshot {
+            buckets: hist.buckets().to_vec(),
+            sum: hist.sum(),
+        },
+    ));
+    snap
+}
+
+/// Pulls the value of a plain `name value` sample line out of exposition
+/// text, skipping `# HELP` / `# TYPE` comments.
+fn sample_value(text: &str, name: &str) -> Option<u64> {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+        .and_then(|v| v.parse().ok())
+}
+
+proptest! {
+    #[test]
+    fn snapshot_bytes_roundtrip(
+        counters in prop::collection::vec(0u64..u64::MAX, 0..8),
+        gauges in prop::collection::vec(-1_000_000i64..1_000_000, 0..8),
+        samples in prop::collection::vec(0u64..u64::MAX, 0..64),
+    ) {
+        let snap = snapshot_from(&counters, &gauges, &samples);
+        let decoded = Snapshot::from_bytes(&snap.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn text_exposition_roundtrips_counter_values(
+        counters in prop::collection::vec(0u64..u64::MAX, 1..8),
+    ) {
+        let snap = snapshot_from(&counters, &[], &[]);
+        let text = snap.to_text();
+        for (name, _, value) in &snap.counters {
+            prop_assert_eq!(sample_value(&text, name), Some(*value));
+        }
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_consistent(
+        samples in prop::collection::vec(0u64..1_000_000, 1..128),
+    ) {
+        let snap = snapshot_from(&[], &[], &samples);
+        let (_, _, hist) = &snap.histograms[0];
+        prop_assert_eq!(hist.buckets.len(), NUM_BUCKETS);
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+        prop_assert_eq!(hist.sum, samples.iter().sum::<u64>());
+        let text = snap.to_text();
+        // the +Inf bucket, _count, and the sample count must all agree
+        let inf = text
+            .lines()
+            .find(|l| l.starts_with("h000_micros_bucket{le=\"+Inf\"}"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse::<u64>().ok())
+            .expect("+Inf bucket line");
+        prop_assert_eq!(inf, samples.len() as u64);
+        prop_assert_eq!(sample_value(&text, "h000_micros_count"), Some(inf));
+        // cumulative bucket lines never decrease
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("h000_micros_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            prop_assert!(v >= last, "bucket lines must be cumulative");
+            last = v;
+        }
+    }
+}

@@ -142,6 +142,34 @@ macro_rules! range_strategies {
 }
 range_strategies!(u8, u16, u32, u64, usize);
 
+// signed ranges: compute the span through the same-width unsigned type so
+// the wrapping difference doesn't sign-extend (e.g. -128i8..127 spans 255)
+macro_rules! signed_range_strategies {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi.wrapping_sub(lo) as $u as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+signed_range_strategies!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
 impl Strategy for Range<f64> {
     type Value = f64;
     fn generate(&self, rng: &mut TestRng) -> f64 {
@@ -373,6 +401,22 @@ mod tests {
             let f = (0.25f64..0.75).generate(&mut rng);
             assert!((0.25..0.75).contains(&f));
         }
+    }
+
+    #[test]
+    fn signed_ranges_respect_bounds() {
+        let mut rng = TestRng::new(17);
+        let mut saw_negative = false;
+        for _ in 0..1000 {
+            let v = (-50i64..50).generate(&mut rng);
+            assert!((-50..50).contains(&v));
+            saw_negative |= v < 0;
+            let w = (i8::MIN..=i8::MAX).generate(&mut rng);
+            assert!((i8::MIN..=i8::MAX).contains(&w));
+            let x = (-3i32..=3).generate(&mut rng);
+            assert!((-3..=3).contains(&x));
+        }
+        assert!(saw_negative, "negative half of the range must be reachable");
     }
 
     #[test]

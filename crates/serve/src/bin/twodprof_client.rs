@@ -1,17 +1,22 @@
 //! `twodprof-client` — replays a workload's branch stream against a live
-//! `twodprofd`.
+//! `twodprofd`, or queries its metrics.
 //!
 //! ```text
 //! twodprof-client replay WORKLOAD INPUT [--addr HOST:PORT]
 //!                 [--scale tiny|small|full] [--predictor ID] [--batch N]
 //!                 [--slice-len N --exec-threshold N] [--verify]
+//! twodprof-client stats [--addr HOST:PORT]
 //! ```
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match twodprof_serve::cli::replay_main(&args) {
+    let result = match args.first().map(String::as_str) {
+        Some("stats") => twodprof_serve::cli::stats_main(&args[1..]),
+        _ => twodprof_serve::cli::replay_main(&args),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("{msg}");

@@ -2,7 +2,7 @@
 //! `twodprof-client` binaries and the `repro serve` / `repro replay`
 //! subcommands.
 
-use crate::client::DEFAULT_BATCH_EVENTS;
+use crate::client::{fetch_stats, DEFAULT_BATCH_EVENTS};
 use crate::replay::{replay_workload, ReplaySpec};
 use crate::server::{Server, ServerConfig, ServerHandle};
 use bpred::PredictorKind;
@@ -75,13 +75,22 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
                 )?);
             }
             "--quiet" => config.quiet = true,
+            "--stats-interval" => {
+                let secs: f64 = numeric("--stats-interval", value("--stats-interval")?)?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err("--stats-interval needs a positive number of seconds".to_owned());
+                }
+                config.stats_interval = Some(Duration::from_secs_f64(secs));
+            }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: twodprofd [--addr HOST:PORT] [--addr-file PATH]\n\
                      \x20               [--max-sessions N] [--max-events N]\n\
                      \x20               [--idle-timeout-ms N] [--drain-timeout-ms N] [--quiet]\n\
+                     \x20               [--stats-interval SECS]\n\
                      default address {DEFAULT_ADDR}; port 0 binds an ephemeral port\n\
                      --addr-file writes the bound address to PATH once listening\n\
+                     --stats-interval prints a stderr stats line every SECS seconds\n\
                      SIGINT/SIGTERM shut down gracefully, finishing in-flight sessions"
                 ));
             }
@@ -204,6 +213,39 @@ pub fn replay_main(args: &[String]) -> Result<(), String> {
         Some(true) => println!("verify: remote report is bit-identical to in-process run"),
         Some(false) => return Err("verify: remote report DIFFERS from in-process run".to_owned()),
     }
+    Ok(())
+}
+
+/// Entry point for `twodprof-client stats` (and `repro stats`): fetches a
+/// live daemon's metrics snapshot and prints it as Prometheus text lines.
+///
+/// # Errors
+///
+/// Returns a usage/transport error message for the caller to print.
+pub fn stats_main(args: &[String]) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_owned();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "stats" => {} // tolerated so `stats --addr ...` and `--addr ...` both parse
+            "--addr" => {
+                addr = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--addr needs a value".to_owned())?;
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: twodprof-client stats [--addr HOST:PORT]\n\
+                     fetches the metrics snapshot of a twodprofd at --addr\n\
+                     (default {DEFAULT_ADDR}) and prints Prometheus text lines"
+                ));
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    let snapshot = fetch_stats(addr.as_str()).map_err(|e| e.to_string())?;
+    print!("{}", snapshot.to_text());
     Ok(())
 }
 

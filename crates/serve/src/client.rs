@@ -9,6 +9,7 @@ use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use twodprof_core::{ProfileReport, SliceConfig};
+use twodprof_obs::Snapshot;
 
 /// Default events buffered per [`RemoteTracer`] `Events` frame.
 pub const DEFAULT_BATCH_EVENTS: usize = 8192;
@@ -235,8 +236,33 @@ fn unexpected(wanted: &str, got: &ServerFrame) -> ClientError {
         ServerFrame::Busy { .. } => "Busy",
         ServerFrame::Report(_) => "Report",
         ServerFrame::Error { .. } => "Error",
+        ServerFrame::StatsReply(_) => "StatsReply",
     };
     ClientError::Protocol(format!("expected {wanted}, got {label}"))
+}
+
+/// Fetches the daemon's metrics snapshot over a one-shot connection: a
+/// `Stats` frame needs no session, so this works against a daemon that is
+/// busy, draining, or mid-session elsewhere.
+///
+/// # Errors
+///
+/// Transport errors, plus [`ClientError::Protocol`] if the reply is not a
+/// decodable `StatsReply`.
+pub fn fetch_stats(addr: impl ToSocketAddrs) -> Result<Snapshot, ClientError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    ClientFrame::Stats.write_to(&mut writer)?;
+    writer.flush()?;
+    match ServerFrame::read_from(&mut reader)? {
+        ServerFrame::StatsReply(bytes) => Snapshot::from_bytes(&bytes)
+            .map_err(|e| ClientError::Protocol(format!("undecodable stats snapshot: {e}"))),
+        ServerFrame::Busy { msg } => Err(ClientError::Busy(msg)),
+        ServerFrame::Error { code, msg } => Err(ClientError::Server { code, msg }),
+        other => Err(unexpected("StatsReply", &other)),
+    }
 }
 
 /// A [`Tracer`] that batches branch events into `Events` frames bound for a

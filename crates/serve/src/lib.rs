@@ -41,6 +41,8 @@ mod replay;
 mod server;
 pub mod wire;
 
-pub use client::{ClientError, RemoteReport, RemoteSession, RemoteTracer, DEFAULT_BATCH_EVENTS};
+pub use client::{
+    fetch_stats, ClientError, RemoteReport, RemoteSession, RemoteTracer, DEFAULT_BATCH_EVENTS,
+};
 pub use replay::{replay_workload, ReplayError, ReplaySpec, ReplaySummary};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};

@@ -53,6 +53,9 @@ pub struct ServerConfig {
     pub drain_timeout: Duration,
     /// Suppress per-connection log lines on stderr.
     pub quiet: bool,
+    /// Emit a one-line stats summary (sessions, events, events/sec) on
+    /// stderr at this cadence; `None` disables it.
+    pub stats_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +66,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(30),
             drain_timeout: Duration::from_secs(10),
             quiet: false,
+            stats_interval: None,
         }
     }
 }
@@ -219,6 +223,13 @@ impl Server {
                 .spawn(move || gc_loop(&shared))
                 .expect("spawn GC thread")
         };
+        let stats_thread = self.shared.config.stats_interval.map(|interval| {
+            let shared = self.shared.clone();
+            thread::Builder::new()
+                .name("twodprofd-stats".into())
+                .spawn(move || stats_loop(&shared, interval))
+                .expect("spawn stats thread")
+        });
         while !self.shared.shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, peer)) => self.spawn_conn(stream, peer),
@@ -235,6 +246,9 @@ impl Server {
         self.drain();
         self.shared.stopped.store(true, Ordering::SeqCst);
         gc.join().expect("GC thread never panics");
+        if let Some(t) = stats_thread {
+            t.join().expect("stats thread never panics");
+        }
         Ok(self.shared.stats())
     }
 
@@ -278,6 +292,11 @@ impl Server {
             }
             thread::sleep(Duration::from_millis(10));
         }
+        twodprof_obs::histogram!(
+            "serve_drain_micros",
+            "Shutdown drain duration, in microseconds."
+        )
+        .observe_duration(start.elapsed());
     }
 }
 
@@ -295,9 +314,48 @@ fn gc_loop(shared: &Shared) {
             let last = *entry.last_seen.lock().expect("last_seen");
             if now.duration_since(last) > shared.config.idle_timeout {
                 shared.log(format_args!("conn {id}: idle timeout, reaping"));
+                twodprof_obs::counter!(
+                    "serve_sessions_reaped_total",
+                    "Connections reaped by the idle-timeout GC."
+                )
+                .inc();
                 let _ = entry.stream.shutdown(Shutdown::Both);
             }
         }
+    }
+}
+
+/// Periodic stderr stats line: lifetime counters plus the ingest rate over
+/// the last interval (always printed, even with `quiet` connection logs —
+/// enabling the interval is itself the opt-in).
+fn stats_loop(shared: &Shared, interval: Duration) {
+    let interval = interval.max(Duration::from_millis(10));
+    let mut last_events = 0u64;
+    let mut last_tick = Instant::now();
+    while !shared.stopped.load(Ordering::SeqCst) {
+        // sleep in short hops so shutdown isn't delayed by a long interval
+        let wake = last_tick + interval;
+        while Instant::now() < wake {
+            if shared.stopped.load(Ordering::SeqCst) {
+                return;
+            }
+            thread::sleep(Duration::from_millis(10).min(interval));
+        }
+        let now = Instant::now();
+        let stats = shared.stats();
+        let rate = (stats.events_ingested - last_events) as f64
+            / now.duration_since(last_tick).as_secs_f64().max(1e-9);
+        eprintln!(
+            "[twodprofd] stats: {} live session(s), {} opened, {} finished, {} aborted, {} event(s), {:.0} events/s",
+            shared.live_sessions.load(Ordering::SeqCst),
+            stats.sessions_opened,
+            stats.sessions_finished,
+            stats.sessions_aborted,
+            stats.events_ingested,
+            rate,
+        );
+        last_events = stats.events_ingested;
+        last_tick = now;
     }
 }
 
@@ -343,6 +401,11 @@ fn serve_conn(shared: &Shared, stream: TcpStream, id: u64) -> io::Result<()> {
         // reap, or a protocol error — drop the profiler and account for it
         shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
         shared.sessions_aborted.fetch_add(1, Ordering::SeqCst);
+        twodprof_obs::counter!(
+            "serve_sessions_aborted_total",
+            "Sessions dropped before Finish (disconnect, error, GC, limit)."
+        )
+        .inc();
         shared.log(format_args!(
             "conn {id}: session dropped after {} event(s)",
             s.events
@@ -367,7 +430,16 @@ fn session_loop<R: Read, W: Write>(
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && session.is_none() => {
                 return Ok(())
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                if e.kind() == io::ErrorKind::InvalidData {
+                    twodprof_obs::counter!(
+                        "serve_frame_decode_errors_total",
+                        "Client frames that failed to decode."
+                    )
+                    .inc();
+                }
+                return Err(e);
+            }
         };
         *last_seen.lock().expect("last_seen") = Instant::now();
         match frame {
@@ -379,10 +451,20 @@ fn session_loop<R: Read, W: Write>(
                     Admission::Accept(live) => {
                         *session = Some(live);
                         shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                        twodprof_obs::counter!(
+                            "serve_sessions_opened_total",
+                            "Sessions that completed Hello."
+                        )
+                        .inc();
                         send(writer, &ServerFrame::HelloOk { session_id: id })?;
                     }
                     Admission::Busy(msg) => {
                         shared.log(format_args!("conn {id}: busy ({msg})"));
+                        twodprof_obs::counter!(
+                            "serve_sessions_busy_rejected_total",
+                            "Hellos refused with Busy (table full or draining)."
+                        )
+                        .inc();
                         return send(writer, &ServerFrame::Busy { msg });
                     }
                     Admission::Reject(code, msg) => {
@@ -399,6 +481,11 @@ fn session_loop<R: Read, W: Write>(
                 if live.events.saturating_add(n) > shared.config.max_events_per_session {
                     // explicit backpressure: refuse the batch, close the
                     // session (the abort accounting happens in serve_conn)
+                    twodprof_obs::counter!(
+                        "serve_sessions_busy_rejected_total",
+                        "Hellos refused with Busy (table full or draining)."
+                    )
+                    .inc();
                     return send(
                         writer,
                         &ServerFrame::Busy {
@@ -421,6 +508,11 @@ fn session_loop<R: Read, W: Write>(
                 }
                 live.events += n;
                 shared.events_ingested.fetch_add(n, Ordering::Relaxed);
+                twodprof_obs::counter!(
+                    "serve_events_total",
+                    "Branch events ingested across all sessions."
+                )
+                .add(n);
             }
             ClientFrame::Flush => {
                 let Some(live) = session.as_ref() else {
@@ -439,6 +531,11 @@ fn session_loop<R: Read, W: Write>(
                 };
                 shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
                 shared.sessions_finished.fetch_add(1, Ordering::Relaxed);
+                twodprof_obs::counter!(
+                    "serve_sessions_finished_total",
+                    "Sessions that ran to Finish and received a report."
+                )
+                .inc();
                 let events = live.events;
                 let report = live.profiler.finish(Thresholds::paper());
                 shared.log(format_args!(
@@ -446,6 +543,11 @@ fn session_loop<R: Read, W: Write>(
                     report.num_sites()
                 ));
                 return send(writer, &ServerFrame::Report(report.to_bytes()));
+            }
+            ClientFrame::Stats => {
+                // valid in any state; replies and keeps the connection going
+                let snapshot = twodprof_obs::global().snapshot();
+                send(writer, &ServerFrame::StatsReply(snapshot.to_bytes()))?;
             }
         }
     }

@@ -13,19 +13,22 @@
 //! payload    := client-msg | server-msg
 //!
 //! client-msg := 0x01 hello | 0x02 events | 0x03 flush | 0x04 finish
+//!             | 0x05 stats
 //! hello      := varint(protocol) varint(num_sites) string(predictor-id)
 //!               varint(slice_len) varint(exec_threshold)
 //! events     := varint(count) { varint(site << 1 | taken) }*count
 //! flush      := ε
 //! finish     := ε
+//! stats      := ε                                valid in any session state
 //!
 //! server-msg := 0x81 hello-ok | 0x82 ack | 0x83 busy | 0x84 report
-//!             | 0x85 error
+//!             | 0x85 error | 0x86 stats-reply
 //! hello-ok   := varint(session_id)
 //! ack        := varint(events_total)
 //! busy       := string(msg)
 //! report     := bytes                            ProfileReport::write_to
 //! error      := varint(code) string(msg)
+//! stats-reply:= bytes                            twodprof_obs::Snapshot::write_to
 //!
 //! string     := varint(len) utf8-bytes
 //! ```
@@ -69,11 +72,13 @@ const TAG_HELLO: u8 = 0x01;
 const TAG_EVENTS: u8 = 0x02;
 const TAG_FLUSH: u8 = 0x03;
 const TAG_FINISH: u8 = 0x04;
+const TAG_STATS: u8 = 0x05;
 const TAG_HELLO_OK: u8 = 0x81;
 const TAG_ACK: u8 = 0x82;
 const TAG_BUSY: u8 = 0x83;
 const TAG_REPORT: u8 = 0x84;
 const TAG_ERROR: u8 = 0x85;
+const TAG_STATS_REPLY: u8 = 0x86;
 
 /// Session parameters announced by the client's first frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,6 +107,10 @@ pub enum ClientFrame {
     Flush,
     /// Ends the session; the server replies with [`ServerFrame::Report`].
     Finish,
+    /// Requests a [`ServerFrame::StatsReply`] with the daemon's metrics
+    /// snapshot. Valid in any session state, including before `Hello`, and
+    /// does not disturb an open session.
+    Stats,
 }
 
 /// Frames `twodprofd` sends to a client.
@@ -136,6 +145,10 @@ pub enum ServerFrame {
         /// Human-readable detail.
         msg: String,
     },
+    /// Reply to [`ClientFrame::Stats`]: a serialized
+    /// `twodprof_obs::Snapshot` of the daemon process's metric registry
+    /// (opaque at this layer, like [`Report`](Self::Report)).
+    StatsReply(Vec<u8>),
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
@@ -190,6 +203,7 @@ impl ClientFrame {
             }
             ClientFrame::Flush => buf.push(TAG_FLUSH),
             ClientFrame::Finish => buf.push(TAG_FINISH),
+            ClientFrame::Stats => buf.push(TAG_STATS),
         }
         buf
     }
@@ -244,6 +258,7 @@ impl ClientFrame {
             }
             TAG_FLUSH => ClientFrame::Flush,
             TAG_FINISH => ClientFrame::Finish,
+            TAG_STATS => ClientFrame::Stats,
             other => return Err(invalid(format!("unknown client frame tag {other:#04x}"))),
         };
         ensure_consumed(r)?;
@@ -296,6 +311,10 @@ impl ServerFrame {
                 write_varint(&mut buf, *code).expect("vec write");
                 write_string(&mut buf, msg);
             }
+            ServerFrame::StatsReply(bytes) => {
+                buf.push(TAG_STATS_REPLY);
+                buf.extend_from_slice(bytes);
+            }
         }
         buf
     }
@@ -329,6 +348,12 @@ impl ServerFrame {
                 code: read_varint(&mut r)?,
                 msg: read_string(&mut r, 1 << 16)?,
             },
+            TAG_STATS_REPLY => {
+                // the remainder is the snapshot payload, opaque at this layer
+                let bytes = r.to_vec();
+                r = &[];
+                ServerFrame::StatsReply(bytes)
+            }
             other => return Err(invalid(format!("unknown server frame tag {other:#04x}"))),
         };
         ensure_consumed(r)?;
@@ -388,6 +413,7 @@ mod tests {
         roundtrip_client(ClientFrame::Events(Vec::new()));
         roundtrip_client(ClientFrame::Flush);
         roundtrip_client(ClientFrame::Finish);
+        roundtrip_client(ClientFrame::Stats);
     }
 
     #[test]
@@ -405,6 +431,8 @@ mod tests {
             code: codes::SITE_RANGE,
             msg: "site 9 outside table of 3".to_owned(),
         });
+        roundtrip_server(ServerFrame::StatsReply(vec![9, 8, 7]));
+        roundtrip_server(ServerFrame::StatsReply(Vec::new()));
     }
 
     #[test]

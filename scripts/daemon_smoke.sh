@@ -33,6 +33,20 @@ echo "daemon up at $ADDR (pid $DAEMON_PID)"
 
 "$BIN_DIR/twodprof-client" replay gzip train --scale tiny --addr "$ADDR" --verify
 
+# the metrics endpoint must answer with exposition text reflecting the replay
+STATS="$("$BIN_DIR/twodprof-client" stats --addr "$ADDR")"
+echo "$STATS" | grep -q '^serve_sessions_finished_total 1$' || {
+    echo "$STATS"
+    echo "stats output missing finished-session counter"
+    exit 1
+}
+echo "$STATS" | grep -q '^serve_events_total [1-9]' || {
+    echo "$STATS"
+    echo "stats output missing ingested-events counter"
+    exit 1
+}
+echo "stats endpoint OK"
+
 # graceful shutdown: SIGTERM must drain and exit 0
 kill -TERM "$DAEMON_PID"
 if ! wait "$DAEMON_PID"; then

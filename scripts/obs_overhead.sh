@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Gate on the observability layer's hot-path cost: run the ingest_throughput
+# bench with metrics enabled and disabled, compare mean time per iteration,
+# and fail if enabling metrics costs more than LIMIT_PCT percent.
+#
+#   LIMIT_PCT          overhead budget in percent (default 5, the CI gate;
+#                      the local design target is 2)
+#   TWODPROF_BENCH_MS  measurement window per benchmark in ms (default 2000)
+set -euo pipefail
+
+LIMIT_PCT="${LIMIT_PCT:-5}"
+BENCH_MS="${TWODPROF_BENCH_MS:-2000}"
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+run_bench() { # $1 = TWODPROF_METRICS value, $2 = output file
+    echo "== ingest_throughput with TWODPROF_METRICS=$1 =="
+    TWODPROF_METRICS="$1" TWODPROF_BENCH_MS="$BENCH_MS" \
+        cargo bench -q -p twodprof-bench --bench ingest_throughput \
+        | tee /dev/stderr \
+        | awk '/time:/ {
+            for (i = 1; i <= NF; i++) if ($i == "time:") { v = $(i+1); u = $(i+2) }
+            sub(/\/iter$/, "", u)
+            if (u == "ns") ns = v
+            else if (u == "µs" || u == "us") ns = v * 1e3
+            else if (u == "ms") ns = v * 1e6
+            else if (u == "s")  ns = v * 1e9
+            else { print "unparsable time unit: " u > "/dev/stderr"; exit 1 }
+            print $1, ns
+        }' >"$2"
+    [[ -s "$2" ]] || { echo "no benchmark lines parsed"; exit 1; }
+}
+
+run_bench on "$WORK_DIR/on.txt"
+run_bench off "$WORK_DIR/off.txt"
+
+# join the two runs on benchmark name and compare mean per-iteration time
+awk -v limit="$LIMIT_PCT" '
+    NR == FNR { off[$1] = $2; next }
+    {
+        if (!($1 in off)) { print "benchmark " $1 " missing from metrics-off run"; bad = 1; next }
+        pct = ($2 - off[$1]) / off[$1] * 100
+        printf "%-48s off %.0f ns/iter  on %.0f ns/iter  overhead %+.2f%%\n", $1, off[$1], $2, pct
+        sum_on += $2; sum_off += off[$1]; n += 1
+    }
+    END {
+        if (bad || n == 0) exit 1
+        total = (sum_on - sum_off) / sum_off * 100
+        printf "aggregate overhead: %+.2f%% (budget %s%%)\n", total, limit
+        if (total > limit + 0) {
+            print "FAIL: metrics overhead exceeds budget"
+            exit 1
+        }
+        print "OK: metrics overhead within budget"
+    }
+' "$WORK_DIR/off.txt" "$WORK_DIR/on.txt"
