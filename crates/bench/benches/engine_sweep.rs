@@ -1,9 +1,12 @@
 //! Sequential vs parallel sweep throughput on the engine's full tiny-scale
 //! job grid — quantifies the worker pool's speedup and its scheduling
-//! overhead at one worker.
+//! overhead at one worker — plus the trace-once/simulate-many payoff:
+//! the same multi-predictor grid swept with recorded-trace replay on
+//! versus every job re-running its workload live.
 
+use bpred::PredictorKind;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use twodprof_engine::{full_grid, Engine, EngineConfig};
+use twodprof_engine::{full_grid, Engine, EngineConfig, JobSpec};
 use workloads::Scale;
 
 fn bench_sweep(c: &mut Criterion) {
@@ -36,5 +39,92 @@ fn bench_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sweep);
+/// The table-predictor survey configurations — the characterization-sweep
+/// shape trace-once is built for. Deliberately excludes perceptron and
+/// TAGE: their per-event simulation cost (90–270 ns) dwarfs both stream
+/// generation (4–14 ns) and decode (~1 ns), so a grid containing them
+/// measures predictor arithmetic, not the trace pipeline.
+const SURVEY_TABLE: [PredictorKind; 10] = [
+    PredictorKind::Gshare4Kb,
+    PredictorKind::Gshare1Kb,
+    PredictorKind::Bimodal1Kb,
+    PredictorKind::Bimodal4Kb,
+    PredictorKind::GAg1Kb,
+    PredictorKind::GAg4Kb,
+    PredictorKind::Local4Kb,
+    PredictorKind::Tournament4Kb,
+    PredictorKind::StaticTaken,
+    PredictorKind::StaticNotTaken,
+];
+
+/// The tiny-scale grid with every [`SURVEY_TABLE`] configuration simulated
+/// per input: each workload input's branch stream is shared by eleven jobs
+/// (count + ten accuracy sims), each train input's by ten more 2D sims.
+fn survey_grid() -> Vec<JobSpec> {
+    let scale = Scale::Tiny;
+    let mut specs = Vec::new();
+    for workload in workloads::suite(scale) {
+        let name = workload.name();
+        for input in workload.input_sets() {
+            specs.push(JobSpec::count(name, input.name, scale));
+            for kind in SURVEY_TABLE {
+                specs.push(JobSpec::accuracy(name, input.name, scale, kind));
+            }
+        }
+        for kind in SURVEY_TABLE {
+            specs.push(JobSpec::two_d(name, "train", scale, kind));
+        }
+    }
+    specs
+}
+
+/// Trace-once/simulate-many versus the per-job paths it replaces, single
+/// worker, no disk cache. Three modes over the same survey grid:
+///
+/// - `record_per_job`: a fresh engine per job — every job records its own
+///   trace and replays it alone, with nothing shared across jobs. This is
+///   what "profile one (workload, input, predictor) at a time" costs, and
+///   the baseline `scripts/trace_replay_gate.sh` gates against.
+/// - `live_per_job`: one engine with `replay: false` — the seed execution
+///   path, each job re-running its workload generator live. Reported for
+///   transparency; sims cost the same on both sides, so this ratio is
+///   bounded by gen/(decode+sim) and sits below the gate ratio.
+/// - `trace_once`: the redesigned default — each stream recorded once,
+///   every simulation sharing one decode of the recorded buffer.
+///
+/// `scripts/trace_replay_gate.sh` parses this group and fails CI when
+/// `trace_once` is less than 2x faster than `record_per_job`.
+fn bench_trace_replay(c: &mut Criterion) {
+    let specs = survey_grid();
+    let mut group = c.benchmark_group("trace_replay");
+    group.sample_size(10);
+    group.bench_function("record_per_job", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for spec in &specs {
+                let engine = Engine::new(EngineConfig {
+                    jobs: 1,
+                    ..EngineConfig::default()
+                });
+                n += engine.run_jobs(std::slice::from_ref(spec)).len();
+            }
+            n
+        })
+    });
+    for (label, replay) in [("live_per_job", false), ("trace_once", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let engine = Engine::new(EngineConfig {
+                    jobs: 1,
+                    replay,
+                    ..EngineConfig::default()
+                });
+                engine.run_jobs(&specs).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep, bench_trace_replay);
 criterion_main!(benches);

@@ -4,9 +4,16 @@
 //! engine can name a predictor inside a job specification without depending
 //! on the experiments crate.
 
-use crate::{BranchPredictor, Gshare, Perceptron};
+use crate::{
+    Bimodal, BranchPredictor, GAg, Gshare, GshareWithLoop, LocalTwoLevel, Perceptron,
+    StaticNotTaken, StaticTaken, Tage, Tournament,
+};
 
-/// The predictor configurations used by the paper's evaluation.
+/// The predictor configurations used by the paper's evaluation, plus the
+/// extension targets of the predictor-comparison experiment and the
+/// table-predictor survey tier used by branch-predictability
+/// characterization sweeps (many cheap configurations simulated over one
+/// recorded trace).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PredictorKind {
     /// 4 KB gshare, 14-bit history — the profiling/baseline predictor.
@@ -14,17 +21,94 @@ pub enum PredictorKind {
     /// 16 KB perceptron, 457 entries, 36-bit history — the alternative
     /// target-machine predictor of §5.3.
     Perceptron16Kb,
+    /// 4 KB gshare augmented with a loop predictor — extension target.
+    GshareLoop4Kb,
+    /// 8 KB TAGE — extension target, the strongest predictor in `bpred`.
+    Tage8Kb,
+    /// 1 KB gshare, 12-bit history — small survey point.
+    Gshare1Kb,
+    /// 1 KB bimodal (2^12 two-bit counters).
+    Bimodal1Kb,
+    /// 4 KB bimodal (2^14 two-bit counters).
+    Bimodal4Kb,
+    /// 1 KB GAg, 12-bit global history.
+    GAg1Kb,
+    /// 4 KB GAg, 14-bit global history.
+    GAg4Kb,
+    /// 4 KB local two-level (2^11 histories of 12 bits + 2^12 counters).
+    Local4Kb,
+    /// 4 KB tournament (gshare + bimodal + chooser).
+    Tournament4Kb,
+    /// Always-taken static baseline.
+    StaticTaken,
+    /// Always-not-taken static baseline.
+    StaticNotTaken,
 }
 
 impl PredictorKind {
-    /// Both evaluation predictors, in paper order.
+    /// The paper's two evaluation predictors, in paper order. The sweep
+    /// grid and the golden suite iterate exactly these.
     pub const ALL: [PredictorKind; 2] = [PredictorKind::Gshare4Kb, PredictorKind::Perceptron16Kb];
 
-    /// Instantiates the predictor.
+    /// The paper's predictors plus the extension targets — what the
+    /// predictor-comparison experiment iterates. Frozen at four kinds: the
+    /// golden outputs of that experiment depend on this exact set.
+    pub const EXTENDED: [PredictorKind; 4] = [
+        PredictorKind::Gshare4Kb,
+        PredictorKind::GshareLoop4Kb,
+        PredictorKind::Perceptron16Kb,
+        PredictorKind::Tage8Kb,
+    ];
+
+    /// Every named configuration — [`EXTENDED`](Self::EXTENDED) plus the
+    /// table-predictor survey tier. This is the namespace of
+    /// [`from_id`](Self::from_id) (and therefore of the daemon's wire
+    /// protocol) and the kind set a characterization sweep fans out over a
+    /// recorded trace.
+    pub const SURVEY: [PredictorKind; 13] = [
+        PredictorKind::Gshare4Kb,
+        PredictorKind::GshareLoop4Kb,
+        PredictorKind::Perceptron16Kb,
+        PredictorKind::Tage8Kb,
+        PredictorKind::Gshare1Kb,
+        PredictorKind::Bimodal1Kb,
+        PredictorKind::Bimodal4Kb,
+        PredictorKind::GAg1Kb,
+        PredictorKind::GAg4Kb,
+        PredictorKind::Local4Kb,
+        PredictorKind::Tournament4Kb,
+        PredictorKind::StaticTaken,
+        PredictorKind::StaticNotTaken,
+    ];
+
+    /// Instantiates the predictor — the single factory for every layer
+    /// (engine jobs, daemon sessions, experiment code).
     pub fn build(self) -> Box<dyn BranchPredictor> {
+        self.host(BoxHost)
+    }
+
+    /// Builds the concrete (unboxed) predictor and hands it to `host`,
+    /// monomorphizing the host's code per configuration. Hot loops that
+    /// drive millions of branches — the engine's trace replay above all —
+    /// use this instead of [`build`](Self::build) so the predictor's
+    /// `branch` inlines into the loop rather than going through a virtual
+    /// call per event. This is the only `match` that names the concrete
+    /// types; `build` itself is a host that boxes.
+    pub fn host<H: PredictorHost>(self, host: H) -> H::Out {
         match self {
-            PredictorKind::Gshare4Kb => Box::new(Gshare::new_4kb()),
-            PredictorKind::Perceptron16Kb => Box::new(Perceptron::new_16kb()),
+            PredictorKind::Gshare4Kb => host.run(Gshare::new_4kb()),
+            PredictorKind::Perceptron16Kb => host.run(Perceptron::new_16kb()),
+            PredictorKind::GshareLoop4Kb => host.run(GshareWithLoop::new_4kb()),
+            PredictorKind::Tage8Kb => host.run(Tage::new_8kb()),
+            PredictorKind::Gshare1Kb => host.run(Gshare::new(12, 12)),
+            PredictorKind::Bimodal1Kb => host.run(Bimodal::new(12)),
+            PredictorKind::Bimodal4Kb => host.run(Bimodal::new(14)),
+            PredictorKind::GAg1Kb => host.run(GAg::new(12)),
+            PredictorKind::GAg4Kb => host.run(GAg::new(14)),
+            PredictorKind::Local4Kb => host.run(LocalTwoLevel::new(11, 12)),
+            PredictorKind::Tournament4Kb => host.run(Tournament::new_4kb()),
+            PredictorKind::StaticTaken => host.run(StaticTaken),
+            PredictorKind::StaticNotTaken => host.run(StaticNotTaken),
         }
     }
 
@@ -33,6 +117,17 @@ impl PredictorKind {
         match self {
             PredictorKind::Gshare4Kb => "4KB-gshare",
             PredictorKind::Perceptron16Kb => "16KB-percep",
+            PredictorKind::GshareLoop4Kb => "4KB-gshare+loop",
+            PredictorKind::Tage8Kb => "8KB-tage",
+            PredictorKind::Gshare1Kb => "1KB-gshare",
+            PredictorKind::Bimodal1Kb => "1KB-bimodal",
+            PredictorKind::Bimodal4Kb => "4KB-bimodal",
+            PredictorKind::GAg1Kb => "1KB-gag",
+            PredictorKind::GAg4Kb => "4KB-gag",
+            PredictorKind::Local4Kb => "4KB-local",
+            PredictorKind::Tournament4Kb => "4KB-tourney",
+            PredictorKind::StaticTaken => "static-T",
+            PredictorKind::StaticNotTaken => "static-NT",
         }
     }
 
@@ -42,6 +137,17 @@ impl PredictorKind {
         match self {
             PredictorKind::Gshare4Kb => "gshare4kb",
             PredictorKind::Perceptron16Kb => "perceptron16kb",
+            PredictorKind::GshareLoop4Kb => "gshareloop4kb",
+            PredictorKind::Tage8Kb => "tage8kb",
+            PredictorKind::Gshare1Kb => "gshare1kb",
+            PredictorKind::Bimodal1Kb => "bimodal1kb",
+            PredictorKind::Bimodal4Kb => "bimodal4kb",
+            PredictorKind::GAg1Kb => "gag1kb",
+            PredictorKind::GAg4Kb => "gag4kb",
+            PredictorKind::Local4Kb => "local4kb",
+            PredictorKind::Tournament4Kb => "tournament4kb",
+            PredictorKind::StaticTaken => "statictaken",
+            PredictorKind::StaticNotTaken => "staticnottaken",
         }
     }
 
@@ -50,14 +156,37 @@ impl PredictorKind {
     /// This is also the wire decoding used by the ingestion daemon: a
     /// `Hello` frame names its predictor by [`id`](Self::id), and the server
     /// reconstructs the kind (and [`build`](Self::build)s a fresh predictor)
-    /// from that string.
+    /// from that string. Every named configuration is accepted everywhere a
+    /// kind is named, so the search spans [`SURVEY`](Self::SURVEY).
     pub fn from_id(id: &str) -> Option<Self> {
-        Self::ALL.into_iter().find(|k| k.id() == id)
+        Self::SURVEY.into_iter().find(|k| k.id() == id)
     }
 
     /// All valid [`id`](Self::id) strings, for CLI/protocol error messages.
     pub fn ids() -> impl Iterator<Item = &'static str> {
-        Self::ALL.into_iter().map(Self::id)
+        Self::SURVEY.into_iter().map(Self::id)
+    }
+}
+
+/// A computation generic over the concrete predictor type, dispatched by
+/// [`PredictorKind::host`]. The `run` body is compiled once per named
+/// configuration, so predictor calls inside it are static and inlinable.
+pub trait PredictorHost {
+    /// The host computation's result type.
+    type Out;
+
+    /// Runs the computation with a freshly built predictor.
+    fn run<P: BranchPredictor + 'static>(self, predictor: P) -> Self::Out;
+}
+
+/// The trivial host behind [`PredictorKind::build`]: boxes the predictor.
+struct BoxHost;
+
+impl PredictorHost for BoxHost {
+    type Out = Box<dyn BranchPredictor>;
+
+    fn run<P: BranchPredictor + 'static>(self, predictor: P) -> Self::Out {
+        Box::new(predictor)
     }
 }
 
@@ -75,30 +204,61 @@ mod tests {
 
     #[test]
     fn ids_roundtrip_and_are_distinct() {
-        for kind in PredictorKind::ALL {
+        for kind in PredictorKind::SURVEY {
             assert_eq!(PredictorKind::from_id(kind.id()), Some(kind));
         }
-        assert_ne!(
-            PredictorKind::Gshare4Kb.id(),
-            PredictorKind::Perceptron16Kb.id()
-        );
+        let mut ids: Vec<_> = PredictorKind::SURVEY.iter().map(|k| k.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), PredictorKind::SURVEY.len());
         assert_eq!(PredictorKind::from_id("nonexistent"), None);
     }
 
     #[test]
-    fn display_roundtrips_through_from_id() {
+    fn kind_sets_nest() {
         for kind in PredictorKind::ALL {
-            assert_eq!(PredictorKind::from_id(&kind.to_string()), Some(kind));
+            assert!(PredictorKind::EXTENDED.contains(&kind));
         }
-        assert_eq!(PredictorKind::ids().count(), PredictorKind::ALL.len());
+        for kind in PredictorKind::EXTENDED {
+            assert!(PredictorKind::SURVEY.contains(&kind));
+        }
+        assert_eq!(PredictorKind::ALL.len(), 2);
+        assert_eq!(PredictorKind::EXTENDED.len(), 4);
     }
 
     #[test]
-    fn builds_the_paper_configs() {
+    fn display_roundtrips_through_from_id() {
+        for kind in PredictorKind::SURVEY {
+            assert_eq!(PredictorKind::from_id(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(PredictorKind::ids().count(), PredictorKind::SURVEY.len());
+    }
+
+    #[test]
+    fn builds_every_named_config() {
         assert_eq!(PredictorKind::Gshare4Kb.build().name(), "gshare-4KB");
         assert_eq!(
             PredictorKind::Perceptron16Kb.build().name(),
             "perceptron-16KB"
         );
+        for kind in PredictorKind::SURVEY {
+            assert!(!kind.build().name().is_empty());
+        }
+    }
+
+    #[test]
+    fn survey_storage_budgets_match_their_names() {
+        let kb = |kind: PredictorKind| kind.build().storage_bits() as f64 / (1024.0 * 8.0);
+        assert_eq!(kb(PredictorKind::Gshare1Kb), 1.0);
+        assert_eq!(kb(PredictorKind::Bimodal1Kb), 1.0);
+        assert_eq!(kb(PredictorKind::Bimodal4Kb), 4.0);
+        assert_eq!(kb(PredictorKind::GAg1Kb), 1.0);
+        assert_eq!(kb(PredictorKind::GAg4Kb), 4.0);
+        assert_eq!(kb(PredictorKind::Local4Kb), 4.0);
+        assert_eq!(kb(PredictorKind::StaticTaken), 0.0);
+        // tournament inherits `Tournament::new_4kb`'s historical naming,
+        // which counts component tables generously; just pin its budget
+        let t = kb(PredictorKind::Tournament4Kb);
+        assert_eq!(t, 2.0, "tournament budget moved: {t}KB");
     }
 }

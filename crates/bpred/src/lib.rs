@@ -42,7 +42,7 @@ pub use bimodal::{Bimodal, StaticNotTaken, StaticTaken};
 pub use counter::TwoBitCounter;
 pub use gag::GAg;
 pub use gshare::Gshare;
-pub use kind::PredictorKind;
+pub use kind::{PredictorHost, PredictorKind};
 pub use local::LocalTwoLevel;
 pub use loop_pred::{GshareWithLoop, LoopPredictor};
 pub use perceptron::Perceptron;

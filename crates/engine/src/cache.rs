@@ -7,9 +7,11 @@
 //! magic    "2DPC"                      4 bytes
 //! version  u8                          currently 2
 //! spec     u64 LE content hash         integrity check against key collisions
-//! kind     u8                          0 = count, 1 = accuracy, 2 = 2D report
+//! kind     u8                          0 = count, 1 = accuracy, 2 = 2D report,
+//!                                      3 = recorded trace
 //! payload  varint / profile encoding   see bpred::AccuracyProfile::write_to,
-//!                                      twodprof_core::ProfileReport::write_to
+//!                                      twodprof_core::ProfileReport::write_to,
+//!                                      btrace::RecordedTrace::write_to
 //! checksum u64 LE FNV-1a of payload    catches bit flips structural decoding
 //!                                      would otherwise swallow
 //! ```
@@ -24,7 +26,7 @@
 
 use crate::{JobKind, JobSpec, CACHE_SCHEMA_VERSION};
 use bpred::AccuracyProfile;
-use btrace::{read_varint, write_varint};
+use btrace::{read_varint, write_varint, RecordedTrace};
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
@@ -46,6 +48,8 @@ pub enum JobOutput {
     Accuracy(Arc<AccuracyProfile>),
     /// Full 2D-profiling report.
     Report(Arc<ProfileReport>),
+    /// The recorded branch stream (record-once/simulate-many buffer).
+    Trace(Arc<RecordedTrace>),
 }
 
 impl JobOutput {
@@ -56,6 +60,7 @@ impl JobOutput {
             JobOutput::Count(n) => *n,
             JobOutput::Accuracy(p) => p.total_executions(),
             JobOutput::Report(r) => r.total_branches(),
+            JobOutput::Trace(t) => t.events(),
         }
     }
 
@@ -64,6 +69,7 @@ impl JobOutput {
             JobOutput::Count(_) => 0,
             JobOutput::Accuracy(_) => 1,
             JobOutput::Report(_) => 2,
+            JobOutput::Trace(_) => 3,
         }
     }
 
@@ -73,6 +79,7 @@ impl JobOutput {
             JobKind::BranchCount => 0,
             JobKind::Accuracy(_) => 1,
             JobKind::TwoD(_) => 2,
+            JobKind::Trace => 3,
         }
     }
 }
@@ -199,6 +206,7 @@ fn write_entry<W: Write>(w: &mut W, spec: &JobSpec, output: &JobOutput) -> io::R
         JobOutput::Count(n) => write_varint(&mut payload, *n)?,
         JobOutput::Accuracy(p) => p.write_to(&mut payload)?,
         JobOutput::Report(r) => r.write_to(&mut payload)?,
+        JobOutput::Trace(t) => t.write_to(&mut payload)?,
     }
     w.write_all(&payload)?;
     w.write_all(&fnv1a(&payload).to_le_bytes())
@@ -240,6 +248,7 @@ fn read_entry(bytes: &[u8], spec: &JobSpec) -> io::Result<JobOutput> {
     let output = match tag[0] {
         0 => JobOutput::Count(read_varint(&mut p)?),
         1 => JobOutput::Accuracy(Arc::new(AccuracyProfile::read_from(&mut p)?)),
+        3 => JobOutput::Trace(Arc::new(RecordedTrace::read_from(&mut p)?)),
         _ => JobOutput::Report(Arc::new(ProfileReport::read_from(&mut p)?)),
     };
     if !p.is_empty() {

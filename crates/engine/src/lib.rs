@@ -11,6 +11,15 @@
 //! failures: a panicking job is caught, recorded as
 //! [`JobStatus::Failed`] with its panic message, and never kills the sweep.
 //!
+//! Execution is trace-once/simulate-many: each (workload, input, scale)
+//! trio's branch stream is recorded exactly once into a columnar
+//! [`btrace::RecordedTrace`] (its own cacheable job), and every simulation
+//! of that trio replays the trace through a tight decode loop instead of
+//! re-executing the workload generator. Results pass through three cache
+//! tiers — an in-memory memo, the disk cache, then computation — each
+//! counted distinctly. Callers name work with the [`ProfileRequest`]
+//! builder, which resolves to a spec and a [`TraceRef`].
+//!
 //! ```
 //! use twodprof_engine::{Engine, EngineConfig, JobSpec};
 //! use workloads::Scale;
@@ -25,23 +34,26 @@
 //! ```
 
 mod cache;
+mod request;
 mod spec;
 
 pub use cache::{CacheLookup, DiskCache, JobOutput};
+pub use request::{ProfileMode, ProfileRequest, TraceRef};
 pub use spec::{scale_id, JobKind, JobSpec, CACHE_SCHEMA_VERSION};
 
-use bpred::{PredictorKind, PredictorSim};
-use btrace::CountingTracer;
+use bpred::{AccuracyProfile, BranchPredictor, PredictorHost, PredictorKind, PredictorSim};
+use btrace::{CountingTracer, RecordedTrace, SiteId, Tracer};
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
 use workloads::Scale;
 
 /// Engine configuration.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Worker threads for [`Engine::run_jobs`]; `0` means
     /// `std::thread::available_parallelism()`.
@@ -51,6 +63,22 @@ pub struct EngineConfig {
     pub cache_dir: Option<PathBuf>,
     /// Emit periodic progress lines on stderr during sweeps.
     pub progress: bool,
+    /// Record each (workload, input, scale) branch stream once and replay
+    /// it for every simulation (the default). `false` re-executes the
+    /// workload generator per job — the seed behavior, kept for the
+    /// `trace_replay` bench baseline and equivalence tests.
+    pub replay: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            jobs: 0,
+            cache_dir: None,
+            progress: false,
+            replay: true,
+        }
+    }
 }
 
 /// How a job's result was obtained (or lost).
@@ -92,12 +120,17 @@ impl JobResult {
 }
 
 /// Cumulative job-status counters (across every job the engine has run).
+///
+/// Cache tiers are counted distinctly: a job is exactly one of `memo`
+/// (in-memory hit), `cached` (disk hit), `computed`, or `failed`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineCounters {
     /// Jobs simulated by a worker.
     pub computed: u64,
     /// Jobs served from the disk cache.
     pub cached: u64,
+    /// Jobs served from the in-memory memo (no disk probe, no simulation).
+    pub memo: u64,
     /// Jobs that panicked.
     pub failed: u64,
     /// Corrupt cache entries recovered by recomputation (each such job is
@@ -105,12 +138,18 @@ pub struct EngineCounters {
     pub corrupt: u64,
     /// Dynamic branch events across computed jobs.
     pub events: u64,
+    /// Branch streams recorded from a live workload run (each one feeds
+    /// every simulation of its (workload, input, scale) trio).
+    pub traces_recorded: u64,
+    /// Simulations served by replaying a recorded trace instead of
+    /// re-executing the workload.
+    pub replays: u64,
 }
 
 impl EngineCounters {
     /// Total jobs accounted for.
     pub fn total(&self) -> u64 {
-        self.computed + self.cached + self.failed
+        self.computed + self.cached + self.memo + self.failed
     }
 }
 
@@ -121,7 +160,12 @@ pub struct Engine {
     jobs: usize,
     cache: Option<DiskCache>,
     progress: bool,
+    replay: bool,
     counters: Mutex<EngineCounters>,
+    /// In-memory read-through memo of every finished job, keyed by
+    /// [`JobSpec::content_hash`]. Outputs are `Arc`-backed, so a memo hit
+    /// costs a reference count.
+    memo: Mutex<HashMap<u64, JobOutput>>,
 }
 
 impl Engine {
@@ -143,7 +187,9 @@ impl Engine {
             jobs: config.jobs,
             cache,
             progress: config.progress,
+            replay: config.replay,
             counters: Mutex::new(EngineCounters::default()),
+            memo: Mutex::new(HashMap::new()),
         }
     }
 
@@ -166,11 +212,45 @@ impl Engine {
         *self.counters.lock().expect("counter lock")
     }
 
-    /// Runs one job on the calling thread: disk-cache lookup, then
-    /// fault-isolated execution, then write-back.
+    /// Runs one job on the calling thread: in-memory memo lookup, then
+    /// disk-cache lookup, then fault-isolated execution, then write-back.
+    /// Each tier is counted distinctly (memo hits never reach the disk
+    /// probe, so they can no longer inflate the miss counter).
     pub fn run_one(&self, spec: &JobSpec) -> JobResult {
         let start = Instant::now();
+        if let Some(hit) = self.probe(spec, start) {
+            return hit;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.execute(spec)));
+        self.settle(spec, outcome, start.elapsed())
+    }
+
+    /// The lookup tiers of [`run_one`](Self::run_one): the in-memory memo,
+    /// then the disk cache. Returns the cached result on a hit; on a miss
+    /// (or a corrupt disk entry) counts the outcome and returns `None`, and
+    /// the caller computes.
+    fn probe(&self, spec: &JobSpec, start: Instant) -> Option<JobResult> {
         twodprof_obs::counter!("engine_jobs_total", "Jobs the engine has run.").inc();
+        if let Some(output) = self
+            .memo
+            .lock()
+            .expect("memo lock")
+            .get(&spec.content_hash())
+            .cloned()
+        {
+            self.bump(|c| c.memo += 1);
+            twodprof_obs::counter!(
+                "engine_cache_memo_hits_total",
+                "Jobs served from the in-memory memo."
+            )
+            .inc();
+            return Some(JobResult {
+                spec: spec.clone(),
+                status: JobStatus::Cached,
+                output: Some(output),
+                duration: start.elapsed(),
+            });
+        }
         match self
             .cache
             .as_ref()
@@ -183,12 +263,13 @@ impl Engine {
                     "Jobs served from the disk cache."
                 )
                 .inc();
-                return JobResult {
+                self.memoize(spec, &output);
+                return Some(JobResult {
                     spec: spec.clone(),
                     status: JobStatus::Cached,
                     output: Some(output),
                     duration: start.elapsed(),
-                };
+                });
             }
             CacheLookup::Corrupt => {
                 self.bump(|c| c.corrupt += 1);
@@ -206,13 +287,26 @@ impl Engine {
                 if self.cache.is_some() {
                     twodprof_obs::counter!(
                         "engine_cache_misses_total",
-                        "Cache probes that found no entry."
+                        "Cache probes that found no entry in any tier."
                     )
                     .inc();
                 }
             }
         }
-        match catch_unwind(AssertUnwindSafe(|| self.execute(spec))) {
+        None
+    }
+
+    /// Records the outcome of a computed job — caching, memoizing, and
+    /// counting on success; isolating the panic as [`JobStatus::Failed`]
+    /// otherwise. The shared tail of [`run_one`](Self::run_one) and the
+    /// fused fan-out path.
+    fn settle(
+        &self,
+        spec: &JobSpec,
+        outcome: std::thread::Result<JobOutput>,
+        duration: Duration,
+    ) -> JobResult {
+        match outcome {
             Ok(output) => {
                 if let Some(cache) = &self.cache {
                     if let Err(e) = cache.store(spec, &output) {
@@ -222,11 +316,11 @@ impl Engine {
                         );
                     }
                 }
+                self.memoize(spec, &output);
                 self.bump(|c| {
                     c.computed += 1;
                     c.events += output.events();
                 });
-                let duration = start.elapsed();
                 twodprof_obs::counter!(
                     "engine_events_total",
                     "Dynamic branch events across computed jobs."
@@ -256,7 +350,7 @@ impl Engine {
                     spec: spec.clone(),
                     status: JobStatus::Failed(message),
                     output: None,
-                    duration: start.elapsed(),
+                    duration,
                 }
             }
         }
@@ -265,12 +359,94 @@ impl Engine {
     /// Runs a batch of jobs on the worker pool and returns results in spec
     /// order. Failures are isolated per job; the returned vector always has
     /// one entry per spec.
+    ///
+    /// In replay mode this is two-stage: stage one records the deduplicated
+    /// set of (workload, input, scale) traces the batch needs — each exactly
+    /// once — and stage two fans the simulations out against those traces.
+    /// Simulations that share a trace are *fused*: the worker decodes the
+    /// recorded stream once and feeds every simulation per event, so a
+    /// K-predictor sweep pays one generation and one decode per trace
+    /// instead of K of each. After the batch, recorded traces are dropped
+    /// from the in-memory memo (the disk cache keeps them) so sweep memory
+    /// stays bounded at Full scale.
     pub fn run_jobs(&self, specs: &[JobSpec]) -> Vec<JobResult> {
+        if !self.replay {
+            let units = (0..specs.len()).map(Unit::Single).collect();
+            return self.run_pool(specs, units);
+        }
+        // only jobs whose results aren't already memoized need a trace;
+        // without this filter a repeated sweep would re-record streams the
+        // post-sweep memo release dropped, violating record-exactly-once
+        let mut seen = HashSet::new();
+        let trace_specs: Vec<JobSpec> = specs
+            .iter()
+            .filter(|s| s.kind != JobKind::Trace && !self.memoized(s))
+            .map(|s| TraceRef::of_spec(s).spec())
+            .filter(|t| seen.insert(t.content_hash()))
+            .collect();
+        let trace_units = (0..trace_specs.len()).map(Unit::Single).collect();
+        self.run_pool(&trace_specs, trace_units);
+
+        // fuse the simulations of each trace into one work unit; counts
+        // (served from the trace header), trace jobs, and memoized results
+        // stay singles — their replay path is O(1)
+        let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut units: Vec<Unit> = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let fusible = matches!(spec.kind, JobKind::Accuracy(_) | JobKind::TwoD(_))
+                && !self.memoized(spec);
+            if fusible {
+                groups
+                    .entry(TraceRef::of_spec(spec).spec().content_hash())
+                    .or_default()
+                    .push(i);
+            } else {
+                units.push(Unit::Single(i));
+            }
+        }
+        units.extend(groups.into_values().map(Unit::Fused));
+        let results = self.run_pool(specs, units);
+        self.release_traces();
+        results
+    }
+
+    /// Retrieves (recording on demand, through every cache tier) the
+    /// recorded branch stream of one (workload, input, scale) trio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recording job fails — inside a sweep the panic is
+    /// caught by the enclosing job's fault isolation.
+    pub fn trace(&self, tref: &TraceRef) -> Arc<RecordedTrace> {
+        match self.run_one(&tref.spec()).output {
+            Some(JobOutput::Trace(trace)) => trace,
+            _ => panic!(
+                "trace recording failed for {}/{} @{}",
+                tref.workload,
+                tref.input,
+                scale_id(tref.scale)
+            ),
+        }
+    }
+
+    /// Drops recorded traces from the in-memory memo; the disk cache (when
+    /// attached) still holds them for later sweeps.
+    fn release_traces(&self) {
+        self.memo
+            .lock()
+            .expect("memo lock")
+            .retain(|_, output| !matches!(output, JobOutput::Trace(_)));
+    }
+
+    /// Runs `units` of work over `specs` on the worker pool and returns one
+    /// result per spec, in spec order. Every spec index must appear in
+    /// exactly one unit.
+    fn run_pool(&self, specs: &[JobSpec], units: Vec<Unit>) -> Vec<JobResult> {
         let total = specs.len();
         if total == 0 {
             return Vec::new();
         }
-        let workers = self.worker_count().min(total);
+        let workers = self.worker_count().min(units.len());
         let queue_depth = twodprof_obs::gauge!(
             "engine_queue_depth",
             "Jobs admitted to the worker pool but not yet finished."
@@ -283,27 +459,33 @@ impl Engine {
         let sweep_start = Instant::now();
         // progress cadence: ~10 lines per sweep, and always the final one
         let step = (total / 10).max(1);
+        let units = &units;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
+                    let u = next.fetch_add(1, Ordering::Relaxed);
+                    if u >= units.len() {
                         break;
                     }
-                    let result = self.run_one(&specs[i]);
-                    if matches!(result.status, JobStatus::Computed) {
-                        computed_events.fetch_add(result.events(), Ordering::Relaxed);
-                    }
-                    *slots[i].lock().expect("result slot") = Some(result);
-                    queue_depth.sub(1);
-                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    if self.progress && (finished.is_multiple_of(step) || finished == total) {
-                        self.print_progress(
-                            finished,
-                            total,
-                            computed_events.load(Ordering::Relaxed),
-                            sweep_start.elapsed(),
-                        );
+                    let produced: Vec<(usize, JobResult)> = match &units[u] {
+                        Unit::Single(i) => vec![(*i, self.run_one(&specs[*i]))],
+                        Unit::Fused(idxs) => self.run_group(specs, idxs),
+                    };
+                    for (i, result) in produced {
+                        if matches!(result.status, JobStatus::Computed) {
+                            computed_events.fetch_add(result.events(), Ordering::Relaxed);
+                        }
+                        *slots[i].lock().expect("result slot") = Some(result);
+                        queue_depth.sub(1);
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        if self.progress && (finished.is_multiple_of(step) || finished == total) {
+                            self.print_progress(
+                                finished,
+                                total,
+                                computed_events.load(Ordering::Relaxed),
+                                sweep_start.elapsed(),
+                            );
+                        }
                     }
                 });
             }
@@ -314,6 +496,77 @@ impl Engine {
                 slot.into_inner()
                     .expect("result slot")
                     .expect("worker filled every slot")
+            })
+            .collect()
+    }
+
+    /// Executes one fused group — simulation jobs that replay the same
+    /// recorded trace — by decoding the stream once and feeding every
+    /// simulation per event. Cache tiers are probed per job first, so a
+    /// disk-cached simulation is never recomputed; failures (an unknown
+    /// workload surfaces when the trace recording job panicked) fail the
+    /// whole group, the same jobs that would fail one at a time.
+    fn run_group(&self, specs: &[JobSpec], idxs: &[usize]) -> Vec<(usize, JobResult)> {
+        let start = Instant::now();
+        let mut out = Vec::with_capacity(idxs.len());
+        let mut pending: Vec<usize> = Vec::new();
+        for &i in idxs {
+            match self.probe(&specs[i], start) {
+                Some(hit) => out.push((i, hit)),
+                None => pending.push(i),
+            }
+        }
+        if pending.is_empty() {
+            return out;
+        }
+        match catch_unwind(AssertUnwindSafe(|| self.fan_out(specs, &pending))) {
+            Ok(outputs) => {
+                // the decode pass is shared; attribute an equal share of the
+                // group's wall time to each job it served
+                let share = start.elapsed() / pending.len() as u32;
+                for (&i, output) in pending.iter().zip(outputs) {
+                    out.push((i, self.settle(&specs[i], Ok(output), share)));
+                }
+            }
+            Err(payload) => {
+                let elapsed = start.elapsed();
+                for &i in &pending {
+                    // re-box the message so each job settles independently
+                    let msg: Box<dyn std::any::Any + Send> =
+                        Box::new(panic_message(payload.as_ref()));
+                    out.push((i, self.settle(&specs[i], Err(msg), elapsed)));
+                }
+            }
+        }
+        out
+    }
+
+    /// The fused replay loop: one [`RecordedTrace`] decode pass feeding one
+    /// type-erased simulation slot per pending job.
+    fn fan_out(&self, specs: &[JobSpec], pending: &[usize]) -> Vec<JobOutput> {
+        let trace = self.trace(&TraceRef::of_spec(&specs[pending[0]]));
+        let mut slots: Vec<Box<dyn SimSlot>> = pending
+            .iter()
+            .map(|&i| match specs[i].kind {
+                JobKind::Accuracy(kind) => kind.host(AccSlotHost {
+                    num_sites: trace.num_sites(),
+                }),
+                JobKind::TwoD(kind) => kind.host(TwoDSlotHost {
+                    num_sites: trace.num_sites(),
+                    events: trace.events(),
+                }),
+                _ => unreachable!("only simulation jobs are fused"),
+            })
+            .collect();
+        let mut fan = FanOut::new(&mut slots);
+        trace.replay_into(&mut fan);
+        fan.flush();
+        drop(fan);
+        slots
+            .into_iter()
+            .map(|slot| {
+                self.note_replay();
+                slot.finish()
             })
             .collect()
     }
@@ -331,15 +584,89 @@ impl Engine {
         f(&mut self.counters.lock().expect("counter lock"));
     }
 
+    /// Whether the memo already holds the spec's result.
+    fn memoized(&self, spec: &JobSpec) -> bool {
+        self.memo
+            .lock()
+            .expect("memo lock")
+            .contains_key(&spec.content_hash())
+    }
+
+    /// Inserts a finished job's output into the in-memory memo. Outputs are
+    /// `Arc`-backed, so this clones a reference count, not the payload.
+    fn memoize(&self, spec: &JobSpec, output: &JobOutput) {
+        self.memo
+            .lock()
+            .expect("memo lock")
+            .insert(spec.content_hash(), output.clone());
+    }
+
     /// Executes a spec on the calling thread. Panics (caught by
     /// [`run_one`](Self::run_one)) on unknown workloads or inputs — the
     /// same contract the experiment context had.
     fn execute(&self, spec: &JobSpec) -> JobOutput {
-        let workload = workloads::by_name(&spec.workload, spec.scale)
-            .unwrap_or_else(|| panic!("unknown workload {:?}", spec.workload));
-        let input = workload
-            .input_set(&spec.input)
-            .unwrap_or_else(|| panic!("{} lacks input {:?}", workload.name(), spec.input));
+        if spec.kind == JobKind::Trace {
+            return self.record(spec);
+        }
+        if self.replay {
+            self.execute_replay(spec)
+        } else {
+            self.execute_live(spec)
+        }
+    }
+
+    /// Records the branch stream of the spec's (workload, input, scale)
+    /// trio by running the workload once into a [`RecordedTrace`].
+    fn record(&self, spec: &JobSpec) -> JobOutput {
+        let (workload, input) = resolve(spec);
+        let mut trace = RecordedTrace::new(workload.sites().len());
+        workload.run(&input, &mut trace);
+        self.bump(|c| c.traces_recorded += 1);
+        twodprof_obs::counter!(
+            "trace_record_total",
+            "Branch streams recorded from live workload runs."
+        )
+        .inc();
+        JobOutput::Trace(Arc::new(trace))
+    }
+
+    /// Serves a simulation by replaying the trio's recorded trace instead
+    /// of re-executing the workload. The trace carries the site-table size
+    /// and the event count, so the slice configuration resolves without a
+    /// nested branch-count job — and because a workload's branch stream
+    /// cannot depend on which tracer observes it, replayed results are
+    /// byte-identical to live ones.
+    fn execute_replay(&self, spec: &JobSpec) -> JobOutput {
+        let trace = self.trace(&TraceRef::of_spec(spec));
+        match spec.kind {
+            JobKind::BranchCount => JobOutput::Count(trace.events()),
+            JobKind::Accuracy(kind) => {
+                let profile = kind.host(AccuracyReplay(&trace));
+                self.note_replay();
+                JobOutput::Accuracy(profile.into())
+            }
+            JobKind::TwoD(kind) => {
+                let report = kind.host(TwoDReplay(&trace));
+                self.note_replay();
+                JobOutput::Report(report.into())
+            }
+            JobKind::Trace => unreachable!("trace jobs record, never replay"),
+        }
+    }
+
+    fn note_replay(&self) {
+        self.bump(|c| c.replays += 1);
+        twodprof_obs::counter!(
+            "trace_replay_total",
+            "Simulations served by replaying a recorded trace."
+        )
+        .inc();
+    }
+
+    /// The seed execution path: re-run the workload generator per job.
+    /// Kept for the `trace_replay` bench baseline and equivalence tests.
+    fn execute_live(&self, spec: &JobSpec) -> JobOutput {
+        let (workload, input) = resolve(spec);
         match spec.kind {
             JobKind::BranchCount => {
                 let mut tracer = CountingTracer::new();
@@ -370,8 +697,20 @@ impl Engine {
                 workload.run(&input, &mut profiler);
                 JobOutput::Report(profiler.finish(Thresholds::paper()).into())
             }
+            JobKind::Trace => unreachable!("trace jobs are handled by record()"),
         }
     }
+}
+
+/// Resolves a spec's workload and input set from the registry, panicking
+/// (caught by job fault isolation) when either name is unknown.
+fn resolve(spec: &JobSpec) -> (Box<dyn workloads::Workload>, workloads::InputSet) {
+    let workload = workloads::by_name(&spec.workload, spec.scale)
+        .unwrap_or_else(|| panic!("unknown workload {:?}", spec.workload));
+    let input = workload
+        .input_set(&spec.input)
+        .unwrap_or_else(|| panic!("{} lacks input {:?}", workload.name(), spec.input));
+    (workload, input)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -381,6 +720,163 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_owned()
+    }
+}
+
+/// One schedulable piece of work in [`Engine::run_jobs`]: either a single
+/// spec (runs through [`Engine::run_one`]) or a fused group of simulation
+/// specs sharing one recorded trace (runs through [`Engine::run_group`]).
+/// Indices refer to the batch's spec slice.
+enum Unit {
+    Single(usize),
+    Fused(Vec<usize>),
+}
+
+/// Events per fused-replay chunk. Sized so the chunk buffer (8 bytes per
+/// event) stays within half an L1 data cache while still amortizing one
+/// virtual `run_chunk` call per simulation across thousands of events.
+const FAN_CHUNK: usize = 2048;
+
+/// A type-erased simulation being fed by the fused replay fan-out. Built
+/// through [`PredictorKind::host`], so the predictor inside is concrete:
+/// `run_chunk` is a monomorphic decode-free loop, entered through one
+/// virtual call per chunk rather than per event. Chunking also
+/// cache-blocks the fan-out — each simulation streams through a chunk with
+/// its own predictor tables hot instead of evicting them on every event as
+/// a per-event round-robin over all seated simulations would.
+trait SimSlot: Send {
+    fn run_chunk(&mut self, events: &[(SiteId, bool)]);
+    fn finish(self: Box<Self>) -> JobOutput;
+}
+
+struct AccSlot<P>(PredictorSim<P>);
+
+impl<P: BranchPredictor + 'static> SimSlot for AccSlot<P> {
+    fn run_chunk(&mut self, events: &[(SiteId, bool)]) {
+        for &(site, taken) in events {
+            Tracer::branch(&mut self.0, site, taken);
+        }
+    }
+    fn finish(self: Box<Self>) -> JobOutput {
+        JobOutput::Accuracy(self.0.into_profile().into())
+    }
+}
+
+struct TwoDSlot<P>(TwoDProfiler<P>);
+
+impl<P: BranchPredictor + 'static> SimSlot for TwoDSlot<P> {
+    fn run_chunk(&mut self, events: &[(SiteId, bool)]) {
+        for &(site, taken) in events {
+            Tracer::branch(&mut self.0, site, taken);
+        }
+    }
+    fn finish(self: Box<Self>) -> JobOutput {
+        JobOutput::Report(self.0.finish(Thresholds::paper()).into())
+    }
+}
+
+/// [`PredictorHost`] that seats an accuracy simulation in a fused-replay
+/// slot.
+struct AccSlotHost {
+    num_sites: usize,
+}
+
+impl PredictorHost for AccSlotHost {
+    type Out = Box<dyn SimSlot>;
+
+    fn run<P: BranchPredictor + 'static>(self, predictor: P) -> Self::Out {
+        Box::new(AccSlot(PredictorSim::new(self.num_sites, predictor)))
+    }
+}
+
+/// [`PredictorHost`] that seats a 2D-profiling simulation in a fused-replay
+/// slot.
+struct TwoDSlotHost {
+    num_sites: usize,
+    events: u64,
+}
+
+impl PredictorHost for TwoDSlotHost {
+    type Out = Box<dyn SimSlot>;
+
+    fn run<P: BranchPredictor + 'static>(self, predictor: P) -> Self::Out {
+        Box::new(TwoDSlot(TwoDProfiler::new(
+            self.num_sites,
+            predictor,
+            SliceConfig::auto(self.events),
+        )))
+    }
+}
+
+/// The fused decode target: buffers replayed events and hands each full
+/// chunk to every seated simulation in turn. The final partial chunk is
+/// delivered by [`FanOut::flush`], which the fused runner calls after the
+/// decode pass.
+struct FanOut<'a> {
+    slots: &'a mut [Box<dyn SimSlot>],
+    buf: Vec<(SiteId, bool)>,
+}
+
+impl<'a> FanOut<'a> {
+    fn new(slots: &'a mut [Box<dyn SimSlot>]) -> Self {
+        Self {
+            slots,
+            buf: Vec::with_capacity(FAN_CHUNK),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        for slot in self.slots.iter_mut() {
+            slot.run_chunk(&self.buf);
+        }
+        self.buf.clear();
+    }
+}
+
+impl Tracer for FanOut<'_> {
+    #[inline]
+    fn branch(&mut self, site: SiteId, taken: bool) {
+        self.buf.push((site, taken));
+        if self.buf.len() == FAN_CHUNK {
+            self.flush();
+        }
+    }
+}
+
+/// [`PredictorHost`] that replays a recorded trace through an accuracy
+/// simulation. Dispatching via [`PredictorKind::host`] monomorphizes the
+/// decode + simulate loop per concrete predictor — no virtual call per
+/// dynamic branch, unlike the live path where the workload generator only
+/// sees `&mut dyn Tracer`.
+struct AccuracyReplay<'a>(&'a RecordedTrace);
+
+impl PredictorHost for AccuracyReplay<'_> {
+    type Out = AccuracyProfile;
+
+    fn run<P: BranchPredictor + 'static>(self, predictor: P) -> Self::Out {
+        let mut sim = PredictorSim::new(self.0.num_sites(), predictor);
+        self.0.replay_into(&mut sim);
+        sim.into_profile()
+    }
+}
+
+/// [`PredictorHost`] twin of [`AccuracyReplay`] for 2D-profiling jobs.
+struct TwoDReplay<'a>(&'a RecordedTrace);
+
+impl PredictorHost for TwoDReplay<'_> {
+    type Out = twodprof_core::ProfileReport;
+
+    fn run<P: BranchPredictor + 'static>(self, predictor: P) -> Self::Out {
+        let mut profiler = TwoDProfiler::new(
+            self.0.num_sites(),
+            predictor,
+            SliceConfig::auto(self.0.events()),
+        );
+        self.0.replay_into(&mut profiler);
+        profiler.finish(Thresholds::paper())
     }
 }
 
@@ -456,11 +952,109 @@ mod tests {
             ..EngineConfig::default()
         });
         let spec = JobSpec::count("gzip", "train", Scale::Tiny);
-        engine.run_one(&spec);
-        engine.run_one(&spec); // no disk cache: both compute
+        engine.run_one(&spec); // computes the trace job, then the count job
+        engine.run_one(&spec); // served from the in-memory memo
         let c = engine.counters();
         assert_eq!(c.computed, 2);
+        assert_eq!(c.memo, 1);
         assert_eq!(c.cached, 0);
+        assert_eq!(c.traces_recorded, 1);
         assert!(c.events > 0);
+    }
+
+    #[test]
+    fn live_mode_counts_like_the_seed() {
+        let engine = Engine::new(EngineConfig {
+            jobs: 2,
+            replay: false,
+            ..EngineConfig::default()
+        });
+        let spec = JobSpec::count("gzip", "train", Scale::Tiny);
+        engine.run_one(&spec);
+        engine.run_one(&spec); // memoed, not recomputed
+        let c = engine.counters();
+        assert_eq!(c.computed, 1);
+        assert_eq!(c.memo, 1);
+        assert_eq!(c.traces_recorded, 0);
+        assert_eq!(c.replays, 0);
+    }
+
+    #[test]
+    fn run_jobs_records_each_trace_once_and_releases_memo() {
+        let engine = Engine::new(EngineConfig {
+            jobs: 2,
+            ..EngineConfig::default()
+        });
+        let specs = vec![
+            JobSpec::count("gzip", "train", Scale::Tiny),
+            JobSpec::accuracy("gzip", "train", Scale::Tiny, PredictorKind::Gshare4Kb),
+            JobSpec::accuracy("gzip", "train", Scale::Tiny, PredictorKind::Perceptron16Kb),
+            JobSpec::two_d("gzip", "train", Scale::Tiny, PredictorKind::Gshare4Kb),
+        ];
+        let results = engine.run_jobs(&specs);
+        assert!(results.iter().all(|r| r.status.is_success()));
+        let c = engine.counters();
+        assert_eq!(c.traces_recorded, 1, "one trio, one recording");
+        assert_eq!(c.replays, 3, "two accuracy sims plus one 2D profile");
+        // after the sweep the memo keeps results but not traces
+        let memo = engine.memo.lock().expect("memo lock");
+        assert!(!memo.is_empty());
+        assert!(memo
+            .values()
+            .all(|output| !matches!(output, JobOutput::Trace(_))));
+    }
+
+    #[test]
+    fn fused_fanout_matches_live_execution_for_every_survey_kind() {
+        let mut specs = vec![JobSpec::count("gzip", "train", Scale::Tiny)];
+        for kind in PredictorKind::SURVEY {
+            specs.push(JobSpec::accuracy("gzip", "train", Scale::Tiny, kind));
+            specs.push(JobSpec::two_d("gzip", "train", Scale::Tiny, kind));
+        }
+        let fused = Engine::new(EngineConfig {
+            jobs: 2,
+            ..EngineConfig::default()
+        });
+        let live = Engine::new(EngineConfig {
+            jobs: 2,
+            replay: false,
+            ..EngineConfig::default()
+        });
+        let a = fused.run_jobs(&specs);
+        let b = live.run_jobs(&specs);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.status.is_success() && y.status.is_success());
+            assert_eq!(
+                x.output,
+                y.output,
+                "{} diverged between fused replay and live",
+                x.spec.describe()
+            );
+        }
+        let c = fused.counters();
+        assert_eq!(c.traces_recorded, 1, "one shared trace for the batch");
+        assert_eq!(
+            c.replays as usize,
+            specs.len() - 1,
+            "every simulation was served from the fused replay"
+        );
+    }
+
+    #[test]
+    fn replay_results_match_live_execution() {
+        let replayed = Engine::new(EngineConfig::default());
+        let live = Engine::new(EngineConfig {
+            replay: false,
+            ..EngineConfig::default()
+        });
+        for spec in [
+            JobSpec::count("mcf", "train", Scale::Tiny),
+            JobSpec::accuracy("mcf", "train", Scale::Tiny, PredictorKind::Gshare4Kb),
+            JobSpec::two_d("mcf", "train", Scale::Tiny, PredictorKind::Perceptron16Kb),
+        ] {
+            let a = replayed.run_one(&spec).output.expect("replay output");
+            let b = live.run_one(&spec).output.expect("live output");
+            assert_eq!(a, b, "{} diverged between replay and live", spec.describe());
+        }
     }
 }

@@ -27,6 +27,10 @@ pub enum JobKind {
     /// A full 2D-profiling run under the given predictor, with the
     /// auto-scaled slice configuration and the paper's thresholds.
     TwoD(PredictorKind),
+    /// The recorded branch stream itself ([`btrace::RecordedTrace`]) —
+    /// predictor-independent, so one trace job feeds every simulation of
+    /// its (workload, input, scale) trio.
+    Trace,
 }
 
 impl JobKind {
@@ -36,6 +40,7 @@ impl JobKind {
             JobKind::BranchCount => "count".to_owned(),
             JobKind::Accuracy(k) => format!("acc-{}", k.id()),
             JobKind::TwoD(k) => format!("twod-{}", k.id()),
+            JobKind::Trace => "trace".to_owned(),
         }
     }
 }
@@ -95,6 +100,16 @@ impl JobSpec {
             input: input.to_owned(),
             scale,
             kind: JobKind::TwoD(kind),
+        }
+    }
+
+    /// A trace-recording job.
+    pub fn trace(workload: &str, input: &str, scale: Scale) -> Self {
+        Self {
+            workload: workload.to_owned(),
+            input: input.to_owned(),
+            scale,
+            kind: JobKind::Trace,
         }
     }
 

@@ -17,7 +17,7 @@ fn engine(jobs: usize, cache_dir: Option<PathBuf>) -> Engine {
     Engine::new(EngineConfig {
         jobs,
         cache_dir,
-        progress: false,
+        ..EngineConfig::default()
     })
 }
 
@@ -59,7 +59,12 @@ fn cache_round_trips_across_engines() {
     }
     let counters = warm.counters();
     assert_eq!(counters.computed, 0);
-    assert_eq!(counters.cached, specs.len() as u64);
+    // every sweep spec plus one recorded-trace job per (workload, input)
+    // trio comes back from the disk cache
+    let trios: std::collections::HashSet<_> =
+        specs.iter().map(|s| (&s.workload, &s.input)).collect();
+    assert_eq!(counters.cached, (specs.len() + trios.len()) as u64);
+    assert_eq!(counters.traces_recorded, 0, "warm engine records nothing");
     let _ = fs::remove_dir_all(&dir);
 }
 

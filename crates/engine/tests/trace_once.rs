@@ -1,0 +1,53 @@
+//! The tentpole guarantee of the trace subsystem: a full-grid sweep records
+//! each (workload, input, scale) branch stream exactly once, and serves
+//! every simulation of that trio by replay.
+
+use twodprof_engine::{full_grid, Engine, EngineConfig, JobKind, JobStatus};
+use workloads::Scale;
+
+/// One recording per unique (workload, input) trio — never more, never
+/// fewer — across the whole evaluation grid, asserted both through the
+/// engine's own counters and through the process-global observability
+/// registry. (Single test function: the obs counters are process-wide.)
+#[test]
+fn full_grid_records_each_trace_exactly_once() {
+    let engine = Engine::new(EngineConfig {
+        jobs: 4,
+        ..EngineConfig::default()
+    });
+    let specs = full_grid(Scale::Tiny);
+    let results = engine.run_jobs(&specs);
+    assert!(results.iter().all(|r| r.status.is_success()));
+
+    let expected_trios: u64 = workloads::suite(Scale::Tiny)
+        .iter()
+        .map(|w| w.input_sets().len() as u64)
+        .sum();
+    let c = engine.counters();
+    assert_eq!(
+        c.traces_recorded, expected_trios,
+        "each (workload, input) trio must be recorded exactly once"
+    );
+
+    // every accuracy and 2D job replayed instead of re-running the workload
+    let sims = specs
+        .iter()
+        .filter(|s| matches!(s.kind, JobKind::Accuracy(_) | JobKind::TwoD(_)))
+        .count() as u64;
+    assert_eq!(c.replays, sims);
+
+    // nothing was cached (no disk cache, fresh memo), so every grid spec
+    // computed exactly once and repeats hit the memo tier only
+    assert_eq!(c.computed, specs.len() as u64 + expected_trios);
+    assert_eq!(c.failed, 0);
+
+    // the process-global metric agrees with the engine-local counter
+    let snapshot = twodprof_obs::global().snapshot();
+    assert_eq!(snapshot.counter("trace_record_total"), Some(expected_trios));
+    assert_eq!(snapshot.counter("trace_replay_total"), Some(sims));
+
+    // a second identical sweep re-records nothing
+    let again = engine.run_jobs(&specs);
+    assert!(again.iter().all(|r| matches!(r.status, JobStatus::Cached)));
+    assert_eq!(engine.counters().traces_recorded, expected_trios);
+}

@@ -11,7 +11,7 @@
 //!   measure its contribution (design-choice ablation).
 
 use crate::tablefmt::pct;
-use crate::{Context, PredictorKind, Table};
+use crate::{Context, PredictorKind, ProfileRequest, Table};
 use bpred::Gshare;
 use twodprof_core::{MeanThreshold, Metrics, SliceConfig, Thresholds, TwoDProfiler};
 use workloads::EXTENDED_BENCHMARKS;
@@ -23,7 +23,7 @@ fn metrics_with(ctx: &mut Context, thresholds: Thresholds, slice_override: Optio
     for b in EXTENDED_BENCHMARKS {
         let w = ctx.workload(b);
         let input = w.input_set("train").expect("train exists");
-        let total = ctx.branch_count(&*w, &input);
+        let total = ctx.count(ProfileRequest::count(b));
         let config = match slice_override {
             Some(len) => SliceConfig::new(len, (len / 15_000).max(16).min(len - 1)),
             None => SliceConfig::auto(total),
@@ -31,7 +31,10 @@ fn metrics_with(ctx: &mut Context, thresholds: Thresholds, slice_override: Optio
         let mut prof = TwoDProfiler::new(w.sites().len(), Gshare::new_4kb(), config);
         w.run(&input, &mut prof);
         let report = prof.finish(thresholds);
-        let gt = ctx.ground_truth(&*w, &["ref"], PredictorKind::Gshare4Kb);
+        let gt = ctx.truth(
+            ProfileRequest::accuracy(b, PredictorKind::Gshare4Kb),
+            &["ref"],
+        );
         all.push(Metrics::score(&report.predicted_mask(), &gt));
     }
     Metrics::average(&all)
@@ -94,18 +97,16 @@ pub fn run_delta(ctx: &mut Context) -> Table {
         let mut frac_sum = 0.0;
         let mut frac_n = 0usize;
         for b in EXTENDED_BENCHMARKS {
-            let w = ctx.workload(b);
-            let train_input = w.input_set("train").expect("train exists");
-            let ref_input = w.input_set("ref").expect("ref exists");
-            let train = ctx.profile(&*w, &train_input, PredictorKind::Gshare4Kb);
-            let reference = ctx.profile(&*w, &ref_input, PredictorKind::Gshare4Kb);
+            let base = ProfileRequest::accuracy(b, PredictorKind::Gshare4Kb);
+            let train = ctx.accuracy(base.clone());
+            let reference = ctx.accuracy(base.input("ref"));
             let gt =
                 twodprof_core::GroundTruth::from_pair(&train, &reference, delta, ctx.min_exec());
             if let Some(f) = gt.static_fraction() {
                 frac_sum += f;
                 frac_n += 1;
             }
-            let report = ctx.profile_2d(&*w, PredictorKind::Gshare4Kb);
+            let report = ctx.two_d(ProfileRequest::two_d(b, PredictorKind::Gshare4Kb));
             all.push(Metrics::score(&report.predicted_mask(), &gt));
         }
         let m = Metrics::average(&all);
@@ -241,11 +242,9 @@ mod tests {
         // the dependent fraction must shrink monotonically as the delta
         // threshold tightens — a definition property, independent of scale
         let mut ctx = Context::new(Scale::Tiny);
-        let w = ctx.workload("gzip");
-        let train_input = w.input_set("train").unwrap();
-        let ref_input = w.input_set("ref").unwrap();
-        let train = ctx.profile(&*w, &train_input, PredictorKind::Gshare4Kb);
-        let reference = ctx.profile(&*w, &ref_input, PredictorKind::Gshare4Kb);
+        let base = ProfileRequest::accuracy("gzip", PredictorKind::Gshare4Kb);
+        let train = ctx.accuracy(base.clone());
+        let reference = ctx.accuracy(base.input("ref"));
         let count = |delta: f64| {
             twodprof_core::GroundTruth::from_pair(&train, &reference, delta, ctx.min_exec())
                 .dependent_count()

@@ -3,7 +3,7 @@
 //! accuracy-based profiler — quantifying what the cheaper profiler gives up.
 
 use crate::tablefmt::pct;
-use crate::{Context, PredictorKind, Table};
+use crate::{Context, PredictorKind, ProfileRequest, Table};
 use twodprof_core::{Bias2DProfiler, Metrics, SliceConfig, Thresholds};
 
 /// Per-benchmark metrics of the accuracy-based and bias-based profilers
@@ -11,10 +11,13 @@ use twodprof_core::{Bias2DProfiler, Metrics, SliceConfig, Thresholds};
 pub fn compute(ctx: &mut Context) -> Vec<(&'static str, Metrics, Metrics)> {
     let mut out = Vec::new();
     for w in ctx.suite() {
-        let gt = ctx.ground_truth(&*w, &["ref"], PredictorKind::Gshare4Kb);
-        let acc_report = ctx.profile_2d(&*w, PredictorKind::Gshare4Kb);
+        let gt = ctx.truth(
+            ProfileRequest::accuracy(w.name(), PredictorKind::Gshare4Kb),
+            &["ref"],
+        );
+        let acc_report = ctx.two_d(ProfileRequest::two_d(w.name(), PredictorKind::Gshare4Kb));
         let input = w.input_set("train").expect("train exists");
-        let total = ctx.branch_count(&*w, &input);
+        let total = ctx.count(ProfileRequest::count(w.name()));
         let mut bias = Bias2DProfiler::new(w.sites().len(), SliceConfig::auto(total));
         w.run(&input, &mut bias);
         let bias_report = bias.finish(Thresholds::paper());

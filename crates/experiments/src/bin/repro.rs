@@ -169,6 +169,7 @@ fn main() -> ExitCode {
         jobs: args.jobs,
         cache_dir: args.cache_dir.clone(),
         progress: true,
+        ..EngineConfig::default()
     });
     // worker count goes to stderr: every simulated table is byte-identical
     // across --jobs settings (only fig16's wall-clock figure carries noise)

@@ -1,31 +1,34 @@
-//! Shared experiment context: predictor configurations, profile caching and
-//! ground-truth construction.
+//! Shared experiment context: profile caching and ground-truth
+//! construction behind the [`ProfileRequest`] API.
 //!
 //! Since the sweep engine landed, the context no longer simulates anything
-//! itself: every run is expressed as a [`JobSpec`] and delegated to a
-//! [`twodprof_engine::Engine`]. The in-memory maps here are a read-through
-//! layer over the engine's (optional) disk cache, holding `Arc`s so repeated
-//! lookups share one allocation instead of cloning `O(sites)` payloads.
+//! itself: every run is named by a [`ProfileRequest`], resolved to a
+//! content-addressed [`JobSpec`], and delegated to a
+//! [`twodprof_engine::Engine`]. One in-memory map — keyed by the spec's
+//! content hash — is a read-through layer over the engine, holding `Arc`s
+//! so repeated lookups share one allocation instead of cloning `O(sites)`
+//! payloads.
 
 use bpred::AccuracyProfile;
 pub use bpred::PredictorKind;
 use std::collections::HashMap;
 use std::sync::Arc;
 use twodprof_core::{GroundTruth, ProfileReport, INPUT_DEPENDENCE_DELTA};
-use twodprof_engine::{Engine, EngineConfig, JobOutput, JobResult, JobSpec, JobStatus};
+use twodprof_engine::{
+    Engine, EngineConfig, JobOutput, JobResult, JobSpec, JobStatus, ProfileRequest,
+};
 use workloads::{InputSet, Scale, Workload};
 
 /// Shared state for all experiments: the workload scale, the
-/// input-dependence parameters, the sweep engine, and read-through caches
-/// of per-run results so each (workload, input, predictor) trio is
-/// simulated exactly once per process (and, with a disk cache, once ever).
+/// input-dependence parameters, the sweep engine, and a read-through cache
+/// of per-run results so each simulation is requested from the engine
+/// exactly once per context (and, with a disk cache, computed once ever).
 pub struct Context {
     scale: Scale,
     min_exec: u64,
     engine: Engine,
-    profiles: HashMap<(String, String, PredictorKind), Arc<AccuracyProfile>>,
-    counts: HashMap<(String, String), u64>,
-    reports: HashMap<(String, PredictorKind), Arc<ProfileReport>>,
+    /// Finished outputs keyed by [`JobSpec::content_hash`].
+    results: HashMap<u64, JobOutput>,
 }
 
 impl Context {
@@ -51,9 +54,7 @@ impl Context {
             scale,
             min_exec,
             engine,
-            profiles: HashMap::new(),
-            counts: HashMap::new(),
-            reports: HashMap::new(),
+            results: HashMap::new(),
         }
     }
 
@@ -87,7 +88,7 @@ impl Context {
     }
 
     /// Runs `specs` on the engine's worker pool and absorbs every
-    /// successful result into the in-memory maps, so later lookups are
+    /// successful result into the in-memory map, so later lookups are
     /// pure cache hits. Returns the per-job results (the `repro` binary
     /// reports their status counts).
     pub fn prewarm(&mut self, specs: &[JobSpec]) -> Vec<JobResult> {
@@ -99,31 +100,24 @@ impl Context {
     }
 
     fn absorb(&mut self, result: &JobResult) {
-        let spec = &result.spec;
-        match &result.output {
-            Some(JobOutput::Count(n)) => {
-                self.counts
-                    .insert((spec.workload.clone(), spec.input.clone()), *n);
+        if let Some(output) = &result.output {
+            // recorded traces stay in the engine's tiers; the context only
+            // caches simulation results
+            if !matches!(output, JobOutput::Trace(_)) {
+                self.results
+                    .insert(result.spec.content_hash(), output.clone());
             }
-            Some(JobOutput::Accuracy(profile)) => {
-                if let twodprof_engine::JobKind::Accuracy(kind) = spec.kind {
-                    self.profiles.insert(
-                        (spec.workload.clone(), spec.input.clone(), kind),
-                        Arc::clone(profile),
-                    );
-                }
-            }
-            Some(JobOutput::Report(report)) => {
-                if let twodprof_engine::JobKind::TwoD(kind) = spec.kind {
-                    // the context's 2D runs are always on `train`
-                    if spec.input == "train" {
-                        self.reports
-                            .insert((spec.workload.clone(), kind), Arc::clone(report));
-                    }
-                }
-            }
-            None => {}
         }
+    }
+
+    /// Resolves a request to its output through the read-through cache.
+    fn resolve(&mut self, spec: &JobSpec) -> JobOutput {
+        if let Some(output) = self.results.get(&spec.content_hash()) {
+            return output.clone();
+        }
+        let output = Self::expect_output(self.engine.run_one(spec));
+        self.results.insert(spec.content_hash(), output.clone());
+        output
     }
 
     /// Unwraps a single job result, panicking with the job's own message on
@@ -137,66 +131,57 @@ impl Context {
         }
     }
 
-    /// Total dynamic conditional branches of `(workload, input)`, cached.
-    pub fn branch_count(&mut self, w: &dyn Workload, input: &InputSet) -> u64 {
-        let key = (w.name().to_owned(), input.name.to_owned());
-        if let Some(&count) = self.counts.get(&key) {
-            return count;
-        }
-        let spec = JobSpec::count(w.name(), input.name, self.scale);
-        let count = match Self::expect_output(self.engine.run_one(&spec)) {
+    /// Total dynamic conditional branches of a [`ProfileRequest::count`]
+    /// request, cached.
+    pub fn count(&mut self, req: ProfileRequest) -> u64 {
+        let spec = req.to_spec(self.scale);
+        match self.resolve(&spec) {
             JobOutput::Count(n) => n,
-            other => unreachable!("count job returned {other:?}"),
-        };
-        self.counts.insert(key, count);
-        count
-    }
-
-    /// Per-branch accuracy profile of `(workload, input)` under `kind`,
-    /// cached across experiments. The `Arc` is shared with the cache — cache
-    /// hits cost a reference count, not an `O(sites)` clone.
-    pub fn profile(
-        &mut self,
-        w: &dyn Workload,
-        input: &InputSet,
-        kind: PredictorKind,
-    ) -> Arc<AccuracyProfile> {
-        let key = (w.name().to_owned(), input.name.to_owned(), kind);
-        if let Some(profile) = self.profiles.get(&key) {
-            return Arc::clone(profile);
+            other => unreachable!("{} returned {other:?}", spec.describe()),
         }
-        let spec = JobSpec::accuracy(w.name(), input.name, self.scale, kind);
-        let profile = match Self::expect_output(self.engine.run_one(&spec)) {
-            JobOutput::Accuracy(p) => p,
-            other => unreachable!("accuracy job returned {other:?}"),
-        };
-        self.profiles.insert(key, Arc::clone(&profile));
-        profile
     }
 
-    /// Ground truth for `workload` from the `train` input against each of
-    /// `others`, unioned (the paper's `base-ext1-k` sets), under `kind`.
+    /// Per-branch accuracy profile of a [`ProfileRequest::accuracy`]
+    /// request, cached across experiments. The `Arc` is shared with the
+    /// cache — hits cost a reference count, not an `O(sites)` clone.
+    pub fn accuracy(&mut self, req: ProfileRequest) -> Arc<AccuracyProfile> {
+        let spec = req.to_spec(self.scale);
+        match self.resolve(&spec) {
+            JobOutput::Accuracy(p) => p,
+            other => unreachable!("{} returned {other:?}", spec.describe()),
+        }
+    }
+
+    /// Full 2D-profiling report of a [`ProfileRequest::two_d`] request,
+    /// with an auto-scaled slice configuration and the paper's thresholds.
+    /// Cached like [`accuracy`](Self::accuracy).
+    pub fn two_d(&mut self, req: ProfileRequest) -> Arc<ProfileReport> {
+        let spec = req.to_spec(self.scale);
+        match self.resolve(&spec) {
+            JobOutput::Report(r) => r,
+            other => unreachable!("{} returned {other:?}", spec.describe()),
+        }
+    }
+
+    /// Ground truth from `base` (an accuracy request; its input is the
+    /// reference run, `train` by default) against each input named in
+    /// `others`, unioned — the paper's `base-ext1-k` sets.
     ///
     /// # Panics
     ///
-    /// Panics if the workload lacks a `train` input or any of the named
-    /// inputs.
-    pub fn ground_truth(
-        &mut self,
-        w: &dyn Workload,
-        others: &[&str],
-        kind: PredictorKind,
-    ) -> GroundTruth {
-        let train_input = w.input_set("train").expect("train input exists");
-        let train = self.profile(w, &train_input, kind);
+    /// Panics if `base` has no predictor, `others` is empty, or any named
+    /// input is unknown to the workload.
+    pub fn truth(&mut self, base: ProfileRequest, others: &[&str]) -> GroundTruth {
+        assert!(
+            base.predictor().is_some(),
+            "ground truth needs an accuracy request with a predictor"
+        );
+        let reference = self.accuracy(base.clone());
         let min_exec = self.min_exec;
         let mut acc: Option<GroundTruth> = None;
         for name in others {
-            let input = w
-                .input_set(name)
-                .unwrap_or_else(|| panic!("{} lacks input {name:?}", w.name()));
-            let other = self.profile(w, &input, kind);
-            let gt = GroundTruth::from_pair(&train, &other, INPUT_DEPENDENCE_DELTA, min_exec);
+            let other = self.accuracy(base.clone().input(name));
+            let gt = GroundTruth::from_pair(&reference, &other, INPUT_DEPENDENCE_DELTA, min_exec);
             acc = Some(match acc {
                 Some(prev) => prev.union(&gt),
                 None => gt,
@@ -214,21 +199,54 @@ impl Context {
             .collect()
     }
 
+    // --- deprecated positional API, kept as thin shims for one release ---
+
+    /// Total dynamic conditional branches of `(workload, input)`, cached.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Context::count(ProfileRequest::count(..))"
+    )]
+    pub fn branch_count(&mut self, w: &dyn Workload, input: &InputSet) -> u64 {
+        self.count(ProfileRequest::count(w.name()).input(input.name))
+    }
+
+    /// Per-branch accuracy profile of `(workload, input)` under `kind`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Context::accuracy(ProfileRequest::accuracy(..))"
+    )]
+    pub fn profile(
+        &mut self,
+        w: &dyn Workload,
+        input: &InputSet,
+        kind: PredictorKind,
+    ) -> Arc<AccuracyProfile> {
+        self.accuracy(ProfileRequest::accuracy(w.name(), kind).input(input.name))
+    }
+
+    /// Ground truth for `workload` from the `train` input against each of
+    /// `others`, unioned, under `kind`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Context::truth(ProfileRequest::accuracy(..), others)"
+    )]
+    pub fn ground_truth(
+        &mut self,
+        w: &dyn Workload,
+        others: &[&str],
+        kind: PredictorKind,
+    ) -> GroundTruth {
+        self.truth(ProfileRequest::accuracy(w.name(), kind), others)
+    }
+
     /// Runs 2D-profiling on the workload's `train` input with the given
-    /// profiling predictor, using an auto-scaled slice configuration and the
-    /// paper's thresholds. Cached like [`profile`](Self::profile).
+    /// profiling predictor.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Context::two_d(ProfileRequest::two_d(..))"
+    )]
     pub fn profile_2d(&mut self, w: &dyn Workload, kind: PredictorKind) -> Arc<ProfileReport> {
-        let key = (w.name().to_owned(), kind);
-        if let Some(report) = self.reports.get(&key) {
-            return Arc::clone(report);
-        }
-        let spec = JobSpec::two_d(w.name(), "train", self.scale, kind);
-        let report = match Self::expect_output(self.engine.run_one(&spec)) {
-            JobOutput::Report(r) => r,
-            other => unreachable!("2D job returned {other:?}"),
-        };
-        self.reports.insert(key, Arc::clone(&report));
-        report
+        self.two_d(ProfileRequest::two_d(w.name(), kind))
     }
 }
 
@@ -238,12 +256,11 @@ mod tests {
     use btrace::SiteId;
 
     #[test]
-    fn profile_cache_returns_identical_results() {
+    fn accuracy_cache_returns_identical_results() {
         let mut ctx = Context::new(Scale::Tiny);
-        let w = ctx.workload("eon");
-        let input = w.input_set("train").unwrap();
-        let a = ctx.profile(&*w, &input, PredictorKind::Gshare4Kb);
-        let b = ctx.profile(&*w, &input, PredictorKind::Gshare4Kb);
+        let req = ProfileRequest::accuracy("eon", PredictorKind::Gshare4Kb);
+        let a = ctx.accuracy(req.clone());
+        let b = ctx.accuracy(req);
         assert_eq!(a, b);
         assert!(a.total_executions() > 1_000);
         // the memory cache hands out the same allocation, not a copy
@@ -253,19 +270,17 @@ mod tests {
     #[test]
     fn branch_count_matches_profile_total() {
         let mut ctx = Context::new(Scale::Tiny);
-        let w = ctx.workload("parser");
-        let input = w.input_set("train").unwrap();
-        let count = ctx.branch_count(&*w, &input);
-        let profile = ctx.profile(&*w, &input, PredictorKind::Gshare4Kb);
+        let count = ctx.count(ProfileRequest::count("parser"));
+        let profile = ctx.accuracy(ProfileRequest::accuracy("parser", PredictorKind::Gshare4Kb));
         assert_eq!(count, profile.total_executions());
     }
 
     #[test]
     fn ground_truth_union_is_monotone() {
         let mut ctx = Context::new(Scale::Tiny);
-        let w = ctx.workload("gzip");
-        let base = ctx.ground_truth(&*w, &["ref"], PredictorKind::Gshare4Kb);
-        let wider = ctx.ground_truth(&*w, &["ref", "ext-1", "ext-2"], PredictorKind::Gshare4Kb);
+        let base_req = ProfileRequest::accuracy("gzip", PredictorKind::Gshare4Kb);
+        let base = ctx.truth(base_req.clone(), &["ref"]);
+        let wider = ctx.truth(base_req, &["ref", "ext-1", "ext-2"]);
         assert!(wider.dependent_count() >= base.dependent_count());
         for (site, label) in base.iter() {
             if label == twodprof_core::InputDependence::Dependent {
@@ -275,16 +290,16 @@ mod tests {
     }
 
     #[test]
-    fn profile_2d_covers_all_sites() {
+    fn two_d_covers_all_sites() {
         let mut ctx = Context::new(Scale::Tiny);
         let w = ctx.workload("gap");
-        let report = ctx.profile_2d(&*w, PredictorKind::Gshare4Kb);
+        let report = ctx.two_d(ProfileRequest::two_d("gap", PredictorKind::Gshare4Kb));
         assert_eq!(report.num_sites(), w.sites().len());
         assert!(report.program_accuracy().unwrap() > 0.5);
         // at least one site accumulated slices
         assert!((0..report.num_sites()).any(|i| report.stats(SiteId(i as u32)).slices > 10));
         // repeat lookups share the cached report
-        let again = ctx.profile_2d(&*w, PredictorKind::Gshare4Kb);
+        let again = ctx.two_d(ProfileRequest::two_d("gap", PredictorKind::Gshare4Kb));
         assert!(Arc::ptr_eq(&report, &again));
     }
 
@@ -300,11 +315,34 @@ mod tests {
         assert!(results.iter().all(|r| r.status.is_success()));
         // both lookups must now be memory hits: the engine sees no new jobs
         let before = ctx.engine().counters().total();
-        let w = ctx.workload("gzip");
-        let input = w.input_set("train").unwrap();
-        ctx.branch_count(&*w, &input);
-        ctx.profile(&*w, &input, PredictorKind::Gshare4Kb);
+        ctx.count(ProfileRequest::count("gzip"));
+        ctx.accuracy(ProfileRequest::accuracy("gzip", PredictorKind::Gshare4Kb));
         assert_eq!(ctx.engine().counters().total(), before);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_share_the_request_cache() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let w = ctx.workload("gzip");
+        let input = w.input_set("ref").unwrap();
+        let via_shim = ctx.profile(&*w, &input, PredictorKind::Gshare4Kb);
+        let via_request =
+            ctx.accuracy(ProfileRequest::accuracy("gzip", PredictorKind::Gshare4Kb).input("ref"));
+        assert!(Arc::ptr_eq(&via_shim, &via_request));
+        assert_eq!(
+            ctx.branch_count(&*w, &input),
+            ctx.count(ProfileRequest::count("gzip").input("ref"))
+        );
+        let shim_truth = ctx.ground_truth(&*w, &["ref"], PredictorKind::Gshare4Kb);
+        let req_truth = ctx.truth(
+            ProfileRequest::accuracy("gzip", PredictorKind::Gshare4Kb),
+            &["ref"],
+        );
+        assert_eq!(shim_truth.dependent_count(), req_truth.dependent_count());
+        let shim_2d = ctx.profile_2d(&*w, PredictorKind::Gshare4Kb);
+        let req_2d = ctx.two_d(ProfileRequest::two_d("gzip", PredictorKind::Gshare4Kb));
+        assert!(Arc::ptr_eq(&shim_2d, &req_2d));
     }
 
     #[test]

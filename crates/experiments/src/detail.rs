@@ -4,17 +4,20 @@
 //! side.
 
 use crate::tablefmt::pct;
-use crate::{Context, PredictorKind, Table};
+use crate::{Context, PredictorKind, ProfileRequest, Table};
 use twodprof_core::InputDependence;
 
 /// Renders the per-branch detail table for `workload`.
 pub fn run(ctx: &mut Context, workload: &str) -> Table {
     let w = ctx.workload(workload);
-    let report = ctx.profile_2d(&*w, PredictorKind::Gshare4Kb);
+    let report = ctx.two_d(ProfileRequest::two_d(workload, PredictorKind::Gshare4Kb));
     let exts = ctx.ext_inputs(&*w);
     let mut set = vec!["ref"];
     set.extend(&exts);
-    let gt = ctx.ground_truth(&*w, &set, PredictorKind::Gshare4Kb);
+    let gt = ctx.truth(
+        ProfileRequest::accuracy(workload, PredictorKind::Gshare4Kb),
+        &set,
+    );
     let mut t = Table::new(
         &format!("Per-branch detail: {workload} (train profile vs. max-input ground truth)"),
         &[

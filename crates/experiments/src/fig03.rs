@@ -2,7 +2,7 @@
 //! benchmark (train vs. ref, 4 KB gshare), sorted by dynamic fraction.
 
 use crate::tablefmt::pct;
-use crate::{Context, PredictorKind, Table};
+use crate::{Context, PredictorKind, ProfileRequest, Table};
 
 /// One benchmark's Figure 3 data point.
 #[derive(Clone, Debug)]
@@ -21,9 +21,9 @@ pub struct Fractions {
 pub fn compute(ctx: &mut Context) -> Vec<Fractions> {
     let mut rows = Vec::new();
     for w in ctx.suite() {
-        let gt = ctx.ground_truth(&*w, &["ref"], PredictorKind::Gshare4Kb);
-        let ref_input = w.input_set("ref").expect("ref input exists");
-        let ref_profile = ctx.profile(&*w, &ref_input, PredictorKind::Gshare4Kb);
+        let base = ProfileRequest::accuracy(w.name(), PredictorKind::Gshare4Kb);
+        let gt = ctx.truth(base.clone(), &["ref"]);
+        let ref_profile = ctx.accuracy(base.input("ref"));
         rows.push(Fractions {
             name: w.name(),
             dynamic: gt.dynamic_fraction(&ref_profile),

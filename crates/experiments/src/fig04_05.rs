@@ -5,7 +5,7 @@
 //! each bin, what fraction of the branches in it are input-dependent.
 
 use crate::tablefmt::pct;
-use crate::{accuracy_bin, Context, PredictorKind, Table, ACCURACY_BIN_LABELS};
+use crate::{accuracy_bin, Context, PredictorKind, ProfileRequest, Table, ACCURACY_BIN_LABELS};
 use twodprof_core::InputDependence;
 
 /// Per-benchmark bin counts: `(dependent per bin, total observed per bin)`.
@@ -24,9 +24,9 @@ pub struct BinCounts {
 pub fn compute(ctx: &mut Context) -> Vec<BinCounts> {
     let mut out = Vec::new();
     for w in ctx.suite() {
-        let gt = ctx.ground_truth(&*w, &["ref"], PredictorKind::Gshare4Kb);
-        let ref_input = w.input_set("ref").expect("ref input exists");
-        let profile = ctx.profile(&*w, &ref_input, PredictorKind::Gshare4Kb);
+        let base = ProfileRequest::accuracy(w.name(), PredictorKind::Gshare4Kb);
+        let gt = ctx.truth(base.clone(), &["ref"]);
+        let profile = ctx.accuracy(base.input("ref"));
         let mut counts = BinCounts {
             name: w.name(),
             ..Default::default()

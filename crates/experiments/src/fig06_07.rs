@@ -8,7 +8,7 @@
 //! level-indexed `config_table`.
 
 use crate::tablefmt::pct;
-use crate::{Context, PredictorKind, Table};
+use crate::{Context, PredictorKind, ProfileRequest, Table};
 use btrace::SiteId;
 
 fn site_named(w: &dyn workloads::Workload, name: &str) -> SiteId {
@@ -39,7 +39,9 @@ pub fn measure(ctx: &mut Context, workload: &str, site_name: &str) -> Vec<Exampl
     let site = site_named(&*w, site_name);
     let mut out = Vec::new();
     for input in w.input_sets() {
-        let profile = ctx.profile(&*w, &input, PredictorKind::Gshare4Kb);
+        let profile = ctx.accuracy(
+            ProfileRequest::accuracy(workload, PredictorKind::Gshare4Kb).input(input.name),
+        );
         if profile.executions(site) == 0 {
             continue;
         }

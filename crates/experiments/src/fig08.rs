@@ -1,7 +1,7 @@
 //! Figure 8: time-varying slice accuracy of an input-dependent branch vs. an
 //! input-independent branch (the paper plots two gap branches).
 
-use crate::{Context, PredictorKind, Table};
+use crate::{Context, PredictorKind, ProfileRequest, Table};
 use btrace::SiteId;
 use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
 
@@ -30,7 +30,7 @@ pub struct SeriesPair {
 pub fn compute(ctx: &mut Context, workload: &str) -> SeriesPair {
     let w = ctx.workload(workload);
     let input = w.input_set("train").expect("train exists");
-    let total = ctx.branch_count(&*w, &input);
+    let total = ctx.count(ProfileRequest::count(workload));
     let config = SliceConfig::auto(total);
     let mut prof =
         TwoDProfiler::with_series(w.sites().len(), PredictorKind::Gshare4Kb.build(), config);

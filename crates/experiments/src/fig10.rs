@@ -2,15 +2,18 @@
 //! (train profiling run scored against train-vs-ref ground truth).
 
 use crate::tablefmt::pct;
-use crate::{Context, PredictorKind, Table};
+use crate::{Context, PredictorKind, ProfileRequest, Table};
 use twodprof_core::Metrics;
 
 /// Per-benchmark Figure 10 metrics.
 pub fn compute(ctx: &mut Context) -> Vec<(&'static str, Metrics)> {
     let mut out = Vec::new();
     for w in ctx.suite() {
-        let gt = ctx.ground_truth(&*w, &["ref"], PredictorKind::Gshare4Kb);
-        let report = ctx.profile_2d(&*w, PredictorKind::Gshare4Kb);
+        let gt = ctx.truth(
+            ProfileRequest::accuracy(w.name(), PredictorKind::Gshare4Kb),
+            &["ref"],
+        );
+        let report = ctx.two_d(ProfileRequest::two_d(w.name(), PredictorKind::Gshare4Kb));
         let metrics = Metrics::score(&report.predicted_mask(), &gt);
         out.push((w.name(), metrics));
     }

@@ -3,7 +3,7 @@
 //! Figure 14 under the 16 KB perceptron target.
 
 use crate::tablefmt::pct;
-use crate::{Context, PredictorKind, Table};
+use crate::{Context, PredictorKind, ProfileRequest, Table};
 use workloads::EXTENDED_BENCHMARKS;
 
 /// The cumulative comparison-set names for a benchmark: `base` is
@@ -22,10 +22,10 @@ pub fn cumulative_sets(ctx: &Context, workload: &str) -> Vec<Vec<&'static str>> 
 
 /// Static input-dependent fraction for each cumulative set of one benchmark.
 pub fn growth(ctx: &mut Context, workload: &str, kind: PredictorKind) -> Vec<Option<f64>> {
-    let w = ctx.workload(workload);
+    let base = ProfileRequest::accuracy(workload, kind);
     cumulative_sets(ctx, workload)
         .iter()
-        .map(|set| ctx.ground_truth(&*w, set, kind).static_fraction())
+        .map(|set| ctx.truth(base.clone(), set).static_fraction())
         .collect()
 }
 
@@ -39,6 +39,7 @@ pub fn run(ctx: &mut Context, kind: PredictorKind) -> Table {
         PredictorKind::Perceptron16Kb => {
             "Figure 14: input-dependent fraction growth with more input sets (perceptron target)"
         }
+        other => panic!("no figure is defined for the {other} target"),
     };
     let max_sets = 1 + EXTENDED_BENCHMARKS
         .iter()

@@ -4,19 +4,19 @@
 
 use crate::fig11_14::cumulative_sets;
 use crate::tablefmt::pct;
-use crate::{Context, PredictorKind, Table};
+use crate::{Context, PredictorKind, ProfileRequest, Table};
 use twodprof_core::Metrics;
 use workloads::EXTENDED_BENCHMARKS;
 
 /// Metrics of one benchmark for every cumulative ground-truth set, under
 /// `target` ground truth, profiling with the 4 KB gshare on train.
 pub fn metrics_growth(ctx: &mut Context, workload: &str, target: PredictorKind) -> Vec<Metrics> {
-    let w = ctx.workload(workload);
-    let report = ctx.profile_2d(&*w, PredictorKind::Gshare4Kb);
+    let report = ctx.two_d(ProfileRequest::two_d(workload, PredictorKind::Gshare4Kb));
     let mask = report.predicted_mask();
+    let base = ProfileRequest::accuracy(workload, target);
     cumulative_sets(ctx, workload)
         .iter()
-        .map(|set| Metrics::score(&mask, &ctx.ground_truth(&*w, set, target)))
+        .map(|set| Metrics::score(&mask, &ctx.truth(base.clone(), set)))
         .collect()
 }
 

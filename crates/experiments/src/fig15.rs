@@ -5,7 +5,7 @@
 
 use crate::fig11_14::cumulative_sets;
 use crate::tablefmt::pct;
-use crate::{Context, PredictorKind, Table};
+use crate::{Context, PredictorKind, ProfileRequest, Table};
 use twodprof_core::Metrics;
 use workloads::EXTENDED_BENCHMARKS;
 
@@ -13,11 +13,13 @@ use workloads::EXTENDED_BENCHMARKS;
 pub fn compute(ctx: &mut Context) -> Vec<(&'static str, Metrics)> {
     let mut out = Vec::new();
     for b in EXTENDED_BENCHMARKS {
-        let w = ctx.workload(b);
-        let report = ctx.profile_2d(&*w, PredictorKind::Gshare4Kb);
+        let report = ctx.two_d(ProfileRequest::two_d(b, PredictorKind::Gshare4Kb));
         let sets = cumulative_sets(ctx, b);
         let max_set = sets.last().expect("at least base");
-        let gt = ctx.ground_truth(&*w, max_set, PredictorKind::Perceptron16Kb);
+        let gt = ctx.truth(
+            ProfileRequest::accuracy(b, PredictorKind::Perceptron16Kb),
+            max_set,
+        );
         out.push((*b, Metrics::score(&report.predicted_mask(), &gt)));
     }
     out

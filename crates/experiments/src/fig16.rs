@@ -14,7 +14,7 @@
 //! [`PredictorSim`]: bpred::PredictorSim
 //! [`TwoDProfiler`]: twodprof_core::TwoDProfiler
 
-use crate::{Context, Table};
+use crate::{Context, ProfileRequest, Table};
 use bpred::{Gshare, PredictorSim};
 use btrace::{CountingTracer, EdgeProfiler, NullTracer};
 use std::time::Instant;
@@ -31,7 +31,7 @@ pub const MODES: &[&str] = &["Binary", "Pin-base", "Edge", "Gshare", "2D+Gshare"
 pub fn measure(ctx: &mut Context, workload: &str, repeats: u32) -> [f64; 5] {
     let w = ctx.workload(workload);
     let input = w.input_set("train").expect("train exists");
-    let total = ctx.branch_count(&*w, &input);
+    let total = ctx.count(ProfileRequest::count(workload));
     let config = SliceConfig::auto(total);
     let num_sites = w.sites().len();
     let time = |f: &mut dyn FnMut()| -> f64 {

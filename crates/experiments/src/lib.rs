@@ -50,6 +50,7 @@ pub mod tablefmt;
 
 pub use context::{Context, PredictorKind};
 pub use tablefmt::Table;
+pub use twodprof_engine::{ProfileMode, ProfileRequest};
 
 /// Accuracy-bin boundaries used by Figures 4 and 5 (prediction accuracy in
 /// percent; bins are `[0,70) [70,80) [80,90) [90,95) [95,99) [99,100]`).

@@ -7,31 +7,27 @@
 //! of input-dependent branches each target defines. The paper's observation
 //! — better predictors define fewer input-dependent branches — generalizes
 //! or breaks per predictor family, which this table makes visible.
+//!
+//! Every target is a named [`PredictorKind`] from
+//! [`PredictorKind::EXTENDED`], so the runs go through the engine's trace
+//! cache like any other accuracy request (one recorded trace per input,
+//! four predictor replays), instead of the bespoke uncached simulations
+//! this module used to spin up.
 
 use crate::tablefmt::pct;
-use crate::{Context, Table};
-use bpred::{BranchPredictor, Gshare, GshareWithLoop, Perceptron, PredictorSim, Tage};
+use crate::{Context, PredictorKind, ProfileRequest, Table};
 use twodprof_core::{GroundTruth, INPUT_DEPENDENCE_DELTA};
 
-fn build(kind: &str) -> Box<dyn BranchPredictor> {
-    match kind {
-        "gshare" => Box::new(Gshare::new_4kb()),
-        "perceptron" => Box::new(Perceptron::new_16kb()),
-        "tage" => Box::new(Tage::new_8kb()),
-        _ => Box::new(GshareWithLoop::new_4kb()),
-    }
-}
-
-/// The predictor families compared.
-pub const TARGETS: &[&str] = &["gshare", "gshare+loop", "perceptron", "tage"];
+/// The predictor families compared: every named configuration in `bpred`.
+pub const TARGETS: &[PredictorKind] = &PredictorKind::EXTENDED;
 
 /// Renders the comparison: per workload and target, ref misprediction rate
 /// and train-vs-ref input-dependent count.
 pub fn run(ctx: &mut Context) -> Table {
     let mut header = vec!["benchmark".to_owned()];
     for t in TARGETS {
-        header.push(format!("misp({t})"));
-        header.push(format!("dep({t})"));
+        header.push(format!("misp({})", t.label()));
+        header.push(format!("dep({})", t.label()));
     }
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(
@@ -39,18 +35,11 @@ pub fn run(ctx: &mut Context) -> Table {
         &header_refs,
     );
     for w in ctx.suite() {
-        let train_input = w.input_set("train").expect("train exists");
-        let ref_input = w.input_set("ref").expect("ref exists");
         let mut row = vec![w.name().to_owned()];
-        for target in TARGETS {
-            // run both inputs under this predictor (uncached: the context
-            // cache only knows the two paper predictors)
-            let mut train_sim = PredictorSim::new(w.sites().len(), build(target));
-            w.run(&train_input, &mut train_sim);
-            let train = train_sim.into_profile();
-            let mut ref_sim = PredictorSim::new(w.sites().len(), build(target));
-            w.run(&ref_input, &mut ref_sim);
-            let reference = ref_sim.into_profile();
+        for &target in TARGETS {
+            let base = ProfileRequest::accuracy(w.name(), target);
+            let train = ctx.accuracy(base.clone());
+            let reference = ctx.accuracy(base.input("ref"));
             let gt =
                 GroundTruth::from_pair(&train, &reference, INPUT_DEPENDENCE_DELTA, ctx.min_exec());
             row.push(pct(reference.overall_misprediction_rate()));
@@ -73,7 +62,8 @@ mod tests {
         assert_eq!(t.len(), 12);
         let rendered = t.render();
         for target in TARGETS {
-            assert!(rendered.contains(&format!("misp({target})")));
+            assert!(rendered.contains(&format!("misp({})", target.label())));
         }
+        assert_eq!(TARGETS.len(), 4, "all named configurations are compared");
     }
 }

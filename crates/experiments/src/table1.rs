@@ -2,7 +2,7 @@
 //! (train and ref, 4 KB gshare).
 
 use crate::tablefmt::pct;
-use crate::{Context, PredictorKind, Table};
+use crate::{Context, PredictorKind, ProfileRequest, Table};
 
 /// Renders Table 1.
 pub fn run(ctx: &mut Context) -> Table {
@@ -13,8 +13,9 @@ pub fn run(ctx: &mut Context) -> Table {
     for w in ctx.suite() {
         let mut cells = vec![w.name().to_owned()];
         for input_name in ["train", "ref"] {
-            let input = w.input_set(input_name).expect("train/ref exist");
-            let p = ctx.profile(&*w, &input, PredictorKind::Gshare4Kb);
+            let p = ctx.accuracy(
+                ProfileRequest::accuracy(w.name(), PredictorKind::Gshare4Kb).input(input_name),
+            );
             cells.push(pct(p.overall_misprediction_rate()));
         }
         t.row(cells);
@@ -27,14 +28,13 @@ pub fn compute(ctx: &mut Context) -> Vec<(&'static str, f64, f64)> {
     ctx.suite()
         .iter()
         .map(|w| {
-            let train = w.input_set("train").expect("train exists");
-            let reference = w.input_set("ref").expect("ref exists");
+            let base = ProfileRequest::accuracy(w.name(), PredictorKind::Gshare4Kb);
             let tp = ctx
-                .profile(&**w, &train, PredictorKind::Gshare4Kb)
+                .accuracy(base.clone())
                 .overall_misprediction_rate()
                 .expect("non-empty run");
             let rp = ctx
-                .profile(&**w, &reference, PredictorKind::Gshare4Kb)
+                .accuracy(base.input("ref"))
                 .overall_misprediction_rate()
                 .expect("non-empty run");
             (w.name(), tp, rp)

@@ -3,7 +3,7 @@
 //! conditional-branch counts (input-dependent / total).
 
 use crate::tablefmt::count;
-use crate::{Context, PredictorKind, Table};
+use crate::{Context, PredictorKind, ProfileRequest, Table};
 
 /// Renders Table 2. Instruction counts are modeled as
 /// `branches x instructions_per_branch` (see `DESIGN.md`: the profiling
@@ -23,10 +23,11 @@ pub fn run(ctx: &mut Context) -> Table {
         ],
     );
     for w in ctx.suite() {
-        let gt = ctx.ground_truth(&*w, &["ref"], PredictorKind::Gshare4Kb);
+        let base = ProfileRequest::accuracy(w.name(), PredictorKind::Gshare4Kb);
+        let gt = ctx.truth(base.clone(), &["ref"]);
         for input in w.input_sets().iter().take(2) {
-            let branches = ctx.branch_count(&*w, input);
-            let profile = ctx.profile(&*w, input, PredictorKind::Gshare4Kb);
+            let branches = ctx.count(ProfileRequest::count(w.name()).input(input.name));
+            let profile = ctx.accuracy(base.clone().input(input.name));
             let executed = profile.iter_executed().count();
             t.row(vec![
                 w.name().to_owned(),

@@ -4,7 +4,7 @@
 //! with respect to the train input.
 
 use crate::tablefmt::{count, pct};
-use crate::{Context, PredictorKind, Table};
+use crate::{Context, PredictorKind, ProfileRequest, Table};
 use workloads::EXTENDED_BENCHMARKS;
 
 /// Renders Table 4.
@@ -28,14 +28,23 @@ pub fn run(ctx: &mut Context) -> Table {
             if !input.name.starts_with("ext-") {
                 continue;
             }
-            let branches = ctx.branch_count(&*w, &input);
-            let gsh = ctx.profile(&*w, &input, PredictorKind::Gshare4Kb);
-            let per = ctx.profile(&*w, &input, PredictorKind::Perceptron16Kb);
+            let branches = ctx.count(ProfileRequest::count(b).input(input.name));
+            let gsh = ctx
+                .accuracy(ProfileRequest::accuracy(b, PredictorKind::Gshare4Kb).input(input.name));
+            let per = ctx.accuracy(
+                ProfileRequest::accuracy(b, PredictorKind::Perceptron16Kb).input(input.name),
+            );
             let dep_g = ctx
-                .ground_truth(&*w, &[input.name], PredictorKind::Gshare4Kb)
+                .truth(
+                    ProfileRequest::accuracy(b, PredictorKind::Gshare4Kb),
+                    &[input.name],
+                )
                 .dependent_count();
             let dep_p = ctx
-                .ground_truth(&*w, &[input.name], PredictorKind::Perceptron16Kb)
+                .truth(
+                    ProfileRequest::accuracy(b, PredictorKind::Perceptron16Kb),
+                    &[input.name],
+                )
                 .dependent_count();
             t.row(vec![
                 w.name().to_owned(),

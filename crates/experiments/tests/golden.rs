@@ -15,7 +15,7 @@
 //! can upload them as artifacts for offline comparison.
 
 use bpred::PredictorKind;
-use experiments::Context;
+use experiments::{Context, ProfileRequest};
 use std::fs;
 use std::path::{Path, PathBuf};
 use workloads::Scale;
@@ -46,7 +46,9 @@ fn reports_match_golden_files() {
     for workload in ctx.suite() {
         for kind in PredictorKind::ALL {
             let name = format!("{}__{}.bin", workload.name(), kind.id());
-            let actual = ctx.profile_2d(&*workload, kind).to_bytes();
+            let actual = ctx
+                .two_d(ProfileRequest::two_d(workload.name(), kind))
+                .to_bytes();
             let path = golden.join(&name);
             if update {
                 fs::write(&path, &actual).expect("write golden file");

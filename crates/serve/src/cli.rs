@@ -75,6 +75,7 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
                 )?);
             }
             "--quiet" => config.quiet = true,
+            "--no-record" => config.record_sessions = false,
             "--stats-interval" => {
                 let secs: f64 = numeric("--stats-interval", value("--stats-interval")?)?;
                 if !(secs > 0.0 && secs.is_finite()) {
@@ -87,10 +88,12 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
                     "usage: twodprofd [--addr HOST:PORT] [--addr-file PATH]\n\
                      \x20               [--max-sessions N] [--max-events N]\n\
                      \x20               [--idle-timeout-ms N] [--drain-timeout-ms N] [--quiet]\n\
-                     \x20               [--stats-interval SECS]\n\
+                     \x20               [--stats-interval SECS] [--no-record]\n\
                      default address {DEFAULT_ADDR}; port 0 binds an ephemeral port\n\
                      --addr-file writes the bound address to PATH once listening\n\
                      --stats-interval prints a stderr stats line every SECS seconds\n\
+                     --no-record disables session trace recording (Resim frames\n\
+                     then fail with BAD_STATE, at ~1 byte/event less memory)\n\
                      SIGINT/SIGTERM shut down gracefully, finishing in-flight sessions"
                 ));
             }

@@ -190,6 +190,26 @@ impl RemoteSession {
         }
     }
 
+    /// Re-simulates everything streamed so far under a different predictor,
+    /// server-side, without re-sending a single event. The daemon replays
+    /// its recorded copy of the session's branch stream through a fresh
+    /// profiler; the session stays open for more events, further
+    /// re-simulations, or [`finish`](Self::finish).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`codes::BAD_STATE`](crate::wire::codes)
+    /// if the daemon runs with recording disabled (`--no-record`), plus
+    /// transport and protocol errors.
+    pub fn resimulate(&mut self, predictor: PredictorKind) -> Result<RemoteReport, ClientError> {
+        ClientFrame::Resim(predictor).write_to(&mut self.writer)?;
+        self.writer.flush()?;
+        match self.read_reply()? {
+            ServerFrame::Report(bytes) => RemoteReport::parse(bytes),
+            other => Err(unexpected("Report", &other)),
+        }
+    }
+
     /// Ends the session and returns the daemon's profile report.
     ///
     /// # Errors

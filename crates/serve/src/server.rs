@@ -26,7 +26,7 @@
 
 use crate::wire::{codes, ClientFrame, Hello, ServerFrame, MAX_SITES, PROTOCOL_VERSION};
 use bpred::BranchPredictor;
-use btrace::{SiteId, Tracer};
+use btrace::{RecordedTrace, SiteId, Tracer};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -56,6 +56,11 @@ pub struct ServerConfig {
     /// Emit a one-line stats summary (sessions, events, events/sec) on
     /// stderr at this cadence; `None` disables it.
     pub stats_interval: Option<Duration>,
+    /// Keep a columnar [`RecordedTrace`] of each session's branch stream so
+    /// clients can [`Resim`](ClientFrame::Resim) it under other predictors
+    /// without re-streaming. Costs ~1.1 bytes per dynamic branch of daemon
+    /// memory per open session; disable for ingest-only deployments.
+    pub record_sessions: bool,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +72,7 @@ impl Default for ServerConfig {
             drain_timeout: Duration::from_secs(10),
             quiet: false,
             stats_interval: None,
+            record_sessions: true,
         }
     }
 }
@@ -364,6 +370,12 @@ struct LiveSession {
     profiler: TwoDProfiler<Box<dyn BranchPredictor>>,
     num_sites: u32,
     events: u64,
+    /// Columnar copy of the session's branch stream, kept when
+    /// [`ServerConfig::record_sessions`] is on so `Resim` frames can replay
+    /// it under other predictors.
+    recorded: Option<RecordedTrace>,
+    /// The session's slice geometry, reused verbatim for re-simulations.
+    slice: SliceConfig,
 }
 
 fn send<W: Write>(w: &mut W, frame: &ServerFrame) -> io::Result<()> {
@@ -419,7 +431,7 @@ fn session_loop<R: Read, W: Write>(
     id: u64,
     reader: &mut R,
     writer: &mut W,
-    session: &mut Option<LiveSession>,
+    session: &mut Option<Box<LiveSession>>,
     last_seen: &Mutex<Instant>,
 ) -> io::Result<()> {
     loop {
@@ -505,6 +517,9 @@ fn session_loop<R: Read, W: Write>(
                         );
                     }
                     live.profiler.branch(SiteId(site), taken);
+                    if let Some(rec) = live.recorded.as_mut() {
+                        rec.branch(SiteId(site), taken);
+                    }
                 }
                 live.events += n;
                 shared.events_ingested.fetch_add(n, Ordering::Relaxed);
@@ -549,12 +564,40 @@ fn session_loop<R: Read, W: Write>(
                 let snapshot = twodprof_obs::global().snapshot();
                 send(writer, &ServerFrame::StatsReply(snapshot.to_bytes()))?;
             }
+            ClientFrame::Resim(kind) => {
+                let Some(live) = session.as_ref() else {
+                    return send_error(writer, codes::BAD_STATE, "Resim before Hello".into());
+                };
+                let Some(rec) = live.recorded.as_ref() else {
+                    return send_error(
+                        writer,
+                        codes::BAD_STATE,
+                        "session recording is disabled on this daemon".into(),
+                    );
+                };
+                let mut profiler =
+                    TwoDProfiler::new(live.num_sites as usize, kind.build(), live.slice);
+                rec.replay_into(&mut profiler);
+                let report = profiler.finish(Thresholds::paper());
+                twodprof_obs::counter!(
+                    "trace_replay_total",
+                    "Predictor simulations served from a recorded trace."
+                )
+                .inc();
+                shared.log(format_args!(
+                    "conn {id}: resimulated {} event(s) under {kind}",
+                    rec.events()
+                ));
+                // the session stays open: more events or further resims may
+                // follow before Finish
+                send(writer, &ServerFrame::Report(report.to_bytes()))?;
+            }
         }
     }
 }
 
 enum Admission {
-    Accept(LiveSession),
+    Accept(Box<LiveSession>),
     Busy(String),
     Reject(u64, String),
 }
@@ -602,9 +645,14 @@ fn admit(shared: &Shared, hello: &Hello) -> Admission {
         ));
     }
     let config = SliceConfig::new(hello.slice_len, hello.exec_threshold);
-    Admission::Accept(LiveSession {
+    Admission::Accept(Box::new(LiveSession {
         profiler: TwoDProfiler::new(hello.num_sites as usize, hello.predictor.build(), config),
         num_sites: hello.num_sites,
         events: 0,
-    })
+        recorded: shared
+            .config
+            .record_sessions
+            .then(|| RecordedTrace::new(hello.num_sites as usize)),
+        slice: config,
+    }))
 }

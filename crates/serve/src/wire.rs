@@ -13,13 +13,14 @@
 //! payload    := client-msg | server-msg
 //!
 //! client-msg := 0x01 hello | 0x02 events | 0x03 flush | 0x04 finish
-//!             | 0x05 stats
+//!             | 0x05 stats | 0x06 resim
 //! hello      := varint(protocol) varint(num_sites) string(predictor-id)
 //!               varint(slice_len) varint(exec_threshold)
 //! events     := varint(count) { varint(site << 1 | taken) }*count
 //! flush      := ε
 //! finish     := ε
 //! stats      := ε                                valid in any session state
+//! resim      := string(predictor-id)             replay recorded session
 //!
 //! server-msg := 0x81 hello-ok | 0x82 ack | 0x83 busy | 0x84 report
 //!             | 0x85 error | 0x86 stats-reply
@@ -73,6 +74,7 @@ const TAG_EVENTS: u8 = 0x02;
 const TAG_FLUSH: u8 = 0x03;
 const TAG_FINISH: u8 = 0x04;
 const TAG_STATS: u8 = 0x05;
+const TAG_RESIM: u8 = 0x06;
 const TAG_HELLO_OK: u8 = 0x81;
 const TAG_ACK: u8 = 0x82;
 const TAG_BUSY: u8 = 0x83;
@@ -111,6 +113,12 @@ pub enum ClientFrame {
     /// snapshot. Valid in any session state, including before `Hello`, and
     /// does not disturb an open session.
     Stats,
+    /// Re-simulates the session's recorded branch stream under a different
+    /// predictor, server-side; the reply is a [`ServerFrame::Report`] and
+    /// the session stays open. Requires an open session whose recording is
+    /// enabled (the daemon's default), otherwise earns
+    /// [`codes::BAD_STATE`].
+    Resim(PredictorKind),
 }
 
 /// Frames `twodprofd` sends to a client.
@@ -204,6 +212,10 @@ impl ClientFrame {
             ClientFrame::Flush => buf.push(TAG_FLUSH),
             ClientFrame::Finish => buf.push(TAG_FINISH),
             ClientFrame::Stats => buf.push(TAG_STATS),
+            ClientFrame::Resim(kind) => {
+                buf.push(TAG_RESIM);
+                write_string(&mut buf, kind.id());
+            }
         }
         buf
     }
@@ -259,6 +271,12 @@ impl ClientFrame {
             TAG_FLUSH => ClientFrame::Flush,
             TAG_FINISH => ClientFrame::Finish,
             TAG_STATS => ClientFrame::Stats,
+            TAG_RESIM => {
+                let id = read_string(&mut r, 256)?;
+                let predictor = PredictorKind::from_id(&id)
+                    .ok_or_else(|| invalid(format!("unknown predictor id {id:?}")))?;
+                ClientFrame::Resim(predictor)
+            }
             other => return Err(invalid(format!("unknown client frame tag {other:#04x}"))),
         };
         ensure_consumed(r)?;
@@ -414,6 +432,20 @@ mod tests {
         roundtrip_client(ClientFrame::Flush);
         roundtrip_client(ClientFrame::Finish);
         roundtrip_client(ClientFrame::Stats);
+        for &kind in &PredictorKind::EXTENDED {
+            roundtrip_client(ClientFrame::Resim(kind));
+        }
+    }
+
+    #[test]
+    fn resim_with_unknown_predictor_rejected() {
+        let mut payload = ClientFrame::Resim(PredictorKind::Tage8Kb).encode();
+        let pos = payload
+            .windows(7)
+            .position(|w| w == b"tage8kb")
+            .expect("id embedded");
+        payload[pos] = b'x';
+        assert!(ClientFrame::decode(&payload).is_err());
     }
 
     #[test]

@@ -334,6 +334,86 @@ fn events_before_hello_is_rejected() {
 }
 
 #[test]
+fn resim_reports_match_in_process_runs_for_every_predictor() {
+    const NUM_SITES: usize = 12;
+    let daemon = Daemon::start(Daemon::quiet_config());
+    let slice = SliceConfig::new(512, 32);
+    let stream = synthetic_stream(11, 30_000, NUM_SITES as u32);
+    let mut session =
+        RemoteSession::connect(daemon.addr, NUM_SITES, PredictorKind::Gshare4Kb, slice)
+            .expect("connect");
+    session.send_events(&stream[..20_000]).expect("send");
+    assert_eq!(session.flush().expect("flush"), 20_000);
+    // one streamed session, every predictor re-simulated server-side — each
+    // report must be bit-identical to an in-process run over the same prefix
+    for &kind in &PredictorKind::EXTENDED {
+        let remote = session.resimulate(kind).expect("resim");
+        assert_eq!(
+            remote.bytes(),
+            &local_report_bytes(&stream[..20_000], NUM_SITES, kind, slice)[..],
+            "resim under {kind} diverged from the in-process run"
+        );
+    }
+    // the session must still accept events after a resim, and a later resim
+    // must cover them
+    session.send_events(&stream[20_000..]).expect("send more");
+    let remote = session
+        .resimulate(PredictorKind::Tage8Kb)
+        .expect("resim after more events");
+    assert_eq!(
+        remote.bytes(),
+        &local_report_bytes(&stream, NUM_SITES, PredictorKind::Tage8Kb, slice)[..]
+    );
+    // Finish still produces the session predictor's own report
+    let final_report = session.finish().expect("finish");
+    assert_eq!(
+        final_report.bytes(),
+        &local_report_bytes(&stream, NUM_SITES, PredictorKind::Gshare4Kb, slice)[..]
+    );
+    let stats = daemon.stop();
+    assert_eq!(stats.sessions_finished, 1);
+    assert_eq!(stats.sessions_aborted, 0);
+    assert_eq!(stats.events_ingested, stream.len() as u64);
+}
+
+#[test]
+fn resim_without_recording_is_a_state_error() {
+    let daemon = Daemon::start(ServerConfig {
+        record_sessions: false,
+        quiet: true,
+        ..ServerConfig::default()
+    });
+    let mut session = RemoteSession::connect(
+        daemon.addr,
+        4,
+        PredictorKind::Gshare4Kb,
+        SliceConfig::new(64, 4),
+    )
+    .expect("connect");
+    session.send_events(&[(SiteId(0), true)]).expect("send");
+    match session.resimulate(PredictorKind::Perceptron16Kb) {
+        Err(ClientError::Server { code, msg }) => {
+            assert_eq!(code, codes::BAD_STATE);
+            assert!(msg.contains("recording"), "got {msg:?}");
+        }
+        other => panic!("expected BAD_STATE, got {other:?}"),
+    }
+}
+
+#[test]
+fn resim_before_hello_is_a_state_error() {
+    let daemon = Daemon::start(Daemon::quiet_config());
+    let mut stream = TcpStream::connect(daemon.addr).expect("connect");
+    ClientFrame::Resim(PredictorKind::Gshare4Kb)
+        .write_to(&mut stream)
+        .expect("write resim");
+    match ServerFrame::read_from(&mut stream).expect("reply") {
+        ServerFrame::Error { code, .. } => assert_eq!(code, codes::BAD_STATE),
+        other => panic!("expected Error, got {other:?}"),
+    }
+}
+
+#[test]
 fn graceful_shutdown_finishes_in_flight_sessions() {
     let daemon = Daemon::start(Daemon::quiet_config());
     let slice = SliceConfig::new(256, 16);

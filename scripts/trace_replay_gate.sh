@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Gate on the trace-once/simulate-many payoff: run the engine_sweep bench
+# and fail unless the `trace_replay/trace_once` sweep is at least
+# MIN_SPEEDUP times faster than `trace_replay/record_per_job` (a fresh
+# engine per job — record and replay with nothing shared across jobs).
+# The bench also reports `live_per_job` (the seed live-execution path)
+# for transparency; it is printed but not gated.
+#
+#   MIN_SPEEDUP        required record_per_job/trace_once ratio (default 2)
+#   REPS               bench repetitions; per-mode minimum is gated
+#                      (default 2 — each sweep mode takes whole seconds, so
+#                      one bench pass yields a single sample per mode and a
+#                      loaded machine can distort any one pass)
+#   TWODPROF_BENCH_MS  measurement window per benchmark in ms (default 200)
+set -euo pipefail
+
+MIN_SPEEDUP="${MIN_SPEEDUP:-2}"
+REPS="${REPS:-2}"
+BENCH_MS="${TWODPROF_BENCH_MS:-200}"
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+for ((rep = 1; rep <= REPS; rep++)); do
+    echo "== engine_sweep bench, rep $rep/$REPS (window ${BENCH_MS}ms) =="
+    TWODPROF_BENCH_MS="$BENCH_MS" \
+        cargo bench -q -p twodprof-bench --bench engine_sweep \
+        | tee /dev/stderr \
+        | awk '/^trace_replay\// && /time:/ {
+            for (i = 1; i <= NF; i++) if ($i == "time:") { v = $(i+1); u = $(i+2) }
+            sub(/\/iter$/, "", u)
+            if (u == "ns") ns = v
+            else if (u == "µs" || u == "us") ns = v * 1e3
+            else if (u == "ms") ns = v * 1e6
+            else if (u == "s")  ns = v * 1e9
+            else { print "unparsable time unit: " u > "/dev/stderr"; exit 1 }
+            sub(/^trace_replay\//, "", $1)
+            print $1, ns
+        }' >>"$WORK_DIR/times.txt"
+done
+[[ -s "$WORK_DIR/times.txt" ]] || { echo "no trace_replay lines parsed"; exit 1; }
+
+awk -v min="$MIN_SPEEDUP" '
+    { if (!($1 in t) || $2 < t[$1]) t[$1] = $2 }
+    END {
+        for (mode in t) if (t[mode] <= 0) { print "bad time for " mode; exit 1 }
+        if (!("record_per_job" in t) || !("trace_once" in t)) {
+            print "missing trace_replay benchmark modes"; exit 1
+        }
+        gate = t["record_per_job"] / t["trace_once"]
+        printf "record_per_job %.0f ns/iter  trace_once %.0f ns/iter  speedup %.2fx (gate >= %sx, min over reps)\n", \
+            t["record_per_job"], t["trace_once"], gate, min
+        if ("live_per_job" in t)
+            printf "live_per_job   %.0f ns/iter  vs trace_once %.2fx (informational)\n", \
+                t["live_per_job"], t["live_per_job"] / t["trace_once"]
+        if (gate < min + 0) {
+            print "FAIL: trace-once sweep is not fast enough over record-per-job"
+            exit 1
+        }
+        print "OK: trace-once speedup meets the gate"
+    }
+' "$WORK_DIR/times.txt"

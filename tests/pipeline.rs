@@ -7,7 +7,7 @@ use twodprof::btrace::{CountingTracer, EdgeProfiler, SiteId, Tee};
 use twodprof::core2d::{
     Classification, GroundTruth, Metrics, SliceConfig, Thresholds, TwoDProfiler,
 };
-use twodprof::experiments::{Context, PredictorKind};
+use twodprof::experiments::{Context, PredictorKind, ProfileRequest};
 use twodprof::workloads::{suite, Scale};
 
 #[test]
@@ -45,9 +45,11 @@ fn every_workload_profiles_end_to_end() {
 fn ground_truth_to_metrics_round_trip() {
     let mut ctx = Context::new(Scale::Tiny);
     for name in ["gzip", "gap", "eon"] {
-        let w = ctx.workload(name);
-        let gt = ctx.ground_truth(&*w, &["ref"], PredictorKind::Gshare4Kb);
-        let report = ctx.profile_2d(&*w, PredictorKind::Gshare4Kb);
+        let gt = ctx.truth(
+            ProfileRequest::accuracy(name, PredictorKind::Gshare4Kb),
+            &["ref"],
+        );
+        let report = ctx.two_d(ProfileRequest::two_d(name, PredictorKind::Gshare4Kb));
         let m = Metrics::score(&report.predicted_mask(), &gt);
         for v in [m.cov_dep, m.acc_dep, m.cov_indep, m.acc_indep]
             .into_iter()
@@ -63,9 +65,15 @@ fn gshare_and_perceptron_define_different_ground_truths() {
     // §5.3's premise: the target predictor changes which branches are
     // input-dependent.
     let mut ctx = Context::new(Scale::Tiny);
-    let w = ctx.workload("gzip");
-    let g = ctx.ground_truth(&*w, &["ref", "ext-1"], PredictorKind::Gshare4Kb);
-    let p = ctx.ground_truth(&*w, &["ref", "ext-1"], PredictorKind::Perceptron16Kb);
+    let others = ["ref", "ext-1"];
+    let g = ctx.truth(
+        ProfileRequest::accuracy("gzip", PredictorKind::Gshare4Kb),
+        &others,
+    );
+    let p = ctx.truth(
+        ProfileRequest::accuracy("gzip", PredictorKind::Perceptron16Kb),
+        &others,
+    );
     assert_eq!(g.num_sites(), p.num_sites());
     // not necessarily equal, but both must observe branches
     assert!(g.observed_count() > 5);
@@ -130,7 +138,10 @@ fn union_ground_truth_never_shrinks_along_ext_chain() {
         for k in 0..=exts.len() {
             let mut set = vec!["ref"];
             set.extend(&exts[..k]);
-            let gt = ctx.ground_truth(&*w, &set, PredictorKind::Gshare4Kb);
+            let gt = ctx.truth(
+                ProfileRequest::accuracy(name, PredictorKind::Gshare4Kb),
+                &set,
+            );
             if let Some(p) = &prev {
                 assert!(
                     gt.dependent_count() >= p.dependent_count(),
