@@ -1,0 +1,49 @@
+//! Span-tracing hot-path cost: the per-call price of an instrumented
+//! operation, run under `TWODPROF_TRACE=on` and `off` by
+//! `scripts/obs_overhead.sh` and gated at ≤1% overhead.
+//!
+//! Two shapes are measured:
+//! - `span_per_call`: open + drop one span around trivial work — the raw
+//!   cost of the `span!` guard itself (ring push, clock read, TLS swap).
+//! - `engine_memo_hit`: a memo-served [`Engine::run_one`], the cheapest
+//!   *real* instrumented operation in the workspace — its job/probe spans
+//!   dominate the runtime, so any tracing regression shows up here first.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use twodprof_engine::{Engine, EngineConfig, JobSpec};
+use workloads::Scale;
+
+/// Spans opened per iteration in `span_per_call`, amortizing the
+/// measurement-loop overhead across a batch like a real hot loop would.
+const SPANS_PER_ITER: u64 = 1024;
+
+fn bench_span_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("span_overhead");
+
+    group.throughput(Throughput::Elements(SPANS_PER_ITER));
+    group.bench_function("span_per_call", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..SPANS_PER_ITER {
+                let _sp = twodprof_obs::span!("bench.noop");
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+            acc
+        })
+    });
+
+    // warm the memo once: every timed run_one below is a pure memory hit,
+    // so the span guards are a visible fraction of the measured work
+    let engine = Engine::new(EngineConfig::default());
+    let spec = JobSpec::count("gzip", "train", Scale::Tiny);
+    engine.run_one(&spec);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("engine_memo_hit", |b| {
+        b.iter(|| engine.run_one(std::hint::black_box(&spec)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_span_overhead);
+criterion_main!(benches);

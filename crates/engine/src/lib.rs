@@ -217,6 +217,7 @@ impl Engine {
     /// Each tier is counted distinctly (memo hits never reach the disk
     /// probe, so they can no longer inflate the miss counter).
     pub fn run_one(&self, spec: &JobSpec) -> JobResult {
+        let _sp = twodprof_obs::span!("engine.job");
         let start = Instant::now();
         if let Some(hit) = self.probe(spec, start) {
             return hit;
@@ -230,6 +231,7 @@ impl Engine {
     /// (or a corrupt disk entry) counts the outcome and returns `None`, and
     /// the caller computes.
     fn probe(&self, spec: &JobSpec, start: Instant) -> Option<JobResult> {
+        let _sp = twodprof_obs::span!("engine.probe");
         twodprof_obs::counter!("engine_jobs_total", "Jobs the engine has run.").inc();
         if let Some(output) = self
             .memo
@@ -309,6 +311,7 @@ impl Engine {
         match outcome {
             Ok(output) => {
                 if let Some(cache) = &self.cache {
+                    let _sp = twodprof_obs::span!("engine.cache_write");
                     if let Err(e) = cache.store(spec, &output) {
                         eprintln!(
                             "[engine] warning: failed to cache {} ({e})",
@@ -460,31 +463,40 @@ impl Engine {
         // progress cadence: ~10 lines per sweep, and always the final one
         let step = (total / 10).max(1);
         let units = &units;
+        // carry the caller's trace context onto every worker thread, so job
+        // spans nest under the request span that scheduled the batch
+        let trace_ctx = twodprof_obs::trace::current();
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let u = next.fetch_add(1, Ordering::Relaxed);
-                    if u >= units.len() {
-                        break;
-                    }
-                    let produced: Vec<(usize, JobResult)> = match &units[u] {
-                        Unit::Single(i) => vec![(*i, self.run_one(&specs[*i]))],
-                        Unit::Fused(idxs) => self.run_group(specs, idxs),
-                    };
-                    for (i, result) in produced {
-                        if matches!(result.status, JobStatus::Computed) {
-                            computed_events.fetch_add(result.events(), Ordering::Relaxed);
+                scope.spawn(|| {
+                    let _g = trace_ctx
+                        .is_active()
+                        .then(|| twodprof_obs::trace::attach(trace_ctx));
+                    loop {
+                        let u = next.fetch_add(1, Ordering::Relaxed);
+                        if u >= units.len() {
+                            break;
                         }
-                        *slots[i].lock().expect("result slot") = Some(result);
-                        queue_depth.sub(1);
-                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                        if self.progress && (finished.is_multiple_of(step) || finished == total) {
-                            self.print_progress(
-                                finished,
-                                total,
-                                computed_events.load(Ordering::Relaxed),
-                                sweep_start.elapsed(),
-                            );
+                        let produced: Vec<(usize, JobResult)> = match &units[u] {
+                            Unit::Single(i) => vec![(*i, self.run_one(&specs[*i]))],
+                            Unit::Fused(idxs) => self.run_group(specs, idxs),
+                        };
+                        for (i, result) in produced {
+                            if matches!(result.status, JobStatus::Computed) {
+                                computed_events.fetch_add(result.events(), Ordering::Relaxed);
+                            }
+                            *slots[i].lock().expect("result slot") = Some(result);
+                            queue_depth.sub(1);
+                            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                            if self.progress && (finished.is_multiple_of(step) || finished == total)
+                            {
+                                self.print_progress(
+                                    finished,
+                                    total,
+                                    computed_events.load(Ordering::Relaxed),
+                                    sweep_start.elapsed(),
+                                );
+                            }
                         }
                     }
                 });
@@ -559,8 +571,11 @@ impl Engine {
             })
             .collect();
         let mut fan = FanOut::new(&mut slots);
-        trace.replay_into(&mut fan);
-        fan.flush();
+        {
+            let _sp = twodprof_obs::span!("engine.decode");
+            trace.replay_into(&mut fan);
+            fan.flush();
+        }
         drop(fan);
         slots
             .into_iter()
@@ -618,6 +633,7 @@ impl Engine {
     /// Records the branch stream of the spec's (workload, input, scale)
     /// trio by running the workload once into a [`RecordedTrace`].
     fn record(&self, spec: &JobSpec) -> JobOutput {
+        let _sp = twodprof_obs::span!("engine.record");
         let (workload, input) = resolve(spec);
         let mut trace = RecordedTrace::new(workload.sites().len());
         workload.run(&input, &mut trace);
@@ -638,6 +654,7 @@ impl Engine {
     /// byte-identical to live ones.
     fn execute_replay(&self, spec: &JobSpec) -> JobOutput {
         let trace = self.trace(&TraceRef::of_spec(spec));
+        let _sp = twodprof_obs::span!("engine.replay");
         match spec.kind {
             JobKind::BranchCount => JobOutput::Count(trace.events()),
             JobKind::Accuracy(kind) => {
@@ -829,6 +846,7 @@ impl<'a> FanOut<'a> {
         if self.buf.is_empty() {
             return;
         }
+        let _sp = twodprof_obs::span!("engine.fused_chunk");
         for slot in self.slots.iter_mut() {
             slot.run_chunk(&self.buf);
         }

@@ -32,6 +32,7 @@ struct Args {
     jobs: usize,
     cache_dir: Option<PathBuf>,
     metrics: bool,
+    trace_out: Option<PathBuf>,
     experiments: Vec<String>,
 }
 
@@ -50,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
     let mut jobs = 0; // 0 = auto (available_parallelism)
     let mut cache_dir = Some(PathBuf::from(".twodprof-cache"));
     let mut metrics = false;
+    let mut trace_out = None;
     let mut experiments = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -77,13 +79,19 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-cache" => cache_dir = None,
             "--metrics" => metrics = true,
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(it.next().ok_or("--trace-out needs a value")?));
+            }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: repro [--scale tiny|small|full] [--out DIR] [--jobs N]\n\
-                     \x20            [--cache-dir DIR | --no-cache] [--metrics] [EXPERIMENT ...]\n\
+                     \x20            [--cache-dir DIR | --no-cache] [--metrics]\n\
+                     \x20            [--trace-out PATH] [EXPERIMENT ...]\n\
                      --jobs 0 (default) sizes the worker pool to the machine\n\
                      results are cached in .twodprof-cache unless --no-cache\n\
                      --metrics dumps the process metrics snapshot to stderr at exit\n\
+                     --trace-out writes the run's span trace as Chrome trace-event\n\
+                     JSON (load in chrome://tracing or Perfetto)\n\
                      experiments: {} all\n\
                      drill-down: {} <workload>\n\
                      daemon: repro serve [...] / repro replay WORKLOAD INPUT [...] /\n\
@@ -111,6 +119,7 @@ fn parse_args() -> Result<Args, String> {
         jobs,
         cache_dir,
         metrics,
+        trace_out,
         experiments,
     })
 }
@@ -165,6 +174,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // the root span covers engine construction through the last experiment;
+    // every engine/context span nests under it in the exported timeline
+    let root = args
+        .trace_out
+        .is_some()
+        .then(|| twodprof_obs::trace::Span::root("repro.run"));
     let engine = Engine::new(EngineConfig {
         jobs: args.jobs,
         cache_dir: args.cache_dir.clone(),
@@ -292,6 +307,26 @@ fn main() -> ExitCode {
             "# process metrics snapshot\n{}",
             twodprof_obs::global().snapshot().to_text()
         );
+    }
+    if let (Some(path), Some(root)) = (&args.trace_out, root) {
+        let trace_id = root.trace();
+        root.finish();
+        let collector = twodprof_obs::trace::collector();
+        collector.flush();
+        let spans = collector.collect_trace(trace_id);
+        let doc = twodprof_obs::chrome::to_json(&spans, &[(1, "repro")]);
+        match std::fs::write(path, doc) {
+            Ok(()) => eprintln!(
+                "[repro] wrote {} span(s) of trace {:032x} to {}",
+                spans.len(),
+                trace_id,
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -17,7 +17,7 @@ use twodprof_core::{GroundTruth, ProfileReport, INPUT_DEPENDENCE_DELTA};
 use twodprof_engine::{
     Engine, EngineConfig, JobOutput, JobResult, JobSpec, JobStatus, ProfileRequest,
 };
-use workloads::{InputSet, Scale, Workload};
+use workloads::{Scale, Workload};
 
 /// Shared state for all experiments: the workload scale, the
 /// input-dependence parameters, the sweep engine, and a read-through cache
@@ -92,6 +92,7 @@ impl Context {
     /// pure cache hits. Returns the per-job results (the `repro` binary
     /// reports their status counts).
     pub fn prewarm(&mut self, specs: &[JobSpec]) -> Vec<JobResult> {
+        let _sp = twodprof_obs::span!("context.prewarm");
         let results = self.engine.run_jobs(specs);
         for result in &results {
             self.absorb(result);
@@ -115,6 +116,7 @@ impl Context {
         if let Some(output) = self.results.get(&spec.content_hash()) {
             return output.clone();
         }
+        let _sp = twodprof_obs::span!("context.resolve");
         let output = Self::expect_output(self.engine.run_one(spec));
         self.results.insert(spec.content_hash(), output.clone());
         output
@@ -198,56 +200,6 @@ impl Context {
             .filter(|n| n.starts_with("ext-"))
             .collect()
     }
-
-    // --- deprecated positional API, kept as thin shims for one release ---
-
-    /// Total dynamic conditional branches of `(workload, input)`, cached.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Context::count(ProfileRequest::count(..))"
-    )]
-    pub fn branch_count(&mut self, w: &dyn Workload, input: &InputSet) -> u64 {
-        self.count(ProfileRequest::count(w.name()).input(input.name))
-    }
-
-    /// Per-branch accuracy profile of `(workload, input)` under `kind`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Context::accuracy(ProfileRequest::accuracy(..))"
-    )]
-    pub fn profile(
-        &mut self,
-        w: &dyn Workload,
-        input: &InputSet,
-        kind: PredictorKind,
-    ) -> Arc<AccuracyProfile> {
-        self.accuracy(ProfileRequest::accuracy(w.name(), kind).input(input.name))
-    }
-
-    /// Ground truth for `workload` from the `train` input against each of
-    /// `others`, unioned, under `kind`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Context::truth(ProfileRequest::accuracy(..), others)"
-    )]
-    pub fn ground_truth(
-        &mut self,
-        w: &dyn Workload,
-        others: &[&str],
-        kind: PredictorKind,
-    ) -> GroundTruth {
-        self.truth(ProfileRequest::accuracy(w.name(), kind), others)
-    }
-
-    /// Runs 2D-profiling on the workload's `train` input with the given
-    /// profiling predictor.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Context::two_d(ProfileRequest::two_d(..))"
-    )]
-    pub fn profile_2d(&mut self, w: &dyn Workload, kind: PredictorKind) -> Arc<ProfileReport> {
-        self.two_d(ProfileRequest::two_d(w.name(), kind))
-    }
 }
 
 #[cfg(test)]
@@ -318,31 +270,6 @@ mod tests {
         ctx.count(ProfileRequest::count("gzip"));
         ctx.accuracy(ProfileRequest::accuracy("gzip", PredictorKind::Gshare4Kb));
         assert_eq!(ctx.engine().counters().total(), before);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_share_the_request_cache() {
-        let mut ctx = Context::new(Scale::Tiny);
-        let w = ctx.workload("gzip");
-        let input = w.input_set("ref").unwrap();
-        let via_shim = ctx.profile(&*w, &input, PredictorKind::Gshare4Kb);
-        let via_request =
-            ctx.accuracy(ProfileRequest::accuracy("gzip", PredictorKind::Gshare4Kb).input("ref"));
-        assert!(Arc::ptr_eq(&via_shim, &via_request));
-        assert_eq!(
-            ctx.branch_count(&*w, &input),
-            ctx.count(ProfileRequest::count("gzip").input("ref"))
-        );
-        let shim_truth = ctx.ground_truth(&*w, &["ref"], PredictorKind::Gshare4Kb);
-        let req_truth = ctx.truth(
-            ProfileRequest::accuracy("gzip", PredictorKind::Gshare4Kb),
-            &["ref"],
-        );
-        assert_eq!(shim_truth.dependent_count(), req_truth.dependent_count());
-        let shim_2d = ctx.profile_2d(&*w, PredictorKind::Gshare4Kb);
-        let req_2d = ctx.two_d(ProfileRequest::two_d("gzip", PredictorKind::Gshare4Kb));
-        assert!(Arc::ptr_eq(&shim_2d, &req_2d));
     }
 
     #[test]

@@ -46,11 +46,23 @@
 //! to Prometheus-compatible text lines ([`Snapshot::to_text`]) and
 //! serializes over the workspace's LEB128 varint layer
 //! ([`Snapshot::to_bytes`] / [`Snapshot::from_bytes`]) — the payload the
-//! `twodprofd` `Stats` wire frame carries.
+//! `twodprofd` `Stats` wire frame carries. [`Snapshot::delta`] subtracts an
+//! earlier snapshot for per-interval rates.
+//!
+//! # Span tracing
+//!
+//! Aggregates say *how often*; the [`trace`] module says *where the time
+//! went* for one request: scoped [`trace::Span`]s (via the [`span!`] macro)
+//! recorded into per-thread lock-free rings, drained into a global
+//! [`trace::Collector`], exported as Chrome trace-event JSON ([`chrome`])
+//! or a compact varint block that rides the serve wire protocol. Disable
+//! with `TWODPROF_TRACE=off`, mirroring the metrics void-cell scheme.
 
+pub mod chrome;
 mod metric;
 mod registry;
 mod snapshot;
+pub mod trace;
 
 pub use metric::{Counter, Gauge, Histogram, NUM_BUCKETS};
 pub use registry::{global, Registry};

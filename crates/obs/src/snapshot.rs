@@ -61,6 +61,50 @@ impl Snapshot {
             .map(|(_, _, h)| h)
     }
 
+    /// The change since `earlier`: counters and histogram buckets/sums are
+    /// subtracted by name (a metric absent from `earlier` — registered
+    /// mid-interval — keeps its full value; saturating, so a restarted
+    /// source clamps to zero instead of wrapping), gauges pass through
+    /// unchanged since an instantaneous level has no meaningful rate form.
+    /// Metrics present only in `earlier` are dropped. `delta` of a snapshot
+    /// against itself is all-zero, and `delta(earlier)` "added back" onto
+    /// `earlier` reproduces `self` for counters and histograms.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(name, help, value)| {
+                    let before = earlier.counter(name).unwrap_or(0);
+                    (name.clone(), help.clone(), value.saturating_sub(before))
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, help, hist)| {
+                    let before = earlier.histogram(name);
+                    let buckets = hist
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &b)| {
+                            let prev = before.and_then(|h| h.buckets.get(i)).copied().unwrap_or(0);
+                            b.saturating_sub(prev)
+                        })
+                        .collect();
+                    let sum = hist.sum.saturating_sub(before.map(|h| h.sum).unwrap_or(0));
+                    (
+                        name.clone(),
+                        help.clone(),
+                        HistogramSnapshot { buckets, sum },
+                    )
+                })
+                .collect(),
+        }
+    }
+
     /// Renders Prometheus-compatible exposition text: `# HELP` / `# TYPE`
     /// preamble per metric, `name value` samples, and for histograms the
     /// standard cumulative `_bucket{le="..."}` / `_sum` / `_count` triple.
@@ -279,6 +323,36 @@ mod tests {
         assert!(text.contains("job_micros_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("job_micros_sum 1000005"));
         assert!(text.contains("job_micros_count 3"));
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_histograms() {
+        let earlier = sample();
+        let r = Registry::new(true);
+        r.counter("jobs_total", "Jobs run.").add(20);
+        r.counter("new_total", "Appeared mid-interval.").add(3);
+        r.gauge("queue_depth", "Queued jobs.").set(9);
+        let h = r.histogram("job_micros", "Job wall time.");
+        h.observe(0);
+        h.observe(5);
+        h.observe(1_000_000);
+        h.observe(5);
+        let later = r.snapshot();
+
+        let d = later.delta(&earlier);
+        assert_eq!(d.counter("jobs_total"), Some(3));
+        assert_eq!(d.counter("new_total"), Some(3), "new metric keeps value");
+        assert_eq!(d.gauge("queue_depth"), Some(9), "gauges pass through");
+        let dh = d.histogram("job_micros").unwrap();
+        assert_eq!(dh.count(), 1, "one new sample this interval");
+        assert_eq!(dh.sum, 5);
+        // identical snapshots difference to zero
+        let zero = later.delta(&later);
+        assert!(zero.counters.iter().all(|(_, _, v)| *v == 0));
+        assert!(zero
+            .histograms
+            .iter()
+            .all(|(_, _, h)| h.count() == 0 && h.sum == 0));
     }
 
     #[test]

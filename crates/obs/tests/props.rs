@@ -63,6 +63,61 @@ proptest! {
     }
 
     #[test]
+    fn delta_of_identical_snapshots_is_zero(
+        counters in prop::collection::vec(0u64..u64::MAX, 0..8),
+        gauges in prop::collection::vec(-1_000_000i64..1_000_000, 0..8),
+        samples in prop::collection::vec(0u64..u64::MAX, 0..64),
+    ) {
+        let snap = snapshot_from(&counters, &gauges, &samples);
+        let d = snap.delta(&snap);
+        for (_, _, v) in &d.counters {
+            prop_assert_eq!(*v, 0);
+        }
+        // gauges pass through untouched
+        prop_assert_eq!(&d.gauges, &snap.gauges);
+        for (_, _, h) in &d.histograms {
+            prop_assert_eq!(h.count(), 0);
+            prop_assert_eq!(h.sum, 0);
+        }
+    }
+
+    #[test]
+    fn delta_plus_earlier_round_trips(
+        earlier_counters in prop::collection::vec(0u64..1_000_000, 1..8),
+        increments in prop::collection::vec(0u64..1_000_000, 1..8),
+        earlier_samples in prop::collection::vec(0u64..1_000_000, 0..32),
+        later_samples in prop::collection::vec(0u64..1_000_000, 0..32),
+    ) {
+        // Build a monotone pair: later = earlier + increments / extra samples.
+        let n = earlier_counters.len().min(increments.len());
+        let earlier = snapshot_from(&earlier_counters[..n], &[], &earlier_samples);
+        let later_counters: Vec<u64> = earlier_counters[..n]
+            .iter()
+            .zip(&increments[..n])
+            .map(|(a, b)| a + b)
+            .collect();
+        let mut all_samples = earlier_samples.clone();
+        all_samples.extend_from_slice(&later_samples);
+        let later = snapshot_from(&later_counters, &[], &all_samples);
+
+        let d = later.delta(&earlier);
+        // counters: delta + earlier == later, name by name
+        for (name, _, dv) in &d.counters {
+            let before = earlier.counter(name).unwrap_or(0);
+            prop_assert_eq!(before + dv, later.counter(name).unwrap());
+        }
+        // histograms: bucketwise delta + earlier == later
+        for (name, _, dh) in &d.histograms {
+            let before = earlier.histogram(name).unwrap();
+            let after = later.histogram(name).unwrap();
+            prop_assert_eq!(dh.sum + before.sum, after.sum);
+            for (i, b) in dh.buckets.iter().enumerate() {
+                prop_assert_eq!(b + before.buckets[i], after.buckets[i]);
+            }
+        }
+    }
+
+    #[test]
     fn histogram_exposition_is_cumulative_and_consistent(
         samples in prop::collection::vec(0u64..1_000_000, 1..128),
     ) {

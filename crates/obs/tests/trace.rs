@@ -1,0 +1,131 @@
+//! Integration tests for the span-tracing layer: nesting, cross-thread
+//! context propagation, and the Chrome export pipeline end to end.
+//!
+//! All assertions go through `collect_trace` on unique trace ids rather
+//! than draining the global store, so tests stay independent under the
+//! default parallel test runner.
+
+use twodprof_obs::span;
+use twodprof_obs::trace::{self, ExportSpan, Span, TraceContext};
+
+fn spans_named<'a>(spans: &'a [ExportSpan], name: &str) -> Vec<&'a ExportSpan> {
+    spans.iter().filter(|s| s.name == name).collect()
+}
+
+#[test]
+fn nested_spans_share_a_trace_and_parent_correctly() {
+    let root = Span::root("test.root");
+    let trace_id = root.trace();
+    let root_id = root.id();
+    {
+        let child = span!("test.child");
+        assert_eq!(child.trace(), trace_id, "child inherits the trace");
+        let _grandchild = span!("test.grandchild");
+    }
+    root.finish();
+
+    let spans = trace::collector().collect_trace(trace_id);
+    assert_eq!(spans.len(), 3);
+    let root_span = spans_named(&spans, "test.root")[0];
+    let child = spans_named(&spans, "test.child")[0];
+    let grandchild = spans_named(&spans, "test.grandchild")[0];
+    assert_eq!(root_span.parent, 0);
+    assert_eq!(root_span.id, root_id);
+    assert_eq!(child.parent, root_id);
+    assert_eq!(grandchild.parent, child.id);
+    // Children close before the root, and lie inside its window.
+    assert!(child.start_us >= root_span.start_us);
+    assert!(child.start_us + child.dur_us <= root_span.start_us + root_span.dur_us);
+}
+
+#[test]
+fn sibling_spans_restore_the_parent_context() {
+    let root = Span::root("test.siblings");
+    let trace_id = root.trace();
+    let root_id = root.id();
+    span!("test.first").finish();
+    span!("test.second").finish();
+    root.finish();
+
+    let spans = trace::collector().collect_trace(trace_id);
+    assert_eq!(spans_named(&spans, "test.first")[0].parent, root_id);
+    assert_eq!(
+        spans_named(&spans, "test.second")[0].parent,
+        root_id,
+        "second sibling must parent under the root, not under the first"
+    );
+}
+
+#[test]
+fn attach_carries_context_across_threads() {
+    let root = Span::root("test.pool");
+    let trace_id = root.trace();
+    let root_id = root.id();
+    let ctx = root.context();
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            scope.spawn(move || {
+                let _g = trace::attach(ctx);
+                let _sp = span!("test.worker");
+            });
+        }
+    });
+    root.finish();
+
+    let spans = trace::collector().collect_trace(trace_id);
+    let workers = spans_named(&spans, "test.worker");
+    assert_eq!(workers.len(), 3);
+    assert!(workers.iter().all(|w| w.parent == root_id));
+    // Each worker thread got its own ring, hence its own tid lane.
+    let mut tids: Vec<u64> = workers.iter().map(|w| w.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len(), 3);
+}
+
+#[test]
+fn child_of_does_not_disturb_the_ambient_context() {
+    let before = trace::current();
+    let session = Span::child_of(
+        TraceContext {
+            trace: trace::new_trace_id(),
+            parent: 0,
+        },
+        "test.session",
+    );
+    assert_eq!(
+        trace::current(),
+        before,
+        "child_of must leave thread context alone"
+    );
+    let trace_id = session.trace();
+    {
+        let _g = trace::attach(session.context());
+        span!("test.frame").finish();
+    }
+    session.finish();
+
+    let spans = trace::collector().collect_trace(trace_id);
+    let session_span = spans_named(&spans, "test.session")[0];
+    let frame = spans_named(&spans, "test.frame")[0];
+    assert_eq!(frame.parent, session_span.id);
+}
+
+#[test]
+fn wire_and_chrome_pipeline_round_trips() {
+    let root = Span::root("test.pipeline");
+    let trace_id = root.trace();
+    span!("test.step").finish();
+    root.finish();
+
+    let spans = trace::collector().collect_trace(trace_id);
+    let bytes = trace::encode_spans(trace_id, &spans);
+    let (decoded_trace, decoded) = trace::decode_spans(&bytes).unwrap();
+    assert_eq!(decoded_trace, trace_id);
+    assert_eq!(decoded.len(), spans.len());
+
+    let doc = twodprof_obs::chrome::to_json(&decoded, &[(1, "test-proc")]);
+    let events = twodprof_obs::chrome::parse_events(&doc).unwrap();
+    assert_eq!(events.len(), spans.len());
+    assert!(events.iter().all(|e| e.trace == format!("{trace_id:032x}")));
+}

@@ -140,7 +140,9 @@ pub fn replay_main(args: &[String]) -> Result<(), String> {
         batch: DEFAULT_BATCH_EVENTS,
         slice: None,
         verify: false,
+        trace: false,
     };
+    let mut trace_out: Option<String> = None;
     let mut slice_len = None;
     let mut exec_threshold = None;
     let mut positional = Vec::new();
@@ -161,14 +163,21 @@ pub fn replay_main(args: &[String]) -> Result<(), String> {
                 exec_threshold = Some(numeric("--exec-threshold", value("--exec-threshold")?)?);
             }
             "--verify" => spec.verify = true,
+            "--trace-out" => {
+                trace_out = Some(value("--trace-out")?.to_owned());
+                spec.trace = true;
+            }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: twodprof-client replay WORKLOAD INPUT [--addr HOST:PORT]\n\
                      \x20      [--scale tiny|small|full] [--predictor ID] [--batch N]\n\
                      \x20      [--slice-len N --exec-threshold N] [--verify]\n\
+                     \x20      [--trace-out PATH]\n\
                      streams WORKLOAD's INPUT branch stream to a twodprofd at --addr\n\
                      (default {DEFAULT_ADDR}) and prints the returned report summary;\n\
                      --verify also profiles in-process and fails on any report diff\n\
+                     --trace-out writes a stitched client+daemon span trace as\n\
+                     Chrome trace-event JSON (load in chrome://tracing or Perfetto)\n\
                      predictors: {}",
                     PredictorKind::ids().collect::<Vec<_>>().join(" ")
                 ));
@@ -215,6 +224,25 @@ pub fn replay_main(args: &[String]) -> Result<(), String> {
         None => {}
         Some(true) => println!("verify: remote report is bit-identical to in-process run"),
         Some(false) => return Err("verify: remote report DIFFERS from in-process run".to_owned()),
+    }
+    if let Some(path) = trace_out {
+        let trace = summary
+            .trace
+            .as_ref()
+            .ok_or_else(|| "no trace captured for --trace-out".to_owned())?;
+        let doc = twodprof_obs::chrome::to_json(
+            &trace.spans,
+            &[
+                (crate::replay::TRACE_PID_CLIENT, "twodprof-client"),
+                (crate::replay::TRACE_PID_DAEMON, "twodprofd"),
+            ],
+        );
+        std::fs::write(&path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "trace: wrote {} span(s) of trace {:032x} to {path}",
+            trace.spans.len(),
+            trace.trace
+        );
     }
     Ok(())
 }

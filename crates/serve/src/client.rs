@@ -9,6 +9,7 @@ use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use twodprof_core::{ProfileReport, SliceConfig};
+use twodprof_obs::trace::{self, ExportSpan, TraceContext};
 use twodprof_obs::Snapshot;
 
 /// Default events buffered per [`RemoteTracer`] `Events` frame.
@@ -117,6 +118,37 @@ impl RemoteSession {
         predictor: PredictorKind,
         slice: SliceConfig,
     ) -> Result<Self, ClientError> {
+        Ok(Self::connect_inner(addr, num_sites, predictor, slice, None)?.0)
+    }
+
+    /// Like [`connect`](Self::connect), but first propagates `ctx` (the
+    /// client's trace id and a parent span id) with a `TraceCtx` frame, so
+    /// the daemon's session and frame spans join the client's trace. The
+    /// returned [`TraceLink`] carries the daemon's trace-clock anchor plus
+    /// the round trip's send/receive timestamps — everything needed to map
+    /// server span times onto the client clock when stitching.
+    ///
+    /// # Errors
+    ///
+    /// As [`connect`](Self::connect).
+    pub fn connect_traced(
+        addr: impl ToSocketAddrs,
+        num_sites: usize,
+        predictor: PredictorKind,
+        slice: SliceConfig,
+        ctx: TraceContext,
+    ) -> Result<(Self, TraceLink), ClientError> {
+        let (session, link) = Self::connect_inner(addr, num_sites, predictor, slice, Some(ctx))?;
+        Ok((session, link.expect("trace link present when ctx was sent")))
+    }
+
+    fn connect_inner(
+        addr: impl ToSocketAddrs,
+        num_sites: usize,
+        predictor: PredictorKind,
+        slice: SliceConfig,
+        ctx: Option<TraceContext>,
+    ) -> Result<(Self, Option<TraceLink>), ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let mut session = Self {
@@ -124,6 +156,27 @@ impl RemoteSession {
             writer: BufWriter::new(stream),
             session_id: 0,
             events_sent: 0,
+        };
+        let link = match ctx {
+            Some(ctx) => {
+                let send_us = trace::now_micros();
+                ClientFrame::TraceCtx {
+                    trace: ctx.trace,
+                    parent: ctx.parent,
+                }
+                .write_to(&mut session.writer)?;
+                session.writer.flush()?;
+                match session.read_reply()? {
+                    ServerFrame::TraceAck { anchor_us } => Some(TraceLink {
+                        trace: ctx.trace,
+                        anchor_us,
+                        send_us,
+                        recv_us: trace::now_micros(),
+                    }),
+                    other => return Err(unexpected("TraceAck", &other)),
+                }
+            }
+            None => None,
         };
         ClientFrame::Hello(Hello {
             protocol: PROTOCOL_VERSION,
@@ -137,7 +190,7 @@ impl RemoteSession {
         match session.read_reply()? {
             ServerFrame::HelloOk { session_id } => {
                 session.session_id = session_id;
-                Ok(session)
+                Ok((session, link))
             }
             other => Err(unexpected("HelloOk", &other)),
         }
@@ -257,8 +310,79 @@ fn unexpected(wanted: &str, got: &ServerFrame) -> ClientError {
         ServerFrame::Report(_) => "Report",
         ServerFrame::Error { .. } => "Error",
         ServerFrame::StatsReply(_) => "StatsReply",
+        ServerFrame::TraceAck { .. } => "TraceAck",
+        ServerFrame::TraceSpans(_) => "TraceSpans",
     };
     ClientError::Protocol(format!("expected {wanted}, got {label}"))
+}
+
+/// Clock-alignment data from a traced connect: the daemon's trace-clock
+/// reading paired with the client-clock window of the round trip that
+/// fetched it. Both processes timestamp spans in microseconds since their
+/// own private epoch; this link is what maps one onto the other.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceLink {
+    /// The propagated 16-byte trace id.
+    pub trace: u128,
+    /// Daemon trace-clock microseconds when it handled the `TraceCtx`.
+    pub anchor_us: u64,
+    /// Client trace-clock microseconds just before sending `TraceCtx`.
+    pub send_us: u64,
+    /// Client trace-clock microseconds just after reading `TraceAck`.
+    pub recv_us: u64,
+}
+
+impl TraceLink {
+    /// Offset to add to a daemon timestamp to land on the client clock,
+    /// assuming the daemon's anchor was taken mid-round-trip (NTP-style
+    /// single-point sync; the error is bounded by half the RTT, which on
+    /// the loopback/LAN links a profiling daemon lives on is tens of
+    /// microseconds).
+    pub fn offset_us(&self) -> i64 {
+        let midpoint = self.send_us + (self.recv_us.saturating_sub(self.send_us)) / 2;
+        midpoint as i64 - self.anchor_us as i64
+    }
+
+    /// Maps one daemon-clock microsecond reading onto the client clock.
+    pub fn map_us(&self, server_us: u64) -> u64 {
+        (server_us as i64 + self.offset_us()).max(0) as u64
+    }
+}
+
+/// Fetches the daemon-side spans of `trace_id` over a one-shot connection
+/// (sessionless, like [`fetch_stats`]) and returns them with their `pid`
+/// lane still `0` — timestamps are on the *daemon's* clock; map them with
+/// [`TraceLink::map_us`] before merging into a client timeline.
+///
+/// # Errors
+///
+/// Transport errors, plus [`ClientError::Protocol`] if the reply is not a
+/// decodable `TraceSpans` block.
+pub fn fetch_trace(
+    addr: impl ToSocketAddrs,
+    trace_id: u128,
+) -> Result<Vec<ExportSpan>, ClientError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    ClientFrame::TraceExport { trace: trace_id }.write_to(&mut writer)?;
+    writer.flush()?;
+    match ServerFrame::read_from(&mut reader)? {
+        ServerFrame::TraceSpans(bytes) => {
+            let (decoded_trace, spans) = trace::decode_spans(&bytes)
+                .map_err(|e| ClientError::Protocol(format!("undecodable span block: {e}")))?;
+            if decoded_trace != trace_id {
+                return Err(ClientError::Protocol(format!(
+                    "span block for trace {decoded_trace:032x}, asked for {trace_id:032x}"
+                )));
+            }
+            Ok(spans)
+        }
+        ServerFrame::Busy { msg } => Err(ClientError::Busy(msg)),
+        ServerFrame::Error { code, msg } => Err(ClientError::Server { code, msg }),
+        other => Err(unexpected("TraceSpans", &other)),
+    }
 }
 
 /// Fetches the daemon's metrics snapshot over a one-shot connection: a

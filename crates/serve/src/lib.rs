@@ -42,7 +42,11 @@ mod server;
 pub mod wire;
 
 pub use client::{
-    fetch_stats, ClientError, RemoteReport, RemoteSession, RemoteTracer, DEFAULT_BATCH_EVENTS,
+    fetch_stats, fetch_trace, ClientError, RemoteReport, RemoteSession, RemoteTracer, TraceLink,
+    DEFAULT_BATCH_EVENTS,
 };
-pub use replay::{replay_workload, ReplayError, ReplaySpec, ReplaySummary};
+pub use replay::{
+    replay_workload, ReplayError, ReplaySpec, ReplaySummary, ReplayTrace, TRACE_PID_CLIENT,
+    TRACE_PID_DAEMON,
+};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};

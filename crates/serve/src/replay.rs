@@ -2,13 +2,22 @@
 //! fanning the same run out to an in-process profiler for an equivalence
 //! check.
 
-use crate::client::{ClientError, RemoteReport, RemoteSession, RemoteTracer};
+use crate::client::{
+    fetch_trace, ClientError, RemoteReport, RemoteSession, RemoteTracer, TraceLink,
+};
 use bpred::PredictorKind;
 use btrace::{CountingTracer, Tee};
+use std::collections::HashSet;
 use std::fmt;
 use std::net::ToSocketAddrs;
 use twodprof_core::{ProfileReport, SliceConfig, Thresholds, TwoDProfiler};
+use twodprof_obs::trace::{self, ExportSpan, Span, TraceContext};
 use workloads::Scale;
+
+/// Chrome-trace `pid` lane for client-side spans in a stitched replay trace.
+pub const TRACE_PID_CLIENT: u32 = 1;
+/// Chrome-trace `pid` lane for daemon-side spans in a stitched replay trace.
+pub const TRACE_PID_DAEMON: u32 = 2;
 
 /// Errors from [`replay_workload`].
 #[derive(Debug)]
@@ -72,6 +81,9 @@ pub struct ReplaySpec {
     /// Also run the in-process profiler over the same stream (via
     /// [`Tee`]) and keep its report for comparison.
     pub verify: bool,
+    /// Capture a stitched client↔daemon span trace of the replay and
+    /// return it in [`ReplaySummary::trace`].
+    pub trace: bool,
 }
 
 /// The result of one replay.
@@ -85,6 +97,21 @@ pub struct ReplaySummary {
     pub remote: RemoteReport,
     /// The in-process report, when [`ReplaySpec::verify`] was set.
     pub local: Option<ProfileReport>,
+    /// The stitched span trace, when [`ReplaySpec::trace`] was set.
+    pub trace: Option<ReplayTrace>,
+}
+
+/// A stitched client↔daemon span timeline for one replay: client spans on
+/// `pid` [`TRACE_PID_CLIENT`], daemon spans mapped onto the client clock
+/// (via [`TraceLink::map_us`]) on `pid` [`TRACE_PID_DAEMON`], all sharing
+/// one trace id. Feed [`ReplayTrace::spans`] to
+/// [`twodprof_obs::chrome::to_json`] for a Perfetto-loadable file.
+#[derive(Clone, Debug)]
+pub struct ReplayTrace {
+    /// The trace id every span in [`ReplayTrace::spans`] belongs to.
+    pub trace: u128,
+    /// All spans, client then daemon, deduplicated by span id.
+    pub spans: Vec<ExportSpan>,
 }
 
 impl ReplaySummary {
@@ -120,41 +147,120 @@ pub fn replay_workload(
             workload: spec.workload.clone(),
             input: spec.input.clone(),
         })?;
+    let root = spec.trace.then(|| Span::root("client.replay"));
+    let ctx = root
+        .as_ref()
+        .map(Span::context)
+        .unwrap_or(TraceContext::NONE);
     let slice = match spec.slice {
         Some(slice) => slice,
         None => {
             // auto-sizing needs the run length; workloads are deterministic,
             // so a counting pre-pass pins the same config on both sides
+            let _sp = ctx.is_active().then(|| Span::enter("client.count"));
             let mut counter = CountingTracer::new();
             workload.run(&input, &mut counter);
             SliceConfig::auto(counter.count())
         }
     };
-    let session = RemoteSession::connect(addr, workload.sites().len(), spec.predictor, slice)?;
+    let (session, link) = if ctx.is_active() {
+        let _sp = Span::enter("client.connect");
+        let (session, link) = RemoteSession::connect_traced(
+            addr,
+            workload.sites().len(),
+            spec.predictor,
+            slice,
+            ctx,
+        )?;
+        (session, Some(link))
+    } else {
+        let session = RemoteSession::connect(addr, workload.sites().len(), spec.predictor, slice)?;
+        (session, None)
+    };
     let remote = RemoteTracer::with_batch_size(session, spec.batch);
-    if spec.verify {
+    let (events, remote, local) = if spec.verify {
         let local = TwoDProfiler::new(workload.sites().len(), spec.predictor.build(), slice);
         let mut tee = Tee::new(remote, local);
-        workload.run(&input, &mut tee);
+        {
+            let _sp = ctx.is_active().then(|| Span::enter("client.stream"));
+            workload.run(&input, &mut tee);
+        }
         let (remote, local) = tee.into_inner();
         let events = remote.events_total();
-        let remote = remote.finish()?;
-        Ok(ReplaySummary {
+        let _sp = ctx.is_active().then(|| Span::enter("client.finish"));
+        (
             events,
-            slice,
-            remote,
-            local: Some(local.finish(Thresholds::paper())),
-        })
+            remote.finish()?,
+            Some(local.finish(Thresholds::paper())),
+        )
     } else {
         let mut remote = remote;
-        workload.run(&input, &mut remote);
+        {
+            let _sp = ctx.is_active().then(|| Span::enter("client.stream"));
+            workload.run(&input, &mut remote);
+        }
         let events = remote.events_total();
-        let remote = remote.finish()?;
-        Ok(ReplaySummary {
-            events,
-            slice,
-            remote,
-            local: None,
-        })
+        let _sp = ctx.is_active().then(|| Span::enter("client.finish"));
+        (events, remote.finish()?, None)
+    };
+    let trace = match (root, link) {
+        (Some(root), Some(link)) => Some(stitch_trace(addr, root, &link)?),
+        (Some(root), None) => {
+            root.finish();
+            None
+        }
+        _ => None,
+    };
+    Ok(ReplaySummary {
+        events,
+        slice,
+        remote,
+        local,
+        trace,
+    })
+}
+
+/// Closes the client root span, then merges the daemon's view of the same
+/// trace into the client's: daemon timestamps are mapped onto the client
+/// clock with [`TraceLink::map_us`] and clamped into the root-span window
+/// (RTT and clock noise must not push a daemon span outside the request
+/// that caused it), daemon spans land on `pid` [`TRACE_PID_DAEMON`], and
+/// spans already collected client-side are skipped by id (an in-process
+/// daemon shares the collector, so its spans arrive on both paths).
+fn stitch_trace(
+    addr: impl ToSocketAddrs + Copy,
+    root: Span,
+    link: &TraceLink,
+) -> Result<ReplayTrace, ReplayError> {
+    let trace_id = root.trace();
+    let root_start = root.start_us();
+    root.finish();
+    let collector = trace::collector();
+    collector.flush();
+    let mut spans = collector.collect_trace(trace_id);
+    for span in &mut spans {
+        span.pid = TRACE_PID_CLIENT;
     }
+    let root_end = spans
+        .iter()
+        .filter(|s| s.name == "client.replay")
+        .map(|s| s.start_us + s.dur_us)
+        .max()
+        .unwrap_or(root_start);
+    let mut seen: HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    for mut span in fetch_trace(addr, trace_id)? {
+        if !seen.insert(span.id) {
+            continue;
+        }
+        span.pid = TRACE_PID_DAEMON;
+        let start = link.map_us(span.start_us).clamp(root_start, root_end);
+        let end = (start + span.dur_us).clamp(start, root_end);
+        span.start_us = start;
+        span.dur_us = end - start;
+        spans.push(span);
+    }
+    Ok(ReplayTrace {
+        trace: trace_id,
+        spans,
+    })
 }

@@ -35,6 +35,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
+use twodprof_obs::trace::{self, Span, TraceContext};
 
 /// Tuning knobs of a daemon instance.
 #[derive(Clone, Debug)]
@@ -331,13 +332,19 @@ fn gc_loop(shared: &Shared) {
     }
 }
 
-/// Periodic stderr stats line: lifetime counters plus the ingest rate over
-/// the last interval (always printed, even with `quiet` connection logs —
-/// enabling the interval is itself the opt-in).
+/// Periodic stderr stats summary: lifetime counters plus per-interval
+/// rates computed with `Snapshot::delta` (always printed, even with
+/// `quiet` connection logs — enabling the interval is itself the opt-in).
+///
+/// Two lines per tick: the session/event line, then the storage-tier and
+/// trace line — memo-tier vs disk-tier cache hits (distinct since the PR
+/// that split the counters), misses, corrupt entries, and the recorded /
+/// replayed trace totals.
 fn stats_loop(shared: &Shared, interval: Duration) {
     let interval = interval.max(Duration::from_millis(10));
     let mut last_events = 0u64;
     let mut last_tick = Instant::now();
+    let mut last_snap = twodprof_obs::global().snapshot();
     while !shared.stopped.load(Ordering::SeqCst) {
         // sleep in short hops so shutdown isn't delayed by a long interval
         let wake = last_tick + interval;
@@ -349,8 +356,15 @@ fn stats_loop(shared: &Shared, interval: Duration) {
         }
         let now = Instant::now();
         let stats = shared.stats();
-        let rate = (stats.events_ingested - last_events) as f64
-            / now.duration_since(last_tick).as_secs_f64().max(1e-9);
+        let snap = twodprof_obs::global().snapshot();
+        let delta = snap.delta(&last_snap);
+        let secs = now.duration_since(last_tick).as_secs_f64().max(1e-9);
+        // per-interval rate from the metrics delta; fall back to the shared
+        // atomics when the registry is disabled (TWODPROF_METRICS=off)
+        let events_delta = delta
+            .counter("serve_events_total")
+            .unwrap_or_else(|| stats.events_ingested - last_events);
+        let rate = events_delta as f64 / secs;
         eprintln!(
             "[twodprofd] stats: {} live session(s), {} opened, {} finished, {} aborted, {} event(s), {:.0} events/s",
             shared.live_sessions.load(Ordering::SeqCst),
@@ -360,8 +374,22 @@ fn stats_loop(shared: &Shared, interval: Duration) {
             stats.events_ingested,
             rate,
         );
+        let total = |name: &str| snap.counter(name).unwrap_or(0);
+        let tick = |name: &str| delta.counter(name).unwrap_or(0);
+        eprintln!(
+            "[twodprofd] stats: cache {} memo hit(s), {} disk hit(s), {} miss(es), {} corrupt; traces {} recorded (+{}), {} replayed (+{})",
+            total("engine_cache_memo_hits_total"),
+            total("engine_cache_hits_total"),
+            total("engine_cache_misses_total"),
+            total("engine_cache_corrupt_total"),
+            total("trace_record_total"),
+            tick("trace_record_total"),
+            total("trace_replay_total"),
+            tick("trace_replay_total"),
+        );
         last_events = stats.events_ingested;
         last_tick = now;
+        last_snap = snap;
     }
 }
 
@@ -376,6 +404,12 @@ struct LiveSession {
     recorded: Option<RecordedTrace>,
     /// The session's slice geometry, reused verbatim for re-simulations.
     slice: SliceConfig,
+    /// Context per-frame spans attach under: the session's trace id plus
+    /// the session span's id.
+    child_ctx: TraceContext,
+    /// Covers the whole Hello→Finish (or abort) window; records itself
+    /// into the trace collector when the session is dropped.
+    _span: Span,
 }
 
 fn send<W: Write>(w: &mut W, frame: &ServerFrame) -> io::Result<()> {
@@ -434,6 +468,9 @@ fn session_loop<R: Read, W: Write>(
     session: &mut Option<Box<LiveSession>>,
     last_seen: &Mutex<Instant>,
 ) -> io::Result<()> {
+    // Trace context announced by a `TraceCtx` frame; sessions opened on
+    // this connection join it, so do pre-session frame spans.
+    let mut conn_ctx = TraceContext::NONE;
     loop {
         let frame = match ClientFrame::read_from(reader) {
             Ok(frame) => frame,
@@ -449,17 +486,37 @@ fn session_loop<R: Read, W: Write>(
                         "Client frames that failed to decode."
                     )
                     .inc();
+                    // The framing layer consumed exactly the bad frame, so
+                    // the stream is still in sync: tell the client what
+                    // went wrong instead of silently dropping the
+                    // connection. Best-effort — the error we report is the
+                    // decode failure either way.
+                    let _ = send_error(writer, codes::BAD_FRAME, format!("bad frame: {e}"));
                 }
                 return Err(e);
             }
         };
         *last_seen.lock().expect("last_seen") = Instant::now();
+        // Adopt a TraceCtx before opening its own frame span, so even that
+        // first span lands in the client's trace.
+        if let ClientFrame::TraceCtx { trace, parent } = &frame {
+            conn_ctx = TraceContext {
+                trace: *trace,
+                parent: *parent,
+            };
+        }
+        let frame_ctx = session
+            .as_ref()
+            .map(|live| live.child_ctx)
+            .unwrap_or(conn_ctx);
+        let _ctx_guard = frame_ctx.is_active().then(|| trace::attach(frame_ctx));
+        let _frame_span = twodprof_obs::span!(frame_name(&frame));
         match frame {
             ClientFrame::Hello(hello) => {
                 if session.is_some() {
                     return send_error(writer, codes::BAD_STATE, "duplicate Hello".into());
                 }
-                match admit(shared, &hello) {
+                match admit(shared, &hello, conn_ctx) {
                     Admission::Accept(live) => {
                         *session = Some(live);
                         shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
@@ -551,6 +608,13 @@ fn session_loop<R: Read, W: Write>(
                     "Sessions that ran to Finish and received a report."
                 )
                 .inc();
+                if live.recorded.is_some() {
+                    twodprof_obs::counter!(
+                        "trace_record_total",
+                        "Branch streams recorded from live workload runs."
+                    )
+                    .inc();
+                }
                 let events = live.events;
                 let report = live.profiler.finish(Thresholds::paper());
                 shared.log(format_args!(
@@ -581,7 +645,7 @@ fn session_loop<R: Read, W: Write>(
                 let report = profiler.finish(Thresholds::paper());
                 twodprof_obs::counter!(
                     "trace_replay_total",
-                    "Predictor simulations served from a recorded trace."
+                    "Simulations served by replaying a recorded trace."
                 )
                 .inc();
                 shared.log(format_args!(
@@ -592,7 +656,40 @@ fn session_loop<R: Read, W: Write>(
                 // follow before Finish
                 send(writer, &ServerFrame::Report(report.to_bytes()))?;
             }
+            ClientFrame::TraceCtx { .. } => {
+                // conn_ctx was adopted above, before the frame span opened;
+                // reply with our trace clock so the client can align the
+                // two processes' epochs from one round trip
+                send(
+                    writer,
+                    &ServerFrame::TraceAck {
+                        anchor_us: trace::now_micros(),
+                    },
+                )?;
+            }
+            ClientFrame::TraceExport { trace: trace_id } => {
+                // sessionless, like Stats: drain every ring (including
+                // those of finished connection threads) and ship whatever
+                // this daemon recorded for the requested trace
+                let spans = trace::collector().collect_trace(trace_id);
+                let bytes = trace::encode_spans(trace_id, &spans);
+                send(writer, &ServerFrame::TraceSpans(bytes))?;
+            }
         }
+    }
+}
+
+/// Static span name for each frame kind.
+fn frame_name(frame: &ClientFrame) -> &'static str {
+    match frame {
+        ClientFrame::Hello(_) => "serve.frame.hello",
+        ClientFrame::Events(_) => "serve.frame.events",
+        ClientFrame::Flush => "serve.frame.flush",
+        ClientFrame::Finish => "serve.frame.finish",
+        ClientFrame::Stats => "serve.frame.stats",
+        ClientFrame::Resim(_) => "serve.frame.resim",
+        ClientFrame::TraceCtx { .. } => "serve.frame.trace_ctx",
+        ClientFrame::TraceExport { .. } => "serve.frame.trace_export",
     }
 }
 
@@ -603,8 +700,9 @@ enum Admission {
 }
 
 /// Validates a `Hello` and, if the session table has room, builds the
-/// session's profiler.
-fn admit(shared: &Shared, hello: &Hello) -> Admission {
+/// session's profiler. `ctx` is the connection's announced trace context;
+/// the session span joins it (or starts a fresh trace when none was sent).
+fn admit(shared: &Shared, hello: &Hello, ctx: TraceContext) -> Admission {
     if hello.protocol != PROTOCOL_VERSION {
         return Admission::Reject(
             codes::PROTOCOL,
@@ -645,6 +743,8 @@ fn admit(shared: &Shared, hello: &Hello) -> Admission {
         ));
     }
     let config = SliceConfig::new(hello.slice_len, hello.exec_threshold);
+    let span = Span::child_of(ctx, "serve.session");
+    let child_ctx = span.context();
     Admission::Accept(Box::new(LiveSession {
         profiler: TwoDProfiler::new(hello.num_sites as usize, hello.predictor.build(), config),
         num_sites: hello.num_sites,
@@ -654,5 +754,7 @@ fn admit(shared: &Shared, hello: &Hello) -> Admission {
             .record_sessions
             .then(|| RecordedTrace::new(hello.num_sites as usize)),
         slice: config,
+        child_ctx,
+        _span: span,
     }))
 }

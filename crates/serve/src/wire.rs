@@ -13,7 +13,7 @@
 //! payload    := client-msg | server-msg
 //!
 //! client-msg := 0x01 hello | 0x02 events | 0x03 flush | 0x04 finish
-//!             | 0x05 stats | 0x06 resim
+//!             | 0x05 stats | 0x06 resim | 0x07 trace-ctx | 0x08 trace-export
 //! hello      := varint(protocol) varint(num_sites) string(predictor-id)
 //!               varint(slice_len) varint(exec_threshold)
 //! events     := varint(count) { varint(site << 1 | taken) }*count
@@ -21,17 +21,23 @@
 //! finish     := ε
 //! stats      := ε                                valid in any session state
 //! resim      := string(predictor-id)             replay recorded session
+//! trace-ctx  := trace-id varint(parent-span)     propagate trace context
+//! trace-export := trace-id                       fetch server spans, any state
 //!
 //! server-msg := 0x81 hello-ok | 0x82 ack | 0x83 busy | 0x84 report
-//!             | 0x85 error | 0x86 stats-reply
+//!             | 0x85 error | 0x86 stats-reply | 0x87 trace-ack
+//!             | 0x88 trace-spans
 //! hello-ok   := varint(session_id)
 //! ack        := varint(events_total)
 //! busy       := string(msg)
 //! report     := bytes                            ProfileReport::write_to
 //! error      := varint(code) string(msg)
 //! stats-reply:= bytes                            twodprof_obs::Snapshot::write_to
+//! trace-ack  := varint(anchor_us)                server trace-clock at receipt
+//! trace-spans:= bytes                            twodprof_obs::trace::encode_spans
 //!
 //! string     := varint(len) utf8-bytes
+//! trace-id   := 16 bytes, little-endian u128
 //! ```
 //!
 //! Event packing reuses the 2DPT trace encoding (`site << 1 | taken` as one
@@ -67,6 +73,11 @@ pub mod codes {
     /// Frame arrived in the wrong session state (e.g. `Events` before
     /// `Hello`, or a second `Hello`).
     pub const BAD_STATE: u64 = 4;
+    /// The frame itself failed to decode (unknown tag, malformed body,
+    /// unknown predictor id inside a `Resim`). The connection closes after
+    /// this frame, but the client gets a diagnosable error instead of a
+    /// silent disconnect.
+    pub const BAD_FRAME: u64 = 5;
 }
 
 const TAG_HELLO: u8 = 0x01;
@@ -75,12 +86,16 @@ const TAG_FLUSH: u8 = 0x03;
 const TAG_FINISH: u8 = 0x04;
 const TAG_STATS: u8 = 0x05;
 const TAG_RESIM: u8 = 0x06;
+const TAG_TRACE_CTX: u8 = 0x07;
+const TAG_TRACE_EXPORT: u8 = 0x08;
 const TAG_HELLO_OK: u8 = 0x81;
 const TAG_ACK: u8 = 0x82;
 const TAG_BUSY: u8 = 0x83;
 const TAG_REPORT: u8 = 0x84;
 const TAG_ERROR: u8 = 0x85;
 const TAG_STATS_REPLY: u8 = 0x86;
+const TAG_TRACE_ACK: u8 = 0x87;
+const TAG_TRACE_SPANS: u8 = 0x88;
 
 /// Session parameters announced by the client's first frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,6 +134,25 @@ pub enum ClientFrame {
     /// enabled (the daemon's default), otherwise earns
     /// [`codes::BAD_STATE`].
     Resim(PredictorKind),
+    /// Propagates the client's span-tracing context so server-side spans
+    /// join the client's trace. Valid in any state (conventionally sent
+    /// before `Hello`, so the session span lands in the right trace); the
+    /// server replies with [`ServerFrame::TraceAck`] carrying its own
+    /// trace-clock reading, which the client uses to align the two clocks.
+    TraceCtx {
+        /// 16-byte trace id the server's spans should carry.
+        trace: u128,
+        /// Client span id server-side root spans should parent under.
+        parent: u64,
+    },
+    /// Requests the server's finished spans for one trace id. Sessionless,
+    /// like [`Stats`](Self::Stats) — typically sent on a fresh connection
+    /// after the traced session closed. Reply:
+    /// [`ServerFrame::TraceSpans`].
+    TraceExport {
+        /// Trace id to export.
+        trace: u128,
+    },
 }
 
 /// Frames `twodprofd` sends to a client.
@@ -157,6 +191,17 @@ pub enum ServerFrame {
     /// `twodprof_obs::Snapshot` of the daemon process's metric registry
     /// (opaque at this layer, like [`Report`](Self::Report)).
     StatsReply(Vec<u8>),
+    /// Reply to [`ClientFrame::TraceCtx`]: the server's trace clock
+    /// (`twodprof_obs::trace::now_micros`) at the moment the frame was
+    /// handled. One round trip gives the client an NTP-style single-point
+    /// offset between the two processes' private trace epochs.
+    TraceAck {
+        /// Server trace-clock microseconds at receipt.
+        anchor_us: u64,
+    },
+    /// Reply to [`ClientFrame::TraceExport`]: a span block serialized by
+    /// `twodprof_obs::trace::encode_spans` (opaque at this layer).
+    TraceSpans(Vec<u8>),
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
@@ -176,6 +221,12 @@ fn read_string<R: Read>(r: &mut R, max_len: usize) -> io::Result<String> {
     let mut bytes = vec![0u8; len];
     r.read_exact(&mut bytes)?;
     String::from_utf8(bytes).map_err(|_| invalid("string is not UTF-8"))
+}
+
+fn read_trace_id<R: Read>(r: &mut R) -> io::Result<u128> {
+    let mut bytes = [0u8; 16];
+    r.read_exact(&mut bytes)?;
+    Ok(u128::from_le_bytes(bytes))
 }
 
 fn ensure_consumed(r: &[u8]) -> io::Result<()> {
@@ -215,6 +266,15 @@ impl ClientFrame {
             ClientFrame::Resim(kind) => {
                 buf.push(TAG_RESIM);
                 write_string(&mut buf, kind.id());
+            }
+            ClientFrame::TraceCtx { trace, parent } => {
+                buf.push(TAG_TRACE_CTX);
+                buf.extend_from_slice(&trace.to_le_bytes());
+                write_varint(&mut buf, *parent).expect("vec write");
+            }
+            ClientFrame::TraceExport { trace } => {
+                buf.push(TAG_TRACE_EXPORT);
+                buf.extend_from_slice(&trace.to_le_bytes());
             }
         }
         buf
@@ -277,6 +337,14 @@ impl ClientFrame {
                     .ok_or_else(|| invalid(format!("unknown predictor id {id:?}")))?;
                 ClientFrame::Resim(predictor)
             }
+            TAG_TRACE_CTX => {
+                let trace = read_trace_id(&mut r)?;
+                let parent = read_varint(&mut r)?;
+                ClientFrame::TraceCtx { trace, parent }
+            }
+            TAG_TRACE_EXPORT => ClientFrame::TraceExport {
+                trace: read_trace_id(&mut r)?,
+            },
             other => return Err(invalid(format!("unknown client frame tag {other:#04x}"))),
         };
         ensure_consumed(r)?;
@@ -333,6 +401,14 @@ impl ServerFrame {
                 buf.push(TAG_STATS_REPLY);
                 buf.extend_from_slice(bytes);
             }
+            ServerFrame::TraceAck { anchor_us } => {
+                buf.push(TAG_TRACE_ACK);
+                write_varint(&mut buf, *anchor_us).expect("vec write");
+            }
+            ServerFrame::TraceSpans(bytes) => {
+                buf.push(TAG_TRACE_SPANS);
+                buf.extend_from_slice(bytes);
+            }
         }
         buf
     }
@@ -371,6 +447,15 @@ impl ServerFrame {
                 let bytes = r.to_vec();
                 r = &[];
                 ServerFrame::StatsReply(bytes)
+            }
+            TAG_TRACE_ACK => ServerFrame::TraceAck {
+                anchor_us: read_varint(&mut r)?,
+            },
+            TAG_TRACE_SPANS => {
+                // the remainder is the span block, opaque at this layer
+                let bytes = r.to_vec();
+                r = &[];
+                ServerFrame::TraceSpans(bytes)
             }
             other => return Err(invalid(format!("unknown server frame tag {other:#04x}"))),
         };
@@ -435,6 +520,33 @@ mod tests {
         for &kind in &PredictorKind::EXTENDED {
             roundtrip_client(ClientFrame::Resim(kind));
         }
+        roundtrip_client(ClientFrame::TraceCtx {
+            trace: 0xDEAD_BEEF_0123_4567_89AB_CDEF_0000_0001,
+            parent: u64::MAX,
+        });
+        roundtrip_client(ClientFrame::TraceCtx {
+            trace: u128::MAX,
+            parent: 0,
+        });
+        roundtrip_client(ClientFrame::TraceExport { trace: 1 });
+    }
+
+    #[test]
+    fn trace_frames_reject_truncation_and_trailing_bytes() {
+        let payload = ClientFrame::TraceCtx {
+            trace: 42,
+            parent: 7,
+        }
+        .encode();
+        for len in 1..payload.len() {
+            assert!(
+                ClientFrame::decode(&payload[..len]).is_err(),
+                "prefix {len}"
+            );
+        }
+        let mut long = ClientFrame::TraceExport { trace: 42 }.encode();
+        long.push(0);
+        assert!(ClientFrame::decode(&long).is_err());
     }
 
     #[test]
@@ -465,6 +577,9 @@ mod tests {
         });
         roundtrip_server(ServerFrame::StatsReply(vec![9, 8, 7]));
         roundtrip_server(ServerFrame::StatsReply(Vec::new()));
+        roundtrip_server(ServerFrame::TraceAck { anchor_us: 1 << 50 });
+        roundtrip_server(ServerFrame::TraceSpans(vec![1, 2, 3]));
+        roundtrip_server(ServerFrame::TraceSpans(Vec::new()));
     }
 
     #[test]

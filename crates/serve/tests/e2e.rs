@@ -111,6 +111,7 @@ fn replay_verify_is_bit_identical() {
         batch: 1024,
         slice: None,
         verify: true,
+        trace: false,
     };
     let summary = replay_workload(daemon.addr, &spec).expect("replay");
     assert!(summary.events > 0, "workload must emit branch events");
@@ -398,6 +399,72 @@ fn resim_without_recording_is_a_state_error() {
         }
         other => panic!("expected BAD_STATE, got {other:?}"),
     }
+}
+
+#[test]
+fn resim_with_unknown_predictor_id_gets_a_clean_error_frame() {
+    let daemon = Daemon::start(Daemon::quiet_config());
+    let mut stream = TcpStream::connect(daemon.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    ClientFrame::Hello(Hello {
+        protocol: PROTOCOL_VERSION,
+        num_sites: 4,
+        predictor: PredictorKind::Gshare4Kb,
+        slice_len: 64,
+        exec_threshold: 4,
+    })
+    .write_to(&mut stream)
+    .expect("write hello");
+    match ServerFrame::read_from(&mut stream).expect("hello reply") {
+        ServerFrame::HelloOk { .. } => {}
+        other => panic!("expected HelloOk, got {other:?}"),
+    }
+    // hand-encode a Resim frame naming a predictor this build doesn't have;
+    // the typed ClientFrame API can't produce one
+    let mut payload = vec![0x06];
+    let id = b"not-a-predictor";
+    payload.push(id.len() as u8); // single-byte LEB128 length
+    payload.extend_from_slice(id);
+    btrace::write_frame(&mut stream, &payload).expect("write raw resim");
+    // the daemon must answer with an error frame — not hang, and not just
+    // drop the connection without a word
+    match ServerFrame::read_from(&mut stream).expect("error reply") {
+        ServerFrame::Error { code, msg } => {
+            assert_eq!(code, codes::BAD_FRAME);
+            assert!(msg.contains("predictor"), "got {msg:?}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+}
+
+#[test]
+fn resim_on_a_still_open_session_replies_without_closing_it() {
+    // a Resim before any events (and long before Finish) must be answered
+    // in place, leaving the session open and fully usable afterwards
+    let daemon = Daemon::start(Daemon::quiet_config());
+    let slice = SliceConfig::new(64, 4);
+    let mut session =
+        RemoteSession::connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice).expect("connect");
+    let empty = session
+        .resimulate(PredictorKind::Perceptron16Kb)
+        .expect("resim on an empty still-open session");
+    assert_eq!(
+        empty.bytes(),
+        &local_report_bytes(&[], 4, PredictorKind::Perceptron16Kb, slice)[..]
+    );
+    // the session survived: stream events and finish normally
+    let stream = synthetic_stream(21, 5_000, 4);
+    session.send_events(&stream).expect("send after resim");
+    let report = session.finish().expect("finish after resim");
+    assert_eq!(
+        report.bytes(),
+        &local_report_bytes(&stream, 4, PredictorKind::Gshare4Kb, slice)[..]
+    );
+    let stats = daemon.stop();
+    assert_eq!(stats.sessions_finished, 1);
+    assert_eq!(stats.sessions_aborted, 0);
 }
 
 #[test]

@@ -88,6 +88,7 @@ fn stats_counters_match_replayed_event_count() {
         batch: 1024,
         slice: None,
         verify: false,
+        trace: false,
     };
     let summary = replay_workload(daemon.addr, &spec).expect("replay");
     assert_eq!(summary.events, expected_events);

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Smoke test for the twodprofd daemon: start it on an ephemeral port, replay
 # a workload through twodprof-client with --verify (which diffs the remote
-# report against an in-process run bit-for-bit), then check the daemon shuts
-# down cleanly on SIGTERM.
+# report against an in-process run bit-for-bit) and --trace-out (which
+# stitches client and daemon spans into one Chrome trace), then check the
+# daemon shuts down cleanly on SIGTERM.
+#
+# The stitched trace is left at TRACE_OUT (default
+# target/daemon-smoke/trace.json) so CI can upload it as an artifact.
 set -euo pipefail
 
 BIN_DIR="${BIN_DIR:-target/release}"
+TRACE_OUT="${TRACE_OUT:-target/daemon-smoke/trace.json}"
 WORK_DIR="$(mktemp -d)"
 ADDR_FILE="$WORK_DIR/addr"
 DAEMON_LOG="$WORK_DIR/twodprofd.log"
@@ -31,7 +36,17 @@ done
 ADDR="$(cat "$ADDR_FILE")"
 echo "daemon up at $ADDR (pid $DAEMON_PID)"
 
-"$BIN_DIR/twodprof-client" replay gzip train --scale tiny --addr "$ADDR" --verify
+mkdir -p "$(dirname "$TRACE_OUT")"
+"$BIN_DIR/twodprof-client" replay gzip train --scale tiny --addr "$ADDR" --verify \
+    --trace-out "$TRACE_OUT"
+
+# the stitched trace must exist, be non-trivial JSON, and carry spans from
+# both sides of the wire (client pid 1, daemon pid 2)
+[[ -s "$TRACE_OUT" ]] || { echo "no trace written to $TRACE_OUT"; exit 1; }
+grep -q '"traceEvents"' "$TRACE_OUT" || { echo "$TRACE_OUT is not a Chrome trace"; exit 1; }
+grep -q '"name":"client.replay"' "$TRACE_OUT" || { echo "trace missing client spans"; exit 1; }
+grep -q '"name":"serve.frame' "$TRACE_OUT" || { echo "trace missing daemon spans"; exit 1; }
+echo "stitched trace OK: $TRACE_OUT"
 
 # the metrics endpoint must answer with exposition text reflecting the replay
 STATS="$("$BIN_DIR/twodprof-client" stats --addr "$ADDR")"
