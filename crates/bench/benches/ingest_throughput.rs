@@ -5,6 +5,12 @@
 //! `Finish`, so an iteration measures the whole pipeline — client batching,
 //! wire encoding, TCP loopback, frame decoding, and the per-session online
 //! `TwoDProfiler` — not just the socket.
+//!
+//! With `TWODPROF_STREAM=1` every session additionally joins the shared
+//! program `"bench"`, so the daemon also feeds the per-program streaming
+//! profiler (epoch merge + windowed fold) on the ingest path — the delta
+//! against an unset run is the streaming overhead `scripts/obs_overhead.sh`
+//! gates.
 
 use bpred::PredictorKind;
 use btrace::{SiteId, Tracer};
@@ -30,13 +36,19 @@ fn stream(salt: u64) -> Vec<(SiteId, bool)> {
         .collect()
 }
 
+fn streaming_enabled() -> bool {
+    std::env::var("TWODPROF_STREAM").is_ok_and(|v| v == "1" || v == "on")
+}
+
 fn run_session(addr: SocketAddr, events: &[(SiteId, bool)]) {
+    let program = if streaming_enabled() { "bench" } else { "" };
     let mut tracer = RemoteTracer::new(
-        RemoteSession::connect(
+        RemoteSession::connect_with_program(
             addr,
             NUM_SITES as usize,
             PredictorKind::Gshare4Kb,
             SliceConfig::new(4096, 64),
+            program,
         )
         .expect("connect"),
     );

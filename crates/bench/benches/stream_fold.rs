@@ -1,0 +1,92 @@
+//! Streaming fold cost: per-event amortized cost of the incremental
+//! windowed slice-fold ([`StreamingProfiler`]) across window sizes, next to
+//! the batch profiler's in-process slice-fold over the same event volume.
+//!
+//! The streaming side measures `SessionIngest::record` plus periodic
+//! `ingest` merges (the daemon's per-Events-frame cadence); the batch side
+//! runs the full `TwoDProfiler` including prediction, the cost a session
+//! already pays today. Streaming on top of a session should stay a small
+//! fraction of the latter.
+
+use bpred::PredictorKind;
+use btrace::{SiteId, Tracer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
+use twodprof_stream::{StreamConfig, StreamingProfiler};
+
+const EVENTS: usize = 400_000;
+const NUM_SITES: u32 = 64;
+/// Matches the client's default Events-frame batch: one `ingest` merge per
+/// shipped frame.
+const INGEST_EVERY: usize = 8192;
+
+/// Fixed xorshift stream of (site, correct-bit) pairs.
+fn correct_stream() -> Vec<(SiteId, bool)> {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64 | 1;
+    (0..EVENTS)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (SiteId((x % NUM_SITES as u64) as u32), x & 2 == 2)
+        })
+        .collect()
+}
+
+fn bench_stream_fold(c: &mut Criterion) {
+    let events = correct_stream();
+    let slice = SliceConfig::new(4096, 64);
+    let mut group = c.benchmark_group("stream_fold");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(EVENTS as u64));
+
+    for window in [16usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("streaming_window", window),
+            &window,
+            |b, &window| {
+                b.iter(|| {
+                    let mut profiler = StreamingProfiler::new(
+                        NUM_SITES as usize,
+                        StreamConfig {
+                            slice,
+                            window,
+                            hysteresis: 2,
+                            thresholds: Thresholds::paper(),
+                            max_lag: 256,
+                        },
+                    );
+                    let mut session = profiler.begin_session();
+                    let mut drift = Vec::new();
+                    for (i, &(site, correct)) in events.iter().enumerate() {
+                        session.record(site, correct);
+                        if i % INGEST_EVERY == INGEST_EVERY - 1 {
+                            profiler.ingest(&mut session, &mut drift);
+                        }
+                    }
+                    profiler.finish_session(session, &mut drift);
+                    (profiler.folded_epochs(), drift.len())
+                })
+            },
+        );
+    }
+
+    group.bench_function("batch_slice_fold", |b| {
+        b.iter(|| {
+            let mut profiler =
+                TwoDProfiler::new(NUM_SITES as usize, PredictorKind::Gshare4Kb.build(), slice);
+            for &(site, taken) in &events {
+                profiler.branch(site, taken);
+            }
+            profiler
+                .finish(Thresholds::paper())
+                .predicted_dependent()
+                .count()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_fold);
+criterion_main!(benches);

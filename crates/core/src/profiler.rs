@@ -140,6 +140,28 @@ impl<P: BranchPredictor> TwoDProfiler<P> {
         self.in_slice = 0;
     }
 
+    /// Records one dynamic branch like [`Tracer::branch`], additionally
+    /// returning whether the simulated predictor got it right.
+    ///
+    /// This is the ingestion hook for consumers that need the per-event
+    /// prediction outcome without running a second predictor — the streaming
+    /// aggregator feeds its sliding windows from the same simulation the
+    /// session profiler already performs.
+    #[inline]
+    pub fn branch_outcome(&mut self, site: SiteId, taken: bool) -> bool {
+        let correct = self.predictor.predict_and_train(site_pc(site), taken) == taken;
+        self.states[site.index()].record(correct);
+        self.total_exec += 1;
+        self.total_correct += correct as u64;
+        self.slice_exec += 1;
+        self.slice_correct += correct as u64;
+        self.in_slice += 1;
+        if self.in_slice == self.config.slice_len() {
+            self.end_slice_all();
+        }
+        correct
+    }
+
     /// Ends the run: folds any open partial slice, resolves the MEAN-test
     /// threshold against the run's overall accuracy, applies the three tests
     /// to every branch, and returns the report.
@@ -193,16 +215,7 @@ impl<P: BranchPredictor> TwoDProfiler<P> {
 impl<P: BranchPredictor> Tracer for TwoDProfiler<P> {
     #[inline]
     fn branch(&mut self, site: SiteId, taken: bool) {
-        let correct = self.predictor.predict_and_train(site_pc(site), taken) == taken;
-        self.states[site.index()].record(correct);
-        self.total_exec += 1;
-        self.total_correct += correct as u64;
-        self.slice_exec += 1;
-        self.slice_correct += correct as u64;
-        self.in_slice += 1;
-        if self.in_slice == self.config.slice_len() {
-            self.end_slice_all();
-        }
+        self.branch_outcome(site, taken);
     }
 
     fn dynamic_count(&self) -> Option<u64> {
@@ -346,6 +359,17 @@ mod tests {
         assert!((report.program_accuracy().unwrap() - 0.5).abs() < 1e-12);
         assert_eq!(report.total_branches(), 1_000);
         assert_eq!(report.predictor_name(), "static-taken");
+    }
+
+    #[test]
+    fn branch_outcome_reports_prediction_correctness() {
+        // StaticTaken always predicts taken, so the outcome is the taken bit
+        // itself — and the state advances exactly as Tracer::branch would.
+        let mut prof = TwoDProfiler::new(1, StaticTaken, SliceConfig::new(100, 4));
+        assert!(prof.branch_outcome(SiteId(0), true));
+        assert!(!prof.branch_outcome(SiteId(0), false));
+        assert_eq!(prof.dynamic_count(), Some(2));
+        assert_eq!(prof.state(SiteId(0)).total_executions(), 2);
     }
 
     #[test]

@@ -52,6 +52,29 @@ impl Thresholds {
             MeanThreshold::Fixed(v) => v,
         }
     }
+
+    /// Applies the three tests to already-computed slice statistics: the
+    /// mean and standard deviation of a branch's (filtered) slice
+    /// accuracies, its points-above-mean fraction, and the program accuracy
+    /// the MEAN threshold resolves against.
+    ///
+    /// This is the pure comparison step of Figure 9c, shared by the
+    /// end-of-run evaluation and the streaming profiler's windowed verdicts
+    /// (which feed it sliding-window statistics instead of whole-run ones).
+    pub fn apply(
+        &self,
+        mean: f64,
+        std_dev: f64,
+        pam_fraction: f64,
+        program_accuracy: f64,
+    ) -> TestOutcomes {
+        let mean_th = self.resolve_mean(program_accuracy);
+        TestOutcomes {
+            mean: mean < mean_th,
+            std: std_dev > self.std,
+            pam: pam_fraction >= self.pam && pam_fraction <= 1.0 - self.pam,
+        }
+    }
 }
 
 impl Default for Thresholds {
@@ -95,12 +118,7 @@ pub(crate) fn evaluate(
     let pam_frac = state
         .points_above_mean()
         .expect("mean exists implies PAM exists");
-    let mean_th = thresholds.resolve_mean(program_accuracy);
-    Some(TestOutcomes {
-        mean: mean < mean_th,
-        std: std > thresholds.std,
-        pam: pam_frac >= thresholds.pam && pam_frac <= 1.0 - thresholds.pam,
-    })
+    Some(thresholds.apply(mean, std, pam_frac, program_accuracy))
 }
 
 #[cfg(test)]

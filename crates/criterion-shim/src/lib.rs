@@ -7,8 +7,11 @@
 //! the same source-level API (`criterion_group!`, `criterion_main!`,
 //! benchmark groups, `Throughput`, `BenchmarkId`) and implements a simple
 //! measurement loop: calibrate the per-iteration cost, then run enough
-//! timed batches to fill a fixed measurement window and report the mean
-//! time per iteration plus derived throughput.
+//! timed batches to fill a fixed measurement window and report the
+//! *fastest batch's* time per iteration plus derived throughput. On shared
+//! hosts timing noise is one-sided — steal and preemption only ever add
+//! time — so the per-batch minimum converges on the true cost far faster
+//! than a window mean, which folds every stall into the estimate.
 //!
 //! It does not do statistical outlier analysis, HTML reports, or baseline
 //! comparison — it prints one line per benchmark, which is what the repo's
@@ -70,11 +73,11 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times `f`, storing the mean cost per call.
+    /// Times `f`, storing the fastest batch's cost per call.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // calibration: grow the batch until it is long enough to time
         let mut batch = 1u64;
-        let mut per_iter;
+        let per_iter;
         loop {
             let start = Instant::now();
             for _ in 0..batch {
@@ -87,17 +90,22 @@ impl Bencher {
             }
             batch *= 4;
         }
-        // measurement: fill the window with full batches
+        // measurement: fill the window with full batches, timing each batch
+        // separately and keeping the fastest — scheduler noise is one-sided,
+        // so the minimum estimates the true cost while a mean would fold
+        // every steal-time stall into it
         let batches = (self.measurement_window.as_nanos()
             / (per_iter.as_nanos().max(1) * batch as u128))
             .clamp(1, 1_000) as u64;
-        let start = Instant::now();
-        for _ in 0..batches * batch {
-            black_box(f());
+        let mut best = Duration::MAX;
+        for _ in 0..batches {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            best = best.min(start.elapsed());
         }
-        let took = start.elapsed();
-        per_iter = took / (batches * batch) as u32;
-        self.measured = per_iter;
+        self.measured = best.max(Duration::from_nanos(1)) / batch as u32;
         self.iters = batches * batch;
     }
 }

@@ -1,11 +1,14 @@
 //! `twodprof-client` — replays a workload's branch stream against a live
-//! `twodprofd`, or queries its metrics.
+//! `twodprofd`, queries its metrics, or follows a program's streaming
+//! verdicts.
 //!
 //! ```text
 //! twodprof-client replay WORKLOAD INPUT [--addr HOST:PORT]
 //!                 [--scale tiny|small|full] [--predictor ID] [--batch N]
-//!                 [--slice-len N --exec-threshold N] [--verify]
+//!                 [--slice-len N --exec-threshold N] [--verify] [--program NAME]
 //! twodprof-client stats [--addr HOST:PORT]
+//! twodprof-client watch PROGRAM [--addr HOST:PORT] [--snapshot] [--limit N]
+//! twodprof-client drive PROGRAM [--addr HOST:PORT] [--events N] [--flip-every N]
 //! ```
 
 use std::process::ExitCode;
@@ -14,6 +17,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("stats") => twodprof_serve::cli::stats_main(&args[1..]),
+        Some("watch") => twodprof_serve::cli::watch_main(&args[1..]),
+        Some("drive") => twodprof_serve::cli::drive_main(&args[1..]),
         _ => twodprof_serve::cli::replay_main(&args),
     };
     match result {

@@ -2,13 +2,17 @@
 //! `twodprof-client` binaries and the `repro serve` / `repro replay`
 //! subcommands.
 
-use crate::client::{fetch_stats, DEFAULT_BATCH_EVENTS};
+use crate::client::{
+    fetch_stats, fetch_verdicts, RemoteSession, WatchClient, DEFAULT_BATCH_EVENTS,
+};
 use crate::replay::{replay_workload, ReplaySpec};
 use crate::server::{Server, ServerConfig, ServerHandle};
 use bpred::PredictorKind;
+use btrace::SiteId;
 use std::sync::OnceLock;
 use std::time::Duration;
 use twodprof_core::SliceConfig;
+use twodprof_stream::VerdictSnapshot;
 use workloads::Scale;
 
 /// Default daemon endpoint shared by both sides.
@@ -46,6 +50,8 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
     let mut addr = DEFAULT_ADDR.to_owned();
     let mut config = ServerConfig::default();
     let mut addr_file = None;
+    let mut stream_slice_len: Option<u64> = None;
+    let mut stream_exec_threshold: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -83,23 +89,77 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
                 }
                 config.stats_interval = Some(Duration::from_secs_f64(secs));
             }
+            "--stream-slice-len" => {
+                stream_slice_len =
+                    Some(numeric("--stream-slice-len", value("--stream-slice-len")?)?);
+            }
+            "--stream-exec-threshold" => {
+                stream_exec_threshold = Some(numeric(
+                    "--stream-exec-threshold",
+                    value("--stream-exec-threshold")?,
+                )?);
+            }
+            "--stream-window" => {
+                let w: usize = numeric("--stream-window", value("--stream-window")?)?;
+                if w == 0 {
+                    return Err("--stream-window must be at least 1".to_owned());
+                }
+                config.stream.window = w;
+            }
+            "--stream-hysteresis" => {
+                let h: u32 = numeric("--stream-hysteresis", value("--stream-hysteresis")?)?;
+                if h == 0 {
+                    return Err("--stream-hysteresis must be at least 1".to_owned());
+                }
+                config.stream.hysteresis = h;
+            }
+            "--stream-max-lag" => {
+                let l: usize = numeric("--stream-max-lag", value("--stream-max-lag")?)?;
+                if l == 0 {
+                    return Err("--stream-max-lag must be at least 1".to_owned());
+                }
+                config.stream.max_lag = l;
+            }
+            "--max-subscriber-queue" => {
+                let q: usize = numeric("--max-subscriber-queue", value("--max-subscriber-queue")?)?;
+                if q == 0 {
+                    return Err("--max-subscriber-queue must be at least 1".to_owned());
+                }
+                config.max_subscriber_queue = q;
+            }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: twodprofd [--addr HOST:PORT] [--addr-file PATH]\n\
                      \x20               [--max-sessions N] [--max-events N]\n\
                      \x20               [--idle-timeout-ms N] [--drain-timeout-ms N] [--quiet]\n\
                      \x20               [--stats-interval SECS] [--no-record]\n\
+                     \x20               [--stream-slice-len N --stream-exec-threshold N]\n\
+                     \x20               [--stream-window N] [--stream-hysteresis N]\n\
+                     \x20               [--stream-max-lag N] [--max-subscriber-queue N]\n\
                      default address {DEFAULT_ADDR}; port 0 binds an ephemeral port\n\
                      --addr-file writes the bound address to PATH once listening\n\
                      --stats-interval prints a stderr stats line every SECS seconds\n\
                      --no-record disables session trace recording (Resim frames\n\
                      then fail with BAD_STATE, at ~1 byte/event less memory)\n\
+                     --stream-* shape the per-program streaming profiler backing\n\
+                     the Subscribe/watch drift feed (window is in slices,\n\
+                     hysteresis in consecutive folds, max-lag in epochs)\n\
                      SIGINT/SIGTERM shut down gracefully, finishing in-flight sessions"
                 ));
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
     }
+    config.stream.slice = match (stream_slice_len, stream_exec_threshold) {
+        (None, None) => config.stream.slice,
+        (Some(len), Some(thr)) if len > 0 && thr < len => SliceConfig::new(len, thr),
+        (Some(_), Some(_)) => {
+            return Err("need --stream-exec-threshold < --stream-slice-len > 0".to_owned());
+        }
+        _ => {
+            return Err("--stream-slice-len and --stream-exec-threshold go together".to_owned());
+        }
+    };
     let quiet = config.quiet;
     let server = Server::bind(&addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = server
@@ -141,6 +201,7 @@ pub fn replay_main(args: &[String]) -> Result<(), String> {
         slice: None,
         verify: false,
         trace: false,
+        program: String::new(),
     };
     let mut trace_out: Option<String> = None;
     let mut slice_len = None;
@@ -167,17 +228,20 @@ pub fn replay_main(args: &[String]) -> Result<(), String> {
                 trace_out = Some(value("--trace-out")?.to_owned());
                 spec.trace = true;
             }
+            "--program" => spec.program = value("--program")?.to_owned(),
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: twodprof-client replay WORKLOAD INPUT [--addr HOST:PORT]\n\
                      \x20      [--scale tiny|small|full] [--predictor ID] [--batch N]\n\
                      \x20      [--slice-len N --exec-threshold N] [--verify]\n\
-                     \x20      [--trace-out PATH]\n\
+                     \x20      [--trace-out PATH] [--program NAME]\n\
                      streams WORKLOAD's INPUT branch stream to a twodprofd at --addr\n\
                      (default {DEFAULT_ADDR}) and prints the returned report summary;\n\
                      --verify also profiles in-process and fails on any report diff\n\
                      --trace-out writes a stitched client+daemon span trace as\n\
                      Chrome trace-event JSON (load in chrome://tracing or Perfetto)\n\
+                     --program joins the session to the daemon's shared streaming\n\
+                     profiler under NAME (observe with `twodprof-client watch NAME`)\n\
                      predictors: {}",
                     PredictorKind::ids().collect::<Vec<_>>().join(" ")
                 ));
@@ -277,6 +341,220 @@ pub fn stats_main(args: &[String]) -> Result<(), String> {
     }
     let snapshot = fetch_stats(addr.as_str()).map_err(|e| e.to_string())?;
     print!("{}", snapshot.to_text());
+    Ok(())
+}
+
+/// Entry point for `twodprof-client watch` (and `repro watch`): subscribes
+/// to a program's streaming verdicts, prints the initial snapshot table,
+/// then streams drift events until the daemon closes, `--limit` is reached,
+/// or the process is killed.
+///
+/// # Errors
+///
+/// Returns a usage/transport error message for the caller to print.
+pub fn watch_main(args: &[String]) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_owned();
+    let mut snapshot_only = false;
+    let mut limit: u64 = 0;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?.to_owned(),
+            "--snapshot" => snapshot_only = true,
+            "--limit" => limit = numeric("--limit", value("--limit")?)?,
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: twodprof-client watch PROGRAM [--addr HOST:PORT]\n\
+                     \x20      [--snapshot] [--limit N]\n\
+                     subscribes to PROGRAM's streaming verdicts on a twodprofd at\n\
+                     --addr (default {DEFAULT_ADDR}): prints the current verdict\n\
+                     table, then one line per drift event as windows fold\n\
+                     --snapshot prints the table and exits without subscribing\n\
+                     --limit N exits successfully after N drift events (0 = run\n\
+                     until the daemon closes the stream)"
+                ));
+            }
+            other if !other.starts_with('-') => positional.push(other.to_owned()),
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if positional.first().map(String::as_str) == Some("watch") {
+        positional.remove(0);
+    }
+    let [program] = positional.as_slice() else {
+        return Err("expected: watch PROGRAM (try --help)".to_owned());
+    };
+    if snapshot_only {
+        let snap = fetch_verdicts(addr.as_str(), program).map_err(|e| e.to_string())?;
+        print_snapshot(&snap, program);
+        return Ok(());
+    }
+    let mut watch = WatchClient::connect(addr.as_str(), program).map_err(|e| e.to_string())?;
+    print_snapshot(watch.snapshot(), program);
+    let mut seen = 0u64;
+    loop {
+        match watch.next_event().map_err(|e| e.to_string())? {
+            Some(ev) => {
+                println!(
+                    "drift: site {} {} -> {} @ epoch {}",
+                    ev.site, ev.from, ev.to, ev.epoch
+                );
+                seen += 1;
+                if limit > 0 && seen >= limit {
+                    break;
+                }
+            }
+            None => {
+                println!("watch: daemon closed the stream after {seen} drift event(s)");
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn print_snapshot(snap: &VerdictSnapshot, program: &str) {
+    let fmt_opt = |v: Option<f64>| match v {
+        Some(v) => format!("{v:.4}"),
+        None => "-".to_owned(),
+    };
+    println!(
+        "program {program:?}: {} epoch(s) folded, window {} slice(s) of {}, accuracy {}",
+        snap.epoch,
+        snap.window,
+        snap.slice_len,
+        fmt_opt(snap.program_accuracy)
+    );
+    println!(
+        "{:>6}  {:<13} {:>7} {:>8} {:>8} {:>8}",
+        "site", "verdict", "slices", "mean", "std", "pam"
+    );
+    for (i, s) in snap.sites.iter().enumerate() {
+        println!(
+            "{:>6}  {:<13} {:>7} {:>8} {:>8} {:>8}",
+            i,
+            s.verdict.to_string(),
+            s.slices,
+            fmt_opt(s.mean),
+            fmt_opt(s.std_dev),
+            fmt_opt(s.pam_fraction)
+        );
+    }
+}
+
+/// Entry point for `twodprof-client drive`: streams a synthetic
+/// phase-changing workload into a daemon under a program id, so a
+/// concurrent `watch` of the same program observes drift events. Site 0
+/// alternates between an always-taken phase and a pseudo-random phase every
+/// `--flip-every` events (the paper's input-dependent signature); the
+/// remaining sites stay steadily predictable.
+///
+/// # Errors
+///
+/// Returns a usage/transport error message for the caller to print.
+pub fn drive_main(args: &[String]) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_owned();
+    let mut sites: u32 = 4;
+    let mut events: u64 = 400_000;
+    let mut flip_every: u64 = 50_000;
+    let mut seed: u64 = 0x2545_F491_4F6C_DD1D;
+    let mut predictor = PredictorKind::Gshare4Kb;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?.to_owned(),
+            "--sites" => sites = numeric("--sites", value("--sites")?)?,
+            "--events" => events = numeric("--events", value("--events")?)?,
+            "--flip-every" => flip_every = numeric("--flip-every", value("--flip-every")?)?,
+            "--seed" => seed = numeric("--seed", value("--seed")?)?,
+            "--predictor" => predictor = parse_predictor(value("--predictor")?)?,
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: twodprof-client drive PROGRAM [--addr HOST:PORT]\n\
+                     \x20      [--sites N] [--events N] [--flip-every N] [--seed N]\n\
+                     \x20      [--predictor ID]\n\
+                     streams a synthetic phase-changing branch workload to a\n\
+                     twodprofd at --addr (default {DEFAULT_ADDR}) under PROGRAM:\n\
+                     site 0 flips between always-taken and pseudo-random phases\n\
+                     every --flip-every events, driving verdict drift observable\n\
+                     with `twodprof-client watch PROGRAM`"
+                ));
+            }
+            other if !other.starts_with('-') => positional.push(other.to_owned()),
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if positional.first().map(String::as_str) == Some("drive") {
+        positional.remove(0);
+    }
+    let [program] = positional.as_slice() else {
+        return Err("expected: drive PROGRAM (try --help)".to_owned());
+    };
+    if sites == 0 {
+        return Err("--sites must be at least 1".to_owned());
+    }
+    let slice = SliceConfig::new(8192, 16);
+    let mut session = RemoteSession::connect_with_program(
+        addr.as_str(),
+        sites as usize,
+        predictor,
+        slice,
+        program,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut rng = seed | 1;
+    let mut batch: Vec<(SiteId, bool)> = Vec::with_capacity(DEFAULT_BATCH_EVENTS);
+    let mut sent = 0u64;
+    for i in 0..events {
+        let site = (i % sites as u64) as u32;
+        let taken = if site == 0 {
+            let phase = (i / flip_every) % 2;
+            if phase == 0 {
+                true
+            } else {
+                rng = rng
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                (rng >> 63) & 1 == 1
+            }
+        } else {
+            // steady alternation: trivially learnable, so these sites stay
+            // input-independent and never drift
+            (i / sites as u64).is_multiple_of(2)
+        };
+        batch.push((SiteId(site), taken));
+        if batch.len() >= DEFAULT_BATCH_EVENTS {
+            session.send_events(&batch).map_err(|e| e.to_string())?;
+            sent += batch.len() as u64;
+            batch.clear();
+            if sent.is_multiple_of(DEFAULT_BATCH_EVENTS as u64 * 16) {
+                session.flush().map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    if !batch.is_empty() {
+        session.send_events(&batch).map_err(|e| e.to_string())?;
+    }
+    let report = session.finish().map_err(|e| e.to_string())?;
+    let report = report.report();
+    println!(
+        "drove {events} event(s) across {sites} site(s) into program {program:?} at {addr}: \
+         {} slice(s), {} predicted input-dependent",
+        report.total_slices(),
+        report.predicted_dependent().count()
+    );
     Ok(())
 }
 

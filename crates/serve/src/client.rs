@@ -11,6 +11,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use twodprof_core::{ProfileReport, SliceConfig};
 use twodprof_obs::trace::{self, ExportSpan, TraceContext};
 use twodprof_obs::Snapshot;
+use twodprof_stream::{DriftEvent, VerdictSnapshot};
 
 /// Default events buffered per [`RemoteTracer`] `Events` frame.
 pub const DEFAULT_BATCH_EVENTS: usize = 8192;
@@ -118,7 +119,24 @@ impl RemoteSession {
         predictor: PredictorKind,
         slice: SliceConfig,
     ) -> Result<Self, ClientError> {
-        Ok(Self::connect_inner(addr, num_sites, predictor, slice, None)?.0)
+        Ok(Self::connect_inner(addr, num_sites, predictor, slice, None, "")?.0)
+    }
+
+    /// Like [`connect`](Self::connect), but announces a program id: the
+    /// daemon merges every session sharing a non-empty program into that
+    /// program's streaming profiler, observable via `Subscribe`/`watch`.
+    ///
+    /// # Errors
+    ///
+    /// As [`connect`](Self::connect).
+    pub fn connect_with_program(
+        addr: impl ToSocketAddrs,
+        num_sites: usize,
+        predictor: PredictorKind,
+        slice: SliceConfig,
+        program: &str,
+    ) -> Result<Self, ClientError> {
+        Ok(Self::connect_inner(addr, num_sites, predictor, slice, None, program)?.0)
     }
 
     /// Like [`connect`](Self::connect), but first propagates `ctx` (the
@@ -137,8 +155,10 @@ impl RemoteSession {
         predictor: PredictorKind,
         slice: SliceConfig,
         ctx: TraceContext,
+        program: &str,
     ) -> Result<(Self, TraceLink), ClientError> {
-        let (session, link) = Self::connect_inner(addr, num_sites, predictor, slice, Some(ctx))?;
+        let (session, link) =
+            Self::connect_inner(addr, num_sites, predictor, slice, Some(ctx), program)?;
         Ok((session, link.expect("trace link present when ctx was sent")))
     }
 
@@ -148,6 +168,7 @@ impl RemoteSession {
         predictor: PredictorKind,
         slice: SliceConfig,
         ctx: Option<TraceContext>,
+        program: &str,
     ) -> Result<(Self, Option<TraceLink>), ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
@@ -184,6 +205,7 @@ impl RemoteSession {
             predictor,
             slice_len: slice.slice_len(),
             exec_threshold: slice.exec_threshold(),
+            program: program.to_owned(),
         })
         .write_to(&mut session.writer)?;
         session.writer.flush()?;
@@ -312,6 +334,8 @@ fn unexpected(wanted: &str, got: &ServerFrame) -> ClientError {
         ServerFrame::StatsReply(_) => "StatsReply",
         ServerFrame::TraceAck { .. } => "TraceAck",
         ServerFrame::TraceSpans(_) => "TraceSpans",
+        ServerFrame::VerdictSnapshot(_) => "VerdictSnapshot",
+        ServerFrame::DriftEvent(_) => "DriftEvent",
     };
     ClientError::Protocol(format!("expected {wanted}, got {label}"))
 }
@@ -406,6 +430,108 @@ pub fn fetch_stats(addr: impl ToSocketAddrs) -> Result<Snapshot, ClientError> {
         ServerFrame::Busy { msg } => Err(ClientError::Busy(msg)),
         ServerFrame::Error { code, msg } => Err(ClientError::Server { code, msg }),
         other => Err(unexpected("StatsReply", &other)),
+    }
+}
+
+/// Fetches the current streaming verdict snapshot for `program` over a
+/// one-shot connection (`Subscribe` with the watch flag clear). Sessionless,
+/// like [`fetch_stats`]; works while sessions for the program are still
+/// streaming.
+///
+/// # Errors
+///
+/// [`ClientError::Server`] with [`codes::BAD_STATE`](crate::wire::codes) if
+/// the daemon has never seen the program, plus transport errors and
+/// [`ClientError::Protocol`] if the reply is not a decodable
+/// `VerdictSnapshot`.
+pub fn fetch_verdicts(
+    addr: impl ToSocketAddrs,
+    program: &str,
+) -> Result<VerdictSnapshot, ClientError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    ClientFrame::Subscribe {
+        program: program.to_owned(),
+        watch: false,
+    }
+    .write_to(&mut writer)?;
+    writer.flush()?;
+    match ServerFrame::read_from(&mut reader)? {
+        ServerFrame::VerdictSnapshot(bytes) => VerdictSnapshot::from_bytes(&bytes)
+            .map_err(|e| ClientError::Protocol(format!("undecodable verdict snapshot: {e}"))),
+        ServerFrame::Busy { msg } => Err(ClientError::Busy(msg)),
+        ServerFrame::Error { code, msg } => Err(ClientError::Server { code, msg }),
+        other => Err(unexpected("VerdictSnapshot", &other)),
+    }
+}
+
+/// A live drift subscription: `Subscribe` with the watch flag set, holding
+/// the connection open while the daemon pushes a [`DriftEvent`] frame for
+/// every hysteresis-confirmed verdict flip.
+///
+/// The daemon answers the subscription with an initial [`VerdictSnapshot`]
+/// (available via [`snapshot`](Self::snapshot)); after that, [`next`]
+/// (Self::next) blocks on the socket until the next drift event arrives or
+/// the daemon ends the stream.
+pub struct WatchClient {
+    reader: BufReader<TcpStream>,
+    snapshot: VerdictSnapshot,
+}
+
+impl WatchClient {
+    /// Connects and subscribes to `program`'s drift stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with
+    /// [`codes::BAD_STATE`](crate::wire::codes) if the daemon has never seen
+    /// the program, plus transport and protocol errors.
+    pub fn connect(addr: impl ToSocketAddrs, program: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        ClientFrame::Subscribe {
+            program: program.to_owned(),
+            watch: true,
+        }
+        .write_to(&mut writer)?;
+        writer.flush()?;
+        let snapshot = match ServerFrame::read_from(&mut reader)? {
+            ServerFrame::VerdictSnapshot(bytes) => VerdictSnapshot::from_bytes(&bytes)
+                .map_err(|e| ClientError::Protocol(format!("undecodable verdict snapshot: {e}")))?,
+            ServerFrame::Busy { msg } => return Err(ClientError::Busy(msg)),
+            ServerFrame::Error { code, msg } => return Err(ClientError::Server { code, msg }),
+            other => return Err(unexpected("VerdictSnapshot", &other)),
+        };
+        Ok(Self { reader, snapshot })
+    }
+
+    /// The verdict snapshot taken when the subscription was accepted.
+    pub fn snapshot(&self) -> &VerdictSnapshot {
+        &self.snapshot
+    }
+
+    /// Blocks until the next drift event. Returns `Ok(None)` when the
+    /// daemon closes the stream cleanly (shutdown drain).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Busy`] if the daemon shed this subscriber for falling
+    /// behind, plus transport and protocol errors.
+    pub fn next_event(&mut self) -> Result<Option<DriftEvent>, ClientError> {
+        match ServerFrame::read_from(&mut self.reader) {
+            Ok(ServerFrame::DriftEvent(bytes)) => DriftEvent::from_bytes(&bytes)
+                .map(Some)
+                .map_err(|e| ClientError::Protocol(format!("undecodable drift event: {e}"))),
+            Ok(ServerFrame::Busy { msg }) => Err(ClientError::Busy(msg)),
+            Ok(ServerFrame::Error { code, msg }) => Err(ClientError::Server { code, msg }),
+            Ok(other) => Err(unexpected("DriftEvent", &other)),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(None),
+            Err(e) => Err(ClientError::Io(e)),
+        }
     }
 }
 

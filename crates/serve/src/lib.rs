@@ -42,8 +42,8 @@ mod server;
 pub mod wire;
 
 pub use client::{
-    fetch_stats, fetch_trace, ClientError, RemoteReport, RemoteSession, RemoteTracer, TraceLink,
-    DEFAULT_BATCH_EVENTS,
+    fetch_stats, fetch_trace, fetch_verdicts, ClientError, RemoteReport, RemoteSession,
+    RemoteTracer, TraceLink, WatchClient, DEFAULT_BATCH_EVENTS,
 };
 pub use replay::{
     replay_workload, ReplayError, ReplaySpec, ReplaySummary, ReplayTrace, TRACE_PID_CLIENT,

@@ -84,6 +84,9 @@ pub struct ReplaySpec {
     /// Capture a stitched client↔daemon span trace of the replay and
     /// return it in [`ReplaySummary::trace`].
     pub trace: bool,
+    /// Program id announced in the `Hello`; non-empty joins this session to
+    /// the daemon's shared streaming profiler for that program (`watch`).
+    pub program: String,
 }
 
 /// The result of one replay.
@@ -171,10 +174,17 @@ pub fn replay_workload(
             spec.predictor,
             slice,
             ctx,
+            &spec.program,
         )?;
         (session, Some(link))
     } else {
-        let session = RemoteSession::connect(addr, workload.sites().len(), spec.predictor, slice)?;
+        let session = RemoteSession::connect_with_program(
+            addr,
+            workload.sites().len(),
+            spec.predictor,
+            slice,
+            &spec.program,
+        )?;
         (session, None)
     };
     let remote = RemoteTracer::with_batch_size(session, spec.batch);

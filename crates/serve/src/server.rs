@@ -27,15 +27,18 @@
 use crate::wire::{codes, ClientFrame, Hello, ServerFrame, MAX_SITES, PROTOCOL_VERSION};
 use bpred::BranchPredictor;
 use btrace::{RecordedTrace, SiteId, Tracer};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
 use twodprof_obs::trace::{self, Span, TraceContext};
+use twodprof_stream::{
+    DriftEvent, SessionIngest, StreamConfig, StreamingProfiler, VerdictSnapshot,
+};
 
 /// Tuning knobs of a daemon instance.
 #[derive(Clone, Debug)]
@@ -62,6 +65,12 @@ pub struct ServerConfig {
     /// without re-streaming. Costs ~1.1 bytes per dynamic branch of daemon
     /// memory per open session; disable for ingest-only deployments.
     pub record_sessions: bool,
+    /// Streaming-profiler geometry (epoch length, window, hysteresis)
+    /// shared by every program this daemon aggregates.
+    pub stream: StreamConfig,
+    /// Drift events buffered per `watch` subscriber before the daemon sheds
+    /// it (slow-consumer protection).
+    pub max_subscriber_queue: usize,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +83,8 @@ impl Default for ServerConfig {
             quiet: false,
             stats_interval: None,
             record_sessions: true,
+            stream: StreamConfig::default(),
+            max_subscriber_queue: 1024,
         }
     }
 }
@@ -97,6 +108,39 @@ struct ConnEntry {
     last_seen: Arc<Mutex<Instant>>,
 }
 
+/// One program's shared streaming state: the merged profiler plus the
+/// `watch` subscribers its drift events fan out to. Lives in the registry
+/// for the daemon's lifetime so snapshots keep answering after every
+/// session of the program ended.
+struct ProgramStream {
+    /// `None` until the program's first session declares its site table.
+    profiler: Mutex<Option<StreamingProfiler>>,
+    subscribers: Mutex<Vec<Arc<Subscriber>>>,
+}
+
+/// A `watch` connection's bounded drift-event queue, filled by publishing
+/// session threads and drained by the watcher's push loop.
+#[derive(Default)]
+struct Subscriber {
+    queue: Mutex<SubQueue>,
+    cond: Condvar,
+}
+
+#[derive(Default)]
+struct SubQueue {
+    events: VecDeque<DriftEvent>,
+    /// The queue overflowed; the push loop tells the client and hangs up.
+    shed: bool,
+    /// The push loop exited; publishers drop the subscriber on next fan-out.
+    closed: bool,
+}
+
+/// A live session's attachment to its program's streaming profiler.
+struct ProgramSession {
+    stream: Arc<ProgramStream>,
+    ingest: SessionIngest,
+}
+
 struct Shared {
     config: ServerConfig,
     shutdown: AtomicBool,
@@ -105,6 +149,8 @@ struct Shared {
     active_conns: AtomicUsize,
     live_sessions: AtomicUsize,
     conns: Mutex<HashMap<u64, ConnEntry>>,
+    /// Streaming profilers keyed by program id (from `Hello.program`).
+    programs: Mutex<HashMap<String, Arc<ProgramStream>>>,
     sessions_opened: AtomicU64,
     sessions_finished: AtomicU64,
     sessions_aborted: AtomicU64,
@@ -125,6 +171,103 @@ impl Shared {
         if !self.config.quiet {
             eprintln!("[twodprofd] {msg}");
         }
+    }
+
+    /// Looks up (or creates) the program's streaming state and attaches a
+    /// new session to it. The first session's site table sizes the shared
+    /// profiler; later sessions may declare fewer sites but not more.
+    fn join_program(&self, name: &str, num_sites: u32) -> Result<ProgramSession, String> {
+        let stream = {
+            let mut programs = self.programs.lock().expect("program table");
+            programs
+                .entry(name.to_owned())
+                .or_insert_with(|| {
+                    Arc::new(ProgramStream {
+                        profiler: Mutex::new(None),
+                        subscribers: Mutex::new(Vec::new()),
+                    })
+                })
+                .clone()
+        };
+        let mut profiler = stream.profiler.lock().expect("stream profiler");
+        let prof = profiler
+            .get_or_insert_with(|| StreamingProfiler::new(num_sites as usize, self.config.stream));
+        if num_sites as usize > prof.num_sites() {
+            return Err(format!(
+                "program {name:?} is registered with {} site(s); session declares {num_sites}",
+                prof.num_sites()
+            ));
+        }
+        let ingest = prof.begin_session();
+        drop(profiler);
+        Ok(ProgramSession { stream, ingest })
+    }
+
+    /// The program's current verdict snapshot, or an empty one if no
+    /// session has initialized it yet (watchers may subscribe first).
+    fn program_snapshot(&self, stream: &ProgramStream) -> VerdictSnapshot {
+        let profiler = stream.profiler.lock().expect("stream profiler");
+        match profiler.as_ref() {
+            Some(p) => p.snapshot(),
+            None => VerdictSnapshot {
+                epoch: 0,
+                window: self.config.stream.window as u64,
+                slice_len: self.config.stream.slice.slice_len(),
+                program_accuracy: None,
+                sites: Vec::new(),
+            },
+        }
+    }
+}
+
+/// Fans freshly folded drift events out to the program's watchers under a
+/// `serve.push` span, shedding any subscriber whose bounded queue would
+/// overflow, and publishes the deepest queue as the subscriber-lag gauge.
+fn publish_drift(shared: &Shared, stream: &ProgramStream, events: &[DriftEvent]) {
+    let _span = twodprof_obs::span!("serve.push");
+    let mut max_depth = 0usize;
+    let mut subs = stream.subscribers.lock().expect("subscriber list");
+    subs.retain(|sub| {
+        let mut q = sub.queue.lock().expect("subscriber queue");
+        if q.closed || q.shed {
+            return false;
+        }
+        if q.events.len() + events.len() > shared.config.max_subscriber_queue {
+            q.shed = true;
+            sub.cond.notify_all();
+            twodprof_obs::counter!(
+                "serve_subscriber_drops_total",
+                "Watch subscribers shed because their drift queue overflowed."
+            )
+            .inc();
+            return false;
+        }
+        q.events.extend(events.iter().copied());
+        max_depth = max_depth.max(q.events.len());
+        sub.cond.notify_all();
+        true
+    });
+    drop(subs);
+    twodprof_obs::gauge!(
+        "serve_subscriber_lag",
+        "Deepest watch-subscriber drift queue at last fan-out."
+    )
+    .set(max_depth as i64);
+}
+
+/// Detaches a session from its program's streaming profiler — on `Finish`
+/// or on any abort path, so a dead session never stalls the fold watermark
+/// — and fans out whatever drift events the final folds produced.
+fn detach_program(shared: &Shared, ps: ProgramSession) {
+    let mut out = Vec::new();
+    {
+        let mut profiler = ps.stream.profiler.lock().expect("stream profiler");
+        if let Some(p) = profiler.as_mut() {
+            p.finish_session(ps.ingest, &mut out);
+        }
+    }
+    if !out.is_empty() {
+        publish_drift(shared, &ps.stream, &out);
     }
 }
 
@@ -189,6 +332,7 @@ impl Server {
                 active_conns: AtomicUsize::new(0),
                 live_sessions: AtomicUsize::new(0),
                 conns: Mutex::new(HashMap::new()),
+                programs: Mutex::new(HashMap::new()),
                 sessions_opened: AtomicU64::new(0),
                 sessions_finished: AtomicU64::new(0),
                 sessions_aborted: AtomicU64::new(0),
@@ -336,10 +480,11 @@ fn gc_loop(shared: &Shared) {
 /// rates computed with `Snapshot::delta` (always printed, even with
 /// `quiet` connection logs — enabling the interval is itself the opt-in).
 ///
-/// Two lines per tick: the session/event line, then the storage-tier and
+/// Three lines per tick: the session/event line, the storage-tier and
 /// trace line — memo-tier vs disk-tier cache hits (distinct since the PR
 /// that split the counters), misses, corrupt entries, and the recorded /
-/// replayed trace totals.
+/// replayed trace totals — and the streaming line (windows folded,
+/// verdicts, drift events, subscriber drops).
 fn stats_loop(shared: &Shared, interval: Duration) {
     let interval = interval.max(Duration::from_millis(10));
     let mut last_events = 0u64;
@@ -387,6 +532,17 @@ fn stats_loop(shared: &Shared, interval: Duration) {
             total("trace_replay_total"),
             tick("trace_replay_total"),
         );
+        eprintln!(
+            "[twodprofd] stats: stream {} window(s) folded (+{}), {} verdict(s) (+{}), {} drift event(s) (+{}), {} subscriber drop(s) (+{})",
+            total("stream_windows_folded_total"),
+            tick("stream_windows_folded_total"),
+            total("stream_verdicts_total"),
+            tick("stream_verdicts_total"),
+            total("stream_drift_events_total"),
+            tick("stream_drift_events_total"),
+            total("serve_subscriber_drops_total"),
+            tick("serve_subscriber_drops_total"),
+        );
         last_events = stats.events_ingested;
         last_tick = now;
         last_snap = snap;
@@ -404,6 +560,9 @@ struct LiveSession {
     recorded: Option<RecordedTrace>,
     /// The session's slice geometry, reused verbatim for re-simulations.
     slice: SliceConfig,
+    /// Attachment to the shared per-program streaming profiler, when the
+    /// session's `Hello` named a program.
+    program: Option<ProgramSession>,
     /// Context per-frame spans attach under: the session's trace id plus
     /// the session span's id.
     child_ctx: TraceContext,
@@ -442,9 +601,12 @@ fn serve_conn(shared: &Shared, stream: TcpStream, id: u64) -> io::Result<()> {
         &mut session,
         &last_seen,
     );
-    if let Some(s) = session {
+    if let Some(mut s) = session {
         // the connection ended with a session still open: disconnect, idle
         // reap, or a protocol error — drop the profiler and account for it
+        if let Some(ps) = s.program.take() {
+            detach_program(shared, ps);
+        }
         shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
         shared.sessions_aborted.fetch_add(1, Ordering::SeqCst);
         twodprof_obs::counter!(
@@ -565,17 +727,40 @@ fn session_loop<R: Read, W: Write>(
                         },
                     );
                 }
-                for (site, taken) in events {
-                    if site >= live.num_sites {
-                        return send_error(
-                            writer,
-                            codes::SITE_RANGE,
-                            format!("site {site} outside table of {}", live.num_sites),
-                        );
+                if let Some(&(site, _)) = events.iter().find(|&&(site, _)| site >= live.num_sites) {
+                    return send_error(
+                        writer,
+                        codes::SITE_RANGE,
+                        format!("site {site} outside table of {}", live.num_sites),
+                    );
+                }
+                match live.program.as_mut() {
+                    // Streaming sessions iterate in chunks bounded by the
+                    // open epoch's remaining capacity, so the per-event
+                    // streaming cost is two counter adds — the slice
+                    // bookkeeping settles once per chunk.
+                    Some(ps) => {
+                        let mut rest = &events[..];
+                        while !rest.is_empty() {
+                            let take = (ps.ingest.slice_remaining() as usize).min(rest.len());
+                            for &(site, taken) in &rest[..take] {
+                                let correct = live.profiler.branch_outcome(SiteId(site), taken);
+                                ps.ingest.tally(SiteId(site), correct);
+                                if let Some(rec) = live.recorded.as_mut() {
+                                    rec.branch(SiteId(site), taken);
+                                }
+                            }
+                            ps.ingest.advance(take as u64);
+                            rest = &rest[take..];
+                        }
                     }
-                    live.profiler.branch(SiteId(site), taken);
-                    if let Some(rec) = live.recorded.as_mut() {
-                        rec.branch(SiteId(site), taken);
+                    None => {
+                        for &(site, taken) in &events {
+                            live.profiler.branch_outcome(SiteId(site), taken);
+                            if let Some(rec) = live.recorded.as_mut() {
+                                rec.branch(SiteId(site), taken);
+                            }
+                        }
                     }
                 }
                 live.events += n;
@@ -585,6 +770,22 @@ fn session_loop<R: Read, W: Write>(
                     "Branch events ingested across all sessions."
                 )
                 .add(n);
+                // hand completed epochs to the program's shared profiler and
+                // fan out any drift its folds confirmed
+                if let Some(ps) = live.program.as_mut() {
+                    if ps.ingest.pending_epochs() > 0 {
+                        let mut drift = Vec::new();
+                        {
+                            let mut profiler = ps.stream.profiler.lock().expect("stream profiler");
+                            if let Some(p) = profiler.as_mut() {
+                                p.ingest(&mut ps.ingest, &mut drift);
+                            }
+                        }
+                        if !drift.is_empty() {
+                            publish_drift(shared, &ps.stream, &drift);
+                        }
+                    }
+                }
             }
             ClientFrame::Flush => {
                 let Some(live) = session.as_ref() else {
@@ -598,9 +799,12 @@ fn session_loop<R: Read, W: Write>(
                 )?;
             }
             ClientFrame::Finish => {
-                let Some(live) = session.take() else {
+                let Some(mut live) = session.take() else {
                     return send_error(writer, codes::BAD_STATE, "Finish before Hello".into());
                 };
+                if let Some(ps) = live.program.take() {
+                    detach_program(shared, ps);
+                }
                 shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
                 shared.sessions_finished.fetch_add(1, Ordering::Relaxed);
                 twodprof_obs::counter!(
@@ -675,7 +879,89 @@ fn session_loop<R: Read, W: Write>(
                 let bytes = trace::encode_spans(trace_id, &spans);
                 send(writer, &ServerFrame::TraceSpans(bytes))?;
             }
+            ClientFrame::Subscribe { program, watch } => {
+                if watch && session.is_some() {
+                    return send_error(
+                        writer,
+                        codes::BAD_STATE,
+                        "watch is not allowed on a session connection".into(),
+                    );
+                }
+                let stream = shared
+                    .programs
+                    .lock()
+                    .expect("program table")
+                    .get(&program)
+                    .cloned();
+                let Some(stream) = stream else {
+                    return send_error(
+                        writer,
+                        codes::BAD_STATE,
+                        format!("unknown program {program:?}"),
+                    );
+                };
+                let snapshot = shared.program_snapshot(&stream);
+                send(writer, &ServerFrame::VerdictSnapshot(snapshot.to_bytes()))?;
+                if !watch {
+                    // snapshot-only query; the connection stays usable
+                    continue;
+                }
+                let sub = Arc::new(Subscriber::default());
+                stream
+                    .subscribers
+                    .lock()
+                    .expect("subscriber list")
+                    .push(sub.clone());
+                shared.log(format_args!("conn {id}: watching program {program:?}"));
+                let result = watch_loop(shared, writer, &sub, last_seen);
+                sub.queue.lock().expect("subscriber queue").closed = true;
+                return result;
+            }
         }
+    }
+}
+
+/// Push loop of a `watch` connection: drains the subscriber's drift queue
+/// into `DriftEvent` frames, waking at least every 100 ms to refresh the
+/// idle-GC clock (an event-less watcher is idle on purpose) and to notice
+/// daemon shutdown. Exits cleanly on shutdown, with `Busy` after a
+/// queue-overflow shed, or with the I/O error of a dead peer.
+fn watch_loop<W: Write>(
+    shared: &Shared,
+    writer: &mut W,
+    sub: &Subscriber,
+    last_seen: &Mutex<Instant>,
+) -> io::Result<()> {
+    loop {
+        let batch: Vec<DriftEvent> = {
+            let mut q = sub.queue.lock().expect("subscriber queue");
+            loop {
+                if q.shed {
+                    return send(
+                        writer,
+                        &ServerFrame::Busy {
+                            msg: "subscriber lagging; drift events dropped".into(),
+                        },
+                    );
+                }
+                if !q.events.is_empty() {
+                    break q.events.drain(..).collect();
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                let (guard, _) = sub
+                    .cond
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .expect("subscriber queue");
+                q = guard;
+                *last_seen.lock().expect("last_seen") = Instant::now();
+            }
+        };
+        for event in &batch {
+            send(writer, &ServerFrame::DriftEvent(event.to_bytes()))?;
+        }
+        *last_seen.lock().expect("last_seen") = Instant::now();
     }
 }
 
@@ -690,6 +976,7 @@ fn frame_name(frame: &ClientFrame) -> &'static str {
         ClientFrame::Resim(_) => "serve.frame.resim",
         ClientFrame::TraceCtx { .. } => "serve.frame.trace_ctx",
         ClientFrame::TraceExport { .. } => "serve.frame.trace_export",
+        ClientFrame::Subscribe { .. } => "serve.frame.subscribe",
     }
 }
 
@@ -742,6 +1029,18 @@ fn admit(shared: &Shared, hello: &Hello, ctx: TraceContext) -> Admission {
             shared.config.max_sessions
         ));
     }
+    let program = if hello.program.is_empty() {
+        None
+    } else {
+        match shared.join_program(&hello.program, hello.num_sites) {
+            Ok(ps) => Some(ps),
+            Err(msg) => {
+                // release the session slot claimed above
+                shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
+                return Admission::Reject(codes::BAD_HELLO, msg);
+            }
+        }
+    };
     let config = SliceConfig::new(hello.slice_len, hello.exec_threshold);
     let span = Span::child_of(ctx, "serve.session");
     let child_ctx = span.context();
@@ -754,6 +1053,7 @@ fn admit(shared: &Shared, hello: &Hello, ctx: TraceContext) -> Admission {
             .record_sessions
             .then(|| RecordedTrace::new(hello.num_sites as usize)),
         slice: config,
+        program,
         child_ctx,
         _span: span,
     }))

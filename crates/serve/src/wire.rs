@@ -14,8 +14,9 @@
 //!
 //! client-msg := 0x01 hello | 0x02 events | 0x03 flush | 0x04 finish
 //!             | 0x05 stats | 0x06 resim | 0x07 trace-ctx | 0x08 trace-export
+//!             | 0x09 subscribe
 //! hello      := varint(protocol) varint(num_sites) string(predictor-id)
-//!               varint(slice_len) varint(exec_threshold)
+//!               varint(slice_len) varint(exec_threshold) string(program)
 //! events     := varint(count) { varint(site << 1 | taken) }*count
 //! flush      := ε
 //! finish     := ε
@@ -23,10 +24,13 @@
 //! resim      := string(predictor-id)             replay recorded session
 //! trace-ctx  := trace-id varint(parent-span)     propagate trace context
 //! trace-export := trace-id                       fetch server spans, any state
+//! subscribe  := string(program) varint(watch)    sessionless verdict query;
+//!                                                watch=1 keeps the connection
+//!                                                open for drift pushes
 //!
 //! server-msg := 0x81 hello-ok | 0x82 ack | 0x83 busy | 0x84 report
 //!             | 0x85 error | 0x86 stats-reply | 0x87 trace-ack
-//!             | 0x88 trace-spans
+//!             | 0x88 trace-spans | 0x89 stream-push
 //! hello-ok   := varint(session_id)
 //! ack        := varint(events_total)
 //! busy       := string(msg)
@@ -35,6 +39,8 @@
 //! stats-reply:= bytes                            twodprof_obs::Snapshot::write_to
 //! trace-ack  := varint(anchor_us)                server trace-clock at receipt
 //! trace-spans:= bytes                            twodprof_obs::trace::encode_spans
+//! stream-push:= 0x00 bytes                       twodprof_stream VerdictSnapshot
+//!             | 0x01 bytes                       twodprof_stream DriftEvent
 //!
 //! string     := varint(len) utf8-bytes
 //! trace-id   := 16 bytes, little-endian u128
@@ -49,7 +55,13 @@ use std::io::{self, Read, Write};
 
 /// Protocol revision spoken by this build. A server receiving any other
 /// value in `Hello` replies with [`codes::PROTOCOL`] and closes.
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// Revision 2 added the `Hello` program field and the
+/// `Subscribe`/stream-push frames.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// Ceiling on the length of a program id in `Hello` / `Subscribe`.
+pub const MAX_PROGRAM_LEN: usize = 256;
 
 /// Ceiling on one frame's payload, re-exported from the shared framing layer.
 pub const MAX_FRAME_LEN: usize = btrace::MAX_FRAME_LEN;
@@ -88,6 +100,7 @@ const TAG_STATS: u8 = 0x05;
 const TAG_RESIM: u8 = 0x06;
 const TAG_TRACE_CTX: u8 = 0x07;
 const TAG_TRACE_EXPORT: u8 = 0x08;
+const TAG_SUBSCRIBE: u8 = 0x09;
 const TAG_HELLO_OK: u8 = 0x81;
 const TAG_ACK: u8 = 0x82;
 const TAG_BUSY: u8 = 0x83;
@@ -96,9 +109,14 @@ const TAG_ERROR: u8 = 0x85;
 const TAG_STATS_REPLY: u8 = 0x86;
 const TAG_TRACE_ACK: u8 = 0x87;
 const TAG_TRACE_SPANS: u8 = 0x88;
+const TAG_STREAM_PUSH: u8 = 0x89;
+
+/// Sub-tags inside a `0x89` stream-push frame.
+const PUSH_SNAPSHOT: u8 = 0x00;
+const PUSH_DRIFT: u8 = 0x01;
 
 /// Session parameters announced by the client's first frame.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Hello {
     /// Must equal [`PROTOCOL_VERSION`].
     pub protocol: u64,
@@ -110,6 +128,10 @@ pub struct Hello {
     pub slice_len: u64,
     /// Per-slice minimum executions for a branch's sample to count.
     pub exec_threshold: u64,
+    /// Program this session belongs to. Sessions sharing a non-empty
+    /// program id are merged into that program's streaming profiler; empty
+    /// opts out of aggregation.
+    pub program: String,
 }
 
 /// Frames a client sends to `twodprofd`.
@@ -152,6 +174,17 @@ pub enum ClientFrame {
     TraceExport {
         /// Trace id to export.
         trace: u128,
+    },
+    /// Requests a program's current [`ServerFrame::VerdictSnapshot`].
+    /// Sessionless, like [`Stats`](Self::Stats). With `watch` set the
+    /// connection then stays open and the server pushes a
+    /// [`ServerFrame::DriftEvent`] for every published verdict flip until
+    /// either side disconnects.
+    Subscribe {
+        /// Program id to observe (as announced in `Hello`).
+        program: String,
+        /// Keep the connection open for drift pushes after the snapshot.
+        watch: bool,
     },
 }
 
@@ -202,6 +235,14 @@ pub enum ServerFrame {
     /// Reply to [`ClientFrame::TraceExport`]: a span block serialized by
     /// `twodprof_obs::trace::encode_spans` (opaque at this layer).
     TraceSpans(Vec<u8>),
+    /// Reply to [`ClientFrame::Subscribe`]: the program's current
+    /// `twodprof_stream::VerdictSnapshot`, serialized (opaque at this
+    /// layer). Shares wire tag `0x89` with
+    /// [`DriftEvent`](Self::DriftEvent), distinguished by a sub-tag byte.
+    VerdictSnapshot(Vec<u8>),
+    /// Pushed to a watching subscriber on every published verdict flip: a
+    /// serialized `twodprof_stream::DriftEvent` (opaque at this layer).
+    DriftEvent(Vec<u8>),
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
@@ -252,6 +293,7 @@ impl ClientFrame {
                 write_string(&mut buf, h.predictor.id());
                 write_varint(&mut buf, h.slice_len).expect("vec write");
                 write_varint(&mut buf, h.exec_threshold).expect("vec write");
+                write_string(&mut buf, &h.program);
             }
             ClientFrame::Events(events) => {
                 buf.push(TAG_EVENTS);
@@ -275,6 +317,11 @@ impl ClientFrame {
             ClientFrame::TraceExport { trace } => {
                 buf.push(TAG_TRACE_EXPORT);
                 buf.extend_from_slice(&trace.to_le_bytes());
+            }
+            ClientFrame::Subscribe { program, watch } => {
+                buf.push(TAG_SUBSCRIBE);
+                write_string(&mut buf, program);
+                write_varint(&mut buf, *watch as u64).expect("vec write");
             }
         }
         buf
@@ -302,12 +349,14 @@ impl ClientFrame {
                     .ok_or_else(|| invalid(format!("unknown predictor id {id:?}")))?;
                 let slice_len = read_varint(&mut r)?;
                 let exec_threshold = read_varint(&mut r)?;
+                let program = read_string(&mut r, MAX_PROGRAM_LEN)?;
                 ClientFrame::Hello(Hello {
                     protocol,
                     num_sites: num_sites as u32,
                     predictor,
                     slice_len,
                     exec_threshold,
+                    program,
                 })
             }
             TAG_EVENTS => {
@@ -345,6 +394,15 @@ impl ClientFrame {
             TAG_TRACE_EXPORT => ClientFrame::TraceExport {
                 trace: read_trace_id(&mut r)?,
             },
+            TAG_SUBSCRIBE => {
+                let program = read_string(&mut r, MAX_PROGRAM_LEN)?;
+                let watch = match read_varint(&mut r)? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(invalid(format!("bad watch flag {other}"))),
+                };
+                ClientFrame::Subscribe { program, watch }
+            }
             other => return Err(invalid(format!("unknown client frame tag {other:#04x}"))),
         };
         ensure_consumed(r)?;
@@ -409,6 +467,16 @@ impl ServerFrame {
                 buf.push(TAG_TRACE_SPANS);
                 buf.extend_from_slice(bytes);
             }
+            ServerFrame::VerdictSnapshot(bytes) => {
+                buf.push(TAG_STREAM_PUSH);
+                buf.push(PUSH_SNAPSHOT);
+                buf.extend_from_slice(bytes);
+            }
+            ServerFrame::DriftEvent(bytes) => {
+                buf.push(TAG_STREAM_PUSH);
+                buf.push(PUSH_DRIFT);
+                buf.extend_from_slice(bytes);
+            }
         }
         buf
     }
@@ -456,6 +524,20 @@ impl ServerFrame {
                 let bytes = r.to_vec();
                 r = &[];
                 ServerFrame::TraceSpans(bytes)
+            }
+            TAG_STREAM_PUSH => {
+                let mut sub = [0u8; 1];
+                r.read_exact(&mut sub)?;
+                // the remainder is the stream payload, opaque at this layer
+                let bytes = r.to_vec();
+                r = &[];
+                match sub[0] {
+                    PUSH_SNAPSHOT => ServerFrame::VerdictSnapshot(bytes),
+                    PUSH_DRIFT => ServerFrame::DriftEvent(bytes),
+                    other => {
+                        return Err(invalid(format!("unknown stream-push sub-tag {other:#04x}")))
+                    }
+                }
             }
             other => return Err(invalid(format!("unknown server frame tag {other:#04x}"))),
         };
@@ -507,6 +589,15 @@ mod tests {
             predictor: PredictorKind::Gshare4Kb,
             slice_len: 10_000,
             exec_threshold: 16,
+            program: "gzip".to_owned(),
+        }));
+        roundtrip_client(ClientFrame::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+            num_sites: 1,
+            predictor: PredictorKind::Gshare4Kb,
+            slice_len: 500,
+            exec_threshold: 4,
+            program: String::new(),
         }));
         roundtrip_client(ClientFrame::Events(vec![
             (0, true),
@@ -529,6 +620,31 @@ mod tests {
             parent: 0,
         });
         roundtrip_client(ClientFrame::TraceExport { trace: 1 });
+        roundtrip_client(ClientFrame::Subscribe {
+            program: "gzip".to_owned(),
+            watch: true,
+        });
+        roundtrip_client(ClientFrame::Subscribe {
+            program: String::new(),
+            watch: false,
+        });
+    }
+
+    #[test]
+    fn subscribe_rejects_bad_watch_flag_and_oversized_program() {
+        let mut payload = ClientFrame::Subscribe {
+            program: "p".to_owned(),
+            watch: true,
+        }
+        .encode();
+        *payload.last_mut().unwrap() = 2;
+        assert!(ClientFrame::decode(&payload).is_err());
+        let long = ClientFrame::Subscribe {
+            program: "x".repeat(MAX_PROGRAM_LEN + 1),
+            watch: false,
+        }
+        .encode();
+        assert!(ClientFrame::decode(&long).is_err());
     }
 
     #[test]
@@ -580,6 +696,16 @@ mod tests {
         roundtrip_server(ServerFrame::TraceAck { anchor_us: 1 << 50 });
         roundtrip_server(ServerFrame::TraceSpans(vec![1, 2, 3]));
         roundtrip_server(ServerFrame::TraceSpans(Vec::new()));
+        roundtrip_server(ServerFrame::VerdictSnapshot(vec![4, 5, 6]));
+        roundtrip_server(ServerFrame::VerdictSnapshot(Vec::new()));
+        roundtrip_server(ServerFrame::DriftEvent(vec![7, 8]));
+        roundtrip_server(ServerFrame::DriftEvent(Vec::new()));
+    }
+
+    #[test]
+    fn stream_push_rejects_unknown_subtag_and_missing_subtag() {
+        assert!(ServerFrame::decode(&[TAG_STREAM_PUSH, 0x02]).is_err());
+        assert!(ServerFrame::decode(&[TAG_STREAM_PUSH]).is_err());
     }
 
     #[test]
@@ -604,6 +730,7 @@ mod tests {
             predictor: PredictorKind::Gshare4Kb,
             slice_len: 100,
             exec_threshold: 4,
+            program: String::new(),
         })
         .encode();
         // corrupt the predictor id in place ("gshare4kb" -> "gshore4kb")

@@ -112,6 +112,7 @@ fn replay_verify_is_bit_identical() {
         slice: None,
         verify: true,
         trace: false,
+        program: String::new(),
     };
     let summary = replay_workload(daemon.addr, &spec).expect("replay");
     assert!(summary.events > 0, "workload must emit branch events");
@@ -312,6 +313,7 @@ fn protocol_version_mismatch_is_rejected() {
         predictor: PredictorKind::Gshare4Kb,
         slice_len: 64,
         exec_threshold: 4,
+        program: String::new(),
     })
     .write_to(&mut stream)
     .expect("write hello");
@@ -414,6 +416,7 @@ fn resim_with_unknown_predictor_id_gets_a_clean_error_frame() {
         predictor: PredictorKind::Gshare4Kb,
         slice_len: 64,
         exec_threshold: 4,
+        program: String::new(),
     })
     .write_to(&mut stream)
     .expect("write hello");
@@ -536,6 +539,7 @@ fn new_sessions_are_refused_while_draining() {
             predictor: PredictorKind::Gshare4Kb,
             slice_len: 64,
             exec_threshold: 4,
+            program: String::new(),
         })
         .write_to(&mut stream)
         .expect("write hello");

@@ -89,6 +89,7 @@ fn stats_counters_match_replayed_event_count() {
         slice: None,
         verify: false,
         trace: false,
+        program: String::new(),
     };
     let summary = replay_workload(daemon.addr, &spec).expect("replay");
     assert_eq!(summary.events, expected_events);

@@ -1,0 +1,240 @@
+//! End-to-end streaming tests: two concurrent sessions drive a
+//! phase-changing synthetic workload into one program's shared
+//! [`StreamingProfiler`] while a live `watch` subscription collects the
+//! drift events the verdict flips raise.
+
+use bpred::PredictorKind;
+use btrace::SiteId;
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use twodprof_core::{SliceConfig, Thresholds};
+use twodprof_serve::wire::codes;
+use twodprof_serve::{
+    fetch_stats, fetch_verdicts, ClientError, RemoteSession, Server, ServerConfig, ServerHandle,
+    ServerStats, WatchClient,
+};
+use twodprof_stream::StreamConfig;
+
+struct Daemon {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    join: Option<thread::JoinHandle<ServerStats>>,
+}
+
+impl Daemon {
+    fn start(config: ServerConfig) -> Self {
+        let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+        let addr = server.local_addr().expect("local addr");
+        let handle = server.handle();
+        let join = thread::spawn(move || server.run().expect("server run"));
+        Self {
+            addr,
+            handle,
+            join: Some(join),
+        }
+    }
+
+    fn stop(mut self) -> ServerStats {
+        self.handle.shutdown();
+        self.join
+            .take()
+            .expect("not yet stopped")
+            .join()
+            .expect("server thread")
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Fast-folding stream geometry: 500-event epochs, a 4-slice window,
+/// hysteresis 1 so every confirmed flip surfaces immediately.
+fn streaming_config() -> ServerConfig {
+    ServerConfig {
+        quiet: true,
+        stream: StreamConfig {
+            slice: SliceConfig::new(500, 16),
+            window: 4,
+            hysteresis: 1,
+            thresholds: Thresholds::paper(),
+            max_lag: 1000,
+        },
+        ..ServerConfig::default()
+    }
+}
+
+const NUM_SITES: usize = 4;
+const EVENTS_PER_SESSION: u64 = 20_000;
+const FLIP_EVERY: u64 = 5_000;
+
+/// Streams the drifting workload: site 0 alternates between an always-taken
+/// phase (near-perfect gshare accuracy) and a pseudo-random phase (~50%),
+/// the rest stay steadily alternating. `salt` decorrelates the two
+/// sessions' random phases. The session connects (registering `program`
+/// with the daemon), then parks at `ready` before streaming — sessions are
+/// fast enough on loopback to finish before a concurrent subscriber
+/// registers, and events published pre-subscription are never replayed.
+fn drive_session(addr: SocketAddr, program: &str, salt: u64, ready: &Barrier) {
+    let slice = SliceConfig::new(8192, 16);
+    let mut session = RemoteSession::connect_with_program(
+        addr,
+        NUM_SITES,
+        PredictorKind::Gshare4Kb,
+        slice,
+        program,
+    )
+    .expect("connect with program");
+    ready.wait();
+    let mut rng = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut batch = Vec::with_capacity(1024);
+    for i in 0..EVENTS_PER_SESSION {
+        let site = (i % NUM_SITES as u64) as u32;
+        let taken = if site == 0 {
+            if (i / FLIP_EVERY).is_multiple_of(2) {
+                true
+            } else {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng & 1 == 1
+            }
+        } else {
+            (i / NUM_SITES as u64).is_multiple_of(2)
+        };
+        batch.push((SiteId(site), taken));
+        if batch.len() == 1024 {
+            session.send_events(&batch).expect("send events");
+            batch.clear();
+            session.flush().expect("flush");
+        }
+    }
+    if !batch.is_empty() {
+        session.send_events(&batch).expect("send tail");
+    }
+    session.finish().expect("finish");
+}
+
+#[test]
+fn watch_collects_drift_from_concurrent_sessions() {
+    let daemon = Daemon::start(streaming_config());
+    let addr = daemon.addr;
+
+    // Sessions must exist before a subscription: the program registry entry
+    // is created by the first `Hello` naming it. Both sessions park at the
+    // barrier after connecting and only stream once the watch below is
+    // subscribed, so every drift event is published to a live subscriber.
+    let ready = Arc::new(Barrier::new(3));
+    let a = {
+        let ready = Arc::clone(&ready);
+        thread::spawn(move || drive_session(addr, "soak", 1, &ready))
+    };
+    let b = {
+        let ready = Arc::clone(&ready);
+        thread::spawn(move || drive_session(addr, "soak", 2, &ready))
+    };
+
+    // The subscription may race the first Hello; retry until the program
+    // registers.
+    let mut watch = loop {
+        match WatchClient::connect(addr, "soak") {
+            Ok(w) => break w,
+            Err(ClientError::Server { code, .. }) if code == codes::BAD_STATE => {
+                thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(e) => panic!("watch connect failed: {e}"),
+        }
+    };
+    assert_eq!(watch.snapshot().sites.len(), NUM_SITES);
+    assert_eq!(watch.snapshot().slice_len, 500);
+    assert_eq!(watch.snapshot().window, 4);
+    ready.wait();
+
+    a.join().expect("session a");
+    b.join().expect("session b");
+
+    // Sessions are done, so the program's epochs are all folded: the
+    // sessionless snapshot must reflect the final state.
+    let snap = fetch_verdicts(addr, "soak").expect("verdict snapshot");
+    assert_eq!(snap.sites.len(), NUM_SITES);
+    assert!(snap.epoch > 0, "epochs must have folded");
+    assert!(
+        snap.program_accuracy.is_some(),
+        "global accuracy must be populated"
+    );
+
+    let stats = fetch_stats(addr).expect("stats");
+    assert!(
+        stats.counter("stream_windows_folded_total").unwrap_or(0) > 0,
+        "windows must have folded"
+    );
+    assert_eq!(
+        stats
+            .counter("serve_frame_decode_errors_total")
+            .unwrap_or(0),
+        0,
+        "no frame may have failed to decode"
+    );
+    assert!(
+        stats.counter("stream_drift_events_total").unwrap_or(0) > 0,
+        "the phase flips must have raised drift events"
+    );
+
+    // Shut the daemon down in the background; the watch stream drains and
+    // closes, handing us everything published so far.
+    let stopper = thread::spawn(move || daemon.stop());
+    let mut events = Vec::new();
+    while let Some(ev) = watch.next_event().expect("drift frame") {
+        events.push(ev);
+    }
+    stopper.join().expect("daemon stop");
+
+    assert!(
+        !events.is_empty(),
+        "watch must observe at least one drift event"
+    );
+    // The steady sites may flip once while gshare warms up; sustained
+    // drift can only come from the phase-flipping site.
+    assert!(
+        events.iter().any(|e| e.site == 0),
+        "the phase-flipping site must drift: {events:?}"
+    );
+    assert!(
+        events.iter().all(|e| e.site == 0 || e.epoch < 8),
+        "steady sites may only flip during predictor warmup: {events:?}"
+    );
+    assert!(
+        events.iter().all(|e| e.from != e.to),
+        "drift events must describe real flips: {events:?}"
+    );
+}
+
+#[test]
+fn subscribe_to_unknown_program_is_rejected() {
+    let daemon = Daemon::start(streaming_config());
+    match fetch_verdicts(daemon.addr, "nobody") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, codes::BAD_STATE),
+        other => panic!("expected BAD_STATE, got {other:?}"),
+    }
+    match WatchClient::connect(daemon.addr, "nobody") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, codes::BAD_STATE),
+        other => panic!("expected BAD_STATE, got {:?}", other.err()),
+    }
+}
+
+#[test]
+fn program_registry_survives_session_end() {
+    let daemon = Daemon::start(streaming_config());
+    drive_session(daemon.addr, "once", 7, &Barrier::new(1));
+    // No live session remains, but the program's final verdicts stay
+    // queryable until the daemon exits.
+    let snap = fetch_verdicts(daemon.addr, "once").expect("snapshot after end");
+    assert!(snap.epoch > 0);
+    assert!(snap.sites.iter().any(|s| s.slices > 0));
+}

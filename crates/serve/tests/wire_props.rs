@@ -21,6 +21,7 @@ proptest! {
         pred_seed in any::<u8>(),
         slice_len in 1u64..1 << 40,
         thr_frac in 0.0f64..1.0,
+        program in "[a-z0-9./-]{0,32}",
     ) {
         let frame = ClientFrame::Hello(Hello {
             protocol: PROTOCOL_VERSION,
@@ -28,7 +29,15 @@ proptest! {
             predictor: predictor_from(pred_seed),
             slice_len,
             exec_threshold: ((slice_len as f64 - 1.0) * thr_frac) as u64,
+            program,
         });
+        let bytes = frame.encode();
+        prop_assert_eq!(ClientFrame::decode(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn subscribe_roundtrips(program in "[a-z0-9./-]{0,32}", watch in any::<bool>()) {
+        let frame = ClientFrame::Subscribe { program, watch };
         let bytes = frame.encode();
         prop_assert_eq!(ClientFrame::decode(&bytes).unwrap(), frame);
     }

@@ -1,0 +1,306 @@
+//! Wire-shaped streaming outputs: drift events and verdict snapshots.
+//!
+//! Both types serialize to compact varint payloads (LEB128 via `btrace`,
+//! optional floats as a tag byte + IEEE-754 LE bits, the same conventions as
+//! `ProfileReport`). The serve layer carries them as opaque bodies inside its
+//! framing, so the format is owned here next to the producer.
+
+use btrace::{read_varint, write_varint};
+use std::io::{self, Read, Write};
+use twodprof_core::Classification;
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+fn class_code(c: Classification) -> u64 {
+    // Same codes as ProfileReport's classification field.
+    match c {
+        Classification::Dependent => 0,
+        Classification::Independent => 1,
+        Classification::Insufficient => 2,
+    }
+}
+
+fn class_from_code(code: u64) -> io::Result<Classification> {
+    match code {
+        0 => Ok(Classification::Dependent),
+        1 => Ok(Classification::Independent),
+        2 => Ok(Classification::Insufficient),
+        _ => Err(invalid("unknown classification tag")),
+    }
+}
+
+fn write_opt_f64<W: Write>(w: &mut W, v: Option<f64>) -> io::Result<()> {
+    match v {
+        None => w.write_all(&[0]),
+        Some(v) => {
+            w.write_all(&[1])?;
+            w.write_all(&v.to_bits().to_le_bytes())
+        }
+    }
+}
+
+fn read_opt_f64<R: Read>(r: &mut R) -> io::Result<Option<f64>> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    match tag[0] {
+        0 => Ok(None),
+        1 => {
+            let mut buf = [0u8; 8];
+            r.read_exact(&mut buf)?;
+            Ok(Some(f64::from_bits(u64::from_le_bytes(buf))))
+        }
+        _ => Err(invalid("bad optional-float tag")),
+    }
+}
+
+/// A published verdict flip for one branch site: after hysteresis confirmed
+/// the new classification, the site moved from `from` to `to` at fold
+/// `epoch`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DriftEvent {
+    /// Static branch site index.
+    pub site: u32,
+    /// Global fold epoch at which the flip was confirmed.
+    pub epoch: u64,
+    /// Previously published classification.
+    pub from: Classification,
+    /// Newly published classification.
+    pub to: Classification,
+}
+
+impl DriftEvent {
+    /// Writes the event in wire form.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_varint(w, self.site as u64)?;
+        write_varint(w, self.epoch)?;
+        write_varint(w, class_code(self.from))?;
+        write_varint(w, class_code(self.to))
+    }
+
+    /// Reads an event written by [`write_to`](Self::write_to).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed input and propagates I/O errors.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
+        let site = read_varint(r)?;
+        if site > u32::MAX as u64 {
+            return Err(invalid("drift-event site out of range"));
+        }
+        Ok(Self {
+            site: site as u32,
+            epoch: read_varint(r)?,
+            from: class_from_code(read_varint(r)?)?,
+            to: class_from_code(read_varint(r)?)?,
+        })
+    }
+
+    /// Serializes to an owned buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf).expect("Vec write cannot fail");
+        buf
+    }
+
+    /// Parses a [`to_bytes`](Self::to_bytes) buffer, rejecting trailing
+    /// garbage.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed input or leftover bytes.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
+        let mut r = bytes;
+        let ev = Self::read_from(&mut r)?;
+        if !r.is_empty() {
+            return Err(invalid("trailing bytes after drift event"));
+        }
+        Ok(ev)
+    }
+}
+
+/// Windowed statistics and published verdict for one site, dense by site
+/// index inside a [`VerdictSnapshot`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SiteVerdict {
+    /// Published (hysteresis-stable) classification.
+    pub verdict: Classification,
+    /// Counted slices currently in the site's window.
+    pub slices: u64,
+    /// Windowed mean filtered accuracy, `None` while the window is empty.
+    pub mean: Option<f64>,
+    /// Windowed standard deviation.
+    pub std_dev: Option<f64>,
+    /// Windowed points-above-mean fraction.
+    pub pam_fraction: Option<f64>,
+}
+
+/// Point-in-time view of a program's streaming profile: one entry per site,
+/// dense by site index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerdictSnapshot {
+    /// Fold epochs completed so far.
+    pub epoch: u64,
+    /// Configured window size, in slices.
+    pub window: u64,
+    /// Configured slice length, in dynamic branches per session.
+    pub slice_len: u64,
+    /// Windowed program-wide prediction accuracy, `None` before any events.
+    pub program_accuracy: Option<f64>,
+    /// Per-site windowed statistics, indexed by site id.
+    pub sites: Vec<SiteVerdict>,
+}
+
+impl VerdictSnapshot {
+    /// Writes the snapshot in wire form.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_varint(w, self.epoch)?;
+        write_varint(w, self.window)?;
+        write_varint(w, self.slice_len)?;
+        write_opt_f64(w, self.program_accuracy)?;
+        write_varint(w, self.sites.len() as u64)?;
+        for s in &self.sites {
+            write_varint(w, class_code(s.verdict))?;
+            write_varint(w, s.slices)?;
+            write_opt_f64(w, s.mean)?;
+            write_opt_f64(w, s.std_dev)?;
+            write_opt_f64(w, s.pam_fraction)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a snapshot written by [`write_to`](Self::write_to).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed input and propagates I/O errors.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
+        let epoch = read_varint(r)?;
+        let window = read_varint(r)?;
+        let slice_len = read_varint(r)?;
+        let program_accuracy = read_opt_f64(r)?;
+        let num_sites = read_varint(r)? as usize;
+        if num_sites > 1 << 28 {
+            return Err(invalid("unreasonable site count"));
+        }
+        let mut sites = Vec::with_capacity(num_sites);
+        for _ in 0..num_sites {
+            sites.push(SiteVerdict {
+                verdict: class_from_code(read_varint(r)?)?,
+                slices: read_varint(r)?,
+                mean: read_opt_f64(r)?,
+                std_dev: read_opt_f64(r)?,
+                pam_fraction: read_opt_f64(r)?,
+            });
+        }
+        Ok(Self {
+            epoch,
+            window,
+            slice_len,
+            program_accuracy,
+            sites,
+        })
+    }
+
+    /// Serializes to an owned buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf).expect("Vec write cannot fail");
+        buf
+    }
+
+    /// Parses a [`to_bytes`](Self::to_bytes) buffer, rejecting trailing
+    /// garbage.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed input or leftover bytes.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
+        let mut r = bytes;
+        let snap = Self::read_from(&mut r)?;
+        if !r.is_empty() {
+            return Err(invalid("trailing bytes after verdict snapshot"));
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_event_roundtrips() {
+        let ev = DriftEvent {
+            site: 7,
+            epoch: 300,
+            from: Classification::Independent,
+            to: Classification::Dependent,
+        };
+        assert_eq!(DriftEvent::from_bytes(&ev.to_bytes()).unwrap(), ev);
+    }
+
+    #[test]
+    fn drift_event_rejects_trailing_and_bad_class() {
+        let mut bytes = DriftEvent {
+            site: 1,
+            epoch: 2,
+            from: Classification::Dependent,
+            to: Classification::Insufficient,
+        }
+        .to_bytes();
+        bytes.push(0);
+        assert!(DriftEvent::from_bytes(&bytes).is_err());
+        assert!(DriftEvent::from_bytes(&[0, 0, 9, 0]).is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let snap = VerdictSnapshot {
+            epoch: 42,
+            window: 32,
+            slice_len: 8192,
+            program_accuracy: Some(0.9375),
+            sites: vec![
+                SiteVerdict {
+                    verdict: Classification::Dependent,
+                    slices: 32,
+                    mean: Some(0.71),
+                    std_dev: Some(0.13),
+                    pam_fraction: Some(0.5),
+                },
+                SiteVerdict {
+                    verdict: Classification::Insufficient,
+                    slices: 0,
+                    mean: None,
+                    std_dev: None,
+                    pam_fraction: None,
+                },
+            ],
+        };
+        assert_eq!(VerdictSnapshot::from_bytes(&snap.to_bytes()).unwrap(), snap);
+    }
+
+    #[test]
+    fn snapshot_rejects_trailing_garbage() {
+        let snap = VerdictSnapshot {
+            epoch: 0,
+            window: 4,
+            slice_len: 100,
+            program_accuracy: None,
+            sites: vec![],
+        };
+        let mut bytes = snap.to_bytes();
+        bytes.push(7);
+        assert!(VerdictSnapshot::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Streaming-vs-batch equivalence: a full recorded run pushed through a
+//! [`StreamingProfiler`] whose window covers every slice must reproduce the
+//! batch [`TwoDProfiler`] report **bit-identically** — same verdicts, same
+//! per-site mean/std/PAM down to the f64 bit pattern.
+//!
+//! This is the regime the streaming math was engineered for: one session,
+//! no window eviction, identical slice geometry, hysteresis 1 — so the
+//! incremental fold executes the exact same float operations in the exact
+//! same order as the batch `BranchState`.
+
+use bpred::{BranchPredictor, PredictorKind};
+use btrace::{CountingTracer, SiteId, Tracer};
+use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
+use twodprof_stream::{SessionIngest, StreamConfig, StreamingProfiler};
+use workloads::Scale;
+
+/// Feeds each branch outcome to the batch profiler and mirrors the
+/// resulting correct/incorrect bit into the streaming session, so both
+/// sides see the same per-event prediction stream from one predictor.
+struct DualTracer<'a> {
+    batch: &'a mut TwoDProfiler<Box<dyn BranchPredictor>>,
+    ingest: &'a mut SessionIngest,
+}
+
+impl Tracer for DualTracer<'_> {
+    fn branch(&mut self, site: SiteId, taken: bool) {
+        let correct = self.batch.branch_outcome(site, taken);
+        self.ingest.record(site, correct);
+    }
+}
+
+fn assert_streaming_matches_batch(workload_name: &str, predictor: PredictorKind) {
+    let workload = workloads::by_name(workload_name, Scale::Tiny).expect("workload exists");
+    let input = workload.input_set("train").expect("train input");
+    let num_sites = workload.sites().len();
+
+    // Pin the slice geometry both sides share, exactly like a daemon
+    // session does: a counting pre-pass sizes the slices.
+    let mut counter = CountingTracer::new();
+    workload.run(&input, &mut counter);
+    let slice = SliceConfig::auto(counter.count());
+    let slices_upper_bound = (counter.count() / slice.slice_len() + 2) as usize;
+
+    let mut batch = TwoDProfiler::new(num_sites, predictor.build(), slice);
+    let mut streaming = StreamingProfiler::new(
+        num_sites,
+        StreamConfig {
+            slice,
+            window: slices_upper_bound,
+            hysteresis: 1,
+            thresholds: Thresholds::paper(),
+            max_lag: slices_upper_bound + 1,
+        },
+    );
+    let mut ingest = streaming.begin_session();
+    let mut drift = Vec::new();
+    {
+        let mut dual = DualTracer {
+            batch: &mut batch,
+            ingest: &mut ingest,
+        };
+        workload.run(&input, &mut dual);
+    }
+    streaming.finish_session(ingest, &mut drift);
+
+    let report = batch.finish(Thresholds::paper());
+    let snap = streaming.snapshot();
+    let ctx = format!("{workload_name}/{}", predictor.id());
+
+    assert_eq!(
+        snap.program_accuracy.map(f64::to_bits),
+        report.program_accuracy().map(f64::to_bits),
+        "{ctx}: program accuracy must be bit-identical"
+    );
+    assert_eq!(snap.sites.len(), num_sites, "{ctx}: site count");
+    for i in 0..num_sites {
+        let b = report.stats(SiteId(i as u32));
+        let s = &snap.sites[i];
+        assert_eq!(
+            s.verdict, b.classification,
+            "{ctx}: site {i} verdict must match batch"
+        );
+        assert_eq!(s.slices, b.slices, "{ctx}: site {i} counted slices");
+        assert_eq!(
+            s.mean.map(f64::to_bits),
+            b.mean.map(f64::to_bits),
+            "{ctx}: site {i} windowed MEAN must be bit-identical"
+        );
+        assert_eq!(
+            s.std_dev.map(f64::to_bits),
+            b.std_dev.map(f64::to_bits),
+            "{ctx}: site {i} windowed STD must be bit-identical"
+        );
+        assert_eq!(
+            s.pam_fraction.map(f64::to_bits),
+            b.pam_fraction.map(f64::to_bits),
+            "{ctx}: site {i} windowed PAM must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn full_suite_matches_batch_under_gshare() {
+    for workload in workloads::suite(Scale::Tiny) {
+        assert_streaming_matches_batch(workload.name(), PredictorKind::Gshare4Kb);
+    }
+}
+
+#[test]
+fn gzip_matches_batch_under_every_predictor() {
+    for predictor in PredictorKind::ALL {
+        assert_streaming_matches_batch("gzip", predictor);
+    }
+}

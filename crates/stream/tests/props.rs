@@ -1,0 +1,127 @@
+//! Property tests for the streaming profiler: windowed statistics must
+//! stay well-formed (no NaN, PAM bounded by the window) for arbitrary
+//! event streams, and the drift-event sequence must be invariant under how
+//! sessions interleave their ingest batches.
+
+use btrace::SiteId;
+use proptest::prelude::*;
+use twodprof_core::{SliceConfig, Thresholds};
+use twodprof_stream::{DriftEvent, StreamConfig, StreamingProfiler};
+
+fn config(
+    slice_len: u64,
+    threshold: u64,
+    window: usize,
+    hysteresis: u32,
+    max_lag: usize,
+) -> StreamConfig {
+    StreamConfig {
+        slice: SliceConfig::new(slice_len, threshold),
+        window,
+        hysteresis,
+        thresholds: Thresholds::paper(),
+        max_lag,
+    }
+}
+
+/// Runs two sessions over fixed event vectors, interleaving their ingests
+/// in `chunk`-sized strides, and returns every drift event raised.
+fn run_interleaved(
+    cfg: StreamConfig,
+    num_sites: usize,
+    a: &[(u32, bool)],
+    b: &[(u32, bool)],
+    chunk: usize,
+) -> Vec<DriftEvent> {
+    let mut p = StreamingProfiler::new(num_sites, cfg);
+    let mut sa = p.begin_session();
+    let mut sb = p.begin_session();
+    let mut out = Vec::new();
+    let (mut ia, mut ib) = (0usize, 0usize);
+    while ia < a.len() || ib < b.len() {
+        let ea = (ia + chunk).min(a.len());
+        for &(site, correct) in &a[ia..ea] {
+            sa.record(SiteId(site), correct);
+        }
+        ia = ea;
+        p.ingest(&mut sa, &mut out);
+        let eb = (ib + chunk).min(b.len());
+        for &(site, correct) in &b[ib..eb] {
+            sb.record(SiteId(site), correct);
+        }
+        ib = eb;
+        p.ingest(&mut sb, &mut out);
+    }
+    p.finish_session(sa, &mut out);
+    p.finish_session(sb, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // MEAN/STD/PAM over the window must never be NaN, PAM can never exceed
+    // the window (as a fraction, never exceed 1), and the window bound on
+    // retained slices must hold — for any event stream and geometry.
+    #[test]
+    fn windowed_stats_stay_well_formed(
+        events in prop::collection::vec((0u32..4, any::<bool>()), 0..3000),
+        slice_len in 1u64..200,
+        window in 1usize..12,
+        hysteresis in 1u32..4,
+    ) {
+        let threshold = (slice_len / 4).min(slice_len - 1);
+        let mut p = StreamingProfiler::new(4, config(slice_len, threshold, window, hysteresis, 4));
+        let mut s = p.begin_session();
+        let mut out = Vec::new();
+        for &(site, correct) in &events {
+            s.record(SiteId(site), correct);
+        }
+        p.finish_session(s, &mut out);
+        let snap = p.snapshot();
+        for (i, site) in snap.sites.iter().enumerate() {
+            prop_assert!(site.slices <= window as u64, "site {i} exceeds window");
+            for (name, v) in [
+                ("mean", site.mean),
+                ("std", site.std_dev),
+                ("pam", site.pam_fraction),
+            ] {
+                if let Some(v) = v {
+                    prop_assert!(v.is_finite(), "site {i} {name} = {v}");
+                }
+            }
+            if let Some(pam) = site.pam_fraction {
+                prop_assert!((0.0..=1.0).contains(&pam), "site {i} pam = {pam}");
+            }
+            if site.slices == 0 {
+                prop_assert!(site.mean.is_none(), "empty site {i} must have no mean");
+            }
+        }
+        if let Some(acc) = snap.program_accuracy {
+            prop_assert!((0.0..=1.0).contains(&acc));
+        }
+    }
+
+    // The drift-event sequence is a function of the merged epoch stream,
+    // not of how the sessions' ingest calls interleave: feeding the same
+    // two per-session event vectors in different batch sizes must raise
+    // the identical events in the identical order. This holds as long as
+    // the lag guard never fires (`max_lag` exceeds any epoch skew the
+    // interleaving can build up) — force-folding past a straggler is the
+    // one deliberate break from order-independence, so the property pins
+    // max_lag above the largest possible skew here.
+    #[test]
+    fn drift_events_invariant_under_interleaving(
+        a in prop::collection::vec((0u32..3, any::<bool>()), 0..2500),
+        b in prop::collection::vec((0u32..3, any::<bool>()), 0..2500),
+        slice_len in 20u64..120,
+        window in 2usize..8,
+        chunk_a in 1usize..700,
+        chunk_b in 1usize..700,
+    ) {
+        let cfg = config(slice_len, slice_len / 8, window, 1, 10_000);
+        let fine = run_interleaved(cfg, 3, &a, &b, chunk_a);
+        let coarse = run_interleaved(cfg, 3, &a, &b, chunk_b);
+        prop_assert_eq!(fine, coarse);
+    }
+}

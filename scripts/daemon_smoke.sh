@@ -5,12 +5,20 @@
 # stitches client and daemon spans into one Chrome trace), then check the
 # daemon shuts down cleanly on SIGTERM.
 #
+# After the replay, a watch soak drives two concurrent sessions of a
+# drifting synthetic workload into one shared program and asserts a live
+# `watch` subscription sees at least one drift event with zero frame-decode
+# errors daemon-side.
+#
 # The stitched trace is left at TRACE_OUT (default
-# target/daemon-smoke/trace.json) so CI can upload it as an artifact.
+# target/daemon-smoke/trace.json) and the watch output at WATCH_OUT
+# (default target/daemon-smoke/watch.log) so CI can upload both as
+# artifacts.
 set -euo pipefail
 
 BIN_DIR="${BIN_DIR:-target/release}"
 TRACE_OUT="${TRACE_OUT:-target/daemon-smoke/trace.json}"
+WATCH_OUT="${WATCH_OUT:-target/daemon-smoke/watch.log}"
 WORK_DIR="$(mktemp -d)"
 ADDR_FILE="$WORK_DIR/addr"
 DAEMON_LOG="$WORK_DIR/twodprofd.log"
@@ -23,7 +31,10 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$BIN_DIR/twodprofd" --addr 127.0.0.1:0 --addr-file "$ADDR_FILE" >"$DAEMON_LOG" 2>&1 &
+# fast-folding stream geometry so the watch soak sees drift in seconds
+"$BIN_DIR/twodprofd" --addr 127.0.0.1:0 --addr-file "$ADDR_FILE" \
+    --stream-slice-len 500 --stream-exec-threshold 16 \
+    --stream-window 4 --stream-hysteresis 1 >"$DAEMON_LOG" 2>&1 &
 DAEMON_PID=$!
 
 # wait for the daemon to publish its bound address
@@ -61,6 +72,46 @@ echo "$STATS" | grep -q '^serve_events_total [1-9]' || {
     exit 1
 }
 echo "stats endpoint OK"
+
+# watch soak: two concurrent sessions drive a phase-flipping synthetic
+# workload into the shared program "soak"; a live watch must deliver at
+# least one drift event
+mkdir -p "$(dirname "$WATCH_OUT")"
+"$BIN_DIR/twodprof-client" drive soak --addr "$ADDR" &
+DRIVE1_PID=$!
+"$BIN_DIR/twodprof-client" drive soak --addr "$ADDR" &
+DRIVE2_PID=$!
+
+# the program registers at the drivers' Hello, so early watch attempts can
+# fail with "unknown program" — retry until the subscription lands, then
+# block (bounded) until the first drift event arrives
+WATCH_OK=
+for _ in $(seq 1 100); do
+    if timeout 120 "$BIN_DIR/twodprof-client" watch soak --addr "$ADDR" --limit 1 >"$WATCH_OUT" 2>&1; then
+        WATCH_OK=1
+        break
+    fi
+    grep -q "unknown program" "$WATCH_OUT" || break
+    sleep 0.1
+done
+[[ -n "$WATCH_OK" ]] || { cat "$WATCH_OUT"; echo "watch never saw a drift event"; exit 1; }
+grep -q '^drift: site ' "$WATCH_OUT" || { cat "$WATCH_OUT"; echo "watch output missing drift line"; exit 1; }
+
+wait "$DRIVE1_PID" || { echo "first drive client failed"; exit 1; }
+wait "$DRIVE2_PID" || { echo "second drive client failed"; exit 1; }
+
+SOAK_STATS="$("$BIN_DIR/twodprof-client" stats --addr "$ADDR")"
+echo "$SOAK_STATS" | grep -q '^stream_drift_events_total [1-9]' || {
+    echo "$SOAK_STATS"
+    echo "stats output missing drift-event counter"
+    exit 1
+}
+if echo "$SOAK_STATS" | grep -q '^serve_frame_decode_errors_total [1-9]'; then
+    echo "$SOAK_STATS"
+    echo "frame decode errors during soak"
+    exit 1
+fi
+echo "watch soak OK: $(grep -c '^drift: site ' "$WATCH_OUT") drift event(s) observed"
 
 # graceful shutdown: SIGTERM must drain and exit 0
 kill -TERM "$DAEMON_PID"

@@ -9,10 +9,15 @@
 #    at a saturated-ring bounds check instead of recording), so disabled
 #    overhead is bounded above by the enabled-vs-disabled delta measured
 #    here — gating that delta at TRACE_LIMIT_PCT percent gates both.
+# 3. Streaming: the same comparison over TWODPROF_STREAM, which makes every
+#    bench session join the shared program "bench" so the daemon's
+#    per-program streaming profiler (epoch merge + windowed fold) runs on
+#    the ingest path. Gated at STREAM_LIMIT_PCT percent.
 #
 #   LIMIT_PCT          metrics overhead budget in percent (default 5, the
 #                      CI gate; the local design target is 2)
 #   TRACE_LIMIT_PCT    tracing overhead budget in percent (default 1)
+#   STREAM_LIMIT_PCT   streaming overhead budget in percent (default 5)
 #   TWODPROF_BENCH_MS  measurement window per benchmark in ms (default 2000)
 #   REPS               alternating on/off run pairs per comparison (default 3)
 #
@@ -25,6 +30,7 @@ set -euo pipefail
 
 LIMIT_PCT="${LIMIT_PCT:-5}"
 TRACE_LIMIT_PCT="${TRACE_LIMIT_PCT:-1}"
+STREAM_LIMIT_PCT="${STREAM_LIMIT_PCT:-5}"
 BENCH_MS="${TWODPROF_BENCH_MS:-2000}"
 REPS="${REPS:-3}"
 WORK_DIR="$(mktemp -d)"
@@ -94,3 +100,8 @@ run_bench TWODPROF_TRACE \
     "$WORK_DIR/trace_on_raw.txt" "$WORK_DIR/trace_off_raw.txt" \
     "$WORK_DIR/trace_on.txt" "$WORK_DIR/trace_off.txt"
 compare "$WORK_DIR/trace_off.txt" "$WORK_DIR/trace_on.txt" "$TRACE_LIMIT_PCT" tracing
+
+run_bench TWODPROF_STREAM \
+    "$WORK_DIR/stream_on_raw.txt" "$WORK_DIR/stream_off_raw.txt" \
+    "$WORK_DIR/stream_on.txt" "$WORK_DIR/stream_off.txt"
+compare "$WORK_DIR/stream_off.txt" "$WORK_DIR/stream_on.txt" "$STREAM_LIMIT_PCT" streaming
