@@ -125,15 +125,25 @@ impl AccuracyProfile {
         if num_sites > 1 << 28 {
             return Err(invalid("unreasonable site count"));
         }
-        let mut profile = AccuracyProfile::new(num_sites, predictor_name);
-        for i in 0..num_sites {
-            profile.exec[i] = read_varint(r)?;
-            profile.correct[i] = read_varint(r)?;
-            if profile.correct[i] > profile.exec[i] {
+        // clamp the up-front reservation: the declared count is untrusted
+        // until that many entries have actually arrived, so a short hostile
+        // prefix must not reserve gigabytes
+        let mut exec = Vec::with_capacity(num_sites.min(1 << 16));
+        let mut correct = Vec::with_capacity(num_sites.min(1 << 16));
+        for _ in 0..num_sites {
+            let e = read_varint(r)?;
+            let c = read_varint(r)?;
+            if c > e {
                 return Err(invalid("correct count exceeds executions"));
             }
+            exec.push(e);
+            correct.push(c);
         }
-        Ok(profile)
+        Ok(Self {
+            exec,
+            correct,
+            predictor_name,
+        })
     }
 }
 

@@ -297,7 +297,10 @@ impl ProfileReport {
         if num_sites > 1 << 28 {
             return Err(invalid("unreasonable site count"));
         }
-        let mut stats = Vec::with_capacity(num_sites);
+        // the declared count is untrusted until the entries actually arrive:
+        // clamp the reservation so a short hostile prefix cannot make the
+        // decoder reserve gigabytes before hitting EOF
+        let mut stats = Vec::with_capacity(num_sites.min(1 << 16));
         for i in 0..num_sites {
             let slices = read_varint(r)?;
             let mean = read_opt_f64(r)?;
@@ -340,7 +343,7 @@ impl ProfileReport {
                 if n != num_sites {
                     return Err(invalid("series table size mismatch"));
                 }
-                let mut per_site = Vec::with_capacity(n);
+                let mut per_site = Vec::with_capacity(n.min(1 << 16));
                 for _ in 0..n {
                     per_site.push(read_series(r)?);
                 }
@@ -437,7 +440,7 @@ fn read_series<R: Read>(r: &mut R) -> io::Result<Vec<(u64, f64)>> {
     if n > 1 << 28 {
         return Err(invalid("unreasonable series length"));
     }
-    let mut samples = Vec::with_capacity(n);
+    let mut samples = Vec::with_capacity(n.min(1 << 16));
     for _ in 0..n {
         let slice = read_varint(r)?;
         samples.push((slice, read_f64(r)?));

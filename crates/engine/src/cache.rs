@@ -82,6 +82,51 @@ impl JobOutput {
             JobKind::Trace => 3,
         }
     }
+
+    /// Serializes the output's payload — the same encoding disk-cache
+    /// entries carry between their header and trailing checksum, and the
+    /// encoding job results cross the fabric wire in.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        match self {
+            JobOutput::Count(n) => write_varint(&mut payload, *n).expect("vec write"),
+            JobOutput::Accuracy(p) => p.write_to(&mut payload).expect("vec write"),
+            JobOutput::Report(r) => r.write_to(&mut payload).expect("vec write"),
+            JobOutput::Trace(t) => t.write_to(&mut payload).expect("vec write"),
+        }
+        payload
+    }
+
+    /// Decodes a payload written by [`to_payload`](Self::to_payload), typed
+    /// by the spec kind that produced it.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed payloads or trailing bytes;
+    /// `UnexpectedEof` on truncation.
+    pub fn from_payload(kind: JobKind, payload: &[u8]) -> io::Result<Self> {
+        let mut p = payload;
+        let output = match Self::expected_tag(kind) {
+            0 => JobOutput::Count(read_varint(&mut p)?),
+            1 => JobOutput::Accuracy(Arc::new(AccuracyProfile::read_from(&mut p)?)),
+            3 => JobOutput::Trace(Arc::new(RecordedTrace::read_from(&mut p)?)),
+            _ => JobOutput::Report(Arc::new(ProfileReport::read_from(&mut p)?)),
+        };
+        if !p.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes after job payload",
+            ));
+        }
+        Ok(output)
+    }
+}
+
+/// FNV-1a over a serialized payload — the checksum disk-cache entries and
+/// fabric `JobResult` frames carry so receivers can verify payload bytes
+/// end-to-end before decoding.
+pub fn payload_checksum(bytes: &[u8]) -> u64 {
+    fnv1a(bytes)
 }
 
 /// The outcome of a cache probe (see [`DiskCache::lookup`]).
@@ -201,13 +246,7 @@ fn write_entry<W: Write>(w: &mut W, spec: &JobSpec, output: &JobOutput) -> io::R
     w.write_all(&[VERSION])?;
     w.write_all(&spec.content_hash().to_le_bytes())?;
     w.write_all(&[output.tag()])?;
-    let mut payload = Vec::new();
-    match output {
-        JobOutput::Count(n) => write_varint(&mut payload, *n)?,
-        JobOutput::Accuracy(p) => p.write_to(&mut payload)?,
-        JobOutput::Report(r) => r.write_to(&mut payload)?,
-        JobOutput::Trace(t) => t.write_to(&mut payload)?,
-    }
+    let payload = output.to_payload();
     w.write_all(&payload)?;
     w.write_all(&fnv1a(&payload).to_le_bytes())
 }
@@ -244,17 +283,7 @@ fn read_entry(bytes: &[u8], spec: &JobSpec) -> io::Result<JobOutput> {
     if fnv1a(payload) != u64::from_le_bytes(checksum.try_into().expect("8 bytes")) {
         return Err(invalid("cache-entry payload checksum mismatch"));
     }
-    let mut p = payload;
-    let output = match tag[0] {
-        0 => JobOutput::Count(read_varint(&mut p)?),
-        1 => JobOutput::Accuracy(Arc::new(AccuracyProfile::read_from(&mut p)?)),
-        3 => JobOutput::Trace(Arc::new(RecordedTrace::read_from(&mut p)?)),
-        _ => JobOutput::Report(Arc::new(ProfileReport::read_from(&mut p)?)),
-    };
-    if !p.is_empty() {
-        return Err(invalid("trailing bytes after cache-entry payload"));
-    }
-    Ok(output)
+    JobOutput::from_payload(spec.kind, payload)
 }
 
 #[cfg(test)]

@@ -33,13 +33,15 @@
 //! assert!(results.iter().all(|r| r.status.is_success()));
 //! ```
 
+mod backend;
 mod cache;
 mod request;
 mod spec;
 
-pub use cache::{CacheLookup, DiskCache, JobOutput};
+pub use backend::{JobBackend, LocalBackend};
+pub use cache::{payload_checksum, CacheLookup, DiskCache, JobOutput};
 pub use request::{ProfileMode, ProfileRequest, TraceRef};
-pub use spec::{scale_id, JobKind, JobSpec, CACHE_SCHEMA_VERSION};
+pub use spec::{scale_id, JobKind, JobSpec, CACHE_SCHEMA_VERSION, MAX_SPEC_NAME_LEN};
 
 use bpred::{AccuracyProfile, BranchPredictor, PredictorHost, PredictorKind, PredictorSim};
 use btrace::{CountingTracer, RecordedTrace, SiteId, Tracer};
@@ -433,12 +435,33 @@ impl Engine {
     }
 
     /// Drops recorded traces from the in-memory memo; the disk cache (when
-    /// attached) still holds them for later sweeps.
-    fn release_traces(&self) {
+    /// attached) still holds them for later sweeps. [`run_jobs`]
+    /// (Self::run_jobs) calls this after every batch; long-lived hosts that
+    /// drive [`run_one`](Self::run_one) directly (the daemon compute
+    /// service) call it when their queue drains so resident memory stays
+    /// bounded.
+    pub fn release_traces(&self) {
         self.memo
             .lock()
             .expect("memo lock")
             .retain(|_, output| !matches!(output, JobOutput::Trace(_)));
+    }
+
+    /// Probes the in-memory memo and the disk cache for a finished result
+    /// without computing, memoizing, or touching the engine's job counters
+    /// — the side-effect-free lookup the daemon's shared-cache-tier
+    /// `CacheQuery` path needs. Corrupt disk entries read as misses.
+    pub fn peek(&self, spec: &JobSpec) -> Option<JobOutput> {
+        if let Some(output) = self
+            .memo
+            .lock()
+            .expect("memo lock")
+            .get(&spec.content_hash())
+            .cloned()
+        {
+            return Some(output);
+        }
+        self.cache.as_ref().and_then(|c| c.load(spec))
     }
 
     /// Runs `units` of work over `specs` on the worker pool and returns one

@@ -8,12 +8,19 @@
 //! at once without touching old files.
 
 use bpred::PredictorKind;
+use btrace::{read_varint, write_varint};
+use std::io::{self, Read};
 use workloads::Scale;
 
 /// Version of the cache key scheme *and* payload format. Bump whenever
 /// simulation semantics, spec encoding, or serialized payloads change; old
 /// cache entries then simply stop being found.
 pub const CACHE_SCHEMA_VERSION: u32 = 2;
+
+/// Ceiling on workload/input/predictor name lengths in the spec wire
+/// encoding. Checked *before* allocating the string buffer, so a hostile
+/// length prefix cannot make a decoder reserve memory it will never fill.
+pub const MAX_SPEC_NAME_LEN: usize = 256;
 
 /// What a job computes for its (workload, input) pair.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -147,6 +154,99 @@ impl JobSpec {
             scale_id(self.scale)
         )
     }
+
+    /// Appends the spec's wire encoding to `buf`:
+    ///
+    /// ```text
+    /// spec := string(workload) string(input) scale-u8 kind-u8
+    ///         [string(predictor-id)]          (accuracy / 2D kinds only)
+    /// ```
+    ///
+    /// All strings are `varint(len)` + UTF-8 bytes, lengths capped at
+    /// [`MAX_SPEC_NAME_LEN`] on the read side.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        write_name(buf, &self.workload);
+        write_name(buf, &self.input);
+        buf.push(match self.scale {
+            Scale::Tiny => 0,
+            Scale::Small => 1,
+            Scale::Full => 2,
+        });
+        match self.kind {
+            JobKind::BranchCount => buf.push(0),
+            JobKind::Accuracy(k) => {
+                buf.push(1);
+                write_name(buf, k.id());
+            }
+            JobKind::TwoD(k) => {
+                buf.push(2);
+                write_name(buf, k.id());
+            }
+            JobKind::Trace => buf.push(3),
+        }
+    }
+
+    /// Decodes a spec written by [`encode_into`](Self::encode_into),
+    /// consuming exactly the spec's bytes from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on over-long names (checked before any
+    /// allocation), unknown scale/kind bytes, or unknown predictor ids;
+    /// `UnexpectedEof` on truncation.
+    pub fn decode_from(r: &mut &[u8]) -> io::Result<Self> {
+        let workload = read_name(r)?;
+        let input = read_name(r)?;
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let scale = match byte[0] {
+            0 => Scale::Tiny,
+            1 => Scale::Small,
+            2 => Scale::Full,
+            other => return Err(invalid(format!("unknown scale byte {other:#04x}"))),
+        };
+        r.read_exact(&mut byte)?;
+        let kind = match byte[0] {
+            0 => JobKind::BranchCount,
+            1 => JobKind::Accuracy(read_predictor(r)?),
+            2 => JobKind::TwoD(read_predictor(r)?),
+            3 => JobKind::Trace,
+            other => return Err(invalid(format!("unknown job-kind byte {other:#04x}"))),
+        };
+        Ok(Self {
+            workload,
+            input,
+            scale,
+            kind,
+        })
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_name(buf: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= MAX_SPEC_NAME_LEN, "name {s:?} too long to wire");
+    write_varint(buf, s.len() as u64).expect("vec write");
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn read_name(r: &mut &[u8]) -> io::Result<String> {
+    let len = read_varint(r)? as usize;
+    if len > MAX_SPEC_NAME_LEN {
+        return Err(invalid(format!(
+            "name length {len} exceeds {MAX_SPEC_NAME_LEN}"
+        )));
+    }
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    String::from_utf8(bytes).map_err(|_| invalid("name is not UTF-8"))
+}
+
+fn read_predictor(r: &mut &[u8]) -> io::Result<PredictorKind> {
+    let id = read_name(r)?;
+    PredictorKind::from_id(&id).ok_or_else(|| invalid(format!("unknown predictor id {id:?}")))
 }
 
 /// Minimal FNV-1a, kept local so cache keys never depend on the standard
@@ -207,6 +307,69 @@ mod tests {
         assert!(name.ends_with(".bin"));
         let b = JobSpec::count("mcf", "ref", Scale::Small);
         assert_ne!(name, b.cache_file_name());
+    }
+
+    #[test]
+    fn wire_encoding_roundtrips_every_kind() {
+        let specs = [
+            JobSpec::count("gzip", "train", Scale::Tiny),
+            JobSpec::accuracy("mcf", "ext-1", Scale::Small, PredictorKind::Gshare4Kb),
+            JobSpec::two_d("gap", "train", Scale::Full, PredictorKind::Perceptron16Kb),
+            JobSpec::trace("parser", "ref", Scale::Tiny),
+        ];
+        for spec in &specs {
+            let mut buf = Vec::new();
+            spec.encode_into(&mut buf);
+            let mut r = buf.as_slice();
+            let back = JobSpec::decode_from(&mut r).unwrap();
+            assert_eq!(&back, spec);
+            assert!(r.is_empty(), "decode consumed exactly the spec");
+        }
+    }
+
+    #[test]
+    fn wire_decoding_rejects_oversized_names_before_allocation() {
+        // a frame declaring a multi-gigabyte workload name must be rejected
+        // from the length prefix alone, with no buffer reserved
+        let mut buf = Vec::new();
+        btrace::write_varint(&mut buf, u64::MAX).unwrap();
+        let err = JobSpec::decode_from(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // just past the cap is rejected the same way
+        let mut buf = Vec::new();
+        btrace::write_varint(&mut buf, (MAX_SPEC_NAME_LEN + 1) as u64).unwrap();
+        buf.extend(std::iter::repeat_n(b'a', MAX_SPEC_NAME_LEN + 1));
+        assert!(JobSpec::decode_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wire_decoding_rejects_truncation_and_bad_bytes() {
+        let spec = JobSpec::accuracy("gzip", "train", Scale::Tiny, PredictorKind::Gshare4Kb);
+        let mut buf = Vec::new();
+        spec.encode_into(&mut buf);
+        for len in 0..buf.len() {
+            assert!(
+                JobSpec::decode_from(&mut &buf[..len]).is_err(),
+                "prefix {len} must not decode"
+            );
+        }
+        // unknown scale byte
+        let mut bad = buf.clone();
+        let scale_pos = 1 + 4 + 1 + 5; // len("gzip")+bytes, len("train")+bytes
+        bad[scale_pos] = 9;
+        assert!(JobSpec::decode_from(&mut bad.as_slice()).is_err());
+        // unknown kind byte
+        let mut bad = buf.clone();
+        bad[scale_pos + 1] = 9;
+        assert!(JobSpec::decode_from(&mut bad.as_slice()).is_err());
+        // corrupted predictor id
+        let mut bad = buf;
+        let pos = bad
+            .windows(9)
+            .position(|w| w == b"gshare4kb")
+            .expect("id embedded");
+        bad[pos] = b'x';
+        assert!(JobSpec::decode_from(&mut bad.as_slice()).is_err());
     }
 
     #[test]

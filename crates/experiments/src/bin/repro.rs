@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--scale tiny|small|full] [--out DIR] [--jobs N]
-//!       [--cache-dir DIR | --no-cache] [--metrics] [EXPERIMENT ...]
+//!       [--cache-dir DIR | --no-cache] [--metrics]
+//!       [--backend local|remote] [--node HOST:PORT ...] [EXPERIMENT ...]
 //! repro serve [daemon options]
 //! repro replay WORKLOAD INPUT [replay options]
 //! repro stats [--addr HOST:PORT]
@@ -23,8 +24,16 @@ use experiments::{
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
-use twodprof_engine::{full_grid, Engine, EngineConfig, JobStatus};
+use std::sync::Arc;
+use twodprof_engine::{full_grid, Engine, EngineConfig, JobBackend, JobStatus};
+use twodprof_fabric::{FabricConfig, RemoteBackend};
 use workloads::Scale;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BackendKind {
+    Local,
+    Remote,
+}
 
 struct Args {
     scale: Scale,
@@ -33,6 +42,8 @@ struct Args {
     cache_dir: Option<PathBuf>,
     metrics: bool,
     trace_out: Option<PathBuf>,
+    backend: BackendKind,
+    nodes: Vec<String>,
     experiments: Vec<String>,
 }
 
@@ -52,6 +63,8 @@ fn parse_args() -> Result<Args, String> {
     let mut cache_dir = Some(PathBuf::from(".twodprof-cache"));
     let mut metrics = false;
     let mut trace_out = None;
+    let mut backend = BackendKind::Local;
+    let mut nodes = Vec::new();
     let mut experiments = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -79,6 +92,17 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-cache" => cache_dir = None,
             "--metrics" => metrics = true,
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs a value")?;
+                backend = match v.as_str() {
+                    "local" => BackendKind::Local,
+                    "remote" => BackendKind::Remote,
+                    other => return Err(format!("unknown backend {other:?} (local|remote)")),
+                };
+            }
+            "--node" => {
+                nodes.push(it.next().ok_or("--node needs a HOST:PORT value")?);
+            }
             "--trace-out" => {
                 trace_out = Some(PathBuf::from(it.next().ok_or("--trace-out needs a value")?));
             }
@@ -86,9 +110,12 @@ fn parse_args() -> Result<Args, String> {
                 return Err(format!(
                     "usage: repro [--scale tiny|small|full] [--out DIR] [--jobs N]\n\
                      \x20            [--cache-dir DIR | --no-cache] [--metrics]\n\
-                     \x20            [--trace-out PATH] [EXPERIMENT ...]\n\
+                     \x20            [--trace-out PATH] [--backend local|remote]\n\
+                     \x20            [--node HOST:PORT ...] [EXPERIMENT ...]\n\
                      --jobs 0 (default) sizes the worker pool to the machine\n\
                      results are cached in .twodprof-cache unless --no-cache\n\
+                     --backend remote fans jobs out to twodprofd --compute nodes\n\
+                     (one --node per daemon; results are byte-identical to local)\n\
                      --metrics dumps the process metrics snapshot to stderr at exit\n\
                      --trace-out writes the run's span trace as Chrome trace-event\n\
                      JSON (load in chrome://tracing or Perfetto)\n\
@@ -113,6 +140,12 @@ fn parse_args() -> Result<Args, String> {
     if experiments.is_empty() {
         experiments.extend(ALL.iter().map(|s| (*s).to_owned()));
     }
+    if backend == BackendKind::Remote && nodes.is_empty() {
+        return Err("--backend remote needs at least one --node HOST:PORT".to_owned());
+    }
+    if backend == BackendKind::Local && !nodes.is_empty() {
+        return Err("--node only makes sense with --backend remote".to_owned());
+    }
     Ok(Args {
         scale,
         out,
@@ -120,6 +153,8 @@ fn parse_args() -> Result<Args, String> {
         cache_dir,
         metrics,
         trace_out,
+        backend,
+        nodes,
         experiments,
     })
 }
@@ -180,16 +215,31 @@ fn main() -> ExitCode {
         .trace_out
         .is_some()
         .then(|| twodprof_obs::trace::Span::root("repro.run"));
-    let engine = Engine::new(EngineConfig {
+    let engine_config = EngineConfig {
         jobs: args.jobs,
         cache_dir: args.cache_dir.clone(),
         progress: true,
         ..EngineConfig::default()
-    });
-    // worker count goes to stderr: every simulated table is byte-identical
-    // across --jobs settings (only fig16's wall-clock figure carries noise)
-    eprintln!("[engine] {} worker(s)", engine.worker_count());
-    let mut ctx = Context::with_engine(args.scale, engine);
+    };
+    // backend choice goes to stderr: every simulated table is byte-identical
+    // across --jobs settings and backends (only fig16's wall-clock figure
+    // carries noise)
+    let mut ctx = match args.backend {
+        BackendKind::Local => {
+            let engine = Engine::new(engine_config);
+            eprintln!("[engine] {} worker(s)", engine.worker_count());
+            Context::with_engine(args.scale, engine)
+        }
+        BackendKind::Remote => {
+            let backend = RemoteBackend::new(FabricConfig {
+                nodes: args.nodes.clone(),
+                fallback: engine_config,
+                ..FabricConfig::default()
+            });
+            eprintln!("[engine] {}", backend.describe());
+            Context::with_backend(args.scale, Arc::new(backend))
+        }
+    };
     println!(
         "# 2D-profiling reproduction — scale {:?}, {} experiment(s)\n",
         args.scale,

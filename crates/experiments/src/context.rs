@@ -15,18 +15,22 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use twodprof_core::{GroundTruth, ProfileReport, INPUT_DEPENDENCE_DELTA};
 use twodprof_engine::{
-    Engine, EngineConfig, JobOutput, JobResult, JobSpec, JobStatus, ProfileRequest,
+    Engine, EngineConfig, JobBackend, JobOutput, JobResult, JobSpec, JobStatus, ProfileRequest,
 };
 use workloads::{Scale, Workload};
 
 /// Shared state for all experiments: the workload scale, the
-/// input-dependence parameters, the sweep engine, and a read-through cache
-/// of per-run results so each simulation is requested from the engine
+/// input-dependence parameters, the job backend, and a read-through cache
+/// of per-run results so each simulation is requested from the backend
 /// exactly once per context (and, with a disk cache, computed once ever).
 pub struct Context {
     scale: Scale,
     min_exec: u64,
-    engine: Engine,
+    backend: Arc<dyn JobBackend>,
+    /// Set when the backend is an in-process [`Engine`], so callers that
+    /// need engine-only facilities (counters, trace access) still reach
+    /// them; `None` under a remote backend.
+    engine: Option<Arc<Engine>>,
     /// Finished outputs keyed by [`JobSpec::content_hash`].
     results: HashMap<u64, JobOutput>,
 }
@@ -43,6 +47,19 @@ impl Context {
     /// configured with a worker pool and a persistent cache by the `repro`
     /// binary).
     pub fn with_engine(scale: Scale, engine: Engine) -> Self {
+        let engine = Arc::new(engine);
+        let mut ctx = Self::with_backend(scale, engine.clone() as Arc<dyn JobBackend>);
+        ctx.engine = Some(engine);
+        ctx
+    }
+
+    /// Creates a context that delegates simulation to an arbitrary
+    /// [`JobBackend`] — an in-process engine, or a
+    /// `twodprof_fabric::RemoteBackend` fanning jobs out to compute
+    /// daemons. Backends are interchangeable: results are pure functions
+    /// of their specs, so every experiment is byte-identical regardless of
+    /// where it ran.
+    pub fn with_backend(scale: Scale, backend: Arc<dyn JobBackend>) -> Self {
         // the eligibility floor scales with run length, mirroring how the
         // paper's 1000-executions threshold relates to its 15M-branch slices
         let min_exec = match scale {
@@ -53,14 +70,21 @@ impl Context {
         Self {
             scale,
             min_exec,
-            engine,
+            backend,
+            engine: None,
             results: HashMap::new(),
         }
     }
 
-    /// The engine this context delegates to.
-    pub fn engine(&self) -> &Engine {
-        &self.engine
+    /// The in-process engine this context delegates to, when it has one
+    /// (`None` under a remote backend).
+    pub fn engine(&self) -> Option<&Engine> {
+        self.engine.as_deref()
+    }
+
+    /// The backend this context delegates to.
+    pub fn backend(&self) -> &dyn JobBackend {
+        &*self.backend
     }
 
     /// The context's workload scale.
@@ -87,13 +111,13 @@ impl Context {
         workloads::by_name(name, self.scale).unwrap_or_else(|| panic!("unknown workload {name:?}"))
     }
 
-    /// Runs `specs` on the engine's worker pool and absorbs every
-    /// successful result into the in-memory map, so later lookups are
-    /// pure cache hits. Returns the per-job results (the `repro` binary
-    /// reports their status counts).
+    /// Runs `specs` on the backend and absorbs every successful result
+    /// into the in-memory map, so later lookups are pure cache hits.
+    /// Returns the per-job results (the `repro` binary reports their
+    /// status counts).
     pub fn prewarm(&mut self, specs: &[JobSpec]) -> Vec<JobResult> {
         let _sp = twodprof_obs::span!("context.prewarm");
-        let results = self.engine.run_jobs(specs);
+        let results = self.backend.run_jobs(specs);
         for result in &results {
             self.absorb(result);
         }
@@ -117,7 +141,7 @@ impl Context {
             return output.clone();
         }
         let _sp = twodprof_obs::span!("context.resolve");
-        let output = Self::expect_output(self.engine.run_one(spec));
+        let output = Self::expect_output(self.backend.run_one(spec));
         self.results.insert(spec.content_hash(), output.clone());
         output
     }
@@ -266,10 +290,13 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert!(results.iter().all(|r| r.status.is_success()));
         // both lookups must now be memory hits: the engine sees no new jobs
-        let before = ctx.engine().counters().total();
+        let before = ctx.engine().expect("local engine").counters().total();
         ctx.count(ProfileRequest::count("gzip"));
         ctx.accuracy(ProfileRequest::accuracy("gzip", PredictorKind::Gshare4Kb));
-        assert_eq!(ctx.engine().counters().total(), before);
+        assert_eq!(
+            ctx.engine().expect("local engine").counters().total(),
+            before
+        );
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! One fabric node's worker: the thread that drives a single `twodprofd
+//! --compute` connection for the duration of a batch.
+//!
+//! The worker keeps a bounded in-flight window. Each claimed job is sent as
+//! a `CacheQuery` first; a hit completes the job without compute anywhere,
+//! a miss is followed by a `SubmitJob` on the same connection. Because the
+//! daemon answers cache queries inline on its reader thread but job results
+//! from pool workers, replies arrive out of order — the worker dispatches
+//! every frame by `job_id` against its in-flight map, never by position.
+//!
+//! Every payload is verified before it counts: the declared spec hash must
+//! match the submitted spec's content hash, the checksum must match the
+//! bytes, and the bytes must decode as the spec's output kind. Failures are
+//! handed back to the board for requeue (bounded attempts, then local
+//! fallback). Any I/O error kills the node: the board requeues whatever it
+//! held and the survivors pick it up.
+
+use crate::board::{Board, Claim};
+use crate::FabricConfig;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::thread;
+use twodprof_engine::{payload_checksum, JobOutput};
+use twodprof_serve::wire::{ClientFrame, JobOutcome, JobPayload, ServerFrame};
+
+/// Per-node in-flight gauge names must be `'static` for the metrics
+/// registry; intern them once per node index so repeated batches don't
+/// leak.
+fn inflight_gauge_name(node: usize) -> &'static str {
+    static NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut names = NAMES.lock().expect("gauge names");
+    while names.len() <= node {
+        let i = names.len();
+        names.push(Box::leak(
+            format!("fabric_node{i}_inflight").into_boxed_str(),
+        ));
+    }
+    names[node]
+}
+
+/// The per-node in-flight gauge. Registered straight on the registry, not
+/// through the `gauge!` macro: the macro caches its handle in a
+/// per-call-site static, which would pin every node to the first node's
+/// gauge name. Registration is idempotent per name, so this is cheap.
+fn inflight_gauge(node: usize) -> &'static twodprof_obs::Gauge {
+    twodprof_obs::global().gauge(
+        inflight_gauge_name(node),
+        "Jobs currently in flight on this fabric node.",
+    )
+}
+
+fn connect(addr: &str, config: &FabricConfig) -> io::Result<TcpStream> {
+    let mut delay = config.retry_backoff;
+    let mut last = None;
+    for attempt in 0..config.connect_attempts.max(1) {
+        if attempt > 0 {
+            thread::sleep(delay);
+            delay *= 2;
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("no connect attempts configured")))
+}
+
+/// Runs `node`'s side of the batch to completion (or node death). Always
+/// tells the board the node is gone on the way out, which requeues any
+/// in-flight jobs it still owned.
+pub(crate) fn run_node(board: &Board, node: usize, addr: &str, config: &FabricConfig) {
+    let _span = twodprof_obs::span!("fabric.node");
+    let gauge = inflight_gauge(node);
+    let result = drive(board, node, addr, config, |n| gauge.set(n as i64));
+    gauge.set(0);
+    if let Err(e) = result {
+        if !config.quiet {
+            eprintln!("[fabric] node {node} ({addr}) lost: {e}");
+        }
+    }
+    board.node_died(node);
+}
+
+fn drive(
+    board: &Board,
+    node: usize,
+    addr: &str,
+    config: &FabricConfig,
+    gauge: impl Fn(usize),
+) -> io::Result<()> {
+    let stream = connect(addr, config)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    // job_id -> board slot, for every frame still owed a terminal reply
+    let mut inflight: HashMap<u64, usize> = HashMap::new();
+    let mut next_id: u64 = 1;
+    loop {
+        // refill the window; only block waiting for work when nothing is in
+        // flight (otherwise go read replies instead)
+        while inflight.len() < config.window {
+            match board.claim(node, inflight.is_empty()) {
+                Claim::Job(idx) => {
+                    let job_id = next_id;
+                    next_id += 1;
+                    inflight.insert(job_id, idx);
+                    ClientFrame::CacheQuery {
+                        job_id,
+                        spec: board.spec(idx).clone(),
+                    }
+                    .write_to(&mut writer)?;
+                }
+                Claim::Wait => break,
+                Claim::Exit => {
+                    if inflight.is_empty() {
+                        return Ok(());
+                    }
+                    break;
+                }
+            }
+        }
+        if inflight.is_empty() {
+            // claim returned Wait with nothing in flight cannot happen
+            // (may_wait was true); loop back to claim again
+            continue;
+        }
+        writer.flush()?;
+        gauge(inflight.len());
+        match ServerFrame::read_from(&mut reader)? {
+            ServerFrame::CacheReply { job_id, result } => {
+                let Some(&idx) = inflight.get(&job_id) else {
+                    return Err(protocol(format!("CacheReply for unknown job {job_id}")));
+                };
+                match result {
+                    Some(payload) => {
+                        inflight.remove(&job_id);
+                        settle(board, node, idx, &payload);
+                    }
+                    None => {
+                        // cache miss: schedule compute; the job stays
+                        // in-flight until its JobResult arrives
+                        let _span = twodprof_obs::span!("fabric.submit");
+                        twodprof_obs::counter!(
+                            "fabric_jobs_submitted_total",
+                            "Jobs accepted by this process's fabric tier (daemon: received; client: sent)."
+                        )
+                        .inc();
+                        ClientFrame::SubmitJob {
+                            job_id,
+                            spec: board.spec(idx).clone(),
+                        }
+                        .write_to(&mut writer)?;
+                        writer.flush()?;
+                    }
+                }
+            }
+            ServerFrame::JobResult { job_id, outcome } => {
+                let Some(idx) = inflight.remove(&job_id) else {
+                    return Err(protocol(format!("JobResult for unknown job {job_id}")));
+                };
+                match outcome {
+                    JobOutcome::Done(payload) => settle(board, node, idx, &payload),
+                    JobOutcome::TooLarge => board.mark_local(idx, node),
+                    JobOutcome::Failed(msg) => board.complete_failed(idx, msg),
+                }
+            }
+            ServerFrame::Error { code, msg } => {
+                // e.g. compute disabled on this daemon: the node is useless
+                return Err(protocol(format!("daemon error {code}: {msg}")));
+            }
+            other => {
+                return Err(protocol(format!("unexpected frame {other:?}")));
+            }
+        }
+        gauge(inflight.len());
+    }
+}
+
+/// Verifies a payload end to end and settles the job: spec hash, checksum,
+/// and decodability must all check out, otherwise the board counts a failed
+/// attempt and requeues. A span covers the retry path so verification
+/// failures are visible in traces.
+fn settle(board: &Board, node: usize, idx: usize, payload: &JobPayload) {
+    let spec = board.spec(idx);
+    let verified = payload.spec_hash == spec.content_hash()
+        && payload.checksum == payload_checksum(&payload.bytes);
+    let output = verified
+        .then(|| JobOutput::from_payload(spec.kind, &payload.bytes).ok())
+        .flatten();
+    match output {
+        Some(output) => {
+            if payload.cached {
+                twodprof_obs::counter!(
+                    "fabric_remote_cache_hits_total",
+                    "Jobs answered from a remote daemon's shared cache tier."
+                )
+                .inc();
+            }
+            board.complete(idx, output, payload.cached);
+        }
+        None => {
+            let _span = twodprof_obs::span!("fabric.retry");
+            twodprof_obs::counter!(
+                "fabric_payload_rejected_total",
+                "Remote payloads rejected by hash/checksum/decode verification."
+            )
+            .inc();
+            board.bad_payload(idx, node);
+        }
+    }
+}
+
+fn protocol(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}

@@ -5,6 +5,7 @@
 use crate::client::{
     fetch_stats, fetch_verdicts, RemoteSession, WatchClient, DEFAULT_BATCH_EVENTS,
 };
+use crate::compute::ComputeConfig;
 use crate::replay::{replay_workload, ReplaySpec};
 use crate::server::{Server, ServerConfig, ServerHandle};
 use bpred::PredictorKind;
@@ -127,6 +128,23 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
                 }
                 config.max_subscriber_queue = q;
             }
+            "--compute" => {
+                config.compute.get_or_insert_with(ComputeConfig::default);
+            }
+            "--compute-threads" => {
+                let n: usize = numeric("--compute-threads", value("--compute-threads")?)?;
+                config
+                    .compute
+                    .get_or_insert_with(ComputeConfig::default)
+                    .threads = n;
+            }
+            "--compute-cache-dir" => {
+                let dir = value("--compute-cache-dir")?.to_owned();
+                config
+                    .compute
+                    .get_or_insert_with(ComputeConfig::default)
+                    .cache_dir = Some(dir.into());
+            }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: twodprofd [--addr HOST:PORT] [--addr-file PATH]\n\
@@ -136,6 +154,8 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
                      \x20               [--stream-slice-len N --stream-exec-threshold N]\n\
                      \x20               [--stream-window N] [--stream-hysteresis N]\n\
                      \x20               [--stream-max-lag N] [--max-subscriber-queue N]\n\
+                     \x20               [--compute] [--compute-threads N]\n\
+                     \x20               [--compute-cache-dir DIR]\n\
                      default address {DEFAULT_ADDR}; port 0 binds an ephemeral port\n\
                      --addr-file writes the bound address to PATH once listening\n\
                      --stats-interval prints a stderr stats line every SECS seconds\n\
@@ -144,6 +164,10 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
                      --stream-* shape the per-program streaming profiler backing\n\
                      the Subscribe/watch drift feed (window is in slices,\n\
                      hysteresis in consecutive folds, max-lag in epochs)\n\
+                     --compute serves SubmitJob/CacheQuery fabric frames on a\n\
+                     worker pool (threads default to the CPU count); with\n\
+                     --compute-cache-dir its results persist and the node acts\n\
+                     as a shared cache tier for every fabric client\n\
                      SIGINT/SIGTERM shut down gracefully, finishing in-flight sessions"
                 ));
             }

@@ -336,6 +336,8 @@ fn unexpected(wanted: &str, got: &ServerFrame) -> ClientError {
         ServerFrame::TraceSpans(_) => "TraceSpans",
         ServerFrame::VerdictSnapshot(_) => "VerdictSnapshot",
         ServerFrame::DriftEvent(_) => "DriftEvent",
+        ServerFrame::JobResult { .. } => "JobResult",
+        ServerFrame::CacheReply { .. } => "CacheReply",
     };
     ClientError::Protocol(format!("expected {wanted}, got {label}"))
 }

@@ -1,0 +1,238 @@
+//! The daemon's compute service: a bounded worker pool that executes
+//! [`JobSpec`]s submitted over the wire against the daemon's own engine and
+//! cache tier.
+//!
+//! Enabled with `twodprofd --compute`, this turns a daemon into a fabric
+//! node: remote clients ship `SubmitJob`/`CacheQuery` frames on sessionless
+//! connections, the pool runs them through an [`Engine`] whose disk cache
+//! is shared by every client of this node, and workers reply with
+//! `JobResult` frames whenever their job finishes — out of submission
+//! order, correlated by `job_id`. Because the engine memoizes and persists
+//! by content hash, a fleet of clients sweeping overlapping grids
+//! deduplicates work here: the first submission computes, the rest hit the
+//! cache tier (reported as `cached`, counted in
+//! `fabric_remote_cache_hits_total`).
+//!
+//! Replies go through a shared [`BufWriter`] behind a mutex, because the
+//! connection's reader thread (answering `CacheQuery` inline) and N pool
+//! workers (answering `SubmitJob` eventually) interleave writes to the same
+//! socket. A reply that fails to write is dropped silently — the client
+//! treats the dead connection as node loss and requeues, which is exactly
+//! the semantic we want on daemon shutdown.
+
+use crate::wire::{JobOutcome, JobPayload, ServerFrame, MAX_RESULT_PAYLOAD};
+use std::collections::VecDeque;
+use std::io::{BufWriter, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+use twodprof_engine::{payload_checksum, Engine, EngineConfig, JobSpec, JobStatus};
+
+/// Compute-service knobs, carried inside `ServerConfig`.
+#[derive(Clone, Debug, Default)]
+pub struct ComputeConfig {
+    /// Worker threads executing submitted jobs; `0` means
+    /// `std::thread::available_parallelism()`.
+    pub threads: usize,
+    /// Disk-cache directory of the node's engine; `None` keeps the cache
+    /// tier memory-only (still deduplicates within the daemon's lifetime).
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// The socket writer a compute connection's replies funnel through.
+pub(crate) type SharedWriter = Arc<Mutex<BufWriter<TcpStream>>>;
+
+struct Task {
+    job_id: u64,
+    spec: JobSpec,
+    writer: SharedWriter,
+    /// The submitting connection's idle-GC clock; refreshed when the reply
+    /// lands so a connection waiting on a deep queue isn't reaped.
+    last_seen: Arc<Mutex<Instant>>,
+}
+
+#[derive(Default)]
+struct Queue {
+    tasks: VecDeque<Task>,
+    /// Tasks popped but not yet replied to, across all workers. The queue
+    /// is only "drained" (trace-release point) when both are zero.
+    active: usize,
+    shutdown: bool,
+}
+
+/// The worker pool plus the engine it executes against.
+pub(crate) struct ComputePool {
+    engine: Arc<Engine>,
+    queue: Mutex<Queue>,
+    cond: Condvar,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ComputePool {
+    /// Builds the engine and spawns the worker threads.
+    pub(crate) fn start(config: &ComputeConfig) -> Arc<Self> {
+        let threads = if config.threads == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.threads
+        };
+        let engine = Arc::new(Engine::new(EngineConfig {
+            // the pool fans out across tasks itself; each task runs on one
+            // worker thread, so the engine's internal pool stays at 1
+            jobs: 1,
+            cache_dir: config.cache_dir.clone(),
+            progress: false,
+            replay: true,
+        }));
+        let pool = Arc::new(Self {
+            engine,
+            queue: Mutex::new(Queue::default()),
+            cond: Condvar::new(),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut workers = pool.workers.lock().expect("worker list");
+        for i in 0..threads {
+            let pool2 = pool.clone();
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("twodprofd-compute-{i}"))
+                    .spawn(move || pool2.worker_loop())
+                    .expect("spawn compute worker"),
+            );
+        }
+        drop(workers);
+        pool
+    }
+
+    /// Number of worker threads.
+    pub(crate) fn threads(&self) -> usize {
+        self.workers.lock().expect("worker list").len()
+    }
+
+    /// Enqueues a job; a worker replies on `writer` when it finishes.
+    pub(crate) fn submit(
+        &self,
+        job_id: u64,
+        spec: JobSpec,
+        writer: SharedWriter,
+        last_seen: Arc<Mutex<Instant>>,
+    ) {
+        twodprof_obs::counter!(
+            "fabric_jobs_submitted_total",
+            "Jobs accepted by this process's fabric tier (daemon: received; client: sent)."
+        )
+        .inc();
+        let mut q = self.queue.lock().expect("compute queue");
+        q.tasks.push_back(Task {
+            job_id,
+            spec,
+            writer,
+            last_seen,
+        });
+        drop(q);
+        self.cond.notify_one();
+    }
+
+    /// Probes the node's cache tier (memo + disk) without scheduling
+    /// compute — the `CacheQuery` path. Counts a fabric cache hit when it
+    /// answers.
+    pub(crate) fn lookup(&self, spec: &JobSpec) -> Option<JobPayload> {
+        let output = self.engine.peek(spec)?;
+        twodprof_obs::counter!(
+            "fabric_remote_cache_hits_total",
+            "Jobs answered from a remote daemon's shared cache tier."
+        )
+        .inc();
+        Some(payload_of(spec, &output.to_payload(), true))
+    }
+
+    /// Stops accepting work, finishes what is queued (replies to dead
+    /// connections fail silently), and joins the workers.
+    pub(crate) fn shutdown(&self) {
+        self.queue.lock().expect("compute queue").shutdown = true;
+        self.cond.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("worker list"));
+        for w in workers {
+            w.join().expect("compute worker never panics");
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let task = {
+                let mut q = self.queue.lock().expect("compute queue");
+                loop {
+                    if let Some(task) = q.tasks.pop_front() {
+                        q.active += 1;
+                        break task;
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = self.cond.wait(q).expect("compute queue");
+                }
+            };
+            let outcome = self.execute(&task.spec);
+            let frame = ServerFrame::JobResult {
+                job_id: task.job_id,
+                outcome,
+            };
+            {
+                // a dead peer is fine: the client requeues the job elsewhere
+                let mut w = task.writer.lock().expect("compute writer");
+                if frame.write_to(&mut *w).and_then(|()| w.flush()).is_ok() {
+                    *task.last_seen.lock().expect("last_seen") = Instant::now();
+                }
+            }
+            twodprof_obs::counter!(
+                "fabric_jobs_completed_total",
+                "Jobs this process's fabric tier finished (daemon: replied; client: resolved)."
+            )
+            .inc();
+            let mut q = self.queue.lock().expect("compute queue");
+            q.active -= 1;
+            if q.active == 0 && q.tasks.is_empty() {
+                // the queue ran dry: traces recorded for this burst are on
+                // disk (when caching) — drop the in-memory copies so a
+                // long-lived node's footprint stays bounded
+                drop(q);
+                self.engine.release_traces();
+            }
+        }
+    }
+
+    fn execute(&self, spec: &JobSpec) -> JobOutcome {
+        let _span = twodprof_obs::span!("fabric.compute");
+        let result = self.engine.run_one(spec);
+        if let JobStatus::Failed(msg) = &result.status {
+            return JobOutcome::Failed(msg.clone());
+        }
+        let Some(output) = result.output else {
+            return JobOutcome::Failed("job produced no output".into());
+        };
+        let bytes = output.to_payload();
+        if bytes.len() > MAX_RESULT_PAYLOAD {
+            return JobOutcome::TooLarge;
+        }
+        let cached = matches!(result.status, JobStatus::Cached);
+        if cached {
+            twodprof_obs::counter!(
+                "fabric_remote_cache_hits_total",
+                "Jobs answered from a remote daemon's shared cache tier."
+            )
+            .inc();
+        }
+        JobOutcome::Done(payload_of(spec, &bytes, cached))
+    }
+}
+
+fn payload_of(spec: &JobSpec, bytes: &[u8], cached: bool) -> JobPayload {
+    JobPayload {
+        cached,
+        spec_hash: spec.content_hash(),
+        checksum: payload_checksum(bytes),
+        bytes: bytes.to_vec(),
+    }
+}

@@ -37,9 +37,12 @@
 
 pub mod cli;
 mod client;
+mod compute;
 mod replay;
 mod server;
 pub mod wire;
+
+pub use compute::ComputeConfig;
 
 pub use client::{
     fetch_stats, fetch_trace, fetch_verdicts, ClientError, RemoteReport, RemoteSession,

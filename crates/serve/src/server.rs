@@ -24,6 +24,7 @@
 //! to `Finish`, and force-closes stragglers only after
 //! [`ServerConfig::drain_timeout`].
 
+use crate::compute::{ComputeConfig, ComputePool, SharedWriter};
 use crate::wire::{codes, ClientFrame, Hello, ServerFrame, MAX_SITES, PROTOCOL_VERSION};
 use bpred::BranchPredictor;
 use btrace::{RecordedTrace, SiteId, Tracer};
@@ -71,6 +72,11 @@ pub struct ServerConfig {
     /// Drift events buffered per `watch` subscriber before the daemon sheds
     /// it (slow-consumer protection).
     pub max_subscriber_queue: usize,
+    /// Run the fabric compute service: accept `SubmitJob`/`CacheQuery`
+    /// frames on sessionless connections and execute them on a worker pool
+    /// backed by this daemon's engine + cache tier. `None` (the default)
+    /// rejects job frames with [`codes::BAD_STATE`].
+    pub compute: Option<ComputeConfig>,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +91,7 @@ impl Default for ServerConfig {
             record_sessions: true,
             stream: StreamConfig::default(),
             max_subscriber_queue: 1024,
+            compute: None,
         }
     }
 }
@@ -143,6 +150,8 @@ struct ProgramSession {
 
 struct Shared {
     config: ServerConfig,
+    /// The fabric compute pool, when `config.compute` is set.
+    compute: Option<Arc<ComputePool>>,
     shutdown: AtomicBool,
     stopped: AtomicBool,
     next_conn: AtomicU64,
@@ -322,10 +331,12 @@ impl Server {
     /// Propagates socket bind errors.
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        let compute = config.compute.as_ref().map(ComputePool::start);
         Ok(Self {
             listener,
             shared: Arc::new(Shared {
                 config,
+                compute,
                 shutdown: AtomicBool::new(false),
                 stopped: AtomicBool::new(false),
                 next_conn: AtomicU64::new(1),
@@ -381,6 +392,12 @@ impl Server {
                 .spawn(move || stats_loop(&shared, interval))
                 .expect("spawn stats thread")
         });
+        if let Some(pool) = &self.shared.compute {
+            self.shared.log(format_args!(
+                "compute service enabled, {} worker thread(s)",
+                pool.threads()
+            ));
+        }
         while !self.shared.shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, peer)) => self.spawn_conn(stream, peer),
@@ -395,6 +412,12 @@ impl Server {
             }
         }
         self.drain();
+        if let Some(pool) = &self.shared.compute {
+            // after drain the compute connections are gone; finish whatever
+            // is still queued (replies to dead peers fail silently) and
+            // join the workers
+            pool.shutdown();
+        }
         self.shared.stopped.store(true, Ordering::SeqCst);
         gc.join().expect("GC thread never panics");
         if let Some(t) = stats_thread {
@@ -480,11 +503,12 @@ fn gc_loop(shared: &Shared) {
 /// rates computed with `Snapshot::delta` (always printed, even with
 /// `quiet` connection logs — enabling the interval is itself the opt-in).
 ///
-/// Three lines per tick: the session/event line, the storage-tier and
+/// Four lines per tick: the session/event line, the storage-tier and
 /// trace line — memo-tier vs disk-tier cache hits (distinct since the PR
 /// that split the counters), misses, corrupt entries, and the recorded /
-/// replayed trace totals — and the streaming line (windows folded,
-/// verdicts, drift events, subscriber drops).
+/// replayed trace totals — the fabric line (jobs submitted/completed and
+/// remote cache hits served by the compute tier), and the streaming line
+/// (windows folded, verdicts, drift events, subscriber drops).
 fn stats_loop(shared: &Shared, interval: Duration) {
     let interval = interval.max(Duration::from_millis(10));
     let mut last_events = 0u64;
@@ -531,6 +555,15 @@ fn stats_loop(shared: &Shared, interval: Duration) {
             tick("trace_record_total"),
             total("trace_replay_total"),
             tick("trace_replay_total"),
+        );
+        eprintln!(
+            "[twodprofd] stats: fabric {} job(s) submitted (+{}), {} completed (+{}), {} remote cache hit(s) (+{})",
+            total("fabric_jobs_submitted_total"),
+            tick("fabric_jobs_submitted_total"),
+            total("fabric_jobs_completed_total"),
+            tick("fabric_jobs_completed_total"),
+            total("fabric_remote_cache_hits_total"),
+            tick("fabric_remote_cache_hits_total"),
         );
         eprintln!(
             "[twodprofd] stats: stream {} window(s) folded (+{}), {} verdict(s) (+{}), {} drift event(s) (+{}), {} subscriber drop(s) (+{})",
@@ -593,14 +626,23 @@ fn serve_conn(shared: &Shared, stream: TcpStream, id: u64) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut session = None;
-    let result = session_loop(
+    let mut handoff = None;
+    let mut result = session_loop(
         shared,
         id,
         &mut reader,
         &mut writer,
         &mut session,
         &last_seen,
+        &mut handoff,
     );
+    if let Some(first) = handoff {
+        // a sessionless connection turned out to be a fabric client:
+        // session_loop stepped aside and the connection becomes a
+        // compute channel for the rest of its life
+        debug_assert!(session.is_none() && result.is_ok());
+        result = compute_conn(shared, id, &mut reader, writer, first, &last_seen);
+    }
     if let Some(mut s) = session {
         // the connection ended with a session still open: disconnect, idle
         // reap, or a protocol error — drop the profiler and account for it
@@ -629,6 +671,7 @@ fn session_loop<R: Read, W: Write>(
     writer: &mut W,
     session: &mut Option<Box<LiveSession>>,
     last_seen: &Mutex<Instant>,
+    handoff: &mut Option<ClientFrame>,
 ) -> io::Result<()> {
     // Trace context announced by a `TraceCtx` frame; sessions opened on
     // this connection join it, so do pre-session frame spans.
@@ -917,6 +960,92 @@ fn session_loop<R: Read, W: Write>(
                 sub.queue.lock().expect("subscriber queue").closed = true;
                 return result;
             }
+            frame @ (ClientFrame::SubmitJob { .. } | ClientFrame::CacheQuery { .. }) => {
+                if session.is_some() {
+                    return send_error(
+                        writer,
+                        codes::BAD_STATE,
+                        "job frames are not allowed on a session connection".into(),
+                    );
+                }
+                if shared.compute.is_none() {
+                    return send_error(
+                        writer,
+                        codes::BAD_STATE,
+                        "compute service is disabled on this daemon".into(),
+                    );
+                }
+                // hand the connection (and this first frame) to the
+                // compute loop, which owns a sharable writer so pool
+                // workers can reply out of order
+                *handoff = Some(frame);
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Serves a fabric client's connection after its first job frame: submits
+/// jobs to the compute pool, answers cache queries inline, and keeps
+/// `Stats` working. Replies share the socket through a mutex-guarded
+/// writer because pool workers finish jobs out of submission order.
+fn compute_conn(
+    shared: &Shared,
+    id: u64,
+    reader: &mut BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    first: ClientFrame,
+    last_seen: &Arc<Mutex<Instant>>,
+) -> io::Result<()> {
+    let pool = shared.compute.as_ref().expect("compute enabled").clone();
+    shared.log(format_args!("conn {id}: fabric compute channel opened"));
+    let writer: SharedWriter = Arc::new(Mutex::new(writer));
+    let mut pending = Some(first);
+    loop {
+        let frame = match pending.take() {
+            Some(frame) => frame,
+            None => match ClientFrame::read_from(reader) {
+                Ok(frame) => frame,
+                // clean goodbye; any jobs still queued reply into the void
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+                Err(e) => {
+                    if e.kind() == io::ErrorKind::InvalidData {
+                        twodprof_obs::counter!(
+                            "serve_frame_decode_errors_total",
+                            "Client frames that failed to decode."
+                        )
+                        .inc();
+                        let mut w = writer.lock().expect("compute writer");
+                        let _ = send_error(&mut *w, codes::BAD_FRAME, format!("bad frame: {e}"));
+                    }
+                    return Err(e);
+                }
+            },
+        };
+        *last_seen.lock().expect("last_seen") = Instant::now();
+        let _frame_span = twodprof_obs::span!(frame_name(&frame));
+        match frame {
+            ClientFrame::SubmitJob { job_id, spec } => {
+                pool.submit(job_id, spec, writer.clone(), last_seen.clone());
+            }
+            ClientFrame::CacheQuery { job_id, spec } => {
+                let result = pool.lookup(&spec);
+                let mut w = writer.lock().expect("compute writer");
+                send(&mut *w, &ServerFrame::CacheReply { job_id, result })?;
+            }
+            ClientFrame::Stats => {
+                let snapshot = twodprof_obs::global().snapshot();
+                let mut w = writer.lock().expect("compute writer");
+                send(&mut *w, &ServerFrame::StatsReply(snapshot.to_bytes()))?;
+            }
+            other => {
+                let mut w = writer.lock().expect("compute writer");
+                return send_error(
+                    &mut *w,
+                    codes::BAD_STATE,
+                    format!("{} is not allowed on a compute channel", frame_name(&other)),
+                );
+            }
         }
     }
 }
@@ -977,6 +1106,8 @@ fn frame_name(frame: &ClientFrame) -> &'static str {
         ClientFrame::TraceCtx { .. } => "serve.frame.trace_ctx",
         ClientFrame::TraceExport { .. } => "serve.frame.trace_export",
         ClientFrame::Subscribe { .. } => "serve.frame.subscribe",
+        ClientFrame::SubmitJob { .. } => "serve.frame.submit_job",
+        ClientFrame::CacheQuery { .. } => "serve.frame.cache_query",
     }
 }
 

@@ -14,7 +14,7 @@
 //!
 //! client-msg := 0x01 hello | 0x02 events | 0x03 flush | 0x04 finish
 //!             | 0x05 stats | 0x06 resim | 0x07 trace-ctx | 0x08 trace-export
-//!             | 0x09 subscribe
+//!             | 0x09 subscribe | 0x0A submit-job | 0x0B cache-query
 //! hello      := varint(protocol) varint(num_sites) string(predictor-id)
 //!               varint(slice_len) varint(exec_threshold) string(program)
 //! events     := varint(count) { varint(site << 1 | taken) }*count
@@ -27,10 +27,14 @@
 //! subscribe  := string(program) varint(watch)    sessionless verdict query;
 //!                                                watch=1 keeps the connection
 //!                                                open for drift pushes
+//! submit-job := varint(job_id) jobspec           execute on the compute pool
+//! cache-query:= varint(job_id) jobspec           probe the daemon cache only
+//! jobspec    := twodprof_engine::JobSpec::encode_into
 //!
 //! server-msg := 0x81 hello-ok | 0x82 ack | 0x83 busy | 0x84 report
 //!             | 0x85 error | 0x86 stats-reply | 0x87 trace-ack
-//!             | 0x88 trace-spans | 0x89 stream-push
+//!             | 0x88 trace-spans | 0x89 stream-push | 0x8A job-result
+//!             | 0x8B cache-reply
 //! hello-ok   := varint(session_id)
 //! ack        := varint(events_total)
 //! busy       := string(msg)
@@ -41,6 +45,15 @@
 //! trace-spans:= bytes                            twodprof_obs::trace::encode_spans
 //! stream-push:= 0x00 bytes                       twodprof_stream VerdictSnapshot
 //!             | 0x01 bytes                       twodprof_stream DriftEvent
+//! job-result := varint(job_id) outcome
+//! outcome    := 0x00 job-payload                 computed by the pool
+//!             | 0x01 job-payload                 served from the cache tier
+//!             | 0x02 string(msg)                 job failed deterministically
+//!             | 0x03                             result exceeds frame ceiling
+//! cache-reply:= varint(job_id) (0x00 | 0x01 job-payload)
+//! job-payload:= varint(spec_hash) varint(len) bytes varint(checksum)
+//!                                                len <= MAX_RESULT_PAYLOAD;
+//!                                                checksum = FNV-1a(bytes)
 //!
 //! string     := varint(len) utf8-bytes
 //! trace-id   := 16 bytes, little-endian u128
@@ -52,6 +65,7 @@
 use bpred::PredictorKind;
 use btrace::{read_frame, read_varint, write_frame, write_varint};
 use std::io::{self, Read, Write};
+use twodprof_engine::JobSpec;
 
 /// Protocol revision spoken by this build. A server receiving any other
 /// value in `Hello` replies with [`codes::PROTOCOL`] and closes.
@@ -72,6 +86,13 @@ pub const MAX_EVENTS_PER_FRAME: usize = 1 << 20;
 
 /// Ceiling on the static-branch table size a session may declare.
 pub const MAX_SITES: u32 = 1 << 20;
+
+/// Ceiling on the serialized job output carried by a `JobResult` /
+/// `CacheReply`, leaving headroom inside [`MAX_FRAME_LEN`] for the tag,
+/// ids, and checksum. Checked *before* allocating the receive buffer on
+/// both the client and daemon decode paths, so a hostile declared length
+/// cannot balloon memory.
+pub const MAX_RESULT_PAYLOAD: usize = MAX_FRAME_LEN - 128;
 
 /// Error codes carried by [`ServerFrame::Error`].
 pub mod codes {
@@ -101,6 +122,8 @@ const TAG_RESIM: u8 = 0x06;
 const TAG_TRACE_CTX: u8 = 0x07;
 const TAG_TRACE_EXPORT: u8 = 0x08;
 const TAG_SUBSCRIBE: u8 = 0x09;
+const TAG_SUBMIT_JOB: u8 = 0x0A;
+const TAG_CACHE_QUERY: u8 = 0x0B;
 const TAG_HELLO_OK: u8 = 0x81;
 const TAG_ACK: u8 = 0x82;
 const TAG_BUSY: u8 = 0x83;
@@ -110,6 +133,14 @@ const TAG_STATS_REPLY: u8 = 0x86;
 const TAG_TRACE_ACK: u8 = 0x87;
 const TAG_TRACE_SPANS: u8 = 0x88;
 const TAG_STREAM_PUSH: u8 = 0x89;
+const TAG_JOB_RESULT: u8 = 0x8A;
+const TAG_CACHE_REPLY: u8 = 0x8B;
+
+/// Status bytes inside a `0x8A` job-result frame.
+const OUTCOME_COMPUTED: u8 = 0x00;
+const OUTCOME_CACHED: u8 = 0x01;
+const OUTCOME_FAILED: u8 = 0x02;
+const OUTCOME_TOO_LARGE: u8 = 0x03;
 
 /// Sub-tags inside a `0x89` stream-push frame.
 const PUSH_SNAPSHOT: u8 = 0x00;
@@ -132,6 +163,37 @@ pub struct Hello {
     /// program id are merged into that program's streaming profiler; empty
     /// opts out of aggregation.
     pub program: String,
+}
+
+/// A serialized job output crossing the wire, integrity-tagged so the
+/// fabric client can verify it end to end: `spec_hash` must equal the
+/// submitted [`JobSpec::content_hash`], and `checksum` must equal
+/// [`twodprof_engine::payload_checksum`] over `bytes`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobPayload {
+    /// Whether the daemon served this from its cache tier (memo or disk)
+    /// rather than computing it — the fleet-dedup signal.
+    pub cached: bool,
+    /// Content hash of the spec this payload answers.
+    pub spec_hash: u64,
+    /// `JobOutput::to_payload` bytes.
+    pub bytes: Vec<u8>,
+    /// FNV-1a over `bytes`.
+    pub checksum: u64,
+}
+
+/// Terminal result of a submitted job, carried by [`ServerFrame::JobResult`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The job finished; payload attached.
+    Done(JobPayload),
+    /// The job finished but its serialized output exceeds
+    /// [`MAX_RESULT_PAYLOAD`]; the client must compute it locally.
+    TooLarge,
+    /// The job failed deterministically on the daemon (e.g. unknown
+    /// workload). Retrying elsewhere would fail identically, so the client
+    /// should surface the message, not requeue.
+    Failed(String),
 }
 
 /// Frames a client sends to `twodprofd`.
@@ -185,6 +247,27 @@ pub enum ClientFrame {
         program: String,
         /// Keep the connection open for drift pushes after the snapshot.
         watch: bool,
+    },
+    /// Submits a job to the daemon's compute service. Sessionless: valid
+    /// only on a connection with no open session, and only when the daemon
+    /// runs with `--compute` (otherwise [`codes::BAD_STATE`]). The reply is
+    /// an eventual [`ServerFrame::JobResult`] — results may arrive out of
+    /// submission order, so clients match on `job_id`.
+    SubmitJob {
+        /// Client-chosen correlation id, echoed in the result.
+        job_id: u64,
+        /// The job to execute.
+        spec: JobSpec,
+    },
+    /// Probes the daemon's cache tier without scheduling compute. Same
+    /// preconditions as [`SubmitJob`](Self::SubmitJob); answered inline
+    /// with a [`ServerFrame::CacheReply`] (a miss does *not* enqueue the
+    /// job — the client decides whether to follow up with `SubmitJob`).
+    CacheQuery {
+        /// Client-chosen correlation id, echoed in the reply.
+        job_id: u64,
+        /// The job to look up.
+        spec: JobSpec,
     },
 }
 
@@ -243,6 +326,23 @@ pub enum ServerFrame {
     /// Pushed to a watching subscriber on every published verdict flip: a
     /// serialized `twodprof_stream::DriftEvent` (opaque at this layer).
     DriftEvent(Vec<u8>),
+    /// Terminal reply to [`ClientFrame::SubmitJob`]. Sent by a compute-pool
+    /// worker when the job finishes, so it may interleave arbitrarily with
+    /// replies to later frames on the same connection.
+    JobResult {
+        /// The submitting frame's correlation id.
+        job_id: u64,
+        /// What happened.
+        outcome: JobOutcome,
+    },
+    /// Inline reply to [`ClientFrame::CacheQuery`]: `Some` with
+    /// `cached: true` on a hit, `None` on a miss.
+    CacheReply {
+        /// The querying frame's correlation id.
+        job_id: u64,
+        /// The cached payload, if present.
+        result: Option<JobPayload>,
+    },
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
@@ -268,6 +368,36 @@ fn read_trace_id<R: Read>(r: &mut R) -> io::Result<u128> {
     let mut bytes = [0u8; 16];
     r.read_exact(&mut bytes)?;
     Ok(u128::from_le_bytes(bytes))
+}
+
+fn write_payload(buf: &mut Vec<u8>, p: &JobPayload) {
+    write_varint(buf, p.spec_hash).expect("vec write");
+    write_varint(buf, p.bytes.len() as u64).expect("vec write");
+    buf.extend_from_slice(&p.bytes);
+    write_varint(buf, p.checksum).expect("vec write");
+}
+
+/// Reads a job payload, enforcing [`MAX_RESULT_PAYLOAD`] on the declared
+/// length *before* allocating — this helper is shared by the daemon and
+/// client decode paths, so neither side can be ballooned by a hostile
+/// length prefix.
+fn read_payload(r: &mut &[u8], cached: bool) -> io::Result<JobPayload> {
+    let spec_hash = read_varint(r)?;
+    let len = read_varint(r)? as usize;
+    if len > MAX_RESULT_PAYLOAD {
+        return Err(invalid(format!(
+            "job payload declares {len} bytes (limit {MAX_RESULT_PAYLOAD})"
+        )));
+    }
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    let checksum = read_varint(r)?;
+    Ok(JobPayload {
+        cached,
+        spec_hash,
+        bytes,
+        checksum,
+    })
 }
 
 fn ensure_consumed(r: &[u8]) -> io::Result<()> {
@@ -322,6 +452,16 @@ impl ClientFrame {
                 buf.push(TAG_SUBSCRIBE);
                 write_string(&mut buf, program);
                 write_varint(&mut buf, *watch as u64).expect("vec write");
+            }
+            ClientFrame::SubmitJob { job_id, spec } => {
+                buf.push(TAG_SUBMIT_JOB);
+                write_varint(&mut buf, *job_id).expect("vec write");
+                spec.encode_into(&mut buf);
+            }
+            ClientFrame::CacheQuery { job_id, spec } => {
+                buf.push(TAG_CACHE_QUERY);
+                write_varint(&mut buf, *job_id).expect("vec write");
+                spec.encode_into(&mut buf);
             }
         }
         buf
@@ -403,6 +543,16 @@ impl ClientFrame {
                 };
                 ClientFrame::Subscribe { program, watch }
             }
+            TAG_SUBMIT_JOB => {
+                let job_id = read_varint(&mut r)?;
+                let spec = JobSpec::decode_from(&mut r)?;
+                ClientFrame::SubmitJob { job_id, spec }
+            }
+            TAG_CACHE_QUERY => {
+                let job_id = read_varint(&mut r)?;
+                let spec = JobSpec::decode_from(&mut r)?;
+                ClientFrame::CacheQuery { job_id, spec }
+            }
             other => return Err(invalid(format!("unknown client frame tag {other:#04x}"))),
         };
         ensure_consumed(r)?;
@@ -477,6 +627,36 @@ impl ServerFrame {
                 buf.push(PUSH_DRIFT);
                 buf.extend_from_slice(bytes);
             }
+            ServerFrame::JobResult { job_id, outcome } => {
+                buf.push(TAG_JOB_RESULT);
+                write_varint(&mut buf, *job_id).expect("vec write");
+                match outcome {
+                    JobOutcome::Done(p) => {
+                        buf.push(if p.cached {
+                            OUTCOME_CACHED
+                        } else {
+                            OUTCOME_COMPUTED
+                        });
+                        write_payload(&mut buf, p);
+                    }
+                    JobOutcome::Failed(msg) => {
+                        buf.push(OUTCOME_FAILED);
+                        write_string(&mut buf, msg);
+                    }
+                    JobOutcome::TooLarge => buf.push(OUTCOME_TOO_LARGE),
+                }
+            }
+            ServerFrame::CacheReply { job_id, result } => {
+                buf.push(TAG_CACHE_REPLY);
+                write_varint(&mut buf, *job_id).expect("vec write");
+                match result {
+                    Some(p) => {
+                        buf.push(0x01);
+                        write_payload(&mut buf, p);
+                    }
+                    None => buf.push(0x00),
+                }
+            }
         }
         buf
     }
@@ -538,6 +718,30 @@ impl ServerFrame {
                         return Err(invalid(format!("unknown stream-push sub-tag {other:#04x}")))
                     }
                 }
+            }
+            TAG_JOB_RESULT => {
+                let job_id = read_varint(&mut r)?;
+                let mut status = [0u8; 1];
+                r.read_exact(&mut status)?;
+                let outcome = match status[0] {
+                    OUTCOME_COMPUTED => JobOutcome::Done(read_payload(&mut r, false)?),
+                    OUTCOME_CACHED => JobOutcome::Done(read_payload(&mut r, true)?),
+                    OUTCOME_FAILED => JobOutcome::Failed(read_string(&mut r, 1 << 16)?),
+                    OUTCOME_TOO_LARGE => JobOutcome::TooLarge,
+                    other => return Err(invalid(format!("unknown job outcome {other:#04x}"))),
+                };
+                ServerFrame::JobResult { job_id, outcome }
+            }
+            TAG_CACHE_REPLY => {
+                let job_id = read_varint(&mut r)?;
+                let mut flag = [0u8; 1];
+                r.read_exact(&mut flag)?;
+                let result = match flag[0] {
+                    0x00 => None,
+                    0x01 => Some(read_payload(&mut r, true)?),
+                    other => return Err(invalid(format!("bad cache-reply flag {other:#04x}"))),
+                };
+                ServerFrame::CacheReply { job_id, result }
             }
             other => return Err(invalid(format!("unknown server frame tag {other:#04x}"))),
         };
@@ -740,6 +944,139 @@ mod tests {
             .expect("id embedded");
         payload[pos + 3] = b'o';
         assert!(ClientFrame::decode(&payload).is_err());
+    }
+
+    fn sample_payload(cached: bool) -> JobPayload {
+        let bytes = vec![1, 2, 3, 4, 5];
+        JobPayload {
+            cached,
+            spec_hash: 0xDEAD_BEEF,
+            checksum: twodprof_engine::payload_checksum(&bytes),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn fabric_frames_roundtrip() {
+        use bpred::PredictorKind;
+        use workloads::Scale;
+        roundtrip_client(ClientFrame::SubmitJob {
+            job_id: 7,
+            spec: JobSpec::two_d("gzip", "train", Scale::Tiny, PredictorKind::Gshare4Kb),
+        });
+        roundtrip_client(ClientFrame::CacheQuery {
+            job_id: u64::MAX,
+            spec: JobSpec::trace("mcf", "train", Scale::Small),
+        });
+        roundtrip_server(ServerFrame::JobResult {
+            job_id: 1,
+            outcome: JobOutcome::Done(sample_payload(false)),
+        });
+        roundtrip_server(ServerFrame::JobResult {
+            job_id: 2,
+            outcome: JobOutcome::Done(sample_payload(true)),
+        });
+        roundtrip_server(ServerFrame::JobResult {
+            job_id: 3,
+            outcome: JobOutcome::Failed("unknown workload".to_owned()),
+        });
+        roundtrip_server(ServerFrame::JobResult {
+            job_id: 4,
+            outcome: JobOutcome::TooLarge,
+        });
+        roundtrip_server(ServerFrame::CacheReply {
+            job_id: 5,
+            result: Some(sample_payload(true)),
+        });
+        roundtrip_server(ServerFrame::CacheReply {
+            job_id: 6,
+            result: None,
+        });
+    }
+
+    #[test]
+    fn job_payload_rejects_oversized_declared_length_before_allocation() {
+        // Regression for the daemon decode path: a frame declaring a
+        // payload length beyond MAX_RESULT_PAYLOAD (even absurdly beyond
+        // addressable memory) must be rejected by the length check, not by
+        // a failed allocation.
+        for declared in [MAX_RESULT_PAYLOAD as u64 + 1, u64::MAX] {
+            let mut payload = vec![TAG_JOB_RESULT];
+            write_varint(&mut payload, 9).unwrap();
+            payload.push(OUTCOME_COMPUTED);
+            write_varint(&mut payload, 0xABCD).unwrap(); // spec_hash
+            write_varint(&mut payload, declared).unwrap(); // bytes length
+            let err = ServerFrame::decode(&payload).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidData,
+                "declared {declared}"
+            );
+
+            let mut reply = vec![TAG_CACHE_REPLY];
+            write_varint(&mut reply, 9).unwrap();
+            reply.push(0x01);
+            write_varint(&mut reply, 0xABCD).unwrap();
+            write_varint(&mut reply, declared).unwrap();
+            let err = ServerFrame::decode(&reply).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidData,
+                "declared {declared}"
+            );
+        }
+    }
+
+    #[test]
+    fn submit_job_rejects_oversized_spec_name_before_allocation() {
+        // Same property on the daemon's ClientFrame path: the JobSpec
+        // decoder must cap name lengths before allocating.
+        let mut payload = vec![TAG_SUBMIT_JOB];
+        write_varint(&mut payload, 1).unwrap(); // job_id
+        write_varint(&mut payload, u64::MAX).unwrap(); // workload name length
+        let err = ClientFrame::decode(&payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn fabric_frames_reject_truncation_and_trailing_bytes() {
+        use bpred::PredictorKind;
+        use workloads::Scale;
+        let submit = ClientFrame::SubmitJob {
+            job_id: 300,
+            spec: JobSpec::accuracy("gzip", "train", Scale::Full, PredictorKind::Tage8Kb),
+        }
+        .encode();
+        for len in 1..submit.len() {
+            assert!(ClientFrame::decode(&submit[..len]).is_err(), "prefix {len}");
+        }
+        let mut garbage = submit.clone();
+        garbage.push(0);
+        assert!(ClientFrame::decode(&garbage).is_err());
+
+        let result = ServerFrame::JobResult {
+            job_id: 300,
+            outcome: JobOutcome::Done(sample_payload(false)),
+        }
+        .encode();
+        for len in 1..result.len() {
+            assert!(ServerFrame::decode(&result[..len]).is_err(), "prefix {len}");
+        }
+        let mut garbage = result.clone();
+        garbage.push(0);
+        assert!(ServerFrame::decode(&garbage).is_err());
+    }
+
+    #[test]
+    fn job_result_rejects_unknown_outcome_byte() {
+        let mut payload = vec![TAG_JOB_RESULT];
+        write_varint(&mut payload, 1).unwrap();
+        payload.push(0x07);
+        assert!(ServerFrame::decode(&payload).is_err());
+        let mut reply = vec![TAG_CACHE_REPLY];
+        write_varint(&mut reply, 1).unwrap();
+        reply.push(0x02);
+        assert!(ServerFrame::decode(&reply).is_err());
     }
 
     #[test]

@@ -7,11 +7,35 @@ use bpred::PredictorKind;
 use btrace::{SiteId, Tracer};
 use proptest::prelude::*;
 use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
-use twodprof_serve::wire::{ClientFrame, Hello, ServerFrame, PROTOCOL_VERSION};
+use twodprof_engine::JobSpec;
+use twodprof_serve::wire::{
+    ClientFrame, Hello, JobOutcome, JobPayload, ServerFrame, PROTOCOL_VERSION,
+};
+use workloads::Scale;
 
 fn predictor_from(seed: u8) -> PredictorKind {
     let all = PredictorKind::ALL;
     all[seed as usize % all.len()]
+}
+
+fn scale_from(seed: u8) -> Scale {
+    match seed % 3 {
+        0 => Scale::Tiny,
+        1 => Scale::Small,
+        _ => Scale::Full,
+    }
+}
+
+/// A [`JobSpec`] covering all four job kinds, every scale, and arbitrary
+/// (wire-legal) workload/input names.
+fn spec_from(workload: &str, input: &str, scale_seed: u8, kind_seed: u8, pred_seed: u8) -> JobSpec {
+    let scale = scale_from(scale_seed);
+    match kind_seed % 4 {
+        0 => JobSpec::count(workload, input, scale),
+        1 => JobSpec::accuracy(workload, input, scale, predictor_from(pred_seed)),
+        2 => JobSpec::two_d(workload, input, scale, predictor_from(pred_seed)),
+        _ => JobSpec::trace(workload, input, scale),
+    }
 }
 
 proptest! {
@@ -87,6 +111,100 @@ proptest! {
         bytes.extend_from_slice(&extra);
         prop_assert!(ClientFrame::decode(&bytes).is_err());
         let mut bytes = ServerFrame::Ack { events_total: 7 }.encode();
+        bytes.extend_from_slice(&extra);
+        prop_assert!(ServerFrame::decode(&bytes).is_err());
+    }
+
+    // --- fabric frames (SubmitJob 0x0A / CacheQuery 0x0B and replies) ---
+
+    #[test]
+    fn fabric_client_frames_roundtrip(
+        job_id in any::<u64>(),
+        workload in "[a-z0-9./-]{1,32}",
+        input in "[a-z0-9./-]{0,32}",
+        scale_seed in any::<u8>(),
+        kind_seed in any::<u8>(),
+        pred_seed in any::<u8>(),
+        submit in any::<bool>(),
+    ) {
+        let spec = spec_from(&workload, &input, scale_seed, kind_seed, pred_seed);
+        let frame = if submit {
+            ClientFrame::SubmitJob { job_id, spec }
+        } else {
+            ClientFrame::CacheQuery { job_id, spec }
+        };
+        let bytes = frame.encode();
+        prop_assert_eq!(ClientFrame::decode(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn fabric_server_frames_roundtrip(
+        job_id in any::<u64>(),
+        spec_hash in any::<u64>(),
+        checksum in any::<u64>(),
+        body in prop::collection::vec(any::<u8>(), 0..300),
+        cached in any::<bool>(),
+        msg in "[ a-z0-9]{0,40}",
+    ) {
+        let payload = |cached| JobPayload {
+            cached,
+            spec_hash,
+            bytes: body.clone(),
+            checksum,
+        };
+        for frame in [
+            ServerFrame::JobResult { job_id, outcome: JobOutcome::Done(payload(cached)) },
+            ServerFrame::JobResult { job_id, outcome: JobOutcome::TooLarge },
+            ServerFrame::JobResult { job_id, outcome: JobOutcome::Failed(msg) },
+            ServerFrame::CacheReply { job_id, result: None },
+            // the wire carries no cached flag for cache replies — a hit is
+            // cached by definition, so the decoder always sets it
+            ServerFrame::CacheReply { job_id, result: Some(payload(true)) },
+        ] {
+            let bytes = frame.encode();
+            prop_assert_eq!(ServerFrame::decode(&bytes).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn truncated_fabric_frames_rejected(
+        job_id in any::<u64>(),
+        workload in "[a-z0-9./-]{1,32}",
+        body in prop::collection::vec(any::<u8>(), 1..200),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let spec = JobSpec::count(&workload, "train", Scale::Tiny);
+        let client = ClientFrame::SubmitJob { job_id, spec }.encode();
+        let cut = 1 + ((client.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(ClientFrame::decode(&client[..client.len() - cut]).is_err());
+
+        let server = ServerFrame::JobResult {
+            job_id,
+            outcome: JobOutcome::Done(JobPayload {
+                cached: false,
+                spec_hash: job_id,
+                bytes: body,
+                checksum: 7,
+            }),
+        }
+        .encode();
+        let cut = 1 + ((server.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(ServerFrame::decode(&server[..server.len() - cut]).is_err());
+    }
+
+    #[test]
+    fn fabric_trailing_garbage_rejected(
+        job_id in any::<u64>(),
+        extra in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let spec = JobSpec::trace("gzip", "train", Scale::Tiny);
+        let mut bytes = ClientFrame::CacheQuery { job_id, spec }.encode();
+        bytes.extend_from_slice(&extra);
+        prop_assert!(ClientFrame::decode(&bytes).is_err());
+        let mut bytes = ServerFrame::CacheReply { job_id, result: None }.encode();
+        bytes.extend_from_slice(&extra);
+        prop_assert!(ServerFrame::decode(&bytes).is_err());
+        let mut bytes = ServerFrame::JobResult { job_id, outcome: JobOutcome::TooLarge }.encode();
         bytes.extend_from_slice(&extra);
         prop_assert!(ServerFrame::decode(&bytes).is_err());
     }
