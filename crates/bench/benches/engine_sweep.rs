@@ -58,8 +58,13 @@ const SURVEY_TABLE: [PredictorKind; 10] = [
 ];
 
 /// The tiny-scale grid with every [`SURVEY_TABLE`] configuration simulated
-/// per input: each workload input's branch stream is shared by eleven jobs
-/// (count + ten accuracy sims), each train input's by ten more 2D sims.
+/// per input: each workload input's branch stream is shared by twenty-one
+/// jobs — a count, ten accuracy sims, and ten 2D profiles. This is the
+/// full characterization sweep the paper's methodology implies (a 2D
+/// profile per predictor per input data set), and the shape the fused
+/// replay is built for: the accuracy and 2D job of one kind split a
+/// single simulation, so the whole grid costs one recording and one
+/// fused table pass per input.
 fn survey_grid() -> Vec<JobSpec> {
     let scale = Scale::Tiny;
     let mut specs = Vec::new();
@@ -69,10 +74,8 @@ fn survey_grid() -> Vec<JobSpec> {
             specs.push(JobSpec::count(name, input.name, scale));
             for kind in SURVEY_TABLE {
                 specs.push(JobSpec::accuracy(name, input.name, scale, kind));
+                specs.push(JobSpec::two_d(name, input.name, scale, kind));
             }
-        }
-        for kind in SURVEY_TABLE {
-            specs.push(JobSpec::two_d(name, "train", scale, kind));
         }
     }
     specs

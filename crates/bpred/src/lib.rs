@@ -27,6 +27,7 @@
 //! ```
 
 mod bimodal;
+pub mod bitslice;
 mod counter;
 mod gag;
 mod gshare;

@@ -27,6 +27,27 @@ impl AccuracyProfile {
         }
     }
 
+    /// Assembles a profile from raw per-site counters — the constructor
+    /// behind the engine's bit-sliced replay lanes, which accumulate
+    /// executions and correct predictions in batches rather than through a
+    /// per-event [`PredictorSim`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors' lengths differ or any site's correct count
+    /// exceeds its execution count.
+    pub fn from_parts(exec: Vec<u64>, correct: Vec<u64>, predictor_name: String) -> Self {
+        assert_eq!(exec.len(), correct.len(), "per-site columns must align");
+        for (site, (&e, &c)) in exec.iter().zip(&correct).enumerate() {
+            assert!(c <= e, "site {site}: correct {c} exceeds executions {e}");
+        }
+        Self {
+            exec,
+            correct,
+            predictor_name,
+        }
+    }
+
     /// Number of static branch sites tracked.
     pub fn num_sites(&self) -> usize {
         self.exec.len()

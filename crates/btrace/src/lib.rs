@@ -35,7 +35,7 @@ mod tee;
 
 pub use edge::{EdgeCount, EdgeProfiler};
 pub use record::{RecordingTracer, Trace, TraceEvent, TraceIter, TraceStats};
-pub use recorded::RecordedTrace;
+pub use recorded::{RecordedTrace, SiteRun, SiteRuns};
 pub use serial::{
     read_frame, read_trace, read_varint, write_frame, write_trace, write_varint, ReadTraceError,
     MAX_FRAME_LEN,

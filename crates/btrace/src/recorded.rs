@@ -305,6 +305,107 @@ impl RecordedTrace {
         self.replay_into(&mut trace);
         trace
     }
+
+    /// Iterates over the packed direction words as `(word, valid_bits)`.
+    ///
+    /// Bit `i` of each word is the direction of event `word_index * 64 + i`;
+    /// only the low `valid_bits` bits of a word carry events (every word is
+    /// full except possibly the last). Padding bits above `valid_bits` are
+    /// always zero — the canonical form `from_bytes` enforces and `push`
+    /// maintains.
+    pub fn direction_words(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        let mut remaining = self.num_events;
+        self.taken.iter().map(move |&word| {
+            let valid = remaining.min(64) as u32;
+            remaining -= valid as u64;
+            (word, valid)
+        })
+    }
+
+    /// Iterates over the stream as same-site runs of up to 64 events each.
+    ///
+    /// Consecutive events at the same site are grouped into one [`SiteRun`]
+    /// carrying the site, the run length, and the packed directions, so a
+    /// consumer can hash the site once per run instead of once per event.
+    /// Streaks longer than 64 events are emitted as multiple runs;
+    /// concatenating all runs in order reproduces the stream exactly.
+    pub fn site_runs(&self) -> SiteRuns<'_> {
+        SiteRuns {
+            deltas: self.site_deltas.as_slice(),
+            taken: &self.taken,
+            site: 0,
+            event: 0,
+            num_events: self.num_events,
+        }
+    }
+}
+
+/// A streak of consecutive events at one site, at most 64 events long.
+///
+/// Produced by [`RecordedTrace::site_runs`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteRun {
+    /// The static branch all events in the run execute.
+    pub site: SiteId,
+    /// Number of events in the run, `1..=64`.
+    pub len: u32,
+    /// Directions of the run's events in the low `len` bits (bit 0 is the
+    /// earliest event); bits at and above `len` are zero.
+    pub bits: u64,
+}
+
+/// Iterator over a trace's same-site runs; see [`RecordedTrace::site_runs`].
+pub struct SiteRuns<'a> {
+    deltas: &'a [u8],
+    taken: &'a [u64],
+    site: i64,
+    event: u64,
+    num_events: u64,
+}
+
+impl Iterator for SiteRuns<'_> {
+    type Item = SiteRun;
+
+    fn next(&mut self) -> Option<SiteRun> {
+        if self.event == self.num_events {
+            return None;
+        }
+        // decode the run's first event, single-byte fast path as in replay
+        let z = match self.deltas.split_first() {
+            Some((&b, rest)) if b < 0x80 => {
+                self.deltas = rest;
+                b as u64
+            }
+            _ => decode_varint(&mut self.deltas).expect("validated delta column"),
+        };
+        self.site += ((z >> 1) as i64) ^ -((z & 1) as i64);
+        // extend while the next event repeats the site: zigzag delta 0 is
+        // the single byte 0x00, so the streak scan is a plain byte compare.
+        // the delta column holds exactly one varint per event, so an empty
+        // slice is exactly the end of the stream.
+        let start = self.event;
+        let mut len = 1u32;
+        while len < 64 && self.deltas.first() == Some(&0) {
+            self.deltas = &self.deltas[1..];
+            len += 1;
+        }
+        self.event = start + len as u64;
+        // gather the run's direction bits, which may straddle a word boundary
+        let w = (start >> 6) as usize;
+        let sh = (start & 63) as u32;
+        let mut bits = self.taken[w] >> sh;
+        if sh != 0 && len > 64 - sh {
+            bits |= self.taken[w + 1] << (64 - sh);
+        }
+        if len < 64 {
+            bits &= (1u64 << len) - 1;
+        }
+        Some(SiteRun {
+            site: SiteId(self.site as u32),
+            len,
+            bits,
+        })
+    }
 }
 
 impl Tracer for RecordedTrace {
@@ -480,5 +581,147 @@ mod tests {
         assert_eq!(t.dynamic_count(), Some(0));
         t.branch(SiteId(0), true);
         assert_eq!(t.dynamic_count(), Some(1));
+    }
+
+    /// Expands a trace's runs back into a flat event list.
+    fn flatten_runs(t: &RecordedTrace) -> Vec<(SiteId, bool)> {
+        let mut events = Vec::new();
+        for run in t.site_runs() {
+            assert!((1..=64).contains(&run.len), "run length {}", run.len);
+            if run.len < 64 {
+                assert_eq!(run.bits >> run.len, 0, "bits above len must be zero");
+            }
+            for i in 0..run.len {
+                events.push((run.site, run.bits >> i & 1 == 1));
+            }
+        }
+        events
+    }
+
+    fn recorded_events(t: &RecordedTrace) -> Vec<(SiteId, bool)> {
+        let row = t.to_trace();
+        (0..row.len())
+            .map(|i| {
+                let e = row.get(i).unwrap();
+                (e.site, e.taken)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn site_runs_reproduce_the_stream() {
+        let t = sample();
+        assert_eq!(flatten_runs(&t), recorded_events(&t));
+        // hot-site sample alternates sites, so every run is one event
+        assert!(t.site_runs().all(|r| r.len == 1));
+    }
+
+    #[test]
+    fn site_runs_group_streaks_and_split_at_64() {
+        // a 200-event streak at one site must come out as 64+64+64+8
+        let mut t = RecordedTrace::new(2);
+        for i in 0..200u32 {
+            t.push(SiteId(1), i % 3 == 0);
+        }
+        let runs: Vec<_> = t.site_runs().collect();
+        assert_eq!(
+            runs.iter().map(|r| r.len).collect::<Vec<_>>(),
+            [64, 64, 64, 8]
+        );
+        assert!(runs.iter().all(|r| r.site == SiteId(1)));
+        assert_eq!(flatten_runs(&t), recorded_events(&t));
+    }
+
+    #[test]
+    fn site_runs_handle_word_straddling_streaks() {
+        // leading single events misalign the streak against the 64-bit
+        // direction words, so each 64-long run straddles two words
+        for lead in 1..5u32 {
+            let mut t = RecordedTrace::new(3);
+            for i in 0..lead {
+                t.push(SiteId(i % 2), true);
+            }
+            for i in 0..150u32 {
+                t.push(SiteId(2), i % 2 == 0);
+            }
+            assert_eq!(flatten_runs(&t), recorded_events(&t), "lead {lead}");
+        }
+    }
+
+    #[test]
+    fn site_runs_handle_chunk_spanning_streaks_and_partial_final_word() {
+        // one streak far longer than the engine's 2048-event fan-out chunk,
+        // ending mid-word (4100 % 64 != 0)
+        let mut t = RecordedTrace::new(1);
+        for i in 0..4100u32 {
+            t.push(SiteId(0), i % 5 < 2);
+        }
+        assert_eq!(t.events() % 64, 4100 % 64);
+        let runs: Vec<_> = t.site_runs().collect();
+        assert_eq!(runs.len(), 4100usize.div_ceil(64));
+        assert_eq!(runs.last().unwrap().len, 4100 % 64);
+        assert_eq!(flatten_runs(&t), recorded_events(&t));
+        // round-tripping through bytes preserves the view
+        let back = RecordedTrace::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(flatten_runs(&back), recorded_events(&t));
+    }
+
+    #[test]
+    fn site_runs_handle_single_event_and_empty_traces() {
+        let empty = RecordedTrace::new(4);
+        assert_eq!(empty.site_runs().count(), 0);
+        let mut one = RecordedTrace::new(4);
+        one.push(SiteId(3), true);
+        let runs: Vec<_> = one.site_runs().collect();
+        assert_eq!(
+            runs,
+            vec![SiteRun {
+                site: SiteId(3),
+                len: 1,
+                bits: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn site_runs_mixed_lengths_fuzz() {
+        // deterministic pseudo-random mix of short and long streaks
+        let mut t = RecordedTrace::new(7);
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut event = 0u64;
+        while event < 10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let site = SiteId((x % 7) as u32);
+            let streak = 1 + (x >> 32) % 130;
+            for i in 0..streak {
+                t.push(site, (x >> (i % 23)) & 1 == 1);
+            }
+            event += streak;
+        }
+        assert_eq!(flatten_runs(&t), recorded_events(&t));
+    }
+
+    #[test]
+    fn direction_words_expose_the_bitset() {
+        let mut t = RecordedTrace::new(1);
+        for i in 0..130u32 {
+            t.push(SiteId(0), i % 3 == 0);
+        }
+        let words: Vec<_> = t.direction_words().collect();
+        assert_eq!(words.len(), 3);
+        assert_eq!(words[0].1, 64);
+        assert_eq!(words[1].1, 64);
+        assert_eq!(words[2].1, 2, "final word is partially filled");
+        // padding above valid_bits is zero; bits agree with replay
+        assert_eq!(words[2].0 >> words[2].1, 0);
+        let flat: Vec<bool> = recorded_events(&t).iter().map(|&(_, b)| b).collect();
+        for (w, (word, valid)) in words.iter().enumerate() {
+            for b in 0..*valid {
+                assert_eq!(word >> b & 1 == 1, flat[w * 64 + b as usize]);
+            }
+        }
+        assert!(RecordedTrace::new(1).direction_words().next().is_none());
     }
 }

@@ -50,6 +50,7 @@
 //! assert!(!report.classification(SiteId(1)).is_dependent());
 //! ```
 
+mod accum;
 mod bias2d;
 mod ground_truth;
 mod ifconv;
@@ -62,6 +63,7 @@ mod state;
 mod thresholds;
 mod wish;
 
+pub use accum::SliceAccum;
 pub use bias2d::Bias2DProfiler;
 pub use ground_truth::{GroundTruth, GroundTruthBuilder, InputDependence};
 pub use ifconv::{CostModel, PredicationDecision};

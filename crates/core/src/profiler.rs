@@ -1,8 +1,6 @@
 //! The 2D-profiler: Figure 9 of the paper as a [`Tracer`].
 
-use crate::report::SeriesData;
-use crate::thresholds::evaluate;
-use crate::{BranchStats, Classification, ProfileReport, SliceConfig, Thresholds};
+use crate::{ProfileReport, SliceAccum, SliceConfig, Thresholds};
 use bpred::{site_pc, BranchPredictor};
 use btrace::{SiteId, Tracer};
 
@@ -17,41 +15,22 @@ use btrace::{SiteId, Tracer};
 ///
 /// Slices are delimited globally: every [`SliceConfig::slice_len`] dynamic
 /// branch events, the per-slice counters of *all* branches are folded and
-/// reset (the paper's "function executed at the end of each slice").
+/// reset (the paper's "function executed at the end of each slice"). All
+/// accounting other than the predictor simulation lives in [`SliceAccum`],
+/// which the engine's bit-sliced replay drives in batches instead.
 #[derive(Clone, Debug)]
 pub struct TwoDProfiler<P> {
     predictor: P,
-    states: Vec<crate::BranchState>,
-    config: SliceConfig,
-    in_slice: u64,
-    slice_index: u64,
-    total_exec: u64,
-    total_correct: u64,
-    slice_exec: u64,
-    slice_correct: u64,
-    series: Option<SeriesData>,
+    accum: SliceAccum,
 }
 
 impl<P: BranchPredictor> TwoDProfiler<P> {
     /// Creates a profiler for a workload with `num_sites` static branches,
     /// simulating `predictor` and slicing the run per `config`.
     pub fn new(num_sites: usize, predictor: P, config: SliceConfig) -> Self {
-        twodprof_obs::counter!(
-            "profiler_branches_tracked_total",
-            "Static branch sites tracked across all profiler instances."
-        )
-        .add(num_sites as u64);
         Self {
             predictor,
-            states: vec![crate::BranchState::new(); num_sites],
-            config,
-            in_slice: 0,
-            slice_index: 0,
-            total_exec: 0,
-            total_correct: 0,
-            slice_exec: 0,
-            slice_correct: 0,
-            series: None,
+            accum: SliceAccum::new(num_sites, config),
         }
     }
 
@@ -61,83 +40,21 @@ impl<P: BranchPredictor> TwoDProfiler<P> {
     ///
     /// Costs `O(sites × slices)` memory; leave disabled for large sweeps.
     pub fn with_series(num_sites: usize, predictor: P, config: SliceConfig) -> Self {
-        let mut p = Self::new(num_sites, predictor, config);
-        p.series = Some(SeriesData {
-            per_site: vec![Vec::new(); num_sites],
-            overall: Vec::new(),
-        });
-        p
+        Self {
+            predictor,
+            accum: SliceAccum::with_series(num_sites, config),
+        }
     }
 
     /// The slice configuration in effect.
     pub fn config(&self) -> SliceConfig {
-        self.config
+        self.accum.config()
     }
 
     /// Per-branch state accumulated so far (primarily for inspection in
     /// tests and tooling).
     pub fn state(&self, site: SiteId) -> &crate::BranchState {
-        &self.states[site.index()]
-    }
-
-    fn end_slice_all(&mut self) {
-        let thr = self.config.exec_threshold();
-        // Metrics are accumulated here, at the slice boundary, so the
-        // per-event `branch` path stays untouched; the FIR/PAM deltas ride
-        // the O(sites) fold loop that runs anyway.
-        let mut fir_updates = 0u64;
-        let mut pam_updates = 0u64;
-        match &mut self.series {
-            Some(series) => {
-                for (i, st) in self.states.iter_mut().enumerate() {
-                    let pam_before = st.slices_above_mean();
-                    if let Some(acc) = st.end_slice_sampled(thr) {
-                        series.per_site[i].push((self.slice_index, acc));
-                        fir_updates += 1;
-                    }
-                    pam_updates += st.slices_above_mean() - pam_before;
-                }
-                if self.slice_exec > 0 {
-                    series.overall.push((
-                        self.slice_index,
-                        self.slice_correct as f64 / self.slice_exec as f64,
-                    ));
-                }
-            }
-            None => {
-                for st in &mut self.states {
-                    let n_before = st.slices();
-                    let pam_before = st.slices_above_mean();
-                    st.end_slice(thr);
-                    fir_updates += st.slices() - n_before;
-                    pam_updates += st.slices_above_mean() - pam_before;
-                }
-            }
-        }
-        twodprof_obs::counter!(
-            "profiler_events_total",
-            "Dynamic branch events ingested by all profiler instances."
-        )
-        .add(self.in_slice);
-        twodprof_obs::counter!(
-            "profiler_slices_closed_total",
-            "Global slice boundaries folded (including trailing partials)."
-        )
-        .inc();
-        twodprof_obs::counter!(
-            "profiler_filter_updates_total",
-            "Per-branch FIR filter updates (slices counted into statistics)."
-        )
-        .add(fir_updates);
-        twodprof_obs::counter!(
-            "profiler_pam_updates_total",
-            "NPAM increments (counted slices above the running mean)."
-        )
-        .add(pam_updates);
-        self.slice_exec = 0;
-        self.slice_correct = 0;
-        self.slice_index += 1;
-        self.in_slice = 0;
+        self.accum.state(site)
     }
 
     /// Records one dynamic branch like [`Tracer::branch`], additionally
@@ -150,65 +67,16 @@ impl<P: BranchPredictor> TwoDProfiler<P> {
     #[inline]
     pub fn branch_outcome(&mut self, site: SiteId, taken: bool) -> bool {
         let correct = self.predictor.predict_and_train(site_pc(site), taken) == taken;
-        self.states[site.index()].record(correct);
-        self.total_exec += 1;
-        self.total_correct += correct as u64;
-        self.slice_exec += 1;
-        self.slice_correct += correct as u64;
-        self.in_slice += 1;
-        if self.in_slice == self.config.slice_len() {
-            self.end_slice_all();
-        }
+        self.accum.record(site, correct);
         correct
     }
 
     /// Ends the run: folds any open partial slice, resolves the MEAN-test
     /// threshold against the run's overall accuracy, applies the three tests
     /// to every branch, and returns the report.
-    pub fn finish(mut self, thresholds: Thresholds) -> ProfileReport {
-        if self.in_slice > 0 {
-            self.end_slice_all();
-        }
-        let program_accuracy =
-            (self.total_exec > 0).then(|| self.total_correct as f64 / self.total_exec as f64);
-        // With an empty run every branch is Insufficient and the MEAN
-        // threshold is never consulted; 1.0 is a harmless stand-in.
-        let resolved = program_accuracy.map(|a| thresholds.resolve_mean(a));
-        let stats = self
-            .states
-            .iter()
-            .enumerate()
-            .map(|(i, st)| {
-                let site = SiteId(i as u32);
-                let outcomes = evaluate(st, &thresholds, program_accuracy.unwrap_or(1.0));
-                let classification = match outcomes {
-                    None => Classification::Insufficient,
-                    Some(o) if o.predicts_dependent() => Classification::Dependent,
-                    Some(_) => Classification::Independent,
-                };
-                BranchStats {
-                    site,
-                    slices: st.slices(),
-                    mean: st.mean(),
-                    std_dev: st.std_dev(),
-                    pam_fraction: st.points_above_mean(),
-                    executions: st.total_executions(),
-                    aggregate_accuracy: st.aggregate_accuracy(),
-                    outcomes,
-                    classification,
-                }
-            })
-            .collect();
-        ProfileReport::new(
-            stats,
-            thresholds,
-            program_accuracy,
-            resolved,
-            self.slice_index,
-            self.total_exec,
-            self.predictor.name(),
-            self.series,
-        )
+    pub fn finish(self, thresholds: Thresholds) -> ProfileReport {
+        let name = self.predictor.name();
+        self.accum.finish(thresholds, name)
     }
 }
 
@@ -219,13 +87,14 @@ impl<P: BranchPredictor> Tracer for TwoDProfiler<P> {
     }
 
     fn dynamic_count(&self) -> Option<u64> {
-        Some(self.total_exec)
+        Some(self.accum.total_events())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Classification;
     use bpred::{Gshare, StaticTaken};
 
     /// Deterministic pseudo-random stream for tests.

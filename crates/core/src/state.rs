@@ -41,6 +41,24 @@ impl BranchState {
         self.total_correct += predicted_correctly as u64;
     }
 
+    /// Records `executions` dynamic executions within the current slice,
+    /// `correct` of them predicted correctly — the batched twin of
+    /// [`record`](Self::record). All per-event recording is integer
+    /// addition, so folding a whole within-slice batch at once is
+    /// bit-identical to `executions` individual `record` calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `correct > executions`.
+    #[inline]
+    pub fn record_batch(&mut self, executions: u64, correct: u64) {
+        assert!(correct <= executions, "correct exceeds executions");
+        self.exec_counter += executions;
+        self.predict_counter += correct;
+        self.total_exec += executions;
+        self.total_correct += correct;
+    }
+
     /// Closes the current slice (the paper's Figure 9b): if the branch
     /// executed more than `exec_threshold` times in the slice, fold the
     /// slice's FIR-filtered prediction accuracy into the running statistics;

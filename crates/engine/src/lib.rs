@@ -34,6 +34,7 @@
 //! ```
 
 mod backend;
+mod bitgroup;
 mod cache;
 mod request;
 mod spec;
@@ -70,6 +71,12 @@ pub struct EngineConfig {
     /// workload generator per job — the seed behavior, kept for the
     /// `trace_replay` bench baseline and equivalence tests.
     pub replay: bool,
+    /// Serve eligible fused-replay jobs from the bit-sliced lane group
+    /// (transposed two-bit-counter planes, 64 lanes per word) instead of
+    /// per-event scalar slots. On by default; results are bit-identical
+    /// either way. The `TWODPROF_BITSLICE=off` environment variable (also
+    /// `0`/`false`) disables it as an escape hatch.
+    pub bitslice: bool,
 }
 
 impl Default for EngineConfig {
@@ -79,8 +86,19 @@ impl Default for EngineConfig {
             cache_dir: None,
             progress: false,
             replay: true,
+            bitslice: bitslice_default(),
         }
     }
+}
+
+/// Reads the `TWODPROF_BITSLICE` escape hatch: any of `off`, `0`, or
+/// `false` disables the bit-sliced replay path; everything else (including
+/// the variable being unset) leaves it on.
+fn bitslice_default() -> bool {
+    !matches!(
+        std::env::var("TWODPROF_BITSLICE").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    )
 }
 
 /// How a job's result was obtained (or lost).
@@ -146,6 +164,9 @@ pub struct EngineCounters {
     /// Simulations served by replaying a recorded trace instead of
     /// re-executing the workload.
     pub replays: u64,
+    /// Replayed simulations served by the bit-sliced lane group (each such
+    /// job is also counted in `replays`).
+    pub bitsliced: u64,
 }
 
 impl EngineCounters {
@@ -163,6 +184,7 @@ pub struct Engine {
     cache: Option<DiskCache>,
     progress: bool,
     replay: bool,
+    bitslice: bool,
     counters: Mutex<EngineCounters>,
     /// In-memory read-through memo of every finished job, keyed by
     /// [`JobSpec::content_hash`]. Outputs are `Arc`-backed, so a memo hit
@@ -190,6 +212,7 @@ impl Engine {
             cache,
             progress: config.progress,
             replay: config.replay,
+            bitslice: config.bitslice,
             counters: Mutex::new(EngineCounters::default()),
             memo: Mutex::new(HashMap::new()),
         }
@@ -576,36 +599,83 @@ impl Engine {
         out
     }
 
-    /// The fused replay loop: one [`RecordedTrace`] decode pass feeding one
-    /// type-erased simulation slot per pending job.
+    /// The fused replay loop: one [`RecordedTrace`] decode pass per lane
+    /// family. Jobs whose predictor kind has a bit-sliced lane (and the
+    /// engine has bit-slicing enabled) are served by the shared lane group
+    /// in [`bitgroup`]; the rest are seated in per-event scalar slots fed
+    /// by a second decode pass. Outputs come back in `pending` order.
     fn fan_out(&self, specs: &[JobSpec], pending: &[usize]) -> Vec<JobOutput> {
         let trace = self.trace(&TraceRef::of_spec(&specs[pending[0]]));
-        let mut slots: Vec<Box<dyn SimSlot>> = pending
-            .iter()
-            .map(|&i| match specs[i].kind {
-                JobKind::Accuracy(kind) => kind.host(AccSlotHost {
-                    num_sites: trace.num_sites(),
-                }),
-                JobKind::TwoD(kind) => kind.host(TwoDSlotHost {
-                    num_sites: trace.num_sites(),
-                    events: trace.events(),
-                }),
+        let mut sliced: Vec<usize> = Vec::new(); // positions within `pending`
+        let mut scalar: Vec<usize> = Vec::new();
+        for (p, &i) in pending.iter().enumerate() {
+            let kind = match specs[i].kind {
+                JobKind::Accuracy(kind) | JobKind::TwoD(kind) => kind,
                 _ => unreachable!("only simulation jobs are fused"),
-            })
-            .collect();
-        let mut fan = FanOut::new(&mut slots);
-        {
-            let _sp = twodprof_obs::span!("engine.decode");
-            trace.replay_into(&mut fan);
-            fan.flush();
+            };
+            if self.bitslice && bpred::bitslice::eligible(kind) {
+                sliced.push(p);
+            } else {
+                scalar.push(p);
+            }
         }
-        drop(fan);
-        slots
-            .into_iter()
-            .map(|slot| {
+        // A lane group exists to share one run decode across many jobs; a
+        // lone eligible job gains nothing from it, so keep it on the
+        // scalar slot path alongside everything else.
+        if sliced.len() < 2 {
+            scalar.append(&mut sliced);
+            scalar.sort_unstable();
+        }
+        let mut outputs: Vec<Option<JobOutput>> = pending.iter().map(|_| None).collect();
+        if !sliced.is_empty() {
+            let jobs: Vec<bitgroup::LaneJob> = sliced
+                .iter()
+                .map(|&p| match specs[pending[p]].kind {
+                    JobKind::Accuracy(kind) => bitgroup::LaneJob { kind, twod: false },
+                    JobKind::TwoD(kind) => bitgroup::LaneJob { kind, twod: true },
+                    _ => unreachable!("only simulation jobs are fused"),
+                })
+                .collect();
+            for (&p, output) in sliced.iter().zip(bitgroup::run_lane_group(&trace, &jobs)) {
                 self.note_replay();
-                slot.finish()
-            })
+                self.bump(|c| c.bitsliced += 1);
+                twodprof_obs::counter!(
+                    "engine_bitslice_jobs_total",
+                    "Replayed simulations served by the bit-sliced lane group."
+                )
+                .inc();
+                outputs[p] = Some(output);
+            }
+        }
+        if !scalar.is_empty() {
+            let mut slots: Vec<Box<dyn SimSlot>> = scalar
+                .iter()
+                .map(|&p| match specs[pending[p]].kind {
+                    JobKind::Accuracy(kind) => kind.host(AccSlotHost {
+                        num_sites: trace.num_sites(),
+                    }),
+                    JobKind::TwoD(kind) => kind.host(TwoDSlotHost {
+                        num_sites: trace.num_sites(),
+                        events: trace.events(),
+                    }),
+                    _ => unreachable!("only simulation jobs are fused"),
+                })
+                .collect();
+            let mut fan = FanOut::new(&mut slots);
+            {
+                let _sp = twodprof_obs::span!("engine.decode");
+                trace.replay_into(&mut fan);
+                fan.flush();
+            }
+            drop(fan);
+            for (&p, slot) in scalar.iter().zip(slots) {
+                self.note_replay();
+                outputs[p] = Some(slot.finish());
+            }
+        }
+        outputs
+            .into_iter()
+            .map(|o| o.expect("every pending job served"))
             .collect()
     }
 

@@ -1,0 +1,198 @@
+//! Differential equivalence harness for the bit-sliced replay path.
+//!
+//! The bit-sliced lane group claims *bit-identical* results to the scalar
+//! fused path — not merely "equal within floating-point tolerance". These
+//! tests enforce that claim at the serialized-payload level (every `f64`
+//! compared by its exact bit pattern, via the byte encoding) over the full
+//! tiny-workload × SURVEY-predictor grid, and at the bit-plane level with
+//! a property test racing a [`CounterPlane`] against 64 independent scalar
+//! [`TwoBitCounter`]s.
+
+use bpred::bitslice::{self, CounterPlane};
+use bpred::{PredictorKind, TwoBitCounter};
+use proptest::prelude::*;
+use twodprof_engine::{Engine, EngineConfig, JobKind, JobSpec, JobStatus};
+use workloads::Scale;
+
+/// Every tiny workload × the full SURVEY predictor sweep, as both an
+/// accuracy profile and a 2D report — wider than `full_grid` (which spans
+/// only the paper's two evaluation predictors) so that every bit-sliced
+/// lane kind *and* every scalar-fallback kind rides through the fused
+/// fan-out, mixed on the same traces.
+fn survey_specs(workload: Option<&str>) -> Vec<JobSpec> {
+    let mut specs = Vec::new();
+    for w in workloads::suite(Scale::Tiny) {
+        if workload.is_some_and(|name| name != w.name()) {
+            continue;
+        }
+        for kind in PredictorKind::SURVEY {
+            specs.push(JobSpec::accuracy(w.name(), "train", Scale::Tiny, kind));
+            specs.push(JobSpec::two_d(w.name(), "train", Scale::Tiny, kind));
+        }
+    }
+    specs
+}
+
+/// Builds an engine with the bit-sliced path explicitly on or off. All
+/// fields are spelled out (no `..Default::default()`) so this never reads
+/// the `TWODPROF_BITSLICE` environment variable, which a concurrently
+/// running test in this binary mutates.
+fn engine(bitslice: bool) -> Engine {
+    Engine::new(EngineConfig {
+        jobs: 4,
+        cache_dir: None,
+        progress: false,
+        replay: true,
+        bitslice,
+    })
+}
+
+/// Every accuracy profile and 2D report on the full tiny grid — every
+/// workload, every input set, every SURVEY predictor kind — must serialize
+/// to exactly the same bytes whether the fused replay runs bit-sliced
+/// lanes or per-event scalar slots. `to_payload` encodes every `f64` by
+/// its raw bits, so byte equality here is `f64::to_bits` equality on all
+/// means, standard deviations, and PAM fractions.
+#[test]
+fn bitsliced_grid_is_bit_identical_to_scalar_fused() {
+    let specs = survey_specs(None);
+    let sliced = engine(true).run_jobs(&specs);
+    let scalar = engine(false).run_jobs(&specs);
+    assert_eq!(sliced.len(), scalar.len());
+    let mut compared = 0usize;
+    for (a, b) in sliced.iter().zip(&scalar) {
+        assert_eq!(a.spec, b.spec, "results must come back in spec order");
+        assert_eq!(a.status, JobStatus::Computed, "{}", a.spec.describe());
+        assert_eq!(b.status, JobStatus::Computed, "{}", b.spec.describe());
+        let (a, b) = (a.output.as_ref().unwrap(), b.output.as_ref().unwrap());
+        assert_eq!(
+            a.to_payload(),
+            b.to_payload(),
+            "bit-sliced output diverged from scalar for {}",
+            sliced[compared].spec.describe()
+        );
+        compared += 1;
+    }
+    // the sweep must actually cover every workload × every SURVEY kind,
+    // each as both an accuracy profile and a 2D report
+    assert_eq!(
+        compared,
+        workloads::suite(Scale::Tiny).len() * PredictorKind::SURVEY.len() * 2,
+        "equivalence sweep lost coverage"
+    );
+}
+
+/// The engine must report how jobs were served: with bit-slicing enabled
+/// the eligible kinds go through the lane group (and still count as
+/// replays); with it disabled nothing does.
+#[test]
+fn counters_attribute_lane_group_jobs() {
+    let specs = survey_specs(Some("gzip"));
+    let eligible = specs
+        .iter()
+        .filter(|s| match s.kind {
+            JobKind::Accuracy(k) | JobKind::TwoD(k) => bitslice::eligible(k),
+            _ => false,
+        })
+        .count() as u64;
+    assert!(eligible > 0, "SURVEY must contain bit-sliceable kinds");
+
+    let on = engine(true);
+    on.run_jobs(&specs);
+    let c = on.counters();
+    assert_eq!(c.bitsliced, eligible);
+    assert!(c.replays >= c.bitsliced);
+    assert!(
+        c.replays > c.bitsliced,
+        "scalar-fallback kinds must still replay outside the lane group"
+    );
+
+    let off = engine(false);
+    off.run_jobs(&specs);
+    assert_eq!(off.counters().bitsliced, 0);
+    assert!(off.counters().replays > 0);
+}
+
+/// The `TWODPROF_BITSLICE` escape hatch: `off`, `0`, and `false` disable
+/// the lane group through `EngineConfig::default()`; anything else —
+/// including the variable being unset — leaves it on.
+#[test]
+fn escape_hatch_env_var_disables_bitslicing() {
+    // Env mutation is process-global; this is the only test that touches
+    // the variable, and the others avoid `EngineConfig::default()`.
+    for off in ["off", "0", "false"] {
+        std::env::set_var("TWODPROF_BITSLICE", off);
+        assert!(
+            !EngineConfig::default().bitslice,
+            "TWODPROF_BITSLICE={off} must disable bit-slicing"
+        );
+    }
+    std::env::set_var("TWODPROF_BITSLICE", "on");
+    assert!(EngineConfig::default().bitslice);
+    std::env::remove_var("TWODPROF_BITSLICE");
+    assert!(EngineConfig::default().bitslice, "default is on");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // A random stream of (lane, direction) events drives one 64-entry
+    // [`CounterPlane`] word and 64 independent scalar [`TwoBitCounter`]s;
+    // after every event, every lane's state, prediction, and correctness
+    // bit must agree with its scalar twin.
+    #[test]
+    fn counter_plane_matches_scalar_counters(
+        init in 0u8..4,
+        events in prop::collection::vec((any::<u8>(), any::<bool>()), 0..2000),
+    ) {
+        let seed = match init {
+            0 => TwoBitCounter::strongly_not_taken(),
+            1 => TwoBitCounter::weakly_not_taken(),
+            2 => TwoBitCounter::weakly_taken(),
+            _ => TwoBitCounter::strongly_taken(),
+        };
+        let mut plane = CounterPlane::new(64, seed);
+        let mut scalars = [seed; 64];
+        for (lane, taken) in events {
+            let lane = (lane % 64) as usize;
+            let predicted = plane.predict(lane);
+            prop_assert_eq!(predicted, scalars[lane].predict());
+            let correct = plane.step_lane(lane, taken);
+            scalars[lane].update(taken);
+            prop_assert_eq!(correct, predicted == taken);
+            // the update must not disturb any other lane
+            for (i, s) in scalars.iter().enumerate() {
+                prop_assert_eq!(plane.state(i).state(), s.state(), "lane {}", i);
+            }
+        }
+    }
+
+    // Whole-word stepping (64 lanes at once, partial masks included) must
+    // agree with per-lane scalar updates, both in the returned correct
+    // bits and in every surviving counter state.
+    #[test]
+    fn step_word_matches_scalar_counters(
+        steps in prop::collection::vec((any::<u64>(), any::<u64>()), 0..200),
+    ) {
+        let seed = TwoBitCounter::weakly_taken();
+        let mut plane = CounterPlane::new(64, seed);
+        let mut scalars = [seed; 64];
+        for (dirs, mask) in steps {
+            let correct = plane.step_word(0, dirs, mask);
+            let mut expect = 0u64;
+            for (i, s) in scalars.iter_mut().enumerate() {
+                if mask >> i & 1 == 1 {
+                    let taken = dirs >> i & 1 == 1;
+                    if s.predict() == taken {
+                        expect |= 1 << i;
+                    }
+                    s.update(taken);
+                }
+            }
+            prop_assert_eq!(correct, expect);
+            for (i, s) in scalars.iter().enumerate() {
+                prop_assert_eq!(plane.state(i).state(), s.state(), "lane {}", i);
+            }
+        }
+    }
+}

@@ -84,7 +84,7 @@ impl ComputePool {
             jobs: 1,
             cache_dir: config.cache_dir.clone(),
             progress: false,
-            replay: true,
+            ..EngineConfig::default()
         }));
         let pool = Arc::new(Self {
             engine,
