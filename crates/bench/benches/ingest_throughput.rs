@@ -18,7 +18,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::net::SocketAddr;
 use std::thread;
 use twodprof_core::SliceConfig;
-use twodprof_serve::{RemoteSession, RemoteTracer, Server, ServerConfig, ServerHandle};
+use twodprof_serve::{ConnectOptions, RemoteTracer, Server, ServerConfig, ServerHandle};
 
 const EVENTS_PER_SESSION: usize = 200_000;
 const NUM_SITES: u32 = 64;
@@ -43,13 +43,13 @@ fn streaming_enabled() -> bool {
 fn run_session(addr: SocketAddr, events: &[(SiteId, bool)]) {
     let program = if streaming_enabled() { "bench" } else { "" };
     let mut tracer = RemoteTracer::new(
-        RemoteSession::connect_with_program(
-            addr,
+        ConnectOptions::new(
             NUM_SITES as usize,
             PredictorKind::Gshare4Kb,
             SliceConfig::new(4096, 64),
-            program,
         )
+        .program(program)
+        .connect(addr)
         .expect("connect"),
     );
     for &(site, taken) in events {
@@ -61,10 +61,7 @@ fn run_session(addr: SocketAddr, events: &[(SiteId, bool)]) {
 fn bench_ingest(c: &mut Criterion) {
     let server = Server::bind(
         "127.0.0.1:0",
-        ServerConfig {
-            quiet: true,
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder().quiet(true).build().expect("config"),
     )
     .expect("bind");
     let addr = server.local_addr().expect("local addr");

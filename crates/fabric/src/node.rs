@@ -20,33 +20,19 @@ use crate::FabricConfig;
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::TcpStream;
-use std::sync::Mutex;
 use std::thread;
 use twodprof_engine::{payload_checksum, JobOutput};
 use twodprof_serve::wire::{ClientFrame, JobOutcome, JobPayload, ServerFrame};
 
-/// Per-node in-flight gauge names must be `'static` for the metrics
-/// registry; intern them once per node index so repeated batches don't
-/// leak.
-fn inflight_gauge_name(node: usize) -> &'static str {
-    static NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
-    let mut names = NAMES.lock().expect("gauge names");
-    while names.len() <= node {
-        let i = names.len();
-        names.push(Box::leak(
-            format!("fabric_node{i}_inflight").into_boxed_str(),
-        ));
-    }
-    names[node]
-}
-
 /// The per-node in-flight gauge. Registered straight on the registry, not
 /// through the `gauge!` macro: the macro caches its handle in a
 /// per-call-site static, which would pin every node to the first node's
-/// gauge name. Registration is idempotent per name, so this is cheap.
+/// gauge name. The runtime-built name goes through the registry's shared
+/// interner ([`twodprof_obs::intern_name`]), so repeated batches reuse one
+/// `'static` string per node index; registration is idempotent per name.
 fn inflight_gauge(node: usize) -> &'static twodprof_obs::Gauge {
     twodprof_obs::global().gauge(
-        inflight_gauge_name(node),
+        twodprof_obs::intern_name(format!("fabric_node{node}_inflight")),
         "Jobs currently in flight on this fabric node.",
     )
 }

@@ -48,16 +48,16 @@ struct Daemon {
 impl Daemon {
     fn start(tag: &str, threads: usize) -> Self {
         let cache_dir = temp_dir(tag);
-        let config = ServerConfig {
-            quiet: true,
+        let config = ServerConfig::builder()
+            .quiet(true)
             // node-kill tests force-close connections immediately
-            drain_timeout: Duration::ZERO,
-            compute: Some(ComputeConfig {
+            .drain_timeout(Duration::ZERO)
+            .compute(ComputeConfig {
                 threads,
                 cache_dir: Some(cache_dir.clone()),
-            }),
-            ..ServerConfig::default()
-        };
+            })
+            .build()
+            .expect("config");
         let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
         let addr = server.local_addr().expect("local addr");
         let handle = server.handle();

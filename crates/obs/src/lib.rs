@@ -65,7 +65,7 @@ mod snapshot;
 pub mod trace;
 
 pub use metric::{Counter, Gauge, Histogram, NUM_BUCKETS};
-pub use registry::{global, Registry};
+pub use registry::{global, intern_name, Registry};
 pub use snapshot::{HistogramSnapshot, Snapshot};
 
 /// Registers (idempotently) and returns a `&'static` [`Counter`] on the

@@ -129,6 +129,24 @@ impl Registry {
     }
 }
 
+/// Interns a runtime-built metric name, returning the canonical
+/// `&'static str` for it. The `counter!`/`gauge!` macros cache their
+/// handle in a per-call-site static, which pins the name at compile time;
+/// code that builds names dynamically (per-shard gauges, per-node fabric
+/// gauges) interns the string once here and registers straight on the
+/// [`Registry`]. Each distinct name leaks exactly once — the same trade
+/// the metric cells already make for process-lifetime data.
+pub fn intern_name(name: String) -> &'static str {
+    static NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut names = NAMES.lock().expect("interned metric names");
+    if let Some(existing) = names.iter().find(|n| ***n == *name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.into_boxed_str());
+    names.push(leaked);
+    leaked
+}
+
 /// The process-global registry the [`counter!`](crate::counter),
 /// [`gauge!`](crate::gauge), and [`histogram!`](crate::histogram) macros
 /// register on. Enabled unless the `TWODPROF_METRICS` environment variable

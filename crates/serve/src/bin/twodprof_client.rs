@@ -9,6 +9,7 @@
 //! twodprof-client stats [--addr HOST:PORT]
 //! twodprof-client watch PROGRAM [--addr HOST:PORT] [--snapshot] [--limit N]
 //! twodprof-client drive PROGRAM [--addr HOST:PORT] [--events N] [--flip-every N]
+//! twodprof-client soak [--addr HOST:PORT] [--sessions N] [--concurrency N]
 //! ```
 
 use std::process::ExitCode;
@@ -19,6 +20,7 @@ fn main() -> ExitCode {
         Some("stats") => twodprof_serve::cli::stats_main(&args[1..]),
         Some("watch") => twodprof_serve::cli::watch_main(&args[1..]),
         Some("drive") => twodprof_serve::cli::drive_main(&args[1..]),
+        Some("soak") => twodprof_serve::cli::soak_main(&args[1..]),
         _ => twodprof_serve::cli::replay_main(&args),
     };
     match result {

@@ -3,17 +3,20 @@
 //! subcommands.
 
 use crate::client::{
-    fetch_stats, fetch_verdicts, RemoteSession, WatchClient, DEFAULT_BATCH_EVENTS,
+    fetch_stats, fetch_verdicts, ClientError, ConnectOptions, WatchClient, DEFAULT_BATCH_EVENTS,
 };
 use crate::compute::ComputeConfig;
+use crate::config::ServerConfig;
 use crate::replay::{replay_workload, ReplaySpec};
-use crate::server::{Server, ServerConfig, ServerHandle};
+use crate::server::{Server, ServerHandle};
+use crate::wire::AdmissionTier;
 use bpred::PredictorKind;
 use btrace::SiteId;
-use std::sync::OnceLock;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 use twodprof_core::SliceConfig;
-use twodprof_stream::VerdictSnapshot;
+use twodprof_stream::{StreamConfig, VerdictSnapshot};
 use workloads::Scale;
 
 /// Default daemon endpoint shared by both sides.
@@ -49,7 +52,10 @@ fn numeric<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
 /// Returns a usage/launch error message for the caller to print.
 pub fn serve_main(args: &[String]) -> Result<(), String> {
     let mut addr = DEFAULT_ADDR.to_owned();
-    let mut config = ServerConfig::default();
+    let mut builder = ServerConfig::builder();
+    let mut stream = StreamConfig::default();
+    let mut compute: Option<ComputeConfig> = None;
+    let mut quiet = false;
     let mut addr_file = None;
     let mut stream_slice_len: Option<u64> = None;
     let mut stream_exec_threshold: Option<u64> = None;
@@ -64,31 +70,58 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
             "--addr" => addr = value("--addr")?.to_owned(),
             "--addr-file" => addr_file = Some(value("--addr-file")?.to_owned()),
             "--max-sessions" => {
-                config.max_sessions = numeric("--max-sessions", value("--max-sessions")?)?;
+                builder =
+                    builder.max_sessions(numeric("--max-sessions", value("--max-sessions")?)?);
             }
             "--max-events" => {
-                config.max_events_per_session = numeric("--max-events", value("--max-events")?)?;
+                builder = builder
+                    .max_events_per_session(numeric("--max-events", value("--max-events")?)?);
             }
             "--idle-timeout-ms" => {
-                config.idle_timeout = Duration::from_millis(numeric(
+                builder = builder.idle_timeout(Duration::from_millis(numeric(
                     "--idle-timeout-ms",
                     value("--idle-timeout-ms")?,
-                )?);
+                )?));
             }
             "--drain-timeout-ms" => {
-                config.drain_timeout = Duration::from_millis(numeric(
+                builder = builder.drain_timeout(Duration::from_millis(numeric(
                     "--drain-timeout-ms",
                     value("--drain-timeout-ms")?,
+                )?));
+            }
+            "--retry-after-ms" => {
+                builder = builder.retry_after(Duration::from_millis(numeric(
+                    "--retry-after-ms",
+                    value("--retry-after-ms")?,
+                )?));
+            }
+            "--shards" => {
+                builder = builder.shards(numeric("--shards", value("--shards")?)?);
+            }
+            "--shard-memory-budget" => {
+                builder = builder.shard_memory_budget(numeric(
+                    "--shard-memory-budget",
+                    value("--shard-memory-budget")?,
                 )?);
             }
-            "--quiet" => config.quiet = true,
-            "--no-record" => config.record_sessions = false,
+            "--spill-threshold" => {
+                builder = builder
+                    .spill_threshold(numeric("--spill-threshold", value("--spill-threshold")?)?);
+            }
+            "--spill-dir" => {
+                builder = builder.spill_dir(value("--spill-dir")?.to_owned());
+            }
+            "--quiet" => {
+                quiet = true;
+                builder = builder.quiet(true);
+            }
+            "--no-record" => builder = builder.record_sessions(false),
             "--stats-interval" => {
                 let secs: f64 = numeric("--stats-interval", value("--stats-interval")?)?;
                 if !(secs > 0.0 && secs.is_finite()) {
                     return Err("--stats-interval needs a positive number of seconds".to_owned());
                 }
-                config.stats_interval = Some(Duration::from_secs_f64(secs));
+                builder = builder.stats_interval(Some(Duration::from_secs_f64(secs)));
             }
             "--stream-slice-len" => {
                 stream_slice_len =
@@ -105,51 +138,47 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
                 if w == 0 {
                     return Err("--stream-window must be at least 1".to_owned());
                 }
-                config.stream.window = w;
+                stream.window = w;
             }
             "--stream-hysteresis" => {
                 let h: u32 = numeric("--stream-hysteresis", value("--stream-hysteresis")?)?;
                 if h == 0 {
                     return Err("--stream-hysteresis must be at least 1".to_owned());
                 }
-                config.stream.hysteresis = h;
+                stream.hysteresis = h;
             }
             "--stream-max-lag" => {
                 let l: usize = numeric("--stream-max-lag", value("--stream-max-lag")?)?;
                 if l == 0 {
                     return Err("--stream-max-lag must be at least 1".to_owned());
                 }
-                config.stream.max_lag = l;
+                stream.max_lag = l;
             }
             "--max-subscriber-queue" => {
-                let q: usize = numeric("--max-subscriber-queue", value("--max-subscriber-queue")?)?;
-                if q == 0 {
-                    return Err("--max-subscriber-queue must be at least 1".to_owned());
-                }
-                config.max_subscriber_queue = q;
+                builder = builder.max_subscriber_queue(numeric(
+                    "--max-subscriber-queue",
+                    value("--max-subscriber-queue")?,
+                )?);
             }
             "--compute" => {
-                config.compute.get_or_insert_with(ComputeConfig::default);
+                compute.get_or_insert_with(ComputeConfig::default);
             }
             "--compute-threads" => {
                 let n: usize = numeric("--compute-threads", value("--compute-threads")?)?;
-                config
-                    .compute
-                    .get_or_insert_with(ComputeConfig::default)
-                    .threads = n;
+                compute.get_or_insert_with(ComputeConfig::default).threads = n;
             }
             "--compute-cache-dir" => {
                 let dir = value("--compute-cache-dir")?.to_owned();
-                config
-                    .compute
-                    .get_or_insert_with(ComputeConfig::default)
-                    .cache_dir = Some(dir.into());
+                compute.get_or_insert_with(ComputeConfig::default).cache_dir = Some(dir.into());
             }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: twodprofd [--addr HOST:PORT] [--addr-file PATH]\n\
                      \x20               [--max-sessions N] [--max-events N]\n\
                      \x20               [--idle-timeout-ms N] [--drain-timeout-ms N] [--quiet]\n\
+                     \x20               [--retry-after-ms N] [--shards N]\n\
+                     \x20               [--shard-memory-budget BYTES] [--spill-threshold BYTES]\n\
+                     \x20               [--spill-dir DIR]\n\
                      \x20               [--stats-interval SECS] [--no-record]\n\
                      \x20               [--stream-slice-len N --stream-exec-threshold N]\n\
                      \x20               [--stream-window N] [--stream-hysteresis N]\n\
@@ -158,6 +187,11 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
                      \x20               [--compute-cache-dir DIR]\n\
                      default address {DEFAULT_ADDR}; port 0 binds an ephemeral port\n\
                      --addr-file writes the bound address to PATH once listening\n\
+                     --shards sets the event-loop thread count; each shard owns\n\
+                     1/N of the sessions, a --shard-memory-budget of resident\n\
+                     recording bytes (degrade past half, shed at the budget with\n\
+                     a --retry-after-ms hint), and spills recordings larger than\n\
+                     --spill-threshold to segment files under --spill-dir\n\
                      --stats-interval prints a stderr stats line every SECS seconds\n\
                      --no-record disables session trace recording (Resim frames\n\
                      then fail with BAD_STATE, at ~1 byte/event less memory)\n\
@@ -174,8 +208,8 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
     }
-    config.stream.slice = match (stream_slice_len, stream_exec_threshold) {
-        (None, None) => config.stream.slice,
+    stream.slice = match (stream_slice_len, stream_exec_threshold) {
+        (None, None) => stream.slice,
         (Some(len), Some(thr)) if len > 0 && thr < len => SliceConfig::new(len, thr),
         (Some(_), Some(_)) => {
             return Err("need --stream-exec-threshold < --stream-slice-len > 0".to_owned());
@@ -184,7 +218,11 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
             return Err("--stream-slice-len and --stream-exec-threshold go together".to_owned());
         }
     };
-    let quiet = config.quiet;
+    builder = builder.stream(stream);
+    if let Some(c) = compute {
+        builder = builder.compute(c);
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
     let server = Server::bind(&addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = server
         .local_addr()
@@ -530,14 +568,10 @@ pub fn drive_main(args: &[String]) -> Result<(), String> {
         return Err("--sites must be at least 1".to_owned());
     }
     let slice = SliceConfig::new(8192, 16);
-    let mut session = RemoteSession::connect_with_program(
-        addr.as_str(),
-        sites as usize,
-        predictor,
-        slice,
-        program,
-    )
-    .map_err(|e| e.to_string())?;
+    let mut session = ConnectOptions::new(sites as usize, predictor, slice)
+        .program(program)
+        .connect(addr.as_str())
+        .map_err(|e| e.to_string())?;
     let mut rng = seed | 1;
     let mut batch: Vec<(SiteId, bool)> = Vec::with_capacity(DEFAULT_BATCH_EVENTS);
     let mut sent = 0u64;
@@ -579,6 +613,159 @@ pub fn drive_main(args: &[String]) -> Result<(), String> {
         report.total_slices(),
         report.predicted_dependent().count()
     );
+    Ok(())
+}
+
+/// Entry point for `twodprof-client soak`: hammers a daemon with many short
+/// loopback sessions from a pool of worker threads, honoring the daemon's
+/// retry-after hints on shed, and reports admission-tier counts plus a
+/// shed-rate gate. This is the load generator behind
+/// `scripts/ingest_soak.sh`'s 10k-session CI soak.
+///
+/// # Errors
+///
+/// Returns a usage/transport error message, or a gate-failure message when
+/// any session errored out or the shed rate exceeded `--max-shed-pct`.
+pub fn soak_main(args: &[String]) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_owned();
+    let mut sessions: u64 = 10_000;
+    let mut concurrency: usize = 64;
+    let mut events: u64 = 2_000;
+    let mut sites: usize = 32;
+    let mut program = String::new();
+    let mut max_shed_pct: f64 = 1.0;
+    let mut predictor = PredictorKind::Gshare4Kb;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "soak" => {} // tolerated so `soak --addr ...` and `--addr ...` both parse
+            "--addr" => addr = value("--addr")?.to_owned(),
+            "--sessions" => sessions = numeric("--sessions", value("--sessions")?)?,
+            "--concurrency" => concurrency = numeric("--concurrency", value("--concurrency")?)?,
+            "--events" => events = numeric("--events", value("--events")?)?,
+            "--sites" => sites = numeric("--sites", value("--sites")?)?,
+            "--program" => program = value("--program")?.to_owned(),
+            "--max-shed-pct" => {
+                max_shed_pct = numeric("--max-shed-pct", value("--max-shed-pct")?)?;
+            }
+            "--predictor" => predictor = parse_predictor(value("--predictor")?)?,
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: twodprof-client soak [--addr HOST:PORT] [--sessions N]\n\
+                     \x20      [--concurrency N] [--events N] [--sites N]\n\
+                     \x20      [--program NAME] [--max-shed-pct F] [--predictor ID]\n\
+                     opens --sessions short profiling sessions against a twodprofd\n\
+                     at --addr (default {DEFAULT_ADDR}) from --concurrency worker\n\
+                     threads, --events branch events each; shed sessions retry\n\
+                     after the daemon's hint and are counted, degraded admissions\n\
+                     are counted, and the run fails if any session errors out or\n\
+                     the shed retry rate exceeds --max-shed-pct percent"
+                ));
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if sessions == 0 || concurrency == 0 || sites == 0 {
+        return Err("--sessions, --concurrency, and --sites must be at least 1".to_owned());
+    }
+    let next = Arc::new(AtomicU64::new(0));
+    let sheds = Arc::new(AtomicU64::new(0));
+    let degraded = Arc::new(AtomicU64::new(0));
+    let failures = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut workers = Vec::with_capacity(concurrency);
+    for w in 0..concurrency {
+        let addr = addr.clone();
+        let program = program.clone();
+        let next = Arc::clone(&next);
+        let sheds = Arc::clone(&sheds);
+        let degraded = Arc::clone(&degraded);
+        let failures = Arc::clone(&failures);
+        let worker = std::thread::Builder::new()
+            .name(format!("twodprof-soak-{w}"))
+            .spawn(move || {
+                let slice = SliceConfig::new(256, 4);
+                let mut batch: Vec<(SiteId, bool)> = Vec::with_capacity(events as usize);
+                while next.fetch_add(1, Ordering::Relaxed) < sessions {
+                    let session = loop {
+                        let mut opts = ConnectOptions::new(sites, predictor, slice);
+                        if !program.is_empty() {
+                            opts = opts.program(&program);
+                        }
+                        match opts.connect(addr.as_str()) {
+                            Ok(s) => break Ok(s),
+                            Err(ClientError::Refused { retry_after, .. }) => {
+                                sheds.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(retry_after.max(Duration::from_millis(5)));
+                            }
+                            Err(e) => break Err(e),
+                        }
+                    };
+                    let mut session = match session {
+                        Ok(s) => s,
+                        Err(e) => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("soak: connect failed: {e}");
+                            continue;
+                        }
+                    };
+                    if session.admission_tier() == AdmissionTier::Degrade {
+                        degraded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    batch.clear();
+                    for i in 0..events {
+                        let site = (i % sites as u64) as u32;
+                        // site 0 pseudo-random, the rest steady: a mix of
+                        // input-dependent and predictable branches
+                        let taken = if site == 0 {
+                            (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 63) & 1 == 1
+                        } else {
+                            i.is_multiple_of(2)
+                        };
+                        batch.push((SiteId(site), taken));
+                    }
+                    let sent = session
+                        .send_events(&batch)
+                        .and_then(|()| session.finish().map(|_| ()));
+                    if let Err(e) = sent {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("soak: session failed: {e}");
+                    }
+                }
+            })
+            .map_err(|e| format!("cannot spawn soak worker: {e}"))?;
+        workers.push(worker);
+    }
+    for worker in workers {
+        worker
+            .join()
+            .map_err(|_| "soak worker panicked".to_owned())?;
+    }
+    let elapsed = start.elapsed();
+    let sheds = sheds.load(Ordering::Relaxed);
+    let degraded = degraded.load(Ordering::Relaxed);
+    let failures = failures.load(Ordering::Relaxed);
+    let shed_pct = 100.0 * sheds as f64 / sessions as f64;
+    let rate = sessions as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "soak: sessions={sessions} events_per_session={events} concurrency={concurrency} \
+         elapsed_s={:.2} rate_per_s={rate:.0} shed_retries={sheds} shed_pct={shed_pct:.3} \
+         degraded={degraded} failures={failures}",
+        elapsed.as_secs_f64()
+    );
+    if failures > 0 {
+        return Err(format!("soak: {failures} session(s) failed"));
+    }
+    if shed_pct > max_shed_pct {
+        return Err(format!(
+            "soak: shed rate {shed_pct:.3}% exceeds gate of {max_shed_pct}%"
+        ));
+    }
     Ok(())
 }
 

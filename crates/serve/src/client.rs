@@ -2,12 +2,13 @@
 //! a batching [`Tracer`] so existing workloads can stream to a remote
 //! daemon unchanged.
 
-use crate::wire::{ClientFrame, Hello, ServerFrame, PROTOCOL_VERSION};
+use crate::wire::{AdmissionTier, ClientFrame, Hello, ServerFrame, PROTOCOL_VERSION};
 use bpred::PredictorKind;
 use btrace::{SiteId, Tracer};
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 use twodprof_core::{ProfileReport, SliceConfig};
 use twodprof_obs::trace::{self, ExportSpan, TraceContext};
 use twodprof_obs::Snapshot;
@@ -21,8 +22,18 @@ pub const DEFAULT_BATCH_EVENTS: usize = 8192;
 pub enum ClientError {
     /// Transport failure.
     Io(io::Error),
-    /// The daemon refused or evicted the session for capacity reasons.
-    Busy(String),
+    /// The daemon refused or evicted the session for capacity reasons
+    /// (a wire `Busy` frame): the admission tier that shed it, the
+    /// daemon's message, and its retry-after hint (zero when the daemon
+    /// sent none — old daemons, or conditions retrying won't fix).
+    Refused {
+        /// Which admission decision produced the refusal.
+        tier: AdmissionTier,
+        /// Daemon-side detail.
+        msg: String,
+        /// How long the daemon suggests waiting before reconnecting.
+        retry_after: Duration,
+    },
     /// The daemon reported a protocol error.
     Server {
         /// One of [`crate::wire::codes`].
@@ -34,11 +45,31 @@ pub enum ClientError {
     Protocol(String),
 }
 
+impl ClientError {
+    fn refused(msg: String, tier: AdmissionTier, retry_after_ms: u64) -> Self {
+        ClientError::Refused {
+            tier,
+            msg,
+            retry_after: Duration::from_millis(retry_after_ms),
+        }
+    }
+}
+
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "i/o error talking to twodprofd: {e}"),
-            ClientError::Busy(msg) => write!(f, "daemon busy: {msg}"),
+            ClientError::Refused {
+                tier,
+                msg,
+                retry_after,
+            } => {
+                write!(f, "daemon refused ({tier}): {msg}")?;
+                if !retry_after.is_zero() {
+                    write!(f, " (retry in {}ms)", retry_after.as_millis())?;
+                }
+                Ok(())
+            }
             ClientError::Server { code, msg } => write!(f, "daemon error {code}: {msg}"),
             ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
         }
@@ -94,15 +125,176 @@ impl RemoteReport {
     }
 }
 
+/// Everything a session connect can carry, in one builder: the mandatory
+/// profile geometry plus the optional program id, trace propagation, and
+/// socket timeouts that used to be spread over three `connect_*`
+/// constructors.
+///
+/// ```no_run
+/// use bpred::PredictorKind;
+/// use twodprof_core::SliceConfig;
+/// use twodprof_serve::ConnectOptions;
+///
+/// let session = ConnectOptions::new(64, PredictorKind::Gshare4Kb, SliceConfig::new(10_000, 16))
+///     .program("bzip2")
+///     .connect("127.0.0.1:4272")?;
+/// # Ok::<(), twodprof_serve::ClientError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConnectOptions {
+    num_sites: usize,
+    predictor: PredictorKind,
+    slice: SliceConfig,
+    program: String,
+    trace: Option<TraceContext>,
+    connect_timeout: Option<Duration>,
+    io_timeout: Option<Duration>,
+}
+
+impl ConnectOptions {
+    /// Options for a workload with `num_sites` static branches, profiled
+    /// by `predictor` under `slice`.
+    pub fn new(num_sites: usize, predictor: PredictorKind, slice: SliceConfig) -> Self {
+        Self {
+            num_sites,
+            predictor,
+            slice,
+            program: String::new(),
+            trace: None,
+            connect_timeout: None,
+            io_timeout: None,
+        }
+    }
+
+    /// Announces a program id: the daemon merges every session sharing a
+    /// non-empty program into that program's streaming profiler,
+    /// observable via `Subscribe`/`watch`.
+    #[must_use]
+    pub fn program(mut self, program: &str) -> Self {
+        self.program = program.to_owned();
+        self
+    }
+
+    /// Propagates `ctx` (the client's trace id and a parent span id) with
+    /// a `TraceCtx` frame before the `Hello`, so the daemon's session and
+    /// frame spans join the client's trace. The resulting
+    /// [`RemoteSession::trace_link`] carries the daemon's trace-clock
+    /// anchor plus the round trip's send/receive timestamps — everything
+    /// needed to map server span times onto the client clock.
+    #[must_use]
+    pub fn traced(mut self, ctx: TraceContext) -> Self {
+        self.trace = Some(ctx);
+        self
+    }
+
+    /// Bounds the TCP connect itself (default: the OS's).
+    #[must_use]
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Bounds every read and write on the session socket (default: block
+    /// forever). A timed-out operation surfaces as [`ClientError::Io`].
+    #[must_use]
+    pub fn io_timeout(mut self, timeout: Duration) -> Self {
+        self.io_timeout = Some(timeout);
+        self
+    }
+
+    /// Connects and performs the handshake (optional `TraceCtx`, then
+    /// `Hello`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Refused`] if the daemon sheds the session (its
+    /// `retry_after` says when to try again), plus transport and protocol
+    /// errors.
+    pub fn connect(&self, addr: impl ToSocketAddrs) -> Result<RemoteSession, ClientError> {
+        let stream = match self.connect_timeout {
+            Some(timeout) => {
+                let mut last: Option<io::Error> = None;
+                let mut connected = None;
+                for a in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&a, timeout) {
+                        Ok(s) => {
+                            connected = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                connected.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+                    })
+                })?
+            }
+            None => TcpStream::connect(addr)?,
+        };
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(self.io_timeout)?;
+        stream.set_write_timeout(self.io_timeout)?;
+        let mut session = RemoteSession {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            session_id: 0,
+            events_sent: 0,
+            tier: AdmissionTier::Accept,
+            link: None,
+        };
+        if let Some(ctx) = self.trace {
+            let send_us = trace::now_micros();
+            ClientFrame::TraceCtx {
+                trace: ctx.trace,
+                parent: ctx.parent,
+            }
+            .write_to(&mut session.writer)?;
+            session.writer.flush()?;
+            match session.read_reply()? {
+                ServerFrame::TraceAck { anchor_us } => {
+                    session.link = Some(TraceLink {
+                        trace: ctx.trace,
+                        anchor_us,
+                        send_us,
+                        recv_us: trace::now_micros(),
+                    });
+                }
+                other => return Err(unexpected("TraceAck", &other)),
+            }
+        }
+        ClientFrame::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+            num_sites: self.num_sites as u32,
+            predictor: self.predictor,
+            slice_len: self.slice.slice_len(),
+            exec_threshold: self.slice.exec_threshold(),
+            program: self.program.clone(),
+        })
+        .write_to(&mut session.writer)?;
+        session.writer.flush()?;
+        match session.read_reply()? {
+            ServerFrame::HelloOk { session_id, tier } => {
+                session.session_id = session_id;
+                session.tier = tier;
+                Ok(session)
+            }
+            other => Err(unexpected("HelloOk", &other)),
+        }
+    }
+}
+
 /// A blocking protocol session: `Hello` on connect, explicit
 /// [`send_events`](Self::send_events) / [`flush`](Self::flush) /
-/// [`finish`](Self::finish). Prefer [`RemoteTracer`] when driving it from a
-/// workload's branch stream.
+/// [`finish`](Self::finish). Open one with [`ConnectOptions`]; prefer
+/// [`RemoteTracer`] when driving it from a workload's branch stream.
 pub struct RemoteSession {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     session_id: u64,
     events_sent: u64,
+    tier: AdmissionTier,
+    link: Option<TraceLink>,
 }
 
 impl RemoteSession {
@@ -111,24 +303,24 @@ impl RemoteSession {
     ///
     /// # Errors
     ///
-    /// [`ClientError::Busy`] if the daemon refuses the session, plus
+    /// [`ClientError::Refused`] if the daemon sheds the session, plus
     /// transport and protocol errors.
+    #[deprecated(note = "use ConnectOptions::new(..).connect(addr)")]
     pub fn connect(
         addr: impl ToSocketAddrs,
         num_sites: usize,
         predictor: PredictorKind,
         slice: SliceConfig,
     ) -> Result<Self, ClientError> {
-        Ok(Self::connect_inner(addr, num_sites, predictor, slice, None, "")?.0)
+        ConnectOptions::new(num_sites, predictor, slice).connect(addr)
     }
 
-    /// Like [`connect`](Self::connect), but announces a program id: the
-    /// daemon merges every session sharing a non-empty program into that
-    /// program's streaming profiler, observable via `Subscribe`/`watch`.
+    /// Like `connect`, but announces a program id.
     ///
     /// # Errors
     ///
-    /// As [`connect`](Self::connect).
+    /// As [`ConnectOptions::connect`].
+    #[deprecated(note = "use ConnectOptions::new(..).program(..).connect(addr)")]
     pub fn connect_with_program(
         addr: impl ToSocketAddrs,
         num_sites: usize,
@@ -136,19 +328,18 @@ impl RemoteSession {
         slice: SliceConfig,
         program: &str,
     ) -> Result<Self, ClientError> {
-        Ok(Self::connect_inner(addr, num_sites, predictor, slice, None, program)?.0)
+        ConnectOptions::new(num_sites, predictor, slice)
+            .program(program)
+            .connect(addr)
     }
 
-    /// Like [`connect`](Self::connect), but first propagates `ctx` (the
-    /// client's trace id and a parent span id) with a `TraceCtx` frame, so
-    /// the daemon's session and frame spans join the client's trace. The
-    /// returned [`TraceLink`] carries the daemon's trace-clock anchor plus
-    /// the round trip's send/receive timestamps — everything needed to map
-    /// server span times onto the client clock when stitching.
+    /// Like `connect`, but first propagates `ctx` with a `TraceCtx` frame
+    /// and returns the clock-alignment [`TraceLink`].
     ///
     /// # Errors
     ///
-    /// As [`connect`](Self::connect).
+    /// As [`ConnectOptions::connect`].
+    #[deprecated(note = "use ConnectOptions::new(..).traced(ctx).connect(addr)")]
     pub fn connect_traced(
         addr: impl ToSocketAddrs,
         num_sites: usize,
@@ -157,70 +348,32 @@ impl RemoteSession {
         ctx: TraceContext,
         program: &str,
     ) -> Result<(Self, TraceLink), ClientError> {
-        let (session, link) =
-            Self::connect_inner(addr, num_sites, predictor, slice, Some(ctx), program)?;
-        Ok((session, link.expect("trace link present when ctx was sent")))
-    }
-
-    fn connect_inner(
-        addr: impl ToSocketAddrs,
-        num_sites: usize,
-        predictor: PredictorKind,
-        slice: SliceConfig,
-        ctx: Option<TraceContext>,
-        program: &str,
-    ) -> Result<(Self, Option<TraceLink>), ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let mut session = Self {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-            session_id: 0,
-            events_sent: 0,
-        };
-        let link = match ctx {
-            Some(ctx) => {
-                let send_us = trace::now_micros();
-                ClientFrame::TraceCtx {
-                    trace: ctx.trace,
-                    parent: ctx.parent,
-                }
-                .write_to(&mut session.writer)?;
-                session.writer.flush()?;
-                match session.read_reply()? {
-                    ServerFrame::TraceAck { anchor_us } => Some(TraceLink {
-                        trace: ctx.trace,
-                        anchor_us,
-                        send_us,
-                        recv_us: trace::now_micros(),
-                    }),
-                    other => return Err(unexpected("TraceAck", &other)),
-                }
-            }
-            None => None,
-        };
-        ClientFrame::Hello(Hello {
-            protocol: PROTOCOL_VERSION,
-            num_sites: num_sites as u32,
-            predictor,
-            slice_len: slice.slice_len(),
-            exec_threshold: slice.exec_threshold(),
-            program: program.to_owned(),
-        })
-        .write_to(&mut session.writer)?;
-        session.writer.flush()?;
-        match session.read_reply()? {
-            ServerFrame::HelloOk { session_id } => {
-                session.session_id = session_id;
-                Ok((session, link))
-            }
-            other => Err(unexpected("HelloOk", &other)),
-        }
+        let session = ConnectOptions::new(num_sites, predictor, slice)
+            .program(program)
+            .traced(ctx)
+            .connect(addr)?;
+        let link = session
+            .trace_link()
+            .expect("trace link present when ctx was sent");
+        Ok((session, link))
     }
 
     /// The daemon-assigned session id.
     pub fn session_id(&self) -> u64 {
         self.session_id
+    }
+
+    /// The admission tier the daemon granted. [`AdmissionTier::Degrade`]
+    /// means the session streams and aggregates normally but the daemon is
+    /// not recording it — `Resim` will fail with `BAD_STATE`.
+    pub fn admission_tier(&self) -> AdmissionTier {
+        self.tier
+    }
+
+    /// Clock-alignment data from the handshake, when
+    /// [`ConnectOptions::traced`] was used.
+    pub fn trace_link(&self) -> Option<TraceLink> {
+        self.link
     }
 
     /// Events shipped so far (buffered daemon-side until `Finish`).
@@ -254,7 +407,7 @@ impl RemoteSession {
     ///
     /// # Errors
     ///
-    /// [`ClientError::Busy`] if the daemon evicted the session, plus
+    /// [`ClientError::Refused`] if the daemon evicted the session, plus
     /// transport and protocol errors.
     pub fn flush(&mut self) -> Result<u64, ClientError> {
         ClientFrame::Flush.write_to(&mut self.writer)?;
@@ -306,7 +459,11 @@ impl RemoteSession {
     /// Reads one server frame, mapping `Busy`/`Error` frames to errors.
     fn read_reply(&mut self) -> Result<ServerFrame, ClientError> {
         match ServerFrame::read_from(&mut self.reader)? {
-            ServerFrame::Busy { msg } => Err(ClientError::Busy(msg)),
+            ServerFrame::Busy {
+                msg,
+                tier,
+                retry_after_ms,
+            } => Err(ClientError::refused(msg, tier, retry_after_ms)),
             ServerFrame::Error { code, msg } => Err(ClientError::Server { code, msg }),
             frame => Ok(frame),
         }
@@ -318,7 +475,9 @@ impl RemoteSession {
     fn explain_write_error(&mut self, e: io::Error) -> ClientError {
         match self.read_reply() {
             Ok(frame) => unexpected("none (write failed)", &frame),
-            Err(reply_err @ (ClientError::Busy(_) | ClientError::Server { .. })) => reply_err,
+            Err(reply_err @ (ClientError::Refused { .. } | ClientError::Server { .. })) => {
+                reply_err
+            }
             Err(_) => ClientError::Io(e),
         }
     }
@@ -405,7 +564,11 @@ pub fn fetch_trace(
             }
             Ok(spans)
         }
-        ServerFrame::Busy { msg } => Err(ClientError::Busy(msg)),
+        ServerFrame::Busy {
+            msg,
+            tier,
+            retry_after_ms,
+        } => Err(ClientError::refused(msg, tier, retry_after_ms)),
         ServerFrame::Error { code, msg } => Err(ClientError::Server { code, msg }),
         other => Err(unexpected("TraceSpans", &other)),
     }
@@ -429,7 +592,11 @@ pub fn fetch_stats(addr: impl ToSocketAddrs) -> Result<Snapshot, ClientError> {
     match ServerFrame::read_from(&mut reader)? {
         ServerFrame::StatsReply(bytes) => Snapshot::from_bytes(&bytes)
             .map_err(|e| ClientError::Protocol(format!("undecodable stats snapshot: {e}"))),
-        ServerFrame::Busy { msg } => Err(ClientError::Busy(msg)),
+        ServerFrame::Busy {
+            msg,
+            tier,
+            retry_after_ms,
+        } => Err(ClientError::refused(msg, tier, retry_after_ms)),
         ServerFrame::Error { code, msg } => Err(ClientError::Server { code, msg }),
         other => Err(unexpected("StatsReply", &other)),
     }
@@ -463,7 +630,11 @@ pub fn fetch_verdicts(
     match ServerFrame::read_from(&mut reader)? {
         ServerFrame::VerdictSnapshot(bytes) => VerdictSnapshot::from_bytes(&bytes)
             .map_err(|e| ClientError::Protocol(format!("undecodable verdict snapshot: {e}"))),
-        ServerFrame::Busy { msg } => Err(ClientError::Busy(msg)),
+        ServerFrame::Busy {
+            msg,
+            tier,
+            retry_after_ms,
+        } => Err(ClientError::refused(msg, tier, retry_after_ms)),
         ServerFrame::Error { code, msg } => Err(ClientError::Server { code, msg }),
         other => Err(unexpected("VerdictSnapshot", &other)),
     }
@@ -504,7 +675,11 @@ impl WatchClient {
         let snapshot = match ServerFrame::read_from(&mut reader)? {
             ServerFrame::VerdictSnapshot(bytes) => VerdictSnapshot::from_bytes(&bytes)
                 .map_err(|e| ClientError::Protocol(format!("undecodable verdict snapshot: {e}")))?,
-            ServerFrame::Busy { msg } => return Err(ClientError::Busy(msg)),
+            ServerFrame::Busy {
+                msg,
+                tier,
+                retry_after_ms,
+            } => return Err(ClientError::refused(msg, tier, retry_after_ms)),
             ServerFrame::Error { code, msg } => return Err(ClientError::Server { code, msg }),
             other => return Err(unexpected("VerdictSnapshot", &other)),
         };
@@ -521,14 +696,18 @@ impl WatchClient {
     ///
     /// # Errors
     ///
-    /// [`ClientError::Busy`] if the daemon shed this subscriber for falling
+    /// [`ClientError::Refused`] if the daemon shed this subscriber for falling
     /// behind, plus transport and protocol errors.
     pub fn next_event(&mut self) -> Result<Option<DriftEvent>, ClientError> {
         match ServerFrame::read_from(&mut self.reader) {
             Ok(ServerFrame::DriftEvent(bytes)) => DriftEvent::from_bytes(&bytes)
                 .map(Some)
                 .map_err(|e| ClientError::Protocol(format!("undecodable drift event: {e}"))),
-            Ok(ServerFrame::Busy { msg }) => Err(ClientError::Busy(msg)),
+            Ok(ServerFrame::Busy {
+                msg,
+                tier,
+                retry_after_ms,
+            }) => Err(ClientError::refused(msg, tier, retry_after_ms)),
             Ok(ServerFrame::Error { code, msg }) => Err(ClientError::Server { code, msg }),
             Ok(other) => Err(unexpected("DriftEvent", &other)),
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(None),
@@ -556,16 +735,16 @@ impl RemoteTracer {
     ///
     /// # Errors
     ///
-    /// As [`RemoteSession::connect`].
+    /// As [`ConnectOptions::connect`].
     pub fn connect(
         addr: impl ToSocketAddrs,
         num_sites: usize,
         predictor: PredictorKind,
         slice: SliceConfig,
     ) -> Result<Self, ClientError> {
-        Ok(Self::new(RemoteSession::connect(
-            addr, num_sites, predictor, slice,
-        )?))
+        Ok(Self::new(
+            ConnectOptions::new(num_sites, predictor, slice).connect(addr)?,
+        ))
     }
 
     /// Wraps an already-open session with the default batch size.

@@ -31,25 +31,33 @@
 //! # Ok::<(), twodprof_serve::ClientError>(())
 //! ```
 //!
-//! Everything is `std`-only (no async runtime): one OS thread per
-//! connection, blocking buffered I/O, an idle-timeout GC thread, and
-//! explicit `Busy` backpressure replies.
+//! Everything is `std`-only (no async runtime): a fixed pool of shard
+//! threads multiplexes nonblocking sockets with a `poll(2)` readiness
+//! loop, an incremental frame decoder tolerates partial reads, tiered
+//! admission (accept / degrade / shed with a retry-after hint) bounds
+//! load, and recorded sessions spill to disk past a threshold so resident
+//! memory stays bounded at 10k+ sessions.
 
 pub mod cli;
 mod client;
 mod compute;
+mod config;
+mod poll;
 mod replay;
 mod server;
+mod shard;
+mod spill;
 pub mod wire;
 
 pub use compute::ComputeConfig;
 
 pub use client::{
-    fetch_stats, fetch_trace, fetch_verdicts, ClientError, RemoteReport, RemoteSession,
-    RemoteTracer, TraceLink, WatchClient, DEFAULT_BATCH_EVENTS,
+    fetch_stats, fetch_trace, fetch_verdicts, ClientError, ConnectOptions, RemoteReport,
+    RemoteSession, RemoteTracer, TraceLink, WatchClient, DEFAULT_BATCH_EVENTS,
 };
+pub use config::{ConfigError, LimitsConfig, ServerConfig, ServerConfigBuilder, ShardConfig};
 pub use replay::{
     replay_workload, ReplayError, ReplaySpec, ReplaySummary, ReplayTrace, TRACE_PID_CLIENT,
     TRACE_PID_DAEMON,
 };
-pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+pub use server::{Server, ServerHandle, ServerStats};

@@ -1,0 +1,171 @@
+//! Minimal readiness waiting for the shard event loops, std-only.
+//!
+//! On unix this is `poll(2)` through a direct `extern "C"` declaration —
+//! std already links libc, the same trick `cli.rs` uses for `signal(2)` —
+//! so no crate dependency is needed. Elsewhere it degrades to a bounded
+//! sleep that reports every descriptor ready.
+//!
+//! Readiness here is advisory, never load-bearing: every socket the shard
+//! loops own is nonblocking and every read/write handles `WouldBlock`, so
+//! a spurious "ready" costs one syscall and a missed one costs at most the
+//! poll timeout. That property is what makes the fallback correct.
+
+use std::time::Duration;
+
+/// What a shard wants to know about one descriptor.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Interest {
+    /// The socket's raw descriptor.
+    pub fd: i32,
+    /// Wake when readable (always wanted: reads double as close detection).
+    pub read: bool,
+    /// Wake when writable (wanted only while an out-buffer is pending).
+    pub write: bool,
+}
+
+/// What came back for one descriptor, index-aligned with the interests.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Readiness {
+    /// Reading (or accepting the peer's close/error) won't block.
+    pub read: bool,
+    /// Writing won't block.
+    pub write: bool,
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::{Interest, Readiness};
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    // nfds_t is `unsigned long` on linux, `unsigned int` on the BSDs/macOS
+    #[cfg(target_os = "linux")]
+    type Nfds = std::ffi::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type Nfds = std::ffi::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: Nfds, timeout: i32) -> i32;
+    }
+
+    pub(super) fn wait(interests: &[Interest], timeout: Duration) -> Vec<Readiness> {
+        let mut fds: Vec<PollFd> = interests
+            .iter()
+            .map(|i| PollFd {
+                fd: i.fd,
+                events: if i.read { POLLIN } else { 0 } | if i.write { POLLOUT } else { 0 },
+                revents: 0,
+            })
+            .collect();
+        let millis = timeout.as_millis().min(i32::MAX as u128) as i32;
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as Nfds, millis) };
+        if rc < 0 {
+            // EINTR or a transient failure: report nothing ready; the next
+            // loop iteration retries and WouldBlock covers correctness
+            return vec![Readiness::default(); interests.len()];
+        }
+        fds.iter()
+            .map(|fd| Readiness {
+                // errors and hangups surface through read(), so fold them
+                // into read-readiness rather than a separate channel
+                read: fd.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0,
+                write: fd.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0,
+            })
+            .collect()
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::{Interest, Readiness};
+    use std::time::Duration;
+
+    pub(super) fn wait(interests: &[Interest], timeout: Duration) -> Vec<Readiness> {
+        // no poll(2): bound the latency with a short sleep and claim
+        // everything ready — WouldBlock on the nonblocking sockets turns
+        // the spurious readiness into a few cheap syscalls per tick
+        std::thread::sleep(timeout.min(Duration::from_millis(10)));
+        interests
+            .iter()
+            .map(|i| Readiness {
+                read: i.read,
+                write: i.write,
+            })
+            .collect()
+    }
+}
+
+/// Waits until at least one interest is ready or `timeout` elapses,
+/// returning per-descriptor readiness aligned with `interests`. An empty
+/// interest set just sleeps for `timeout` (the shard has nothing but its
+/// inbox to watch).
+pub(crate) fn wait(interests: &[Interest], timeout: Duration) -> Vec<Readiness> {
+    if interests.is_empty() {
+        std::thread::sleep(timeout);
+        return Vec::new();
+    }
+    imp::wait(interests, timeout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    #[cfg(unix)]
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    #[cfg(unix)]
+    fn readable_after_peer_writes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let interest = [Interest {
+            fd: server.as_raw_fd(),
+            read: true,
+            write: false,
+        }];
+        // nothing sent yet: a short poll should time out unready
+        let quiet = wait(&interest, Duration::from_millis(1));
+        assert!(!quiet[0].read);
+
+        client.write_all(b"x").unwrap();
+        client.flush().unwrap();
+        let ready = wait(&interest, Duration::from_millis(2000));
+        assert!(ready[0].read);
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn hangup_reports_read_readiness() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        drop(client);
+        let interest = [Interest {
+            fd: server.as_raw_fd(),
+            read: true,
+            write: false,
+        }];
+        let ready = wait(&interest, Duration::from_millis(2000));
+        assert!(ready[0].read, "peer close must wake the reader");
+    }
+}

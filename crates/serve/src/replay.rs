@@ -3,7 +3,7 @@
 //! check.
 
 use crate::client::{
-    fetch_trace, ClientError, RemoteReport, RemoteSession, RemoteTracer, TraceLink,
+    fetch_trace, ClientError, ConnectOptions, RemoteReport, RemoteTracer, TraceLink,
 };
 use bpred::PredictorKind;
 use btrace::{CountingTracer, Tee};
@@ -166,27 +166,16 @@ pub fn replay_workload(
             SliceConfig::auto(counter.count())
         }
     };
-    let (session, link) = if ctx.is_active() {
-        let _sp = Span::enter("client.connect");
-        let (session, link) = RemoteSession::connect_traced(
-            addr,
-            workload.sites().len(),
-            spec.predictor,
-            slice,
-            ctx,
-            &spec.program,
-        )?;
-        (session, Some(link))
-    } else {
-        let session = RemoteSession::connect_with_program(
-            addr,
-            workload.sites().len(),
-            spec.predictor,
-            slice,
-            &spec.program,
-        )?;
-        (session, None)
+    let mut options =
+        ConnectOptions::new(workload.sites().len(), spec.predictor, slice).program(&spec.program);
+    if ctx.is_active() {
+        options = options.traced(ctx);
+    }
+    let session = {
+        let _sp = ctx.is_active().then(|| Span::enter("client.connect"));
+        options.connect(addr)?
     };
+    let link = session.trace_link();
     let remote = RemoteTracer::with_batch_size(session, spec.batch);
     let (events, remote, local) = if spec.verify {
         let local = TwoDProfiler::new(workload.sites().len(), spec.predictor.build(), slice);

@@ -1,5 +1,16 @@
-//! The `twodprofd` daemon: a thread-per-connection TCP server that owns one
-//! live [`TwoDProfiler`] per client session.
+//! The `twodprofd` daemon: a sharded, poll-driven TCP server that owns one
+//! live [`TwoDProfiler`](twodprof_core::TwoDProfiler) per client session.
+//!
+//! # Architecture
+//!
+//! The accept loop assigns each connection an id and hands its socket to
+//! one of a small fixed pool of shard threads (`id % shard count`); each
+//! shard multiplexes its connections with nonblocking I/O and a
+//! `poll(2)` readiness loop (see [`crate::shard`]), so ten thousand idle
+//! or trickling sessions cost ten thousand sockets, not ten thousand
+//! stacks. Fabric compute connections are the exception: their replies
+//! come from pool worker threads out of order, so the shard detaches them
+//! back to a blocking thread on their first job frame.
 //!
 //! # Session state machine
 //!
@@ -8,93 +19,36 @@
 //! CONNECTED ──────────► STREAMING ──────────────► STREAMING ─────────► DONE
 //!     │                     │                                           │
 //!     │ Hello bad/Busy      │ limit exceeded → Busy, close              │
-//!     │ idle → GC           │ bad site/state → Error, close             │
+//!     │ idle → reap         │ bad site/state → Error, close             │
 //!     ▼                     │ disconnect / idle → session dropped       ▼
 //!   CLOSED ◄────────────────┴──────────────────────────────────► Report sent
 //! ```
 //!
-//! Admission control is explicit: a `Hello` beyond
-//! [`ServerConfig::max_sessions`] (or during drain) gets a
-//! [`ServerFrame::Busy`] reply, and a session exceeding
-//! [`ServerConfig::max_events_per_session`] gets `Busy` mid-stream — the
-//! client sees it at its next synchronization point. An idle-timeout GC
-//! thread shuts down connections (sessions included) that go quiet for
-//! longer than [`ServerConfig::idle_timeout`]. Shutdown via
-//! [`ServerHandle::shutdown`] stops accepting, lets in-flight sessions run
-//! to `Finish`, and force-closes stragglers only after
-//! [`ServerConfig::drain_timeout`].
+//! Admission is tiered (see [`crate::wire::AdmissionTier`]): a `Hello`
+//! beyond `limits.max_sessions`, during drain, or on a shard at its
+//! memory budget gets [`ServerFrame`](crate::wire::ServerFrame)`::Busy`
+//! with a retry-after hint; a shard past half its budget admits sessions
+//! *degraded* (no recording — verdict streaming still works, `Resim`
+//! does not). Recorded sessions spill to disk past
+//! `shards.spill_threshold` so residency stays bounded. A session
+//! exceeding `limits.max_events_per_session` gets `Busy` mid-stream.
+//! Idle connections are reaped by the shard sweep after
+//! `limits.idle_timeout`. Shutdown via [`ServerHandle::shutdown`] stops
+//! accepting, lets in-flight sessions run to `Finish`, and force-closes
+//! stragglers only after `limits.drain_timeout`.
 
-use crate::compute::{ComputeConfig, ComputePool, SharedWriter};
-use crate::wire::{codes, ClientFrame, Hello, ServerFrame, MAX_SITES, PROTOCOL_VERSION};
-use bpred::BranchPredictor;
-use btrace::{RecordedTrace, SiteId, Tracer};
+use crate::compute::ComputePool;
+use crate::config::ServerConfig;
+use crate::shard::{shard_loop, ShardState};
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
-use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
-use twodprof_obs::trace::{self, Span, TraceContext};
-use twodprof_stream::{
-    DriftEvent, SessionIngest, StreamConfig, StreamingProfiler, VerdictSnapshot,
-};
-
-/// Tuning knobs of a daemon instance.
-#[derive(Clone, Debug)]
-pub struct ServerConfig {
-    /// Maximum concurrently open profiling sessions; a `Hello` beyond this
-    /// is refused with `Busy`.
-    pub max_sessions: usize,
-    /// Per-session ceiling on ingested events; exceeding it earns a `Busy`
-    /// reply and closes the session (backpressure, not silent truncation).
-    pub max_events_per_session: u64,
-    /// Connections (with or without an open session) idle longer than this
-    /// are garbage-collected by the GC thread.
-    pub idle_timeout: Duration,
-    /// On shutdown, how long to wait for in-flight sessions to `Finish`
-    /// before force-closing their connections.
-    pub drain_timeout: Duration,
-    /// Suppress per-connection log lines on stderr.
-    pub quiet: bool,
-    /// Emit a one-line stats summary (sessions, events, events/sec) on
-    /// stderr at this cadence; `None` disables it.
-    pub stats_interval: Option<Duration>,
-    /// Keep a columnar [`RecordedTrace`] of each session's branch stream so
-    /// clients can [`Resim`](ClientFrame::Resim) it under other predictors
-    /// without re-streaming. Costs ~1.1 bytes per dynamic branch of daemon
-    /// memory per open session; disable for ingest-only deployments.
-    pub record_sessions: bool,
-    /// Streaming-profiler geometry (epoch length, window, hysteresis)
-    /// shared by every program this daemon aggregates.
-    pub stream: StreamConfig,
-    /// Drift events buffered per `watch` subscriber before the daemon sheds
-    /// it (slow-consumer protection).
-    pub max_subscriber_queue: usize,
-    /// Run the fabric compute service: accept `SubmitJob`/`CacheQuery`
-    /// frames on sessionless connections and execute them on a worker pool
-    /// backed by this daemon's engine + cache tier. `None` (the default)
-    /// rejects job frames with [`codes::BAD_STATE`].
-    pub compute: Option<ComputeConfig>,
-}
-
-impl Default for ServerConfig {
-    fn default() -> Self {
-        Self {
-            max_sessions: 64,
-            max_events_per_session: u64::MAX,
-            idle_timeout: Duration::from_secs(30),
-            drain_timeout: Duration::from_secs(10),
-            quiet: false,
-            stats_interval: None,
-            record_sessions: true,
-            stream: StreamConfig::default(),
-            max_subscriber_queue: 1024,
-            compute: None,
-        }
-    }
-}
+use twodprof_stream::{DriftEvent, SessionIngest, StreamingProfiler, VerdictSnapshot};
 
 /// Lifetime counters of a daemon instance.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -103,67 +57,82 @@ pub struct ServerStats {
     pub sessions_opened: u64,
     /// Sessions that ran to `Finish` and received their report.
     pub sessions_finished: u64,
-    /// Sessions dropped early: disconnects, protocol errors, idle GC,
+    /// Sessions dropped early: disconnects, protocol errors, idle reaps,
     /// event-limit `Busy`.
     pub sessions_aborted: u64,
     /// Total branch events ingested across all sessions.
     pub events_ingested: u64,
 }
 
-struct ConnEntry {
-    stream: TcpStream,
-    last_seen: Arc<Mutex<Instant>>,
+/// A connection detached to the blocking compute path, tracked so the
+/// idle sweep and force-close can still reach its socket.
+pub(crate) struct ConnEntry {
+    pub(crate) stream: TcpStream,
+    pub(crate) last_seen: Arc<Mutex<Instant>>,
 }
 
 /// One program's shared streaming state: the merged profiler plus the
 /// `watch` subscribers its drift events fan out to. Lives in the registry
 /// for the daemon's lifetime so snapshots keep answering after every
 /// session of the program ended.
-struct ProgramStream {
+pub(crate) struct ProgramStream {
     /// `None` until the program's first session declares its site table.
-    profiler: Mutex<Option<StreamingProfiler>>,
-    subscribers: Mutex<Vec<Arc<Subscriber>>>,
+    pub(crate) profiler: Mutex<Option<StreamingProfiler>>,
+    pub(crate) subscribers: Mutex<Vec<Arc<Subscriber>>>,
 }
 
 /// A `watch` connection's bounded drift-event queue, filled by publishing
-/// session threads and drained by the watcher's push loop.
+/// shard threads and drained by the owning shard's watch pump.
 #[derive(Default)]
-struct Subscriber {
-    queue: Mutex<SubQueue>,
-    cond: Condvar,
+pub(crate) struct Subscriber {
+    pub(crate) queue: Mutex<SubQueue>,
+    /// Publishers still signal; nothing blocks on it since the watch pump
+    /// polls, but it keeps `publish_drift` shard-agnostic.
+    pub(crate) cond: Condvar,
 }
 
 #[derive(Default)]
-struct SubQueue {
-    events: VecDeque<DriftEvent>,
-    /// The queue overflowed; the push loop tells the client and hangs up.
-    shed: bool,
-    /// The push loop exited; publishers drop the subscriber on next fan-out.
-    closed: bool,
+pub(crate) struct SubQueue {
+    pub(crate) events: VecDeque<DriftEvent>,
+    /// The queue overflowed; the watch pump tells the client and hangs up.
+    pub(crate) shed: bool,
+    /// The watcher is gone; publishers drop the subscriber on next fan-out.
+    pub(crate) closed: bool,
 }
 
 /// A live session's attachment to its program's streaming profiler.
-struct ProgramSession {
-    stream: Arc<ProgramStream>,
-    ingest: SessionIngest,
+pub(crate) struct ProgramSession {
+    pub(crate) stream: Arc<ProgramStream>,
+    pub(crate) ingest: SessionIngest,
 }
 
-struct Shared {
-    config: ServerConfig,
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
     /// The fabric compute pool, when `config.compute` is set.
-    compute: Option<Arc<ComputePool>>,
-    shutdown: AtomicBool,
+    pub(crate) compute: Option<Arc<ComputePool>>,
+    pub(crate) shutdown: AtomicBool,
     stopped: AtomicBool,
+    /// The accept loop has exited; shards may drain to empty and stop.
+    accept_stopped: AtomicBool,
+    /// Drain timed out: shards tear down every remaining connection.
+    force_close: AtomicBool,
     next_conn: AtomicU64,
     active_conns: AtomicUsize,
-    live_sessions: AtomicUsize,
-    conns: Mutex<HashMap<u64, ConnEntry>>,
+    pub(crate) live_sessions: AtomicUsize,
+    /// The shard pool; admission and the accept loop index it by
+    /// `conn_id % len`.
+    pub(crate) shards: Vec<Arc<ShardState>>,
+    /// Connections handed off to blocking compute threads.
+    pub(crate) detached: Mutex<HashMap<u64, ConnEntry>>,
     /// Streaming profilers keyed by program id (from `Hello.program`).
-    programs: Mutex<HashMap<String, Arc<ProgramStream>>>,
-    sessions_opened: AtomicU64,
-    sessions_finished: AtomicU64,
-    sessions_aborted: AtomicU64,
-    events_ingested: AtomicU64,
+    pub(crate) programs: Mutex<HashMap<String, Arc<ProgramStream>>>,
+    /// Where session recordings spill; per-daemon-instance so parallel
+    /// daemons (tests) never collide.
+    pub(crate) spill_dir: PathBuf,
+    pub(crate) sessions_opened: AtomicU64,
+    pub(crate) sessions_finished: AtomicU64,
+    pub(crate) sessions_aborted: AtomicU64,
+    pub(crate) events_ingested: AtomicU64,
 }
 
 impl Shared {
@@ -176,16 +145,38 @@ impl Shared {
         }
     }
 
-    fn log(&self, msg: std::fmt::Arguments<'_>) {
+    pub(crate) fn log(&self, msg: std::fmt::Arguments<'_>) {
         if !self.config.quiet {
             eprintln!("[twodprofd] {msg}");
         }
     }
 
+    pub(crate) fn is_draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn accept_stopped(&self) -> bool {
+        self.accept_stopped.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn force_closing(&self) -> bool {
+        self.force_close.load(Ordering::SeqCst)
+    }
+
+    /// One connection finished its life (shard teardown, failed handoff,
+    /// or compute-thread exit).
+    pub(crate) fn conn_gone(&self) {
+        self.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+
     /// Looks up (or creates) the program's streaming state and attaches a
     /// new session to it. The first session's site table sizes the shared
     /// profiler; later sessions may declare fewer sites but not more.
-    fn join_program(&self, name: &str, num_sites: u32) -> Result<ProgramSession, String> {
+    pub(crate) fn join_program(
+        &self,
+        name: &str,
+        num_sites: u32,
+    ) -> Result<ProgramSession, String> {
         let stream = {
             let mut programs = self.programs.lock().expect("program table");
             programs
@@ -214,7 +205,7 @@ impl Shared {
 
     /// The program's current verdict snapshot, or an empty one if no
     /// session has initialized it yet (watchers may subscribe first).
-    fn program_snapshot(&self, stream: &ProgramStream) -> VerdictSnapshot {
+    pub(crate) fn program_snapshot(&self, stream: &ProgramStream) -> VerdictSnapshot {
         let profiler = stream.profiler.lock().expect("stream profiler");
         match profiler.as_ref() {
             Some(p) => p.snapshot(),
@@ -232,7 +223,7 @@ impl Shared {
 /// Fans freshly folded drift events out to the program's watchers under a
 /// `serve.push` span, shedding any subscriber whose bounded queue would
 /// overflow, and publishes the deepest queue as the subscriber-lag gauge.
-fn publish_drift(shared: &Shared, stream: &ProgramStream, events: &[DriftEvent]) {
+pub(crate) fn publish_drift(shared: &Shared, stream: &ProgramStream, events: &[DriftEvent]) {
     let _span = twodprof_obs::span!("serve.push");
     let mut max_depth = 0usize;
     let mut subs = stream.subscribers.lock().expect("subscriber list");
@@ -241,7 +232,7 @@ fn publish_drift(shared: &Shared, stream: &ProgramStream, events: &[DriftEvent])
         if q.closed || q.shed {
             return false;
         }
-        if q.events.len() + events.len() > shared.config.max_subscriber_queue {
+        if q.events.len() + events.len() > shared.config.limits.max_subscriber_queue {
             q.shed = true;
             sub.cond.notify_all();
             twodprof_obs::counter!(
@@ -267,7 +258,7 @@ fn publish_drift(shared: &Shared, stream: &ProgramStream, events: &[DriftEvent])
 /// Detaches a session from its program's streaming profiler — on `Finish`
 /// or on any abort path, so a dead session never stalls the fold watermark
 /// — and fans out whatever drift events the final folds produced.
-fn detach_program(shared: &Shared, ps: ProgramSession) {
+pub(crate) fn detach_program(shared: &Shared, ps: ProgramSession) {
     let mut out = Vec::new();
     {
         let mut profiler = ps.stream.profiler.lock().expect("stream profiler");
@@ -277,6 +268,24 @@ fn detach_program(shared: &Shared, ps: ProgramSession) {
     }
     if !out.is_empty() {
         publish_drift(shared, &ps.stream, &out);
+    }
+}
+
+/// Static span name for each frame kind.
+pub(crate) fn frame_name(frame: &crate::wire::ClientFrame) -> &'static str {
+    use crate::wire::ClientFrame;
+    match frame {
+        ClientFrame::Hello(_) => "serve.frame.hello",
+        ClientFrame::Events(_) => "serve.frame.events",
+        ClientFrame::Flush => "serve.frame.flush",
+        ClientFrame::Finish => "serve.frame.finish",
+        ClientFrame::Stats => "serve.frame.stats",
+        ClientFrame::Resim(_) => "serve.frame.resim",
+        ClientFrame::TraceCtx { .. } => "serve.frame.trace_ctx",
+        ClientFrame::TraceExport { .. } => "serve.frame.trace_export",
+        ClientFrame::Subscribe { .. } => "serve.frame.subscribe",
+        ClientFrame::SubmitJob { .. } => "serve.frame.submit_job",
+        ClientFrame::CacheQuery { .. } => "serve.frame.cache_query",
     }
 }
 
@@ -316,6 +325,10 @@ impl ServerHandle {
     }
 }
 
+/// Distinguishes the spill directories of daemons sharing a process and a
+/// temp dir (tests run many).
+static DAEMON_INSTANCE: AtomicU64 = AtomicU64::new(0);
+
 /// A bound, not-yet-running daemon. Call [`run`](Self::run) (usually on a
 /// dedicated thread) to serve connections.
 pub struct Server {
@@ -332,6 +345,16 @@ impl Server {
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let compute = config.compute.as_ref().map(ComputePool::start);
+        let shards = (0..config.shards.count.max(1))
+            .map(|i| Arc::new(ShardState::new(i)))
+            .collect();
+        let spill_dir = config.shards.spill_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!(
+                "twodprofd-spill-{}-{}",
+                std::process::id(),
+                DAEMON_INSTANCE.fetch_add(1, Ordering::Relaxed)
+            ))
+        });
         Ok(Self {
             listener,
             shared: Arc::new(Shared {
@@ -339,11 +362,15 @@ impl Server {
                 compute,
                 shutdown: AtomicBool::new(false),
                 stopped: AtomicBool::new(false),
+                accept_stopped: AtomicBool::new(false),
+                force_close: AtomicBool::new(false),
                 next_conn: AtomicU64::new(1),
                 active_conns: AtomicUsize::new(0),
                 live_sessions: AtomicUsize::new(0),
-                conns: Mutex::new(HashMap::new()),
+                shards,
+                detached: Mutex::new(HashMap::new()),
                 programs: Mutex::new(HashMap::new()),
+                spill_dir,
                 sessions_opened: AtomicU64::new(0),
                 sessions_finished: AtomicU64::new(0),
                 sessions_aborted: AtomicU64::new(0),
@@ -375,16 +402,22 @@ impl Server {
     /// # Errors
     ///
     /// Returns socket-configuration errors; per-connection I/O errors are
-    /// isolated to their connection threads.
+    /// isolated to their shard (or compute thread).
     pub fn run(self) -> io::Result<ServerStats> {
         self.listener.set_nonblocking(true)?;
-        let gc = {
-            let shared = self.shared.clone();
-            thread::Builder::new()
-                .name("twodprofd-gc".into())
-                .spawn(move || gc_loop(&shared))
-                .expect("spawn GC thread")
-        };
+        let shard_threads: Vec<_> = self
+            .shared
+            .shards
+            .iter()
+            .map(|shard| {
+                let shared = self.shared.clone();
+                let shard = shard.clone();
+                thread::Builder::new()
+                    .name(format!("twodprofd-shard-{}", shard.index))
+                    .spawn(move || shard_loop(&shared, &shard))
+                    .expect("spawn shard thread")
+            })
+            .collect();
         let stats_thread = self.shared.config.stats_interval.map(|interval| {
             let shared = self.shared.clone();
             thread::Builder::new()
@@ -398,9 +431,21 @@ impl Server {
                 pool.threads()
             ));
         }
+        self.shared.log(format_args!(
+            "{} shard thread(s), {} byte memory budget per shard",
+            self.shared.shards.len(),
+            self.shared.config.shards.memory_budget
+        ));
+        let shard_count = self.shared.shards.len() as u64;
+        let mut last_sweep = Instant::now();
         while !self.shared.shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
-                Ok((stream, peer)) => self.spawn_conn(stream, peer),
+                Ok((stream, _peer)) => {
+                    let id = self.shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                    self.shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                    let shard = &self.shared.shards[(id % shard_count) as usize];
+                    shard.inbox.lock().expect("shard inbox").push((id, stream));
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     thread::sleep(Duration::from_millis(15));
                 }
@@ -410,8 +455,17 @@ impl Server {
                     thread::sleep(Duration::from_millis(50));
                 }
             }
+            // detached compute connections have no shard sweeping them
+            if last_sweep.elapsed() > Duration::from_millis(250) {
+                sweep_detached(&self.shared);
+                last_sweep = Instant::now();
+            }
         }
+        self.shared.accept_stopped.store(true, Ordering::SeqCst);
         self.drain();
+        for t in shard_threads {
+            t.join().expect("shard thread never panics");
+        }
         if let Some(pool) = &self.shared.compute {
             // after drain the compute connections are gone; finish whatever
             // is still queued (replies to dead peers fail silently) and
@@ -419,51 +473,33 @@ impl Server {
             pool.shutdown();
         }
         self.shared.stopped.store(true, Ordering::SeqCst);
-        gc.join().expect("GC thread never panics");
         if let Some(t) = stats_thread {
             t.join().expect("stats thread never panics");
         }
         Ok(self.shared.stats())
     }
 
-    fn spawn_conn(&self, stream: TcpStream, peer: SocketAddr) {
-        let shared = self.shared.clone();
-        let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-        shared.active_conns.fetch_add(1, Ordering::SeqCst);
-        let spawned = thread::Builder::new()
-            .name(format!("twodprofd-conn-{id}"))
-            .spawn(move || {
-                let outcome = serve_conn(&shared, stream, id);
-                shared.conns.lock().expect("conn table").remove(&id);
-                shared.active_conns.fetch_sub(1, Ordering::SeqCst);
-                match outcome {
-                    Ok(()) => {}
-                    Err(e) => shared.log(format_args!("conn {id} ({peer}): {e}")),
-                }
-            });
-        if spawned.is_err() {
-            self.shared.active_conns.fetch_sub(1, Ordering::SeqCst);
-            self.shared.log(format_args!("failed to spawn conn thread"));
-        }
-    }
-
     /// Waits for in-flight connections to wind down, force-closing any left
-    /// after the drain timeout.
+    /// after the drain timeout. Shard-owned connections honor the
+    /// `force_close` flag on their next tick; detached compute sockets are
+    /// shut down directly.
     fn drain(&self) {
         let start = Instant::now();
         let mut forced = false;
         while self.shared.active_conns.load(Ordering::SeqCst) > 0 {
-            if !forced && start.elapsed() > self.shared.config.drain_timeout {
+            if !forced && start.elapsed() > self.shared.config.limits.drain_timeout {
                 forced = true;
-                let conns = self.shared.conns.lock().expect("conn table");
+                self.shared.force_close.store(true, Ordering::SeqCst);
+                let detached = self.shared.detached.lock().expect("detached table");
                 self.shared.log(format_args!(
                     "drain timeout: force-closing {} connection(s)",
-                    conns.len()
+                    self.shared.active_conns.load(Ordering::SeqCst)
                 ));
-                for entry in conns.values() {
+                for entry in detached.values() {
                     let _ = entry.stream.shutdown(Shutdown::Both);
                 }
             }
+            sweep_detached(&self.shared);
             thread::sleep(Duration::from_millis(10));
         }
         twodprof_obs::histogram!(
@@ -474,27 +510,23 @@ impl Server {
     }
 }
 
-/// Reaps connections that have gone idle past the configured timeout by
-/// shutting their sockets; the owning connection thread then unblocks,
-/// cleans up, and drops any live profiler.
-fn gc_loop(shared: &Shared) {
-    let tick = (shared.config.idle_timeout / 4)
-        .clamp(Duration::from_millis(10), Duration::from_millis(250));
-    while !shared.stopped.load(Ordering::SeqCst) {
-        thread::sleep(tick);
-        let now = Instant::now();
-        let conns = shared.conns.lock().expect("conn table");
-        for (id, entry) in conns.iter() {
-            let last = *entry.last_seen.lock().expect("last_seen");
-            if now.duration_since(last) > shared.config.idle_timeout {
-                shared.log(format_args!("conn {id}: idle timeout, reaping"));
-                twodprof_obs::counter!(
-                    "serve_sessions_reaped_total",
-                    "Connections reaped by the idle-timeout GC."
-                )
-                .inc();
-                let _ = entry.stream.shutdown(Shutdown::Both);
-            }
+/// Reaps detached compute connections that have gone idle past the
+/// configured timeout by shutting their sockets; the owning compute thread
+/// then unblocks and cleans up. (Shard-owned connections are swept by
+/// their shard's loop.)
+fn sweep_detached(shared: &Shared) {
+    let now = Instant::now();
+    let detached = shared.detached.lock().expect("detached table");
+    for (id, entry) in detached.iter() {
+        let last = *entry.last_seen.lock().expect("last_seen");
+        if now.duration_since(last) > shared.config.limits.idle_timeout {
+            shared.log(format_args!("conn {id}: idle timeout, reaping"));
+            twodprof_obs::counter!(
+                "serve_sessions_reaped_total",
+                "Connections reaped by the idle-timeout sweep."
+            )
+            .inc();
+            let _ = entry.stream.shutdown(Shutdown::Both);
         }
     }
 }
@@ -503,12 +535,13 @@ fn gc_loop(shared: &Shared) {
 /// rates computed with `Snapshot::delta` (always printed, even with
 /// `quiet` connection logs — enabling the interval is itself the opt-in).
 ///
-/// Four lines per tick: the session/event line, the storage-tier and
-/// trace line — memo-tier vs disk-tier cache hits (distinct since the PR
-/// that split the counters), misses, corrupt entries, and the recorded /
-/// replayed trace totals — the fabric line (jobs submitted/completed and
-/// remote cache hits served by the compute tier), and the streaming line
-/// (windows folded, verdicts, drift events, subscriber drops).
+/// Five lines per tick: the session/event line, the storage-tier and
+/// trace line — memo-tier vs disk-tier cache hits, misses, corrupt
+/// entries, and the recorded / replayed trace totals — the fabric line
+/// (jobs submitted/completed and remote cache hits served by the compute
+/// tier), the streaming line (windows folded, verdicts, drift events,
+/// subscriber drops), and the admission line (tier counts plus spill
+/// segments/bytes).
 fn stats_loop(shared: &Shared, interval: Duration) {
     let interval = interval.max(Duration::from_millis(10));
     let mut last_events = 0u64;
@@ -576,616 +609,21 @@ fn stats_loop(shared: &Shared, interval: Duration) {
             total("serve_subscriber_drops_total"),
             tick("serve_subscriber_drops_total"),
         );
+        eprintln!(
+            "[twodprofd] stats: admit {} accepted (+{}), {} degraded (+{}), {} shed (+{}); spill {} segment(s) (+{}), {} byte(s) (+{})",
+            total("serve_admit_accept_total"),
+            tick("serve_admit_accept_total"),
+            total("serve_admit_degrade_total"),
+            tick("serve_admit_degrade_total"),
+            total("serve_admit_shed_total"),
+            tick("serve_admit_shed_total"),
+            total("serve_spill_segments_total"),
+            tick("serve_spill_segments_total"),
+            total("serve_spill_bytes_total"),
+            tick("serve_spill_bytes_total"),
+        );
         last_events = stats.events_ingested;
         last_tick = now;
         last_snap = snap;
     }
-}
-
-/// One live profiling session (between `Hello` and `Finish`).
-struct LiveSession {
-    profiler: TwoDProfiler<Box<dyn BranchPredictor>>,
-    num_sites: u32,
-    events: u64,
-    /// Columnar copy of the session's branch stream, kept when
-    /// [`ServerConfig::record_sessions`] is on so `Resim` frames can replay
-    /// it under other predictors.
-    recorded: Option<RecordedTrace>,
-    /// The session's slice geometry, reused verbatim for re-simulations.
-    slice: SliceConfig,
-    /// Attachment to the shared per-program streaming profiler, when the
-    /// session's `Hello` named a program.
-    program: Option<ProgramSession>,
-    /// Context per-frame spans attach under: the session's trace id plus
-    /// the session span's id.
-    child_ctx: TraceContext,
-    /// Covers the whole Hello→Finish (or abort) window; records itself
-    /// into the trace collector when the session is dropped.
-    _span: Span,
-}
-
-fn send<W: Write>(w: &mut W, frame: &ServerFrame) -> io::Result<()> {
-    frame.write_to(w)?;
-    w.flush()
-}
-
-fn send_error<W: Write>(w: &mut W, code: u64, msg: String) -> io::Result<()> {
-    send(w, &ServerFrame::Error { code, msg })
-}
-
-fn serve_conn(shared: &Shared, stream: TcpStream, id: u64) -> io::Result<()> {
-    stream.set_nodelay(true).ok();
-    let last_seen = Arc::new(Mutex::new(Instant::now()));
-    shared.conns.lock().expect("conn table").insert(
-        id,
-        ConnEntry {
-            stream: stream.try_clone()?,
-            last_seen: last_seen.clone(),
-        },
-    );
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut session = None;
-    let mut handoff = None;
-    let mut result = session_loop(
-        shared,
-        id,
-        &mut reader,
-        &mut writer,
-        &mut session,
-        &last_seen,
-        &mut handoff,
-    );
-    if let Some(first) = handoff {
-        // a sessionless connection turned out to be a fabric client:
-        // session_loop stepped aside and the connection becomes a
-        // compute channel for the rest of its life
-        debug_assert!(session.is_none() && result.is_ok());
-        result = compute_conn(shared, id, &mut reader, writer, first, &last_seen);
-    }
-    if let Some(mut s) = session {
-        // the connection ended with a session still open: disconnect, idle
-        // reap, or a protocol error — drop the profiler and account for it
-        if let Some(ps) = s.program.take() {
-            detach_program(shared, ps);
-        }
-        shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
-        shared.sessions_aborted.fetch_add(1, Ordering::SeqCst);
-        twodprof_obs::counter!(
-            "serve_sessions_aborted_total",
-            "Sessions dropped before Finish (disconnect, error, GC, limit)."
-        )
-        .inc();
-        shared.log(format_args!(
-            "conn {id}: session dropped after {} event(s)",
-            s.events
-        ));
-    }
-    result
-}
-
-fn session_loop<R: Read, W: Write>(
-    shared: &Shared,
-    id: u64,
-    reader: &mut R,
-    writer: &mut W,
-    session: &mut Option<Box<LiveSession>>,
-    last_seen: &Mutex<Instant>,
-    handoff: &mut Option<ClientFrame>,
-) -> io::Result<()> {
-    // Trace context announced by a `TraceCtx` frame; sessions opened on
-    // this connection join it, so do pre-session frame spans.
-    let mut conn_ctx = TraceContext::NONE;
-    loop {
-        let frame = match ClientFrame::read_from(reader) {
-            Ok(frame) => frame,
-            // a clean close between frames with no open session is a normal
-            // goodbye; anything else is worth a log line
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && session.is_none() => {
-                return Ok(())
-            }
-            Err(e) => {
-                if e.kind() == io::ErrorKind::InvalidData {
-                    twodprof_obs::counter!(
-                        "serve_frame_decode_errors_total",
-                        "Client frames that failed to decode."
-                    )
-                    .inc();
-                    // The framing layer consumed exactly the bad frame, so
-                    // the stream is still in sync: tell the client what
-                    // went wrong instead of silently dropping the
-                    // connection. Best-effort — the error we report is the
-                    // decode failure either way.
-                    let _ = send_error(writer, codes::BAD_FRAME, format!("bad frame: {e}"));
-                }
-                return Err(e);
-            }
-        };
-        *last_seen.lock().expect("last_seen") = Instant::now();
-        // Adopt a TraceCtx before opening its own frame span, so even that
-        // first span lands in the client's trace.
-        if let ClientFrame::TraceCtx { trace, parent } = &frame {
-            conn_ctx = TraceContext {
-                trace: *trace,
-                parent: *parent,
-            };
-        }
-        let frame_ctx = session
-            .as_ref()
-            .map(|live| live.child_ctx)
-            .unwrap_or(conn_ctx);
-        let _ctx_guard = frame_ctx.is_active().then(|| trace::attach(frame_ctx));
-        let _frame_span = twodprof_obs::span!(frame_name(&frame));
-        match frame {
-            ClientFrame::Hello(hello) => {
-                if session.is_some() {
-                    return send_error(writer, codes::BAD_STATE, "duplicate Hello".into());
-                }
-                match admit(shared, &hello, conn_ctx) {
-                    Admission::Accept(live) => {
-                        *session = Some(live);
-                        shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
-                        twodprof_obs::counter!(
-                            "serve_sessions_opened_total",
-                            "Sessions that completed Hello."
-                        )
-                        .inc();
-                        send(writer, &ServerFrame::HelloOk { session_id: id })?;
-                    }
-                    Admission::Busy(msg) => {
-                        shared.log(format_args!("conn {id}: busy ({msg})"));
-                        twodprof_obs::counter!(
-                            "serve_sessions_busy_rejected_total",
-                            "Hellos refused with Busy (table full or draining)."
-                        )
-                        .inc();
-                        return send(writer, &ServerFrame::Busy { msg });
-                    }
-                    Admission::Reject(code, msg) => {
-                        shared.log(format_args!("conn {id}: bad hello ({msg})"));
-                        return send_error(writer, code, msg);
-                    }
-                }
-            }
-            ClientFrame::Events(events) => {
-                let Some(live) = session.as_mut() else {
-                    return send_error(writer, codes::BAD_STATE, "Events before Hello".into());
-                };
-                let n = events.len() as u64;
-                if live.events.saturating_add(n) > shared.config.max_events_per_session {
-                    // explicit backpressure: refuse the batch, close the
-                    // session (the abort accounting happens in serve_conn)
-                    twodprof_obs::counter!(
-                        "serve_sessions_busy_rejected_total",
-                        "Hellos refused with Busy (table full or draining)."
-                    )
-                    .inc();
-                    return send(
-                        writer,
-                        &ServerFrame::Busy {
-                            msg: format!(
-                                "event limit {} exceeded",
-                                shared.config.max_events_per_session
-                            ),
-                        },
-                    );
-                }
-                if let Some(&(site, _)) = events.iter().find(|&&(site, _)| site >= live.num_sites) {
-                    return send_error(
-                        writer,
-                        codes::SITE_RANGE,
-                        format!("site {site} outside table of {}", live.num_sites),
-                    );
-                }
-                match live.program.as_mut() {
-                    // Streaming sessions iterate in chunks bounded by the
-                    // open epoch's remaining capacity, so the per-event
-                    // streaming cost is two counter adds — the slice
-                    // bookkeeping settles once per chunk.
-                    Some(ps) => {
-                        let mut rest = &events[..];
-                        while !rest.is_empty() {
-                            let take = (ps.ingest.slice_remaining() as usize).min(rest.len());
-                            for &(site, taken) in &rest[..take] {
-                                let correct = live.profiler.branch_outcome(SiteId(site), taken);
-                                ps.ingest.tally(SiteId(site), correct);
-                                if let Some(rec) = live.recorded.as_mut() {
-                                    rec.branch(SiteId(site), taken);
-                                }
-                            }
-                            ps.ingest.advance(take as u64);
-                            rest = &rest[take..];
-                        }
-                    }
-                    None => {
-                        for &(site, taken) in &events {
-                            live.profiler.branch_outcome(SiteId(site), taken);
-                            if let Some(rec) = live.recorded.as_mut() {
-                                rec.branch(SiteId(site), taken);
-                            }
-                        }
-                    }
-                }
-                live.events += n;
-                shared.events_ingested.fetch_add(n, Ordering::Relaxed);
-                twodprof_obs::counter!(
-                    "serve_events_total",
-                    "Branch events ingested across all sessions."
-                )
-                .add(n);
-                // hand completed epochs to the program's shared profiler and
-                // fan out any drift its folds confirmed
-                if let Some(ps) = live.program.as_mut() {
-                    if ps.ingest.pending_epochs() > 0 {
-                        let mut drift = Vec::new();
-                        {
-                            let mut profiler = ps.stream.profiler.lock().expect("stream profiler");
-                            if let Some(p) = profiler.as_mut() {
-                                p.ingest(&mut ps.ingest, &mut drift);
-                            }
-                        }
-                        if !drift.is_empty() {
-                            publish_drift(shared, &ps.stream, &drift);
-                        }
-                    }
-                }
-            }
-            ClientFrame::Flush => {
-                let Some(live) = session.as_ref() else {
-                    return send_error(writer, codes::BAD_STATE, "Flush before Hello".into());
-                };
-                send(
-                    writer,
-                    &ServerFrame::Ack {
-                        events_total: live.events,
-                    },
-                )?;
-            }
-            ClientFrame::Finish => {
-                let Some(mut live) = session.take() else {
-                    return send_error(writer, codes::BAD_STATE, "Finish before Hello".into());
-                };
-                if let Some(ps) = live.program.take() {
-                    detach_program(shared, ps);
-                }
-                shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
-                shared.sessions_finished.fetch_add(1, Ordering::Relaxed);
-                twodprof_obs::counter!(
-                    "serve_sessions_finished_total",
-                    "Sessions that ran to Finish and received a report."
-                )
-                .inc();
-                if live.recorded.is_some() {
-                    twodprof_obs::counter!(
-                        "trace_record_total",
-                        "Branch streams recorded from live workload runs."
-                    )
-                    .inc();
-                }
-                let events = live.events;
-                let report = live.profiler.finish(Thresholds::paper());
-                shared.log(format_args!(
-                    "conn {id}: session finished, {events} event(s), {} site(s)",
-                    report.num_sites()
-                ));
-                return send(writer, &ServerFrame::Report(report.to_bytes()));
-            }
-            ClientFrame::Stats => {
-                // valid in any state; replies and keeps the connection going
-                let snapshot = twodprof_obs::global().snapshot();
-                send(writer, &ServerFrame::StatsReply(snapshot.to_bytes()))?;
-            }
-            ClientFrame::Resim(kind) => {
-                let Some(live) = session.as_ref() else {
-                    return send_error(writer, codes::BAD_STATE, "Resim before Hello".into());
-                };
-                let Some(rec) = live.recorded.as_ref() else {
-                    return send_error(
-                        writer,
-                        codes::BAD_STATE,
-                        "session recording is disabled on this daemon".into(),
-                    );
-                };
-                let mut profiler =
-                    TwoDProfiler::new(live.num_sites as usize, kind.build(), live.slice);
-                rec.replay_into(&mut profiler);
-                let report = profiler.finish(Thresholds::paper());
-                twodprof_obs::counter!(
-                    "trace_replay_total",
-                    "Simulations served by replaying a recorded trace."
-                )
-                .inc();
-                shared.log(format_args!(
-                    "conn {id}: resimulated {} event(s) under {kind}",
-                    rec.events()
-                ));
-                // the session stays open: more events or further resims may
-                // follow before Finish
-                send(writer, &ServerFrame::Report(report.to_bytes()))?;
-            }
-            ClientFrame::TraceCtx { .. } => {
-                // conn_ctx was adopted above, before the frame span opened;
-                // reply with our trace clock so the client can align the
-                // two processes' epochs from one round trip
-                send(
-                    writer,
-                    &ServerFrame::TraceAck {
-                        anchor_us: trace::now_micros(),
-                    },
-                )?;
-            }
-            ClientFrame::TraceExport { trace: trace_id } => {
-                // sessionless, like Stats: drain every ring (including
-                // those of finished connection threads) and ship whatever
-                // this daemon recorded for the requested trace
-                let spans = trace::collector().collect_trace(trace_id);
-                let bytes = trace::encode_spans(trace_id, &spans);
-                send(writer, &ServerFrame::TraceSpans(bytes))?;
-            }
-            ClientFrame::Subscribe { program, watch } => {
-                if watch && session.is_some() {
-                    return send_error(
-                        writer,
-                        codes::BAD_STATE,
-                        "watch is not allowed on a session connection".into(),
-                    );
-                }
-                let stream = shared
-                    .programs
-                    .lock()
-                    .expect("program table")
-                    .get(&program)
-                    .cloned();
-                let Some(stream) = stream else {
-                    return send_error(
-                        writer,
-                        codes::BAD_STATE,
-                        format!("unknown program {program:?}"),
-                    );
-                };
-                let snapshot = shared.program_snapshot(&stream);
-                send(writer, &ServerFrame::VerdictSnapshot(snapshot.to_bytes()))?;
-                if !watch {
-                    // snapshot-only query; the connection stays usable
-                    continue;
-                }
-                let sub = Arc::new(Subscriber::default());
-                stream
-                    .subscribers
-                    .lock()
-                    .expect("subscriber list")
-                    .push(sub.clone());
-                shared.log(format_args!("conn {id}: watching program {program:?}"));
-                let result = watch_loop(shared, writer, &sub, last_seen);
-                sub.queue.lock().expect("subscriber queue").closed = true;
-                return result;
-            }
-            frame @ (ClientFrame::SubmitJob { .. } | ClientFrame::CacheQuery { .. }) => {
-                if session.is_some() {
-                    return send_error(
-                        writer,
-                        codes::BAD_STATE,
-                        "job frames are not allowed on a session connection".into(),
-                    );
-                }
-                if shared.compute.is_none() {
-                    return send_error(
-                        writer,
-                        codes::BAD_STATE,
-                        "compute service is disabled on this daemon".into(),
-                    );
-                }
-                // hand the connection (and this first frame) to the
-                // compute loop, which owns a sharable writer so pool
-                // workers can reply out of order
-                *handoff = Some(frame);
-                return Ok(());
-            }
-        }
-    }
-}
-
-/// Serves a fabric client's connection after its first job frame: submits
-/// jobs to the compute pool, answers cache queries inline, and keeps
-/// `Stats` working. Replies share the socket through a mutex-guarded
-/// writer because pool workers finish jobs out of submission order.
-fn compute_conn(
-    shared: &Shared,
-    id: u64,
-    reader: &mut BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-    first: ClientFrame,
-    last_seen: &Arc<Mutex<Instant>>,
-) -> io::Result<()> {
-    let pool = shared.compute.as_ref().expect("compute enabled").clone();
-    shared.log(format_args!("conn {id}: fabric compute channel opened"));
-    let writer: SharedWriter = Arc::new(Mutex::new(writer));
-    let mut pending = Some(first);
-    loop {
-        let frame = match pending.take() {
-            Some(frame) => frame,
-            None => match ClientFrame::read_from(reader) {
-                Ok(frame) => frame,
-                // clean goodbye; any jobs still queued reply into the void
-                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
-                Err(e) => {
-                    if e.kind() == io::ErrorKind::InvalidData {
-                        twodprof_obs::counter!(
-                            "serve_frame_decode_errors_total",
-                            "Client frames that failed to decode."
-                        )
-                        .inc();
-                        let mut w = writer.lock().expect("compute writer");
-                        let _ = send_error(&mut *w, codes::BAD_FRAME, format!("bad frame: {e}"));
-                    }
-                    return Err(e);
-                }
-            },
-        };
-        *last_seen.lock().expect("last_seen") = Instant::now();
-        let _frame_span = twodprof_obs::span!(frame_name(&frame));
-        match frame {
-            ClientFrame::SubmitJob { job_id, spec } => {
-                pool.submit(job_id, spec, writer.clone(), last_seen.clone());
-            }
-            ClientFrame::CacheQuery { job_id, spec } => {
-                let result = pool.lookup(&spec);
-                let mut w = writer.lock().expect("compute writer");
-                send(&mut *w, &ServerFrame::CacheReply { job_id, result })?;
-            }
-            ClientFrame::Stats => {
-                let snapshot = twodprof_obs::global().snapshot();
-                let mut w = writer.lock().expect("compute writer");
-                send(&mut *w, &ServerFrame::StatsReply(snapshot.to_bytes()))?;
-            }
-            other => {
-                let mut w = writer.lock().expect("compute writer");
-                return send_error(
-                    &mut *w,
-                    codes::BAD_STATE,
-                    format!("{} is not allowed on a compute channel", frame_name(&other)),
-                );
-            }
-        }
-    }
-}
-
-/// Push loop of a `watch` connection: drains the subscriber's drift queue
-/// into `DriftEvent` frames, waking at least every 100 ms to refresh the
-/// idle-GC clock (an event-less watcher is idle on purpose) and to notice
-/// daemon shutdown. Exits cleanly on shutdown, with `Busy` after a
-/// queue-overflow shed, or with the I/O error of a dead peer.
-fn watch_loop<W: Write>(
-    shared: &Shared,
-    writer: &mut W,
-    sub: &Subscriber,
-    last_seen: &Mutex<Instant>,
-) -> io::Result<()> {
-    loop {
-        let batch: Vec<DriftEvent> = {
-            let mut q = sub.queue.lock().expect("subscriber queue");
-            loop {
-                if q.shed {
-                    return send(
-                        writer,
-                        &ServerFrame::Busy {
-                            msg: "subscriber lagging; drift events dropped".into(),
-                        },
-                    );
-                }
-                if !q.events.is_empty() {
-                    break q.events.drain(..).collect();
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return Ok(());
-                }
-                let (guard, _) = sub
-                    .cond
-                    .wait_timeout(q, Duration::from_millis(100))
-                    .expect("subscriber queue");
-                q = guard;
-                *last_seen.lock().expect("last_seen") = Instant::now();
-            }
-        };
-        for event in &batch {
-            send(writer, &ServerFrame::DriftEvent(event.to_bytes()))?;
-        }
-        *last_seen.lock().expect("last_seen") = Instant::now();
-    }
-}
-
-/// Static span name for each frame kind.
-fn frame_name(frame: &ClientFrame) -> &'static str {
-    match frame {
-        ClientFrame::Hello(_) => "serve.frame.hello",
-        ClientFrame::Events(_) => "serve.frame.events",
-        ClientFrame::Flush => "serve.frame.flush",
-        ClientFrame::Finish => "serve.frame.finish",
-        ClientFrame::Stats => "serve.frame.stats",
-        ClientFrame::Resim(_) => "serve.frame.resim",
-        ClientFrame::TraceCtx { .. } => "serve.frame.trace_ctx",
-        ClientFrame::TraceExport { .. } => "serve.frame.trace_export",
-        ClientFrame::Subscribe { .. } => "serve.frame.subscribe",
-        ClientFrame::SubmitJob { .. } => "serve.frame.submit_job",
-        ClientFrame::CacheQuery { .. } => "serve.frame.cache_query",
-    }
-}
-
-enum Admission {
-    Accept(Box<LiveSession>),
-    Busy(String),
-    Reject(u64, String),
-}
-
-/// Validates a `Hello` and, if the session table has room, builds the
-/// session's profiler. `ctx` is the connection's announced trace context;
-/// the session span joins it (or starts a fresh trace when none was sent).
-fn admit(shared: &Shared, hello: &Hello, ctx: TraceContext) -> Admission {
-    if hello.protocol != PROTOCOL_VERSION {
-        return Admission::Reject(
-            codes::PROTOCOL,
-            format!(
-                "protocol {} unsupported (server speaks {PROTOCOL_VERSION})",
-                hello.protocol
-            ),
-        );
-    }
-    if hello.num_sites == 0 || hello.num_sites > MAX_SITES {
-        return Admission::Reject(
-            codes::BAD_HELLO,
-            format!("num_sites {} outside 1..={MAX_SITES}", hello.num_sites),
-        );
-    }
-    if hello.slice_len == 0 || hello.exec_threshold >= hello.slice_len {
-        return Admission::Reject(
-            codes::BAD_HELLO,
-            format!(
-                "invalid slice config (len {}, threshold {})",
-                hello.slice_len, hello.exec_threshold
-            ),
-        );
-    }
-    if shared.shutdown.load(Ordering::SeqCst) {
-        return Admission::Busy("daemon is shutting down".into());
-    }
-    // atomically claim a session slot
-    let claimed = shared
-        .live_sessions
-        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
-            (cur < shared.config.max_sessions).then_some(cur + 1)
-        });
-    if claimed.is_err() {
-        return Admission::Busy(format!(
-            "session table full ({} sessions)",
-            shared.config.max_sessions
-        ));
-    }
-    let program = if hello.program.is_empty() {
-        None
-    } else {
-        match shared.join_program(&hello.program, hello.num_sites) {
-            Ok(ps) => Some(ps),
-            Err(msg) => {
-                // release the session slot claimed above
-                shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
-                return Admission::Reject(codes::BAD_HELLO, msg);
-            }
-        }
-    };
-    let config = SliceConfig::new(hello.slice_len, hello.exec_threshold);
-    let span = Span::child_of(ctx, "serve.session");
-    let child_ctx = span.context();
-    Admission::Accept(Box::new(LiveSession {
-        profiler: TwoDProfiler::new(hello.num_sites as usize, hello.predictor.build(), config),
-        num_sites: hello.num_sites,
-        events: 0,
-        recorded: shared
-            .config
-            .record_sessions
-            .then(|| RecordedTrace::new(hello.num_sites as usize)),
-        slice: config,
-        program,
-        child_ctx,
-        _span: span,
-    }))
 }

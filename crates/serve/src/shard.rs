@@ -1,0 +1,1207 @@
+//! Shard event loops: each shard owns `1/N` of the daemon's connections
+//! (assigned by session id) on one thread, multiplexing them with
+//! nonblocking sockets and a [`poll`](crate::poll) readiness loop instead
+//! of a thread per connection.
+//!
+//! A shard's tick: drain the inbox of newly accepted sockets, poll for
+//! readiness, then for each connection read whatever the kernel has, feed
+//! it through the incremental [`FrameDecoder`], handle complete frames
+//! (queueing replies into a per-connection out-buffer), pump any watch
+//! subscriber's drift queue, and flush the out-buffer until `WouldBlock`.
+//! Finally it sweeps idle connections (replacing the old GC thread) and
+//! updates its per-shard gauges.
+//!
+//! Admission is tiered per shard: sessions are accepted with full service
+//! while the shard's resident recorded-trace bytes sit below half its
+//! memory budget, admitted *degraded* (no recording, streaming verdicts
+//! still flow) above that watermark, and shed with `Busy` + a retry-after
+//! hint at the full budget. Recorded sessions spill to disk segments via
+//! [`SessionTrace`] so residency stays bounded regardless of session
+//! length.
+//!
+//! Compute connections (`SubmitJob`/`CacheQuery`) don't fit an event loop
+//! — pool workers reply from their own threads — so the shard detaches
+//! them: the socket flips back to blocking and a dedicated thread runs the
+//! same compute loop as before, with any bytes the shard over-read handed
+//! along.
+
+use crate::compute::SharedWriter;
+use crate::poll::{self, Interest};
+use crate::server::{detach_program, publish_drift, ProgramSession, Shared};
+use crate::spill::SessionTrace;
+use crate::wire::{
+    codes, AdmissionTier, ClientFrame, FrameDecoder, Hello, ServerFrame, MAX_SITES,
+    PROTOCOL_VERSION,
+};
+use bpred::BranchPredictor;
+use btrace::SiteId;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
+use twodprof_obs::trace::{self, Span, TraceContext};
+use twodprof_stream::DriftEvent;
+
+/// Readiness-loop tick: the ceiling on how long a shard sleeps when no
+/// socket is ready. Bounds inbox pickup and watch-push latency.
+const POLL_TICK: Duration = Duration::from_millis(10);
+
+/// Per-connection, per-tick ceiling on bytes pulled off the socket, so one
+/// fire-hose session cannot starve its shard siblings. A readable socket
+/// keeps the next poll from sleeping, so this caps latency, not
+/// throughput.
+const MAX_READ_PER_TICK: usize = 4 << 20;
+
+/// State shared between a shard's event loop, the accept loop that feeds
+/// it, and admission decisions made on other threads.
+pub(crate) struct ShardState {
+    pub(crate) index: usize,
+    /// Newly accepted sockets, pushed by the accept loop with their
+    /// connection id, drained by the shard's loop each tick.
+    pub(crate) inbox: Mutex<Vec<(u64, TcpStream)>>,
+    /// Resident bytes of this shard's recorded session traces — the input
+    /// to tiered admission.
+    pub(crate) resident_bytes: AtomicU64,
+    /// Bytes this shard's sessions currently hold in spill segments.
+    pub(crate) spilled_bytes: AtomicU64,
+    /// Sessions currently open on this shard.
+    pub(crate) sessions: AtomicUsize,
+}
+
+impl ShardState {
+    pub(crate) fn new(index: usize) -> Self {
+        Self {
+            index,
+            inbox: Mutex::new(Vec::new()),
+            resident_bytes: AtomicU64::new(0),
+            spilled_bytes: AtomicU64::new(0),
+            sessions: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Handles to a shard's gauges. Names are built per shard index, interned
+/// once, and registered straight on the registry (the `gauge!` macro's
+/// per-call-site cache would pin every shard to shard 0's names).
+struct ShardGauges {
+    sessions: &'static twodprof_obs::Gauge,
+    resident: &'static twodprof_obs::Gauge,
+    spilled: &'static twodprof_obs::Gauge,
+}
+
+impl ShardGauges {
+    fn register(index: usize) -> Self {
+        let reg = twodprof_obs::global();
+        Self {
+            sessions: reg.gauge(
+                twodprof_obs::intern_name(format!("serve_shard{index}_sessions")),
+                "Open sessions owned by this shard.",
+            ),
+            resident: reg.gauge(
+                twodprof_obs::intern_name(format!("serve_shard{index}_resident_bytes")),
+                "Resident recorded-trace bytes held by this shard's sessions.",
+            ),
+            spilled: reg.gauge(
+                twodprof_obs::intern_name(format!("serve_shard{index}_spilled_bytes")),
+                "Recorded-trace bytes this shard's sessions hold in spill segments.",
+            ),
+        }
+    }
+
+    fn publish(&self, shard: &ShardState) {
+        self.sessions
+            .set(shard.sessions.load(Ordering::Relaxed) as i64);
+        self.resident
+            .set(shard.resident_bytes.load(Ordering::Relaxed) as i64);
+        self.spilled
+            .set(shard.spilled_bytes.load(Ordering::Relaxed) as i64);
+    }
+}
+
+/// One live profiling session (between `Hello` and `Finish`).
+struct LiveSession {
+    profiler: TwoDProfiler<Box<dyn BranchPredictor>>,
+    num_sites: u32,
+    events: u64,
+    /// The session's spillable branch-stream recording, present when the
+    /// daemon records sessions and admission granted full service.
+    recorded: Option<SessionTrace>,
+    /// Resident/spilled bytes last folded into the shard accounting, so
+    /// per-frame updates are deltas, not rescans.
+    resident_last: u64,
+    spilled_last: u64,
+    /// The session's slice geometry, reused verbatim for re-simulations.
+    slice: SliceConfig,
+    /// Attachment to the shared per-program streaming profiler, when the
+    /// session's `Hello` named a program.
+    program: Option<ProgramSession>,
+    /// Admission tier the session was granted (Accept or Degrade).
+    tier: AdmissionTier,
+    /// Context per-frame spans attach under.
+    child_ctx: TraceContext,
+    /// Covers the whole Hello→Finish (or abort) window; records itself
+    /// into the trace collector when the session is dropped.
+    _span: Span,
+}
+
+/// One multiplexed connection owned by a shard.
+struct Conn {
+    stream: TcpStream,
+    fd: i32,
+    decoder: FrameDecoder,
+    /// Reply bytes not yet accepted by the kernel; `out_pos` is the sent
+    /// prefix.
+    out: Vec<u8>,
+    out_pos: usize,
+    last_seen: Instant,
+    conn_ctx: TraceContext,
+    session: Option<Box<LiveSession>>,
+    /// Set when the connection became a watch subscription: the shard
+    /// pumps the queue into `out` and stops decoding client frames.
+    watch: Option<Arc<crate::server::Subscriber>>,
+    /// A job frame that must move this connection to the compute path;
+    /// set by `handle_frame`, consumed by `process_frames`.
+    pending_detach: Option<ClientFrame>,
+    /// Server-initiated goodbye: flush `out`, then close.
+    closing: bool,
+    /// Peer closed its write side.
+    eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        #[cfg(unix)]
+        let fd = {
+            use std::os::fd::AsRawFd;
+            stream.as_raw_fd()
+        };
+        #[cfg(not(unix))]
+        let fd = 0;
+        Self {
+            stream,
+            fd,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            last_seen: Instant::now(),
+            conn_ctx: TraceContext::NONE,
+            session: None,
+            watch: None,
+            pending_detach: None,
+            closing: false,
+            eof: false,
+        }
+    }
+
+    fn out_pending(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+}
+
+fn push_frame(out: &mut Vec<u8>, frame: &ServerFrame) {
+    frame.write_to(out).expect("vec write");
+}
+
+fn push_error(out: &mut Vec<u8>, code: u64, msg: String) {
+    push_frame(out, &ServerFrame::Error { code, msg });
+}
+
+/// What to do with a connection after servicing it this tick.
+enum Fate {
+    Keep,
+    /// Tear the connection down (flushing was already attempted).
+    Close,
+    /// Hand the connection off to a blocking compute thread, starting
+    /// with this already-decoded frame.
+    Detach(ClientFrame),
+}
+
+/// Applies a resident/spilled byte delta to a shard total.
+fn apply_delta(total: &AtomicU64, old: u64, new: u64) {
+    if new >= old {
+        total.fetch_add(new - old, Ordering::Relaxed);
+    } else {
+        total.fetch_sub(old - new, Ordering::Relaxed);
+    }
+}
+
+/// The shard thread body: multiplexes this shard's connections until
+/// shutdown has drained them all.
+pub(crate) fn shard_loop(shared: &Arc<Shared>, shard: &Arc<ShardState>) {
+    let gauges = ShardGauges::register(shard.index);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut scratch_ids: Vec<u64> = Vec::new();
+    loop {
+        // intake newly accepted sockets
+        {
+            let mut inbox = shard.inbox.lock().expect("shard inbox");
+            for (id, stream) in inbox.drain(..) {
+                stream.set_nodelay(true).ok();
+                if stream.set_nonblocking(true).is_err() {
+                    shared.conn_gone();
+                    continue;
+                }
+                conns.insert(id, Conn::new(stream));
+            }
+        }
+        let draining = shared.is_draining();
+        if draining && conns.is_empty() && shared.accept_stopped() {
+            // re-check the inbox under its lock: the accept loop stopped,
+            // but a socket may have landed between our drain and its exit
+            if shard.inbox.lock().expect("shard inbox").is_empty() {
+                break;
+            }
+            continue;
+        }
+
+        scratch_ids.clear();
+        scratch_ids.extend(conns.keys().copied());
+        scratch_ids.sort_unstable();
+        let interests: Vec<Interest> = scratch_ids
+            .iter()
+            .map(|id| {
+                let c = &conns[id];
+                Interest {
+                    fd: c.fd,
+                    read: true,
+                    write: c.out_pending(),
+                }
+            })
+            .collect();
+        let ready = poll::wait(&interests, POLL_TICK);
+        let force = shared.force_closing();
+
+        for (i, &id) in scratch_ids.iter().enumerate() {
+            let conn = conns.get_mut(&id).expect("conn");
+            let readable = ready.get(i).is_none_or(|r| r.read);
+            let tick = Tick {
+                readable,
+                // output produced *this* tick was not registered for write
+                // interest, so attempt it optimistically; backlogged output
+                // waits for the kernel to report writability
+                writable: !interests[i].write || ready.get(i).is_none_or(|r| r.write),
+                draining,
+                force,
+            };
+            let fate = service_conn(shared, shard, id, conn, tick);
+            match fate {
+                Fate::Keep => {}
+                Fate::Close => {
+                    let conn = conns.remove(&id).expect("conn");
+                    teardown(shared, shard, id, conn);
+                }
+                Fate::Detach(first) => {
+                    let conn = conns.remove(&id).expect("conn");
+                    detach_compute(shared, id, conn, first);
+                }
+            }
+        }
+        gauges.publish(shard);
+    }
+    gauges.publish(shard);
+}
+
+/// One tick's view of a connection, as the shard loop observed it.
+#[derive(Clone, Copy)]
+struct Tick {
+    readable: bool,
+    writable: bool,
+    draining: bool,
+    force: bool,
+}
+
+/// Services one connection for one tick: read + decode + handle frames,
+/// pump the watch queue, flush the out-buffer, then decide its fate.
+fn service_conn(
+    shared: &Arc<Shared>,
+    shard: &Arc<ShardState>,
+    id: u64,
+    conn: &mut Conn,
+    tick: Tick,
+) -> Fate {
+    let mut io_dead = false;
+    if tick.readable && !conn.closing {
+        match read_available(conn) {
+            Ok(()) => {}
+            Err(e) => {
+                if conn.session.is_some() || e.kind() != io::ErrorKind::UnexpectedEof {
+                    shared.log(format_args!("conn {id}: {e}"));
+                }
+                io_dead = true;
+            }
+        }
+        if !io_dead && conn.watch.is_none() {
+            match process_frames(shared, shard, id, conn) {
+                Ok(Some(first)) => return Fate::Detach(first),
+                Ok(None) => {}
+                Err(e) => {
+                    shared.log(format_args!("conn {id}: {e}"));
+                    conn.closing = true;
+                }
+            }
+        }
+    }
+
+    if let Some(sub) = conn.watch.clone() {
+        pump_watch(shared, conn, &sub, tick.draining);
+    }
+
+    if conn.out_pending() && tick.writable {
+        if let Err(e) = flush_out(conn) {
+            shared.log(format_args!("conn {id}: write failed: {e}"));
+            io_dead = true;
+        }
+    }
+
+    if tick.force || io_dead {
+        return Fate::Close;
+    }
+    if conn.eof && !conn.out_pending() {
+        // peer finished sending and anything we owed it has been flushed
+        return Fate::Close;
+    }
+    if conn.closing && !conn.out_pending() {
+        return Fate::Close;
+    }
+    if conn.last_seen.elapsed() > shared.config.limits.idle_timeout {
+        shared.log(format_args!("conn {id}: idle timeout, reaping"));
+        twodprof_obs::counter!(
+            "serve_sessions_reaped_total",
+            "Connections reaped by the idle-timeout sweep."
+        )
+        .inc();
+        return Fate::Close;
+    }
+    Fate::Keep
+}
+
+/// Reads until `WouldBlock`, EOF, or the per-tick fairness cap, feeding
+/// the incremental decoder. Watch connections discard the bytes instead —
+/// their frames were never read in the thread-per-connection design
+/// either, and decoding them would change that contract.
+fn read_available(conn: &mut Conn) -> io::Result<()> {
+    let mut buf = [0u8; 16 * 1024];
+    let mut total = 0usize;
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.eof = true;
+                return Ok(());
+            }
+            Ok(n) => {
+                conn.last_seen = Instant::now();
+                if conn.watch.is_none() {
+                    conn.decoder.push(&buf[..n]);
+                }
+                total += n;
+                if total >= MAX_READ_PER_TICK {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Decodes and handles every complete frame the decoder holds. Returns a
+/// frame to detach on (compute handoff), `Ok(None)` to continue, or the
+/// error that should close the connection (after queueing a reply where
+/// the old blocking loop did).
+fn process_frames(
+    shared: &Arc<Shared>,
+    shard: &Arc<ShardState>,
+    id: u64,
+    conn: &mut Conn,
+) -> io::Result<Option<ClientFrame>> {
+    loop {
+        if conn.closing {
+            return Ok(None);
+        }
+        let frame = match conn.decoder.next_client() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(None),
+            Err(e) => {
+                twodprof_obs::counter!(
+                    "serve_frame_decode_errors_total",
+                    "Client frames that failed to decode."
+                )
+                .inc();
+                if e.kind() == io::ErrorKind::InvalidData {
+                    push_error(&mut conn.out, codes::BAD_FRAME, format!("bad frame: {e}"));
+                }
+                conn.closing = true;
+                return Err(e);
+            }
+        };
+        conn.last_seen = Instant::now();
+        handle_frame(shared, shard, id, conn, frame)?;
+        if conn.watch.is_some() {
+            // subscription established: later bytes are ignored, not frames
+            return Ok(None);
+        }
+        if let Some(first) = take_pending_detach(conn) {
+            return Ok(Some(first));
+        }
+    }
+}
+
+/// Slot for a frame that must detach the connection to the compute path;
+/// set by `handle_frame`, consumed by `process_frames`.
+fn take_pending_detach(conn: &mut Conn) -> Option<ClientFrame> {
+    conn.pending_detach.take()
+}
+
+/// Handles one decoded frame, mirroring the session state machine of the
+/// original blocking loop frame for frame.
+fn handle_frame(
+    shared: &Arc<Shared>,
+    shard: &Arc<ShardState>,
+    id: u64,
+    conn: &mut Conn,
+    frame: ClientFrame,
+) -> io::Result<()> {
+    // Adopt a TraceCtx before opening its own frame span, so even that
+    // first span lands in the client's trace.
+    if let ClientFrame::TraceCtx { trace, parent } = &frame {
+        conn.conn_ctx = TraceContext {
+            trace: *trace,
+            parent: *parent,
+        };
+    }
+    let frame_ctx = conn
+        .session
+        .as_ref()
+        .map(|live| live.child_ctx)
+        .unwrap_or(conn.conn_ctx);
+    let _ctx_guard = frame_ctx.is_active().then(|| trace::attach(frame_ctx));
+    let _frame_span = twodprof_obs::span!(crate::server::frame_name(&frame));
+    match frame {
+        ClientFrame::Hello(hello) => {
+            if conn.session.is_some() {
+                push_error(&mut conn.out, codes::BAD_STATE, "duplicate Hello".into());
+                conn.closing = true;
+                return Ok(());
+            }
+            match admit(shared, shard, id, &hello, conn.conn_ctx) {
+                Admission::Accept(live) => {
+                    let tier = live.tier;
+                    conn.session = Some(live);
+                    shard.sessions.fetch_add(1, Ordering::Relaxed);
+                    shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                    twodprof_obs::counter!(
+                        "serve_sessions_opened_total",
+                        "Sessions that completed Hello."
+                    )
+                    .inc();
+                    push_frame(
+                        &mut conn.out,
+                        &ServerFrame::HelloOk {
+                            session_id: id,
+                            tier,
+                        },
+                    );
+                }
+                Admission::Busy(msg) => {
+                    shared.log(format_args!("conn {id}: busy ({msg})"));
+                    twodprof_obs::counter!(
+                        "serve_sessions_busy_rejected_total",
+                        "Hellos refused with Busy (table full, over budget, or draining)."
+                    )
+                    .inc();
+                    twodprof_obs::counter!(
+                        "serve_admit_shed_total",
+                        "Sessions refused by tiered admission control."
+                    )
+                    .inc();
+                    push_frame(
+                        &mut conn.out,
+                        &ServerFrame::Busy {
+                            msg,
+                            tier: AdmissionTier::Shed,
+                            retry_after_ms: shared.config.limits.retry_after.as_millis() as u64,
+                        },
+                    );
+                    conn.closing = true;
+                }
+                Admission::Reject(code, msg) => {
+                    shared.log(format_args!("conn {id}: bad hello ({msg})"));
+                    push_error(&mut conn.out, code, msg);
+                    conn.closing = true;
+                }
+            }
+        }
+        ClientFrame::Events(events) => {
+            let Some(live) = conn.session.as_mut() else {
+                push_error(
+                    &mut conn.out,
+                    codes::BAD_STATE,
+                    "Events before Hello".into(),
+                );
+                conn.closing = true;
+                return Ok(());
+            };
+            let n = events.len() as u64;
+            if live.events.saturating_add(n) > shared.config.limits.max_events_per_session {
+                // explicit backpressure: refuse the batch, close the
+                // session (the abort accounting happens in teardown)
+                twodprof_obs::counter!(
+                    "serve_sessions_busy_rejected_total",
+                    "Hellos refused with Busy (table full, over budget, or draining)."
+                )
+                .inc();
+                push_frame(
+                    &mut conn.out,
+                    &ServerFrame::Busy {
+                        msg: format!(
+                            "event limit {} exceeded",
+                            shared.config.limits.max_events_per_session
+                        ),
+                        tier: AdmissionTier::Shed,
+                        retry_after_ms: 0,
+                    },
+                );
+                conn.closing = true;
+                return Ok(());
+            }
+            if let Some(&(site, _)) = events.iter().find(|&&(site, _)| site >= live.num_sites) {
+                push_error(
+                    &mut conn.out,
+                    codes::SITE_RANGE,
+                    format!("site {site} outside table of {}", live.num_sites),
+                );
+                conn.closing = true;
+                return Ok(());
+            }
+            match live.program.as_mut() {
+                // Streaming sessions iterate in chunks bounded by the
+                // open epoch's remaining capacity, so the per-event
+                // streaming cost is two counter adds — the slice
+                // bookkeeping settles once per chunk.
+                Some(ps) => {
+                    let mut rest = &events[..];
+                    while !rest.is_empty() {
+                        let take = (ps.ingest.slice_remaining() as usize).min(rest.len());
+                        for &(site, taken) in &rest[..take] {
+                            let correct = live.profiler.branch_outcome(SiteId(site), taken);
+                            ps.ingest.tally(SiteId(site), correct);
+                            if let Some(rec) = live.recorded.as_mut() {
+                                rec.branch(SiteId(site), taken);
+                            }
+                        }
+                        ps.ingest.advance(take as u64);
+                        rest = &rest[take..];
+                    }
+                }
+                None => {
+                    for &(site, taken) in &events {
+                        live.profiler.branch_outcome(SiteId(site), taken);
+                        if let Some(rec) = live.recorded.as_mut() {
+                            rec.branch(SiteId(site), taken);
+                        }
+                    }
+                }
+            }
+            live.events += n;
+            shared.events_ingested.fetch_add(n, Ordering::Relaxed);
+            twodprof_obs::counter!(
+                "serve_events_total",
+                "Branch events ingested across all sessions."
+            )
+            .add(n);
+            // spill the recording tail if it crossed the threshold, then
+            // fold the resident/spilled deltas into the shard accounting
+            if let Some(rec) = live.recorded.as_mut() {
+                match rec.maybe_spill() {
+                    Ok(0) => {}
+                    Ok(bytes) => {
+                        twodprof_obs::counter!(
+                            "serve_spill_segments_total",
+                            "Session recording segments spilled to disk."
+                        )
+                        .inc();
+                        twodprof_obs::counter!(
+                            "serve_spill_bytes_total",
+                            "Bytes of session recordings spilled to disk."
+                        )
+                        .add(bytes);
+                    }
+                    Err(e) => shared.log(format_args!(
+                        "conn {id}: spill failed ({e}); keeping the session resident"
+                    )),
+                }
+                let resident = rec.resident_bytes();
+                let spilled = rec.spilled_bytes();
+                apply_delta(&shard.resident_bytes, live.resident_last, resident);
+                apply_delta(&shard.spilled_bytes, live.spilled_last, spilled);
+                live.resident_last = resident;
+                live.spilled_last = spilled;
+            }
+            // hand completed epochs to the program's shared profiler and
+            // fan out any drift its folds confirmed
+            if let Some(ps) = live.program.as_mut() {
+                if ps.ingest.pending_epochs() > 0 {
+                    let mut drift = Vec::new();
+                    {
+                        let mut profiler = ps.stream.profiler.lock().expect("stream profiler");
+                        if let Some(p) = profiler.as_mut() {
+                            p.ingest(&mut ps.ingest, &mut drift);
+                        }
+                    }
+                    if !drift.is_empty() {
+                        publish_drift(shared, &ps.stream, &drift);
+                    }
+                }
+            }
+        }
+        ClientFrame::Flush => {
+            let Some(live) = conn.session.as_ref() else {
+                push_error(&mut conn.out, codes::BAD_STATE, "Flush before Hello".into());
+                conn.closing = true;
+                return Ok(());
+            };
+            push_frame(
+                &mut conn.out,
+                &ServerFrame::Ack {
+                    events_total: live.events,
+                },
+            );
+        }
+        ClientFrame::Finish => {
+            let Some(mut live) = conn.session.take() else {
+                push_error(
+                    &mut conn.out,
+                    codes::BAD_STATE,
+                    "Finish before Hello".into(),
+                );
+                conn.closing = true;
+                return Ok(());
+            };
+            if let Some(ps) = live.program.take() {
+                detach_program(shared, ps);
+            }
+            release_session_accounting(shared, shard, &mut live);
+            shared.sessions_finished.fetch_add(1, Ordering::Relaxed);
+            twodprof_obs::counter!(
+                "serve_sessions_finished_total",
+                "Sessions that ran to Finish and received a report."
+            )
+            .inc();
+            if live.recorded.is_some() {
+                twodprof_obs::counter!(
+                    "trace_record_total",
+                    "Branch streams recorded from live workload runs."
+                )
+                .inc();
+            }
+            let events = live.events;
+            let report = live.profiler.finish(Thresholds::paper());
+            shared.log(format_args!(
+                "conn {id}: session finished, {events} event(s), {} site(s)",
+                report.num_sites()
+            ));
+            push_frame(&mut conn.out, &ServerFrame::Report(report.to_bytes()));
+            conn.closing = true;
+        }
+        ClientFrame::Stats => {
+            // valid in any state; replies and keeps the connection going
+            let snapshot = twodprof_obs::global().snapshot();
+            push_frame(&mut conn.out, &ServerFrame::StatsReply(snapshot.to_bytes()));
+        }
+        ClientFrame::Resim(kind) => {
+            let Some(live) = conn.session.as_ref() else {
+                push_error(&mut conn.out, codes::BAD_STATE, "Resim before Hello".into());
+                conn.closing = true;
+                return Ok(());
+            };
+            let Some(rec) = live.recorded.as_ref() else {
+                let msg = if live.tier == AdmissionTier::Degrade {
+                    "session was admitted degraded (memory pressure); recording disabled"
+                } else {
+                    "session recording is disabled on this daemon"
+                };
+                push_error(&mut conn.out, codes::BAD_STATE, msg.into());
+                conn.closing = true;
+                return Ok(());
+            };
+            let mut profiler = TwoDProfiler::new(live.num_sites as usize, kind.build(), live.slice);
+            if let Err(e) = rec.replay_into(&mut profiler) {
+                push_error(
+                    &mut conn.out,
+                    codes::BAD_STATE,
+                    format!("recorded segments unreadable: {e}"),
+                );
+                conn.closing = true;
+                return Ok(());
+            }
+            let report = profiler.finish(Thresholds::paper());
+            twodprof_obs::counter!(
+                "trace_replay_total",
+                "Simulations served by replaying a recorded trace."
+            )
+            .inc();
+            shared.log(format_args!(
+                "conn {id}: resimulated {} event(s) under {kind}",
+                rec.events()
+            ));
+            // the session stays open: more events or further resims may
+            // follow before Finish
+            push_frame(&mut conn.out, &ServerFrame::Report(report.to_bytes()));
+        }
+        ClientFrame::TraceCtx { .. } => {
+            // conn_ctx was adopted above, before the frame span opened;
+            // reply with our trace clock so the client can align the
+            // two processes' epochs from one round trip
+            push_frame(
+                &mut conn.out,
+                &ServerFrame::TraceAck {
+                    anchor_us: trace::now_micros(),
+                },
+            );
+        }
+        ClientFrame::TraceExport { trace: trace_id } => {
+            // sessionless, like Stats: drain every ring (including those
+            // of finished threads) and ship whatever this daemon recorded
+            // for the requested trace
+            let spans = trace::collector().collect_trace(trace_id);
+            let bytes = trace::encode_spans(trace_id, &spans);
+            push_frame(&mut conn.out, &ServerFrame::TraceSpans(bytes));
+        }
+        ClientFrame::Subscribe { program, watch } => {
+            if watch && conn.session.is_some() {
+                push_error(
+                    &mut conn.out,
+                    codes::BAD_STATE,
+                    "watch is not allowed on a session connection".into(),
+                );
+                conn.closing = true;
+                return Ok(());
+            }
+            let stream = shared
+                .programs
+                .lock()
+                .expect("program table")
+                .get(&program)
+                .cloned();
+            let Some(stream) = stream else {
+                push_error(
+                    &mut conn.out,
+                    codes::BAD_STATE,
+                    format!("unknown program {program:?}"),
+                );
+                conn.closing = true;
+                return Ok(());
+            };
+            let snapshot = shared.program_snapshot(&stream);
+            push_frame(
+                &mut conn.out,
+                &ServerFrame::VerdictSnapshot(snapshot.to_bytes()),
+            );
+            if watch {
+                let sub = Arc::new(crate::server::Subscriber::default());
+                stream
+                    .subscribers
+                    .lock()
+                    .expect("subscriber list")
+                    .push(sub.clone());
+                shared.log(format_args!("conn {id}: watching program {program:?}"));
+                conn.watch = Some(sub);
+            }
+        }
+        frame @ (ClientFrame::SubmitJob { .. } | ClientFrame::CacheQuery { .. }) => {
+            if conn.session.is_some() {
+                push_error(
+                    &mut conn.out,
+                    codes::BAD_STATE,
+                    "job frames are not allowed on a session connection".into(),
+                );
+                conn.closing = true;
+                return Ok(());
+            }
+            if shared.compute.is_none() {
+                push_error(
+                    &mut conn.out,
+                    codes::BAD_STATE,
+                    "compute service is disabled on this daemon".into(),
+                );
+                conn.closing = true;
+                return Ok(());
+            }
+            // hand the connection (and this first frame) to a blocking
+            // compute thread, which owns a sharable writer so pool
+            // workers can reply out of order
+            conn.pending_detach = Some(frame);
+        }
+    }
+    Ok(())
+}
+
+/// Drains a watch subscriber's drift queue into the out-buffer; sheds the
+/// watcher with `Busy` on overflow and closes it cleanly once the daemon
+/// is draining (after the queue is empty and no session can publish more).
+fn pump_watch(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    sub: &crate::server::Subscriber,
+    draining: bool,
+) {
+    let events: Vec<DriftEvent> = {
+        let mut q = sub.queue.lock().expect("subscriber queue");
+        if q.shed && !conn.closing {
+            push_frame(
+                &mut conn.out,
+                &ServerFrame::Busy {
+                    msg: "subscriber lagging; drift events dropped".into(),
+                    tier: AdmissionTier::Shed,
+                    retry_after_ms: 0,
+                },
+            );
+            q.closed = true;
+            conn.closing = true;
+            return;
+        }
+        q.events.drain(..).collect()
+    };
+    for event in &events {
+        push_frame(&mut conn.out, &ServerFrame::DriftEvent(event.to_bytes()));
+    }
+    // an event-less watcher is idle on purpose
+    conn.last_seen = Instant::now();
+    if draining && !conn.closing && shared.live_sessions.load(Ordering::SeqCst) == 0 {
+        // every publisher is gone (Finish publishes before releasing its
+        // session slot, so live == 0 means no more drift is coming):
+        // close the subscription cleanly — the watcher sees EOF
+        sub.queue.lock().expect("subscriber queue").closed = true;
+        conn.closing = true;
+    }
+}
+
+/// Writes the out-buffer until done or `WouldBlock`.
+fn flush_out(conn: &mut Conn) -> io::Result<()> {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    if conn.out_pos == conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+    } else if conn.out_pos >= (1 << 16) {
+        conn.out.drain(..conn.out_pos);
+        conn.out_pos = 0;
+    }
+    Ok(())
+}
+
+/// Removes a connection: aborts any open session (with the same
+/// accounting as the old per-connection teardown), marks any subscriber
+/// closed, and shuts the socket.
+fn teardown(shared: &Arc<Shared>, shard: &Arc<ShardState>, id: u64, mut conn: Conn) {
+    if let Some(mut live) = conn.session.take() {
+        // the connection ended with a session still open: disconnect,
+        // idle reap, or a protocol error — drop the profiler, account
+        if let Some(ps) = live.program.take() {
+            detach_program(shared, ps);
+        }
+        release_session_accounting(shared, shard, &mut live);
+        shared.sessions_aborted.fetch_add(1, Ordering::SeqCst);
+        twodprof_obs::counter!(
+            "serve_sessions_aborted_total",
+            "Sessions dropped before Finish (disconnect, error, reap, limit)."
+        )
+        .inc();
+        shared.log(format_args!(
+            "conn {id}: session dropped after {} event(s)",
+            live.events
+        ));
+    }
+    if let Some(sub) = conn.watch.take() {
+        sub.queue.lock().expect("subscriber queue").closed = true;
+    }
+    let _ = conn.stream.shutdown(Shutdown::Both);
+    shared.conn_gone();
+}
+
+/// Releases a session's slot and folds its memory accounting out of the
+/// shard totals. Shared by the Finish and abort paths.
+fn release_session_accounting(
+    shared: &Arc<Shared>,
+    shard: &Arc<ShardState>,
+    live: &mut LiveSession,
+) {
+    apply_delta(&shard.resident_bytes, live.resident_last, 0);
+    apply_delta(&shard.spilled_bytes, live.spilled_last, 0);
+    live.resident_last = 0;
+    live.spilled_last = 0;
+    shard.sessions.fetch_sub(1, Ordering::Relaxed);
+    shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Hands a sessionless connection to the blocking compute loop: flip the
+/// socket back to blocking, flush anything still queued, and spawn the
+/// dedicated thread the compute pool's out-of-order replies need. Bytes
+/// the shard over-read are chained ahead of the socket.
+fn detach_compute(shared: &Arc<Shared>, id: u64, conn: Conn, first: ClientFrame) {
+    let Conn {
+        stream,
+        decoder,
+        out,
+        out_pos,
+        last_seen,
+        ..
+    } = conn;
+    let leftover = decoder.into_rest();
+    let shared = shared.clone();
+    let spawn = (|| -> io::Result<()> {
+        stream.set_nonblocking(false)?;
+        if out_pos < out.len() {
+            let mut w = &stream;
+            w.write_all(&out[out_pos..])?;
+        }
+        let reader_stream = stream.try_clone()?;
+        let last_seen = Arc::new(Mutex::new(last_seen));
+        shared.detached.lock().expect("detached table").insert(
+            id,
+            crate::server::ConnEntry {
+                stream: stream.try_clone()?,
+                last_seen: last_seen.clone(),
+            },
+        );
+        let shared2 = shared.clone();
+        thread::Builder::new()
+            .name(format!("twodprofd-compute-conn-{id}"))
+            .spawn(move || {
+                let mut reader = io::Cursor::new(leftover).chain(BufReader::new(reader_stream));
+                let writer = BufWriter::new(stream);
+                let result = compute_conn(&shared2, id, &mut reader, writer, first, &last_seen);
+                shared2.detached.lock().expect("detached table").remove(&id);
+                shared2.conn_gone();
+                if let Err(e) = result {
+                    shared2.log(format_args!("conn {id}: {e}"));
+                }
+            })?;
+        Ok(())
+    })();
+    if let Err(e) = spawn {
+        shared.log(format_args!("conn {id}: compute handoff failed: {e}"));
+        shared.detached.lock().expect("detached table").remove(&id);
+        shared.conn_gone();
+    }
+}
+
+/// Serves a fabric client's connection after its first job frame: submits
+/// jobs to the compute pool, answers cache queries inline, and keeps
+/// `Stats` working. Replies share the socket through a mutex-guarded
+/// writer because pool workers finish jobs out of submission order.
+fn compute_conn<R: Read>(
+    shared: &Arc<Shared>,
+    id: u64,
+    reader: &mut R,
+    writer: BufWriter<TcpStream>,
+    first: ClientFrame,
+    last_seen: &Arc<Mutex<Instant>>,
+) -> io::Result<()> {
+    let pool = shared.compute.as_ref().expect("compute enabled").clone();
+    shared.log(format_args!("conn {id}: fabric compute channel opened"));
+    let writer: SharedWriter = Arc::new(Mutex::new(writer));
+    let send = |w: &mut BufWriter<TcpStream>, frame: &ServerFrame| -> io::Result<()> {
+        frame.write_to(w)?;
+        w.flush()
+    };
+    let mut pending = Some(first);
+    loop {
+        let frame = match pending.take() {
+            Some(frame) => frame,
+            None => match ClientFrame::read_from(reader) {
+                Ok(frame) => frame,
+                // clean goodbye; any jobs still queued reply into the void
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+                Err(e) => {
+                    if e.kind() == io::ErrorKind::InvalidData {
+                        twodprof_obs::counter!(
+                            "serve_frame_decode_errors_total",
+                            "Client frames that failed to decode."
+                        )
+                        .inc();
+                        let mut w = writer.lock().expect("compute writer");
+                        let _ = send(
+                            &mut w,
+                            &ServerFrame::Error {
+                                code: codes::BAD_FRAME,
+                                msg: format!("bad frame: {e}"),
+                            },
+                        );
+                    }
+                    return Err(e);
+                }
+            },
+        };
+        *last_seen.lock().expect("last_seen") = Instant::now();
+        let _frame_span = twodprof_obs::span!(crate::server::frame_name(&frame));
+        match frame {
+            ClientFrame::SubmitJob { job_id, spec } => {
+                pool.submit(job_id, spec, writer.clone(), last_seen.clone());
+            }
+            ClientFrame::CacheQuery { job_id, spec } => {
+                let result = pool.lookup(&spec);
+                let mut w = writer.lock().expect("compute writer");
+                send(&mut w, &ServerFrame::CacheReply { job_id, result })?;
+            }
+            ClientFrame::Stats => {
+                let snapshot = twodprof_obs::global().snapshot();
+                let mut w = writer.lock().expect("compute writer");
+                send(&mut w, &ServerFrame::StatsReply(snapshot.to_bytes()))?;
+            }
+            other => {
+                let mut w = writer.lock().expect("compute writer");
+                return send(
+                    &mut w,
+                    &ServerFrame::Error {
+                        code: codes::BAD_STATE,
+                        msg: format!(
+                            "{} is not allowed on a compute channel",
+                            crate::server::frame_name(&other)
+                        ),
+                    },
+                );
+            }
+        }
+    }
+}
+
+enum Admission {
+    Accept(Box<LiveSession>),
+    Busy(String),
+    Reject(u64, String),
+}
+
+/// Validates a `Hello` and applies tiered admission: protocol checks, the
+/// global session-table slot, then the shard's memory-budget tiering.
+/// `ctx` is the connection's announced trace context; the session span
+/// joins it (or starts a fresh trace when none was sent).
+fn admit(
+    shared: &Arc<Shared>,
+    shard: &Arc<ShardState>,
+    id: u64,
+    hello: &Hello,
+    ctx: TraceContext,
+) -> Admission {
+    if hello.protocol != PROTOCOL_VERSION {
+        return Admission::Reject(
+            codes::PROTOCOL,
+            format!(
+                "protocol {} unsupported (server speaks {PROTOCOL_VERSION})",
+                hello.protocol
+            ),
+        );
+    }
+    if hello.num_sites == 0 || hello.num_sites > MAX_SITES {
+        return Admission::Reject(
+            codes::BAD_HELLO,
+            format!("num_sites {} outside 1..={MAX_SITES}", hello.num_sites),
+        );
+    }
+    if hello.slice_len == 0 || hello.exec_threshold >= hello.slice_len {
+        return Admission::Reject(
+            codes::BAD_HELLO,
+            format!(
+                "invalid slice config (len {}, threshold {})",
+                hello.slice_len, hello.exec_threshold
+            ),
+        );
+    }
+    if shared.is_draining() {
+        return Admission::Busy("daemon is shutting down".into());
+    }
+    // atomically claim a session slot
+    let claimed = shared
+        .live_sessions
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+            (cur < shared.config.limits.max_sessions).then_some(cur + 1)
+        });
+    if claimed.is_err() {
+        return Admission::Busy(format!(
+            "session table full ({} sessions)",
+            shared.config.limits.max_sessions
+        ));
+    }
+    // tiered admission against the shard's memory budget: full service
+    // below the degrade watermark (half the budget), recording disabled
+    // up to the budget, shed beyond it
+    let mut tier = AdmissionTier::Accept;
+    if shared.config.record_sessions {
+        let budget = shared.config.shards.memory_budget as u64;
+        let resident = shard.resident_bytes.load(Ordering::Relaxed);
+        if resident >= budget {
+            shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
+            return Admission::Busy(format!(
+                "shard {} memory budget exhausted ({resident} of {budget} bytes resident)",
+                shard.index
+            ));
+        }
+        if resident >= budget / 2 {
+            tier = AdmissionTier::Degrade;
+        }
+    }
+    let program = if hello.program.is_empty() {
+        None
+    } else {
+        match shared.join_program(&hello.program, hello.num_sites) {
+            Ok(ps) => Some(ps),
+            Err(msg) => {
+                // release the session slot claimed above
+                shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
+                return Admission::Reject(codes::BAD_HELLO, msg);
+            }
+        }
+    };
+    match tier {
+        AdmissionTier::Degrade => {
+            twodprof_obs::counter!(
+                "serve_admit_degrade_total",
+                "Sessions admitted without recording (shard over its degrade watermark)."
+            )
+            .inc();
+        }
+        _ => {
+            twodprof_obs::counter!(
+                "serve_admit_accept_total",
+                "Sessions admitted with full service."
+            )
+            .inc();
+        }
+    }
+    let config = SliceConfig::new(hello.slice_len, hello.exec_threshold);
+    let span = Span::child_of(ctx, "serve.session");
+    let child_ctx = span.context();
+    let recorded = (shared.config.record_sessions && tier == AdmissionTier::Accept).then(|| {
+        SessionTrace::new(
+            hello.num_sites as usize,
+            id,
+            shared.config.shards.spill_threshold,
+            shared.spill_dir.clone(),
+        )
+    });
+    Admission::Accept(Box::new(LiveSession {
+        profiler: TwoDProfiler::new(hello.num_sites as usize, hello.predictor.build(), config),
+        num_sites: hello.num_sites,
+        events: 0,
+        recorded,
+        resident_last: 0,
+        spilled_last: 0,
+        slice: config,
+        program,
+        tier,
+        child_ctx,
+        _span: span,
+    }))
+}

@@ -35,9 +35,14 @@
 //!             | 0x85 error | 0x86 stats-reply | 0x87 trace-ack
 //!             | 0x88 trace-spans | 0x89 stream-push | 0x8A job-result
 //!             | 0x8B cache-reply
-//! hello-ok   := varint(session_id)
+//! hello-ok   := varint(session_id) [varint(tier)]
+//!                                                tier absent => 0 (accept);
+//!                                                1 = degraded admission
+//!                                                (recording disabled)
 //! ack        := varint(events_total)
-//! busy       := string(msg)
+//! busy       := string(msg) [varint(tier) varint(retry_after_ms)]
+//!                                                tail absent => shed with no
+//!                                                retry hint (old daemons)
 //! report     := bytes                            ProfileReport::write_to
 //! error      := varint(code) string(msg)
 //! stats-reply:= bytes                            twodprof_obs::Snapshot::write_to
@@ -145,6 +150,59 @@ const OUTCOME_TOO_LARGE: u8 = 0x03;
 /// Sub-tags inside a `0x89` stream-push frame.
 const PUSH_SNAPSHOT: u8 = 0x00;
 const PUSH_DRIFT: u8 = 0x01;
+
+/// How the daemon's admission control handled a session attempt.
+///
+/// Carried on the wire in two places, both as backward-compatible optional
+/// tails: `hello-ok` (Accept vs Degrade — a degraded session streams
+/// verdicts but has recording, and therefore `Resim`, disabled) and `busy`
+/// (always Shed today, with a retry-after hint).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AdmissionTier {
+    /// Full service: session recorded, `Resim` available.
+    Accept,
+    /// Admitted under memory pressure: the event stream is profiled and
+    /// (when the session names a program) folded into streaming verdicts,
+    /// but nothing is recorded server-side.
+    Degrade,
+    /// Refused: the session table is full, the shard's memory budget is
+    /// exhausted, or the daemon is draining.
+    Shed,
+}
+
+impl AdmissionTier {
+    fn as_u64(self) -> u64 {
+        match self {
+            AdmissionTier::Accept => 0,
+            AdmissionTier::Degrade => 1,
+            AdmissionTier::Shed => 2,
+        }
+    }
+
+    fn from_u64(v: u64) -> io::Result<Self> {
+        match v {
+            0 => Ok(AdmissionTier::Accept),
+            1 => Ok(AdmissionTier::Degrade),
+            2 => Ok(AdmissionTier::Shed),
+            other => Err(invalid(format!("unknown admission tier {other}"))),
+        }
+    }
+
+    /// Stable lowercase label (metric/log-friendly).
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionTier::Accept => "accept",
+            AdmissionTier::Degrade => "degrade",
+            AdmissionTier::Shed => "shed",
+        }
+    }
+}
+
+impl std::fmt::Display for AdmissionTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Session parameters announced by the client's first frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -278,18 +336,29 @@ pub enum ServerFrame {
     HelloOk {
         /// Server-assigned session identifier (for logs/diagnostics).
         session_id: u64,
+        /// How admission control classified the session: `Accept` for full
+        /// service, `Degrade` when the owning shard is over its memory
+        /// watermark and recording is disabled. Encoded as an optional
+        /// tail, absent for `Accept`, so old clients still parse it.
+        tier: AdmissionTier,
     },
     /// Reply to [`ClientFrame::Flush`].
     Ack {
         /// Total events the session has ingested.
         events_total: u64,
     },
-    /// Backpressure: the session table is full, the daemon is draining, or
-    /// the session hit its event-count limit. The connection closes after
-    /// this frame.
+    /// Backpressure: the session table is full, the shard is out of memory
+    /// budget, the daemon is draining, or the session hit its event-count
+    /// limit. The connection closes after this frame.
     Busy {
         /// Human-readable reason.
         msg: String,
+        /// Which admission tier refused the work (`Shed` for every refusal
+        /// today; encoded as an optional tail for compatibility).
+        tier: AdmissionTier,
+        /// Hint: milliseconds after which a retry is worth attempting.
+        /// `0` means "no hint" — absent on the wire from old daemons.
+        retry_after_ms: u64,
     },
     /// Reply to [`ClientFrame::Finish`]: the serialized
     /// [`ProfileReport`](twodprof_core::ProfileReport), byte-for-byte what
@@ -584,17 +653,31 @@ impl ServerFrame {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
-            ServerFrame::HelloOk { session_id } => {
+            ServerFrame::HelloOk { session_id, tier } => {
                 buf.push(TAG_HELLO_OK);
                 write_varint(&mut buf, *session_id).expect("vec write");
+                // optional tail: omitted for plain acceptance, so the frame
+                // stays byte-identical to protocol revisions without tiers
+                if *tier != AdmissionTier::Accept {
+                    write_varint(&mut buf, tier.as_u64()).expect("vec write");
+                }
             }
             ServerFrame::Ack { events_total } => {
                 buf.push(TAG_ACK);
                 write_varint(&mut buf, *events_total).expect("vec write");
             }
-            ServerFrame::Busy { msg } => {
+            ServerFrame::Busy {
+                msg,
+                tier,
+                retry_after_ms,
+            } => {
                 buf.push(TAG_BUSY);
                 write_string(&mut buf, msg);
+                // optional tail, omitted when it carries no information
+                if *tier != AdmissionTier::Shed || *retry_after_ms != 0 {
+                    write_varint(&mut buf, tier.as_u64()).expect("vec write");
+                    write_varint(&mut buf, *retry_after_ms).expect("vec write");
+                }
             }
             ServerFrame::Report(bytes) => {
                 buf.push(TAG_REPORT);
@@ -671,15 +754,34 @@ impl ServerFrame {
         let mut tag = [0u8; 1];
         r.read_exact(&mut tag)?;
         let frame = match tag[0] {
-            TAG_HELLO_OK => ServerFrame::HelloOk {
-                session_id: read_varint(&mut r)?,
-            },
+            TAG_HELLO_OK => {
+                let session_id = read_varint(&mut r)?;
+                let tier = if r.is_empty() {
+                    AdmissionTier::Accept
+                } else {
+                    AdmissionTier::from_u64(read_varint(&mut r)?)?
+                };
+                ServerFrame::HelloOk { session_id, tier }
+            }
             TAG_ACK => ServerFrame::Ack {
                 events_total: read_varint(&mut r)?,
             },
-            TAG_BUSY => ServerFrame::Busy {
-                msg: read_string(&mut r, 1 << 16)?,
-            },
+            TAG_BUSY => {
+                let msg = read_string(&mut r, 1 << 16)?;
+                let (tier, retry_after_ms) = if r.is_empty() {
+                    (AdmissionTier::Shed, 0)
+                } else {
+                    (
+                        AdmissionTier::from_u64(read_varint(&mut r)?)?,
+                        read_varint(&mut r)?,
+                    )
+                };
+                ServerFrame::Busy {
+                    msg,
+                    tier,
+                    retry_after_ms,
+                }
+            }
             TAG_REPORT => {
                 // the remainder is the report payload, opaque at this layer
                 let bytes = r.to_vec();
@@ -766,6 +868,125 @@ impl ServerFrame {
     /// [`btrace::read_frame`].
     pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
         Self::decode(&read_frame(r, MAX_FRAME_LEN)?)
+    }
+}
+
+/// Incremental frame decoder for nonblocking sockets.
+///
+/// The shard event loops read whatever bytes the kernel has and feed them
+/// in with [`push`](Self::push); [`next_payload`](Self::next_payload) then
+/// yields complete frame payloads as they become available, tolerating a
+/// length prefix or body split across any number of reads. The byte-level
+/// grammar is exactly [`btrace::read_frame`]'s — the partial-read property
+/// suite asserts the two decode identically on every frame — including the
+/// `InvalidData` errors for an over-long length varint and a declared
+/// length beyond `max_len`, both raised *before* the body arrives.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily so steady-state decoding
+    /// does not memmove per frame.
+    pos: usize,
+    max_len: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing the shared [`MAX_FRAME_LEN`] ceiling.
+    pub fn new() -> Self {
+        Self::with_max_len(MAX_FRAME_LEN)
+    }
+
+    /// A decoder with an explicit payload-length ceiling.
+    pub fn with_max_len(max_len: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            max_len,
+        }
+    }
+
+    /// Appends bytes received from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= (1 << 16)) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes the decoder, returning any unconsumed bytes — used when a
+    /// connection is handed off from a shard loop to a blocking reader
+    /// (the compute path), which must see bytes the shard read but did not
+    /// decode.
+    pub fn into_rest(mut self) -> Vec<u8> {
+        self.buf.split_off(self.pos)
+    }
+
+    /// Yields the next complete frame payload, or `None` when more bytes
+    /// are needed.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the length prefix is an over-long varint or
+    /// declares a payload beyond this decoder's ceiling. The decoder is
+    /// poisoned after an error in the sense that the stream has no
+    /// recoverable frame boundary; callers close the connection.
+    pub fn next_payload(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let pending = &self.buf[self.pos..];
+        let mut len = 0u64;
+        let mut shift = 0u32;
+        let mut used = 0usize;
+        loop {
+            let Some(&byte) = pending.get(used) else {
+                return Ok(None); // length prefix still incomplete
+            };
+            used += 1;
+            len |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(invalid("varint too long"));
+            }
+        }
+        if len > self.max_len as u64 {
+            return Err(invalid(format!(
+                "frame declares {len} bytes (limit {})",
+                self.max_len
+            )));
+        }
+        let len = len as usize;
+        if pending.len() - used < len {
+            return Ok(None); // body still incomplete
+        }
+        let start = self.pos + used;
+        let payload = self.buf[start..start + len].to_vec();
+        self.pos = start + len;
+        Ok(Some(payload))
+    }
+
+    /// [`next_payload`](Self::next_payload) + [`ClientFrame::decode`].
+    ///
+    /// # Errors
+    ///
+    /// As `next_payload`, plus frame-body decode errors.
+    pub fn next_client(&mut self) -> io::Result<Option<ClientFrame>> {
+        match self.next_payload()? {
+            Some(payload) => ClientFrame::decode(&payload).map(Some),
+            None => Ok(None),
+        }
     }
 }
 
@@ -882,12 +1103,26 @@ mod tests {
 
     #[test]
     fn server_frames_roundtrip() {
-        roundtrip_server(ServerFrame::HelloOk { session_id: 42 });
+        roundtrip_server(ServerFrame::HelloOk {
+            session_id: 42,
+            tier: AdmissionTier::Accept,
+        });
+        roundtrip_server(ServerFrame::HelloOk {
+            session_id: 7,
+            tier: AdmissionTier::Degrade,
+        });
         roundtrip_server(ServerFrame::Ack {
             events_total: 1 << 40,
         });
         roundtrip_server(ServerFrame::Busy {
             msg: "session table full".to_owned(),
+            tier: AdmissionTier::Shed,
+            retry_after_ms: 0,
+        });
+        roundtrip_server(ServerFrame::Busy {
+            msg: "shard over budget".to_owned(),
+            tier: AdmissionTier::Shed,
+            retry_after_ms: 250,
         });
         roundtrip_server(ServerFrame::Report(vec![1, 2, 3, 250]));
         roundtrip_server(ServerFrame::Report(Vec::new()));
@@ -904,6 +1139,121 @@ mod tests {
         roundtrip_server(ServerFrame::VerdictSnapshot(Vec::new()));
         roundtrip_server(ServerFrame::DriftEvent(vec![7, 8]));
         roundtrip_server(ServerFrame::DriftEvent(Vec::new()));
+    }
+
+    #[test]
+    fn bare_hello_ok_and_busy_decode_with_default_tiers() {
+        // Frames from a daemon predating admission tiers carry no tail;
+        // they must decode to Accept / (Shed, no hint).
+        let mut bare_ok = vec![TAG_HELLO_OK];
+        write_varint(&mut bare_ok, 9).unwrap();
+        assert_eq!(
+            ServerFrame::decode(&bare_ok).unwrap(),
+            ServerFrame::HelloOk {
+                session_id: 9,
+                tier: AdmissionTier::Accept,
+            }
+        );
+        let mut bare_busy = vec![TAG_BUSY];
+        write_varint(&mut bare_busy, 4).unwrap();
+        bare_busy.extend_from_slice(b"full");
+        assert_eq!(
+            ServerFrame::decode(&bare_busy).unwrap(),
+            ServerFrame::Busy {
+                msg: "full".to_owned(),
+                tier: AdmissionTier::Shed,
+                retry_after_ms: 0,
+            }
+        );
+        // and the Accept encoding is byte-identical to the bare form, so
+        // old clients keep parsing new daemons
+        assert_eq!(
+            ServerFrame::HelloOk {
+                session_id: 9,
+                tier: AdmissionTier::Accept,
+            }
+            .encode(),
+            bare_ok
+        );
+    }
+
+    #[test]
+    fn unknown_admission_tier_rejected() {
+        let mut payload = vec![TAG_HELLO_OK];
+        write_varint(&mut payload, 1).unwrap();
+        write_varint(&mut payload, 3).unwrap();
+        assert!(ServerFrame::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn decoder_yields_frames_across_arbitrary_splits() {
+        let frames = vec![
+            ClientFrame::Flush,
+            ClientFrame::Events(vec![(3, true), (900_000, false)]),
+            ClientFrame::Finish,
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.write_to(&mut stream).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            dec.push(&[b]);
+            while let Some(frame) = dec.next_client().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_handles_hello_split_across_reads() {
+        // Regression: the session-opening frame arriving in two TCP reads —
+        // the first cutting the frame mid-body — must decode identically to
+        // the blocking reader.
+        let hello = ClientFrame::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+            num_sites: 4096,
+            predictor: PredictorKind::Gshare4Kb,
+            slice_len: 10_000,
+            exec_threshold: 16,
+            program: "gzip".to_owned(),
+        });
+        let mut stream = Vec::new();
+        hello.write_to(&mut stream).unwrap();
+        for split in 1..stream.len() {
+            let mut dec = FrameDecoder::new();
+            dec.push(&stream[..split]);
+            assert_eq!(dec.next_client().unwrap(), None, "split {split}");
+            dec.push(&stream[split..]);
+            assert_eq!(dec.next_client().unwrap().as_ref(), Some(&hello));
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_and_overlong_length_prefixes() {
+        let mut dec = FrameDecoder::with_max_len(16);
+        let mut stream = Vec::new();
+        write_varint(&mut stream, 17).unwrap();
+        dec.push(&stream);
+        assert!(dec.next_payload().is_err());
+
+        let mut dec = FrameDecoder::new();
+        dec.push(&[0x80; 10]); // 10 continuation bytes: over-long varint
+        assert!(dec.next_payload().is_err());
+    }
+
+    #[test]
+    fn decoder_into_rest_returns_unconsumed_bytes() {
+        let mut stream = Vec::new();
+        ClientFrame::Flush.write_to(&mut stream).unwrap();
+        stream.extend_from_slice(&[0xAA, 0xBB]);
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream);
+        assert!(dec.next_client().unwrap().is_some());
+        assert_eq!(dec.into_rest(), vec![0xAA, 0xBB]);
     }
 
     #[test]

@@ -11,10 +11,12 @@ use std::net::{SocketAddr, TcpStream};
 use std::thread;
 use std::time::{Duration, Instant};
 use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
-use twodprof_serve::wire::{codes, ClientFrame, Hello, ServerFrame, PROTOCOL_VERSION};
+use twodprof_serve::wire::{
+    codes, AdmissionTier, ClientFrame, Hello, ServerFrame, PROTOCOL_VERSION,
+};
 use twodprof_serve::{
-    replay_workload, ClientError, RemoteSession, RemoteTracer, ReplaySpec, Server, ServerConfig,
-    ServerHandle, ServerStats,
+    fetch_stats, replay_workload, ClientError, ConnectOptions, RemoteSession, RemoteTracer,
+    ReplaySpec, Server, ServerConfig, ServerHandle, ServerStats,
 };
 use workloads::Scale;
 
@@ -38,10 +40,7 @@ impl Daemon {
     }
 
     fn quiet_config() -> ServerConfig {
-        ServerConfig {
-            quiet: true,
-            ..ServerConfig::default()
-        }
+        ServerConfig::builder().quiet(true).build().expect("config")
     }
 
     fn stop(mut self) -> ServerStats {
@@ -83,6 +82,17 @@ fn synthetic_stream(salt: u64, len: usize, num_sites: u32) -> Vec<(SiteId, bool)
             (SiteId((x % num_sites as u64) as u32), x & 2 == 2)
         })
         .collect()
+}
+
+/// Opens a session through the builder API (shorthand for the default
+/// options every test here wants).
+fn connect(
+    addr: SocketAddr,
+    num_sites: usize,
+    predictor: PredictorKind,
+    slice: SliceConfig,
+) -> Result<RemoteSession, ClientError> {
+    ConnectOptions::new(num_sites, predictor, slice).connect(addr)
 }
 
 /// Profiles `stream` in-process with the same configuration a remote
@@ -139,8 +149,7 @@ fn concurrent_sessions_are_independent() {
             thread::spawn(move || {
                 let stream = synthetic_stream(i as u64 + 1, 40_000, NUM_SITES as u32);
                 let mut remote = RemoteTracer::with_batch_size(
-                    RemoteSession::connect(addr, NUM_SITES, PredictorKind::Gshare4Kb, slice)
-                        .expect("connect"),
+                    connect(addr, NUM_SITES, PredictorKind::Gshare4Kb, slice).expect("connect"),
                     // deliberately small batches so sessions interleave
                     257 + i,
                 );
@@ -169,7 +178,7 @@ fn mid_session_disconnect_is_reaped_and_siblings_survive() {
     // sibling A: a long-lived healthy session
     let stream_a = synthetic_stream(7, 20_000, 8);
     let mut sib = RemoteTracer::with_batch_size(
-        RemoteSession::connect(daemon.addr, 8, PredictorKind::Gshare4Kb, slice).expect("connect"),
+        connect(daemon.addr, 8, PredictorKind::Gshare4Kb, slice).expect("connect"),
         128,
     );
     for &(site, taken) in &stream_a[..10_000] {
@@ -178,8 +187,7 @@ fn mid_session_disconnect_is_reaped_and_siblings_survive() {
 
     // session B: streams a bit, then vanishes mid-session
     {
-        let mut doomed = RemoteSession::connect(daemon.addr, 8, PredictorKind::Gshare4Kb, slice)
-            .expect("connect");
+        let mut doomed = connect(daemon.addr, 8, PredictorKind::Gshare4Kb, slice).expect("connect");
         doomed
             .send_events(&synthetic_stream(8, 100, 8))
             .expect("send");
@@ -208,12 +216,14 @@ fn mid_session_disconnect_is_reaped_and_siblings_survive() {
 
 #[test]
 fn idle_session_is_garbage_collected() {
-    let daemon = Daemon::start(ServerConfig {
-        idle_timeout: Duration::from_millis(120),
-        quiet: true,
-        ..ServerConfig::default()
-    });
-    let mut session = RemoteSession::connect(
+    let daemon = Daemon::start(
+        ServerConfig::builder()
+            .idle_timeout(Duration::from_millis(120))
+            .quiet(true)
+            .build()
+            .expect("config"),
+    );
+    let mut session = connect(
         daemon.addr,
         4,
         PredictorKind::Gshare4Kb,
@@ -236,22 +246,26 @@ fn idle_session_is_garbage_collected() {
 
 #[test]
 fn hello_beyond_session_table_gets_busy() {
-    let daemon = Daemon::start(ServerConfig {
-        max_sessions: 1,
-        quiet: true,
-        ..ServerConfig::default()
-    });
+    let daemon = Daemon::start(
+        ServerConfig::builder()
+            .max_sessions(1)
+            .quiet(true)
+            .build()
+            .expect("config"),
+    );
     let slice = SliceConfig::new(64, 4);
-    let first =
-        RemoteSession::connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice).expect("connect");
-    match RemoteSession::connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice) {
-        Err(ClientError::Busy(msg)) => assert!(msg.contains("full"), "got {msg:?}"),
-        Err(other) => panic!("expected Busy, got {other:?}"),
-        Ok(_) => panic!("expected Busy, got a session"),
+    let first = connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice).expect("connect");
+    match connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice) {
+        Err(ClientError::Refused { tier, msg, .. }) => {
+            assert_eq!(tier, AdmissionTier::Shed);
+            assert!(msg.contains("full"), "got {msg:?}");
+        }
+        Err(other) => panic!("expected Refused, got {other:?}"),
+        Ok(_) => panic!("expected Refused, got a session"),
     }
     // finishing the first session frees the slot
     first.finish().expect("finish");
-    RemoteSession::connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice)
+    connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice)
         .expect("slot must be free again")
         .finish()
         .expect("finish");
@@ -259,12 +273,14 @@ fn hello_beyond_session_table_gets_busy() {
 
 #[test]
 fn event_limit_is_enforced_as_busy_backpressure() {
-    let daemon = Daemon::start(ServerConfig {
-        max_events_per_session: 100,
-        quiet: true,
-        ..ServerConfig::default()
-    });
-    let mut session = RemoteSession::connect(
+    let daemon = Daemon::start(
+        ServerConfig::builder()
+            .max_events_per_session(100)
+            .quiet(true)
+            .build()
+            .expect("config"),
+    );
+    let mut session = connect(
         daemon.addr,
         8,
         PredictorKind::Gshare4Kb,
@@ -277,8 +293,8 @@ fn event_limit_is_enforced_as_busy_backpressure() {
     // the overflowing batch is refused in whole; seen at the next sync point
     session.send_events(&synthetic_stream(2, 20, 8)).ok();
     match session.flush() {
-        Err(ClientError::Busy(msg)) => assert!(msg.contains("limit"), "got {msg:?}"),
-        other => panic!("expected Busy, got {other:?}"),
+        Err(ClientError::Refused { msg, .. }) => assert!(msg.contains("limit"), "got {msg:?}"),
+        other => panic!("expected Refused, got {other:?}"),
     }
     let handle = daemon.handle.clone();
     wait_until("over-limit session to be dropped", || {
@@ -289,7 +305,7 @@ fn event_limit_is_enforced_as_busy_backpressure() {
 #[test]
 fn out_of_range_site_is_a_protocol_error() {
     let daemon = Daemon::start(Daemon::quiet_config());
-    let mut session = RemoteSession::connect(
+    let mut session = connect(
         daemon.addr,
         4,
         PredictorKind::Gshare4Kb,
@@ -343,8 +359,7 @@ fn resim_reports_match_in_process_runs_for_every_predictor() {
     let slice = SliceConfig::new(512, 32);
     let stream = synthetic_stream(11, 30_000, NUM_SITES as u32);
     let mut session =
-        RemoteSession::connect(daemon.addr, NUM_SITES, PredictorKind::Gshare4Kb, slice)
-            .expect("connect");
+        connect(daemon.addr, NUM_SITES, PredictorKind::Gshare4Kb, slice).expect("connect");
     session.send_events(&stream[..20_000]).expect("send");
     assert_eq!(session.flush().expect("flush"), 20_000);
     // one streamed session, every predictor re-simulated server-side — each
@@ -381,12 +396,14 @@ fn resim_reports_match_in_process_runs_for_every_predictor() {
 
 #[test]
 fn resim_without_recording_is_a_state_error() {
-    let daemon = Daemon::start(ServerConfig {
-        record_sessions: false,
-        quiet: true,
-        ..ServerConfig::default()
-    });
-    let mut session = RemoteSession::connect(
+    let daemon = Daemon::start(
+        ServerConfig::builder()
+            .record_sessions(false)
+            .quiet(true)
+            .build()
+            .expect("config"),
+    );
+    let mut session = connect(
         daemon.addr,
         4,
         PredictorKind::Gshare4Kb,
@@ -448,8 +465,7 @@ fn resim_on_a_still_open_session_replies_without_closing_it() {
     // in place, leaving the session open and fully usable afterwards
     let daemon = Daemon::start(Daemon::quiet_config());
     let slice = SliceConfig::new(64, 4);
-    let mut session =
-        RemoteSession::connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice).expect("connect");
+    let mut session = connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice).expect("connect");
     let empty = session
         .resimulate(PredictorKind::Perceptron16Kb)
         .expect("resim on an empty still-open session");
@@ -489,7 +505,7 @@ fn graceful_shutdown_finishes_in_flight_sessions() {
     let slice = SliceConfig::new(256, 16);
     let stream = synthetic_stream(3, 10_000, 8);
     let mut remote = RemoteTracer::with_batch_size(
-        RemoteSession::connect(daemon.addr, 8, PredictorKind::Gshare4Kb, slice).expect("connect"),
+        connect(daemon.addr, 8, PredictorKind::Gshare4Kb, slice).expect("connect"),
         512,
     );
     for &(site, taken) in &stream[..5_000] {
@@ -516,14 +532,15 @@ fn graceful_shutdown_finishes_in_flight_sessions() {
 fn new_sessions_are_refused_while_draining() {
     // shutdown with one session still open keeps run() in its drain loop;
     // admission must answer Busy rather than open fresh sessions
-    let daemon = Daemon::start(ServerConfig {
-        drain_timeout: Duration::from_secs(30),
-        quiet: true,
-        ..ServerConfig::default()
-    });
+    let daemon = Daemon::start(
+        ServerConfig::builder()
+            .drain_timeout(Duration::from_secs(30))
+            .quiet(true)
+            .build()
+            .expect("config"),
+    );
     let slice = SliceConfig::new(64, 4);
-    let held =
-        RemoteSession::connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice).expect("connect");
+    let held = connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice).expect("connect");
     daemon.handle.shutdown();
     thread::sleep(Duration::from_millis(50));
     // the kernel may still complete the TCP handshake (listen backlog), but
@@ -550,4 +567,137 @@ fn new_sessions_are_refused_while_draining() {
     held.finish().expect("held session finishes during drain");
     let stats = daemon.stop();
     assert_eq!(stats.sessions_finished, 1);
+}
+
+#[test]
+fn busy_refusal_carries_tier_and_retry_after() {
+    let daemon = Daemon::start(
+        ServerConfig::builder()
+            .max_sessions(1)
+            .retry_after(Duration::from_millis(250))
+            .quiet(true)
+            .build()
+            .expect("config"),
+    );
+    let slice = SliceConfig::new(64, 4);
+    let first = connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice).expect("connect");
+    match connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice) {
+        Err(ClientError::Refused {
+            tier,
+            msg,
+            retry_after,
+        }) => {
+            assert_eq!(tier, AdmissionTier::Shed);
+            assert!(msg.contains("full"), "got {msg:?}");
+            assert_eq!(retry_after, Duration::from_millis(250));
+        }
+        Err(other) => panic!("expected Refused with retry-after, got {other:?}"),
+        Ok(_) => panic!("expected Refused with retry-after, got a session"),
+    }
+    first.finish().expect("finish");
+}
+
+#[test]
+fn memory_pressure_degrades_admission_and_disables_recording() {
+    // one shard with a 64 KiB recording budget and spilling disabled up to
+    // that budget: a heavy session pushes resident bytes past budget/2
+    // (20k events record at ~1.1 bytes each, landing between budget/2 and
+    // the spill threshold), so the next Hello is admitted degraded
+    // (streaming works, Resim doesn't)
+    let daemon = Daemon::start(
+        ServerConfig::builder()
+            .shards(1)
+            .shard_memory_budget(64 << 10)
+            .spill_threshold(64 << 10)
+            .quiet(true)
+            .build()
+            .expect("config"),
+    );
+    let slice = SliceConfig::new(512, 32);
+    let stream = synthetic_stream(5, 20_000, 8);
+    let mut heavy = connect(daemon.addr, 8, PredictorKind::Gshare4Kb, slice).expect("connect");
+    assert_eq!(heavy.admission_tier(), AdmissionTier::Accept);
+    heavy.send_events(&stream).expect("send");
+    assert_eq!(heavy.flush().expect("flush"), stream.len() as u64);
+
+    let mut degraded = connect(daemon.addr, 8, PredictorKind::Gshare4Kb, slice)
+        .expect("degraded sessions are still admitted");
+    assert_eq!(degraded.admission_tier(), AdmissionTier::Degrade);
+    degraded
+        .send_events(&synthetic_stream(6, 500, 8))
+        .expect("degraded sessions still stream");
+    match degraded.resimulate(PredictorKind::Tage8Kb) {
+        Err(ClientError::Server { code, msg }) => {
+            assert_eq!(code, codes::BAD_STATE);
+            assert!(msg.contains("degraded"), "got {msg:?}");
+        }
+        other => panic!("expected BAD_STATE, got {other:?}"),
+    }
+    drop(degraded);
+
+    // the heavy session is untouched: its verdicts stay bit-identical
+    let report = heavy.finish().expect("finish");
+    assert_eq!(
+        report.bytes(),
+        &local_report_bytes(&stream, 8, PredictorKind::Gshare4Kb, slice)[..]
+    );
+}
+
+#[test]
+fn spilled_recording_resims_bit_identical() {
+    const NUM_SITES: usize = 8;
+    let daemon = Daemon::start(
+        ServerConfig::builder()
+            .shards(1)
+            .spill_threshold(4 << 10)
+            .quiet(true)
+            .build()
+            .expect("config"),
+    );
+    let slice = SliceConfig::new(512, 32);
+    let stream = synthetic_stream(9, 60_000, NUM_SITES as u32);
+    let mut session =
+        connect(daemon.addr, NUM_SITES, PredictorKind::Gshare4Kb, slice).expect("connect");
+    session.send_events(&stream).expect("send");
+    // a 4 KiB threshold forces the recording through multiple on-disk
+    // segments; replaying them must reproduce the exact event order
+    let remote = session
+        .resimulate(PredictorKind::Tage8Kb)
+        .expect("resim over spilled segments");
+    assert_eq!(
+        remote.bytes(),
+        &local_report_bytes(&stream, NUM_SITES, PredictorKind::Tage8Kb, slice)[..],
+        "resim over spilled segments diverged from the in-process run"
+    );
+    let snap = fetch_stats(daemon.addr).expect("stats");
+    let spilled = snap
+        .counters
+        .iter()
+        .find(|(name, _, _)| name == "serve_spill_segments_total")
+        .map(|(_, _, v)| *v)
+        .unwrap_or(0);
+    assert!(
+        spilled > 0,
+        "tiny threshold must have produced spill segments"
+    );
+    let report = session.finish().expect("finish");
+    assert_eq!(
+        report.bytes(),
+        &local_report_bytes(&stream, NUM_SITES, PredictorKind::Gshare4Kb, slice)[..]
+    );
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_connect_shims_still_work() {
+    let daemon = Daemon::start(Daemon::quiet_config());
+    let slice = SliceConfig::new(64, 4);
+    RemoteSession::connect(daemon.addr, 4, PredictorKind::Gshare4Kb, slice)
+        .expect("legacy connect")
+        .finish()
+        .expect("finish");
+    RemoteSession::connect_with_program(daemon.addr, 4, PredictorKind::Gshare4Kb, slice, "legacy")
+        .expect("legacy connect_with_program")
+        .finish()
+        .expect("finish");
 }

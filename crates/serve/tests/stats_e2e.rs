@@ -25,10 +25,7 @@ impl Daemon {
     fn start() -> Self {
         let server = Server::bind(
             "127.0.0.1:0",
-            ServerConfig {
-                quiet: true,
-                ..ServerConfig::default()
-            },
+            ServerConfig::builder().quiet(true).build().expect("config"),
         )
         .expect("bind ephemeral port");
         let addr = server.local_addr().expect("local addr");

@@ -11,7 +11,7 @@ use std::thread;
 use twodprof_core::{SliceConfig, Thresholds};
 use twodprof_serve::wire::codes;
 use twodprof_serve::{
-    fetch_stats, fetch_verdicts, ClientError, RemoteSession, Server, ServerConfig, ServerHandle,
+    fetch_stats, fetch_verdicts, ClientError, ConnectOptions, Server, ServerConfig, ServerHandle,
     ServerStats, WatchClient,
 };
 use twodprof_stream::StreamConfig;
@@ -57,17 +57,17 @@ impl Drop for Daemon {
 /// Fast-folding stream geometry: 500-event epochs, a 4-slice window,
 /// hysteresis 1 so every confirmed flip surfaces immediately.
 fn streaming_config() -> ServerConfig {
-    ServerConfig {
-        quiet: true,
-        stream: StreamConfig {
+    ServerConfig::builder()
+        .quiet(true)
+        .stream(StreamConfig {
             slice: SliceConfig::new(500, 16),
             window: 4,
             hysteresis: 1,
             thresholds: Thresholds::paper(),
             max_lag: 1000,
-        },
-        ..ServerConfig::default()
-    }
+        })
+        .build()
+        .expect("config")
 }
 
 const NUM_SITES: usize = 4;
@@ -83,14 +83,10 @@ const FLIP_EVERY: u64 = 5_000;
 /// registers, and events published pre-subscription are never replayed.
 fn drive_session(addr: SocketAddr, program: &str, salt: u64, ready: &Barrier) {
     let slice = SliceConfig::new(8192, 16);
-    let mut session = RemoteSession::connect_with_program(
-        addr,
-        NUM_SITES,
-        PredictorKind::Gshare4Kb,
-        slice,
-        program,
-    )
-    .expect("connect with program");
+    let mut session = ConnectOptions::new(NUM_SITES, PredictorKind::Gshare4Kb, slice)
+        .program(program)
+        .connect(addr)
+        .expect("connect with program");
     ready.wait();
     let mut rng = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
     let mut batch = Vec::with_capacity(1024);

@@ -9,7 +9,8 @@ use proptest::prelude::*;
 use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
 use twodprof_engine::JobSpec;
 use twodprof_serve::wire::{
-    ClientFrame, Hello, JobOutcome, JobPayload, ServerFrame, PROTOCOL_VERSION,
+    AdmissionTier, ClientFrame, FrameDecoder, Hello, JobOutcome, JobPayload, ServerFrame,
+    PROTOCOL_VERSION,
 };
 use workloads::Scale;
 
@@ -83,9 +84,14 @@ proptest! {
         body in prop::collection::vec(any::<u8>(), 0..300),
     ) {
         for frame in [
-            ServerFrame::HelloOk { session_id },
+            ServerFrame::HelloOk { session_id, tier: AdmissionTier::Accept },
+            ServerFrame::HelloOk { session_id, tier: AdmissionTier::Degrade },
             ServerFrame::Ack { events_total },
-            ServerFrame::Busy { msg: msg.clone() },
+            ServerFrame::Busy {
+                msg: msg.clone(),
+                tier: AdmissionTier::Shed,
+                retry_after_ms: events_total,
+            },
             ServerFrame::Report(body),
             ServerFrame::Error { code: session_id % 250, msg },
         ] {
@@ -208,6 +214,149 @@ proptest! {
         bytes.extend_from_slice(&extra);
         prop_assert!(ServerFrame::decode(&bytes).is_err());
     }
+}
+
+/// One length-prefixed wire image of `frames`, exactly what a client's
+/// socket would carry.
+fn wire_bytes(frames: &[ClientFrame]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for frame in frames {
+        btrace::write_frame(&mut bytes, &frame.encode()).unwrap();
+    }
+    bytes
+}
+
+/// Decodes `bytes` with the blocking reader the pre-shard daemon used —
+/// the reference the incremental decoder must be byte-identical to.
+fn blocking_decode(mut bytes: &[u8]) -> Vec<ClientFrame> {
+    let mut frames = Vec::new();
+    while !bytes.is_empty() {
+        let payload = btrace::read_frame(&mut bytes, btrace::MAX_FRAME_LEN).unwrap();
+        frames.push(ClientFrame::decode(&payload).unwrap());
+    }
+    frames
+}
+
+fn drain(decoder: &mut FrameDecoder) -> Vec<ClientFrame> {
+    let mut frames = Vec::new();
+    while let Some(frame) = decoder.next_client().unwrap() {
+        frames.push(frame);
+    }
+    frames
+}
+
+/// A mixed bag of client frame kinds keyed by a seed byte.
+fn client_frame_from(kind: u8, events: &[(u32, bool)], name: &str, pred_seed: u8) -> ClientFrame {
+    match kind % 6 {
+        0 => ClientFrame::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+            num_sites: 8,
+            predictor: predictor_from(pred_seed),
+            slice_len: 64,
+            exec_threshold: 4,
+            program: name.to_owned(),
+        }),
+        1 => ClientFrame::Events(events.to_vec()),
+        2 => ClientFrame::Flush,
+        3 => ClientFrame::Finish,
+        4 => ClientFrame::Subscribe {
+            program: name.to_owned(),
+            watch: kind & 0x40 != 0,
+        },
+        _ => ClientFrame::Resim(predictor_from(pred_seed)),
+    }
+}
+
+proptest! {
+    // The shard loop sees arbitrary read boundaries; every split of the
+    // same byte stream must decode to the same frames the blocking reader
+    // produces. One byte at a time is the worst case.
+    #[test]
+    fn incremental_decoder_survives_one_byte_reads(
+        kinds in prop::collection::vec(any::<u8>(), 1..8),
+        events in prop::collection::vec((0u32..1 << 20, any::<bool>()), 0..200),
+        name in "[a-z0-9./-]{0,24}",
+        pred_seed in any::<u8>(),
+    ) {
+        let frames: Vec<ClientFrame> = kinds
+            .iter()
+            .map(|&k| client_frame_from(k, &events, &name, pred_seed))
+            .collect();
+        let bytes = wire_bytes(&frames);
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for &b in &bytes {
+            decoder.push(&[b]);
+            decoded.extend(drain(&mut decoder));
+        }
+        prop_assert_eq!(decoder.buffered(), 0, "no bytes may be left behind");
+        prop_assert_eq!(&decoded, &frames);
+        prop_assert_eq!(decoded, blocking_decode(&bytes));
+    }
+
+    #[test]
+    fn incremental_decoder_survives_random_splits(
+        kinds in prop::collection::vec(any::<u8>(), 1..8),
+        events in prop::collection::vec((0u32..1 << 20, any::<bool>()), 0..200),
+        name in "[a-z0-9./-]{0,24}",
+        pred_seed in any::<u8>(),
+        splits in prop::collection::vec(any::<u16>(), 0..32),
+    ) {
+        let frames: Vec<ClientFrame> = kinds
+            .iter()
+            .map(|&k| client_frame_from(k, &events, &name, pred_seed))
+            .collect();
+        let bytes = wire_bytes(&frames);
+        let mut cuts: Vec<usize> = splits
+            .iter()
+            .map(|&s| s as usize % (bytes.len() + 1))
+            .collect();
+        cuts.push(0);
+        cuts.push(bytes.len());
+        cuts.sort_unstable();
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for pair in cuts.windows(2) {
+            decoder.push(&bytes[pair[0]..pair[1]]);
+            decoded.extend(drain(&mut decoder));
+        }
+        prop_assert_eq!(decoder.buffered(), 0, "no bytes may be left behind");
+        prop_assert_eq!(&decoded, &frames);
+        prop_assert_eq!(decoded, blocking_decode(&bytes));
+    }
+}
+
+/// Regression: a `Hello` split mid-frame (the handshake race a slow client
+/// hits first) must stay pending, then decode whole — not error, not
+/// produce a partial frame.
+#[test]
+fn hello_split_mid_frame_decodes_whole() {
+    let hello = ClientFrame::Hello(Hello {
+        protocol: PROTOCOL_VERSION,
+        num_sites: 128,
+        predictor: PredictorKind::Gshare4Kb,
+        slice_len: 10_000,
+        exec_threshold: 16,
+        program: "split-regression/program".to_owned(),
+    });
+    let bytes = wire_bytes(std::slice::from_ref(&hello));
+    assert!(bytes.len() > 4, "hello must span multiple reads");
+    let mut decoder = FrameDecoder::new();
+    decoder.push(&bytes[..3]);
+    assert_eq!(
+        decoder.next_client().unwrap(),
+        None,
+        "prefix must stay pending"
+    );
+    decoder.push(&bytes[3..bytes.len() - 1]);
+    assert_eq!(
+        decoder.next_client().unwrap(),
+        None,
+        "one byte short must stay pending"
+    );
+    decoder.push(&bytes[bytes.len() - 1..]);
+    assert_eq!(decoder.next_client().unwrap(), Some(hello));
+    assert_eq!(decoder.buffered(), 0);
 }
 
 proptest! {

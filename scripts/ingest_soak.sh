@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Ingest soak for the sharded twodprofd daemon: start it on an ephemeral
+# port with a deliberately tiny spill threshold, drive SESSIONS (default
+# 10000) short loopback profiling sessions through `twodprof-client soak`
+# from CONCURRENCY worker threads, then gate on the daemon's own metrics:
+#
+#   - every session must complete (the soak client exits non-zero on any
+#     session failure or on a shed retry rate above MAX_SHED_PCT),
+#   - zero wire frames may have failed to decode (the incremental decoder
+#     must survive every read boundary the kernel picks),
+#   - with the tiny threshold, recordings must actually have spilled to
+#     disk (serve_spill_segments_total > 0), proving resident memory stays
+#     bounded by the shard budget rather than growing with session count.
+#
+# A stats snapshot is left at STATS_OUT (default
+# target/ingest-soak/stats.txt) and the soak summary at SOAK_OUT (default
+# target/ingest-soak/soak.log) so CI can upload both as artifacts.
+set -euo pipefail
+
+BIN_DIR="${BIN_DIR:-target/release}"
+SESSIONS="${SESSIONS:-10000}"
+CONCURRENCY="${CONCURRENCY:-64}"
+EVENTS="${EVENTS:-2000}"
+MAX_SHED_PCT="${MAX_SHED_PCT:-1.0}"
+STATS_OUT="${STATS_OUT:-target/ingest-soak/stats.txt}"
+SOAK_OUT="${SOAK_OUT:-target/ingest-soak/soak.log}"
+WORK_DIR="$(mktemp -d)"
+ADDR_FILE="$WORK_DIR/addr"
+DAEMON_LOG="$WORK_DIR/twodprofd.log"
+
+cleanup() {
+    if [[ -n "${DAEMON_PID:-}" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+# a 1 KiB spill threshold forces even these short sessions through the
+# spill path; the session table is sized so admission never sheds under
+# the soak's own concurrency
+"$BIN_DIR/twodprofd" --addr 127.0.0.1:0 --addr-file "$ADDR_FILE" \
+    --max-sessions $((CONCURRENCY * 4)) \
+    --spill-threshold 1024 --spill-dir "$WORK_DIR/spill" \
+    --stats-interval 10 --quiet >"$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+    [[ -s "$ADDR_FILE" ]] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$DAEMON_LOG"; echo "daemon died before listening"; exit 1; }
+    sleep 0.1
+done
+[[ -s "$ADDR_FILE" ]] || { cat "$DAEMON_LOG"; echo "daemon never wrote its address"; exit 1; }
+ADDR="$(cat "$ADDR_FILE")"
+echo "daemon up at $ADDR (pid $DAEMON_PID)"
+
+mkdir -p "$(dirname "$SOAK_OUT")" "$(dirname "$STATS_OUT")"
+"$BIN_DIR/twodprof-client" soak --addr "$ADDR" \
+    --sessions "$SESSIONS" --concurrency "$CONCURRENCY" --events "$EVENTS" \
+    --max-shed-pct "$MAX_SHED_PCT" | tee "$SOAK_OUT"
+
+"$BIN_DIR/twodprof-client" stats --addr "$ADDR" >"$STATS_OUT"
+
+grep -q "^serve_sessions_finished_total $SESSIONS\$" "$STATS_OUT" || {
+    cat "$STATS_OUT"
+    echo "daemon did not finish all $SESSIONS sessions"
+    exit 1
+}
+if grep -q '^serve_frame_decode_errors_total [1-9]' "$STATS_OUT"; then
+    cat "$STATS_OUT"
+    echo "frame decode errors during soak"
+    exit 1
+fi
+grep -q '^serve_spill_segments_total [1-9]' "$STATS_OUT" || {
+    cat "$STATS_OUT"
+    echo "no recording ever spilled: resident-memory bound unexercised"
+    exit 1
+}
+echo "spill path exercised: $(grep '^serve_spill_segments_total' "$STATS_OUT")"
+
+# graceful shutdown: SIGTERM must drain and exit 0
+kill -TERM "$DAEMON_PID"
+if ! wait "$DAEMON_PID"; then
+    cat "$DAEMON_LOG"
+    echo "daemon did not exit cleanly on SIGTERM"
+    exit 1
+fi
+cat "$DAEMON_LOG"
+echo "ingest soak passed: $SESSIONS sessions, stats snapshot at $STATS_OUT"
