@@ -11,6 +11,12 @@
 //! profiler (epoch merge + windowed fold) on the ingest path — the delta
 //! against an unset run is the streaming overhead `scripts/obs_overhead.sh`
 //! gates.
+//!
+//! With `TWODPROF_HTTP=1` the daemon also runs its HTTP exposition
+//! listener (which starts the 1 s metrics-timeline sampler), and a scraper
+//! thread GETs `/metrics` once a second for the duration — the delta
+//! against an unset run is the exposition-plane overhead
+//! `scripts/obs_overhead.sh` gates.
 
 use bpred::PredictorKind;
 use btrace::{SiteId, Tracer};
@@ -40,6 +46,39 @@ fn streaming_enabled() -> bool {
     std::env::var("TWODPROF_STREAM").is_ok_and(|v| v == "1" || v == "on")
 }
 
+fn http_enabled() -> bool {
+    std::env::var("TWODPROF_HTTP").is_ok_and(|v| v == "1" || v == "on")
+}
+
+/// A minimal 1 Hz `/metrics` scraper, so the HTTP leg measures ingest
+/// throughput while the exposition plane is actually being exercised —
+/// an idle listener would gate nothing.
+fn spawn_scraper(
+    http: SocketAddr,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+) -> thread::JoinHandle<()> {
+    use std::io::{Read, Write};
+    thread::spawn(move || {
+        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+            if let Ok(mut conn) = std::net::TcpStream::connect(http) {
+                conn.set_read_timeout(Some(std::time::Duration::from_secs(2)))
+                    .ok();
+                conn.write_all(b"GET /metrics HTTP/1.0\r\nHost: bench\r\n\r\n")
+                    .ok();
+                let mut body = String::new();
+                conn.read_to_string(&mut body).ok();
+            }
+            // sleep in short hops so shutdown is prompt
+            for _ in 0..20 {
+                if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    return;
+                }
+                thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+    })
+}
+
 fn run_session(addr: SocketAddr, events: &[(SiteId, bool)]) {
     let program = if streaming_enabled() { "bench" } else { "" };
     let mut tracer = RemoteTracer::new(
@@ -59,14 +98,17 @@ fn run_session(addr: SocketAddr, events: &[(SiteId, bool)]) {
 }
 
 fn bench_ingest(c: &mut Criterion) {
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServerConfig::builder().quiet(true).build().expect("config"),
-    )
-    .expect("bind");
+    let mut builder = ServerConfig::builder().quiet(true);
+    if http_enabled() {
+        builder = builder.http_addr("127.0.0.1:0");
+    }
+    let server = Server::bind("127.0.0.1:0", builder.build().expect("config")).expect("bind");
     let addr = server.local_addr().expect("local addr");
+    let http = server.http_addr().expect("http addr");
     let handle: ServerHandle = server.handle();
     let daemon = thread::spawn(move || server.run().expect("server run"));
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = http.map(|http| spawn_scraper(http, stop.clone()));
 
     let mut group = c.benchmark_group("ingest_throughput");
     group.sample_size(10);
@@ -94,6 +136,10 @@ fn bench_ingest(c: &mut Criterion) {
     }
     group.finish();
 
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(scraper) = scraper {
+        scraper.join().expect("scraper thread");
+    }
     handle.shutdown();
     daemon.join().expect("daemon thread");
 }

@@ -22,20 +22,19 @@ use std::io::{self, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::thread;
 use twodprof_engine::{payload_checksum, JobOutput};
+use twodprof_obs::{Family, Gauge};
 use twodprof_serve::wire::{ClientFrame, JobOutcome, JobPayload, ServerFrame};
 
-/// The per-node in-flight gauge. Registered straight on the registry, not
-/// through the `gauge!` macro: the macro caches its handle in a
-/// per-call-site static, which would pin every node to the first node's
-/// gauge name. The runtime-built name goes through the registry's shared
-/// interner ([`twodprof_obs::intern_name`]), so repeated batches reuse one
-/// `'static` string per node index; registration is idempotent per name.
-fn inflight_gauge(node: usize) -> &'static twodprof_obs::Gauge {
-    twodprof_obs::global().gauge(
-        twodprof_obs::intern_name(format!("fabric_node{node}_inflight")),
-        "Jobs currently in flight on this fabric node.",
-    )
-}
+/// The per-node in-flight gauges, one per node index. A `Family` rather
+/// than the `gauge!` macro: the macro caches its handle in a per-call-site
+/// static, which would pin every node to the first node's gauge name. The
+/// family interns `fabric_node{N}_inflight` once per index and hands back
+/// the same `'static` handle on every batch.
+static INFLIGHT: Family<Gauge> = Family::gauge(
+    "fabric_node",
+    "_inflight",
+    "Jobs currently in flight on this fabric node.",
+);
 
 fn connect(addr: &str, config: &FabricConfig) -> io::Result<TcpStream> {
     let mut delay = config.retry_backoff;
@@ -61,7 +60,7 @@ fn connect(addr: &str, config: &FabricConfig) -> io::Result<TcpStream> {
 /// in-flight jobs it still owned.
 pub(crate) fn run_node(board: &Board, node: usize, addr: &str, config: &FabricConfig) {
     let _span = twodprof_obs::span!("fabric.node");
-    let gauge = inflight_gauge(node);
+    let gauge = INFLIGHT.get(node);
     let result = drive(board, node, addr, config, |n| gauge.set(n as i64));
     gauge.set(0);
     if let Err(e) = result {

@@ -49,6 +49,19 @@
 //! `twodprofd` `Stats` wire frame carries. [`Snapshot::delta`] subtracts an
 //! earlier snapshot for per-interval rates.
 //!
+//! Dynamically-indexed metrics (per-shard, per-node) register through a
+//! [`Family`]: a `const`-constructible helper that formats
+//! `{base}{index}{suffix}` names through the shared interner and caches one
+//! `&'static` handle per index — the structured replacement for hand-rolled
+//! `intern_name(format!(...))` call sites.
+//!
+//! # Timeline
+//!
+//! The [`timeline`] module keeps recent history: a bounded ring of periodic
+//! [`Snapshot::delta`] results ([`Timeline`]) with per-interval timestamps,
+//! rate queries, and varint serialization — what the daemon's `/vars` HTTP
+//! endpoint serves as its recent-rates tail.
+//!
 //! # Span tracing
 //!
 //! Aggregates say *how often*; the [`trace`] module says *where the time
@@ -62,11 +75,13 @@ pub mod chrome;
 mod metric;
 mod registry;
 mod snapshot;
+pub mod timeline;
 pub mod trace;
 
 pub use metric::{Counter, Gauge, Histogram, NUM_BUCKETS};
-pub use registry::{global, intern_name, Registry};
+pub use registry::{global, intern_name, Family, Registry};
 pub use snapshot::{HistogramSnapshot, Snapshot};
+pub use timeline::{Timeline, TimelineEntry};
 
 /// Registers (idempotently) and returns a `&'static` [`Counter`] on the
 /// global registry, caching the handle per call site.

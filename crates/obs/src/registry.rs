@@ -129,6 +129,94 @@ impl Registry {
     }
 }
 
+/// A labeled metric family: one metric kind instantiated per small integer
+/// index, with names of the form `{base}{index}{suffix}` (e.g.
+/// `serve_shard3_sessions`). The index rides *inside* the metric name rather
+/// than as a Prometheus `{label="..."}` pair because [`Snapshot::to_text`]
+/// emits one `# HELP`/`# TYPE` header per name — a label embedded in the
+/// name would corrupt those lines.
+///
+/// A `Family` is `const`-constructible so call sites can hold one in a
+/// `static`, mirroring the `counter!`/`gauge!` macros' per-call-site cache:
+/// `get(index)` interns the formatted name and registers on the global
+/// registry exactly once per index, then answers from a lock-protected
+/// dense cache. Registration stays off the hot path; the returned handles
+/// are the usual `&'static` lock-free cells.
+pub struct Family<M: 'static> {
+    base: &'static str,
+    suffix: &'static str,
+    help: &'static str,
+    register: fn(&'static str, &'static str) -> &'static M,
+    cells: Mutex<Vec<Option<&'static M>>>,
+}
+
+impl<M> Family<M> {
+    const fn new(
+        base: &'static str,
+        suffix: &'static str,
+        help: &'static str,
+        register: fn(&'static str, &'static str) -> &'static M,
+    ) -> Self {
+        Self {
+            base,
+            suffix,
+            help,
+            register,
+            cells: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The member metric for `index`, registering it on the global registry
+    /// on first use. Subsequent calls for the same index return the cached
+    /// `&'static` handle.
+    pub fn get(&self, index: usize) -> &'static M {
+        let mut cells = self.cells.lock().expect("metric family cache");
+        if index >= cells.len() {
+            cells.resize(index + 1, None);
+        }
+        cells[index].get_or_insert_with(|| {
+            let name = intern_name(format!("{}{index}{}", self.base, self.suffix));
+            (self.register)(name, self.help)
+        })
+    }
+
+    /// The full metric name for `index`, interned whether or not the member
+    /// has been registered yet.
+    pub fn name(&self, index: usize) -> &'static str {
+        intern_name(format!("{}{index}{}", self.base, self.suffix))
+    }
+}
+
+impl Family<Counter> {
+    /// A counter family registering on the global registry.
+    pub const fn counter(base: &'static str, suffix: &'static str, help: &'static str) -> Self {
+        fn register(name: &'static str, help: &'static str) -> &'static Counter {
+            global().counter(name, help)
+        }
+        Self::new(base, suffix, help, register)
+    }
+}
+
+impl Family<Gauge> {
+    /// A gauge family registering on the global registry.
+    pub const fn gauge(base: &'static str, suffix: &'static str, help: &'static str) -> Self {
+        fn register(name: &'static str, help: &'static str) -> &'static Gauge {
+            global().gauge(name, help)
+        }
+        Self::new(base, suffix, help, register)
+    }
+}
+
+impl Family<Histogram> {
+    /// A histogram family registering on the global registry.
+    pub const fn histogram(base: &'static str, suffix: &'static str, help: &'static str) -> Self {
+        fn register(name: &'static str, help: &'static str) -> &'static Histogram {
+            global().histogram(name, help)
+        }
+        Self::new(base, suffix, help, register)
+    }
+}
+
 /// Interns a runtime-built metric name, returning the canonical
 /// `&'static str` for it. The `counter!`/`gauge!` macros cache their
 /// handle in a per-call-site static, which pins the name at compile time;
@@ -200,6 +288,40 @@ mod tests {
         let d = r.counter("invisible_total", "Never seen.");
         assert!(!std::ptr::eq(c, d));
         assert_eq!(d.get(), 0);
+    }
+
+    #[test]
+    fn family_formats_names_and_caches_handles() {
+        static SESSIONS: Family<Gauge> =
+            Family::gauge("obs_family_test_shard", "_sessions", "Family test gauge.");
+        let g0 = SESSIONS.get(0);
+        let g3 = SESSIONS.get(3);
+        assert!(!std::ptr::eq(g0, g3));
+        assert!(std::ptr::eq(g0, SESSIONS.get(0)), "index 0 must be cached");
+        assert_eq!(SESSIONS.name(3), "obs_family_test_shard3_sessions");
+        g3.set(7);
+        // the family registers on the global registry under the formatted name
+        let direct = global().gauge(
+            intern_name("obs_family_test_shard3_sessions".to_owned()),
+            "Family test gauge.",
+        );
+        assert!(std::ptr::eq(g3, direct));
+        assert_eq!(direct.get(), 7);
+    }
+
+    #[test]
+    fn family_counter_and_histogram_kinds() {
+        static HITS: Family<Counter> = Family::counter(
+            "obs_family_test_node",
+            "_hits_total",
+            "Family test counter.",
+        );
+        static LAT: Family<Histogram> =
+            Family::histogram("obs_family_test_node", "_micros", "Family test histogram.");
+        HITS.get(1).add(4);
+        assert_eq!(HITS.get(1).get(), 4);
+        LAT.get(2).observe(9);
+        assert_eq!(LAT.get(2).count(), 1);
     }
 
     #[test]

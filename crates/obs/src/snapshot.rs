@@ -356,6 +356,46 @@ mod tests {
     }
 
     #[test]
+    fn delta_counter_reset_clamps_to_zero() {
+        // a daemon restart resets counters to zero; the next delta against
+        // the pre-restart snapshot must clamp instead of wrapping to ~u64::MAX
+        let before_restart = sample(); // jobs_total = 17
+        let r = Registry::new(true);
+        r.counter("jobs_total", "Jobs run.").add(5);
+        let after_restart = r.snapshot();
+        let d = after_restart.delta(&before_restart);
+        assert_eq!(d.counter("jobs_total"), Some(0), "5 - 17 saturates to 0");
+
+        // same for histogram buckets and sums
+        let rh = Registry::new(true);
+        let h = rh.histogram("job_micros", "Job wall time.");
+        h.observe(5);
+        let hd = rh.snapshot().delta(&before_restart);
+        let hist = hd.histogram("job_micros").unwrap();
+        assert!(hist.buckets.iter().all(|&b| b <= 1), "no wrapped buckets");
+        assert_eq!(hist.sum, 0, "5 - 1000005 saturates to 0");
+    }
+
+    #[test]
+    fn delta_metric_appearing_and_disappearing() {
+        let earlier = sample();
+        let r = Registry::new(true);
+        r.counter("fresh_total", "Registered mid-interval.").add(8);
+        let g = r.histogram("fresh_micros", "Registered mid-interval.");
+        g.observe(3);
+        let later = r.snapshot();
+        let d = later.delta(&earlier);
+        // appearing: the full value counts as this interval's movement
+        assert_eq!(d.counter("fresh_total"), Some(8));
+        assert_eq!(d.histogram("fresh_micros").unwrap().count(), 1);
+        // disappearing: metrics only in `earlier` are dropped, not negated
+        assert_eq!(d.counter("jobs_total"), None);
+        assert!(d.histogram("job_micros").is_none());
+        assert_eq!(d.counters.len(), 1);
+        assert_eq!(d.histograms.len(), 1);
+    }
+
+    #[test]
     fn lookup_helpers() {
         let snap = sample();
         assert_eq!(snap.counter("jobs_total"), Some(17));

@@ -10,6 +10,8 @@
 //! twodprof-client watch PROGRAM [--addr HOST:PORT] [--snapshot] [--limit N]
 //! twodprof-client drive PROGRAM [--addr HOST:PORT] [--events N] [--flip-every N]
 //! twodprof-client soak [--addr HOST:PORT] [--sessions N] [--concurrency N]
+//! twodprof-client top [--node HOST:PORT]... [--interval SECS] [--iterations N] [--no-clear]
+//! twodprof-client blackbox [--addr HOST:PORT] [--file PATH]
 //! ```
 
 use std::process::ExitCode;
@@ -21,6 +23,8 @@ fn main() -> ExitCode {
         Some("watch") => twodprof_serve::cli::watch_main(&args[1..]),
         Some("drive") => twodprof_serve::cli::drive_main(&args[1..]),
         Some("soak") => twodprof_serve::cli::soak_main(&args[1..]),
+        Some("top") => twodprof_serve::cli::top_main(&args[1..]),
+        Some("blackbox") => twodprof_serve::cli::blackbox_main(&args[1..]),
         _ => twodprof_serve::cli::replay_main(&args),
     };
     match result {

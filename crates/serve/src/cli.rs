@@ -3,7 +3,8 @@
 //! subcommands.
 
 use crate::client::{
-    fetch_stats, fetch_verdicts, ClientError, ConnectOptions, WatchClient, DEFAULT_BATCH_EVENTS,
+    fetch_blackbox, fetch_stats, fetch_verdicts, ClientError, ConnectOptions, WatchClient,
+    DEFAULT_BATCH_EVENTS,
 };
 use crate::compute::ComputeConfig;
 use crate::config::ServerConfig;
@@ -16,6 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use twodprof_core::SliceConfig;
+use twodprof_obs::Snapshot;
 use twodprof_stream::{StreamConfig, VerdictSnapshot};
 use workloads::Scale;
 
@@ -57,6 +59,7 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
     let mut compute: Option<ComputeConfig> = None;
     let mut quiet = false;
     let mut addr_file = None;
+    let mut http_addr_file = None;
     let mut stream_slice_len: Option<u64> = None;
     let mut stream_exec_threshold: Option<u64> = None;
     let mut it = args.iter();
@@ -69,6 +72,32 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--addr" => addr = value("--addr")?.to_owned(),
             "--addr-file" => addr_file = Some(value("--addr-file")?.to_owned()),
+            "--http-addr" => builder = builder.http_addr(value("--http-addr")?),
+            "--http-addr-file" => {
+                http_addr_file = Some(value("--http-addr-file")?.to_owned());
+            }
+            "--timeline-capacity" => {
+                builder = builder.timeline_capacity(numeric(
+                    "--timeline-capacity",
+                    value("--timeline-capacity")?,
+                )?);
+            }
+            "--timeline-interval" => {
+                let secs: f64 = numeric("--timeline-interval", value("--timeline-interval")?)?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err("--timeline-interval needs a positive number of seconds".to_owned());
+                }
+                builder = builder.timeline_interval(Duration::from_secs_f64(secs));
+            }
+            "--blackbox-capacity" => {
+                builder = builder.blackbox_capacity(numeric(
+                    "--blackbox-capacity",
+                    value("--blackbox-capacity")?,
+                )?);
+            }
+            "--blackbox-file" => {
+                builder = builder.blackbox_path(value("--blackbox-file")?.to_owned());
+            }
             "--max-sessions" => {
                 builder =
                     builder.max_sessions(numeric("--max-sessions", value("--max-sessions")?)?);
@@ -174,6 +203,9 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: twodprofd [--addr HOST:PORT] [--addr-file PATH]\n\
+                     \x20               [--http-addr HOST:PORT] [--http-addr-file PATH]\n\
+                     \x20               [--timeline-capacity N] [--timeline-interval SECS]\n\
+                     \x20               [--blackbox-capacity N] [--blackbox-file PATH]\n\
                      \x20               [--max-sessions N] [--max-events N]\n\
                      \x20               [--idle-timeout-ms N] [--drain-timeout-ms N] [--quiet]\n\
                      \x20               [--retry-after-ms N] [--shards N]\n\
@@ -187,6 +219,14 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
                      \x20               [--compute-cache-dir DIR]\n\
                      default address {DEFAULT_ADDR}; port 0 binds an ephemeral port\n\
                      --addr-file writes the bound address to PATH once listening\n\
+                     --http-addr serves GET /metrics, /healthz, and /vars over\n\
+                     HTTP (Prometheus text, readiness, JSON); --http-addr-file\n\
+                     writes its bound address to PATH once listening\n\
+                     --timeline-* shape the in-memory metrics timeline (ring of\n\
+                     per-interval deltas behind /vars)\n\
+                     --blackbox-* shape the flight recorder: a ring of notable\n\
+                     events fetchable with `twodprof-client blackbox`, dumped\n\
+                     to --blackbox-file on SIGUSR1 or panic\n\
                      --shards sets the event-loop thread count; each shard owns\n\
                      1/N of the sessions, a --shard-memory-budget of resident\n\
                      recording bytes (degrade past half, shed at the budget with\n\
@@ -232,7 +272,18 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
         std::fs::write(&path, local.to_string())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
+    let http = server
+        .http_addr()
+        .map_err(|e| format!("cannot resolve exposition address: {e}"))?;
+    if let Some(http) = http {
+        println!("twodprofd exposition on http://{http}");
+        if let Some(path) = http_addr_file {
+            std::fs::write(&path, http.to_string())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
     install_signal_handlers(server.handle());
+    install_panic_dump(server.handle());
     let stats = server.run().map_err(|e| format!("server failed: {e}"))?;
     if !quiet {
         eprintln!(
@@ -769,30 +820,275 @@ pub fn soak_main(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Installs SIGINT/SIGTERM handlers that request a graceful shutdown.
+/// Entry point for `twodprof-client top`: a live terminal dashboard over
+/// one or more daemons. Each refresh fetches every `--node`'s `Stats`
+/// snapshot, differences it against the previous refresh for rates, and
+/// renders per-node session/event/cache lines plus one row per shard
+/// (admission tier, sessions, residency, event-loop lag, reply backlog).
+/// `--iterations N` renders N frames and exits (scripted mode; a single
+/// iteration never clears the screen), `0` runs until killed.
+///
+/// # Errors
+///
+/// Returns a usage error message for the caller to print. Unreachable
+/// nodes render as an error row and do not abort the dashboard.
+pub fn top_main(args: &[String]) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let mut nodes: Vec<String> = Vec::new();
+    let mut interval = Duration::from_secs(2);
+    let mut iterations: u64 = 0;
+    let mut clear = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "top" => {} // tolerated so `top --node ...` and `--node ...` both parse
+            "--node" => nodes.push(value("--node")?.to_owned()),
+            "--interval" => {
+                let secs: f64 = numeric("--interval", value("--interval")?)?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err("--interval needs a positive number of seconds".to_owned());
+                }
+                interval = Duration::from_secs_f64(secs);
+            }
+            "--iterations" => iterations = numeric("--iterations", value("--iterations")?)?,
+            "--no-clear" => clear = false,
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: twodprof-client top [--node HOST:PORT]... [--interval SECS]\n\
+                     \x20      [--iterations N] [--no-clear]\n\
+                     live dashboard over one or more twodprofd daemons (default\n\
+                     node {DEFAULT_ADDR}): per-node session counts, event rates,\n\
+                     cache hits, and drift rates with deltas per refresh, plus\n\
+                     one row per shard with its admission tier, residency,\n\
+                     event-loop lag, and reply-backlog high water\n\
+                     --iterations N renders N frames and exits (0 = until\n\
+                     killed); --no-clear appends frames instead of repainting"
+                ));
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if nodes.is_empty() {
+        nodes.push(DEFAULT_ADDR.to_owned());
+    }
+    let mut last: Vec<Option<Snapshot>> = nodes.iter().map(|_| None).collect();
+    let mut round: u64 = 0;
+    loop {
+        round += 1;
+        let mut frame = String::new();
+        let _ = writeln!(
+            frame,
+            "twodprof top | {} node(s), refresh {:.1}s, frame {round}",
+            nodes.len(),
+            interval.as_secs_f64()
+        );
+        for (i, node) in nodes.iter().enumerate() {
+            match fetch_stats(node.as_str()) {
+                Ok(snap) => {
+                    render_top_node(
+                        &mut frame,
+                        node,
+                        &snap,
+                        last[i].as_ref(),
+                        interval.as_secs_f64(),
+                    );
+                    last[i] = Some(snap);
+                }
+                Err(e) => {
+                    let _ = writeln!(frame, "node {node}: unreachable ({e})");
+                    last[i] = None;
+                }
+            }
+        }
+        if clear && iterations != 1 {
+            // ANSI clear + home: repaint in place like top(1)
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{frame}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        if iterations != 0 && round >= iterations {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+    Ok(())
+}
+
+/// Renders one node's dashboard block from its snapshot (and the previous
+/// refresh's snapshot for per-refresh rates).
+fn render_top_node(
+    out: &mut String,
+    node: &str,
+    snap: &Snapshot,
+    prev: Option<&Snapshot>,
+    secs: f64,
+) {
+    use std::fmt::Write as _;
+    let delta = prev.map(|p| snap.delta(p));
+    let total = |name: &str| snap.counter(name).unwrap_or(0);
+    let rate = |name: &str| -> f64 {
+        delta.as_ref().and_then(|d| d.counter(name)).unwrap_or(0) as f64 / secs.max(1e-9)
+    };
+    let _ = writeln!(out, "node {node}");
+    let _ = writeln!(
+        out,
+        "  sessions: opened {} ({:.1}/s), finished {} ({:.1}/s), aborted {}; admit {} acc / {} deg / {} shed",
+        total("serve_sessions_opened_total"),
+        rate("serve_sessions_opened_total"),
+        total("serve_sessions_finished_total"),
+        rate("serve_sessions_finished_total"),
+        total("serve_sessions_aborted_total"),
+        total("serve_admit_accept_total"),
+        total("serve_admit_degrade_total"),
+        total("serve_admit_shed_total"),
+    );
+    let _ = writeln!(
+        out,
+        "  events: {} total ({:.0}/s); drift {} ({:.1}/s); cache {} memo / {} disk / {} miss",
+        total("serve_events_total"),
+        rate("serve_events_total"),
+        total("stream_drift_events_total"),
+        rate("stream_drift_events_total"),
+        total("engine_cache_memo_hits_total"),
+        total("engine_cache_hits_total"),
+        total("engine_cache_misses_total"),
+    );
+    let mut shard = 0usize;
+    while let Some(sessions) = snap.gauge(&format!("serve_shard{shard}_sessions")) {
+        let tier = match snap.gauge(&format!("serve_shard{shard}_tier")).unwrap_or(0) {
+            0 => "accept",
+            1 => "degrade",
+            _ => "shed",
+        };
+        let _ = writeln!(
+            out,
+            "  shard {shard}: {tier:<8} {sessions} session(s), resident {}B, spilled {}B, lag {}us, backlog {}B",
+            snap.gauge(&format!("serve_shard{shard}_resident_bytes"))
+                .unwrap_or(0),
+            snap.gauge(&format!("serve_shard{shard}_spilled_bytes"))
+                .unwrap_or(0),
+            snap.gauge(&format!("serve_shard{shard}_lag_micros"))
+                .unwrap_or(0),
+            snap.gauge(&format!("serve_shard{shard}_out_buffer_high_water_bytes"))
+                .unwrap_or(0),
+        );
+        shard += 1;
+    }
+    if shard == 0 {
+        let _ = writeln!(
+            out,
+            "  (no per-shard gauges in the snapshot; daemon metrics disabled?)"
+        );
+    }
+}
+
+/// Entry point for `twodprof-client blackbox`: fetches a live daemon's
+/// flight-recorder ring (or decodes a `SIGUSR1`/panic dump from `--file`)
+/// and prints the events, oldest first. Decoding verifies the block's
+/// checksum, so a torn dump fails loudly instead of printing garbage.
+///
+/// # Errors
+///
+/// Returns a usage/transport/decode error message for the caller to print.
+pub fn blackbox_main(args: &[String]) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_owned();
+    let mut file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "blackbox" => {} // tolerated so both invocation forms parse
+            "--addr" => addr = value("--addr")?.to_owned(),
+            "--file" => file = Some(value("--file")?.to_owned()),
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: twodprof-client blackbox [--addr HOST:PORT] [--file PATH]\n\
+                     prints the flight recorder's ring of notable daemon events\n\
+                     (decode errors, tier transitions, spills, aborts, slow\n\
+                     ticks), oldest first\n\
+                     default: fetch live over the wire from --addr\n\
+                     (default {DEFAULT_ADDR}); --file instead decodes a blackbox\n\
+                     dump written on SIGUSR1 or panic, verifying its checksum"
+                ));
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    let events = match file {
+        Some(path) => {
+            let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            crate::flight::decode(&bytes).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => fetch_blackbox(addr.as_str()).map_err(|e| e.to_string())?,
+    };
+    println!("blackbox: {} event(s)", events.len());
+    for event in &events {
+        println!("{event}");
+    }
+    Ok(())
+}
+
+/// Installs SIGINT/SIGTERM handlers that request a graceful shutdown, and a
+/// SIGUSR1 handler that requests a flight-recorder (blackbox) dump.
 ///
 /// Uses the C `signal` entry point directly (std links libc anyway) to stay
-/// dependency-free; the handler body is a single atomic store, which is
-/// async-signal-safe.
+/// dependency-free; every handler body is a single atomic store, which is
+/// async-signal-safe. The actual dump happens on the accept loop's next
+/// pass, off the signal stack.
 #[cfg(unix)]
 fn install_signal_handlers(handle: ServerHandle) {
     static HANDLE: OnceLock<ServerHandle> = OnceLock::new();
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
-    extern "C" fn on_signal(_signum: i32) {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    const SIGUSR1: i32 = 10;
+    extern "C" fn on_signal(signum: i32) {
+        if signum == SIGUSR1 {
+            crate::flight::request_dump();
+            return;
+        }
         if let Some(handle) = HANDLE.get() {
             handle.shutdown();
         }
     }
-    const SIGINT: i32 = 2;
-    const SIGTERM: i32 = 15;
     let _ = HANDLE.set(handle);
     unsafe {
         signal(SIGINT, on_signal as *const () as usize);
         signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGUSR1, on_signal as *const () as usize);
     }
 }
 
 #[cfg(not(unix))]
 fn install_signal_handlers(_handle: ServerHandle) {}
+
+/// Wraps the default panic hook so a crashing daemon leaves a blackbox dump
+/// behind (the same file `SIGUSR1` writes) before the usual backtrace.
+fn install_panic_dump(handle: ServerHandle) {
+    static PANIC_HANDLE: OnceLock<ServerHandle> = OnceLock::new();
+    if PANIC_HANDLE.set(handle).is_err() {
+        return;
+    }
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if let Some(handle) = PANIC_HANDLE.get() {
+            match handle.dump_blackbox() {
+                Ok(path) => eprintln!("[twodprofd] panic: blackbox dumped to {}", path.display()),
+                Err(e) => eprintln!("[twodprofd] panic: blackbox dump failed: {e}"),
+            }
+        }
+        default_hook(info);
+    }));
+}

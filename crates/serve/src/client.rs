@@ -2,6 +2,7 @@
 //! a batching [`Tracer`] so existing workloads can stream to a remote
 //! daemon unchanged.
 
+use crate::flight::FlightEvent;
 use crate::wire::{AdmissionTier, ClientFrame, Hello, ServerFrame, PROTOCOL_VERSION};
 use bpred::PredictorKind;
 use btrace::{SiteId, Tracer};
@@ -497,6 +498,7 @@ fn unexpected(wanted: &str, got: &ServerFrame) -> ClientError {
         ServerFrame::DriftEvent(_) => "DriftEvent",
         ServerFrame::JobResult { .. } => "JobResult",
         ServerFrame::CacheReply { .. } => "CacheReply",
+        ServerFrame::BlackboxReply(_) => "BlackboxReply",
     };
     ClientError::Protocol(format!("expected {wanted}, got {label}"))
 }
@@ -599,6 +601,34 @@ pub fn fetch_stats(addr: impl ToSocketAddrs) -> Result<Snapshot, ClientError> {
         } => Err(ClientError::refused(msg, tier, retry_after_ms)),
         ServerFrame::Error { code, msg } => Err(ClientError::Server { code, msg }),
         other => Err(unexpected("StatsReply", &other)),
+    }
+}
+
+/// Fetches the daemon's flight-recorder ring over a one-shot connection (a
+/// `Blackbox` frame is sessionless, like `Stats`) and decodes the
+/// checksummed block into its events, oldest first.
+///
+/// # Errors
+///
+/// Transport errors, plus [`ClientError::Protocol`] if the reply is not a
+/// `BlackboxReply` carrying a decodable flight block.
+pub fn fetch_blackbox(addr: impl ToSocketAddrs) -> Result<Vec<FlightEvent>, ClientError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    ClientFrame::Blackbox.write_to(&mut writer)?;
+    writer.flush()?;
+    match ServerFrame::read_from(&mut reader)? {
+        ServerFrame::BlackboxReply(bytes) => crate::flight::decode(&bytes)
+            .map_err(|e| ClientError::Protocol(format!("undecodable flight block: {e}"))),
+        ServerFrame::Busy {
+            msg,
+            tier,
+            retry_after_ms,
+        } => Err(ClientError::refused(msg, tier, retry_after_ms)),
+        ServerFrame::Error { code, msg } => Err(ClientError::Server { code, msg }),
+        other => Err(unexpected("BlackboxReply", &other)),
     }
 }
 

@@ -4,7 +4,8 @@
 //! The config grew one flat field per PR until misconfiguration became
 //! easy (a zero session table, a spill threshold above the memory budget
 //! it is meant to protect). Knobs are now grouped by concern —
-//! [`limits`](LimitsConfig), [`shards`](ShardConfig), stream, compute —
+//! [`limits`](LimitsConfig), [`shards`](ShardConfig), stream, compute,
+//! [`obs`](ObsConfig) —
 //! and the builder's [`build`](ServerConfigBuilder::build) rejects zero or
 //! mutually conflicting limits instead of letting the daemon run with
 //! them. `ServerConfig::default()` remains valid and cheap (tests and
@@ -88,6 +89,36 @@ impl Default for ShardConfig {
     }
 }
 
+/// Observability-plane knobs: HTTP exposition, metrics timeline, and the
+/// flight recorder.
+#[derive(Clone, Debug)]
+pub struct ObsConfig {
+    /// Bind address for the std-only HTTP/1.0 exposition listener
+    /// (`/metrics`, `/healthz`, `/vars`); `None` (the default) disables it.
+    pub http_addr: Option<String>,
+    /// Retention of the metrics timeline, in recorded intervals.
+    pub timeline_capacity: usize,
+    /// Cadence of timeline snapshots while the HTTP listener is enabled.
+    pub timeline_interval: Duration,
+    /// Retention of the flight recorder, in events.
+    pub blackbox_capacity: usize,
+    /// Where a blackbox dump lands on panic or `SIGUSR1`; `None` uses
+    /// `twodprofd-blackbox-<pid>.bin` in the system temp dir.
+    pub blackbox_path: Option<PathBuf>,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            http_addr: None,
+            timeline_capacity: 256,
+            timeline_interval: Duration::from_secs(1),
+            blackbox_capacity: 256,
+            blackbox_path: None,
+        }
+    }
+}
+
 /// Tuning knobs of a daemon instance, grouped by concern.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -113,6 +144,8 @@ pub struct ServerConfig {
     pub quiet: bool,
     /// Emit a stats summary on stderr at this cadence; `None` disables it.
     pub stats_interval: Option<Duration>,
+    /// Observability plane: HTTP exposition, timeline, flight recorder.
+    pub obs: ObsConfig,
 }
 
 impl ServerConfig {
@@ -134,6 +167,7 @@ impl Default for ServerConfig {
             record_sessions: true,
             quiet: false,
             stats_interval: None,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -250,6 +284,36 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// See [`ObsConfig::http_addr`].
+    pub fn http_addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.obs.http_addr = Some(addr.into());
+        self
+    }
+
+    /// See [`ObsConfig::timeline_capacity`].
+    pub fn timeline_capacity(mut self, n: usize) -> Self {
+        self.config.obs.timeline_capacity = n;
+        self
+    }
+
+    /// See [`ObsConfig::timeline_interval`].
+    pub fn timeline_interval(mut self, d: Duration) -> Self {
+        self.config.obs.timeline_interval = d;
+        self
+    }
+
+    /// See [`ObsConfig::blackbox_capacity`].
+    pub fn blackbox_capacity(mut self, n: usize) -> Self {
+        self.config.obs.blackbox_capacity = n;
+        self
+    }
+
+    /// See [`ObsConfig::blackbox_path`].
+    pub fn blackbox_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.obs.blackbox_path = Some(path.into());
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -287,6 +351,17 @@ impl ServerConfigBuilder {
         if c.shards.spill_threshold == 0 {
             return Err(ConfigError("shards.spill_threshold must be > 0".into()));
         }
+        if c.obs.timeline_capacity == 0 {
+            return Err(ConfigError("obs.timeline_capacity must be > 0".into()));
+        }
+        if c.obs.timeline_interval.is_zero() {
+            return Err(ConfigError(
+                "obs.timeline_interval must be > 0 (the recorder would spin)".into(),
+            ));
+        }
+        if c.obs.blackbox_capacity == 0 {
+            return Err(ConfigError("obs.blackbox_capacity must be > 0".into()));
+        }
         if c.shards.spill_threshold > c.shards.memory_budget {
             return Err(ConfigError(format!(
                 "shards.spill_threshold ({}) exceeds shards.memory_budget ({}): sessions could \
@@ -323,6 +398,11 @@ mod tests {
             .record_sessions(false)
             .quiet(true)
             .stats_interval(Some(Duration::from_secs(1)))
+            .http_addr("127.0.0.1:9090")
+            .timeline_capacity(32)
+            .timeline_interval(Duration::from_millis(500))
+            .blackbox_capacity(64)
+            .blackbox_path("/tmp/blackbox.bin")
             .build()
             .unwrap();
         assert_eq!(config.limits.max_sessions, 7);
@@ -337,6 +417,14 @@ mod tests {
         );
         assert!(!config.record_sessions);
         assert!(config.quiet);
+        assert_eq!(config.obs.http_addr.as_deref(), Some("127.0.0.1:9090"));
+        assert_eq!(config.obs.timeline_capacity, 32);
+        assert_eq!(config.obs.timeline_interval, Duration::from_millis(500));
+        assert_eq!(config.obs.blackbox_capacity, 64);
+        assert_eq!(
+            config.obs.blackbox_path.as_deref(),
+            Some(std::path::Path::new("/tmp/blackbox.bin"))
+        );
     }
 
     #[test]
@@ -360,6 +448,18 @@ mod tests {
             .build()
             .is_err());
         assert!(ServerConfig::builder().spill_threshold(0).build().is_err());
+        assert!(ServerConfig::builder()
+            .timeline_capacity(0)
+            .build()
+            .is_err());
+        assert!(ServerConfig::builder()
+            .timeline_interval(Duration::ZERO)
+            .build()
+            .is_err());
+        assert!(ServerConfig::builder()
+            .blackbox_capacity(0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! The daemon's HTTP/1.0 exposition listener: `std`-only, hand-parsed,
+//! three endpoints.
+//!
+//! | path       | purpose                                                 |
+//! |------------|---------------------------------------------------------|
+//! | `/metrics` | Prometheus text exposition of the global registry       |
+//! | `/healthz` | readiness from per-shard admission tier; 503 on shed    |
+//! | `/vars`    | JSON snapshot: stats, per-shard health, timeline tail   |
+//!
+//! The listener runs on one dedicated thread (`twodprofd-http`),
+//! nonblocking-accepts with a short sleep so it notices shutdown, and
+//! serves each request synchronously — scrapes are rare (1 Hz-ish) and
+//! tiny, so a thread per request would be waste. Replies are HTTP/1.0
+//! with `Content-Length` and `Connection: close`: every scraper speaks
+//! it, and close-delimited bodies sidestep keep-alive state entirely.
+//! Read/write timeouts bound how long one stuck scraper can hold the
+//! thread.
+
+use crate::server::Shared;
+use crate::shard::{current_tier, tier_code};
+use crate::wire::AdmissionTier;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::thread;
+use std::time::Duration;
+
+/// How long a request may take to arrive or a reply to drain before the
+/// connection is abandoned.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Ceiling on request-head bytes read before giving up on a client.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Timeline entries shipped in a `/vars` reply: enough for a dashboard's
+/// sparkline without making scrapes scale with retention.
+const VARS_TIMELINE_TAIL: usize = 32;
+
+/// The exposition thread body: accepts and serves until the daemon stops.
+pub(crate) fn http_loop(shared: &Shared, listener: TcpListener) {
+    if let Err(e) = listener.set_nonblocking(true) {
+        shared.log(format_args!("http listener setup failed: {e}"));
+        return;
+    }
+    while !shared.is_stopped() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Err(e) = serve_request(shared, stream) {
+                    shared.log(format_args!("http request failed: {e}"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                shared.log(format_args!("http accept error: {e}"));
+                thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Reads one request head, routes it, and writes the close-delimited reply.
+fn serve_request(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?).take(MAX_REQUEST_BYTES as u64);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // drain the header block so the peer never sees a reset mid-send
+    let mut header = String::new();
+    loop {
+        header.clear();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut stream = stream;
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            b"only GET is served here\n",
+        );
+    }
+    match path {
+        "/metrics" => {
+            let body = twodprof_obs::global().snapshot().to_text();
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                body.as_bytes(),
+            )
+        }
+        "/healthz" => {
+            let (healthy, body) = healthz(shared);
+            let status = if healthy {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            respond(
+                &mut stream,
+                status,
+                "text/plain; charset=utf-8",
+                body.as_bytes(),
+            )
+        }
+        "/vars" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            vars(shared).as_bytes(),
+        ),
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            b"try /metrics, /healthz, or /vars\n",
+        ),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Readiness: healthy while no shard is in Shed. The body names every
+/// shard's tier, residency against the budget, and last event-loop lag,
+/// so a 503 is diagnosable from the probe output alone.
+fn healthz(shared: &Shared) -> (bool, String) {
+    use std::fmt::Write as _;
+    let budget = shared.config.shards.memory_budget;
+    let mut healthy = true;
+    let mut body = String::new();
+    for shard in &shared.shards {
+        let tier = current_tier(&shared.config, shard);
+        if tier == AdmissionTier::Shed {
+            healthy = false;
+        }
+        let _ = writeln!(
+            body,
+            "shard {}: {}, {} of {} byte(s) resident, lag {}us",
+            shard.index,
+            tier.label(),
+            shard.resident_bytes.load(Ordering::Relaxed),
+            budget,
+            shard.last_lag_micros.load(Ordering::Relaxed),
+        );
+    }
+    let status = if healthy { "ok" } else { "shedding" };
+    body.insert_str(0, &format!("status: {status}\n"));
+    (healthy, body)
+}
+
+/// Minimal JSON string escaping: metric names are identifiers, but error
+/// details and paths can carry anything.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The `/vars` document: lifetime stats, per-shard health, every counter
+/// and gauge, the recent events/s rate, and the timeline tail.
+fn vars(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+    let snap = twodprof_obs::global().snapshot();
+    let stats = shared.stats();
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"uptime_millis\":{},\"live_sessions\":{},\"active_connections\":{},",
+        shared.start.elapsed().as_millis(),
+        shared.live_sessions.load(Ordering::SeqCst),
+        shared.active_connections(),
+    );
+    let _ = write!(
+        out,
+        "\"sessions\":{{\"opened\":{},\"finished\":{},\"aborted\":{}}},\"events_ingested\":{},",
+        stats.sessions_opened,
+        stats.sessions_finished,
+        stats.sessions_aborted,
+        stats.events_ingested,
+    );
+    out.push_str("\"shards\":[");
+    for (i, shard) in shared.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let tier = current_tier(&shared.config, shard);
+        let _ = write!(
+            out,
+            "{{\"index\":{},\"tier\":{},\"tier_code\":{},\"sessions\":{},\"resident_bytes\":{},\"spilled_bytes\":{},\"lag_micros\":{},\"tick_micros\":{},\"out_buffer_high_water_bytes\":{}}}",
+            shard.index,
+            json_str(tier.label()),
+            tier_code(tier),
+            shard.sessions.load(Ordering::Relaxed),
+            shard.resident_bytes.load(Ordering::Relaxed),
+            shard.spilled_bytes.load(Ordering::Relaxed),
+            shard.last_lag_micros.load(Ordering::Relaxed),
+            shard.last_tick_micros.load(Ordering::Relaxed),
+            shard.out_high_water.load(Ordering::Relaxed),
+        );
+    }
+    out.push_str("],\"counters\":{");
+    for (i, (name, _help, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{value}", json_str(name));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, _help, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{value}", json_str(name));
+    }
+    out.push_str("},");
+    match shared
+        .timeline
+        .rate("serve_events_total", VARS_TIMELINE_TAIL)
+    {
+        Some(rate) => {
+            let _ = write!(out, "\"events_per_sec\":{rate:.3},");
+        }
+        None => out.push_str("\"events_per_sec\":null,"),
+    }
+    out.push_str("\"timeline\":[");
+    for (i, entry) in shared.timeline.tail(VARS_TIMELINE_TAIL).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"at_millis\":{},\"interval_millis\":{},\"counters\":{{",
+            entry.at_millis, entry.interval_millis
+        );
+        for (j, (name, _help, value)) in entry.delta.counters.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{value}", json_str(name));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_str;
+
+    #[test]
+    fn json_strings_escape_the_awkward_cases() {
+        assert_eq!(json_str("serve_events_total"), "\"serve_events_total\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(json_str("bell\u{7}"), "\"bell\\u0007\"");
+    }
+}

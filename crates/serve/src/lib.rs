@@ -37,11 +37,21 @@
 //! admission (accept / degrade / shed with a retry-after hint) bounds
 //! load, and recorded sessions spill to disk past a threshold so resident
 //! memory stays bounded at 10k+ sessions.
+//!
+//! The daemon carries its own observability plane: a hand-rolled HTTP/1.0
+//! exposition listener (`/metrics`, `/healthz`, `/vars` behind
+//! `--http-addr`), a bounded in-memory timeline of per-interval metric
+//! deltas, per-shard self-health gauges and histograms, and a [`flight`]
+//! recorder — a ring of notable events fetchable over the wire
+//! (`Blackbox` frame), dumped to a checksummed file on `SIGUSR1` or
+//! panic, and rendered live by `twodprof-client top`.
 
 pub mod cli;
 mod client;
 mod compute;
 mod config;
+pub mod flight;
+mod http;
 mod poll;
 mod replay;
 mod server;
@@ -52,10 +62,12 @@ pub mod wire;
 pub use compute::ComputeConfig;
 
 pub use client::{
-    fetch_stats, fetch_trace, fetch_verdicts, ClientError, ConnectOptions, RemoteReport,
-    RemoteSession, RemoteTracer, TraceLink, WatchClient, DEFAULT_BATCH_EVENTS,
+    fetch_blackbox, fetch_stats, fetch_trace, fetch_verdicts, ClientError, ConnectOptions,
+    RemoteReport, RemoteSession, RemoteTracer, TraceLink, WatchClient, DEFAULT_BATCH_EVENTS,
 };
-pub use config::{ConfigError, LimitsConfig, ServerConfig, ServerConfigBuilder, ShardConfig};
+pub use config::{
+    ConfigError, LimitsConfig, ObsConfig, ServerConfig, ServerConfigBuilder, ShardConfig,
+};
 pub use replay::{
     replay_workload, ReplayError, ReplaySpec, ReplaySummary, ReplayTrace, TRACE_PID_CLIENT,
     TRACE_PID_DAEMON,

@@ -39,7 +39,8 @@
 
 use crate::compute::ComputePool;
 use crate::config::ServerConfig;
-use crate::shard::{shard_loop, ShardState};
+use crate::flight::FlightRecorder;
+use crate::shard::{current_tier, shard_loop, ShardState};
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -48,6 +49,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+use twodprof_obs::Timeline;
 use twodprof_stream::{DriftEvent, SessionIngest, StreamingProfiler, VerdictSnapshot};
 
 /// Lifetime counters of a daemon instance.
@@ -133,10 +135,18 @@ pub(crate) struct Shared {
     pub(crate) sessions_finished: AtomicU64,
     pub(crate) sessions_aborted: AtomicU64,
     pub(crate) events_ingested: AtomicU64,
+    /// The flight recorder's bounded ring of notable events (see
+    /// [`crate::flight`]); per daemon instance so parallel daemons in one
+    /// process never mix their postmortems.
+    pub(crate) flight: FlightRecorder,
+    /// Periodic metric deltas for rate queries and `/vars` history.
+    pub(crate) timeline: Arc<Timeline>,
+    /// Daemon start: the epoch for timeline timestamps and `/vars` uptime.
+    pub(crate) start: Instant,
 }
 
 impl Shared {
-    fn stats(&self) -> ServerStats {
+    pub(crate) fn stats(&self) -> ServerStats {
         ServerStats {
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
             sessions_finished: self.sessions_finished.load(Ordering::Relaxed),
@@ -161,6 +171,17 @@ impl Shared {
 
     pub(crate) fn force_closing(&self) -> bool {
         self.force_close.load(Ordering::SeqCst)
+    }
+
+    /// The daemon has fully shut down ([`Server::run`] is returning);
+    /// helper threads (stats, timeline, HTTP exposition) exit on this.
+    pub(crate) fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::SeqCst)
+    }
+
+    /// Open connections right now (including pre-`Hello` ones).
+    pub(crate) fn active_connections(&self) -> usize {
+        self.active_conns.load(Ordering::SeqCst)
     }
 
     /// One connection finished its life (shard teardown, failed handoff,
@@ -286,7 +307,25 @@ pub(crate) fn frame_name(frame: &crate::wire::ClientFrame) -> &'static str {
         ClientFrame::Subscribe { .. } => "serve.frame.subscribe",
         ClientFrame::SubmitJob { .. } => "serve.frame.submit_job",
         ClientFrame::CacheQuery { .. } => "serve.frame.cache_query",
+        ClientFrame::Blackbox => "serve.frame.blackbox",
     }
+}
+
+/// Where this daemon dumps its flight recorder: the configured blackbox
+/// path, or a per-process temp file when none was given.
+pub(crate) fn blackbox_path(shared: &Shared) -> PathBuf {
+    shared.config.obs.blackbox_path.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("twodprofd-blackbox-{}.bin", std::process::id()))
+    })
+}
+
+/// Dumps the flight recorder's ring to the blackbox path and returns where
+/// it wrote. Shared by the `SIGUSR1` handshake, the panic hook, and
+/// [`ServerHandle::dump_blackbox`].
+pub(crate) fn dump_blackbox(shared: &Shared) -> io::Result<PathBuf> {
+    let path = blackbox_path(shared);
+    shared.flight.dump_to(&path)?;
+    Ok(path)
 }
 
 /// Cloneable remote control for a running [`Server`]: request shutdown and
@@ -323,6 +362,19 @@ impl ServerHandle {
     pub fn stats(&self) -> ServerStats {
         self.shared.stats()
     }
+
+    /// Dumps the flight recorder's ring to the configured blackbox path
+    /// (or a per-process temp file) and returns where it wrote. The dump
+    /// is a checksummed block decodable by
+    /// [`flight::decode`](crate::flight::decode) and
+    /// `twodprof-client blackbox --file`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-write errors.
+    pub fn dump_blackbox(&self) -> io::Result<PathBuf> {
+        dump_blackbox(&self.shared)
+    }
 }
 
 /// Distinguishes the spill directories of daemons sharing a process and a
@@ -333,6 +385,9 @@ static DAEMON_INSTANCE: AtomicU64 = AtomicU64::new(0);
 /// dedicated thread) to serve connections.
 pub struct Server {
     listener: TcpListener,
+    /// The HTTP exposition listener, bound when `obs.http_addr` is set;
+    /// moved to its serving thread by [`run`](Self::run).
+    http_listener: Option<TcpListener>,
     shared: Arc<Shared>,
 }
 
@@ -344,6 +399,10 @@ impl Server {
     /// Propagates socket bind errors.
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        let http_listener = match &config.obs.http_addr {
+            Some(addr) => Some(TcpListener::bind(addr.as_str())?),
+            None => None,
+        };
         let compute = config.compute.as_ref().map(ComputePool::start);
         let shards = (0..config.shards.count.max(1))
             .map(|i| Arc::new(ShardState::new(i)))
@@ -355,8 +414,11 @@ impl Server {
                 DAEMON_INSTANCE.fetch_add(1, Ordering::Relaxed)
             ))
         });
+        let flight = FlightRecorder::new(config.obs.blackbox_capacity);
+        let timeline = Arc::new(Timeline::new(config.obs.timeline_capacity));
         Ok(Self {
             listener,
+            http_listener,
             shared: Arc::new(Shared {
                 config,
                 compute,
@@ -375,6 +437,9 @@ impl Server {
                 sessions_finished: AtomicU64::new(0),
                 sessions_aborted: AtomicU64::new(0),
                 events_ingested: AtomicU64::new(0),
+                flight,
+                timeline,
+                start: Instant::now(),
             }),
         })
     }
@@ -386,6 +451,20 @@ impl Server {
     /// Propagates `getsockname` failures.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The HTTP exposition listener's bound address, when `obs.http_addr`
+    /// was configured (resolves ephemeral ports), or `None` when the
+    /// listener is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `getsockname` failures.
+    pub fn http_addr(&self) -> io::Result<Option<SocketAddr>> {
+        self.http_listener
+            .as_ref()
+            .map(|l| l.local_addr())
+            .transpose()
     }
 
     /// A remote-control handle valid before, during, and after
@@ -403,8 +482,22 @@ impl Server {
     ///
     /// Returns socket-configuration errors; per-connection I/O errors are
     /// isolated to their shard (or compute thread).
-    pub fn run(self) -> io::Result<ServerStats> {
+    pub fn run(mut self) -> io::Result<ServerStats> {
         self.listener.set_nonblocking(true)?;
+        let http_thread = self.http_listener.take().map(|listener| {
+            let shared = self.shared.clone();
+            thread::Builder::new()
+                .name("twodprofd-http".into())
+                .spawn(move || crate::http::http_loop(&shared, listener))
+                .expect("spawn http thread")
+        });
+        let timeline_thread = {
+            let shared = self.shared.clone();
+            thread::Builder::new()
+                .name("twodprofd-timeline".into())
+                .spawn(move || timeline_loop(&shared))
+                .expect("spawn timeline thread")
+        };
         let shard_threads: Vec<_> = self
             .shared
             .shards
@@ -460,6 +553,16 @@ impl Server {
                 sweep_detached(&self.shared);
                 last_sweep = Instant::now();
             }
+            // SIGUSR1 handshake: the handler only sets a flag; the actual
+            // blackbox dump happens here, off the signal stack
+            if crate::flight::take_dump_request() {
+                match dump_blackbox(&self.shared) {
+                    Ok(path) => self
+                        .shared
+                        .log(format_args!("blackbox dumped to {}", path.display())),
+                    Err(e) => self.shared.log(format_args!("blackbox dump failed: {e}")),
+                }
+            }
         }
         self.shared.accept_stopped.store(true, Ordering::SeqCst);
         self.drain();
@@ -475,6 +578,12 @@ impl Server {
         self.shared.stopped.store(true, Ordering::SeqCst);
         if let Some(t) = stats_thread {
             t.join().expect("stats thread never panics");
+        }
+        timeline_thread
+            .join()
+            .expect("timeline thread never panics");
+        if let Some(t) = http_thread {
+            t.join().expect("http thread never panics");
         }
         Ok(self.shared.stats())
     }
@@ -531,22 +640,55 @@ fn sweep_detached(shared: &Shared) {
     }
 }
 
+/// Feeds the daemon's [`Timeline`] one registry snapshot per configured
+/// interval (timestamps are milliseconds since daemon start) until the
+/// daemon stops. The first record seeds the baseline immediately, so the
+/// first retained interval covers startup, not the process's whole life.
+fn timeline_loop(shared: &Shared) {
+    let interval = shared
+        .config
+        .obs
+        .timeline_interval
+        .max(Duration::from_millis(10));
+    let record = |shared: &Shared| {
+        shared.timeline.record(
+            shared.start.elapsed().as_millis() as u64,
+            twodprof_obs::global().snapshot(),
+        );
+    };
+    record(shared);
+    let mut next = Instant::now() + interval;
+    while !shared.is_stopped() {
+        // sleep in short hops so shutdown isn't delayed by a long interval
+        if Instant::now() >= next {
+            record(shared);
+            next += interval;
+        }
+        thread::sleep(Duration::from_millis(10).min(interval));
+    }
+}
+
 /// Periodic stderr stats summary: lifetime counters plus per-interval
 /// rates computed with `Snapshot::delta` (always printed, even with
 /// `quiet` connection logs — enabling the interval is itself the opt-in).
 ///
-/// Five lines per tick: the session/event line, the storage-tier and
-/// trace line — memo-tier vs disk-tier cache hits, misses, corrupt
-/// entries, and the recorded / replayed trace totals — the fabric line
-/// (jobs submitted/completed and remote cache hits served by the compute
-/// tier), the streaming line (windows folded, verdicts, drift events,
-/// subscriber drops), and the admission line (tier counts plus spill
-/// segments/bytes).
+/// Six lines per tick, assembled into one buffer and written with a
+/// single `eprint!` so concurrent connection logs can never interleave
+/// mid-summary: the session/event line, the storage-tier and trace line —
+/// memo-tier vs disk-tier cache hits, misses, corrupt entries, and the
+/// recorded / replayed trace totals — the fabric line (jobs
+/// submitted/completed and remote cache hits served by the compute tier),
+/// the streaming line (windows folded, verdicts, drift events, subscriber
+/// drops), the admission line (tier counts plus spill segments/bytes),
+/// and the shard-health line (per-shard admission tier, event-loop lag,
+/// and reply-backlog high water).
 fn stats_loop(shared: &Shared, interval: Duration) {
+    use std::fmt::Write as _;
     let interval = interval.max(Duration::from_millis(10));
     let mut last_events = 0u64;
     let mut last_tick = Instant::now();
     let mut last_snap = twodprof_obs::global().snapshot();
+    let mut out = String::new();
     while !shared.stopped.load(Ordering::SeqCst) {
         // sleep in short hops so shutdown isn't delayed by a long interval
         let wake = last_tick + interval;
@@ -567,7 +709,9 @@ fn stats_loop(shared: &Shared, interval: Duration) {
             .counter("serve_events_total")
             .unwrap_or_else(|| stats.events_ingested - last_events);
         let rate = events_delta as f64 / secs;
-        eprintln!(
+        out.clear();
+        let _ = writeln!(
+            out,
             "[twodprofd] stats: {} live session(s), {} opened, {} finished, {} aborted, {} event(s), {:.0} events/s",
             shared.live_sessions.load(Ordering::SeqCst),
             stats.sessions_opened,
@@ -578,7 +722,8 @@ fn stats_loop(shared: &Shared, interval: Duration) {
         );
         let total = |name: &str| snap.counter(name).unwrap_or(0);
         let tick = |name: &str| delta.counter(name).unwrap_or(0);
-        eprintln!(
+        let _ = writeln!(
+            out,
             "[twodprofd] stats: cache {} memo hit(s), {} disk hit(s), {} miss(es), {} corrupt; traces {} recorded (+{}), {} replayed (+{})",
             total("engine_cache_memo_hits_total"),
             total("engine_cache_hits_total"),
@@ -589,7 +734,8 @@ fn stats_loop(shared: &Shared, interval: Duration) {
             total("trace_replay_total"),
             tick("trace_replay_total"),
         );
-        eprintln!(
+        let _ = writeln!(
+            out,
             "[twodprofd] stats: fabric {} job(s) submitted (+{}), {} completed (+{}), {} remote cache hit(s) (+{})",
             total("fabric_jobs_submitted_total"),
             tick("fabric_jobs_submitted_total"),
@@ -598,7 +744,8 @@ fn stats_loop(shared: &Shared, interval: Duration) {
             total("fabric_remote_cache_hits_total"),
             tick("fabric_remote_cache_hits_total"),
         );
-        eprintln!(
+        let _ = writeln!(
+            out,
             "[twodprofd] stats: stream {} window(s) folded (+{}), {} verdict(s) (+{}), {} drift event(s) (+{}), {} subscriber drop(s) (+{})",
             total("stream_windows_folded_total"),
             tick("stream_windows_folded_total"),
@@ -609,7 +756,8 @@ fn stats_loop(shared: &Shared, interval: Duration) {
             total("serve_subscriber_drops_total"),
             tick("serve_subscriber_drops_total"),
         );
-        eprintln!(
+        let _ = writeln!(
+            out,
             "[twodprofd] stats: admit {} accepted (+{}), {} degraded (+{}), {} shed (+{}); spill {} segment(s) (+{}), {} byte(s) (+{})",
             total("serve_admit_accept_total"),
             tick("serve_admit_accept_total"),
@@ -622,6 +770,19 @@ fn stats_loop(shared: &Shared, interval: Duration) {
             total("serve_spill_bytes_total"),
             tick("serve_spill_bytes_total"),
         );
+        out.push_str("[twodprofd] stats: shards");
+        for shard in &shared.shards {
+            let _ = write!(
+                out,
+                " | {} {} lag {}us backlog {}B",
+                shard.index,
+                current_tier(&shared.config, shard).label(),
+                shard.last_lag_micros.load(Ordering::Relaxed),
+                shard.out_high_water.load(Ordering::Relaxed),
+            );
+        }
+        out.push('\n');
+        eprint!("{out}");
         last_events = stats.events_ingested;
         last_tick = now;
         last_snap = snap;

@@ -26,6 +26,8 @@
 //! along.
 
 use crate::compute::SharedWriter;
+use crate::config::ServerConfig;
+use crate::flight::FlightKind;
 use crate::poll::{self, Interest};
 use crate::server::{detach_program, publish_drift, ProgramSession, Shared};
 use crate::spill::SessionTrace;
@@ -44,6 +46,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 use twodprof_core::{SliceConfig, Thresholds, TwoDProfiler};
 use twodprof_obs::trace::{self, Span, TraceContext};
+use twodprof_obs::{Family, Gauge, Histogram};
 use twodprof_stream::DriftEvent;
 
 /// Readiness-loop tick: the ceiling on how long a shard sleeps when no
@@ -55,6 +58,11 @@ const POLL_TICK: Duration = Duration::from_millis(10);
 /// keeps the next poll from sleeping, so this caps latency, not
 /// throughput.
 const MAX_READ_PER_TICK: usize = 4 << 20;
+
+/// Event-loop lag past which a tick is notable enough for the flight
+/// recorder: the shard spent this much longer than [`POLL_TICK`] on one
+/// iteration, starving its other connections.
+const SLOW_TICK_LAG: Duration = Duration::from_millis(250);
 
 /// State shared between a shard's event loop, the accept loop that feeds
 /// it, and admission decisions made on other threads.
@@ -70,6 +78,15 @@ pub(crate) struct ShardState {
     pub(crate) spilled_bytes: AtomicU64,
     /// Sessions currently open on this shard.
     pub(crate) sessions: AtomicUsize,
+    /// Duration of the last service pass (poll return to tick end), in
+    /// microseconds. Published for `/healthz` and the stats summary.
+    pub(crate) last_tick_micros: AtomicU64,
+    /// Event-loop lag of the last iteration — how far it ran past
+    /// [`POLL_TICK`] — in microseconds.
+    pub(crate) last_lag_micros: AtomicU64,
+    /// Deepest per-connection reply backlog this shard has ever seen, in
+    /// bytes.
+    pub(crate) out_high_water: AtomicU64,
 }
 
 impl ShardState {
@@ -80,45 +97,125 @@ impl ShardState {
             resident_bytes: AtomicU64::new(0),
             spilled_bytes: AtomicU64::new(0),
             sessions: AtomicUsize::new(0),
+            last_tick_micros: AtomicU64::new(0),
+            last_lag_micros: AtomicU64::new(0),
+            out_high_water: AtomicU64::new(0),
         }
     }
 }
 
-/// Handles to a shard's gauges. Names are built per shard index, interned
-/// once, and registered straight on the registry (the `gauge!` macro's
-/// per-call-site cache would pin every shard to shard 0's names).
+/// The admission tier a shard is in *right now*, derived from its resident
+/// recording bytes against the configured budget: full service below half
+/// the budget, Degrade past that watermark, Shed at the budget. One
+/// definition shared by [`admit`], the shard's gauge publishing, the
+/// `/healthz` endpoint, and the stats summary, so they can never disagree.
+pub(crate) fn current_tier(config: &ServerConfig, shard: &ShardState) -> AdmissionTier {
+    if !config.record_sessions {
+        return AdmissionTier::Accept;
+    }
+    let budget = config.shards.memory_budget as u64;
+    let resident = shard.resident_bytes.load(Ordering::Relaxed);
+    if resident >= budget {
+        AdmissionTier::Shed
+    } else if resident >= budget / 2 {
+        AdmissionTier::Degrade
+    } else {
+        AdmissionTier::Accept
+    }
+}
+
+/// Numeric encoding of a tier for the `serve_shard{i}_tier` gauge.
+pub(crate) fn tier_code(tier: AdmissionTier) -> i64 {
+    match tier {
+        AdmissionTier::Accept => 0,
+        AdmissionTier::Degrade => 1,
+        AdmissionTier::Shed => 2,
+    }
+}
+
+/// Per-shard metric families: one handle per shard index, interned and
+/// registered on first use (the `gauge!` macro's per-call-site cache would
+/// pin every shard to shard 0's names; [`Family`] keys the cache by index).
+static SHARD_SESSIONS: Family<Gauge> = Family::gauge(
+    "serve_shard",
+    "_sessions",
+    "Open sessions owned by this shard.",
+);
+static SHARD_RESIDENT: Family<Gauge> = Family::gauge(
+    "serve_shard",
+    "_resident_bytes",
+    "Resident recorded-trace bytes held by this shard's sessions.",
+);
+static SHARD_SPILLED: Family<Gauge> = Family::gauge(
+    "serve_shard",
+    "_spilled_bytes",
+    "Recorded-trace bytes this shard's sessions hold in spill segments.",
+);
+static SHARD_TIER: Family<Gauge> = Family::gauge(
+    "serve_shard",
+    "_tier",
+    "Admission tier the shard is in (0 accept, 1 degrade, 2 shed).",
+);
+static SHARD_LAG: Family<Gauge> = Family::gauge(
+    "serve_shard",
+    "_lag_micros",
+    "Event-loop lag of the shard's last tick, in microseconds.",
+);
+static SHARD_OUT_HW: Family<Gauge> = Family::gauge(
+    "serve_shard",
+    "_out_buffer_high_water_bytes",
+    "Deepest per-connection reply backlog this shard has seen, in bytes.",
+);
+static SHARD_TICK_HIST: Family<Histogram> = Family::histogram(
+    "serve_shard",
+    "_tick_micros",
+    "Shard service-pass duration per tick, in microseconds.",
+);
+static SHARD_LAG_HIST: Family<Histogram> = Family::histogram(
+    "serve_shard",
+    "_loop_lag_micros",
+    "Shard event-loop lag per tick, in microseconds.",
+);
+
+/// Handles to one shard's slots in the per-shard metric families.
 struct ShardGauges {
-    sessions: &'static twodprof_obs::Gauge,
-    resident: &'static twodprof_obs::Gauge,
-    spilled: &'static twodprof_obs::Gauge,
+    sessions: &'static Gauge,
+    resident: &'static Gauge,
+    spilled: &'static Gauge,
+    tier: &'static Gauge,
+    lag: &'static Gauge,
+    out_high_water: &'static Gauge,
+    tick_hist: &'static Histogram,
+    lag_hist: &'static Histogram,
 }
 
 impl ShardGauges {
     fn register(index: usize) -> Self {
-        let reg = twodprof_obs::global();
         Self {
-            sessions: reg.gauge(
-                twodprof_obs::intern_name(format!("serve_shard{index}_sessions")),
-                "Open sessions owned by this shard.",
-            ),
-            resident: reg.gauge(
-                twodprof_obs::intern_name(format!("serve_shard{index}_resident_bytes")),
-                "Resident recorded-trace bytes held by this shard's sessions.",
-            ),
-            spilled: reg.gauge(
-                twodprof_obs::intern_name(format!("serve_shard{index}_spilled_bytes")),
-                "Recorded-trace bytes this shard's sessions hold in spill segments.",
-            ),
+            sessions: SHARD_SESSIONS.get(index),
+            resident: SHARD_RESIDENT.get(index),
+            spilled: SHARD_SPILLED.get(index),
+            tier: SHARD_TIER.get(index),
+            lag: SHARD_LAG.get(index),
+            out_high_water: SHARD_OUT_HW.get(index),
+            tick_hist: SHARD_TICK_HIST.get(index),
+            lag_hist: SHARD_LAG_HIST.get(index),
         }
     }
 
-    fn publish(&self, shard: &ShardState) {
+    fn publish(&self, shared: &Shared, shard: &ShardState) {
         self.sessions
             .set(shard.sessions.load(Ordering::Relaxed) as i64);
         self.resident
             .set(shard.resident_bytes.load(Ordering::Relaxed) as i64);
         self.spilled
             .set(shard.spilled_bytes.load(Ordering::Relaxed) as i64);
+        self.tier
+            .set(tier_code(current_tier(&shared.config, shard)));
+        self.lag
+            .set(shard.last_lag_micros.load(Ordering::Relaxed) as i64);
+        self.out_high_water
+            .set(shard.out_high_water.load(Ordering::Relaxed) as i64);
     }
 }
 
@@ -235,6 +332,8 @@ pub(crate) fn shard_loop(shared: &Arc<Shared>, shard: &Arc<ShardState>) {
     let gauges = ShardGauges::register(shard.index);
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut scratch_ids: Vec<u64> = Vec::new();
+    let mut prev_tier = AdmissionTier::Accept;
+    let mut iter_start = Instant::now();
     loop {
         // intake newly accepted sockets
         {
@@ -273,6 +372,7 @@ pub(crate) fn shard_loop(shared: &Arc<Shared>, shard: &Arc<ShardState>) {
             })
             .collect();
         let ready = poll::wait(&interests, POLL_TICK);
+        let service_start = Instant::now();
         let force = shared.force_closing();
 
         for (i, &id) in scratch_ids.iter().enumerate() {
@@ -300,9 +400,65 @@ pub(crate) fn shard_loop(shared: &Arc<Shared>, shard: &Arc<ShardState>) {
                 }
             }
         }
-        gauges.publish(shard);
+        // self-health: service-pass duration, event-loop lag beyond the
+        // poll tick, the deepest reply backlog, and tier transitions
+        let now = Instant::now();
+        let tick_time = now.duration_since(service_start);
+        let lag = now.duration_since(iter_start).saturating_sub(POLL_TICK);
+        iter_start = now;
+        gauges.tick_hist.observe_duration(tick_time);
+        gauges.lag_hist.observe_duration(lag);
+        shard
+            .last_tick_micros
+            .store(tick_time.as_micros() as u64, Ordering::Relaxed);
+        shard
+            .last_lag_micros
+            .store(lag.as_micros() as u64, Ordering::Relaxed);
+        let backlog = conns
+            .values()
+            .map(|c| (c.out.len() - c.out_pos) as u64)
+            .max()
+            .unwrap_or(0);
+        shard.out_high_water.fetch_max(backlog, Ordering::Relaxed);
+        if lag >= SLOW_TICK_LAG {
+            shared.flight.record(
+                FlightKind::SlowTick,
+                shard.index as u32,
+                0,
+                format!(
+                    "tick ran {}ms past the {}ms poll tick ({} connection(s))",
+                    lag.as_millis(),
+                    POLL_TICK.as_millis(),
+                    conns.len()
+                ),
+            );
+        }
+        let tier = current_tier(&shared.config, shard);
+        if tier != prev_tier {
+            let kind = match tier {
+                AdmissionTier::Degrade => Some(FlightKind::Degrade),
+                AdmissionTier::Shed => Some(FlightKind::Shed),
+                AdmissionTier::Accept => None,
+            };
+            if let Some(kind) = kind {
+                shared.flight.record(
+                    kind,
+                    shard.index as u32,
+                    0,
+                    format!(
+                        "admission tier {} -> {} ({} byte(s) resident of {} budget)",
+                        prev_tier.label(),
+                        tier.label(),
+                        shard.resident_bytes.load(Ordering::Relaxed),
+                        shared.config.shards.memory_budget
+                    ),
+                );
+            }
+            prev_tier = tier;
+        }
+        gauges.publish(shared, shard);
     }
-    gauges.publish(shard);
+    gauges.publish(shared, shard);
 }
 
 /// One tick's view of a connection, as the shard loop observed it.
@@ -432,6 +588,12 @@ fn process_frames(
                     "Client frames that failed to decode."
                 )
                 .inc();
+                shared.flight.record(
+                    FlightKind::DecodeError,
+                    shard.index as u32,
+                    id,
+                    e.to_string(),
+                );
                 if e.kind() == io::ErrorKind::InvalidData {
                     push_error(&mut conn.out, codes::BAD_FRAME, format!("bad frame: {e}"));
                 }
@@ -630,10 +792,24 @@ fn handle_frame(
                             "Bytes of session recordings spilled to disk."
                         )
                         .add(bytes);
+                        shared.flight.record(
+                            FlightKind::Spill,
+                            shard.index as u32,
+                            id,
+                            format!("{bytes} byte(s) spilled to a segment"),
+                        );
                     }
-                    Err(e) => shared.log(format_args!(
-                        "conn {id}: spill failed ({e}); keeping the session resident"
-                    )),
+                    Err(e) => {
+                        shared.log(format_args!(
+                            "conn {id}: spill failed ({e}); keeping the session resident"
+                        ));
+                        shared.flight.record(
+                            FlightKind::Spill,
+                            shard.index as u32,
+                            id,
+                            format!("spill failed: {e}; session kept resident"),
+                        );
+                    }
                 }
                 let resident = rec.resident_bytes();
                 let spilled = rec.spilled_bytes();
@@ -712,6 +888,14 @@ fn handle_frame(
             // valid in any state; replies and keeps the connection going
             let snapshot = twodprof_obs::global().snapshot();
             push_frame(&mut conn.out, &ServerFrame::StatsReply(snapshot.to_bytes()));
+        }
+        ClientFrame::Blackbox => {
+            // sessionless, like Stats: ship the flight recorder's ring as
+            // one checksummed block
+            push_frame(
+                &mut conn.out,
+                &ServerFrame::BlackboxReply(shared.flight.encode()),
+            );
         }
         ClientFrame::Resim(kind) => {
             let Some(live) = conn.session.as_ref() else {
@@ -919,6 +1103,12 @@ fn teardown(shared: &Arc<Shared>, shard: &Arc<ShardState>, id: u64, mut conn: Co
             "Sessions dropped before Finish (disconnect, error, reap, limit)."
         )
         .inc();
+        shared.flight.record(
+            FlightKind::SessionAbort,
+            shard.index as u32,
+            id,
+            format!("session dropped after {} event(s)", live.events),
+        );
         shared.log(format_args!(
             "conn {id}: session dropped after {} event(s)",
             live.events
@@ -1061,6 +1251,11 @@ fn compute_conn<R: Read>(
                 let mut w = writer.lock().expect("compute writer");
                 send(&mut w, &ServerFrame::StatsReply(snapshot.to_bytes()))?;
             }
+            ClientFrame::Blackbox => {
+                let block = shared.flight.encode();
+                let mut w = writer.lock().expect("compute writer");
+                send(&mut w, &ServerFrame::BlackboxReply(block))?;
+            }
             other => {
                 let mut w = writer.lock().expect("compute writer");
                 return send(
@@ -1136,22 +1331,23 @@ fn admit(
     }
     // tiered admission against the shard's memory budget: full service
     // below the degrade watermark (half the budget), recording disabled
-    // up to the budget, shed beyond it
-    let mut tier = AdmissionTier::Accept;
-    if shared.config.record_sessions {
-        let budget = shared.config.shards.memory_budget as u64;
-        let resident = shard.resident_bytes.load(Ordering::Relaxed);
-        if resident >= budget {
+    // up to the budget, shed beyond it (same tiering `/healthz` reports)
+    let tier = match current_tier(&shared.config, shard) {
+        AdmissionTier::Shed => {
             shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
-            return Admission::Busy(format!(
-                "shard {} memory budget exhausted ({resident} of {budget} bytes resident)",
-                shard.index
-            ));
+            let msg = format!(
+                "shard {} memory budget exhausted ({} of {} bytes resident)",
+                shard.index,
+                shard.resident_bytes.load(Ordering::Relaxed),
+                shared.config.shards.memory_budget
+            );
+            shared
+                .flight
+                .record(FlightKind::Shed, shard.index as u32, id, msg.clone());
+            return Admission::Busy(msg);
         }
-        if resident >= budget / 2 {
-            tier = AdmissionTier::Degrade;
-        }
-    }
+        tier => tier,
+    };
     let program = if hello.program.is_empty() {
         None
     } else {

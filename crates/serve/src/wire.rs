@@ -15,6 +15,7 @@
 //! client-msg := 0x01 hello | 0x02 events | 0x03 flush | 0x04 finish
 //!             | 0x05 stats | 0x06 resim | 0x07 trace-ctx | 0x08 trace-export
 //!             | 0x09 subscribe | 0x0A submit-job | 0x0B cache-query
+//!             | 0x0C blackbox
 //! hello      := varint(protocol) varint(num_sites) string(predictor-id)
 //!               varint(slice_len) varint(exec_threshold) string(program)
 //! events     := varint(count) { varint(site << 1 | taken) }*count
@@ -30,11 +31,13 @@
 //! submit-job := varint(job_id) jobspec           execute on the compute pool
 //! cache-query:= varint(job_id) jobspec           probe the daemon cache only
 //! jobspec    := twodprof_engine::JobSpec::encode_into
+//! blackbox   := ε                                fetch the flight recorder;
+//!                                                valid in any session state
 //!
 //! server-msg := 0x81 hello-ok | 0x82 ack | 0x83 busy | 0x84 report
 //!             | 0x85 error | 0x86 stats-reply | 0x87 trace-ack
 //!             | 0x88 trace-spans | 0x89 stream-push | 0x8A job-result
-//!             | 0x8B cache-reply
+//!             | 0x8B cache-reply | 0x8C blackbox-reply
 //! hello-ok   := varint(session_id) [varint(tier)]
 //!                                                tier absent => 0 (accept);
 //!                                                1 = degraded admission
@@ -56,6 +59,8 @@
 //!             | 0x02 string(msg)                 job failed deterministically
 //!             | 0x03                             result exceeds frame ceiling
 //! cache-reply:= varint(job_id) (0x00 | 0x01 job-payload)
+//! blackbox-reply := bytes                        crate::flight::encode_events
+//!                                                (checksummed event block)
 //! job-payload:= varint(spec_hash) varint(len) bytes varint(checksum)
 //!                                                len <= MAX_RESULT_PAYLOAD;
 //!                                                checksum = FNV-1a(bytes)
@@ -129,6 +134,7 @@ const TAG_TRACE_EXPORT: u8 = 0x08;
 const TAG_SUBSCRIBE: u8 = 0x09;
 const TAG_SUBMIT_JOB: u8 = 0x0A;
 const TAG_CACHE_QUERY: u8 = 0x0B;
+const TAG_BLACKBOX: u8 = 0x0C;
 const TAG_HELLO_OK: u8 = 0x81;
 const TAG_ACK: u8 = 0x82;
 const TAG_BUSY: u8 = 0x83;
@@ -140,6 +146,7 @@ const TAG_TRACE_SPANS: u8 = 0x88;
 const TAG_STREAM_PUSH: u8 = 0x89;
 const TAG_JOB_RESULT: u8 = 0x8A;
 const TAG_CACHE_REPLY: u8 = 0x8B;
+const TAG_BLACKBOX_REPLY: u8 = 0x8C;
 
 /// Status bytes inside a `0x8A` job-result frame.
 const OUTCOME_COMPUTED: u8 = 0x00;
@@ -327,6 +334,12 @@ pub enum ClientFrame {
         /// The job to look up.
         spec: JobSpec,
     },
+    /// Requests the daemon's flight recorder — the bounded ring of recent
+    /// notable events (decode errors, admission transitions, spills,
+    /// aborts, slow ticks). Sessionless, like [`Stats`](Self::Stats): valid
+    /// in any session state without disturbing an open session. Reply:
+    /// [`ServerFrame::BlackboxReply`].
+    Blackbox,
 }
 
 /// Frames `twodprofd` sends to a client.
@@ -412,6 +425,10 @@ pub enum ServerFrame {
         /// The cached payload, if present.
         result: Option<JobPayload>,
     },
+    /// Reply to [`ClientFrame::Blackbox`]: the flight recorder's event
+    /// ring serialized by `crate::flight::encode_events` — a checksummed
+    /// block, opaque at this layer like [`StatsReply`](Self::StatsReply).
+    BlackboxReply(Vec<u8>),
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
@@ -532,6 +549,7 @@ impl ClientFrame {
                 write_varint(&mut buf, *job_id).expect("vec write");
                 spec.encode_into(&mut buf);
             }
+            ClientFrame::Blackbox => buf.push(TAG_BLACKBOX),
         }
         buf
     }
@@ -622,6 +640,7 @@ impl ClientFrame {
                 let spec = JobSpec::decode_from(&mut r)?;
                 ClientFrame::CacheQuery { job_id, spec }
             }
+            TAG_BLACKBOX => ClientFrame::Blackbox,
             other => return Err(invalid(format!("unknown client frame tag {other:#04x}"))),
         };
         ensure_consumed(r)?;
@@ -740,6 +759,10 @@ impl ServerFrame {
                     None => buf.push(0x00),
                 }
             }
+            ServerFrame::BlackboxReply(bytes) => {
+                buf.push(TAG_BLACKBOX_REPLY);
+                buf.extend_from_slice(bytes);
+            }
         }
         buf
     }
@@ -844,6 +867,12 @@ impl ServerFrame {
                     other => return Err(invalid(format!("bad cache-reply flag {other:#04x}"))),
                 };
                 ServerFrame::CacheReply { job_id, result }
+            }
+            TAG_BLACKBOX_REPLY => {
+                // the remainder is the flight block, opaque at this layer
+                let bytes = r.to_vec();
+                r = &[];
+                ServerFrame::BlackboxReply(bytes)
             }
             other => return Err(invalid(format!("unknown server frame tag {other:#04x}"))),
         };
@@ -1053,6 +1082,19 @@ mod tests {
             program: String::new(),
             watch: false,
         });
+        roundtrip_client(ClientFrame::Blackbox);
+    }
+
+    #[test]
+    fn blackbox_frames_roundtrip_and_reject_trailing_bytes() {
+        roundtrip_server(ServerFrame::BlackboxReply(vec![1, 2, 3]));
+        roundtrip_server(ServerFrame::BlackboxReply(Vec::new()));
+        // the request is an ε-body frame: any trailing byte is a protocol
+        // error, same as Flush/Stats
+        let mut payload = ClientFrame::Blackbox.encode();
+        assert_eq!(payload, vec![TAG_BLACKBOX]);
+        payload.push(0);
+        assert!(ClientFrame::decode(&payload).is_err());
     }
 
     #[test]

@@ -104,6 +104,16 @@ diff -ru "$OUT_DIR/local" "$OUT_DIR/remote-warm" || {
 hits="$(awk '$1 == "fabric_remote_cache_hits_total" {print $2}' "$OUT_DIR/remote-warm.err")"
 echo "gate 3 OK: warm client saw $hits remote cache hit(s), results identical"
 
+# --- gate 4: one `top` frame renders both nodes ---
+"$BIN_DIR/twodprof-client" top --node "$ADDR_A" --node "$ADDR_B" \
+    --iterations 1 --no-clear >"$OUT_DIR/top.out"
+grep -q "^node $ADDR_A\$" "$OUT_DIR/top.out" || { cat "$OUT_DIR/top.out"; echo "top frame missing node $ADDR_A"; exit 1; }
+grep -q "^node $ADDR_B\$" "$OUT_DIR/top.out" || { cat "$OUT_DIR/top.out"; echo "top frame missing node $ADDR_B"; exit 1; }
+[[ "$(grep -c '^  shard ' "$OUT_DIR/top.out")" -ge 2 ]] || {
+    cat "$OUT_DIR/top.out"; echo "top frame missing per-shard rows"; exit 1;
+}
+echo "gate 4 OK: top rendered both nodes"
+
 # --- clean shutdown of both nodes ---
 kill -TERM "$NODE_A_PID" "$NODE_B_PID"
 wait "$NODE_A_PID" || { cat "$OUT_DIR/twodprofd-a.log"; echo "node a did not exit cleanly"; exit 1; }

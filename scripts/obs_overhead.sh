@@ -13,11 +13,17 @@
 #    bench session join the shared program "bench" so the daemon's
 #    per-program streaming profiler (epoch merge + windowed fold) runs on
 #    the ingest path. Gated at STREAM_LIMIT_PCT percent.
+# 4. Exposition: the same comparison over TWODPROF_HTTP, which runs the
+#    daemon's HTTP listener plus the 1 s metrics-timeline sampler and
+#    scrapes /metrics at 1 Hz for the duration — the full observability
+#    plane a production deployment would run. Gated at HTTP_LIMIT_PCT
+#    percent.
 #
 #   LIMIT_PCT          metrics overhead budget in percent (default 5, the
 #                      CI gate; the local design target is 2)
 #   TRACE_LIMIT_PCT    tracing overhead budget in percent (default 1)
 #   STREAM_LIMIT_PCT   streaming overhead budget in percent (default 5)
+#   HTTP_LIMIT_PCT     exposition overhead budget in percent (default 5)
 #   TWODPROF_BENCH_MS  measurement window per benchmark in ms (default 2000)
 #   REPS               alternating on/off run pairs per comparison (default 3)
 #
@@ -31,6 +37,7 @@ set -euo pipefail
 LIMIT_PCT="${LIMIT_PCT:-5}"
 TRACE_LIMIT_PCT="${TRACE_LIMIT_PCT:-1}"
 STREAM_LIMIT_PCT="${STREAM_LIMIT_PCT:-5}"
+HTTP_LIMIT_PCT="${HTTP_LIMIT_PCT:-5}"
 BENCH_MS="${TWODPROF_BENCH_MS:-2000}"
 REPS="${REPS:-3}"
 WORK_DIR="$(mktemp -d)"
@@ -105,3 +112,8 @@ run_bench TWODPROF_STREAM \
     "$WORK_DIR/stream_on_raw.txt" "$WORK_DIR/stream_off_raw.txt" \
     "$WORK_DIR/stream_on.txt" "$WORK_DIR/stream_off.txt"
 compare "$WORK_DIR/stream_off.txt" "$WORK_DIR/stream_on.txt" "$STREAM_LIMIT_PCT" streaming
+
+run_bench TWODPROF_HTTP \
+    "$WORK_DIR/http_on_raw.txt" "$WORK_DIR/http_off_raw.txt" \
+    "$WORK_DIR/http_on.txt" "$WORK_DIR/http_off.txt"
+compare "$WORK_DIR/http_off.txt" "$WORK_DIR/http_on.txt" "$HTTP_LIMIT_PCT" exposition
